@@ -1,0 +1,182 @@
+// In-text claim (Abstract / Section III): "the FoV based similarity
+// measurement achieves comparable search accuracy with the content-based
+// method."
+//
+// Protocol: a simulated crowd records around a city rendered from a shared
+// landmark world. Queries target spots real cameras looked at. Two systems
+// answer each query from the same candidate pool (the spatio-temporal range
+// search):
+//   * FoV system      — orientation filter + distance rank (this paper);
+//   * content system  — ranks candidates by the best pixel similarity
+//                       between the querier's exemplar photo of the spot
+//                       and frames rendered from each candidate segment
+//                       (histogram intersection, robust to viewpoint).
+// Both lists are scored against the geometric visibility oracle.
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <map>
+
+#include "cv/renderer.hpp"
+#include "cv/similarity.hpp"
+#include "index/fov_index.hpp"
+#include "net/client.hpp"
+#include "retrieval/engine.hpp"
+#include "retrieval/metrics.hpp"
+#include "sim/crowd.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace svg;
+
+constexpr double kFps = 10.0;
+
+struct Candidate {
+  core::RepresentativeFov rep;
+};
+
+}  // namespace
+
+int main() {
+  const core::CameraIntrinsics cam{30.0, 100.0};
+  const core::SimilarityModel model(cam);
+
+  sim::CityModel city;
+  city.extent_m = 1200.0;
+  util::Xoshiro256 world_rng(5);
+  const auto world = cv::World::random_city(2500, city.extent_m,
+                                            world_rng);
+  cv::RenderOptions ropt;
+  ropt.resolution = {160, 120};
+  const cv::SceneRenderer renderer(world, cam,
+                                   geo::LocalFrame(city.center), ropt);
+
+  // Crowd corpus.
+  sim::CrowdConfig ccfg;
+  ccfg.providers = 30;
+  ccfg.min_sessions = 1;
+  ccfg.max_sessions = 2;
+  ccfg.min_duration_s = 20.0;
+  ccfg.max_duration_s = 60.0;
+  ccfg.fps = kFps;
+  ccfg.window_length_ms = 3'600'000;
+  util::Xoshiro256 rng(6);
+  const auto sessions = sim::generate_crowd(city, ccfg, rng);
+
+  index::FovIndex idx;
+  retrieval::VisibilityOracle oracle(cam);
+  std::vector<core::RepresentativeFov> corpus;
+  std::map<std::uint64_t, const sim::ProviderSession*> by_video;
+  for (const auto& s : sessions) {
+    net::MobileClient client(s.video_id, model, {0.5});
+    const auto msg = net::capture_session(client, s.records);
+    for (const auto& rep : msg.segments) {
+      idx.insert(rep);
+      corpus.push_back(rep);
+    }
+    oracle.add_video(s.video_id, s.ground_truth);
+    by_video[s.video_id] = &s;
+  }
+
+  retrieval::RetrievalConfig rcfg;
+  rcfg.camera = cam;
+  rcfg.orientation_slack_deg = 10.0;
+  rcfg.top_n = 20;
+  retrieval::RetrievalEngine<index::FovIndex> engine(idx, rcfg);
+
+  // Candidate pool shared by both systems: same range search, no filter.
+  retrieval::RetrievalConfig pool_cfg = rcfg;
+  pool_cfg.orientation_filter = false;
+  pool_cfg.top_n = 10'000;
+  retrieval::RetrievalEngine<index::FovIndex> pool_engine(idx, pool_cfg);
+
+  std::vector<retrieval::QualityReport> fov_reports, cv_reports;
+  int used = 0;
+  for (int attempt = 0; attempt < 200 && used < 40; ++attempt) {
+    const auto& s = sessions[rng.bounded(sessions.size())];
+    const auto& frame = s.ground_truth[rng.bounded(s.ground_truth.size())];
+    retrieval::Query q;
+    q.center = geo::offset_m(
+        frame.fov.p, 40.0 * std::sin(geo::deg_to_rad(frame.fov.theta_deg)),
+        40.0 * std::cos(geo::deg_to_rad(frame.fov.theta_deg)));
+    q.radius_m = 30.0;
+    q.t_start = frame.t - 15'000;
+    q.t_end = frame.t + 15'000;
+
+    // Skip queries with an empty recall base.
+    std::size_t relevant = 0;
+    for (const auto& rep : corpus) {
+      if (oracle.relevant(rep, q)) ++relevant;
+    }
+    if (relevant == 0) continue;
+    ++used;
+
+    // --- FoV system ---
+    const auto fov_results = engine.search(q);
+    fov_reports.push_back(
+        retrieval::evaluate_results(fov_results, corpus, oracle, q));
+
+    // --- content system ---
+    // Querier's exemplar: a photo of the spot from a nearby vantage point.
+    const geo::LatLng vantage = geo::offset_m(q.center, 0.0, -30.0);
+    const cv::Frame exemplar = renderer.render({vantage, 0.0});
+    const auto candidates = pool_engine.search(q);
+    std::vector<std::pair<double, const retrieval::RankedResult*>> scored;
+    for (const auto& c : candidates) {
+      const auto it = by_video.find(c.rep.video_id);
+      if (it == by_video.end()) continue;
+      const auto& truth = it->second->ground_truth;
+      // Sample up to 5 frames of the candidate segment and keep the best
+      // content match.
+      double best = 0.0;
+      const auto t0 = c.rep.t_start, t1 = c.rep.t_end;
+      for (int k = 0; k < 5; ++k) {
+        const auto tk = t0 + (t1 - t0) * k / 4;
+        const auto fit = std::lower_bound(
+            truth.begin(), truth.end(), tk,
+            [](const core::FovRecord& r, core::TimestampMs t) {
+              return r.t < t;
+            });
+        if (fit == truth.end()) continue;
+        const cv::Frame view =
+            renderer.render({fit->fov.p, fit->fov.theta_deg});
+        best = std::max(best, cv::histogram_similarity(exemplar, view));
+      }
+      scored.emplace_back(best, &c);
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::vector<retrieval::RankedResult> cv_results;
+    for (std::size_t i = 0; i < std::min<std::size_t>(20, scored.size());
+         ++i) {
+      cv_results.push_back(*scored[i].second);
+    }
+    cv_reports.push_back(
+        retrieval::evaluate_results(cv_results, corpus, oracle, q));
+  }
+
+  const auto fov = retrieval::merge_reports(fov_reports);
+  const auto cvr = retrieval::merge_reports(cv_reports);
+  std::cout << "=== Search accuracy: FoV (content-free) vs content-based ===\n";
+  std::cout << "corpus: " << corpus.size() << " segments from "
+            << sessions.size() << " sessions; " << used
+            << " queries with non-empty ground truth\n\n";
+  util::Table table({"system", "precision", "recall", "F1", "AP"});
+  table.add_row({"FoV (this paper)", util::Table::num(fov.precision, 3),
+                 util::Table::num(fov.recall, 3),
+                 util::Table::num(fov.f1, 3),
+                 util::Table::num(fov.average_precision, 3)});
+  table.add_row({"content-based (histogram rank)",
+                 util::Table::num(cvr.precision, 3),
+                 util::Table::num(cvr.recall, 3),
+                 util::Table::num(cvr.f1, 3),
+                 util::Table::num(cvr.average_precision, 3)});
+  table.print(std::cout);
+
+  std::cout << "\nPaper claim: FoV accuracy is comparable to the "
+               "content-based method (F1 within a similar range) while "
+               "being orders of magnitude cheaper.\n";
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Fig. 4 — "Translation similarity (Theoretical vs Practical vs CV
+// Algorithm)": a user walks a straight street filming forward (θ_p = 0°)
+// and sideways (θ_p = 90°). For each elapsed distance we report
+//   * theory     — the closed-form Sim_∥ / Sim_⊥ curve,
+//   * practical  — the same similarity computed from noisy sensor samples
+//                  (what the phone actually logs),
+//   * cv         — frame differencing on frames rendered from the same
+//                  walk through the synthetic street canyon.
+// The paper's claim is that the three lines "share a similar trend in
+// descending" and that Sim_⊥ falls faster than Sim_∥; we print the series
+// and their Pearson correlations.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/similarity.hpp"
+#include "cv/renderer.hpp"
+#include "cv/similarity.hpp"
+#include "sim/sensors.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace svg;
+
+struct Series {
+  std::vector<double> distance;
+  std::vector<double> theory;
+  std::vector<double> practical;
+  std::vector<double> cv;      // frame differencing (the paper's metric)
+  std::vector<double> cv_ncc;  // mean-removed NCC: background-insensitive
+};
+
+Series run_walk(double camera_offset_deg, const core::CameraIntrinsics& cam,
+                std::uint64_t seed) {
+  const geo::LatLng origin{39.9042, 116.4074};
+  const double speed = 1.4, duration = 60.0, fps = 5.0;
+  sim::StraightTrajectory traj(origin, 0.0, speed, duration,
+                               camera_offset_deg);
+
+  // Sensor stream with realistic noise.
+  sim::SensorNoiseConfig noise;
+  sim::SensorSampler sampler(noise, {fps, 0});
+  util::Xoshiro256 rng(seed);
+  const auto noisy = sampler.sample(traj, rng);
+
+  // Rendered video of the same walk through a heterogeneous landmark
+  // field (a periodic street canyon is too self-similar: frame
+  // differencing barely reacts to lateral motion along repeating
+  // facades).
+  util::Xoshiro256 world_rng(seed + 1);
+  const auto world =
+      cv::World::random_city(1200, 2.0 * (speed * duration + 150.0),
+                             world_rng);
+  cv::RenderOptions ropt;
+  ropt.resolution = {320, 240};
+  const cv::SceneRenderer renderer(world, cam, geo::LocalFrame(origin),
+                                   ropt);
+  const auto frames = render_video(renderer, traj, fps);
+
+  const core::SimilarityModel model(cam);
+  const core::FoV f0_true{traj.at(0.0).position, traj.at(0.0).heading_deg};
+  const core::FoV f0_noisy = noisy.front().fov;
+
+  Series out;
+  for (std::size_t i = 0; i < noisy.size() && i < frames.size(); ++i) {
+    const double t = static_cast<double>(i) / fps;
+    const double d = speed * t;
+    const sim::Pose truth = traj.at(t);
+    out.distance.push_back(d);
+    out.theory.push_back(
+        model.similarity(f0_true, {truth.position, truth.heading_deg}));
+    out.practical.push_back(model.similarity(f0_noisy, noisy[i].fov));
+    out.cv.push_back(
+        cv::frame_difference_similarity(frames.front(), frames[i]));
+    out.cv_ncc.push_back(cv::ncc_similarity(frames.front(), frames[i]));
+  }
+  return out;
+}
+
+void report(const char* name, const Series& s, bool csv) {
+  std::cout << "\n--- " << name << " ---\n";
+  util::Table table({"d_m", "theory", "practical(sensor)", "cv(frame-diff)",
+                     "cv(ncc)"});
+  for (std::size_t i = 0; i < s.distance.size(); i += 4) {
+    table.add_row({util::Table::num(s.distance[i], 1),
+                   util::Table::num(s.theory[i], 4),
+                   util::Table::num(s.practical[i], 4),
+                   util::Table::num(s.cv[i], 4),
+                   util::Table::num(s.cv_ncc[i], 4)});
+  }
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "pearson(theory, practical)  = "
+            << util::Table::num(util::pearson(s.theory, s.practical), 3)
+            << "\npearson(theory, frame-diff) = "
+            << util::Table::num(util::pearson(s.theory, s.cv), 3)
+            << "\npearson(theory, ncc)        = "
+            << util::Table::num(util::pearson(s.theory, s.cv_ncc), 3)
+            << "\n(frame differencing saturates on static sky/ground for "
+               "lateral motion; NCC removes the background mean)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  const core::CameraIntrinsics cam{30.0, 100.0};
+  std::cout << "=== Fig. 4: theory vs sensor practice vs CV, straight walk "
+               "===\n";
+
+  const Series par = run_walk(0.0, cam, 11);    // θ_p = 0°: filming forward
+  const Series perp = run_walk(90.0, cam, 22);  // θ_p = 90°: filming sideways
+  report("theta_p = 0 deg (parallel walk)", par, csv);
+  report("theta_p = 90 deg (perpendicular walk)", perp, csv);
+
+  // Paper's qualitative claim: the perpendicular similarity decays faster.
+  double par_area = 0.0, perp_area = 0.0;
+  const std::size_t n = std::min(par.theory.size(), perp.theory.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    par_area += par.theory[i];
+    perp_area += perp.theory[i];
+  }
+  std::cout << "\nSim_perp decays faster than Sim_par: "
+            << (perp_area < par_area ? "yes" : "NO") << " (mean "
+            << util::Table::num(perp_area / static_cast<double>(n), 3)
+            << " vs "
+            << util::Table::num(par_area / static_cast<double>(n), 3)
+            << ")\n";
+  return 0;
+}

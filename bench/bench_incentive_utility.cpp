@@ -1,0 +1,82 @@
+// Section VII extension — video utility and incentive mechanism. The
+// utility of a set of segments for a query is the union area of their
+// (angular × temporal) coverage rectangles inside the 360° × (te − ts)
+// global rectangle. We sweep the selection size k and the budget, and
+// compare greedy selection, budgeted greedy, and the proportional-share
+// auction.
+
+#include <iostream>
+
+#include "retrieval/utility.hpp"
+#include "sim/crowd.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace svg;
+  const core::CameraIntrinsics cam{30.0, 100.0};
+
+  sim::CityModel city;
+  util::Xoshiro256 rng(73);
+  // Candidates: segments overlapping a 10-minute query window around one
+  // location.
+  retrieval::Query q;
+  q.center = city.center;
+  q.radius_m = 50.0;
+  q.t_start = 0;
+  q.t_end = 600'000;
+
+  std::vector<core::RepresentativeFov> candidates;
+  std::vector<double> bids;
+  for (int i = 0; i < 40; ++i) {
+    core::RepresentativeFov rep;
+    rep.video_id = static_cast<std::uint64_t>(i) + 1;
+    rep.fov.p = city.random_point(rng);
+    rep.fov.theta_deg = rng.uniform(0.0, 360.0);
+    rep.t_start = static_cast<core::TimestampMs>(rng.bounded(500'000));
+    rep.t_end = rep.t_start +
+                static_cast<core::TimestampMs>(30'000 + rng.bounded(120'000));
+    candidates.push_back(rep);
+    bids.push_back(rng.uniform(0.5, 3.0));
+  }
+
+  const double global = retrieval::global_utility(q);
+  std::cout << "=== Utility & incentive (Section VII) ===\n";
+  std::cout << "global utility 360 deg x "
+            << (q.t_end - q.t_start) / 1000 << " s = " << global
+            << " deg*s; " << candidates.size() << " candidate segments\n\n";
+
+  std::cout << "--- greedy coverage vs k ---\n";
+  util::Table t1({"k", "utility_deg_s", "coverage_%", "marginal_gain"});
+  double prev = 0.0;
+  for (std::size_t k : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const auto sel = retrieval::select_greedy(candidates, q, cam, k);
+    t1.add_row({util::Table::num(k), util::Table::num(sel.utility, 0),
+                util::Table::num(100.0 * sel.utility / global, 1),
+                util::Table::num(sel.utility - prev, 0)});
+    prev = sel.utility;
+  }
+  t1.print(std::cout);
+  std::cout << "(marginal gains shrink: the coverage utility is "
+               "submodular)\n\n";
+
+  std::cout << "--- budgeted selection & auction vs budget ---\n";
+  util::Table t2({"budget", "budgeted_utility", "budgeted_cost",
+                  "auction_utility", "auction_paid", "winners"});
+  for (double budget : {1.0, 2.0, 5.0, 10.0, 20.0, 40.0}) {
+    const auto sel =
+        retrieval::select_budgeted(candidates, bids, q, cam, budget);
+    const auto auction =
+        retrieval::run_incentive_auction(candidates, bids, q, cam, budget);
+    t2.add_row({util::Table::num(budget, 0),
+                util::Table::num(sel.utility, 0),
+                util::Table::num(sel.total_cost, 2),
+                util::Table::num(auction.utility, 0),
+                util::Table::num(auction.spent, 2),
+                util::Table::num(auction.winners.size())});
+  }
+  t2.print(std::cout);
+  std::cout << "\nAuction payments always cover bids (individual "
+               "rationality) and stay within budget; utility approaches "
+               "the unconstrained greedy as the budget grows.\n";
+  return 0;
+}

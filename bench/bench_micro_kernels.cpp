@@ -1,0 +1,170 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels behind every
+// paper number: similarity evaluation, the per-frame segmentation step,
+// R-tree insert/query, wire encode/decode, and frame differencing. These
+// are the per-operation costs that the figure-level benches aggregate.
+
+#include <benchmark/benchmark.h>
+
+#include "core/segmentation.hpp"
+#include "core/similarity.hpp"
+#include "cv/renderer.hpp"
+#include "cv/similarity.hpp"
+#include "index/fov_index.hpp"
+#include "net/wire.hpp"
+#include "sim/crowd.hpp"
+
+namespace {
+
+using namespace svg;
+
+const core::CameraIntrinsics kCam{30.0, 100.0};
+
+void BM_FovSimilarity(benchmark::State& state) {
+  const core::SimilarityModel model(kCam);
+  const core::FoV f1{{39.9042, 116.4074}, 15.0};
+  const core::FoV f2{{39.9045, 116.4079}, 40.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.similarity(f1, f2));
+  }
+}
+BENCHMARK(BM_FovSimilarity);
+
+void BM_SegmenterPush(benchmark::State& state) {
+  const core::SimilarityModel model(kCam);
+  core::StreamingAbstractionPipeline pipe(model, {0.5}, 1);
+  sim::CityModel city;
+  util::Xoshiro256 rng(1);
+  std::vector<core::FovRecord> records;
+  for (int i = 0; i < 4096; ++i) {
+    records.push_back({i * 33,
+                       {city.random_point(rng), rng.uniform(0.0, 360.0)}});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipe.push(records[i++ & 4095]));
+  }
+}
+BENCHMARK(BM_SegmenterPush);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  sim::CityModel city;
+  util::Xoshiro256 rng(2);
+  const auto reps = sim::random_representative_fovs(
+      static_cast<std::size_t>(state.range(0)), city, 0, 86'400'000, rng);
+  for (auto _ : state) {
+    index::FovIndex idx;
+    for (const auto& r : reps) idx.insert(r);
+    benchmark::DoNotOptimize(idx.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_RTreeQuery(benchmark::State& state) {
+  sim::CityModel city;
+  util::Xoshiro256 rng(3);
+  const auto reps = sim::random_representative_fovs(
+      static_cast<std::size_t>(state.range(0)), city, 0, 86'400'000, rng);
+  index::FovIndex idx;
+  for (const auto& r : reps) idx.insert(r);
+  std::vector<index::GeoTimeRange> queries;
+  for (int i = 0; i < 64; ++i) {
+    const auto c = city.random_point(rng);
+    queries.push_back({c.lng - 0.002, c.lng + 0.002, c.lat - 0.002,
+                       c.lat + 0.002,
+                       static_cast<core::TimestampMs>(rng.bounded(80'000'000)),
+                       static_cast<core::TimestampMs>(80'000'000 +
+                                                      rng.bounded(6'000'000))});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    idx.query(queries[i++ & 63],
+              [&](const core::RepresentativeFov&) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_RTreeQuery)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_LinearQuery(benchmark::State& state) {
+  sim::CityModel city;
+  util::Xoshiro256 rng(4);
+  const auto reps = sim::random_representative_fovs(
+      static_cast<std::size_t>(state.range(0)), city, 0, 86'400'000, rng);
+  index::LinearIndex idx;
+  for (const auto& r : reps) idx.insert(r);
+  const auto c = city.center;
+  const index::GeoTimeRange q{c.lng - 0.002, c.lng + 0.002, c.lat - 0.002,
+                              c.lat + 0.002, 0, 86'400'000};
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    idx.query(q, [&](const core::RepresentativeFov&) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_LinearQuery)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_WireEncodeUpload(benchmark::State& state) {
+  sim::CityModel city;
+  util::Xoshiro256 rng(5);
+  net::UploadMessage msg;
+  msg.video_id = 1;
+  for (const auto& r :
+       sim::random_representative_fovs(64, city, 0, 86'400'000, rng)) {
+    msg.segments.push_back(r);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::encode_upload(msg));
+  }
+}
+BENCHMARK(BM_WireEncodeUpload);
+
+void BM_WireDecodeUpload(benchmark::State& state) {
+  sim::CityModel city;
+  util::Xoshiro256 rng(6);
+  net::UploadMessage msg;
+  msg.video_id = 1;
+  for (const auto& r :
+       sim::random_representative_fovs(64, city, 0, 86'400'000, rng)) {
+    msg.segments.push_back(r);
+  }
+  const auto bytes = net::encode_upload(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::decode_upload(bytes));
+  }
+}
+BENCHMARK(BM_WireDecodeUpload);
+
+void BM_FrameDifference(benchmark::State& state) {
+  const int w = static_cast<int>(state.range(0));
+  const int h = w * 3 / 4;
+  util::Xoshiro256 rng(7);
+  cv::Frame a(w, h), b(w, h);
+  for (std::size_t i = 0; i < a.pixel_count(); ++i) {
+    a.data()[i] = static_cast<std::uint8_t>(rng.bounded(256));
+    b.data()[i] = static_cast<std::uint8_t>(rng.bounded(256));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cv::frame_difference_similarity(a, b));
+  }
+  state.SetBytesProcessed(state.iterations() * a.pixel_count() * 2);
+}
+BENCHMARK(BM_FrameDifference)->Arg(320)->Arg(640)->Arg(1280);
+
+void BM_RenderFrame(benchmark::State& state) {
+  util::Xoshiro256 rng(8);
+  const auto world = cv::World::random_city(500, 500.0, rng);
+  cv::RenderOptions opt;
+  opt.resolution = {static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(0)) * 3 / 4};
+  const cv::SceneRenderer renderer(world, kCam,
+                                   geo::LocalFrame({39.9, 116.4}), opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(renderer.render_local({0, 0}, 45.0));
+  }
+}
+BENCHMARK(BM_RenderFrame)->Arg(320)->Arg(640);
+
+}  // namespace
+
+BENCHMARK_MAIN();

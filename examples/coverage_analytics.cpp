@@ -1,0 +1,93 @@
+// Scenario: coverage analytics for a city operations team. Given the
+// descriptor corpus the cloud already holds (no video needed), render a
+// heat map of which blocks the crowd's cameras covered during the last
+// hour, list the blind spots, and show how the picture changes as more
+// providers come online.
+//
+// Build & run:  ./example_coverage_analytics
+
+#include <iostream>
+
+#include "net/client.hpp"
+#include "retrieval/coverage.hpp"
+#include "sim/crowd.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+void print_heat_map(const svg::retrieval::CoverageMap& map) {
+  const char* ramp = " .:-=+*#%@";
+  const double max_count = std::max(1u, map.max_count());
+  for (std::size_t y = map.side(); y-- > 0;) {  // north at the top
+    for (std::size_t x = 0; x < map.side(); ++x) {
+      const double v = map.count_at(x, y) / max_count;
+      const int idx = std::min(9, static_cast<int>(v * 9.999));
+      std::cout << ramp[idx];
+    }
+    std::cout << '\n';
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace svg;
+  const core::CameraIntrinsics camera{30.0, 100.0};
+  const core::SimilarityModel model(camera);
+
+  sim::CityModel city;
+  city.extent_m = 1500.0;
+  sim::CrowdConfig cfg;
+  cfg.min_duration_s = 30.0;
+  cfg.max_duration_s = 90.0;
+  cfg.fps = 10.0;
+  cfg.window_length_ms = 3'600'000;  // one hour
+
+  retrieval::CoverageMapConfig map_cfg;
+  map_cfg.bounds = city.bounds_deg();
+  map_cfg.cells_per_side = 40;
+  map_cfg.t_start = cfg.window_start;
+  map_cfg.t_end = cfg.window_start + cfg.window_length_ms;
+  map_cfg.camera = camera;
+
+  util::Table table({"providers", "segments", "covered_cells",
+                     "coverage_%", "max_overlap"});
+  for (const std::uint32_t providers : {10u, 40u, 160u}) {
+    cfg.providers = providers;
+    util::Xoshiro256 rng(1000 + providers);
+    const auto sessions = sim::generate_crowd(city, cfg, rng);
+    std::vector<core::RepresentativeFov> corpus;
+    for (const auto& s : sessions) {
+      net::MobileClient client(s.video_id, model, {0.5});
+      const auto msg = net::capture_session(client, s.records);
+      corpus.insert(corpus.end(), msg.segments.begin(),
+                    msg.segments.end());
+    }
+    retrieval::CoverageMap map(map_cfg);
+    map.accumulate(corpus);
+    table.add_row({util::Table::num(providers),
+                   util::Table::num(corpus.size()),
+                   util::Table::num(map.covered_cells()),
+                   util::Table::num(100.0 * map.coverage_fraction(), 1),
+                   util::Table::num(map.max_count())});
+    if (providers == 160u) {
+      std::cout << "coverage heat map, " << providers
+                << " providers (north up, '@' = most overlap):\n";
+      print_heat_map(map);
+      const auto gaps = map.gaps();
+      std::cout << "\n" << gaps.size()
+                << " blind cells; first few gap centres to dispatch "
+                   "providers to:\n";
+      for (std::size_t i = 0; i < std::min<std::size_t>(5, gaps.size());
+           ++i) {
+        std::cout << "  (" << gaps[i].lat << ", " << gaps[i].lng << ")\n";
+      }
+      std::cout << '\n';
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nCoverage saturates sub-linearly: popular blocks pile up "
+               "overlap while blind spots persist — exactly what the "
+               "incentive mechanism (example_sensing_campaign) prices.\n";
+  return 0;
+}

@@ -1,0 +1,186 @@
+// svgctl — command-line front end to the library, for poking at the system
+// without writing code:
+//
+//   svgctl generate --providers 50 --seed 7 --out corpus.svgx
+//       simulate a crowd, run the client pipeline, save the descriptor
+//       corpus as an index snapshot
+//   svgctl info --in corpus.svgx
+//       print corpus statistics
+//   svgctl query --in corpus.svgx --lat 39.9042 --lng 116.4074
+//                --radius 50 --from 0 --to 9999999999999 [--top 10]
+//       load the snapshot, build the index, run one retrieval
+//
+// Exit codes: 0 ok, 1 bad usage, 2 runtime failure.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "net/client.hpp"
+#include "net/snapshot.hpp"
+#include "retrieval/engine.hpp"
+#include "sim/crowd.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace svg;
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    flags[key.substr(2)] = argv[i + 1];
+  }
+  return flags;
+}
+
+double flag_num(const std::map<std::string, std::string>& flags,
+                const std::string& key, double fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::string flag_str(const std::map<std::string, std::string>& flags,
+                     const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int cmd_generate(const std::map<std::string, std::string>& flags) {
+  const auto out = flag_str(flags, "out", "corpus.svgx");
+  sim::CityModel city;
+  city.extent_m = flag_num(flags, "extent", 3000.0);
+  sim::CrowdConfig cfg;
+  cfg.providers = static_cast<std::uint32_t>(
+      flag_num(flags, "providers", 50));
+  cfg.fps = flag_num(flags, "fps", 15.0);
+  util::Xoshiro256 rng(
+      static_cast<std::uint64_t>(flag_num(flags, "seed", 1)));
+
+  const core::CameraIntrinsics cam{flag_num(flags, "alpha", 30.0),
+                                   flag_num(flags, "view-radius", 100.0)};
+  const core::SimilarityModel model(cam);
+  const double thresh = flag_num(flags, "thresh", 0.5);
+
+  const auto sessions = sim::generate_crowd(city, cfg, rng);
+  std::vector<core::RepresentativeFov> corpus;
+  std::size_t frames = 0;
+  for (const auto& s : sessions) {
+    net::MobileClient client(s.video_id, model, {thresh});
+    const auto msg = net::capture_session(client, s.records);
+    corpus.insert(corpus.end(), msg.segments.begin(), msg.segments.end());
+    frames += s.records.size();
+  }
+  if (!net::save_snapshot_file(corpus, out)) {
+    std::cerr << "error: cannot write " << out << "\n";
+    return 2;
+  }
+  std::cout << "wrote " << out << ": " << sessions.size() << " sessions, "
+            << frames << " frames -> " << corpus.size() << " segments\n";
+  return 0;
+}
+
+int cmd_info(const std::map<std::string, std::string>& flags) {
+  const auto in = flag_str(flags, "in", "corpus.svgx");
+  const auto reps = net::load_snapshot_file(in);
+  if (!reps) {
+    std::cerr << "error: cannot read " << in << "\n";
+    return 2;
+  }
+  core::TimestampMs t_lo = 0, t_hi = 0;
+  double lat_lo = 0, lat_hi = 0, lng_lo = 0, lng_hi = 0;
+  bool first = true;
+  std::map<std::uint64_t, std::size_t> per_video;
+  for (const auto& r : *reps) {
+    if (first) {
+      t_lo = r.t_start;
+      t_hi = r.t_end;
+      lat_lo = lat_hi = r.fov.p.lat;
+      lng_lo = lng_hi = r.fov.p.lng;
+      first = false;
+    }
+    t_lo = std::min(t_lo, r.t_start);
+    t_hi = std::max(t_hi, r.t_end);
+    lat_lo = std::min(lat_lo, r.fov.p.lat);
+    lat_hi = std::max(lat_hi, r.fov.p.lat);
+    lng_lo = std::min(lng_lo, r.fov.p.lng);
+    lng_hi = std::max(lng_hi, r.fov.p.lng);
+    ++per_video[r.video_id];
+  }
+  std::cout << in << ": " << reps->size() << " segments from "
+            << per_video.size() << " videos\n";
+  if (!reps->empty()) {
+    std::cout << "  lat [" << lat_lo << ", " << lat_hi << "]  lng ["
+              << lng_lo << ", " << lng_hi << "]\n  time [" << t_lo << ", "
+              << t_hi << "] ms ("
+              << static_cast<double>(t_hi - t_lo) / 3'600'000.0
+              << " h span)\n";
+  }
+  return 0;
+}
+
+int cmd_query(const std::map<std::string, std::string>& flags) {
+  const auto in = flag_str(flags, "in", "corpus.svgx");
+  const auto reps = net::load_snapshot_file(in);
+  if (!reps) {
+    std::cerr << "error: cannot read " << in << "\n";
+    return 2;
+  }
+  const auto index = index::FovIndex::bulk_load(*reps);
+
+  retrieval::Query q;
+  q.center.lat = flag_num(flags, "lat", 39.9042);
+  q.center.lng = flag_num(flags, "lng", 116.4074);
+  q.radius_m = flag_num(flags, "radius", 50.0);
+  q.t_start = static_cast<core::TimestampMs>(flag_num(flags, "from", 0));
+  q.t_end = static_cast<core::TimestampMs>(
+      flag_num(flags, "to", 9'999'999'999'999.0));
+
+  retrieval::RetrievalConfig cfg;
+  cfg.camera = {flag_num(flags, "alpha", 30.0),
+                flag_num(flags, "view-radius", 100.0)};
+  cfg.orientation_slack_deg = flag_num(flags, "slack", 10.0);
+  cfg.top_n = static_cast<std::size_t>(flag_num(flags, "top", 10));
+
+  retrieval::RetrievalEngine<index::FovIndex> engine(index, cfg);
+  retrieval::SearchTrace trace;
+  const auto results = engine.search(q, &trace);
+
+  std::cout << trace.candidates << " candidates, " << trace.after_filter
+            << " after orientation filter, " << results.size()
+            << " returned\n";
+  util::Table table({"rank", "video", "segment", "t_start_ms", "t_end_ms",
+                     "dist_m", "relevance"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({util::Table::num(i + 1),
+                   util::Table::num(r.rep.video_id),
+                   util::Table::num(r.rep.segment_id),
+                   util::Table::num(r.rep.t_start),
+                   util::Table::num(r.rep.t_end),
+                   util::Table::num(r.distance_m, 1),
+                   util::Table::num(r.relevance, 3)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: svgctl <generate|info|query> [--flag value ...]\n";
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  if (cmd == "generate") return cmd_generate(flags);
+  if (cmd == "info") return cmd_info(flags);
+  if (cmd == "query") return cmd_query(flags);
+  std::cerr << "unknown command: " << cmd << "\n";
+  return 1;
+}

@@ -1,0 +1,73 @@
+#include "core/filtering.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angle.hpp"
+#include "geo/geodesy.hpp"
+
+namespace svg::core {
+
+SensorSmoother::SensorSmoother(FilterConfig config) noexcept
+    : config_(config) {
+  config_.position_alpha = std::clamp(config_.position_alpha, 1e-3, 1.0);
+  config_.heading_alpha = std::clamp(config_.heading_alpha, 1e-3, 1.0);
+}
+
+FovRecord SensorSmoother::push(const FovRecord& raw) noexcept {
+  if (!initialized_) {
+    initialized_ = true;
+    state_ = raw;
+    last_accept_t_ = raw.t;
+    return raw;
+  }
+
+  FovRecord out;
+  out.t = raw.t;
+
+  // Speed gate: hold the previous position estimate through impossible
+  // jumps (GPS multipath spikes). Δt is measured from the last ACCEPTED
+  // fix so a stream of rejections widens the window until plausible fixes
+  // pass again.
+  geo::LatLng measured = raw.fov.p;
+  if (config_.max_speed_mps > 0.0 && raw.t > last_accept_t_) {
+    const double dt_s =
+        static_cast<double>(raw.t - last_accept_t_) / 1000.0;
+    const double dist = geo::distance_m(state_.fov.p, measured);
+    if (dist > config_.max_speed_mps * dt_s + config_.gate_floor_m) {
+      measured = state_.fov.p;
+      ++rejected_;
+    } else {
+      last_accept_t_ = raw.t;
+    }
+  } else {
+    last_accept_t_ = raw.t;
+  }
+
+  // Position EMA directly on lat/lng (valid at city scale; the wrap at the
+  // antimeridian would need the displacement form, which no crowd corpus
+  // here crosses).
+  const double a = config_.position_alpha;
+  out.fov.p.lat = state_.fov.p.lat + a * (measured.lat - state_.fov.p.lat);
+  out.fov.p.lng = state_.fov.p.lng + a * (measured.lng - state_.fov.p.lng);
+
+  // Heading EMA along the shortest arc.
+  const double h = config_.heading_alpha;
+  const double delta = geo::signed_angular_difference_deg(
+      state_.fov.theta_deg, raw.fov.theta_deg);
+  out.fov.theta_deg = geo::wrap_deg(state_.fov.theta_deg + h * delta);
+
+  state_ = out;
+  return out;
+}
+
+std::vector<FovRecord> smooth_records(std::span<const FovRecord> raw,
+                                      FilterConfig config) {
+  SensorSmoother smoother(config);
+  std::vector<FovRecord> out;
+  out.reserve(raw.size());
+  for (const auto& r : raw) out.push_back(smoother.push(r));
+  return out;
+}
+
+}  // namespace svg::core

@@ -1,0 +1,68 @@
+#pragma once
+// Client-side sensor conditioning. Raw phone fixes are noisy (GPS jitter,
+// compass flutter, occasional multipath spikes); feeding them straight into
+// Algorithm 1 produces spurious splits. This stage sits between capture and
+// segmentation: O(1) per frame like everything else on the client —
+// exponential smoothing for position, circular EMA for heading, and a
+// speed-gate that rejects physically impossible GPS jumps.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/fov.hpp"
+
+namespace svg::core {
+
+struct FilterConfig {
+  /// EMA weight of the NEW position sample in (0, 1]; 1 disables smoothing.
+  double position_alpha = 0.35;
+  /// EMA weight of the new heading sample in (0, 1].
+  double heading_alpha = 0.5;
+  /// Reject a fix implying speed above this (m/s); the previous estimate
+  /// is held instead. <= 0 disables the gate. 50 m/s ≈ 180 km/h.
+  double max_speed_mps = 50.0;
+  /// Slack added to the gate threshold: GPS delivers fixes at ~1 Hz while
+  /// frames arrive at 30 Hz, so a fresh fix legitimately "jumps" by a
+  /// second of motion plus noise. The gate fires only beyond
+  /// max_speed·Δt_since_last_accepted_fix + gate_floor_m, and Δt keeps
+  /// growing while fixes are rejected, so the gate self-heals.
+  double gate_floor_m = 15.0;
+
+  /// Pass-through configuration (identity transform).
+  static FilterConfig off() noexcept {
+    return {1.0, 1.0, 0.0, 0.0};
+  }
+};
+
+/// Streaming smoother: push raw records, get conditioned records with the
+/// same timestamps.
+class SensorSmoother {
+ public:
+  explicit SensorSmoother(FilterConfig config = {}) noexcept;
+
+  [[nodiscard]] FovRecord push(const FovRecord& raw) noexcept;
+
+  /// Forget all state (e.g. between recordings).
+  void reset() noexcept { initialized_ = false; }
+
+  [[nodiscard]] const FilterConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] std::size_t rejected_fixes() const noexcept {
+    return rejected_;
+  }
+
+ private:
+  FilterConfig config_;
+  bool initialized_ = false;
+  FovRecord state_{};
+  TimestampMs last_accept_t_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+/// Batch convenience: condition a whole record stream.
+[[nodiscard]] std::vector<FovRecord> smooth_records(
+    std::span<const FovRecord> raw, FilterConfig config = {});
+
+}  // namespace svg::core

@@ -1,0 +1,158 @@
+#include "core/segmentation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/angle.hpp"
+
+namespace svg::core {
+
+VideoSegmenter::VideoSegmenter(const SimilarityModel& model,
+                               SegmenterConfig cfg) noexcept
+    : model_(&model), cfg_(cfg) {}
+
+std::optional<VideoSegment> VideoSegmenter::push(const FovRecord& rec) {
+  ++frames_seen_;
+  if (current_.empty()) {
+    anchor_ = rec.fov;
+    current_.frames.push_back(rec);
+    return std::nullopt;
+  }
+  if (model_->similarity(anchor_, rec.fov) < cfg_.threshold) {
+    VideoSegment done = std::move(current_);
+    current_ = VideoSegment{};
+    anchor_ = rec.fov;
+    current_.frames.push_back(rec);
+    ++segments_completed_;
+    return done;
+  }
+  current_.frames.push_back(rec);
+  return std::nullopt;
+}
+
+std::optional<VideoSegment> VideoSegmenter::finish() {
+  if (current_.empty()) return std::nullopt;
+  VideoSegment done = std::move(current_);
+  current_ = VideoSegment{};
+  ++segments_completed_;
+  return done;
+}
+
+std::vector<VideoSegment> segment_video(std::span<const FovRecord> frames,
+                                        const SimilarityModel& model,
+                                        SegmenterConfig cfg) {
+  std::vector<VideoSegment> out;
+  VideoSegmenter seg(model, cfg);
+  for (const auto& rec : frames) {
+    if (auto done = seg.push(rec)) out.push_back(std::move(*done));
+  }
+  if (auto done = seg.finish()) out.push_back(std::move(*done));
+  return out;
+}
+
+RepresentativeFov abstract_segment(const VideoSegment& segment,
+                                   std::uint64_t video_id,
+                                   std::uint32_t segment_id,
+                                   MeanPolicy policy) {
+  if (segment.empty()) {
+    throw std::invalid_argument("abstract_segment: empty segment");
+  }
+  RepresentativeFov rep;
+  rep.video_id = video_id;
+  rep.segment_id = segment_id;
+  rep.t_start = segment.start_time();
+  rep.t_end = segment.end_time();
+
+  double sum_lat = 0.0, sum_lng = 0.0;
+  double sum_theta = 0.0, sum_sin = 0.0, sum_cos = 0.0;
+  for (const auto& f : segment.frames) {
+    sum_lat += f.fov.p.lat;
+    sum_lng += f.fov.p.lng;
+    sum_theta += f.fov.theta_deg;
+    const double r = geo::deg_to_rad(f.fov.theta_deg);
+    sum_sin += std::sin(r);
+    sum_cos += std::cos(r);
+  }
+  const auto n = static_cast<double>(segment.size());
+  rep.fov.p.lat = sum_lat / n;
+  rep.fov.p.lng = sum_lng / n;
+  if (policy == MeanPolicy::kArithmeticPaper) {
+    rep.fov.theta_deg = geo::wrap_deg(sum_theta / n);
+  } else {
+    rep.fov.theta_deg = (sum_sin == 0.0 && sum_cos == 0.0)
+                            ? 0.0
+                            : geo::wrap_deg(geo::rad_to_deg(
+                                  std::atan2(sum_sin, sum_cos)));
+  }
+  return rep;
+}
+
+StreamingAbstractionPipeline::StreamingAbstractionPipeline(
+    const SimilarityModel& model, SegmenterConfig cfg, std::uint64_t video_id,
+    MeanPolicy policy) noexcept
+    : model_(&model), cfg_(cfg), video_id_(video_id), policy_(policy) {}
+
+void StreamingAbstractionPipeline::reset_accumulator(const FovRecord& rec) {
+  open_ = true;
+  anchor_ = rec.fov;
+  t_start_ = rec.t;
+  t_end_ = rec.t;
+  count_ = 1;
+  sum_lat_ = rec.fov.p.lat;
+  sum_lng_ = rec.fov.p.lng;
+  sum_theta_ = rec.fov.theta_deg;
+  const double r = geo::deg_to_rad(rec.fov.theta_deg);
+  sum_sin_ = std::sin(r);
+  sum_cos_ = std::cos(r);
+}
+
+RepresentativeFov StreamingAbstractionPipeline::emit() {
+  RepresentativeFov rep;
+  rep.video_id = video_id_;
+  rep.segment_id = next_segment_id_++;
+  rep.t_start = t_start_;
+  rep.t_end = t_end_;
+  const auto n = static_cast<double>(count_);
+  rep.fov.p.lat = sum_lat_ / n;
+  rep.fov.p.lng = sum_lng_ / n;
+  if (policy_ == MeanPolicy::kArithmeticPaper) {
+    rep.fov.theta_deg = geo::wrap_deg(sum_theta_ / n);
+  } else {
+    rep.fov.theta_deg =
+        (sum_sin_ == 0.0 && sum_cos_ == 0.0)
+            ? 0.0
+            : geo::wrap_deg(geo::rad_to_deg(std::atan2(sum_sin_, sum_cos_)));
+  }
+  return rep;
+}
+
+std::optional<RepresentativeFov> StreamingAbstractionPipeline::push(
+    const FovRecord& rec) {
+  ++frames_seen_;
+  if (!open_) {
+    reset_accumulator(rec);
+    return std::nullopt;
+  }
+  if (model_->similarity(anchor_, rec.fov) < cfg_.threshold) {
+    RepresentativeFov rep = emit();
+    reset_accumulator(rec);
+    return rep;
+  }
+  t_end_ = rec.t;
+  ++count_;
+  sum_lat_ += rec.fov.p.lat;
+  sum_lng_ += rec.fov.p.lng;
+  sum_theta_ += rec.fov.theta_deg;
+  const double r = geo::deg_to_rad(rec.fov.theta_deg);
+  sum_sin_ += std::sin(r);
+  sum_cos_ += std::cos(r);
+  return std::nullopt;
+}
+
+std::optional<RepresentativeFov> StreamingAbstractionPipeline::finish() {
+  if (!open_) return std::nullopt;
+  open_ = false;
+  return emit();
+}
+
+}  // namespace svg::core

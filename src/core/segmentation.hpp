@@ -1,0 +1,133 @@
+#pragma once
+// Real-time video segmentation (Section IV, Algorithm 1) and segment
+// abstraction (Eq. 11).
+//
+// Algorithm 1 keeps only the anchor FoV f_s of the current segment; every
+// incoming frame is compared against it and a new segment starts the moment
+// Sim(f_s, f_i) < thresh. That makes the per-frame cost O(1) and the whole
+// pass O(n), which is what lets the client segment while recording.
+//
+// Two abstraction policies are provided for the orientation average:
+// * ArithmeticPaper — Eq. 11 verbatim (mean of raw θ values). Faithful, but
+//   wrong across the 0°/360° wrap: a segment oscillating around north
+//   averages to ~180° (due south).
+// * Circular — unit-vector circular mean; wrap-safe. The default.
+// The positional average is the arithmetic mean of lat/lng in both, as in
+// the paper (fine at segment scale).
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/fov.hpp"
+#include "core/similarity.hpp"
+
+namespace svg::core {
+
+struct SegmenterConfig {
+  /// Algorithm 1's `thresh`: a segment splits when similarity to its anchor
+  /// drops below this. Section VII sets it empirically; our ablation bench
+  /// sweeps it.
+  double threshold = 0.5;
+};
+
+enum class MeanPolicy {
+  kArithmeticPaper,  ///< Eq. 11 exactly as printed
+  kCircular,         ///< wrap-safe circular mean of θ (default)
+};
+
+/// Streaming implementation of Algorithm 1. Push frames as they are
+/// captured; completed segments pop out as splits happen. Stores only the
+/// frames of the segment currently being built.
+class VideoSegmenter {
+ public:
+  VideoSegmenter(const SimilarityModel& model, SegmenterConfig cfg) noexcept;
+
+  /// Feed the FoV of the next frame. Returns the just-completed segment
+  /// when this frame triggered a split, nullopt otherwise.
+  std::optional<VideoSegment> push(const FovRecord& rec);
+
+  /// Signal end of recording; returns the final segment if any frames are
+  /// pending. The segmenter is reusable afterwards.
+  std::optional<VideoSegment> finish();
+
+  [[nodiscard]] std::size_t frames_seen() const noexcept {
+    return frames_seen_;
+  }
+  [[nodiscard]] std::size_t segments_completed() const noexcept {
+    return segments_completed_;
+  }
+  [[nodiscard]] const SegmenterConfig& config() const noexcept { return cfg_; }
+
+ private:
+  const SimilarityModel* model_;
+  SegmenterConfig cfg_;
+  VideoSegment current_;
+  FoV anchor_;
+  std::size_t frames_seen_ = 0;
+  std::size_t segments_completed_ = 0;
+};
+
+/// Batch convenience: run Algorithm 1 over a whole FoV sequence.
+[[nodiscard]] std::vector<VideoSegment> segment_video(
+    std::span<const FovRecord> frames, const SimilarityModel& model,
+    SegmenterConfig cfg);
+
+/// Eq. 11 — collapse a segment to its representative FoV.
+[[nodiscard]] RepresentativeFov abstract_segment(
+    const VideoSegment& segment, std::uint64_t video_id,
+    std::uint32_t segment_id, MeanPolicy policy = MeanPolicy::kCircular);
+
+/// The full client-side pipeline with O(1) memory: segmentation and
+/// abstraction fused, keeping only running sums instead of the segment's
+/// frames. This is the "real-time invocation environment" variant the
+/// paper's complexity analysis describes; it emits RepresentativeFovs
+/// directly as the user records.
+class StreamingAbstractionPipeline {
+ public:
+  StreamingAbstractionPipeline(const SimilarityModel& model,
+                               SegmenterConfig cfg, std::uint64_t video_id,
+                               MeanPolicy policy = MeanPolicy::kCircular)
+      noexcept;
+
+  /// Feed one frame; returns the representative FoV of the segment this
+  /// frame closed, if any.
+  std::optional<RepresentativeFov> push(const FovRecord& rec);
+
+  /// End of recording; emits the final segment's representative.
+  std::optional<RepresentativeFov> finish();
+
+  [[nodiscard]] std::size_t frames_seen() const noexcept {
+    return frames_seen_;
+  }
+  [[nodiscard]] std::uint32_t segments_emitted() const noexcept {
+    return next_segment_id_;
+  }
+
+ private:
+  [[nodiscard]] RepresentativeFov emit();
+  void reset_accumulator(const FovRecord& rec);
+
+  const SimilarityModel* model_;
+  SegmenterConfig cfg_;
+  std::uint64_t video_id_;
+  MeanPolicy policy_;
+
+  // Running accumulator for the open segment.
+  bool open_ = false;
+  FoV anchor_;
+  TimestampMs t_start_ = 0;
+  TimestampMs t_end_ = 0;
+  std::size_t count_ = 0;
+  double sum_lat_ = 0.0;
+  double sum_lng_ = 0.0;
+  double sum_theta_ = 0.0;  ///< arithmetic-policy accumulator
+  double sum_sin_ = 0.0;    ///< circular-policy accumulators
+  double sum_cos_ = 0.0;
+
+  std::size_t frames_seen_ = 0;
+  std::uint32_t next_segment_id_ = 0;
+};
+
+}  // namespace svg::core

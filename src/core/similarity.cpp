@@ -1,0 +1,90 @@
+#include "core/similarity.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "geo/angle.hpp"
+
+namespace svg::core {
+
+SimilarityModel::SimilarityModel(CameraIntrinsics cam) noexcept
+    : cam_(cam),
+      alpha_rad_(geo::deg_to_rad(cam.half_angle_deg)),
+      sin_alpha_(std::sin(alpha_rad_)),
+      cos_alpha_(std::cos(alpha_rad_)),
+      lateral_m_(cam.lateral_extent_m()) {}
+
+double SimilarityModel::sim_rotation(double delta_theta_deg) const noexcept {
+  const double d = geo::angular_difference_deg(delta_theta_deg, 0.0);
+  const double full = cam_.full_angle_deg();
+  if (d >= full) return 0.0;
+  return (full - d) / full;
+}
+
+double SimilarityModel::phi_parallel_deg(double d) const noexcept {
+  d = std::max(d, 0.0);
+  const double R = cam_.radius_m;
+  return geo::rad_to_deg(
+      std::atan2(R * sin_alpha_, d + R * cos_alpha_));
+}
+
+double SimilarityModel::sim_parallel(double d) const noexcept {
+  return phi_parallel_deg(d) / cam_.half_angle_deg;
+}
+
+double SimilarityModel::sim_perpendicular(double d) const noexcept {
+  d = std::max(d, 0.0);
+  if (d >= lateral_m_) return 0.0;
+  const double chord_fraction = 1.0 - d / lateral_m_;
+  return sim_parallel(d) * chord_fraction;
+}
+
+double SimilarityModel::sim_translation(double d,
+                                        double rel_dir_deg) const noexcept {
+  if (d <= 0.0) return 1.0;
+  // Fold the direction into [0, 90]: forward/backward are the axial case,
+  // left/right the lateral one (Eq. 9 is stated for θ_p ∈ [0°, 90°]).
+  double e = geo::angular_difference_deg(rel_dir_deg, 0.0);  // [0, 180]
+  if (e > 90.0) e = 180.0 - e;
+  const double w = e / 90.0;
+  return (1.0 - w) * sim_parallel(d) + w * sim_perpendicular(d);
+}
+
+double SimilarityModel::similarity_planar(double delta_p_m,
+                                          double translation_dir_deg,
+                                          double theta1_deg,
+                                          double theta2_deg) const noexcept {
+  const double delta_theta =
+      geo::angular_difference_deg(theta1_deg, theta2_deg);
+  const double sr = sim_rotation(delta_theta);
+  if (sr == 0.0) return 0.0;
+  // Reference axis for θ_p: the mean heading, so the decomposition treats
+  // f1 and f2 symmetrically.
+  const std::array<double, 2> headings{theta1_deg, theta2_deg};
+  const double axis = geo::circular_mean_deg(headings);
+  const double rel_dir =
+      geo::angular_difference_deg(translation_dir_deg, axis);
+  return sr * sim_translation(delta_p_m, rel_dir);
+}
+
+double SimilarityModel::similarity(const FoV& f1,
+                                   const FoV& f2) const noexcept {
+  const geo::Vec2 disp = geo::displacement_m(f1.p, f2.p);
+  const double d = disp.norm();
+  const double dir =
+      d > 0.0 ? geo::azimuth_of_direction(disp.x, disp.y) : 0.0;
+  return similarity_planar(d, dir, f1.theta_deg, f2.theta_deg);
+}
+
+double SimilarityModel::exact_overlap_similarity(const FoV& f1, const FoV& f2,
+                                                 int resolution) const {
+  const geo::LocalFrame frame(f1.p);
+  const geo::Sector s1 = viewable_scene(f1, cam_, frame);
+  const geo::Sector s2 = viewable_scene(f2, cam_, frame);
+  const double overlap = geo::sector_overlap_area(s1, s2, resolution);
+  const double base = s1.area();
+  return base > 0.0 ? std::clamp(overlap / base, 0.0, 1.0) : 0.0;
+}
+
+}  // namespace svg::core

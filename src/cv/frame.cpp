@@ -1,0 +1,20 @@
+#include "cv/frame.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace svg::cv {
+
+void Frame::fill_rect(int x0, int y0, int x1, int y1, std::uint8_t v) {
+  x0 = std::max(x0, 0);
+  y0 = std::max(y0, 0);
+  x1 = std::min(x1, width_);
+  y1 = std::min(y1, height_);
+  if (x0 >= x1 || y0 >= y1) return;
+  for (int y = y0; y < y1; ++y) {
+    std::memset(pixels_.data() + static_cast<std::size_t>(y) * width_ + x0, v,
+                static_cast<std::size_t>(x1 - x0));
+  }
+}
+
+}  // namespace svg::cv

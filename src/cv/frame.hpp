@@ -1,0 +1,55 @@
+#pragma once
+// Minimal image type for the content-based baseline: single-channel 8-bit
+// luminance, which is all frame differencing needs. Row-major, y = 0 at the
+// top like every image API.
+
+#include <cstdint>
+#include <vector>
+
+namespace svg::cv {
+
+class Frame {
+ public:
+  Frame() = default;
+  Frame(int width, int height, std::uint8_t fill = 0)
+      : width_(width), height_(height),
+        pixels_(static_cast<std::size_t>(width) * height, fill) {}
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t pixel_count() const noexcept {
+    return pixels_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return pixels_.empty(); }
+
+  [[nodiscard]] std::uint8_t at(int x, int y) const {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  void set(int x, int y, std::uint8_t v) {
+    pixels_[static_cast<std::size_t>(y) * width_ + x] = v;
+  }
+
+  [[nodiscard]] const std::uint8_t* data() const noexcept {
+    return pixels_.data();
+  }
+  [[nodiscard]] std::uint8_t* data() noexcept { return pixels_.data(); }
+
+  /// Fill a clipped axis-aligned rectangle [x0,x1) × [y0,y1).
+  void fill_rect(int x0, int y0, int x1, int y1, std::uint8_t v);
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+struct Resolution {
+  int width = 640;
+  int height = 480;
+
+  static constexpr Resolution qvga() { return {320, 240}; }
+  static constexpr Resolution vga() { return {640, 480}; }
+  static constexpr Resolution hd720() { return {1280, 720}; }
+};
+
+}  // namespace svg::cv

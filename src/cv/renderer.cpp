@@ -1,0 +1,98 @@
+#include "cv/renderer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angle.hpp"
+
+namespace svg::cv {
+
+SceneRenderer::SceneRenderer(const World& world, core::CameraIntrinsics camera,
+                             geo::LocalFrame frame, RenderOptions options)
+    : world_(&world), camera_(camera), frame_(frame), options_(options),
+      tan_half_h_(std::tan(geo::deg_to_rad(camera.half_angle_deg))),
+      tan_half_v_(std::tan(geo::deg_to_rad(0.5 * options.vertical_fov_deg))) {}
+
+Frame SceneRenderer::render(const sim::Pose& pose) const {
+  return render_local(frame_.to_local(pose.position), pose.heading_deg);
+}
+
+Frame SceneRenderer::render_local(const geo::Vec2& position,
+                                  double heading_deg) const {
+  const int w = options_.resolution.width;
+  const int h = options_.resolution.height;
+  Frame img(w, h);
+  const int horizon = h / 2;
+  img.fill_rect(0, 0, w, horizon, options_.sky);
+  img.fill_rect(0, horizon, w, h, options_.ground);
+
+  // Camera basis: forward = heading, right = heading + 90°.
+  double fe, fn;
+  geo::direction_of_azimuth(heading_deg, fe, fn);
+  const geo::Vec2 fwd{fe, fn};
+  const geo::Vec2 right{fn, -fe};
+
+  // Painter's algorithm: draw far landmarks first.
+  struct Visible {
+    double depth;
+    const Landmark* lm;
+    double lateral;
+  };
+  std::vector<Visible> visible;
+  visible.reserve(world_->landmarks().size());
+  const double R = camera_.radius_m;
+  for (const auto& lm : world_->landmarks()) {
+    const geo::Vec2 rel = lm.position - position;
+    const double depth = rel.dot(fwd);
+    if (depth <= 0.5 || depth > R) continue;  // behind or beyond view
+    const double lateral = rel.dot(right);
+    // Quick horizontal reject: centre more than half-width outside the
+    // frustum edge.
+    if (std::abs(lateral) - 0.5 * lm.width_m > depth * tan_half_h_) continue;
+    visible.push_back({depth, &lm, lateral});
+  }
+  std::sort(visible.begin(), visible.end(),
+            [](const Visible& a, const Visible& b) {
+              return a.depth > b.depth;
+            });
+
+  const double half_w = 0.5 * w;
+  const double half_h = 0.5 * h;
+  for (const auto& v : visible) {
+    const double inv = 1.0 / v.depth;
+    const double x_centre = half_w + (v.lateral * inv / tan_half_h_) * half_w;
+    const double x_half = (0.5 * v.lm->width_m * inv / tan_half_h_) * half_w;
+    // Vertical: ground plane at -eye_height, top at height - eye_height.
+    const double y_top =
+        half_h -
+        ((v.lm->height_m - options_.eye_height_m) * inv / tan_half_v_) *
+            half_h;
+    const double y_bottom =
+        half_h + (options_.eye_height_m * inv / tan_half_v_) * half_h;
+    // Distance fog toward the fog floor.
+    const double fade =
+        1.0 - (1.0 - options_.fog_floor) * (v.depth / R);
+    const auto shade = static_cast<std::uint8_t>(
+        std::clamp(v.lm->brightness * fade, 0.0, 255.0));
+    img.fill_rect(static_cast<int>(std::floor(x_centre - x_half)),
+                  static_cast<int>(std::floor(y_top)),
+                  static_cast<int>(std::ceil(x_centre + x_half)),
+                  static_cast<int>(std::ceil(y_bottom)), shade);
+  }
+  return img;
+}
+
+std::vector<Frame> render_video(const SceneRenderer& renderer,
+                                const sim::Trajectory& traj, double fps) {
+  const auto n = static_cast<std::size_t>(
+                     std::floor(traj.duration_s() * fps)) + 1;
+  std::vector<Frame> frames;
+  frames.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / fps;
+    frames.push_back(renderer.render(traj.at(t)));
+  }
+  return frames;
+}
+
+}  // namespace svg::cv

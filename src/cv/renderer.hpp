@@ -1,0 +1,59 @@
+#pragma once
+// Software pinhole renderer: rasterizes the landmark world from a device
+// pose into a luminance frame. Landmarks are upright slabs; the projection
+// uses the same half-angle α and radius of view R as the FoV model, so the
+// rendered content and the content-free descriptor describe the same
+// physical scene.
+
+#include <vector>
+
+#include "core/fov.hpp"
+#include "cv/frame.hpp"
+#include "cv/world.hpp"
+#include "sim/trajectory.hpp"
+
+namespace svg::cv {
+
+struct RenderOptions {
+  Resolution resolution = Resolution::vga();
+  double eye_height_m = 1.6;      ///< camera above ground
+  double vertical_fov_deg = 45.0; ///< full vertical field of view
+  std::uint8_t sky = 235;
+  std::uint8_t ground = 96;
+  double fog_floor = 0.25;        ///< brightness multiplier at distance R
+};
+
+class SceneRenderer {
+ public:
+  /// `frame` anchors the world's metric coordinates to GPS space: the
+  /// world's (0,0) sits at frame.origin().
+  SceneRenderer(const World& world, core::CameraIntrinsics camera,
+                geo::LocalFrame frame, RenderOptions options = {});
+
+  /// Render the scene from a pose (GPS position + heading).
+  [[nodiscard]] Frame render(const sim::Pose& pose) const;
+
+  /// Render from an explicit local position (metres) + heading.
+  [[nodiscard]] Frame render_local(const geo::Vec2& position,
+                                   double heading_deg) const;
+
+  [[nodiscard]] const RenderOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  const World* world_;
+  core::CameraIntrinsics camera_;
+  geo::LocalFrame frame_;
+  RenderOptions options_;
+  double tan_half_h_;  ///< tan α — horizontal projection scale
+  double tan_half_v_;
+};
+
+/// Render one frame per FoV-capture instant along a trajectory — the
+/// synthetic "video" the CV baselines consume.
+[[nodiscard]] std::vector<Frame> render_video(const SceneRenderer& renderer,
+                                              const sim::Trajectory& traj,
+                                              double fps);
+
+}  // namespace svg::cv

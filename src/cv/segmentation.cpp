@@ -1,0 +1,41 @@
+#include "cv/segmentation.hpp"
+
+#include <optional>
+
+namespace svg::cv {
+
+std::optional<ContentSegment> ContentSegmenter::push(const Frame& frame) {
+  const std::size_t idx = next_index_++;
+  if (!open_) {
+    anchor_ = frame;
+    seg_first_ = idx;
+    open_ = true;
+    return std::nullopt;
+  }
+  if (cfg_.similarity(anchor_, frame) < cfg_.threshold) {
+    ContentSegment done{seg_first_, idx - 1};
+    anchor_ = frame;
+    seg_first_ = idx;
+    return done;
+  }
+  return std::nullopt;
+}
+
+std::optional<ContentSegment> ContentSegmenter::finish() {
+  if (!open_) return std::nullopt;
+  open_ = false;
+  return ContentSegment{seg_first_, next_index_ - 1};
+}
+
+std::vector<ContentSegment> segment_by_content(
+    std::span<const Frame> frames, const ContentSegmenterConfig& cfg) {
+  std::vector<ContentSegment> out;
+  ContentSegmenter seg(cfg);
+  for (const auto& f : frames) {
+    if (auto done = seg.push(f)) out.push_back(*done);
+  }
+  if (auto done = seg.finish()) out.push_back(*done);
+  return out;
+}
+
+}  // namespace svg::cv

@@ -1,0 +1,71 @@
+#include "cv/similarity.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+namespace svg::cv {
+
+double frame_difference_similarity(const Frame& a, const Frame& b) noexcept {
+  if (a.width() != b.width() || a.height() != b.height() || a.empty()) {
+    return 0.0;
+  }
+  const std::uint8_t* pa = a.data();
+  const std::uint8_t* pb = b.data();
+  std::uint64_t total = 0;
+  const std::size_t n = a.pixel_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<std::uint64_t>(
+        std::abs(static_cast<int>(pa[i]) - static_cast<int>(pb[i])));
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(n);
+  return 1.0 - mean / 255.0;
+}
+
+double histogram_similarity(const Frame& a, const Frame& b, int bins) {
+  if (a.empty() || b.empty() || bins <= 0) return 0.0;
+  std::vector<double> ha(static_cast<std::size_t>(bins), 0.0);
+  std::vector<double> hb(static_cast<std::size_t>(bins), 0.0);
+  const int shift = 256 / bins;
+  for (std::size_t i = 0; i < a.pixel_count(); ++i) {
+    ++ha[a.data()[i] / shift];
+  }
+  for (std::size_t i = 0; i < b.pixel_count(); ++i) {
+    ++hb[b.data()[i] / shift];
+  }
+  for (auto& v : ha) v /= static_cast<double>(a.pixel_count());
+  for (auto& v : hb) v /= static_cast<double>(b.pixel_count());
+  double inter = 0.0;
+  for (int i = 0; i < bins; ++i) {
+    inter += std::min(ha[static_cast<std::size_t>(i)],
+                      hb[static_cast<std::size_t>(i)]);
+  }
+  return inter;
+}
+
+double ncc_similarity(const Frame& a, const Frame& b) noexcept {
+  if (a.width() != b.width() || a.height() != b.height() || a.empty()) {
+    return 0.0;
+  }
+  const std::size_t n = a.pixel_count();
+  double ma = 0.0, mb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ma += a.data()[i];
+    mb += b.data()[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a.data()[i] - ma;
+    const double db = b.data()[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va == 0.0 || vb == 0.0) return 0.5;
+  const double ncc = cov / std::sqrt(va * vb);
+  return 0.5 * (ncc + 1.0);
+}
+
+}  // namespace svg::cv

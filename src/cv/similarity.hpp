@@ -1,0 +1,26 @@
+#pragma once
+// Content-based similarity baselines. The paper uses frame differencing
+// ("as a representative of CV algorithms") for its comparisons; we also
+// provide luminance-histogram intersection and normalized cross-correlation
+// so the accuracy bench can report more than one content metric.
+
+#include "cv/frame.hpp"
+
+namespace svg::cv {
+
+/// Frame differencing: 1 − mean(|a − b|)/255 over aligned pixels.
+/// 1 for identical frames, toward 0 as content diverges. Frames must share
+/// dimensions (returns 0 otherwise).
+[[nodiscard]] double frame_difference_similarity(const Frame& a,
+                                                 const Frame& b) noexcept;
+
+/// Histogram intersection over `bins` luminance bins, normalized to [0, 1].
+/// Robust to small spatial shifts, blind to layout.
+[[nodiscard]] double histogram_similarity(const Frame& a, const Frame& b,
+                                          int bins = 64);
+
+/// Zero-mean normalized cross-correlation mapped from [-1, 1] to [0, 1].
+/// Returns 0.5 (the NCC-zero image) when either frame has no variance.
+[[nodiscard]] double ncc_similarity(const Frame& a, const Frame& b) noexcept;
+
+}  // namespace svg::cv

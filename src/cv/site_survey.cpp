@@ -1,0 +1,60 @@
+#include "cv/site_survey.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geo/angle.hpp"
+
+namespace svg::cv {
+
+double sight_distance(const World& world, const geo::Vec2& position,
+                      double azimuth_deg, double max_radius_m) {
+  double e, n;
+  geo::direction_of_azimuth(azimuth_deg, e, n);
+  const geo::Vec2 dir{e, n};
+  double nearest = max_radius_m;
+  for (const auto& lm : world.landmarks()) {
+    const geo::Vec2 rel = lm.position - position;
+    const double along = rel.dot(dir);
+    if (along <= 0.0 || along >= nearest) continue;
+    const double lateral = std::fabs(rel.cross(dir));
+    if (lateral <= 0.5 * lm.width_m) {
+      nearest = along;
+    }
+  }
+  return nearest;
+}
+
+double survey_radius_of_view(const World& world, const geo::Vec2& position,
+                             const SurveyConfig& cfg) {
+  std::vector<double> distances;
+  distances.reserve(static_cast<std::size_t>(cfg.rays));
+  for (int i = 0; i < cfg.rays; ++i) {
+    const double az = 360.0 * static_cast<double>(i) /
+                      static_cast<double>(cfg.rays);
+    distances.push_back(
+        sight_distance(world, position, az, cfg.max_radius_m));
+  }
+  std::sort(distances.begin(), distances.end());
+  const auto idx = static_cast<std::size_t>(
+      std::clamp(cfg.percentile, 0.0, 1.0) *
+      static_cast<double>(distances.size() - 1));
+  return std::clamp(distances[idx], cfg.min_radius_m, cfg.max_radius_m);
+}
+
+double derive_threshold(const core::CameraIntrinsics& cam, double speed_mps,
+                        double fps, double target_segment_s,
+                        double typical_turn_dps) {
+  (void)fps;  // the anchor comparison spans the whole segment, not a frame
+  const core::SimilarityModel model(cam);
+  const double travel_m = std::max(0.0, speed_mps) * target_segment_s;
+  const double turn_deg = typical_turn_dps * target_segment_s;
+  // Similarity remaining after a typical segment's worth of motion at 45°
+  // (the direction-averaged case) plus the accumulated heading drift.
+  const double sim = model.sim_rotation(turn_deg) *
+                     model.sim_translation(travel_m, 45.0);
+  return std::clamp(sim, 0.05, 0.95);
+}
+
+}  // namespace svg::cv

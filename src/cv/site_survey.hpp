@@ -1,0 +1,50 @@
+#pragma once
+// Section VII — adaptive parameter assignment. The paper fixes the radius
+// of view R and the segmentation threshold empirically but notes that a
+// map-based "site survey" could estimate them: downtown streets occlude
+// sight lines after tens of metres, highways after hundreds. This module
+// implements that idea against the synthetic world: cast rays from a
+// position across the camera span and take a low percentile of the
+// obstruction distances as the effective radius of view, then derive a
+// segmentation threshold from the expected frame-to-frame motion.
+
+#include "core/fov.hpp"
+#include "core/similarity.hpp"
+#include "cv/world.hpp"
+
+namespace svg::cv {
+
+struct SurveyConfig {
+  int rays = 32;                 ///< rays across the full circle
+  double max_radius_m = 300.0;   ///< open-field cap for R
+  double min_radius_m = 10.0;    ///< floor (indoor/very dense)
+  /// Percentile of ray obstruction distances used as R (low percentile =
+  /// conservative: most of the view is unobstructed within R).
+  double percentile = 0.25;
+};
+
+/// Distance from `position` along azimuth `azimuth_deg` to the first
+/// landmark silhouette hit, capped at cfg.max_radius_m. A landmark blocks
+/// a ray when the ray passes within width/2 of its centre.
+[[nodiscard]] double sight_distance(const World& world,
+                                    const geo::Vec2& position,
+                                    double azimuth_deg,
+                                    double max_radius_m = 300.0);
+
+/// Survey a location: estimated radius of view from the obstruction
+/// distribution around `position`.
+[[nodiscard]] double survey_radius_of_view(const World& world,
+                                           const geo::Vec2& position,
+                                           const SurveyConfig& cfg = {});
+
+/// Derive a segmentation threshold for a device moving at `speed_mps` and
+/// captured at `fps`, such that a segment spans roughly
+/// `target_segment_s` seconds of typical motion: the threshold is the
+/// similarity that much translation+rotation leaves, computed from the
+/// closed-form model. Clamped to [0.05, 0.95].
+[[nodiscard]] double derive_threshold(const core::CameraIntrinsics& cam,
+                                      double speed_mps, double fps,
+                                      double target_segment_s,
+                                      double typical_turn_dps = 5.0);
+
+}  // namespace svg::cv

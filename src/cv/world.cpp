@@ -1,0 +1,39 @@
+#include "cv/world.hpp"
+
+namespace svg::cv {
+
+World World::random_city(std::size_t count, double extent_m,
+                         util::Xoshiro256& rng) {
+  std::vector<Landmark> lms;
+  lms.reserve(count);
+  const double half = 0.5 * extent_m;
+  for (std::size_t i = 0; i < count; ++i) {
+    Landmark lm;
+    lm.position = {rng.uniform(-half, half), rng.uniform(-half, half)};
+    lm.width_m = rng.uniform(2.0, 15.0);
+    lm.height_m = rng.uniform(4.0, 30.0);
+    lm.brightness = static_cast<std::uint8_t>(80 + rng.bounded(176));
+    lms.push_back(lm);
+  }
+  return World(std::move(lms));
+}
+
+World World::street_canyon(double length_m, double street_width_m,
+                           double spacing_m, util::Xoshiro256& rng) {
+  std::vector<Landmark> lms;
+  const double half_street = 0.5 * street_width_m;
+  for (double y = 0.0; y <= length_m; y += spacing_m) {
+    for (double side : {-1.0, 1.0}) {
+      Landmark lm;
+      lm.position = {side * (half_street + rng.uniform(0.0, 3.0)),
+                     y + rng.uniform(-0.3 * spacing_m, 0.3 * spacing_m)};
+      lm.width_m = rng.uniform(4.0, spacing_m * 0.9);
+      lm.height_m = rng.uniform(6.0, 25.0);
+      lm.brightness = static_cast<std::uint8_t>(90 + rng.bounded(160));
+      lms.push_back(lm);
+    }
+  }
+  return World(std::move(lms));
+}
+
+}  // namespace svg::cv

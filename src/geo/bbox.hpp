@@ -1,0 +1,128 @@
+#pragma once
+// Axis-aligned boxes in 2 and 3 dimensions. Box3 is the R-tree's MBR type:
+// dimensions are (longitude, latitude, time) exactly as Section V stores
+// representative FoVs — min[] = [lng, lat, ts], max[] = [lng, lat, te].
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+namespace svg::geo {
+
+template <std::size_t N>
+struct Box {
+  std::array<double, N> min{};
+  std::array<double, N> max{};
+
+  /// An empty (inverted) box: expanding it with any point yields that point.
+  static constexpr Box empty() noexcept {
+    Box b;
+    b.min.fill(std::numeric_limits<double>::infinity());
+    b.max.fill(-std::numeric_limits<double>::infinity());
+    return b;
+  }
+
+  static constexpr Box from_point(const std::array<double, N>& p) noexcept {
+    return Box{p, p};
+  }
+
+  [[nodiscard]] constexpr bool is_empty() const noexcept {
+    for (std::size_t d = 0; d < N; ++d) {
+      if (min[d] > max[d]) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return !is_empty(); }
+
+  constexpr void expand(const Box& o) noexcept {
+    for (std::size_t d = 0; d < N; ++d) {
+      min[d] = std::min(min[d], o.min[d]);
+      max[d] = std::max(max[d], o.max[d]);
+    }
+  }
+
+  constexpr void expand_point(const std::array<double, N>& p) noexcept {
+    for (std::size_t d = 0; d < N; ++d) {
+      min[d] = std::min(min[d], p[d]);
+      max[d] = std::max(max[d], p[d]);
+    }
+  }
+
+  [[nodiscard]] constexpr Box expanded(const Box& o) const noexcept {
+    Box b = *this;
+    b.expand(o);
+    return b;
+  }
+
+  [[nodiscard]] constexpr bool intersects(const Box& o) const noexcept {
+    for (std::size_t d = 0; d < N; ++d) {
+      if (min[d] > o.max[d] || o.min[d] > max[d]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] constexpr bool contains(const Box& o) const noexcept {
+    for (std::size_t d = 0; d < N; ++d) {
+      if (o.min[d] < min[d] || o.max[d] > max[d]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] constexpr bool contains_point(
+      const std::array<double, N>& p) const noexcept {
+    for (std::size_t d = 0; d < N; ++d) {
+      if (p[d] < min[d] || p[d] > max[d]) return false;
+    }
+    return true;
+  }
+
+  /// N-volume (area in 2-D). Degenerate extents contribute factor 0.
+  [[nodiscard]] constexpr double volume() const noexcept {
+    double v = 1.0;
+    for (std::size_t d = 0; d < N; ++d) {
+      const double e = max[d] - min[d];
+      if (e < 0.0) return 0.0;
+      v *= e;
+    }
+    return v;
+  }
+
+  /// Sum of edge lengths — the "margin" used by R*-style heuristics.
+  [[nodiscard]] constexpr double margin() const noexcept {
+    double m = 0.0;
+    for (std::size_t d = 0; d < N; ++d) m += std::max(0.0, max[d] - min[d]);
+    return m;
+  }
+
+  /// Volume of the enlarged box minus current volume — Guttman's insertion
+  /// cost metric.
+  [[nodiscard]] constexpr double enlargement(const Box& o) const noexcept {
+    return expanded(o).volume() - volume();
+  }
+
+  /// Volume of the overlap region with `o` (0 when disjoint).
+  [[nodiscard]] constexpr double overlap_volume(const Box& o) const noexcept {
+    double v = 1.0;
+    for (std::size_t d = 0; d < N; ++d) {
+      const double lo = std::max(min[d], o.min[d]);
+      const double hi = std::min(max[d], o.max[d]);
+      if (hi <= lo) return 0.0;
+      v *= hi - lo;
+    }
+    return v;
+  }
+
+  [[nodiscard]] constexpr std::array<double, N> center() const noexcept {
+    std::array<double, N> c{};
+    for (std::size_t d = 0; d < N; ++d) c[d] = 0.5 * (min[d] + max[d]);
+    return c;
+  }
+
+  constexpr bool operator==(const Box&) const = default;
+};
+
+using Box2 = Box<2>;
+using Box3 = Box<3>;
+
+}  // namespace svg::geo

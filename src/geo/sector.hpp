@@ -1,0 +1,46 @@
+#pragma once
+// Circular-sector geometry. An FoV's viewable scene is the conical (in 2-D:
+// sector) region with the camera at the apex, aimed along the azimuth, with
+// half-angle α and radius-of-view R (Section II-B). The retrieval stage's
+// orientation filter ("does this camera actually face the query point?") and
+// the ground-truth visibility oracle both reduce to sector coverage tests.
+
+#include <vector>
+
+#include "geo/bbox.hpp"
+#include "geo/vec2.hpp"
+
+namespace svg::geo {
+
+struct Sector {
+  Vec2 apex;                 ///< camera position (local metres)
+  double azimuth_deg = 0.0;  ///< viewing direction, deg clockwise from north
+  double half_angle_deg = 30.0;  ///< α; full viewing angle is 2α
+  double radius_m = 100.0;       ///< radius of view R
+
+  /// True when `p` lies inside the sector (inclusive boundary).
+  [[nodiscard]] bool covers(const Vec2& p) const noexcept;
+
+  /// Area of the sector: (2α/360)·πR².
+  [[nodiscard]] double area() const noexcept;
+
+  /// Tight axis-aligned bounding box (apex, the two arc endpoints, and any
+  /// cardinal compass direction falling inside the angular span).
+  [[nodiscard]] Box2 bounding_box() const noexcept;
+
+  /// Polygonal approximation: apex plus `arc_points` samples along the arc
+  /// (CCW in the x/y plane). arc_points >= 2.
+  [[nodiscard]] std::vector<Vec2> polygon(int arc_points = 16) const;
+
+  /// Unit direction vector of the viewing axis.
+  [[nodiscard]] Vec2 axis() const noexcept;
+};
+
+/// Area of the intersection of two sectors, estimated on a regular grid with
+/// `resolution` cells across the joint bounding box's larger side. Exact
+/// enough (<1% at resolution 512) to serve as the ground-truth overlap the
+/// closed-form similarity model approximates.
+[[nodiscard]] double sector_overlap_area(const Sector& a, const Sector& b,
+                                         int resolution = 256);
+
+}  // namespace svg::geo

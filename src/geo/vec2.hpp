@@ -1,0 +1,60 @@
+#pragma once
+// 2-D vector in local metric coordinates (East = +x, North = +y). All FoV
+// geometry after the geodetic transform of Eq. 12 lives in this plane.
+
+#include <cmath>
+
+namespace svg::geo {
+
+struct Vec2 {
+  double x = 0.0;  ///< metres east
+  double y = 0.0;  ///< metres north
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(const Vec2& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(const Vec2& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  [[nodiscard]] constexpr double dot(const Vec2& o) const {
+    return x * o.x + y * o.y;
+  }
+  /// z-component of the 3-D cross product; >0 when `o` is CCW from *this.
+  [[nodiscard]] constexpr double cross(const Vec2& o) const {
+    return x * o.y - y * o.x;
+  }
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+  [[nodiscard]] constexpr double norm2() const { return x * x + y * y; }
+  [[nodiscard]] Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  /// Rotate counter-clockwise by `radians`.
+  [[nodiscard]] Vec2 rotated(double radians) const {
+    const double c = std::cos(radians), s = std::sin(radians);
+    return {c * x - s * y, s * x + c * y};
+  }
+
+  constexpr bool operator==(const Vec2&) const = default;
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+[[nodiscard]] inline double distance(const Vec2& a, const Vec2& b) {
+  return (a - b).norm();
+}
+
+}  // namespace svg::geo

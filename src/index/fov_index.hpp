@@ -1,0 +1,155 @@
+#pragma once
+// The server-side FoV index of Section V-A: each representative FoV
+// f_r = (p̄, θ̄) with interval [ts, te] becomes the degenerate 3-D rectangle
+// min = [lng, lat, ts], max = [lng, lat, te] in an R-tree. A linear-scan
+// baseline with the same interface backs the Fig. 6(c) comparison, and a
+// shared_mutex wrapper serves concurrent queriers.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/fov.hpp"
+#include "index/rtree.hpp"
+
+namespace svg::index {
+
+/// A spatio-temporal range in natural units: degrees and epoch-milliseconds.
+/// This is the search rectangle R̂ the server builds from a query.
+struct GeoTimeRange {
+  double lng_min = 0.0, lng_max = 0.0;
+  double lat_min = 0.0, lat_max = 0.0;
+  core::TimestampMs t_start = 0, t_end = 0;
+};
+
+struct FovIndexOptions {
+  RTreeOptions rtree{};
+  /// The R-tree's split heuristics compare volumes across dimensions, so
+  /// the time axis is rescaled to commensurate units: with the default,
+  /// one day ≈ 0.05° ≈ one city diameter. Purely internal; all public
+  /// APIs speak epoch-milliseconds.
+  double ms_to_units = 0.05 / 86'400'000.0;
+};
+
+/// Opaque handle returned by insert(); needed for erase().
+using FovHandle = std::uint32_t;
+
+/// R-tree backed spatio-temporal index over representative FoVs.
+class FovIndex {
+ public:
+  using Visitor = std::function<void(const core::RepresentativeFov&)>;
+
+  explicit FovIndex(FovIndexOptions options = {});
+
+  /// Insert a representative FoV; O(log n). Returns a handle for erase().
+  FovHandle insert(const core::RepresentativeFov& rep);
+
+  /// Remove a previously inserted FoV. Returns false for unknown/stale
+  /// handles.
+  bool erase(FovHandle handle);
+
+  /// Visit every stored FoV whose rectangle intersects the range.
+  void query(const GeoTimeRange& range, const Visitor& visit) const;
+
+  /// Convenience: collect matches.
+  [[nodiscard]] std::vector<core::RepresentativeFov> query_collect(
+      const GeoTimeRange& range) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+  [[nodiscard]] RTreeStats stats() const { return tree_.stats(); }
+  void check_invariants() const { tree_.check_invariants(); }
+
+  /// All live entries, in insertion order — for snapshots and rebuilds.
+  [[nodiscard]] std::vector<core::RepresentativeFov> snapshot() const;
+
+  /// The k stored FoVs nearest to (lat, lng) whose interval overlaps
+  /// [t_start, t_end], nearest first (best-first search; no radius box
+  /// needed). Distance is planar degrees scaled to metres at the query
+  /// latitude, so ordering matches geo::distance_m at city scale.
+  [[nodiscard]] std::vector<core::RepresentativeFov> nearest_k(
+      const geo::LatLng& center, std::size_t k, core::TimestampMs t_start,
+      core::TimestampMs t_end) const;
+
+  /// Offline construction via STR packing (ablation vs dynamic insert).
+  static FovIndex bulk_load(const std::vector<core::RepresentativeFov>& reps,
+                            FovIndexOptions options = {});
+
+ private:
+  [[nodiscard]] geo::Box3 to_box(const core::RepresentativeFov& rep) const;
+  [[nodiscard]] geo::Box3 to_box(const GeoTimeRange& range) const;
+
+  FovIndexOptions options_;
+  RTree<FovHandle, 3> tree_;
+  std::deque<core::RepresentativeFov> slots_;  // stable storage
+  std::vector<bool> alive_;
+  std::size_t live_ = 0;
+};
+
+/// Brute-force baseline: identical interface, O(n) query — the "naive
+/// linear search" the paper compares against in Fig. 6(c).
+class LinearIndex {
+ public:
+  using Visitor = FovIndex::Visitor;
+
+  FovHandle insert(const core::RepresentativeFov& rep);
+  bool erase(FovHandle handle);
+  void query(const GeoTimeRange& range, const Visitor& visit) const;
+  [[nodiscard]] std::vector<core::RepresentativeFov> query_collect(
+      const GeoTimeRange& range) const;
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+ private:
+  std::deque<core::RepresentativeFov> slots_;
+  std::vector<bool> alive_;
+  std::size_t live_ = 0;
+};
+
+/// Reader/writer wrapper for the cloud server: many concurrent queriers,
+/// occasional upload bursts.
+class ConcurrentFovIndex {
+ public:
+  explicit ConcurrentFovIndex(FovIndexOptions options = {})
+      : index_(options) {}
+
+  FovHandle insert(const core::RepresentativeFov& rep) {
+    std::unique_lock lock(mutex_);
+    return index_.insert(rep);
+  }
+
+  bool erase(FovHandle handle) {
+    std::unique_lock lock(mutex_);
+    return index_.erase(handle);
+  }
+
+  void query(const GeoTimeRange& range,
+             const FovIndex::Visitor& visit) const {
+    std::shared_lock lock(mutex_);
+    index_.query(range, visit);
+  }
+
+  [[nodiscard]] std::vector<core::RepresentativeFov> query_collect(
+      const GeoTimeRange& range) const {
+    std::shared_lock lock(mutex_);
+    return index_.query_collect(range);
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::shared_lock lock(mutex_);
+    return index_.size();
+  }
+
+  [[nodiscard]] std::vector<core::RepresentativeFov> snapshot() const {
+    std::shared_lock lock(mutex_);
+    return index_.snapshot();
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  FovIndex index_;
+};
+
+}  // namespace svg::index

@@ -1,0 +1,101 @@
+#include "index/grid_index.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace svg::index {
+
+GridIndex::GridIndex(geo::Box2 bounds, std::size_t cells_per_side)
+    : bounds_(bounds), side_(cells_per_side) {
+  if (side_ == 0 || bounds_.is_empty()) {
+    throw std::invalid_argument("GridIndex: need cells >= 1 and valid bounds");
+  }
+  cell_w_ = (bounds_.max[0] - bounds_.min[0]) / static_cast<double>(side_);
+  cell_h_ = (bounds_.max[1] - bounds_.min[1]) / static_cast<double>(side_);
+  if (cell_w_ <= 0.0 || cell_h_ <= 0.0) {
+    throw std::invalid_argument("GridIndex: degenerate bounds");
+  }
+  cells_.resize(side_ * side_);
+}
+
+std::size_t GridIndex::cell_of(double lng, double lat) const noexcept {
+  const auto clamp_idx = [this](double v, double lo, double w) {
+    const auto i = static_cast<long>((v - lo) / w);
+    return static_cast<std::size_t>(
+        std::clamp<long>(i, 0, static_cast<long>(side_) - 1));
+  };
+  return clamp_idx(lat, bounds_.min[1], cell_h_) * side_ +
+         clamp_idx(lng, bounds_.min[0], cell_w_);
+}
+
+FovHandle GridIndex::insert(const core::RepresentativeFov& rep) {
+  const auto handle = static_cast<FovHandle>(slots_.size());
+  slots_.push_back(rep);
+  alive_.push_back(true);
+  cells_[cell_of(rep.fov.p.lng, rep.fov.p.lat)].push_back(handle);
+  ++live_;
+  return handle;
+}
+
+bool GridIndex::erase(FovHandle handle) {
+  if (handle >= slots_.size() || !alive_[handle]) return false;
+  const auto& rep = slots_[handle];
+  auto& cell = cells_[cell_of(rep.fov.p.lng, rep.fov.p.lat)];
+  const auto it = std::find(cell.begin(), cell.end(), handle);
+  if (it != cell.end()) cell.erase(it);
+  alive_[handle] = false;
+  --live_;
+  return true;
+}
+
+void GridIndex::cell_span(const GeoTimeRange& range, std::size_t& x0,
+                          std::size_t& x1, std::size_t& y0,
+                          std::size_t& y1) const noexcept {
+  const auto clamp_idx = [this](double v, double lo, double w) {
+    const auto i = static_cast<long>((v - lo) / w);
+    return static_cast<std::size_t>(
+        std::clamp<long>(i, 0, static_cast<long>(side_) - 1));
+  };
+  x0 = clamp_idx(range.lng_min, bounds_.min[0], cell_w_);
+  x1 = clamp_idx(range.lng_max, bounds_.min[0], cell_w_);
+  y0 = clamp_idx(range.lat_min, bounds_.min[1], cell_h_);
+  y1 = clamp_idx(range.lat_max, bounds_.min[1], cell_h_);
+}
+
+void GridIndex::query(const GeoTimeRange& range, const Visitor& visit) const {
+  std::size_t x0, x1, y0, y1;
+  cell_span(range, x0, x1, y0, y1);
+  for (std::size_t y = y0; y <= y1; ++y) {
+    for (std::size_t x = x0; x <= x1; ++x) {
+      for (const FovHandle h : cells_[y * side_ + x]) {
+        if (!alive_[h]) continue;
+        const auto& rep = slots_[h];
+        if (rep.fov.p.lng < range.lng_min || rep.fov.p.lng > range.lng_max ||
+            rep.fov.p.lat < range.lat_min || rep.fov.p.lat > range.lat_max) {
+          continue;
+        }
+        if (rep.t_end < range.t_start || rep.t_start > range.t_end) {
+          continue;
+        }
+        visit(rep);
+      }
+    }
+  }
+}
+
+std::vector<core::RepresentativeFov> GridIndex::query_collect(
+    const GeoTimeRange& range) const {
+  std::vector<core::RepresentativeFov> out;
+  query(range, [&](const core::RepresentativeFov& rep) {
+    out.push_back(rep);
+  });
+  return out;
+}
+
+std::size_t GridIndex::cells_touched(const GeoTimeRange& range) const {
+  std::size_t x0, x1, y0, y1;
+  cell_span(range, x0, x1, y0, y1);
+  return (x1 - x0 + 1) * (y1 - y0 + 1);
+}
+
+}  // namespace svg::index

@@ -1,0 +1,53 @@
+#pragma once
+// Uniform spatial-grid baseline. The FoV-indexing related work (GRVS /
+// GeoTree, paper refs [9][10]) partitions space into fixed cells; this
+// backend reproduces that family so benches can compare it against the
+// R-tree on the same workloads. Cells hash (lng, lat) into a fixed raster
+// over the deployment area; time filtering happens per entry.
+//
+// Same interface as FovIndex/LinearIndex, so it drops into
+// retrieval::RetrievalEngine unchanged.
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/fov.hpp"
+#include "geo/bbox.hpp"
+#include "index/fov_index.hpp"
+
+namespace svg::index {
+
+class GridIndex {
+ public:
+  using Visitor = FovIndex::Visitor;
+
+  /// `bounds` is the deployment area in (lng, lat) degrees; entries outside
+  /// are clamped into the border cells. `cells_per_side` raster resolution.
+  GridIndex(geo::Box2 bounds, std::size_t cells_per_side = 64);
+
+  FovHandle insert(const core::RepresentativeFov& rep);
+  bool erase(FovHandle handle);
+  void query(const GeoTimeRange& range, const Visitor& visit) const;
+  [[nodiscard]] std::vector<core::RepresentativeFov> query_collect(
+      const GeoTimeRange& range) const;
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
+
+  /// Cells that would be scanned for a range — the grid's work metric.
+  [[nodiscard]] std::size_t cells_touched(const GeoTimeRange& range) const;
+
+ private:
+  [[nodiscard]] std::size_t cell_of(double lng, double lat) const noexcept;
+  void cell_span(const GeoTimeRange& range, std::size_t& x0, std::size_t& x1,
+                 std::size_t& y0, std::size_t& y1) const noexcept;
+
+  geo::Box2 bounds_;
+  std::size_t side_;
+  double cell_w_, cell_h_;
+  std::vector<std::vector<FovHandle>> cells_;
+  std::deque<core::RepresentativeFov> slots_;
+  std::vector<bool> alive_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace svg::index

@@ -1,0 +1,100 @@
+#include "index/kdtree_index.hpp"
+
+#include <algorithm>
+
+namespace svg::index {
+
+KdTreeIndex::KdTreeIndex(std::vector<core::RepresentativeFov> reps,
+                         core::TimestampMs max_duration_ms)
+    : reps_(std::move(reps)),
+      time_scale_(FovIndexOptions{}.ms_to_units),
+      max_duration_ms_(max_duration_ms) {
+  if (max_duration_ms_ == 0) {
+    for (const auto& r : reps_) {
+      max_duration_ms_ = std::max(max_duration_ms_, r.t_end - r.t_start);
+    }
+  }
+  if (reps_.empty()) return;
+  nodes_.reserve(reps_.size());
+  std::vector<std::uint32_t> ids(reps_.size());
+  for (std::uint32_t i = 0; i < reps_.size(); ++i) ids[i] = i;
+  root_ = build(ids, 0, ids.size(), 0);
+}
+
+double KdTreeIndex::key(const core::RepresentativeFov& r,
+                        std::uint8_t axis) const noexcept {
+  switch (axis) {
+    case 0:
+      return r.fov.p.lng;
+    case 1:
+      return r.fov.p.lat;
+    default:
+      return static_cast<double>(r.t_start) * time_scale_;
+  }
+}
+
+std::int32_t KdTreeIndex::build(std::vector<std::uint32_t>& ids,
+                                std::size_t lo, std::size_t hi, int depth) {
+  if (lo >= hi) return -1;
+  const auto axis = static_cast<std::uint8_t>(depth % 3);
+  const std::size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(ids.begin() + static_cast<long>(lo),
+                   ids.begin() + static_cast<long>(mid),
+                   ids.begin() + static_cast<long>(hi),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     return key(reps_[a], axis) < key(reps_[b], axis);
+                   });
+  const auto node_id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(Node{ids[mid], -1, -1, axis});
+  // Children are appended after the parent; indices stay valid because
+  // nodes_ never shrinks.
+  const std::int32_t left = build(ids, lo, mid, depth + 1);
+  const std::int32_t right = build(ids, mid + 1, hi, depth + 1);
+  nodes_[static_cast<std::size_t>(node_id)].left = left;
+  nodes_[static_cast<std::size_t>(node_id)].right = right;
+  return node_id;
+}
+
+void KdTreeIndex::query_node(std::int32_t node, const double lo[3],
+                             const double hi[3], const GeoTimeRange& range,
+                             const Visitor& visit) const {
+  if (node < 0) return;
+  ++visited_;
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  const auto& rep = reps_[n.rep];
+  // Exact predicate (the t_start key only prunes; the interval test is
+  // authoritative).
+  if (rep.fov.p.lng >= range.lng_min && rep.fov.p.lng <= range.lng_max &&
+      rep.fov.p.lat >= range.lat_min && rep.fov.p.lat <= range.lat_max &&
+      rep.t_end >= range.t_start && rep.t_start <= range.t_end) {
+    visit(rep);
+  }
+  const double k = key(rep, n.axis);
+  if (k >= lo[n.axis]) query_node(n.left, lo, hi, range, visit);
+  if (k <= hi[n.axis]) query_node(n.right, lo, hi, range, visit);
+}
+
+void KdTreeIndex::query(const GeoTimeRange& range,
+                        const Visitor& visit) const {
+  visited_ = 0;
+  if (root_ < 0) return;
+  // Widen the t_start axis down by the longest segment duration so every
+  // overlapping interval's start point falls inside the key box.
+  const double lo[3] = {
+      range.lng_min, range.lat_min,
+      static_cast<double>(range.t_start - max_duration_ms_) * time_scale_};
+  const double hi[3] = {range.lng_max, range.lat_max,
+                        static_cast<double>(range.t_end) * time_scale_};
+  query_node(root_, lo, hi, range, visit);
+}
+
+std::vector<core::RepresentativeFov> KdTreeIndex::query_collect(
+    const GeoTimeRange& range) const {
+  std::vector<core::RepresentativeFov> out;
+  query(range, [&](const core::RepresentativeFov& rep) {
+    out.push_back(rep);
+  });
+  return out;
+}
+
+}  // namespace svg::index

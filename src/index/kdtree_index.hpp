@@ -1,0 +1,62 @@
+#pragma once
+// Static 3-D kd-tree baseline over (lng, lat, t_start). A kd-tree handles
+// point data well but cannot represent the FoV's time *interval* natively —
+// it indexes t_start and over-fetches by the maximum segment duration, the
+// classic reason interval-capable structures (R-trees) win on
+// spatio-temporal segments. Included as the third backend in the index
+// comparison benches.
+//
+// Build once from a corpus (median splits, O(n log n)); immutable after.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/fov.hpp"
+#include "index/fov_index.hpp"
+
+namespace svg::index {
+
+class KdTreeIndex {
+ public:
+  using Visitor = FovIndex::Visitor;
+
+  /// Build from a corpus. `max_duration_ms` widens every time query
+  /// downward so segments that started before the window but overlap it
+  /// are still found; pass the corpus maximum (computed when 0).
+  explicit KdTreeIndex(std::vector<core::RepresentativeFov> reps,
+                       core::TimestampMs max_duration_ms = 0);
+
+  void query(const GeoTimeRange& range, const Visitor& visit) const;
+  [[nodiscard]] std::vector<core::RepresentativeFov> query_collect(
+      const GeoTimeRange& range) const;
+  [[nodiscard]] std::size_t size() const noexcept { return reps_.size(); }
+  /// Nodes inspected by the last query (work metric).
+  [[nodiscard]] std::size_t nodes_visited_last_query() const noexcept {
+    return visited_;
+  }
+
+ private:
+  struct Node {
+    std::uint32_t rep = 0;       ///< index into reps_
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint8_t axis = 0;       ///< 0 = lng, 1 = lat, 2 = t_start
+  };
+
+  [[nodiscard]] double key(const core::RepresentativeFov& r,
+                           std::uint8_t axis) const noexcept;
+  std::int32_t build(std::vector<std::uint32_t>& ids, std::size_t lo,
+                     std::size_t hi, int depth);
+  void query_node(std::int32_t node, const double lo[3], const double hi[3],
+                  const GeoTimeRange& range, const Visitor& visit) const;
+
+  std::vector<core::RepresentativeFov> reps_;
+  std::vector<Node> nodes_;
+  std::int32_t root_ = -1;
+  double time_scale_;
+  core::TimestampMs max_duration_ms_ = 0;
+  mutable std::size_t visited_ = 0;
+};
+
+}  // namespace svg::index

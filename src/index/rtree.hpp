@@ -1,0 +1,705 @@
+#pragma once
+// A dynamic R-tree (Guttman, SIGMOD'84 — the paper's reference [11]),
+// implemented from scratch: ChooseLeaf by least volume enlargement,
+// quadratic split, AdjustTree propagation, and deletion with CondenseTree +
+// reinsertion. Generic over dimension N and payload T; the FoV index
+// instantiates it with N = 3 over (lng, lat, time).
+//
+// Every node caches its bounding box; insertion expands boxes on the way
+// down and splits/deletes recompute only the affected nodes, so inserts are
+// O(M log_M n) as the paper's per-insert millisecond figures require.
+//
+// An STR ("sort-tile-recursive") bulk loader is provided for the ablation
+// bench comparing one-by-one insertion (what a live crowd-sourcing server
+// does) against offline packing.
+//
+// The tree is not internally synchronized; svg::index::ConcurrentFovIndex
+// layers a shared_mutex on top for the multi-reader server.
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "geo/bbox.hpp"
+
+namespace svg::index {
+
+struct RTreeOptions {
+  std::size_t max_entries = 16;  ///< node capacity M
+  std::size_t min_entries = 6;   ///< underflow bound m <= M/2
+
+  void validate() const {
+    if (max_entries < 2) {
+      throw std::invalid_argument("RTreeOptions: max_entries must be >= 2");
+    }
+    if (min_entries < 1 || min_entries > max_entries / 2) {
+      throw std::invalid_argument(
+          "RTreeOptions: need 1 <= min_entries <= max_entries/2");
+    }
+  }
+};
+
+/// Aggregate structural statistics (exposed for benches and invariants).
+struct RTreeStats {
+  std::size_t size = 0;        ///< stored entries
+  std::size_t height = 0;      ///< levels including leaf level (0 when empty)
+  std::size_t leaf_nodes = 0;
+  std::size_t internal_nodes = 0;
+  std::size_t boxes_visited_last_query = 0;  ///< work metric for Fig. 6(c)
+};
+
+template <typename T, std::size_t N>
+class RTree {
+ public:
+  using BoxN = geo::Box<N>;
+
+  struct Entry {
+    BoxN box;
+    T value;
+  };
+
+  explicit RTree(RTreeOptions options = {}) : options_(options) {
+    options_.validate();
+  }
+
+  RTree(RTree&&) noexcept = default;
+  RTree& operator=(RTree&&) noexcept = default;
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] const RTreeOptions& options() const noexcept {
+    return options_;
+  }
+
+  void clear() {
+    root_.reset();
+    size_ = 0;
+  }
+
+  /// Insert a (box, value) pair. O(M log_M n).
+  void insert(const BoxN& box, T value) {
+    if (!root_) {
+      root_ = std::make_unique<Node>(/*leaf=*/true, /*height=*/0);
+    }
+    insert_entry(Entry{box, std::move(value)});
+    ++size_;
+  }
+
+  /// Remove one entry matching (box, value) exactly (values compared with
+  /// ==). Returns false when absent. Underflowing nodes are condensed and
+  /// their contents reinserted, per Guttman's Delete.
+  bool erase(const BoxN& box, const T& value) {
+    if (!root_) return false;
+    std::vector<Node*> path;
+    Node* leaf = find_leaf(root_.get(), box, value, path);
+    if (!leaf) return false;
+
+    auto& entries = leaf->entries;
+    auto it = std::find_if(entries.begin(), entries.end(),
+                           [&](const Entry& e) {
+                             return e.box == box && e.value == value;
+                           });
+    assert(it != entries.end());
+    entries.erase(it);
+    --size_;
+    recompute_box(leaf);
+    condense_tree(leaf, path);
+
+    // Shrink the tree when a non-leaf root has a single child.
+    while (root_ && !root_->leaf && root_->children.size() == 1) {
+      root_ = std::move(root_->children.front());
+    }
+    if (size_ == 0) root_.reset();
+    return true;
+  }
+
+  /// Visit every entry whose box intersects `query`. The callback may
+  /// return void, or bool (false stops the search early).
+  template <typename F>
+  void query(const BoxN& query, F&& visit) const {
+    boxes_visited_ = 0;
+    if (root_) query_impl(root_.get(), query, visit);
+  }
+
+  /// Convenience: collect intersecting entries.
+  [[nodiscard]] std::vector<Entry> query_collect(const BoxN& query) const {
+    std::vector<Entry> out;
+    query(query, [&](const BoxN& b, const T& v) {
+      out.push_back(Entry{b, v});
+    });
+    return out;
+  }
+
+  /// k-nearest-neighbour search (best-first / branch-and-bound): the k
+  /// entries whose boxes minimize the weighted Euclidean min-distance to
+  /// `point`, nearest first. `accept(box, value)` filters candidates
+  /// (return false to skip without consuming a slot). `weights` scales
+  /// each dimension's contribution — a 0 weight makes a dimension
+  /// filter-only (e.g. spatial k-NN with a time-window accept).
+  template <typename Accept>
+  [[nodiscard]] std::vector<Entry> nearest(
+      const std::array<double, N>& point, std::size_t k, Accept&& accept,
+      const std::array<double, N>& weights = unit_weights()) const {
+    std::vector<Entry> out;
+    if (!root_ || k == 0) return out;
+    boxes_visited_ = 0;
+
+    struct Item {
+      double dist2;
+      const Node* node;    // nullptr when this is a leaf entry
+      const Entry* entry;  // set when node == nullptr
+      bool operator>(const Item& o) const { return dist2 > o.dist2; }
+    };
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> heap;
+    heap.push({min_dist2(root_->box, point, weights), root_.get(),
+               nullptr});
+
+    while (!heap.empty() && out.size() < k) {
+      const Item top = heap.top();
+      heap.pop();
+      ++boxes_visited_;
+      if (top.node == nullptr) {
+        out.push_back(*top.entry);
+        continue;
+      }
+      if (top.node->leaf) {
+        for (const auto& e : top.node->entries) {
+          if (!accept(e.box, e.value)) continue;
+          heap.push({min_dist2(e.box, point, weights), nullptr, &e});
+        }
+      } else {
+        for (const auto& c : top.node->children) {
+          heap.push({min_dist2(c->box, point, weights), c.get(), nullptr});
+        }
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<Entry> nearest(
+      const std::array<double, N>& point, std::size_t k) const {
+    return nearest(point, k, [](const BoxN&, const T&) { return true; });
+  }
+
+  static constexpr std::array<double, N> unit_weights() noexcept {
+    std::array<double, N> w{};
+    w.fill(1.0);
+    return w;
+  }
+
+  /// Weighted squared Euclidean distance from a point to the nearest face
+  /// of a box (0 when inside).
+  static double min_dist2(
+      const BoxN& box, const std::array<double, N>& p,
+      const std::array<double, N>& weights = unit_weights()) noexcept {
+    double d2 = 0.0;
+    for (std::size_t d = 0; d < N; ++d) {
+      double delta = 0.0;
+      if (p[d] < box.min[d]) {
+        delta = box.min[d] - p[d];
+      } else if (p[d] > box.max[d]) {
+        delta = p[d] - box.max[d];
+      }
+      delta *= weights[d];
+      d2 += delta * delta;
+    }
+    return d2;
+  }
+
+  [[nodiscard]] RTreeStats stats() const {
+    RTreeStats s;
+    s.size = size_;
+    s.boxes_visited_last_query = boxes_visited_;
+    if (root_) collect_stats(root_.get(), 1, s);
+    return s;
+  }
+
+  /// Bounding box of the whole tree (inverted/empty box when empty).
+  [[nodiscard]] BoxN bounds() const {
+    return root_ ? root_->box : BoxN::empty();
+  }
+
+  /// Structural invariant check for tests: fanout within [m, M] (root
+  /// exempt), cached boxes exactly cover children, uniform leaf depth, and
+  /// size bookkeeping. Throws std::logic_error on violation.
+  void check_invariants() const {
+    if (!root_) {
+      if (size_ != 0) throw std::logic_error("rtree: size != 0, no root");
+      return;
+    }
+    std::size_t counted = 0;
+    int leaf_depth = -1;
+    check_node(root_.get(), /*is_root=*/true, 0, leaf_depth, counted);
+    if (counted != size_) {
+      throw std::logic_error("rtree: size bookkeeping mismatch");
+    }
+  }
+
+  /// STR bulk load: recursively sort-and-tile by each dimension, pack
+  /// leaves to capacity, and build upper levels the same way. Produces a
+  /// tree with near-100% node utilization.
+  static RTree bulk_load(std::vector<Entry> entries,
+                         RTreeOptions options = {}) {
+    options.validate();
+    RTree tree(options);
+    if (entries.empty()) return tree;
+    tree.size_ = entries.size();
+
+    // Even node sizes: ceil(size/M) nodes of ⌊size/n⌋ or ⌈size/n⌉ items,
+    // so no node falls below m (m <= M/2 guarantees the floor is >= m
+    // whenever more than one node is needed).
+    const auto pack_counts = [&options](std::size_t size) {
+      const std::size_t n_nodes =
+          (size + options.max_entries - 1) / options.max_entries;
+      std::vector<std::size_t> counts(n_nodes, size / n_nodes);
+      for (std::size_t i = 0; i < size % n_nodes; ++i) ++counts[i];
+      return counts;
+    };
+
+    std::vector<std::unique_ptr<Node>> level;
+    str_tile(entries, 0, options.max_entries);
+    {
+      std::size_t pos = 0;
+      for (const std::size_t count : pack_counts(entries.size())) {
+        auto node = std::make_unique<Node>(/*leaf=*/true, /*height=*/0);
+        for (std::size_t j = 0; j < count; ++j) {
+          node->entries.push_back(std::move(entries[pos++]));
+        }
+        recompute_box(node.get());
+        level.push_back(std::move(node));
+      }
+    }
+
+    int height = 0;
+    while (level.size() > 1) {
+      ++height;
+      // Sort-tile the node boxes, then pack.
+      std::vector<std::unique_ptr<Node>> next;
+      str_tile(level, 0, options.max_entries);
+      std::size_t pos = 0;
+      for (const std::size_t count : pack_counts(level.size())) {
+        auto node = std::make_unique<Node>(/*leaf=*/false, height);
+        for (std::size_t j = 0; j < count; ++j) {
+          node->children.push_back(std::move(level[pos++]));
+        }
+        recompute_box(node.get());
+        next.push_back(std::move(node));
+      }
+      level = std::move(next);
+    }
+    tree.root_ = std::move(level.front());
+    return tree;
+  }
+
+ private:
+  struct Node {
+    Node(bool is_leaf, int h) : leaf(is_leaf), height(h) {}
+    bool leaf;
+    int height;  ///< 0 at leaves, +1 per level up
+    BoxN box = BoxN::empty();
+    std::vector<Entry> entries;                   // leaf payload
+    std::vector<std::unique_ptr<Node>> children;  // internal fanout
+
+    [[nodiscard]] std::size_t fanout() const noexcept {
+      return leaf ? entries.size() : children.size();
+    }
+  };
+
+  static void recompute_box(Node* n) {
+    BoxN b = BoxN::empty();
+    if (n->leaf) {
+      for (const auto& e : n->entries) b.expand(e.box);
+    } else {
+      for (const auto& c : n->children) b.expand(c->box);
+    }
+    n->box = b;
+  }
+
+  // --- insertion -----------------------------------------------------------
+
+  void insert_entry(Entry entry) {
+    std::vector<Node*> path;
+    Node* leaf = choose_node(entry.box, /*target_height=*/0, path);
+    leaf->entries.push_back(std::move(entry));
+    recompute_leafward_box(leaf);
+    maybe_split_up(leaf, path);
+  }
+
+  /// Descend by least volume enlargement (ties: smaller volume) to the node
+  /// at `target_height`, expanding cached boxes along the way (AdjustTree's
+  /// growth direction handled eagerly).
+  Node* choose_node(const BoxN& box, int target_height,
+                    std::vector<Node*>& path) {
+    Node* node = root_.get();
+    node->box.expand(box);
+    while (node->height > target_height) {
+      path.push_back(node);
+      Node* best = nullptr;
+      double best_enlargement = 0.0;
+      double best_volume = 0.0;
+      for (const auto& child : node->children) {
+        const double enl = child->box.enlargement(box);
+        const double vol = child->box.volume();
+        if (!best || enl < best_enlargement ||
+            (enl == best_enlargement && vol < best_volume)) {
+          best = child.get();
+          best_enlargement = enl;
+          best_volume = vol;
+        }
+      }
+      node = best;
+      node->box.expand(box);
+    }
+    return node;
+  }
+
+  void recompute_leafward_box(Node* leaf) {
+    // After a raw push the eager expansion already covers the new entry;
+    // nothing to do. Kept as a named hook for clarity/symmetry.
+    (void)leaf;
+  }
+
+  void maybe_split_up(Node* node, std::vector<Node*>& path) {
+    while (node->fanout() > options_.max_entries) {
+      auto sibling = split_node(node);
+      if (path.empty()) {
+        auto new_root = std::make_unique<Node>(/*leaf=*/false,
+                                               node->height + 1);
+        new_root->children.push_back(std::move(root_));
+        new_root->children.push_back(std::move(sibling));
+        recompute_box(new_root.get());
+        root_ = std::move(new_root);
+        return;
+      }
+      Node* parent = path.back();
+      path.pop_back();
+      parent->children.push_back(std::move(sibling));
+      // Parent box unchanged: the union of the split halves equals the old
+      // child box, already included.
+      node = parent;
+    }
+  }
+
+  /// Guttman's quadratic split: pick the two seeds wasting the most volume
+  /// together, then greedily assign by enlargement preference, forcing
+  /// assignment when a group must absorb the rest to reach m.
+  std::unique_ptr<Node> split_node(Node* node) {
+    auto sibling = std::make_unique<Node>(node->leaf, node->height);
+    if (node->leaf) {
+      split_items(node->entries, sibling->entries,
+                  [](const Entry& e) -> const BoxN& { return e.box; });
+    } else {
+      split_items(node->children, sibling->children,
+                  [](const std::unique_ptr<Node>& c) -> const BoxN& {
+                    return c->box;
+                  });
+    }
+    recompute_box(node);
+    recompute_box(sibling.get());
+    return sibling;
+  }
+
+  template <typename Item, typename BoxOf>
+  void split_items(std::vector<Item>& items, std::vector<Item>& out,
+                   BoxOf box_of) {
+    const std::size_t n = items.size();
+    assert(n >= 2);
+
+    std::size_t seed_a = 0, seed_b = 1;
+    double worst = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const BoxN& bi = box_of(items[i]);
+        const BoxN& bj = box_of(items[j]);
+        const double waste =
+            bi.expanded(bj).volume() - bi.volume() - bj.volume();
+        if (waste > worst) {
+          worst = waste;
+          seed_a = i;
+          seed_b = j;
+        }
+      }
+    }
+
+    std::vector<int> group(n, -1);
+    group[seed_a] = 0;
+    group[seed_b] = 1;
+    BoxN box_a = box_of(items[seed_a]);
+    BoxN box_b = box_of(items[seed_b]);
+    std::size_t count_a = 1, count_b = 1;
+    std::size_t remaining = n - 2;
+
+    while (remaining > 0) {
+      if (count_a + remaining == options_.min_entries) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (group[i] == -1) group[i] = 0;
+        }
+        break;
+      }
+      if (count_b + remaining == options_.min_entries) {
+        for (std::size_t i = 0; i < n; ++i) {
+          if (group[i] == -1) group[i] = 1;
+        }
+        break;
+      }
+      std::size_t pick = 0;
+      double best_diff = -1.0;
+      double pick_da = 0.0, pick_db = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (group[i] != -1) continue;
+        const double da = box_a.enlargement(box_of(items[i]));
+        const double db = box_b.enlargement(box_of(items[i]));
+        const double diff = std::abs(da - db);
+        if (diff > best_diff) {
+          best_diff = diff;
+          pick = i;
+          pick_da = da;
+          pick_db = db;
+        }
+      }
+      int dest;
+      if (pick_da < pick_db) {
+        dest = 0;
+      } else if (pick_db < pick_da) {
+        dest = 1;
+      } else if (box_a.volume() != box_b.volume()) {
+        dest = box_a.volume() < box_b.volume() ? 0 : 1;
+      } else {
+        dest = count_a <= count_b ? 0 : 1;
+      }
+      group[pick] = dest;
+      if (dest == 0) {
+        box_a.expand(box_of(items[pick]));
+        ++count_a;
+      } else {
+        box_b.expand(box_of(items[pick]));
+        ++count_b;
+      }
+      --remaining;
+    }
+
+    std::vector<Item> keep;
+    keep.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (group[i] == 0) {
+        keep.push_back(std::move(items[i]));
+      } else {
+        out.push_back(std::move(items[i]));
+      }
+    }
+    items = std::move(keep);
+  }
+
+  // --- deletion ------------------------------------------------------------
+
+  Node* find_leaf(Node* node, const BoxN& box, const T& value,
+                  std::vector<Node*>& path) {
+    if (node->leaf) {
+      for (const auto& e : node->entries) {
+        if (e.box == box && e.value == value) return node;
+      }
+      return nullptr;
+    }
+    for (const auto& child : node->children) {
+      if (child->box.intersects(box)) {
+        path.push_back(node);
+        if (Node* found = find_leaf(child.get(), box, value, path)) {
+          return found;
+        }
+        path.pop_back();
+      }
+    }
+    return nullptr;
+  }
+
+  void condense_tree(Node* node, std::vector<Node*>& path) {
+    std::vector<Entry> orphan_entries;
+    std::vector<std::unique_ptr<Node>> orphan_nodes;
+
+    while (!path.empty()) {
+      Node* parent = path.back();
+      path.pop_back();
+      if (node->fanout() < options_.min_entries) {
+        auto it = std::find_if(
+            parent->children.begin(), parent->children.end(),
+            [&](const std::unique_ptr<Node>& c) { return c.get() == node; });
+        assert(it != parent->children.end());
+        std::unique_ptr<Node> detached = std::move(*it);
+        parent->children.erase(it);
+        if (detached->leaf) {
+          for (auto& e : detached->entries) {
+            orphan_entries.push_back(std::move(e));
+          }
+        } else {
+          for (auto& c : detached->children) {
+            orphan_nodes.push_back(std::move(c));
+          }
+        }
+      }
+      recompute_box(parent);
+      node = parent;
+    }
+
+    for (auto& e : orphan_entries) {
+      insert_entry(std::move(e));
+    }
+    for (auto& child : orphan_nodes) {
+      reinsert_subtree(std::move(child));
+    }
+  }
+
+  /// Reattach a whole subtree at the level matching its height.
+  void reinsert_subtree(std::unique_ptr<Node> subtree) {
+    if (!root_ || root_->height <= subtree->height) {
+      // The tree shrank below the subtree: dissolve it one level.
+      if (subtree->leaf) {
+        for (auto& e : subtree->entries) insert_entry(std::move(e));
+      } else {
+        for (auto& c : subtree->children) reinsert_subtree(std::move(c));
+      }
+      return;
+    }
+    std::vector<Node*> path;
+    Node* host = choose_node(subtree->box, subtree->height + 1, path);
+    host->children.push_back(std::move(subtree));
+    maybe_split_up(host, path);
+  }
+
+  // --- query ---------------------------------------------------------------
+
+  template <typename F>
+  bool query_impl(const Node* node, const BoxN& query, F& visit) const {
+    if (node->leaf) {
+      for (const auto& e : node->entries) {
+        ++boxes_visited_;
+        if (e.box.intersects(query)) {
+          if constexpr (std::is_invocable_r_v<bool, F&, const BoxN&,
+                                              const T&>) {
+            if (!visit(e.box, e.value)) return false;
+          } else {
+            visit(e.box, e.value);
+          }
+        }
+      }
+      return true;
+    }
+    for (const auto& child : node->children) {
+      ++boxes_visited_;
+      if (child->box.intersects(query)) {
+        if (!query_impl(child.get(), query, visit)) return false;
+      }
+    }
+    return true;
+  }
+
+  void collect_stats(const Node* node, std::size_t depth,
+                     RTreeStats& s) const {
+    s.height = std::max(s.height, depth);
+    if (node->leaf) {
+      ++s.leaf_nodes;
+    } else {
+      ++s.internal_nodes;
+      for (const auto& c : node->children) {
+        collect_stats(c.get(), depth + 1, s);
+      }
+    }
+  }
+
+  void check_node(const Node* node, bool is_root, int depth, int& leaf_depth,
+                  std::size_t& counted) const {
+    const std::size_t fan = node->fanout();
+    if (!is_root &&
+        (fan < options_.min_entries || fan > options_.max_entries)) {
+      throw std::logic_error("rtree: node fanout out of [m, M]");
+    }
+    if (is_root && fan > options_.max_entries) {
+      throw std::logic_error("rtree: root overfull");
+    }
+    // Cached box must exactly equal the recomputed cover.
+    BoxN expect = BoxN::empty();
+    if (node->leaf) {
+      for (const auto& e : node->entries) expect.expand(e.box);
+    } else {
+      for (const auto& c : node->children) expect.expand(c->box);
+    }
+    if (!(expect == node->box)) {
+      throw std::logic_error("rtree: stale cached box");
+    }
+    if (node->leaf) {
+      if (node->height != 0) throw std::logic_error("rtree: leaf height != 0");
+      if (leaf_depth == -1) {
+        leaf_depth = depth;
+      } else if (leaf_depth != depth) {
+        throw std::logic_error("rtree: leaves at different depths");
+      }
+      counted += node->entries.size();
+      return;
+    }
+    if (node->children.empty()) {
+      throw std::logic_error("rtree: empty internal node");
+    }
+    for (const auto& c : node->children) {
+      if (c->height != node->height - 1) {
+        throw std::logic_error("rtree: child height mismatch");
+      }
+      check_node(c.get(), false, depth + 1, leaf_depth, counted);
+    }
+  }
+
+  // --- STR helper ----------------------------------------------------------
+
+  /// Recursively sort-and-tile `items` (Entries or Nodes) by successive
+  /// dimensions so that consecutive runs of `capacity` items form compact
+  /// boxes.
+  template <typename Vec>
+  static void str_tile(Vec& items, std::size_t dim, std::size_t capacity) {
+    if (items.size() <= capacity || dim >= N) return;
+    auto center_of = [dim](const auto& it) {
+      const BoxN& b = box_ref(it);
+      return 0.5 * (b.min[dim] + b.max[dim]);
+    };
+    std::sort(items.begin(), items.end(),
+              [&](const auto& a, const auto& b) {
+                return center_of(a) < center_of(b);
+              });
+    const auto n_nodes = static_cast<double>(
+        (items.size() + capacity - 1) / capacity);
+    const auto slices = static_cast<std::size_t>(std::max(
+        1.0,
+        std::ceil(std::pow(n_nodes, 1.0 / static_cast<double>(N - dim)))));
+    const std::size_t slice_len = (items.size() + slices - 1) / slices;
+    if (slice_len >= items.size()) {
+      // One slice: just recurse into the next dimension over the whole run.
+      if (dim + 1 < N) str_tile(items, dim + 1, capacity);
+      return;
+    }
+    for (std::size_t i = 0; i < items.size(); i += slice_len) {
+      const std::size_t end = std::min(items.size(), i + slice_len);
+      Vec slice(std::make_move_iterator(items.begin() + i),
+                std::make_move_iterator(items.begin() + end));
+      str_tile(slice, dim + 1, capacity);
+      std::move(slice.begin(), slice.end(), items.begin() + i);
+    }
+  }
+
+  static const BoxN& box_ref(const Entry& e) { return e.box; }
+  static const BoxN& box_ref(const std::unique_ptr<Node>& n) {
+    return n->box;
+  }
+
+  RTreeOptions options_;
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+  mutable std::size_t boxes_visited_ = 0;
+};
+
+}  // namespace svg::index

@@ -1,0 +1,99 @@
+#include "media/video_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace svg::media {
+
+std::uint8_t payload_byte(std::uint64_t video_id,
+                          std::uint64_t offset) noexcept {
+  // SplitMix64-style mix of (id, offset) — deterministic, cheap, spread.
+  std::uint64_t z = video_id * 0x9e3779b97f4a7c15ULL + offset;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::uint8_t>(z >> 56);
+}
+
+RecordedVideo::RecordedVideo(std::uint64_t video_id, core::TimestampMs start,
+                             core::TimestampMs end, EncodingProfile profile)
+    : id_(video_id), start_(start), end_(end), profile_(profile) {
+  if (end_ < start_) {
+    throw std::invalid_argument("RecordedVideo: end before start");
+  }
+  if (profile_.fps <= 0.0 || profile_.bitrate_bps <= 0.0 ||
+      profile_.gop_seconds <= 0.0) {
+    throw std::invalid_argument("RecordedVideo: invalid encoding profile");
+  }
+}
+
+std::uint64_t RecordedVideo::gop_count() const noexcept {
+  const double gops = duration_s() / profile_.gop_seconds;
+  return std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(gops)));
+}
+
+std::uint64_t RecordedVideo::total_bytes() const noexcept {
+  return gop_count() * profile_.bytes_per_gop();
+}
+
+std::uint64_t RecordedVideo::gop_of(core::TimestampMs t) const noexcept {
+  const auto clamped = std::clamp(t, start_, end_);
+  const double offset_s =
+      static_cast<double>(clamped - start_) / 1000.0;
+  const auto idx =
+      static_cast<std::uint64_t>(offset_s / profile_.gop_seconds);
+  return std::min(idx, gop_count() - 1);
+}
+
+void VideoStore::add(RecordedVideo video) {
+  videos_.insert_or_assign(video.id(), std::move(video));
+}
+
+bool VideoStore::contains(std::uint64_t video_id) const {
+  return videos_.count(video_id) > 0;
+}
+
+const RecordedVideo* VideoStore::find(std::uint64_t video_id) const {
+  const auto it = videos_.find(video_id);
+  return it == videos_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t VideoStore::stored_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, v] : videos_) total += v.total_bytes();
+  return total;
+}
+
+std::optional<Clip> VideoStore::extract_clip(std::uint64_t video_id,
+                                             core::TimestampMs t0,
+                                             core::TimestampMs t1) const {
+  const RecordedVideo* video = find(video_id);
+  if (!video || t1 < video->start_time() || t0 > video->end_time() ||
+      t1 < t0) {
+    return std::nullopt;
+  }
+  const std::uint64_t gop_first = video->gop_of(t0);
+  const std::uint64_t gop_last = video->gop_of(t1);
+  const std::uint64_t gop_bytes = video->profile().bytes_per_gop();
+  const auto gop_ms = static_cast<core::TimestampMs>(
+      video->profile().gop_seconds * 1000.0);
+
+  Clip clip;
+  clip.video_id = video_id;
+  clip.t_start = video->start_time() +
+                 static_cast<core::TimestampMs>(gop_first) * gop_ms;
+  clip.t_end = std::min(video->end_time(),
+                        video->start_time() +
+                            static_cast<core::TimestampMs>(gop_last + 1) *
+                                gop_ms);
+  const std::uint64_t byte_begin = gop_first * gop_bytes;
+  const std::uint64_t byte_end = (gop_last + 1) * gop_bytes;
+  clip.payload.resize(byte_end - byte_begin);
+  for (std::uint64_t i = 0; i < clip.payload.size(); ++i) {
+    clip.payload[i] = payload_byte(video_id, byte_begin + i);
+  }
+  return clip;
+}
+
+}  // namespace svg::media

@@ -1,0 +1,110 @@
+#pragma once
+// Client-side video storage and clip extraction. The content-free protocol
+// has two phases: phase 1 uploads descriptors (net::MobileClient); phase 2,
+// after a query matches, transfers ONLY the matched segment ("uploading the
+// relevant video segment targeted to the query can save a lot of web
+// traffic", Section IV). This module models the recorded video a provider
+// keeps on-device — GOP-structured encoded bytes whose size follows the
+// encoder bitrate — and cuts clips on keyframe boundaries the way a real
+// remux does.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/fov.hpp"
+
+namespace svg::media {
+
+struct EncodingProfile {
+  double fps = 30.0;
+  double bitrate_bps = 2e6;   ///< H.264-class mobile video
+  double gop_seconds = 2.0;   ///< keyframe interval; clips cut on these
+
+  [[nodiscard]] std::uint64_t bytes_per_gop() const noexcept {
+    return static_cast<std::uint64_t>(bitrate_bps * gop_seconds / 8.0);
+  }
+};
+
+/// One recording kept on a device: timing plus deterministic synthetic
+/// payload. Payload bytes are generated on demand (a hash of video id and
+/// offset) so a 100 MB "video" costs no memory until a clip is cut.
+class RecordedVideo {
+ public:
+  RecordedVideo() = default;
+  RecordedVideo(std::uint64_t video_id, core::TimestampMs start,
+                core::TimestampMs end, EncodingProfile profile = {});
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] core::TimestampMs start_time() const noexcept {
+    return start_;
+  }
+  [[nodiscard]] core::TimestampMs end_time() const noexcept { return end_; }
+  [[nodiscard]] double duration_s() const noexcept {
+    return static_cast<double>(end_ - start_) / 1000.0;
+  }
+  [[nodiscard]] const EncodingProfile& profile() const noexcept {
+    return profile_;
+  }
+
+  /// Total encoded size of the full video.
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept;
+
+  /// Number of GOPs (the last may be partial in time but is stored whole).
+  [[nodiscard]] std::uint64_t gop_count() const noexcept;
+
+  /// The GOP index containing time `t` (clamped into the recording).
+  [[nodiscard]] std::uint64_t gop_of(core::TimestampMs t) const noexcept;
+
+ private:
+  std::uint64_t id_ = 0;
+  core::TimestampMs start_ = 0;
+  core::TimestampMs end_ = 0;
+  EncodingProfile profile_{};
+};
+
+/// A clip cut from a recording: [t0, t1] widened to GOP boundaries, with
+/// deterministic payload bytes.
+struct Clip {
+  std::uint64_t video_id = 0;
+  core::TimestampMs t_start = 0;  ///< aligned-down to a keyframe
+  core::TimestampMs t_end = 0;    ///< aligned-up to a keyframe/stream end
+  std::vector<std::uint8_t> payload;
+
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return payload.size();
+  }
+};
+
+/// Everything a provider device retains: its recordings, addressable by
+/// video id, and clip extraction.
+class VideoStore {
+ public:
+  /// Register a recording. Overwrites an existing entry with the same id.
+  void add(RecordedVideo video);
+
+  [[nodiscard]] bool contains(std::uint64_t video_id) const;
+  [[nodiscard]] const RecordedVideo* find(std::uint64_t video_id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return videos_.size(); }
+
+  /// Total on-device bytes across all recordings.
+  [[nodiscard]] std::uint64_t stored_bytes() const;
+
+  /// Cut [t0, t1] from a recording (clamped to its extent, widened to GOP
+  /// boundaries). nullopt if the video is unknown or the range misses it
+  /// entirely.
+  [[nodiscard]] std::optional<Clip> extract_clip(std::uint64_t video_id,
+                                                 core::TimestampMs t0,
+                                                 core::TimestampMs t1) const;
+
+ private:
+  std::map<std::uint64_t, RecordedVideo> videos_;
+};
+
+/// Deterministic payload generator shared by store and tests: byte `i` of
+/// video `v` is a hash of (v, i).
+[[nodiscard]] std::uint8_t payload_byte(std::uint64_t video_id,
+                                        std::uint64_t offset) noexcept;
+
+}  // namespace svg::media

@@ -1,0 +1,54 @@
+#include "net/client.hpp"
+
+namespace svg::net {
+
+MobileClient::MobileClient(std::uint64_t video_id,
+                           const core::SimilarityModel& model,
+                           core::SegmenterConfig seg_cfg,
+                           core::MeanPolicy policy)
+    : video_id_(video_id), pipeline_(model, seg_cfg, video_id, policy) {}
+
+void MobileClient::on_frame(const core::FovRecord& rec) {
+  ++stats_.frames_processed;
+  if (!any_frame_) {
+    first_t_ = rec.t;
+    any_frame_ = true;
+  }
+  last_t_ = rec.t;
+  if (auto rep = pipeline_.push(rec)) {
+    pending_.push_back(*rep);
+  }
+}
+
+UploadMessage MobileClient::finish_recording() {
+  if (auto rep = pipeline_.finish()) {
+    pending_.push_back(*rep);
+  }
+  UploadMessage msg;
+  msg.video_id = video_id_;
+  msg.segments = std::move(pending_);
+  pending_.clear();
+  if (any_frame_) {
+    const double duration_s =
+        static_cast<double>(last_t_ - first_t_) / 1000.0;
+    stats_.video_bytes_avoided += video_upload_bytes(duration_s);
+  }
+  return msg;
+}
+
+std::vector<std::uint8_t> MobileClient::upload(const UploadMessage& msg,
+                                               Link& link) {
+  std::vector<std::uint8_t> bytes = encode_upload(msg);
+  link.send_up(bytes.size());
+  stats_.segments_uploaded += msg.segments.size();
+  stats_.descriptor_bytes += bytes.size();
+  return bytes;
+}
+
+UploadMessage capture_session(MobileClient& client,
+                              std::span<const core::FovRecord> records) {
+  for (const auto& rec : records) client.on_frame(rec);
+  return client.finish_recording();
+}
+
+}  // namespace svg::net

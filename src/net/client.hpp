@@ -1,0 +1,58 @@
+#pragma once
+// The mobile client of Fig. 1: capture → real-time segmentation → upload of
+// representative FoVs when recording stops. The video itself never crosses
+// the link; only the descriptor batch does.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/segmentation.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+
+namespace svg::net {
+
+struct ClientStats {
+  std::size_t frames_processed = 0;
+  std::size_t segments_uploaded = 0;
+  std::uint64_t descriptor_bytes = 0;
+  double video_bytes_avoided = 0.0;  ///< what a raw-upload design would send
+};
+
+/// One provider device. Drives the core streaming pipeline and produces
+/// wire-format uploads.
+class MobileClient {
+ public:
+  MobileClient(std::uint64_t video_id, const core::SimilarityModel& model,
+               core::SegmenterConfig seg_cfg,
+               core::MeanPolicy policy = core::MeanPolicy::kCircular);
+
+  /// Feed one captured frame's FoV record.
+  void on_frame(const core::FovRecord& rec);
+
+  /// Recording stopped: flush the pipeline and build the upload message.
+  [[nodiscard]] UploadMessage finish_recording();
+
+  /// Serialize and "send" the upload across a link; updates stats.
+  std::vector<std::uint8_t> upload(const UploadMessage& msg, Link& link);
+
+  [[nodiscard]] const ClientStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t video_id() const noexcept { return video_id_; }
+
+ private:
+  std::uint64_t video_id_;
+  core::StreamingAbstractionPipeline pipeline_;
+  std::vector<core::RepresentativeFov> pending_;
+  core::TimestampMs first_t_ = 0;
+  core::TimestampMs last_t_ = 0;
+  bool any_frame_ = false;
+  ClientStats stats_;
+};
+
+/// Convenience: run a whole pre-captured record stream through a client and
+/// return the upload message.
+[[nodiscard]] UploadMessage capture_session(
+    MobileClient& client, std::span<const core::FovRecord> records);
+
+}  // namespace svg::net

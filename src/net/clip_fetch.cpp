@@ -1,0 +1,145 @@
+#include "net/clip_fetch.hpp"
+
+#include <algorithm>
+
+namespace svg::net {
+
+std::vector<std::uint8_t> encode_clip_request(const ClipRequest& m) {
+  ByteWriter w;
+  w.put_u8(kMsgClipRequest);
+  w.put_varint(m.video_id);
+  w.put_svarint(m.t_start);
+  w.put_varint(static_cast<std::uint64_t>(m.t_end - m.t_start));
+  return w.take();
+}
+
+std::optional<ClipRequest> decode_clip_request(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const auto tag = r.get_u8();
+  if (!tag || *tag != kMsgClipRequest) return std::nullopt;
+  const auto vid = r.get_varint();
+  const auto ts = r.get_svarint();
+  const auto dur = r.get_varint();
+  if (!vid || !ts || !dur) return std::nullopt;
+  ClipRequest m;
+  m.video_id = *vid;
+  m.t_start = *ts;
+  m.t_end = *ts + static_cast<std::int64_t>(*dur);
+  return m;
+}
+
+std::vector<std::uint8_t> encode_clip_response(const ClipResponse& m) {
+  ByteWriter w;
+  w.put_u8(kMsgClipResponse);
+  w.put_u8(m.found ? 1 : 0);
+  if (m.found) {
+    w.put_varint(m.clip.video_id);
+    w.put_svarint(m.clip.t_start);
+    w.put_varint(static_cast<std::uint64_t>(m.clip.t_end - m.clip.t_start));
+    w.put_varint(m.clip.payload.size());
+    w.put_bytes(m.clip.payload);
+  }
+  return w.take();
+}
+
+std::optional<ClipResponse> decode_clip_response(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const auto tag = r.get_u8();
+  if (!tag || *tag != kMsgClipResponse) return std::nullopt;
+  const auto found = r.get_u8();
+  if (!found) return std::nullopt;
+  ClipResponse m;
+  m.found = *found != 0;
+  if (!m.found) return m;
+  const auto vid = r.get_varint();
+  const auto ts = r.get_svarint();
+  const auto dur = r.get_varint();
+  const auto len = r.get_varint();
+  if (!vid || !ts || !dur || !len || r.remaining() < *len) {
+    return std::nullopt;
+  }
+  m.clip.video_id = *vid;
+  m.clip.t_start = *ts;
+  m.clip.t_end = *ts + static_cast<std::int64_t>(*dur);
+  m.clip.payload.resize(*len);
+  for (auto& b : m.clip.payload) {
+    b = *r.get_u8();  // remaining() checked above
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> serve_clip_request(
+    const media::VideoStore& store, std::span<const std::uint8_t> request) {
+  ClipResponse resp;
+  const auto req = decode_clip_request(request);
+  if (req) {
+    if (auto clip = store.extract_clip(req->video_id, req->t_start,
+                                       req->t_end)) {
+      resp.found = true;
+      resp.clip = std::move(*clip);
+    }
+  }
+  return encode_clip_response(resp);
+}
+
+void FetchCoordinator::register_provider(std::uint64_t video_id,
+                                         const media::VideoStore* store,
+                                         Link* link) {
+  providers_[video_id] = Provider{store, link};
+}
+
+std::optional<media::Clip> FetchCoordinator::fetch(
+    const retrieval::RankedResult& result, core::TimestampMs window_start,
+    core::TimestampMs window_end) {
+  const auto it = providers_.find(result.rep.video_id);
+  if (it == providers_.end()) {
+    ++stats_.clips_missing;
+    return std::nullopt;
+  }
+  const Provider& p = it->second;
+
+  ClipRequest req;
+  req.video_id = result.rep.video_id;
+  req.t_start = result.rep.t_start;
+  req.t_end = result.rep.t_end;
+  if (window_end > window_start) {
+    req.t_start = std::max(req.t_start, window_start);
+    req.t_end = std::min(req.t_end, window_end);
+    if (req.t_end < req.t_start) req.t_end = req.t_start;
+  }
+  const auto req_bytes = encode_clip_request(req);
+  stats_.fetch_time_ms += p.link->send_down(req_bytes.size());
+
+  const auto resp_bytes = serve_clip_request(*p.store, req_bytes);
+  stats_.fetch_time_ms += p.link->send_up(resp_bytes.size());
+
+  const auto resp = decode_clip_response(resp_bytes);
+  if (!resp || !resp->found) {
+    ++stats_.clips_missing;
+    return std::nullopt;
+  }
+  ++stats_.clips_fetched;
+  stats_.clip_bytes += resp->clip.size_bytes();
+  if (const auto* video = p.store->find(req.video_id)) {
+    stats_.full_video_bytes += video->total_bytes();
+  }
+  return resp->clip;
+}
+
+std::vector<media::Clip> FetchCoordinator::fetch_all(
+    std::span<const retrieval::RankedResult> results, std::size_t limit,
+    core::TimestampMs window_start, core::TimestampMs window_end) {
+  std::vector<media::Clip> clips;
+  const std::size_t n =
+      limit == 0 ? results.size() : std::min(limit, results.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto clip = fetch(results[i], window_start, window_end)) {
+      clips.push_back(std::move(*clip));
+    }
+  }
+  return clips;
+}
+
+}  // namespace svg::net

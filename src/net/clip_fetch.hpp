@@ -1,0 +1,99 @@
+#pragma once
+// Phase 2 of the retrieval protocol: after the content-free index matched a
+// segment, the querier fetches the actual clip from its provider. Section
+// IV's saving is that only the matched segment's GOPs cross the link, not
+// the whole recording.
+//
+// Wire messages: ClipRequest(video_id, t0, t1) → ClipResponse(clip meta +
+// payload). The FetchCoordinator resolves video ids to provider devices,
+// runs the exchange across per-provider links, and accounts the traffic —
+// including the counterfactual full-video bytes for comparison.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "media/video_store.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "retrieval/query.hpp"
+
+namespace svg::net {
+
+inline constexpr std::uint8_t kMsgClipRequest = 4;
+inline constexpr std::uint8_t kMsgClipResponse = 5;
+
+struct ClipRequest {
+  std::uint64_t video_id = 0;
+  core::TimestampMs t_start = 0;
+  core::TimestampMs t_end = 0;
+};
+
+struct ClipResponse {
+  bool found = false;
+  media::Clip clip;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_clip_request(
+    const ClipRequest& m);
+[[nodiscard]] std::optional<ClipRequest> decode_clip_request(
+    std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_clip_response(
+    const ClipResponse& m);
+[[nodiscard]] std::optional<ClipResponse> decode_clip_response(
+    std::span<const std::uint8_t> bytes);
+
+/// Provider-side handler: decode a request, cut the clip from the store,
+/// encode the response.
+[[nodiscard]] std::vector<std::uint8_t> serve_clip_request(
+    const media::VideoStore& store, std::span<const std::uint8_t> request);
+
+struct FetchStats {
+  std::size_t clips_fetched = 0;
+  std::size_t clips_missing = 0;
+  std::uint64_t clip_bytes = 0;       ///< what actually crossed the links
+  std::uint64_t full_video_bytes = 0; ///< counterfactual: whole recordings
+  double fetch_time_ms = 0.0;         ///< simulated link time
+};
+
+/// The querier-side driver: given ranked results, fetch each matched clip
+/// from its provider over that provider's link.
+class FetchCoordinator {
+ public:
+  /// Register a provider device (its store and its uplink).
+  void register_provider(std::uint64_t video_id,
+                         const media::VideoStore* store, Link* link);
+
+  /// Fetch the clip for one result. When a query window is given, the
+  /// request is clamped to segment ∩ window — a segment can be much
+  /// longer than the minute the inquirer cares about (a stationary
+  /// camera's whole recording is one segment), and there is no reason to
+  /// move those extra GOPs. nullopt when the provider is unknown or no
+  /// longer has the video.
+  [[nodiscard]] std::optional<media::Clip> fetch(
+      const retrieval::RankedResult& result,
+      core::TimestampMs window_start = 0,
+      core::TimestampMs window_end = 0);
+
+  /// Fetch the top `limit` results' clips (all when limit = 0),
+  /// optionally clamped to the query window.
+  [[nodiscard]] std::vector<media::Clip> fetch_all(
+      std::span<const retrieval::RankedResult> results,
+      std::size_t limit = 0, core::TimestampMs window_start = 0,
+      core::TimestampMs window_end = 0);
+
+  [[nodiscard]] const FetchStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Provider {
+    const media::VideoStore* store = nullptr;
+    Link* link = nullptr;
+  };
+  std::map<std::uint64_t, Provider> providers_;
+  FetchStats stats_;
+};
+
+}  // namespace svg::net

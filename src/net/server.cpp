@@ -1,0 +1,92 @@
+#include "net/server.hpp"
+
+#include "net/snapshot.hpp"
+
+namespace svg::net {
+
+CloudServer::CloudServer(index::FovIndexOptions index_options,
+                         retrieval::RetrievalConfig retrieval_config)
+    : index_(index_options), retrieval_config_(retrieval_config) {}
+
+bool CloudServer::handle_upload(std::span<const std::uint8_t> bytes) {
+  const auto msg = decode_upload(bytes);
+  if (!msg) {
+    uploads_rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  ingest(*msg);
+  return true;
+}
+
+void CloudServer::ingest(const UploadMessage& msg) {
+  for (const auto& rep : msg.segments) {
+    index_.insert(rep);
+  }
+  uploads_accepted_.fetch_add(1, std::memory_order_relaxed);
+  segments_indexed_.fetch_add(msg.segments.size(),
+                              std::memory_order_relaxed);
+}
+
+std::vector<retrieval::RankedResult> CloudServer::search(
+    const retrieval::Query& q, retrieval::SearchTrace* trace) const {
+  retrieval::RetrievalEngine<index::ConcurrentFovIndex> engine(
+      index_, retrieval_config_);
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  return engine.search(q, trace);
+}
+
+std::optional<std::vector<std::uint8_t>> CloudServer::handle_query(
+    std::span<const std::uint8_t> bytes) {
+  const auto msg = decode_query(bytes);
+  if (!msg) return std::nullopt;
+  retrieval::Query q;
+  q.t_start = msg->t_start;
+  q.t_end = msg->t_end;
+  q.center = msg->center;
+  q.radius_m = msg->radius_m;
+
+  retrieval::RetrievalConfig cfg = retrieval_config_;
+  cfg.top_n = msg->top_n;
+  retrieval::RetrievalEngine<index::ConcurrentFovIndex> engine(index_, cfg);
+  const auto results = engine.search(q);
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+
+  ResultsMessage out;
+  out.entries.reserve(results.size());
+  for (const auto& r : results) {
+    ResultEntry e;
+    e.video_id = r.rep.video_id;
+    e.segment_id = r.rep.segment_id;
+    e.t_start = r.rep.t_start;
+    e.t_end = r.rep.t_end;
+    e.distance_m = static_cast<float>(r.distance_m);
+    out.entries.push_back(e);
+  }
+  return encode_results(out);
+}
+
+bool CloudServer::save_snapshot(const std::string& path) const {
+  return save_snapshot_file(index_.snapshot(), path);
+}
+
+std::optional<std::size_t> CloudServer::load_snapshot(
+    const std::string& path) {
+  const auto reps = load_snapshot_file(path);
+  if (!reps) return std::nullopt;
+  for (const auto& rep : *reps) {
+    index_.insert(rep);
+  }
+  segments_indexed_.fetch_add(reps->size(), std::memory_order_relaxed);
+  return reps->size();
+}
+
+ServerStats CloudServer::stats() const {
+  ServerStats s;
+  s.uploads_accepted = uploads_accepted_.load(std::memory_order_relaxed);
+  s.uploads_rejected = uploads_rejected_.load(std::memory_order_relaxed);
+  s.segments_indexed = segments_indexed_.load(std::memory_order_relaxed);
+  s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace svg::net

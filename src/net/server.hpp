@@ -1,0 +1,70 @@
+#pragma once
+// The cloud side of Fig. 1: ingest descriptor uploads into the concurrent
+// spatio-temporal index, answer range queries with the rank-based pipeline,
+// serve many queriers in parallel.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "index/fov_index.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "retrieval/engine.hpp"
+
+namespace svg::net {
+
+struct ServerStats {
+  std::uint64_t uploads_accepted = 0;
+  std::uint64_t uploads_rejected = 0;
+  std::uint64_t segments_indexed = 0;
+  std::uint64_t queries_served = 0;
+};
+
+class CloudServer {
+ public:
+  explicit CloudServer(index::FovIndexOptions index_options = {},
+                       retrieval::RetrievalConfig retrieval_config = {});
+
+  /// Decode + ingest a wire-format upload. Returns false (and counts a
+  /// rejection) on malformed bytes.
+  bool handle_upload(std::span<const std::uint8_t> bytes);
+
+  /// Ingest an already decoded upload (local/in-process path).
+  void ingest(const UploadMessage& msg);
+
+  /// Decode a wire-format query, run retrieval, return encoded results.
+  /// nullopt on malformed input. Thread-safe; many queriers may call
+  /// concurrently.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> handle_query(
+      std::span<const std::uint8_t> bytes);
+
+  /// In-process query path (no serialization).
+  [[nodiscard]] std::vector<retrieval::RankedResult> search(
+      const retrieval::Query& q,
+      retrieval::SearchTrace* trace = nullptr) const;
+
+  [[nodiscard]] std::size_t indexed_segments() const {
+    return index_.size();
+  }
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Durability: persist every indexed segment to `path` (atomic write).
+  bool save_snapshot(const std::string& path) const;
+  /// Restore a snapshot into the (assumed fresh) index; returns the number
+  /// of segments loaded, or nullopt on a missing/corrupt file.
+  std::optional<std::size_t> load_snapshot(const std::string& path);
+
+ private:
+  index::ConcurrentFovIndex index_;
+  retrieval::RetrievalConfig retrieval_config_;
+  std::atomic<std::uint64_t> uploads_accepted_{0};
+  std::atomic<std::uint64_t> uploads_rejected_{0};
+  std::atomic<std::uint64_t> segments_indexed_{0};
+  mutable std::atomic<std::uint64_t> queries_served_{0};
+};
+
+}  // namespace svg::net

@@ -1,0 +1,133 @@
+#include "net/snapshot.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "geo/angle.hpp"
+#include "net/wire.hpp"
+
+namespace svg::net {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'S', 'V', 'G', 'X'};
+constexpr double kDegScale = 1e7;
+constexpr double kThetaScale = 100.0;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_snapshot(
+    const std::vector<core::RepresentativeFov>& reps) {
+  ByteWriter w;
+  w.put_bytes(kMagic);
+  w.put_u16(kSnapshotVersion);
+  w.put_varint(reps.size());
+  std::int64_t prev_lat = 0, prev_lng = 0, prev_t = 0;
+  for (const auto& r : reps) {
+    const auto lat =
+        static_cast<std::int64_t>(std::llround(r.fov.p.lat * kDegScale));
+    const auto lng =
+        static_cast<std::int64_t>(std::llround(r.fov.p.lng * kDegScale));
+    w.put_varint(r.video_id);
+    w.put_varint(r.segment_id);
+    w.put_svarint(lat - prev_lat);
+    w.put_svarint(lng - prev_lng);
+    w.put_u16(static_cast<std::uint16_t>(
+        std::llround(geo::wrap_deg(r.fov.theta_deg) * kThetaScale) % 36000));
+    w.put_svarint(r.t_start - prev_t);
+    w.put_varint(static_cast<std::uint64_t>(r.t_end - r.t_start));
+    prev_lat = lat;
+    prev_lng = lng;
+    prev_t = r.t_start;
+  }
+  return w.take();
+}
+
+std::optional<std::vector<core::RepresentativeFov>> decode_snapshot(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  for (std::uint8_t m : kMagic) {
+    const auto b = r.get_u8();
+    if (!b || *b != m) return std::nullopt;
+  }
+  const auto version = r.get_u16();
+  if (!version || *version != kSnapshotVersion) return std::nullopt;
+  const auto count = r.get_varint();
+  if (!count) return std::nullopt;
+
+  std::vector<core::RepresentativeFov> out;
+  // Never trust the claimed count for allocation: each record takes at
+  // least 8 bytes on the wire, so anything beyond remaining/8 is corrupt.
+  if (*count > r.remaining()) return std::nullopt;
+  out.reserve(*count);
+  std::int64_t prev_lat = 0, prev_lng = 0, prev_t = 0;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto vid = r.get_varint();
+    const auto sid = r.get_varint();
+    const auto dlat = r.get_svarint();
+    const auto dlng = r.get_svarint();
+    const auto theta = r.get_u16();
+    const auto dt = r.get_svarint();
+    const auto dur = r.get_varint();
+    if (!vid || !sid || !dlat || !dlng || !theta || !dt || !dur) {
+      return std::nullopt;
+    }
+    core::RepresentativeFov rep;
+    rep.video_id = *vid;
+    rep.segment_id = static_cast<std::uint32_t>(*sid);
+    prev_lat += *dlat;
+    prev_lng += *dlng;
+    rep.fov.p.lat = static_cast<double>(prev_lat) / kDegScale;
+    rep.fov.p.lng = static_cast<double>(prev_lng) / kDegScale;
+    rep.fov.theta_deg = static_cast<double>(*theta) / kThetaScale;
+    prev_t += *dt;
+    rep.t_start = prev_t;
+    rep.t_end = prev_t + static_cast<std::int64_t>(*dur);
+    out.push_back(rep);
+  }
+  return out;
+}
+
+bool save_snapshot_file(const std::vector<core::RepresentativeFov>& reps,
+                        const std::string& path) {
+  const auto bytes = encode_snapshot(reps);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<core::RepresentativeFov>> load_snapshot_file(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  const bool ok =
+      std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return decode_snapshot(bytes);
+}
+
+}  // namespace svg::net

@@ -1,0 +1,35 @@
+#include "net/transport.hpp"
+
+namespace svg::net {
+
+double Link::transfer_ms(std::size_t bytes, double mbps) const noexcept {
+  const double serialization_ms =
+      mbps > 0.0 ? static_cast<double>(bytes) * 8.0 / (mbps * 1e6) * 1e3
+                 : 0.0;
+  return config_.one_way_latency_ms + serialization_ms;
+}
+
+double Link::send_up(std::size_t bytes) {
+  const double ms = transfer_ms(bytes, config_.bandwidth_up_mbps);
+  std::lock_guard lock(mutex_);
+  ++stats_.messages_up;
+  stats_.bytes_up += bytes;
+  stats_.sim_latency_up_ms += ms;
+  return ms;
+}
+
+double Link::send_down(std::size_t bytes) {
+  const double ms = transfer_ms(bytes, config_.bandwidth_down_mbps);
+  std::lock_guard lock(mutex_);
+  ++stats_.messages_down;
+  stats_.bytes_down += bytes;
+  stats_.sim_latency_down_ms += ms;
+  return ms;
+}
+
+LinkStats Link::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace svg::net

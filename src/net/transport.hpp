@@ -1,0 +1,58 @@
+#pragma once
+// Link model between mobile clients and the cloud. We do not open sockets —
+// the experiments need byte and latency accounting, not an actual NIC — but
+// everything that crosses the "link" goes through the real serializer, so
+// traffic numbers are the true wire size. Latency: fixed RTT/2 plus
+// size/bandwidth, a standard first-order cellular model.
+
+#include <cstdint>
+#include <mutex>
+
+namespace svg::net {
+
+struct LinkStats {
+  std::uint64_t messages_up = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint64_t messages_down = 0;
+  std::uint64_t bytes_down = 0;
+  double sim_latency_up_ms = 0.0;    ///< accumulated simulated latency
+  double sim_latency_down_ms = 0.0;
+};
+
+struct LinkConfig {
+  double bandwidth_up_mbps = 5.0;     ///< typical LTE uplink
+  double bandwidth_down_mbps = 20.0;
+  double one_way_latency_ms = 40.0;
+};
+
+/// Thread-safe byte/latency accountant for one client-server link.
+class Link {
+ public:
+  explicit Link(LinkConfig config = {}) noexcept : config_(config) {}
+
+  /// Record an uplink transfer; returns simulated delivery latency (ms).
+  double send_up(std::size_t bytes);
+  /// Record a downlink transfer; returns simulated delivery latency (ms).
+  double send_down(std::size_t bytes);
+
+  [[nodiscard]] LinkStats stats() const;
+  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] double transfer_ms(std::size_t bytes,
+                                   double mbps) const noexcept;
+
+  LinkConfig config_;
+  mutable std::mutex mutex_;
+  LinkStats stats_;
+};
+
+/// Bytes an H.264-class encoder would need for the same video — the
+/// counterfactual a data-centric system uploads. Default 2 Mbps ≈ 720p
+/// mobile video circa the paper.
+[[nodiscard]] constexpr double video_upload_bytes(double duration_s,
+                                                  double bitrate_mbps = 2.0) {
+  return duration_s * bitrate_mbps * 1e6 / 8.0;
+}
+
+}  // namespace svg::net

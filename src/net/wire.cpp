@@ -1,0 +1,240 @@
+#include "net/wire.hpp"
+
+#include <cmath>
+
+#include "geo/angle.hpp"
+
+namespace svg::net {
+
+namespace {
+
+constexpr double kDegScale = 1e7;    // 1e-7 degree fixed point
+constexpr double kThetaScale = 100.0;  // 0.01 degree fixed point
+
+std::int64_t quantize_deg(double deg) {
+  return static_cast<std::int64_t>(std::llround(deg * kDegScale));
+}
+double dequantize_deg(std::int64_t q) {
+  return static_cast<double>(q) / kDegScale;
+}
+
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+std::int64_t unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace
+
+void ByteWriter::put_u16(std::uint16_t v) {
+  put_u8(static_cast<std::uint8_t>(v));
+  put_u8(static_cast<std::uint8_t>(v >> 8));
+}
+void ByteWriter::put_u32(std::uint32_t v) {
+  put_u16(static_cast<std::uint16_t>(v));
+  put_u16(static_cast<std::uint16_t>(v >> 16));
+}
+void ByteWriter::put_u64(std::uint64_t v) {
+  put_u32(static_cast<std::uint32_t>(v));
+  put_u32(static_cast<std::uint32_t>(v >> 32));
+}
+void ByteWriter::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    put_u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  put_u8(static_cast<std::uint8_t>(v));
+}
+void ByteWriter::put_svarint(std::int64_t v) { put_varint(zigzag(v)); }
+void ByteWriter::put_bytes(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<std::uint8_t> ByteReader::get_u8() {
+  if (pos_ >= data_.size()) return std::nullopt;
+  return data_[pos_++];
+}
+std::optional<std::uint16_t> ByteReader::get_u16() {
+  const auto lo = get_u8();
+  const auto hi = get_u8();
+  if (!lo || !hi) return std::nullopt;
+  return static_cast<std::uint16_t>(*lo | (*hi << 8));
+}
+std::optional<std::uint32_t> ByteReader::get_u32() {
+  const auto lo = get_u16();
+  const auto hi = get_u16();
+  if (!lo || !hi) return std::nullopt;
+  return static_cast<std::uint32_t>(*lo) |
+         (static_cast<std::uint32_t>(*hi) << 16);
+}
+std::optional<std::uint64_t> ByteReader::get_u64() {
+  const auto lo = get_u32();
+  const auto hi = get_u32();
+  if (!lo || !hi) return std::nullopt;
+  return static_cast<std::uint64_t>(*lo) |
+         (static_cast<std::uint64_t>(*hi) << 32);
+}
+std::optional<std::uint64_t> ByteReader::get_varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const auto byte = get_u8();
+    if (!byte) return std::nullopt;
+    if (shift >= 64) return std::nullopt;  // overlong encoding
+    v |= static_cast<std::uint64_t>(*byte & 0x7F) << shift;
+    if ((*byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+std::optional<std::int64_t> ByteReader::get_svarint() {
+  const auto v = get_varint();
+  if (!v) return std::nullopt;
+  return unzigzag(*v);
+}
+
+// --- upload -----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_upload(const UploadMessage& m) {
+  ByteWriter w;
+  w.put_u8(kMsgUpload);
+  w.put_varint(m.video_id);
+  w.put_varint(m.segments.size());
+  std::int64_t prev_lat = 0, prev_lng = 0;
+  std::int64_t prev_t = 0;
+  for (const auto& s : m.segments) {
+    const std::int64_t lat = quantize_deg(s.fov.p.lat);
+    const std::int64_t lng = quantize_deg(s.fov.p.lng);
+    w.put_varint(s.segment_id);
+    w.put_svarint(lat - prev_lat);
+    w.put_svarint(lng - prev_lng);
+    w.put_u16(static_cast<std::uint16_t>(
+        std::llround(geo::wrap_deg(s.fov.theta_deg) * kThetaScale) % 36000));
+    w.put_svarint(s.t_start - prev_t);
+    w.put_varint(static_cast<std::uint64_t>(s.t_end - s.t_start));
+    prev_lat = lat;
+    prev_lng = lng;
+    prev_t = s.t_start;
+  }
+  return w.take();
+}
+
+std::optional<UploadMessage> decode_upload(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const auto tag = r.get_u8();
+  if (!tag || *tag != kMsgUpload) return std::nullopt;
+  UploadMessage m;
+  const auto vid = r.get_varint();
+  const auto count = r.get_varint();
+  if (!vid || !count) return std::nullopt;
+  m.video_id = *vid;
+  std::int64_t prev_lat = 0, prev_lng = 0, prev_t = 0;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto seg_id = r.get_varint();
+    const auto dlat = r.get_svarint();
+    const auto dlng = r.get_svarint();
+    const auto theta = r.get_u16();
+    const auto dt = r.get_svarint();
+    const auto dur = r.get_varint();
+    if (!seg_id || !dlat || !dlng || !theta || !dt || !dur) {
+      return std::nullopt;
+    }
+    core::RepresentativeFov rep;
+    rep.video_id = m.video_id;
+    rep.segment_id = static_cast<std::uint32_t>(*seg_id);
+    prev_lat += *dlat;
+    prev_lng += *dlng;
+    rep.fov.p.lat = dequantize_deg(prev_lat);
+    rep.fov.p.lng = dequantize_deg(prev_lng);
+    rep.fov.theta_deg = static_cast<double>(*theta) / kThetaScale;
+    prev_t += *dt;
+    rep.t_start = prev_t;
+    rep.t_end = prev_t + static_cast<std::int64_t>(*dur);
+    m.segments.push_back(rep);
+  }
+  return m;
+}
+
+// --- query ------------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_query(const QueryMessage& m) {
+  ByteWriter w;
+  w.put_u8(kMsgQuery);
+  w.put_svarint(m.t_start);
+  w.put_varint(static_cast<std::uint64_t>(m.t_end - m.t_start));
+  w.put_svarint(quantize_deg(m.center.lat));
+  w.put_svarint(quantize_deg(m.center.lng));
+  w.put_varint(static_cast<std::uint64_t>(std::llround(m.radius_m)));
+  w.put_varint(m.top_n);
+  return w.take();
+}
+
+std::optional<QueryMessage> decode_query(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const auto tag = r.get_u8();
+  if (!tag || *tag != kMsgQuery) return std::nullopt;
+  const auto ts = r.get_svarint();
+  const auto dur = r.get_varint();
+  const auto lat = r.get_svarint();
+  const auto lng = r.get_svarint();
+  const auto radius = r.get_varint();
+  const auto top_n = r.get_varint();
+  if (!ts || !dur || !lat || !lng || !radius || !top_n) return std::nullopt;
+  QueryMessage m;
+  m.t_start = *ts;
+  m.t_end = *ts + static_cast<std::int64_t>(*dur);
+  m.center.lat = dequantize_deg(*lat);
+  m.center.lng = dequantize_deg(*lng);
+  m.radius_m = static_cast<double>(*radius);
+  m.top_n = static_cast<std::uint32_t>(*top_n);
+  return m;
+}
+
+// --- results ----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_results(const ResultsMessage& m) {
+  ByteWriter w;
+  w.put_u8(kMsgResults);
+  w.put_varint(m.entries.size());
+  for (const auto& e : m.entries) {
+    w.put_varint(e.video_id);
+    w.put_varint(e.segment_id);
+    w.put_svarint(e.t_start);
+    w.put_varint(static_cast<std::uint64_t>(e.t_end - e.t_start));
+    w.put_varint(static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(e.distance_m) * 10.0)));
+  }
+  return w.take();
+}
+
+std::optional<ResultsMessage> decode_results(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  const auto tag = r.get_u8();
+  if (!tag || *tag != kMsgResults) return std::nullopt;
+  const auto count = r.get_varint();
+  if (!count) return std::nullopt;
+  ResultsMessage m;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto vid = r.get_varint();
+    const auto sid = r.get_varint();
+    const auto ts = r.get_svarint();
+    const auto dur = r.get_varint();
+    const auto dist = r.get_varint();
+    if (!vid || !sid || !ts || !dur || !dist) return std::nullopt;
+    ResultEntry e;
+    e.video_id = *vid;
+    e.segment_id = static_cast<std::uint32_t>(*sid);
+    e.t_start = *ts;
+    e.t_end = *ts + static_cast<std::int64_t>(*dur);
+    e.distance_m = static_cast<float>(static_cast<double>(*dist) / 10.0);
+    m.entries.push_back(e);
+  }
+  return m;
+}
+
+}  // namespace svg::net

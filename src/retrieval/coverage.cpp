@@ -1,0 +1,104 @@
+#include "retrieval/coverage.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "geo/geodesy.hpp"
+#include "geo/sector.hpp"
+
+namespace svg::retrieval {
+
+CoverageMap::CoverageMap(CoverageMapConfig config)
+    : config_(config), side_(config.cells_per_side) {
+  if (side_ == 0 || config_.bounds.is_empty()) {
+    throw std::invalid_argument("CoverageMap: bad raster config");
+  }
+  cell_w_deg_ =
+      (config_.bounds.max[0] - config_.bounds.min[0]) /
+      static_cast<double>(side_);
+  cell_h_deg_ =
+      (config_.bounds.max[1] - config_.bounds.min[1]) /
+      static_cast<double>(side_);
+  counts_.assign(side_ * side_, 0);
+}
+
+geo::LatLng CoverageMap::cell_center(std::size_t x, std::size_t y) const {
+  return {config_.bounds.min[1] +
+              (static_cast<double>(y) + 0.5) * cell_h_deg_,
+          config_.bounds.min[0] +
+              (static_cast<double>(x) + 0.5) * cell_w_deg_};
+}
+
+std::uint32_t CoverageMap::count_at(std::size_t x, std::size_t y) const {
+  return counts_.at(y * side_ + x);
+}
+
+void CoverageMap::accumulate(
+    std::span<const core::RepresentativeFov> corpus) {
+  const geo::LocalFrame frame(
+      {0.5 * (config_.bounds.min[1] + config_.bounds.max[1]),
+       0.5 * (config_.bounds.min[0] + config_.bounds.max[0])});
+  for (const auto& rep : corpus) {
+    if (rep.t_end < config_.t_start || rep.t_start > config_.t_end) {
+      continue;
+    }
+    const geo::Sector sector =
+        core::viewable_scene(rep.fov, config_.camera, frame);
+    // Raster span of the sector's bounding box (in degrees).
+    const geo::Box2 bb = sector.bounding_box();
+    const geo::LatLng sw = frame.to_global({bb.min[0], bb.min[1]});
+    const geo::LatLng ne = frame.to_global({bb.max[0], bb.max[1]});
+    const auto clamp_idx = [this](double v, double lo, double w) {
+      const auto i = static_cast<long>((v - lo) / w);
+      return static_cast<std::size_t>(
+          std::clamp<long>(i, 0, static_cast<long>(side_) - 1));
+    };
+    const std::size_t x0 =
+        clamp_idx(sw.lng, config_.bounds.min[0], cell_w_deg_);
+    const std::size_t x1 =
+        clamp_idx(ne.lng, config_.bounds.min[0], cell_w_deg_);
+    const std::size_t y0 =
+        clamp_idx(sw.lat, config_.bounds.min[1], cell_h_deg_);
+    const std::size_t y1 =
+        clamp_idx(ne.lat, config_.bounds.min[1], cell_h_deg_);
+    for (std::size_t y = y0; y <= y1; ++y) {
+      for (std::size_t x = x0; x <= x1; ++x) {
+        if (sector.covers(frame.to_local(cell_center(x, y)))) {
+          ++counts_[y * side_ + x];
+        }
+      }
+    }
+  }
+}
+
+std::size_t CoverageMap::covered_cells() const noexcept {
+  std::size_t n = 0;
+  for (const auto c : counts_) {
+    if (c > 0) ++n;
+  }
+  return n;
+}
+
+double CoverageMap::coverage_fraction() const noexcept {
+  return static_cast<double>(covered_cells()) /
+         static_cast<double>(counts_.size());
+}
+
+std::uint32_t CoverageMap::max_count() const noexcept {
+  return counts_.empty() ? 0 : *std::max_element(counts_.begin(),
+                                                 counts_.end());
+}
+
+std::vector<geo::LatLng> CoverageMap::gaps() const {
+  std::vector<geo::LatLng> out;
+  for (std::size_t y = 0; y < side_; ++y) {
+    for (std::size_t x = 0; x < side_; ++x) {
+      if (counts_[y * side_ + x] == 0) {
+        out.push_back(cell_center(x, y));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace svg::retrieval

@@ -1,0 +1,52 @@
+#pragma once
+// Corpus analytics: where does the crowd have eyes? Rasterizes the city
+// into cells and counts, per cell, the video segments whose viewable scene
+// covers the cell centre during a time window. Campaign organizers use the
+// result to find coverage gaps (dispatch providers there) and hot spots
+// (evidence-rich areas); it is also the denominator behind "can this query
+// be answered at all".
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/fov.hpp"
+#include "geo/bbox.hpp"
+
+namespace svg::retrieval {
+
+struct CoverageMapConfig {
+  geo::Box2 bounds;            ///< (lng, lat) degrees
+  std::size_t cells_per_side = 32;
+  core::TimestampMs t_start = 0;
+  core::TimestampMs t_end = 0;
+  core::CameraIntrinsics camera{};
+};
+
+class CoverageMap {
+ public:
+  explicit CoverageMap(CoverageMapConfig config);
+
+  /// Count every segment whose FoV covers each cell centre within the
+  /// window. O(segments × cells touched per sector bounding box).
+  void accumulate(std::span<const core::RepresentativeFov> corpus);
+
+  [[nodiscard]] std::size_t side() const noexcept { return side_; }
+  [[nodiscard]] std::uint32_t count_at(std::size_t x, std::size_t y) const;
+  /// Geographic centre of a cell.
+  [[nodiscard]] geo::LatLng cell_center(std::size_t x, std::size_t y) const;
+
+  [[nodiscard]] std::size_t covered_cells() const noexcept;
+  [[nodiscard]] double coverage_fraction() const noexcept;
+  [[nodiscard]] std::uint32_t max_count() const noexcept;
+  /// Cell centres with zero coverage — the gaps to dispatch providers to.
+  [[nodiscard]] std::vector<geo::LatLng> gaps() const;
+
+ private:
+  CoverageMapConfig config_;
+  std::size_t side_;
+  double cell_w_deg_, cell_h_deg_;
+  std::vector<std::uint32_t> counts_;
+};
+
+}  // namespace svg::retrieval

@@ -1,0 +1,117 @@
+#pragma once
+// The rank-based retrieval pipeline of Section V-B, generic over the index
+// backend (FovIndex, LinearIndex, ConcurrentFovIndex — anything exposing
+// `query(GeoTimeRange, visitor)`):
+//
+//   1. expand the query circle into a search rectangle (query.hpp) — by
+//      default losslessly, so any camera whose radius of view can reach the
+//      circle is a candidate;
+//   2. range-search the index;
+//   3. orientation filter: drop FoVs whose viewing sector does not cover
+//      the query centre ("inquirers never want to know where the cameras
+//      are — only whether a segment covers the range");
+//   4. rank survivors by camera-to-centre distance (closer ⇒ less likely
+//      occluded) and return the top N.
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angle.hpp"
+#include "retrieval/query.hpp"
+
+namespace svg::retrieval {
+
+struct RetrievalConfig {
+  core::CameraIntrinsics camera{};
+  /// Extra angular tolerance (degrees) on the sector-coverage test; absorbs
+  /// compass noise in the stored θ̄.
+  double orientation_slack_deg = 5.0;
+  /// Disable to measure how much the direction filter contributes
+  /// (ablation).
+  bool orientation_filter = true;
+  /// A camera may see the query *area* without covering its centre; the
+  /// coverage test targets the centre but accepts anything within
+  /// `coverage_slack_m` of it (defaults to the query radius at search
+  /// time).
+  std::size_t top_n = 10;
+  /// Spatial search-box expansion; <= 0 means lossless (1 + R/r̂).
+  double box_expansion = 0.0;
+};
+
+/// Statistics from one search — the cost metrics Fig. 6(c) reports.
+struct SearchTrace {
+  std::size_t candidates = 0;  ///< from the range search
+  std::size_t after_filter = 0;
+  std::size_t returned = 0;
+};
+
+template <typename Index>
+class RetrievalEngine {
+ public:
+  RetrievalEngine(const Index& index, RetrievalConfig config) noexcept
+      : index_(&index), config_(config) {}
+
+  [[nodiscard]] const RetrievalConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Execute the full pipeline; `trace` (optional) receives cost counters.
+  [[nodiscard]] std::vector<RankedResult> search(
+      const Query& q, SearchTrace* trace = nullptr) const {
+    const double expansion = config_.box_expansion > 0.0
+                                 ? config_.box_expansion
+                                 : lossless_expansion(q, config_.camera);
+    const index::GeoTimeRange range = make_search_range(q, expansion);
+
+    std::vector<RankedResult> hits;
+    std::size_t candidates = 0;
+    index_->query(range, [&](const core::RepresentativeFov& rep) {
+      ++candidates;
+      const geo::Vec2 disp = geo::displacement_m(rep.fov.p, q.center);
+      const double dist = disp.norm();
+      if (config_.orientation_filter && !passes_orientation(rep, disp, dist)) {
+        return;
+      }
+      RankedResult r;
+      r.rep = rep;
+      r.distance_m = dist;
+      r.relevance = 1.0 / (1.0 + dist / std::max(1.0, q.radius_m));
+      hits.push_back(std::move(r));
+    });
+
+    const std::size_t kept = hits.size();
+    const std::size_t n = std::min(config_.top_n, hits.size());
+    std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(n),
+                      hits.end(),
+                      [](const RankedResult& a, const RankedResult& b) {
+                        return a.distance_m < b.distance_m;
+                      });
+    hits.resize(n);
+
+    if (trace) {
+      trace->candidates = candidates;
+      trace->after_filter = kept;
+      trace->returned = hits.size();
+    }
+    return hits;
+  }
+
+ private:
+  /// Section V-B step 3: keep the FoV only when its camera can actually see
+  /// the query centre — within radius of view AND within the viewing cone
+  /// (plus slack).
+  [[nodiscard]] bool passes_orientation(const core::RepresentativeFov& rep,
+                                        const geo::Vec2& disp,
+                                        double dist) const noexcept {
+    if (dist > config_.camera.radius_m) return false;
+    if (dist == 0.0) return true;
+    const double bearing = geo::azimuth_of_direction(disp.x, disp.y);
+    return geo::angular_difference_deg(bearing, rep.fov.theta_deg) <=
+           config_.camera.half_angle_deg + config_.orientation_slack_deg;
+  }
+
+  const Index* index_;
+  RetrievalConfig config_;
+};
+
+}  // namespace svg::retrieval

@@ -1,0 +1,94 @@
+#include "retrieval/metrics.hpp"
+
+#include <algorithm>
+
+namespace svg::retrieval {
+
+void VisibilityOracle::add_video(std::uint64_t video_id,
+                                 std::vector<core::FovRecord> truth_frames) {
+  videos_[video_id] = std::move(truth_frames);
+}
+
+bool VisibilityOracle::segment_relevant(std::uint64_t video_id,
+                                        core::TimestampMs t0,
+                                        core::TimestampMs t1,
+                                        const Query& q) const {
+  const auto it = videos_.find(video_id);
+  if (it == videos_.end()) return false;
+  const auto& frames = it->second;
+  const core::TimestampMs lo = std::max(t0, q.t_start);
+  const core::TimestampMs hi = std::min(t1, q.t_end);
+  if (lo > hi) return false;
+  // Frames are time-ordered; binary-search the window.
+  const auto begin = std::lower_bound(
+      frames.begin(), frames.end(), lo,
+      [](const core::FovRecord& r, core::TimestampMs t) { return r.t < t; });
+  for (auto f = begin; f != frames.end() && f->t <= hi; ++f) {
+    if (core::covers_point(f->fov, camera_, q.center)) return true;
+  }
+  return false;
+}
+
+QualityReport evaluate_results(std::span<const RankedResult> results,
+                               std::span<const core::RepresentativeFov> corpus,
+                               const VisibilityOracle& oracle,
+                               const Query& q) {
+  QualityReport rep;
+  rep.returned = results.size();
+  for (const auto& stored : corpus) {
+    if (oracle.relevant(stored, q)) ++rep.relevant_total;
+  }
+  double ap_sum = 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (oracle.relevant(results[i].rep, q)) {
+      ++hits;
+      ap_sum += static_cast<double>(hits) / static_cast<double>(i + 1);
+    }
+  }
+  rep.relevant_returned = hits;
+  if (rep.returned > 0) {
+    rep.precision = static_cast<double>(hits) /
+                    static_cast<double>(rep.returned);
+  }
+  if (rep.relevant_total > 0) {
+    rep.recall =
+        static_cast<double>(hits) / static_cast<double>(rep.relevant_total);
+  }
+  if (rep.precision + rep.recall > 0.0) {
+    rep.f1 = 2.0 * rep.precision * rep.recall /
+             (rep.precision + rep.recall);
+  }
+  const std::size_t ap_base = std::min(
+      rep.relevant_total, std::max<std::size_t>(results.size(), 1));
+  if (ap_base > 0) {
+    rep.average_precision = ap_sum / static_cast<double>(ap_base);
+  }
+  return rep;
+}
+
+QualityReport merge_reports(std::span<const QualityReport> rs) {
+  QualityReport out;
+  double p = 0, r = 0, f = 0, ap = 0;
+  std::size_t n = 0;
+  for (const auto& q : rs) {
+    out.returned += q.returned;
+    out.relevant_returned += q.relevant_returned;
+    out.relevant_total += q.relevant_total;
+    p += q.precision;
+    r += q.recall;
+    f += q.f1;
+    ap += q.average_precision;
+    ++n;
+  }
+  if (n > 0) {
+    const auto dn = static_cast<double>(n);
+    out.precision = p / dn;
+    out.recall = r / dn;
+    out.f1 = f / dn;
+    out.average_precision = ap / dn;
+  }
+  return out;
+}
+
+}  // namespace svg::retrieval

@@ -1,0 +1,79 @@
+#pragma once
+// Retrieval-quality evaluation. The paper claims FoV-based search reaches
+// accuracy "comparable with the content based method"; to measure that we
+// need ground truth. The VisibilityOracle holds each video's exact
+// (noise-free) pose stream and decides whether a given segment truly saw
+// the query point during the query window — the geometric definition of
+// relevance. Precision/recall/F1/AP follow.
+
+#include <compare>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/fov.hpp"
+#include "retrieval/query.hpp"
+
+namespace svg::retrieval {
+
+struct SegmentKey {
+  std::uint64_t video_id = 0;
+  std::uint32_t segment_id = 0;
+
+  auto operator<=>(const SegmentKey&) const = default;
+};
+
+/// Ground-truth relevance from exact pose streams.
+class VisibilityOracle {
+ public:
+  explicit VisibilityOracle(core::CameraIntrinsics camera) noexcept
+      : camera_(camera) {}
+
+  /// Register a video's exact (noise-free) frame stream.
+  void add_video(std::uint64_t video_id,
+                 std::vector<core::FovRecord> truth_frames);
+
+  /// True iff some frame of `video_id` inside [t0, t1] ∩ [q.t_start,
+  /// q.t_end] covers the query centre.
+  [[nodiscard]] bool segment_relevant(std::uint64_t video_id,
+                                      core::TimestampMs t0,
+                                      core::TimestampMs t1,
+                                      const Query& q) const;
+
+  /// Relevance of a stored representative (uses its interval + video id).
+  [[nodiscard]] bool relevant(const core::RepresentativeFov& rep,
+                              const Query& q) const {
+    return segment_relevant(rep.video_id, rep.t_start, rep.t_end, q);
+  }
+
+  [[nodiscard]] const core::CameraIntrinsics& camera() const noexcept {
+    return camera_;
+  }
+
+ private:
+  core::CameraIntrinsics camera_;
+  std::map<std::uint64_t, std::vector<core::FovRecord>> videos_;
+};
+
+struct QualityReport {
+  std::size_t returned = 0;
+  std::size_t relevant_returned = 0;
+  std::size_t relevant_total = 0;  ///< recall base over the whole corpus
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double average_precision = 0.0;  ///< AP over the ranked list
+};
+
+/// Score a ranked result list against the oracle. `corpus` is every
+/// representative FoV the server holds (defines the recall base).
+[[nodiscard]] QualityReport evaluate_results(
+    std::span<const RankedResult> results,
+    std::span<const core::RepresentativeFov> corpus,
+    const VisibilityOracle& oracle, const Query& q);
+
+/// Micro-average several reports (weighted by returned/relevant counts).
+[[nodiscard]] QualityReport merge_reports(std::span<const QualityReport> rs);
+
+}  // namespace svg::retrieval

@@ -1,0 +1,46 @@
+#pragma once
+// Query types for rank-based retrieval (Section V-B). An inquirer asks
+// Q = (ts, te, p̂, r̂): all video segments that cover the circle of radius r̂
+// around p̂ at some moment in [ts, te]. The server converts r̂ to longitude/
+// latitude scales at p̂ and searches the R-tree with the resulting box.
+
+#include <vector>
+
+#include "core/fov.hpp"
+#include "index/fov_index.hpp"
+
+namespace svg::retrieval {
+
+struct Query {
+  core::TimestampMs t_start = 0;
+  core::TimestampMs t_end = 0;
+  geo::LatLng center;      ///< p̂
+  double radius_m = 50.0;  ///< r̂ — empirical radius of view (20 m residential,
+                           ///< 100 m highway per Section V-B)
+};
+
+/// One ranked hit: the stored representative FoV, its camera-to-query-centre
+/// distance (the paper's rank key — closer cameras are less likely to be
+/// occluded), and a normalized relevance in (0, 1].
+struct RankedResult {
+  core::RepresentativeFov rep;
+  double distance_m = 0.0;
+  double relevance = 0.0;
+};
+
+/// Build the R-tree search rectangle R̂ for a query: p̂ ± r̂ converted to
+/// degrees at p̂'s latitude, and [ts, te] on the time axis. `expansion`
+/// scales the spatial half-width — the query-scale knob the paper discusses
+/// (bigger catches FoVs whose camera stands outside the circle but still
+/// sees into it; the natural choice is 1 + R/r̂ so any camera within its
+/// radius-of-view R of the circle is a candidate).
+[[nodiscard]] index::GeoTimeRange make_search_range(const Query& q,
+                                                    double expansion = 1.0);
+
+/// `expansion` that guarantees no covering camera is missed: the search box
+/// must reach every point within R (the camera's radius of view) of the
+/// query circle.
+[[nodiscard]] double lossless_expansion(const Query& q,
+                                        const core::CameraIntrinsics& cam);
+
+}  // namespace svg::retrieval

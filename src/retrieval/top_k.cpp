@@ -1,0 +1,64 @@
+#include "retrieval/top_k.hpp"
+
+#include <algorithm>
+
+#include "geo/angle.hpp"
+#include "geo/geodesy.hpp"
+
+namespace svg::retrieval {
+
+std::vector<RankedResult> search_top_k(const index::FovIndex& index,
+                                       const geo::LatLng& center,
+                                       core::TimestampMs t_start,
+                                       core::TimestampMs t_end,
+                                       std::size_t k,
+                                       const RetrievalConfig& config) {
+  std::vector<RankedResult> out;
+  if (k == 0 || index.size() == 0) return out;
+
+  // Grow the fetch geometrically: most candidates pass the orientation
+  // filter when cameras genuinely surround the spot, so 2k is usually
+  // enough; pathological corpora (everyone filming away) degrade to a
+  // full scan, which is the correct worst case for an exhaustive top-k.
+  std::size_t fetch = std::max<std::size_t>(2 * k, 8);
+  for (;;) {
+    const auto candidates =
+        index.nearest_k(center, fetch, t_start, t_end);
+    out.clear();
+    for (const auto& rep : candidates) {
+      const geo::Vec2 disp = geo::displacement_m(rep.fov.p, center);
+      const double dist = disp.norm();
+      if (config.orientation_filter) {
+        if (dist > config.camera.radius_m) {
+          // Candidates are distance-ordered: nothing farther can pass.
+          break;
+        }
+        if (dist > 0.0) {
+          const double bearing =
+              geo::azimuth_of_direction(disp.x, disp.y);
+          if (geo::angular_difference_deg(bearing, rep.fov.theta_deg) >
+              config.camera.half_angle_deg + config.orientation_slack_deg) {
+            continue;
+          }
+        }
+      }
+      RankedResult r;
+      r.rep = rep;
+      r.distance_m = dist;
+      r.relevance = 1.0 / (1.0 + dist / config.camera.radius_m);
+      out.push_back(std::move(r));
+      if (out.size() == k) return out;
+    }
+    // Exhausted the index, or the farthest candidate is already beyond
+    // the camera's radius of view (nothing farther can ever pass).
+    if (candidates.size() < fetch ||
+        (config.orientation_filter && !candidates.empty() &&
+         geo::distance_m(candidates.back().fov.p, center) >
+             config.camera.radius_m)) {
+      return out;
+    }
+    fetch *= 2;
+  }
+}
+
+}  // namespace svg::retrieval

@@ -1,0 +1,22 @@
+#pragma once
+// Radius-free top-k retrieval. Section V-B notes "the scale of the query
+// range is hard to decide" — too small misses covering cameras, too big
+// wastes work. This variant sidesteps the radius entirely: best-first
+// k-NN from the index (time-window filtered), orientation-checked against
+// the query centre, until k survivors are found. The inquirer supplies
+// only (where, when, how many).
+
+#include "index/fov_index.hpp"
+#include "retrieval/engine.hpp"
+
+namespace svg::retrieval {
+
+/// Top-k nearest covering segments. Internally over-fetches from the
+/// index in distance order and applies the Section V-B orientation filter
+/// until `k` results survive or candidates are exhausted.
+[[nodiscard]] std::vector<RankedResult> search_top_k(
+    const index::FovIndex& index, const geo::LatLng& center,
+    core::TimestampMs t_start, core::TimestampMs t_end, std::size_t k,
+    const RetrievalConfig& config);
+
+}  // namespace svg::retrieval

@@ -1,0 +1,260 @@
+#include "retrieval/utility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angle.hpp"
+
+namespace svg::retrieval {
+
+UtilityRect utility_rect(const core::RepresentativeFov& rep, const Query& q,
+                         const core::CameraIntrinsics& cam) {
+  UtilityRect r;
+  r.t_lo = std::max(rep.t_start, q.t_start);
+  r.t_hi = std::min(rep.t_end, q.t_end);
+  const double theta = geo::wrap_deg(rep.fov.theta_deg);
+  r.angle_lo_deg = theta - cam.half_angle_deg;
+  r.angle_hi_deg = theta + cam.half_angle_deg;
+  return r;
+}
+
+double global_utility(const Query& q) {
+  return 360.0 *
+         std::max(0.0, static_cast<double>(q.t_end - q.t_start) / 1000.0);
+}
+
+namespace {
+
+struct FlatRect {
+  double a_lo, a_hi;  // within [0, 360]
+  double t_lo, t_hi;  // seconds
+};
+
+/// Wrap-split into [0,360] pieces and convert time to seconds.
+void flatten(const UtilityRect& r, std::vector<FlatRect>& out) {
+  if (r.empty()) return;
+  const double t_lo = static_cast<double>(r.t_lo) / 1000.0;
+  const double t_hi = static_cast<double>(r.t_hi) / 1000.0;
+  double a_lo = r.angle_lo_deg;
+  double a_hi = r.angle_hi_deg;
+  const double span = std::min(360.0, a_hi - a_lo);
+  a_lo = geo::wrap_deg(a_lo);
+  a_hi = a_lo + span;
+  if (a_hi <= 360.0) {
+    out.push_back({a_lo, a_hi, t_lo, t_hi});
+  } else {
+    out.push_back({a_lo, 360.0, t_lo, t_hi});
+    out.push_back({0.0, a_hi - 360.0, t_lo, t_hi});
+  }
+}
+
+/// Union area by coordinate compression on the angle axis + interval
+/// merging on time per strip. Exact; O(k² log k) for k rectangles, plenty
+/// for top-N candidate sets.
+double union_area(const std::vector<FlatRect>& rects) {
+  if (rects.empty()) return 0.0;
+  std::vector<double> xs;
+  xs.reserve(rects.size() * 2);
+  for (const auto& r : rects) {
+    xs.push_back(r.a_lo);
+    xs.push_back(r.a_hi);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  double area = 0.0;
+  std::vector<std::pair<double, double>> spans;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    const double x_lo = xs[i], x_hi = xs[i + 1];
+    const double width = x_hi - x_lo;
+    if (width <= 0.0) continue;
+    spans.clear();
+    for (const auto& r : rects) {
+      if (r.a_lo <= x_lo && r.a_hi >= x_hi) {
+        spans.emplace_back(r.t_lo, r.t_hi);
+      }
+    }
+    if (spans.empty()) continue;
+    std::sort(spans.begin(), spans.end());
+    double covered = 0.0;
+    double cur_lo = spans[0].first, cur_hi = spans[0].second;
+    for (std::size_t j = 1; j < spans.size(); ++j) {
+      if (spans[j].first > cur_hi) {
+        covered += cur_hi - cur_lo;
+        cur_lo = spans[j].first;
+        cur_hi = spans[j].second;
+      } else {
+        cur_hi = std::max(cur_hi, spans[j].second);
+      }
+    }
+    covered += cur_hi - cur_lo;
+    area += width * covered;
+  }
+  return area;
+}
+
+double utility_of_set(std::span<const core::RepresentativeFov> candidates,
+                      std::span<const std::size_t> chosen, const Query& q,
+                      const core::CameraIntrinsics& cam) {
+  std::vector<FlatRect> rects;
+  for (std::size_t idx : chosen) {
+    flatten(utility_rect(candidates[idx], q, cam), rects);
+  }
+  return union_area(rects);
+}
+
+}  // namespace
+
+double coverage_utility(std::span<const UtilityRect> rects) {
+  std::vector<FlatRect> flat;
+  for (const auto& r : rects) flatten(r, flat);
+  return union_area(flat);
+}
+
+SelectionResult select_greedy(
+    std::span<const core::RepresentativeFov> candidates, const Query& q,
+    const core::CameraIntrinsics& cam, std::size_t k) {
+  SelectionResult result;
+  std::vector<bool> used(candidates.size(), false);
+  double current = 0.0;
+  while (result.chosen.size() < k) {
+    double best_gain = 0.0;
+    std::size_t best = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      std::vector<std::size_t> trial = result.chosen;
+      trial.push_back(i);
+      const double gain =
+          utility_of_set(candidates, trial, q, cam) - current;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == candidates.size() || best_gain <= 0.0) break;
+    used[best] = true;
+    result.chosen.push_back(best);
+    current += best_gain;
+  }
+  result.utility = current;
+  return result;
+}
+
+SelectionResult select_budgeted(
+    std::span<const core::RepresentativeFov> candidates,
+    std::span<const double> costs, const Query& q,
+    const core::CameraIntrinsics& cam, double budget) {
+  SelectionResult result;
+  if (candidates.size() != costs.size()) return result;
+  std::vector<bool> used(candidates.size(), false);
+  double current = 0.0, spent = 0.0;
+  for (;;) {
+    double best_ratio = 0.0;
+    std::size_t best = candidates.size();
+    double best_gain = 0.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i] || costs[i] <= 0.0 || spent + costs[i] > budget) continue;
+      std::vector<std::size_t> trial = result.chosen;
+      trial.push_back(i);
+      const double gain =
+          utility_of_set(candidates, trial, q, cam) - current;
+      const double ratio = gain / costs[i];
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = i;
+        best_gain = gain;
+      }
+    }
+    if (best == candidates.size() || best_gain <= 0.0) break;
+    used[best] = true;
+    result.chosen.push_back(best);
+    current += best_gain;
+    spent += costs[best];
+  }
+  // max(greedy, best affordable single) — the classic approximation fix.
+  double best_single_gain = 0.0;
+  std::size_t best_single = candidates.size();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (costs[i] <= 0.0 || costs[i] > budget) continue;
+    const std::size_t one[] = {i};
+    const double u = utility_of_set(candidates, one, q, cam);
+    if (u > best_single_gain) {
+      best_single_gain = u;
+      best_single = i;
+    }
+  }
+  if (best_single != candidates.size() && best_single_gain > current) {
+    result.chosen = {best_single};
+    result.utility = best_single_gain;
+    result.total_cost = costs[best_single];
+  } else {
+    result.utility = current;
+    result.total_cost = spent;
+  }
+  return result;
+}
+
+AuctionOutcome run_incentive_auction(
+    std::span<const core::RepresentativeFov> candidates,
+    std::span<const double> bids, const Query& q,
+    const core::CameraIntrinsics& cam, double budget) {
+  AuctionOutcome out;
+  if (candidates.size() != bids.size() || budget <= 0.0) return out;
+
+  std::vector<std::size_t> winners;
+  std::vector<bool> used(candidates.size(), false);
+  double current = 0.0;
+
+  // Greedy proportional-share rule: admit the next best marginal-per-cost
+  // candidate i only while bid_i <= gain_i / U(S ∪ i) * budget / 2 — i.e.
+  // the bid stays within the candidate's proportional share of half the
+  // budget (the 1/2 keeps the mechanism budget feasible with payments
+  // above bids).
+  for (;;) {
+    double best_ratio = 0.0;
+    std::size_t best = candidates.size();
+    double best_gain = 0.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i] || bids[i] <= 0.0) continue;
+      std::vector<std::size_t> trial = winners;
+      trial.push_back(i);
+      const double gain =
+          utility_of_set(candidates, trial, q, cam) - current;
+      if (gain <= 0.0) continue;
+      const double ratio = gain / bids[i];
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best = i;
+        best_gain = gain;
+      }
+    }
+    if (best == candidates.size()) break;
+    const double total_after = current + best_gain;
+    const double share = total_after > 0.0
+                             ? best_gain / total_after * budget / 2.0
+                             : 0.0;
+    if (bids[best] > share) break;
+    used[best] = true;
+    winners.push_back(best);
+    current = total_after;
+  }
+
+  // Payments: each winner receives its proportional share of half the
+  // budget — at least its bid by the admission rule.
+  out.winners = winners;
+  out.utility = current;
+  for (std::size_t w = 0; w < winners.size(); ++w) {
+    std::vector<std::size_t> prefix(winners.begin(),
+                                    winners.begin() + static_cast<long>(w));
+    const double before = utility_of_set(candidates, prefix, q, cam);
+    prefix.push_back(winners[w]);
+    const double after = utility_of_set(candidates, prefix, q, cam);
+    const double gain = after - before;
+    const double pay = current > 0.0 ? gain / current * budget / 2.0 : 0.0;
+    out.payments.push_back(std::max(pay, bids[winners[w]]));
+    out.spent += out.payments.back();
+  }
+  return out;
+}
+
+}  // namespace svg::retrieval

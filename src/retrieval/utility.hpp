@@ -1,0 +1,84 @@
+#pragma once
+// Video utility and incentive mechanism (Section VII, "Video Utility and
+// Incentive Mechanism"). For a query Q the global utility is the rectangle
+// 360° × (te − ts) in (viewing-angle × time) space; each candidate segment
+// contributes the sub-rectangle [θ̄−α, θ̄+α] × ([t_start, t_end] ∩ [ts, te]).
+// The utility of a set is the area of the union of its rectangles — a
+// non-negative monotone submodular function — so greedy selection enjoys
+// the classic (1 − 1/e) guarantee and a budgeted variant supports the
+// paper's reserved-budget incentive setting.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/fov.hpp"
+#include "retrieval/query.hpp"
+
+namespace svg::retrieval {
+
+/// One candidate's utility rectangle for a given query.
+struct UtilityRect {
+  double angle_lo_deg = 0.0;  ///< may exceed 360 before wrapping
+  double angle_hi_deg = 0.0;
+  core::TimestampMs t_lo = 0;
+  core::TimestampMs t_hi = 0;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return angle_hi_deg <= angle_lo_deg || t_hi <= t_lo;
+  }
+};
+
+/// Angular × temporal coverage of `rep` against `q`; empty when the time
+/// ranges are disjoint.
+[[nodiscard]] UtilityRect utility_rect(const core::RepresentativeFov& rep,
+                                       const Query& q,
+                                       const core::CameraIntrinsics& cam);
+
+/// Area of the union of utility rectangles, in degree·seconds. Handles the
+/// 0°/360° wrap by splitting rectangles.
+[[nodiscard]] double coverage_utility(std::span<const UtilityRect> rects);
+
+/// Global utility of the query itself: 360° × (te − ts) in degree·seconds.
+[[nodiscard]] double global_utility(const Query& q);
+
+/// Result of a selection run.
+struct SelectionResult {
+  std::vector<std::size_t> chosen;  ///< indices into the candidate span
+  double utility = 0.0;             ///< U(S), degree·seconds
+  double total_cost = 0.0;          ///< sum of chosen costs (budgeted runs)
+};
+
+/// Greedy cardinality-constrained maximization: pick up to `k` candidates
+/// with the largest marginal coverage gain. Lazy evaluation via a max-heap
+/// exploits submodularity.
+[[nodiscard]] SelectionResult select_greedy(
+    std::span<const core::RepresentativeFov> candidates, const Query& q,
+    const core::CameraIntrinsics& cam, std::size_t k);
+
+/// Budgeted variant: each candidate has a cost (its provider's bid); greedy
+/// by marginal-gain-per-cost with the standard max(greedy, best-single)
+/// fix, giving a constant-factor approximation.
+[[nodiscard]] SelectionResult select_budgeted(
+    std::span<const core::RepresentativeFov> candidates,
+    std::span<const double> costs, const Query& q,
+    const core::CameraIntrinsics& cam, double budget);
+
+/// Proportional-share incentive auction for the zero arrival-departure
+/// interval case: providers bid costs; winners are chosen greedily by
+/// marginal utility per cost while the bid stays under the proportional
+/// share of the remaining budget (Singer-style budget-feasible mechanism —
+/// truthful for submodular utility). Returns winners and their payments.
+struct AuctionOutcome {
+  std::vector<std::size_t> winners;
+  std::vector<double> payments;  ///< parallel to winners
+  double utility = 0.0;
+  double spent = 0.0;
+};
+
+[[nodiscard]] AuctionOutcome run_incentive_auction(
+    std::span<const core::RepresentativeFov> candidates,
+    std::span<const double> bids, const Query& q,
+    const core::CameraIntrinsics& cam, double budget);
+
+}  // namespace svg::retrieval

@@ -1,0 +1,174 @@
+#include "sim/crowd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/angle.hpp"
+
+namespace svg::sim {
+
+geo::LatLng CityModel::random_point(util::Xoshiro256& rng) const {
+  const double half = 0.5 * extent_m;
+  return geo::offset_m(center, rng.uniform(-half, half),
+                       rng.uniform(-half, half));
+}
+
+geo::Box2 CityModel::bounds_deg() const {
+  const double half = 0.5 * extent_m;
+  const geo::LatLng sw = geo::offset_m(center, -half, -half);
+  const geo::LatLng ne = geo::offset_m(center, half, half);
+  geo::Box2 b;
+  b.min = {sw.lng, sw.lat};
+  b.max = {ne.lng, ne.lat};
+  return b;
+}
+
+namespace {
+
+/// Random waypoint route: legs of length [min_leg, max_leg], turn angles
+/// uniform within ±max_turn, clamped to the city square.
+std::vector<geo::LatLng> random_route(const CityModel& city,
+                                      double route_length_m, double min_leg,
+                                      double max_leg, double max_turn_deg,
+                                      util::Xoshiro256& rng) {
+  const geo::LocalFrame frame(city.center);
+  const double half = 0.5 * city.extent_m;
+  geo::Vec2 pos = frame.to_local(city.random_point(rng));
+  double heading = rng.uniform(0.0, 360.0);
+  std::vector<geo::LatLng> route{frame.to_global(pos)};
+  double remaining = route_length_m;
+  while (remaining > 0.0) {
+    const double leg = std::min(remaining, rng.uniform(min_leg, max_leg));
+    double e, n;
+    geo::direction_of_azimuth(heading, e, n);
+    geo::Vec2 next = pos + geo::Vec2{e, n} * leg;
+    // Bounce off the city edge by turning back toward the centre.
+    if (std::abs(next.x) > half || std::abs(next.y) > half) {
+      heading = geo::azimuth_of_direction(-pos.x, -pos.y) +
+                rng.uniform(-30.0, 30.0);
+      geo::direction_of_azimuth(geo::wrap_deg(heading), e, n);
+      next = pos + geo::Vec2{e, n} * leg;
+    }
+    route.push_back(frame.to_global(next));
+    pos = next;
+    heading = geo::wrap_deg(heading + rng.uniform(-max_turn_deg,
+                                                  max_turn_deg));
+    remaining -= leg;
+  }
+  if (route.size() < 2) route.push_back(frame.to_global(pos + geo::Vec2{1, 0}));
+  return route;
+}
+
+}  // namespace
+
+TrajectoryPtr make_random_trajectory(MovementKind kind, const CityModel& city,
+                                     double duration_s,
+                                     util::Xoshiro256& rng) {
+  switch (kind) {
+    case MovementKind::kWalk: {
+      const double speed = rng.uniform(1.0, 1.8);
+      auto route = random_route(city, speed * duration_s, 10.0, 40.0, 60.0,
+                                rng);
+      return std::make_unique<WaypointTrajectory>(std::move(route), speed,
+                                                  0.0, 2.0);
+    }
+    case MovementKind::kDrive: {
+      const double speed = rng.uniform(8.0, 16.0);
+      auto route = random_route(city, speed * duration_s, 150.0, 500.0, 90.0,
+                                rng);
+      return std::make_unique<WaypointTrajectory>(std::move(route), speed,
+                                                  0.0, 1.0);
+    }
+    case MovementKind::kBike: {
+      const double speed = rng.uniform(3.5, 7.0);
+      auto route = random_route(city, speed * duration_s, 50.0, 150.0, 90.0,
+                                rng);
+      return std::make_unique<WaypointTrajectory>(std::move(route), speed,
+                                                  0.0, 1.5);
+    }
+    case MovementKind::kRotate: {
+      const double rate = rng.uniform(-30.0, 30.0);
+      return std::make_unique<RotationTrajectory>(
+          city.random_point(rng), rng.uniform(0.0, 360.0),
+          rate == 0.0 ? 10.0 : rate, duration_s);
+    }
+  }
+  return nullptr;  // unreachable
+}
+
+std::vector<ProviderSession> generate_crowd(const CityModel& city,
+                                            const CrowdConfig& cfg,
+                                            util::Xoshiro256& rng) {
+  std::vector<ProviderSession> sessions;
+  const double w_total = cfg.w_walk + cfg.w_drive + cfg.w_bike + cfg.w_rotate;
+  std::uint64_t next_video_id = 1;
+
+  for (std::uint32_t p = 0; p < cfg.providers; ++p) {
+    const std::uint32_t n_sessions =
+        cfg.min_sessions +
+        static_cast<std::uint32_t>(rng.bounded(
+            cfg.max_sessions - cfg.min_sessions + 1));
+    for (std::uint32_t s = 0; s < n_sessions; ++s) {
+      ProviderSession session;
+      session.provider_id = p;
+      session.video_id = next_video_id++;
+
+      const double pick = rng.uniform(0.0, w_total);
+      if (pick < cfg.w_walk) {
+        session.movement = MovementKind::kWalk;
+      } else if (pick < cfg.w_walk + cfg.w_drive) {
+        session.movement = MovementKind::kDrive;
+      } else if (pick < cfg.w_walk + cfg.w_drive + cfg.w_bike) {
+        session.movement = MovementKind::kBike;
+      } else {
+        session.movement = MovementKind::kRotate;
+      }
+
+      const double duration =
+          rng.uniform(cfg.min_duration_s, cfg.max_duration_s);
+      session.start_time =
+          cfg.window_start +
+          static_cast<core::TimestampMs>(rng.bounded(
+              static_cast<std::uint64_t>(cfg.window_length_ms)));
+
+      auto traj = make_random_trajectory(session.movement, city, duration,
+                                         rng);
+      CaptureConfig capture;
+      capture.fps = cfg.fps;
+      capture.start_time = session.start_time;
+
+      SensorSampler noisy(cfg.noise, capture);
+      session.records = noisy.sample(*traj, rng);
+
+      SensorSampler exact(SensorNoiseConfig::ideal(), capture);
+      util::Xoshiro256 unused(0);  // ideal sampler draws nothing
+      session.ground_truth = exact.sample(*traj, unused);
+
+      sessions.push_back(std::move(session));
+    }
+  }
+  return sessions;
+}
+
+std::vector<core::RepresentativeFov> random_representative_fovs(
+    std::size_t n, const CityModel& city, core::TimestampMs window_start,
+    core::TimestampMs window_length_ms, util::Xoshiro256& rng) {
+  std::vector<core::RepresentativeFov> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::RepresentativeFov rep;
+    rep.video_id = i + 1;
+    rep.segment_id = 0;
+    rep.fov.p = city.random_point(rng);
+    rep.fov.theta_deg = rng.uniform(0.0, 360.0);
+    rep.t_start = window_start + static_cast<core::TimestampMs>(rng.bounded(
+                                     static_cast<std::uint64_t>(
+                                         window_length_ms)));
+    rep.t_end = rep.t_start + static_cast<core::TimestampMs>(
+                                  1000.0 * rng.uniform(5.0, 60.0));
+    out.push_back(rep);
+  }
+  return out;
+}
+
+}  // namespace svg::sim

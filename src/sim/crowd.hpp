@@ -1,0 +1,78 @@
+#pragma once
+// Citywide crowd simulation. The paper's index/retrieval evaluation
+// "randomly simulate[s] citywide representative FoVs"; its accuracy claims
+// rest on crowds of providers recording while walking/driving/biking. This
+// module generates both: (a) full sensor-level recording sessions for
+// end-to-end pipeline runs, and (b) bulk random representative FoVs for the
+// index-scaling figures.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fov.hpp"
+#include "sim/sensors.hpp"
+#include "sim/trajectory.hpp"
+#include "util/rng.hpp"
+
+namespace svg::sim {
+
+/// A square city centred on a GPS point. All crowd activity happens inside.
+struct CityModel {
+  geo::LatLng center{39.9042, 116.4074};  // the paper's authors' home city
+  double extent_m = 5000.0;               ///< side length of the square
+
+  [[nodiscard]] geo::LatLng random_point(util::Xoshiro256& rng) const;
+  [[nodiscard]] geo::Box2 bounds_deg() const;  ///< (lng, lat) box, degrees
+};
+
+enum class MovementKind : std::uint8_t {
+  kWalk,    ///< 1.4 m/s, wandering waypoints, frequent heading changes
+  kDrive,   ///< 12 m/s, long straight legs (dashcam style)
+  kBike,    ///< 5 m/s, medium legs with turns
+  kRotate,  ///< stationary pan (bystander filming an event)
+};
+
+/// One provider's recording session: the uploaded FoV stream plus the
+/// ground truth that produced it (kept for accuracy evaluation).
+struct ProviderSession {
+  std::uint64_t video_id = 0;
+  std::uint32_t provider_id = 0;
+  MovementKind movement = MovementKind::kWalk;
+  core::TimestampMs start_time = 0;          ///< true capture start
+  std::vector<core::FovRecord> records;      ///< noisy sensor stream
+  std::vector<core::FovRecord> ground_truth; ///< same timestamps, exact pose
+};
+
+struct CrowdConfig {
+  std::uint32_t providers = 100;
+  std::uint32_t min_sessions = 1;
+  std::uint32_t max_sessions = 3;
+  double min_duration_s = 20.0;
+  double max_duration_s = 120.0;
+  double fps = 30.0;
+  /// Time window (ms since epoch) sessions start within.
+  core::TimestampMs window_start = 1'400'000'000'000;  // ~May 2014
+  core::TimestampMs window_length_ms = 24LL * 3600 * 1000;
+  SensorNoiseConfig noise{};
+  /// Movement mix (need not be normalized).
+  double w_walk = 0.5, w_drive = 0.2, w_bike = 0.2, w_rotate = 0.1;
+};
+
+/// Build a random trajectory of the given kind inside the city.
+[[nodiscard]] TrajectoryPtr make_random_trajectory(MovementKind kind,
+                                                   const CityModel& city,
+                                                   double duration_s,
+                                                   util::Xoshiro256& rng);
+
+/// Generate the full crowd corpus deterministically from the seed in `rng`.
+[[nodiscard]] std::vector<ProviderSession> generate_crowd(
+    const CityModel& city, const CrowdConfig& cfg, util::Xoshiro256& rng);
+
+/// Directly synthesize `n` random representative FoVs across the city and
+/// time window — the workload of the paper's Fig. 6(b)/(c). Segment
+/// durations are uniform in [5, 60] s.
+[[nodiscard]] std::vector<core::RepresentativeFov> random_representative_fovs(
+    std::size_t n, const CityModel& city, core::TimestampMs window_start,
+    core::TimestampMs window_length_ms, util::Xoshiro256& rng);
+
+}  // namespace svg::sim

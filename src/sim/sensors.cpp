@@ -1,0 +1,102 @@
+#include "sim/sensors.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/angle.hpp"
+
+namespace svg::sim {
+
+SensorSampler::SensorSampler(SensorNoiseConfig noise,
+                             CaptureConfig capture) noexcept
+    : noise_(noise), capture_(capture) {}
+
+std::vector<core::FovRecord> SensorSampler::sample(
+    const Trajectory& trajectory, util::Xoshiro256& rng) const {
+  if (capture_.fps <= 0.0) {
+    throw std::invalid_argument("SensorSampler: fps must be > 0");
+  }
+  const double duration = trajectory.duration_s();
+  const auto n_frames =
+      static_cast<std::size_t>(std::floor(duration * capture_.fps)) + 1;
+  std::vector<core::FovRecord> out;
+  out.reserve(n_frames);
+
+  const double dt = 1.0 / capture_.fps;
+  const bool hold_gps = noise_.gps_rate_hz > 0.0;
+  const double gps_period = hold_gps ? 1.0 / noise_.gps_rate_hz : 0.0;
+
+  // Ornstein-Uhlenbeck bias state (east, north) for correlated GPS error.
+  double bias_e = 0.0, bias_n = 0.0;
+  if (noise_.gps_bias_sigma_m > 0.0) {
+    bias_e = rng.gaussian(0.0, noise_.gps_bias_sigma_m);
+    bias_n = rng.gaussian(0.0, noise_.gps_bias_sigma_m);
+  }
+
+  geo::LatLng held_fix{};
+  bool have_fix = false;
+  double next_fix_t = 0.0;
+
+  for (std::size_t i = 0; i < n_frames; ++i) {
+    const double t = static_cast<double>(i) * dt;
+    const Pose truth = trajectory.at(t);
+
+    geo::LatLng measured_pos;
+    const bool fix_due = !hold_gps || t + 1e-9 >= next_fix_t || !have_fix;
+    if (fix_due) {
+      // Evolve the OU bias to this fix time.
+      if (noise_.gps_bias_sigma_m > 0.0 && noise_.gps_bias_tau_s > 0.0) {
+        const double step = hold_gps ? gps_period : dt;
+        const double a = std::exp(-step / noise_.gps_bias_tau_s);
+        const double s =
+            noise_.gps_bias_sigma_m * std::sqrt(1.0 - a * a);
+        bias_e = a * bias_e + rng.gaussian(0.0, s);
+        bias_n = a * bias_n + rng.gaussian(0.0, s);
+      }
+      const bool dropped =
+          have_fix && noise_.gps_dropout_prob > 0.0 &&
+          rng.chance(noise_.gps_dropout_prob);
+      if (!dropped) {
+        const double err_e = bias_e + rng.gaussian(0.0, noise_.gps_sigma_m);
+        const double err_n = bias_n + rng.gaussian(0.0, noise_.gps_sigma_m);
+        held_fix = geo::offset_m(truth.position, err_e, err_n);
+        have_fix = true;
+      }
+      if (hold_gps) {
+        while (next_fix_t <= t + 1e-9) next_fix_t += gps_period;
+      }
+    }
+    measured_pos = have_fix ? held_fix : truth.position;
+
+    double measured_theta = truth.heading_deg + noise_.compass_bias_deg;
+    if (noise_.compass_sigma_deg > 0.0) {
+      measured_theta += rng.gaussian(0.0, noise_.compass_sigma_deg);
+    }
+
+    core::FovRecord rec;
+    rec.t = capture_.start_time +
+            static_cast<core::TimestampMs>(std::llround(t * 1000.0));
+    rec.fov.p = measured_pos;
+    rec.fov.theta_deg = geo::wrap_deg(measured_theta);
+    out.push_back(rec);
+  }
+  return out;
+}
+
+core::TimestampMs ClockModel::device_time(
+    core::TimestampMs true_time_ms) const noexcept {
+  const double drifted =
+      static_cast<double>(true_time_ms) * (1.0 + drift_ppm * 1e-6);
+  return static_cast<core::TimestampMs>(std::llround(drifted + offset_ms));
+}
+
+ClockModel ClockModel::ntp_synced(util::Xoshiro256& rng,
+                                  double offset_sigma_ms,
+                                  double drift_ppm_sigma) {
+  ClockModel c;
+  c.offset_ms = rng.gaussian(0.0, offset_sigma_ms);
+  c.drift_ppm = rng.gaussian(0.0, drift_ppm_sigma);
+  return c;
+}
+
+}  // namespace svg::sim

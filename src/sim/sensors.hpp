@@ -1,0 +1,78 @@
+#pragma once
+// Sensor-layer simulation: turns a ground-truth Trajectory into the noisy,
+// rate-limited (t, p, θ) stream a real phone produces. The FoV pipeline
+// consumes exactly this stream, so every downstream algorithm is exercised
+// on realistic inputs (GPS fixes at ~1 Hz held between updates, Gaussian
+// position error with a slowly wandering bias, compass jitter + hard-iron
+// bias, occasional dropouts repeating the last fix).
+
+#include <vector>
+
+#include "core/fov.hpp"
+#include "sim/trajectory.hpp"
+#include "util/rng.hpp"
+
+namespace svg::sim {
+
+struct SensorNoiseConfig {
+  // GPS
+  double gps_rate_hz = 1.0;        ///< fix rate; held (ZOH) between fixes
+  double gps_sigma_m = 3.0;        ///< white positional error per fix
+  double gps_bias_sigma_m = 2.0;   ///< magnitude of the slow random-walk bias
+  double gps_bias_tau_s = 30.0;    ///< bias correlation time (OU process)
+  double gps_dropout_prob = 0.01;  ///< chance a fix is missed (last one held)
+
+  // Compass
+  double compass_sigma_deg = 2.0;  ///< per-sample jitter
+  double compass_bias_deg = 0.0;   ///< fixed hard-iron offset for the device
+
+  /// All-zero noise: the sensors report ground truth (useful for isolating
+  /// model error from sensor error in Fig. 4).
+  static SensorNoiseConfig ideal() noexcept {
+    SensorNoiseConfig c;
+    c.gps_rate_hz = 0.0;  // 0 = sample position at frame rate, no hold
+    c.gps_sigma_m = 0.0;
+    c.gps_bias_sigma_m = 0.0;
+    c.gps_dropout_prob = 0.0;
+    c.compass_sigma_deg = 0.0;
+    c.compass_bias_deg = 0.0;
+    return c;
+  }
+};
+
+struct CaptureConfig {
+  double fps = 30.0;                 ///< video frame rate
+  core::TimestampMs start_time = 0;  ///< capture start (device clock)
+};
+
+/// Samples a trajectory through the sensor model, producing one FovRecord
+/// per video frame — the record stream Section II-C's capture module emits.
+class SensorSampler {
+ public:
+  SensorSampler(SensorNoiseConfig noise, CaptureConfig capture) noexcept;
+
+  [[nodiscard]] std::vector<core::FovRecord> sample(
+      const Trajectory& trajectory, util::Xoshiro256& rng) const;
+
+ private:
+  SensorNoiseConfig noise_;
+  CaptureConfig capture_;
+};
+
+/// Device clock model (Section VI, clock synchronization): an NTP-disciplined
+/// clock has a small residual offset and negligible drift over a recording.
+struct ClockModel {
+  double offset_ms = 0.0;    ///< residual offset after NTP sync
+  double drift_ppm = 0.0;    ///< parts-per-million frequency error
+
+  /// Device-clock reading for a true time (ms since epoch).
+  [[nodiscard]] core::TimestampMs device_time(
+      core::TimestampMs true_time_ms) const noexcept;
+
+  /// Draw a realistic post-NTP clock: offset ~ N(0, offset_sigma_ms).
+  static ClockModel ntp_synced(util::Xoshiro256& rng,
+                               double offset_sigma_ms = 50.0,
+                               double drift_ppm_sigma = 5.0);
+};
+
+}  // namespace svg::sim

@@ -1,0 +1,66 @@
+#include "sim/trace_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace svg::sim {
+
+void write_trace_csv(std::ostream& os,
+                     std::span<const core::FovRecord> records) {
+  os << "t_ms,lat,lng,theta_deg\n";
+  char buf[128];
+  for (const auto& r : records) {
+    std::snprintf(buf, sizeof(buf), "%lld,%.8f,%.8f,%.3f\n",
+                  static_cast<long long>(r.t), r.fov.p.lat, r.fov.p.lng,
+                  r.fov.theta_deg);
+    os << buf;
+  }
+}
+
+bool write_trace_csv_file(const std::string& path,
+                          std::span<const core::FovRecord> records) {
+  std::ofstream os(path);
+  if (!os) return false;
+  write_trace_csv(os, records);
+  return static_cast<bool>(os);
+}
+
+std::optional<std::vector<core::FovRecord>> read_trace_csv(
+    std::istream& is) {
+  std::vector<core::FovRecord> out;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty() || line == "\r") continue;
+    if (first) {
+      first = false;
+      // Skip a header row if present.
+      if (line.find("t_ms") != std::string::npos) continue;
+    }
+    long long t = 0;
+    double lat = 0, lng = 0, theta = 0;
+    if (std::sscanf(line.c_str(), "%lld,%lf,%lf,%lf", &t, &lat, &lng,
+                    &theta) != 4) {
+      return std::nullopt;
+    }
+    if (lat < -90.0 || lat > 90.0 || lng < -180.0 || lng >= 360.0) {
+      return std::nullopt;
+    }
+    core::FovRecord rec;
+    rec.t = t;
+    rec.fov.p = {lat, lng};
+    rec.fov.theta_deg = theta;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::optional<std::vector<core::FovRecord>> read_trace_csv_file(
+    const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return std::nullopt;
+  return read_trace_csv(is);
+}
+
+}  // namespace svg::sim

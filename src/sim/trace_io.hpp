@@ -1,0 +1,31 @@
+#pragma once
+// Sensor-trace interchange. Real deployments would feed actual phone logs
+// into the pipeline; this CSV round-trip (t_ms,lat,lng,theta_deg — the
+// exact record of Section II-C) lets users replay captured traces through
+// the library and export simulated ones for inspection/plotting.
+
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/fov.hpp"
+
+namespace svg::sim {
+
+/// Write records as CSV with a header row.
+void write_trace_csv(std::ostream& os,
+                     std::span<const core::FovRecord> records);
+bool write_trace_csv_file(const std::string& path,
+                          std::span<const core::FovRecord> records);
+
+/// Parse CSV produced by write_trace_csv (header optional; blank lines
+/// skipped). nullopt on any malformed row — a partially-read trace would
+/// silently corrupt downstream timing.
+[[nodiscard]] std::optional<std::vector<core::FovRecord>> read_trace_csv(
+    std::istream& is);
+[[nodiscard]] std::optional<std::vector<core::FovRecord>>
+read_trace_csv_file(const std::string& path);
+
+}  // namespace svg::sim

@@ -1,0 +1,142 @@
+#include "sim/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "geo/angle.hpp"
+
+namespace svg::sim {
+
+StraightTrajectory::StraightTrajectory(geo::LatLng origin,
+                                       double travel_heading_deg,
+                                       double speed_mps, double duration_s,
+                                       double camera_offset_deg)
+    : frame_(origin),
+      heading_deg_(geo::wrap_deg(travel_heading_deg)),
+      speed_mps_(speed_mps),
+      duration_s_(duration_s),
+      camera_offset_deg_(camera_offset_deg) {
+  if (duration_s <= 0.0) {
+    throw std::invalid_argument("StraightTrajectory: duration must be > 0");
+  }
+  double e, n;
+  geo::direction_of_azimuth(heading_deg_, e, n);
+  dir_ = {e, n};
+}
+
+Pose StraightTrajectory::at(double t_s) const {
+  t_s = std::clamp(t_s, 0.0, duration_s_);
+  const geo::Vec2 pos = dir_ * (speed_mps_ * t_s);
+  return {frame_.to_global(pos),
+          geo::wrap_deg(heading_deg_ + camera_offset_deg_)};
+}
+
+RotationTrajectory::RotationTrajectory(geo::LatLng position,
+                                       double initial_heading_deg,
+                                       double angular_rate_dps,
+                                       double duration_s)
+    : position_(position),
+      initial_heading_deg_(geo::wrap_deg(initial_heading_deg)),
+      rate_dps_(angular_rate_dps),
+      duration_s_(duration_s) {
+  if (duration_s <= 0.0) {
+    throw std::invalid_argument("RotationTrajectory: duration must be > 0");
+  }
+}
+
+Pose RotationTrajectory::at(double t_s) const {
+  t_s = std::clamp(t_s, 0.0, duration_s_);
+  return {position_, geo::wrap_deg(initial_heading_deg_ + rate_dps_ * t_s)};
+}
+
+WaypointTrajectory::WaypointTrajectory(std::vector<geo::LatLng> waypoints,
+                                       double speed_mps,
+                                       double camera_offset_deg,
+                                       double turn_blend_s)
+    : frame_(waypoints.empty() ? geo::LatLng{} : waypoints.front()),
+      speed_mps_(speed_mps),
+      camera_offset_deg_(camera_offset_deg),
+      turn_blend_s_(std::max(0.0, turn_blend_s)),
+      total_s_(0.0) {
+  if (waypoints.size() < 2) {
+    throw std::invalid_argument("WaypointTrajectory: need >= 2 waypoints");
+  }
+  if (speed_mps <= 0.0) {
+    throw std::invalid_argument("WaypointTrajectory: speed must be > 0");
+  }
+  double t = 0.0;
+  for (std::size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    const geo::Vec2 a = frame_.to_local(waypoints[i]);
+    const geo::Vec2 b = frame_.to_local(waypoints[i + 1]);
+    const geo::Vec2 d = b - a;
+    const double len = d.norm();
+    if (len <= 0.0) continue;  // skip duplicate waypoints
+    Leg leg;
+    leg.from = a;
+    leg.dir = d / len;
+    leg.heading_deg = geo::azimuth_of_direction(leg.dir.x, leg.dir.y);
+    leg.start_s = t;
+    leg.length_m = len;
+    legs_.push_back(leg);
+    t += len / speed_mps_;
+  }
+  if (legs_.empty()) {
+    throw std::invalid_argument("WaypointTrajectory: degenerate route");
+  }
+  total_s_ = t;
+}
+
+Pose WaypointTrajectory::at(double t_s) const {
+  t_s = std::clamp(t_s, 0.0, total_s_);
+  // Find the active leg (legs are few; linear scan is fine and cache-warm).
+  std::size_t i = 0;
+  while (i + 1 < legs_.size() && legs_[i + 1].start_s <= t_s) ++i;
+  const Leg& leg = legs_[i];
+  const double along_m = (t_s - leg.start_s) * speed_mps_;
+  const geo::Vec2 pos = leg.from + leg.dir * std::min(along_m, leg.length_m);
+
+  // Blend heading into the next leg near the corner.
+  double heading = leg.heading_deg;
+  if (turn_blend_s_ > 0.0 && i + 1 < legs_.size()) {
+    const double leg_end_s = legs_[i + 1].start_s;
+    const double into_blend = t_s - (leg_end_s - turn_blend_s_);
+    if (into_blend > 0.0) {
+      const double frac = std::min(1.0, into_blend / turn_blend_s_);
+      const double turn = geo::signed_angular_difference_deg(
+          leg.heading_deg, legs_[i + 1].heading_deg);
+      heading = geo::wrap_deg(leg.heading_deg + 0.5 * frac * turn);
+    }
+  }
+  if (turn_blend_s_ > 0.0 && i > 0) {
+    const double since_corner = t_s - leg.start_s;
+    if (since_corner < turn_blend_s_) {
+      const double frac = since_corner / turn_blend_s_;
+      const double turn = geo::signed_angular_difference_deg(
+          legs_[i - 1].heading_deg, leg.heading_deg);
+      heading = geo::wrap_deg(legs_[i - 1].heading_deg +
+                              (0.5 + 0.5 * frac) * turn);
+    }
+  }
+  return {frame_.to_global(pos), geo::wrap_deg(heading + camera_offset_deg_)};
+}
+
+CompositeTrajectory::CompositeTrajectory(std::vector<TrajectoryPtr> parts)
+    : parts_(std::move(parts)) {
+  if (parts_.empty()) {
+    throw std::invalid_argument("CompositeTrajectory: no parts");
+  }
+  for (const auto& p : parts_) {
+    offsets_.push_back(total_s_);
+    total_s_ += p->duration_s();
+  }
+}
+
+Pose CompositeTrajectory::at(double t_s) const {
+  t_s = std::clamp(t_s, 0.0, total_s_);
+  std::size_t i = 0;
+  while (i + 1 < parts_.size() && offsets_[i + 1] <= t_s) ++i;
+  return parts_[i]->at(t_s - offsets_[i]);
+}
+
+}  // namespace svg::sim

@@ -1,0 +1,117 @@
+#pragma once
+// Ground-truth device motion. The paper evaluates with real recordings
+// (walking, driving, biking with a turn, rotating in place); we replace the
+// phone with trajectory models that produce the exact pose (position +
+// camera heading) at any instant. Sensor noise is layered on separately in
+// sensors.hpp, so every experiment can compare noisy-sensor FoVs against
+// perfect ground truth.
+
+#include <memory>
+#include <vector>
+
+#include "geo/geodesy.hpp"
+
+namespace svg::sim {
+
+/// Instantaneous device state: where the camera is and where it points.
+struct Pose {
+  geo::LatLng position;
+  double heading_deg = 0.0;  ///< camera azimuth, deg clockwise from north
+};
+
+/// A deterministic motion profile over [0, duration_s].
+class Trajectory {
+ public:
+  virtual ~Trajectory() = default;
+
+  /// Pose at time t (seconds from the start). t is clamped to the domain.
+  [[nodiscard]] virtual Pose at(double t_s) const = 0;
+
+  [[nodiscard]] virtual double duration_s() const = 0;
+};
+
+using TrajectoryPtr = std::unique_ptr<Trajectory>;
+
+/// Constant-velocity straight line; the camera faces `camera_offset_deg`
+/// away from the direction of travel (0 = dashcam-style forward view,
+/// 90 = filming out the right side — the paper's θ_p = 90° experiment).
+class StraightTrajectory final : public Trajectory {
+ public:
+  StraightTrajectory(geo::LatLng origin, double travel_heading_deg,
+                     double speed_mps, double duration_s,
+                     double camera_offset_deg = 0.0);
+
+  [[nodiscard]] Pose at(double t_s) const override;
+  [[nodiscard]] double duration_s() const override { return duration_s_; }
+
+ private:
+  geo::LocalFrame frame_;
+  double heading_deg_;
+  double speed_mps_;
+  double duration_s_;
+  double camera_offset_deg_;
+  geo::Vec2 dir_;
+};
+
+/// Stationary camera rotating at a constant angular rate (Fig. 5(a)).
+class RotationTrajectory final : public Trajectory {
+ public:
+  RotationTrajectory(geo::LatLng position, double initial_heading_deg,
+                     double angular_rate_dps, double duration_s);
+
+  [[nodiscard]] Pose at(double t_s) const override;
+  [[nodiscard]] double duration_s() const override { return duration_s_; }
+
+ private:
+  geo::LatLng position_;
+  double initial_heading_deg_;
+  double rate_dps_;
+  double duration_s_;
+};
+
+/// Piecewise-linear waypoint route traversed at a constant speed. Camera
+/// faces the direction of travel plus a fixed offset; heading blends across
+/// corners over `turn_blend_s` seconds so compass traces look like a person
+/// turning, not a step function. Models the bike-ride-with-a-right-turn of
+/// Fig. 5(c) and arbitrary city routes.
+class WaypointTrajectory final : public Trajectory {
+ public:
+  WaypointTrajectory(std::vector<geo::LatLng> waypoints, double speed_mps,
+                     double camera_offset_deg = 0.0,
+                     double turn_blend_s = 1.5);
+
+  [[nodiscard]] Pose at(double t_s) const override;
+  [[nodiscard]] double duration_s() const override { return total_s_; }
+
+ private:
+  struct Leg {
+    geo::Vec2 from;      // local metres
+    geo::Vec2 dir;       // unit
+    double heading_deg;  // travel bearing
+    double start_s;
+    double length_m;
+  };
+
+  geo::LocalFrame frame_;
+  std::vector<Leg> legs_;
+  double speed_mps_;
+  double camera_offset_deg_;
+  double turn_blend_s_;
+  double total_s_;
+};
+
+/// Runs several trajectories back to back (e.g. walk, stop and pan, walk).
+class CompositeTrajectory final : public Trajectory {
+ public:
+  explicit CompositeTrajectory(std::vector<TrajectoryPtr> parts);
+
+  [[nodiscard]] Pose at(double t_s) const override;
+  [[nodiscard]] double duration_s() const override { return total_s_; }
+
+ private:
+  std::vector<TrajectoryPtr> parts_;
+  std::vector<double> offsets_;
+  double total_s_ = 0.0;
+};
+
+}  // namespace svg::sim

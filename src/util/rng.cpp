@@ -1,0 +1,24 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace svg::util {
+
+double Xoshiro256::gaussian() noexcept {
+  if (has_cached_) {
+    has_cached_ = false;
+    return cached_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_ = v * factor;
+  has_cached_ = true;
+  return u * factor;
+}
+
+}  // namespace svg::util

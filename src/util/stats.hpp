@@ -1,0 +1,101 @@
+#pragma once
+// Streaming and batch statistics used throughout the evaluation harness:
+// Welford running moments, exact percentiles over retained samples, fixed-bin
+// histograms, and Pearson correlation (Fig. 5 correlates FoV-similarity and
+// CV-similarity matrices).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace svg::util {
+
+/// Numerically stable running mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void clear() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Retains every sample; supports exact quantiles. Use for latency
+/// distributions where tail percentiles matter (Fig. 6c reports worst-case
+/// sub-100ms response).
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] double mean() const noexcept;
+  /// Exact quantile by linear interpolation, q in [0,1]. Sorts lazily.
+  [[nodiscard]] double quantile(double q);
+  [[nodiscard]] double median() { return quantile(0.5); }
+  [[nodiscard]] double p99() { return quantile(0.99); }
+  [[nodiscard]] double min();
+  [[nodiscard]] double max();
+  [[nodiscard]] std::span<const double> samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  void ensure_sorted();
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Fixed-range, fixed-bin histogram.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const {
+    return counts_.at(i);
+  }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+  /// Count of samples outside [lo, hi).
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+/// Pearson correlation coefficient of two equally sized series.
+/// Returns 0 when either series has zero variance or sizes mismatch.
+[[nodiscard]] double pearson(std::span<const double> a,
+                             std::span<const double> b) noexcept;
+
+/// Root-mean-square error between two equally sized series (0 on mismatch).
+[[nodiscard]] double rmse(std::span<const double> a,
+                          std::span<const double> b) noexcept;
+
+}  // namespace svg::util

@@ -1,0 +1,40 @@
+#pragma once
+// Monotonic wall-clock timing for benchmarks and the retrieval latency
+// measurements (Fig. 6b/6c reproduce per-operation timings).
+
+#include <chrono>
+#include <cstdint>
+
+namespace svg::util {
+
+/// A steady-clock stopwatch. Construction starts it.
+class Stopwatch {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last reset().
+  [[nodiscard]] std::chrono::nanoseconds elapsed() const noexcept {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_);
+  }
+
+  [[nodiscard]] double elapsed_ns() const noexcept {
+    return static_cast<double>(elapsed().count());
+  }
+  [[nodiscard]] double elapsed_us() const noexcept {
+    return elapsed_ns() / 1e3;
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept {
+    return elapsed_ns() / 1e6;
+  }
+  [[nodiscard]] double elapsed_s() const noexcept { return elapsed_ns() / 1e9; }
+
+ private:
+  Clock::time_point start_;
+};
+
+}  // namespace svg::util

@@ -1,0 +1,49 @@
+#pragma once
+// Aligned-console and CSV table emission. Every bench binary prints the rows
+// of its paper figure through this writer so output is uniform and grep-able.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace svg::util {
+
+/// Collects rows of string cells and renders them either as an aligned text
+/// table (for terminals) or CSV (for plotting). Cell conversion helpers
+/// format doubles with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Format a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 3);
+  /// Integers of any width format exactly (no ambiguity with the double
+  /// overload thanks to the constraint).
+  template <typename T>
+    requires std::integral<T>
+  static std::string num(T v) {
+    return std::to_string(v);
+  }
+
+  /// Render with column alignment and a header underline.
+  void print(std::ostream& os) const;
+  /// Render as RFC-4180-ish CSV (cells containing commas are quoted).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& data()
+      const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace svg::util

@@ -1,0 +1,69 @@
+#include "cv/frame.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using svg::cv::Frame;
+using svg::cv::Resolution;
+
+TEST(FrameTest, ConstructionFills) {
+  Frame f(4, 3, 7);
+  EXPECT_EQ(f.width(), 4);
+  EXPECT_EQ(f.height(), 3);
+  EXPECT_EQ(f.pixel_count(), 12u);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      ASSERT_EQ(f.at(x, y), 7);
+    }
+  }
+}
+
+TEST(FrameTest, DefaultIsEmpty) {
+  Frame f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.pixel_count(), 0u);
+}
+
+TEST(FrameTest, SetAndGet) {
+  Frame f(2, 2);
+  f.set(1, 0, 200);
+  EXPECT_EQ(f.at(1, 0), 200);
+  EXPECT_EQ(f.at(0, 0), 0);
+}
+
+TEST(FrameTest, FillRectInterior) {
+  Frame f(8, 8);
+  f.fill_rect(2, 3, 5, 6, 99);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      const bool inside = x >= 2 && x < 5 && y >= 3 && y < 6;
+      ASSERT_EQ(f.at(x, y), inside ? 99 : 0) << x << "," << y;
+    }
+  }
+}
+
+TEST(FrameTest, FillRectClipsToBounds) {
+  Frame f(4, 4);
+  f.fill_rect(-10, -10, 100, 2, 50);
+  EXPECT_EQ(f.at(0, 0), 50);
+  EXPECT_EQ(f.at(3, 1), 50);
+  EXPECT_EQ(f.at(0, 2), 0);
+}
+
+TEST(FrameTest, FillRectEmptyAndInvertedNoop) {
+  Frame f(4, 4);
+  f.fill_rect(2, 2, 2, 3, 50);  // zero width
+  f.fill_rect(3, 3, 1, 1, 50);  // inverted
+  for (std::size_t i = 0; i < f.pixel_count(); ++i) {
+    ASSERT_EQ(f.data()[i], 0);
+  }
+}
+
+TEST(ResolutionTest, Presets) {
+  EXPECT_EQ(Resolution::qvga().width, 320);
+  EXPECT_EQ(Resolution::vga().height, 480);
+  EXPECT_EQ(Resolution::hd720().width, 1280);
+}
+
+}  // namespace

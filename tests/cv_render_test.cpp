@@ -1,0 +1,143 @@
+#include "cv/renderer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cv/similarity.hpp"
+#include "geo/geodesy.hpp"
+
+namespace {
+
+using namespace svg::cv;
+using svg::core::CameraIntrinsics;
+using svg::geo::LatLng;
+using svg::geo::LocalFrame;
+using svg::geo::Vec2;
+
+const LatLng kOrigin{39.9042, 116.4074};
+
+SceneRenderer make_renderer(const World& world,
+                            Resolution res = {160, 120}) {
+  RenderOptions opts;
+  opts.resolution = res;
+  return SceneRenderer(world, CameraIntrinsics{30.0, 100.0},
+                       LocalFrame(kOrigin), opts);
+}
+
+World single_landmark(Vec2 pos) {
+  Landmark lm;
+  lm.position = pos;
+  lm.width_m = 10.0;
+  lm.height_m = 15.0;
+  lm.brightness = 10;  // dark against sky/ground
+  return World({lm});
+}
+
+int count_dark(const Frame& f) {
+  int n = 0;
+  for (std::size_t i = 0; i < f.pixel_count(); ++i) {
+    if (f.data()[i] < 50) ++n;
+  }
+  return n;
+}
+
+TEST(RendererTest, EmptyWorldIsSkyAndGround) {
+  const World empty;
+  const auto r = make_renderer(empty);
+  const Frame f = r.render_local({0, 0}, 0.0);
+  // Top half sky, bottom half ground.
+  EXPECT_EQ(f.at(10, 10), 235);
+  EXPECT_EQ(f.at(10, 100), 96);
+}
+
+TEST(RendererTest, LandmarkAheadIsVisible) {
+  const auto world = single_landmark({0, 30});
+  const auto r = make_renderer(world);
+  const Frame f = r.render_local({0, 0}, 0.0);
+  EXPECT_GT(count_dark(f), 0);
+}
+
+TEST(RendererTest, LandmarkBehindIsInvisible) {
+  const auto world = single_landmark({0, -30});
+  const auto r = make_renderer(world);
+  const Frame f = r.render_local({0, 0}, 0.0);
+  EXPECT_EQ(count_dark(f), 0);
+}
+
+TEST(RendererTest, LandmarkBeyondRadiusInvisible) {
+  const auto world = single_landmark({0, 150});  // R = 100
+  const auto r = make_renderer(world);
+  const Frame f = r.render_local({0, 0}, 0.0);
+  EXPECT_EQ(count_dark(f), 0);
+}
+
+TEST(RendererTest, LandmarkOutsideConeInvisible) {
+  const auto world = single_landmark({60, 30});  // ~63° off-axis
+  const auto r = make_renderer(world);
+  const Frame f = r.render_local({0, 0}, 0.0);
+  EXPECT_EQ(count_dark(f), 0);
+}
+
+TEST(RendererTest, RotatingTowardLandmarkRevealsIt) {
+  const auto world = single_landmark({30, 30});  // 45° east of north
+  const auto r = make_renderer(world);
+  EXPECT_EQ(count_dark(r.render_local({0, 0}, 300.0)), 0);
+  EXPECT_GT(count_dark(r.render_local({0, 0}, 45.0)), 0);
+}
+
+TEST(RendererTest, CloserLandmarkAppearsBigger) {
+  const auto far_world = single_landmark({0, 80});
+  const auto near_world = single_landmark({0, 20});
+  const auto r_far = make_renderer(far_world);
+  const auto r_near = make_renderer(near_world);
+  EXPECT_GT(count_dark(r_near.render_local({0, 0}, 0.0)),
+            count_dark(r_far.render_local({0, 0}, 0.0)));
+}
+
+TEST(RendererTest, SmallRotationChangesLessThanLargeRotation) {
+  svg::util::Xoshiro256 rng(11);
+  const World world = World::random_city(200, 300.0, rng);
+  const auto r = make_renderer(world);
+  const Frame base = r.render_local({0, 0}, 0.0);
+  const Frame small = r.render_local({0, 0}, 5.0);
+  const Frame large = r.render_local({0, 0}, 60.0);
+  EXPECT_GT(frame_difference_similarity(base, small),
+            frame_difference_similarity(base, large));
+}
+
+TEST(RendererTest, TranslationReducesContentSimilarityMonotonically) {
+  svg::util::Xoshiro256 rng(12);
+  const World world = World::street_canyon(400.0, 20.0, 15.0, rng);
+  const auto r = make_renderer(world);
+  const Frame base = r.render_local({0, 10}, 0.0);
+  double prev = 1.0;
+  for (double d : {5.0, 20.0, 60.0}) {
+    const double s = frame_difference_similarity(
+        base, r.render_local({0, 10 + d}, 0.0));
+    EXPECT_LT(s, prev + 0.05) << d;
+    prev = s;
+  }
+}
+
+TEST(RenderVideoTest, OneFramePerCaptureInstant) {
+  svg::util::Xoshiro256 rng(13);
+  const World world = World::random_city(20, 200.0, rng);
+  const auto r = make_renderer(world, {80, 60});
+  svg::sim::StraightTrajectory traj(kOrigin, 0.0, 1.0, 3.0);
+  const auto frames = render_video(r, traj, 10.0);
+  EXPECT_EQ(frames.size(), 31u);
+  for (const auto& f : frames) {
+    ASSERT_EQ(f.width(), 80);
+    ASSERT_EQ(f.height(), 60);
+  }
+}
+
+TEST(RendererTest, GpsPoseAndLocalPoseAgree) {
+  const auto world = single_landmark({0, 30});
+  const auto r = make_renderer(world);
+  svg::sim::Pose pose{kOrigin, 0.0};
+  const Frame a = r.render(pose);
+  const Frame b = r.render_local({0, 0}, 0.0);
+  EXPECT_DOUBLE_EQ(frame_difference_similarity(a, b), 1.0);
+}
+
+}  // namespace

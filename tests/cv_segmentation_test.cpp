@@ -1,0 +1,97 @@
+#include "cv/segmentation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using namespace svg::cv;
+
+std::vector<Frame> constant_video(int n, std::uint8_t v) {
+  std::vector<Frame> frames;
+  for (int i = 0; i < n; ++i) frames.emplace_back(16, 16, v);
+  return frames;
+}
+
+TEST(ContentSegmenterTest, StaticVideoIsOneSegment) {
+  const auto frames = constant_video(50, 128);
+  const auto segs = segment_by_content(frames, ContentSegmenterConfig{});
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].first, 0u);
+  EXPECT_EQ(segs[0].last, 49u);
+  EXPECT_EQ(segs[0].size(), 50u);
+}
+
+TEST(ContentSegmenterTest, SceneCutSplits) {
+  auto frames = constant_video(20, 0);
+  const auto second = constant_video(20, 255);
+  frames.insert(frames.end(), second.begin(), second.end());
+  const auto segs = segment_by_content(frames, ContentSegmenterConfig{});
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].last, 19u);
+  EXPECT_EQ(segs[1].first, 20u);
+  EXPECT_EQ(segs[1].last, 39u);
+}
+
+TEST(ContentSegmenterTest, SegmentsPartitionIndices) {
+  std::vector<Frame> frames;
+  for (int i = 0; i < 90; ++i) {
+    frames.emplace_back(8, 8, static_cast<std::uint8_t>((i / 10) * 25));
+  }
+  ContentSegmenterConfig cfg;
+  cfg.threshold = 0.95;
+  const auto segs = segment_by_content(frames, cfg);
+  ASSERT_FALSE(segs.empty());
+  std::size_t expected_first = 0;
+  for (const auto& s : segs) {
+    ASSERT_EQ(s.first, expected_first);
+    ASSERT_GE(s.last, s.first);
+    expected_first = s.last + 1;
+  }
+  EXPECT_EQ(expected_first, frames.size());
+}
+
+TEST(ContentSegmenterTest, StreamingMatchesBatch) {
+  std::vector<Frame> frames;
+  for (int i = 0; i < 60; ++i) {
+    frames.emplace_back(8, 8, static_cast<std::uint8_t>(i * 4));
+  }
+  ContentSegmenterConfig cfg;
+  cfg.threshold = 0.9;
+  const auto batch = segment_by_content(frames, cfg);
+
+  ContentSegmenter seg(cfg);
+  std::vector<ContentSegment> streamed;
+  for (const auto& f : frames) {
+    if (auto done = seg.push(f)) streamed.push_back(*done);
+  }
+  if (auto done = seg.finish()) streamed.push_back(*done);
+
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(streamed[i].first, batch[i].first);
+    EXPECT_EQ(streamed[i].last, batch[i].last);
+  }
+}
+
+TEST(ContentSegmenterTest, CustomSimilarityFunctionIsUsed) {
+  ContentSegmenterConfig cfg;
+  cfg.threshold = 0.5;
+  int calls = 0;
+  cfg.similarity = [&calls](const Frame&, const Frame&) {
+    ++calls;
+    return 1.0;  // never split
+  };
+  const auto frames = constant_video(10, 0);
+  const auto segs = segment_by_content(frames, cfg);
+  EXPECT_EQ(segs.size(), 1u);
+  EXPECT_EQ(calls, 9);  // every frame after the anchor
+}
+
+TEST(ContentSegmenterTest, FinishOnEmptyReturnsNothing) {
+  ContentSegmenter seg(ContentSegmenterConfig{});
+  EXPECT_FALSE(seg.finish().has_value());
+}
+
+}  // namespace

@@ -1,0 +1,88 @@
+#include "cv/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace svg::cv;
+
+Frame solid(int w, int h, std::uint8_t v) { return Frame(w, h, v); }
+
+TEST(FrameDifferenceTest, IdenticalFramesAreOne) {
+  const Frame f = solid(8, 8, 100);
+  EXPECT_DOUBLE_EQ(frame_difference_similarity(f, f), 1.0);
+}
+
+TEST(FrameDifferenceTest, MaximallyDifferentIsZero) {
+  EXPECT_DOUBLE_EQ(
+      frame_difference_similarity(solid(4, 4, 0), solid(4, 4, 255)), 0.0);
+}
+
+TEST(FrameDifferenceTest, IntermediateValue) {
+  // Mean |diff| of 51 → 1 − 0.2 = 0.8.
+  EXPECT_NEAR(
+      frame_difference_similarity(solid(4, 4, 100), solid(4, 4, 151)), 0.8,
+      1e-12);
+}
+
+TEST(FrameDifferenceTest, MismatchedSizesGiveZero) {
+  EXPECT_EQ(frame_difference_similarity(solid(4, 4, 0), solid(4, 5, 0)),
+            0.0);
+  EXPECT_EQ(frame_difference_similarity(Frame{}, Frame{}), 0.0);
+}
+
+TEST(FrameDifferenceTest, Symmetric) {
+  Frame a(4, 4, 10);
+  Frame b(4, 4, 10);
+  a.set(0, 0, 250);
+  b.set(3, 3, 1);
+  EXPECT_DOUBLE_EQ(frame_difference_similarity(a, b),
+                   frame_difference_similarity(b, a));
+}
+
+TEST(HistogramSimilarityTest, IdenticalFramesAreOne) {
+  Frame f(8, 8, 37);
+  f.fill_rect(0, 0, 4, 8, 200);
+  EXPECT_NEAR(histogram_similarity(f, f), 1.0, 1e-12);
+}
+
+TEST(HistogramSimilarityTest, DisjointLuminanceIsZero) {
+  EXPECT_NEAR(histogram_similarity(solid(4, 4, 10), solid(4, 4, 240)), 0.0,
+              1e-12);
+}
+
+TEST(HistogramSimilarityTest, ShiftInvariantUnlikeDifferencing) {
+  // Same content, shifted one pixel: histogram says identical, frame
+  // differencing says not.
+  Frame a(8, 8, 0);
+  a.fill_rect(0, 0, 4, 8, 200);
+  Frame b(8, 8, 0);
+  b.fill_rect(1, 0, 5, 8, 200);
+  EXPECT_NEAR(histogram_similarity(a, b), 1.0, 1e-12);
+  EXPECT_LT(frame_difference_similarity(a, b), 1.0);
+}
+
+TEST(HistogramSimilarityTest, InvalidInputsGiveZero) {
+  EXPECT_EQ(histogram_similarity(Frame{}, Frame{}), 0.0);
+  EXPECT_EQ(histogram_similarity(solid(2, 2, 0), solid(2, 2, 0), 0), 0.0);
+}
+
+TEST(NccSimilarityTest, IdenticalPatternIsOne) {
+  Frame f(8, 8, 0);
+  f.fill_rect(2, 2, 6, 6, 200);
+  EXPECT_NEAR(ncc_similarity(f, f), 1.0, 1e-12);
+}
+
+TEST(NccSimilarityTest, InvertedPatternIsZero) {
+  Frame a(8, 8, 0);
+  a.fill_rect(0, 0, 4, 8, 200);
+  Frame b(8, 8, 200);
+  b.fill_rect(0, 0, 4, 8, 0);
+  EXPECT_NEAR(ncc_similarity(a, b), 0.0, 1e-12);
+}
+
+TEST(NccSimilarityTest, FlatFramesReturnHalf) {
+  EXPECT_DOUBLE_EQ(ncc_similarity(solid(4, 4, 100), solid(4, 4, 100)), 0.5);
+}
+
+}  // namespace

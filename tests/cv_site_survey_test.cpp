@@ -1,0 +1,112 @@
+#include "cv/site_survey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/angle.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace svg::cv;
+using svg::geo::Vec2;
+
+World wall_to_the_north(double distance_m, double width_m = 100.0) {
+  Landmark lm;
+  lm.position = {0.0, distance_m};
+  lm.width_m = width_m;
+  lm.height_m = 20.0;
+  return World({lm});
+}
+
+TEST(SightDistanceTest, HitsObstructionAhead) {
+  const auto world = wall_to_the_north(40.0);
+  EXPECT_NEAR(sight_distance(world, {0, 0}, 0.0), 40.0, 1e-9);
+}
+
+TEST(SightDistanceTest, MissesObstructionBehind) {
+  const auto world = wall_to_the_north(40.0);
+  EXPECT_DOUBLE_EQ(sight_distance(world, {0, 0}, 180.0, 300.0), 300.0);
+}
+
+TEST(SightDistanceTest, MissesNarrowObstructionOffAxis) {
+  World world;
+  Landmark lm;
+  lm.position = {30.0, 40.0};  // 37° east of north
+  lm.width_m = 2.0;
+  world.add(lm);
+  // Looking due north misses it.
+  EXPECT_DOUBLE_EQ(sight_distance(world, {0, 0}, 0.0, 300.0), 300.0);
+  // Looking straight at it hits at 50 m.
+  EXPECT_NEAR(sight_distance(world, {0, 0}, 36.87, 300.0), 50.0, 0.5);
+}
+
+TEST(SightDistanceTest, NearestOfSeveral) {
+  World world;
+  for (double d : {80.0, 30.0, 150.0}) {
+    Landmark lm;
+    lm.position = {0.0, d};
+    lm.width_m = 10.0;
+    world.add(lm);
+  }
+  EXPECT_NEAR(sight_distance(world, {0, 0}, 0.0), 30.0, 1e-9);
+}
+
+TEST(SurveyRadiusTest, OpenFieldGivesMaxRadius) {
+  const World empty;
+  SurveyConfig cfg;
+  EXPECT_DOUBLE_EQ(survey_radius_of_view(empty, {0, 0}, cfg),
+                   cfg.max_radius_m);
+}
+
+TEST(SurveyRadiusTest, DenseCityShortensRadius) {
+  svg::util::Xoshiro256 rng(1);
+  const auto dense = World::random_city(4000, 400.0, rng);
+  svg::util::Xoshiro256 rng2(2);
+  const auto sparse = World::random_city(40, 400.0, rng2);
+  const double r_dense = survey_radius_of_view(dense, {0, 0});
+  const double r_sparse = survey_radius_of_view(sparse, {0, 0});
+  EXPECT_LT(r_dense, r_sparse);
+  EXPECT_GE(r_dense, SurveyConfig{}.min_radius_m);
+}
+
+TEST(SurveyRadiusTest, RespectsFloor) {
+  // A tight box of walls right around the camera.
+  World world;
+  for (double az = 0; az < 360; az += 10) {
+    Landmark lm;
+    const double r = svg::geo::deg_to_rad(az);
+    lm.position = {2.0 * std::sin(r), 2.0 * std::cos(r)};
+    lm.width_m = 5.0;
+    world.add(lm);
+  }
+  SurveyConfig cfg;
+  EXPECT_DOUBLE_EQ(survey_radius_of_view(world, {0, 0}, cfg),
+                   cfg.min_radius_m);
+}
+
+TEST(DeriveThresholdTest, FasterMotionLowersThreshold) {
+  const svg::core::CameraIntrinsics cam{30.0, 100.0};
+  const double walking = derive_threshold(cam, 1.4, 30.0, 10.0);
+  const double driving = derive_threshold(cam, 12.0, 30.0, 10.0);
+  EXPECT_GT(walking, driving);
+  EXPECT_GE(driving, 0.05);
+  EXPECT_LE(walking, 0.95);
+}
+
+TEST(DeriveThresholdTest, LongerTargetSegmentsLowerThreshold) {
+  const svg::core::CameraIntrinsics cam{30.0, 100.0};
+  const double short_seg = derive_threshold(cam, 1.4, 30.0, 5.0);
+  const double long_seg = derive_threshold(cam, 1.4, 30.0, 30.0);
+  EXPECT_GT(short_seg, long_seg);
+}
+
+TEST(DeriveThresholdTest, StationaryPanOnlyDependsOnTurnRate) {
+  const svg::core::CameraIntrinsics cam{30.0, 100.0};
+  const double slow_pan = derive_threshold(cam, 0.0, 30.0, 5.0, 2.0);
+  const double fast_pan = derive_threshold(cam, 0.0, 30.0, 5.0, 20.0);
+  EXPECT_GT(slow_pan, fast_pan);
+}
+
+}  // namespace

@@ -1,0 +1,130 @@
+#include "geo/angle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace {
+
+using namespace svg::geo;
+
+TEST(WrapDegTest, BasicCases) {
+  EXPECT_DOUBLE_EQ(wrap_deg(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_deg(359.0), 359.0);
+  EXPECT_DOUBLE_EQ(wrap_deg(360.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_deg(361.0), 1.0);
+  EXPECT_DOUBLE_EQ(wrap_deg(-1.0), 359.0);
+  EXPECT_DOUBLE_EQ(wrap_deg(-360.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_deg(720.0 + 45.0), 45.0);
+}
+
+TEST(WrapDegSignedTest, BasicCases) {
+  EXPECT_DOUBLE_EQ(wrap_deg_signed(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(wrap_deg_signed(179.0), 179.0);
+  EXPECT_DOUBLE_EQ(wrap_deg_signed(180.0), -180.0);
+  EXPECT_DOUBLE_EQ(wrap_deg_signed(181.0), -179.0);
+  EXPECT_DOUBLE_EQ(wrap_deg_signed(-190.0), 170.0);
+}
+
+// Eq. 2: δθ = min(|θ2−θ1|, 360−|θ2−θ1|).
+struct AngDiffCase {
+  double a, b, expected;
+};
+
+class AngularDifferenceTest : public ::testing::TestWithParam<AngDiffCase> {};
+
+TEST_P(AngularDifferenceTest, MatchesEq2) {
+  const auto& c = GetParam();
+  EXPECT_NEAR(angular_difference_deg(c.a, c.b), c.expected, 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(angular_difference_deg(c.b, c.a), c.expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AngularDifferenceTest,
+    ::testing::Values(AngDiffCase{0, 0, 0}, AngDiffCase{0, 90, 90},
+                      AngDiffCase{0, 180, 180}, AngDiffCase{0, 270, 90},
+                      AngDiffCase{350, 10, 20}, AngDiffCase{10, 350, 20},
+                      AngDiffCase{359, 1, 2}, AngDiffCase{-10, 10, 20},
+                      AngDiffCase{720, 90, 90}));
+
+TEST(AngularDifferenceTest, AlwaysInZeroTo180) {
+  for (double a = -400; a <= 400; a += 37.0) {
+    for (double b = -400; b <= 400; b += 23.0) {
+      const double d = angular_difference_deg(a, b);
+      ASSERT_GE(d, 0.0);
+      ASSERT_LE(d, 180.0);
+    }
+  }
+}
+
+TEST(SignedAngularDifferenceTest, ShortestRotation) {
+  EXPECT_DOUBLE_EQ(signed_angular_difference_deg(0, 90), 90.0);
+  EXPECT_DOUBLE_EQ(signed_angular_difference_deg(90, 0), -90.0);
+  EXPECT_DOUBLE_EQ(signed_angular_difference_deg(350, 10), 20.0);
+  EXPECT_DOUBLE_EQ(signed_angular_difference_deg(10, 350), -20.0);
+  EXPECT_DOUBLE_EQ(signed_angular_difference_deg(0, 180), 180.0);
+}
+
+TEST(SignedAngularDifferenceTest, ConsistentWithUnsigned) {
+  for (double a = 0; a < 360; a += 17.0) {
+    for (double b = 0; b < 360; b += 13.0) {
+      EXPECT_NEAR(std::fabs(signed_angular_difference_deg(a, b)),
+                  angular_difference_deg(a, b), 1e-9);
+    }
+  }
+}
+
+TEST(ArithmeticMeanTest, SimpleAverage) {
+  const std::vector<double> v{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(arithmetic_mean_deg(v), 20.0);
+}
+
+TEST(ArithmeticMeanTest, BreaksAtWrap) {
+  // The paper's Eq. 11 averages 359 and 1 to 180 — the documented defect.
+  const std::vector<double> v{359.0, 1.0};
+  EXPECT_DOUBLE_EQ(arithmetic_mean_deg(v), 180.0);
+}
+
+TEST(CircularMeanTest, HandlesWrapCorrectly) {
+  const std::vector<double> v{359.0, 1.0};
+  // Compare as angles: the mean must sit on north, whether it comes out as
+  // ~0 or ~360 - epsilon.
+  EXPECT_NEAR(angular_difference_deg(circular_mean_deg(v), 0.0), 0.0, 1e-9);
+}
+
+TEST(CircularMeanTest, MatchesArithmeticAwayFromWrap) {
+  const std::vector<double> v{80.0, 100.0};
+  EXPECT_NEAR(circular_mean_deg(v), 90.0, 1e-9);
+}
+
+TEST(CircularMeanTest, EmptyAndCancellingInputs) {
+  EXPECT_DOUBLE_EQ(circular_mean_deg({}), 0.0);
+  const std::vector<double> opposite{0.0, 180.0};
+  EXPECT_DOUBLE_EQ(circular_mean_deg(opposite), 0.0);
+}
+
+TEST(AzimuthDirectionTest, CardinalDirections) {
+  EXPECT_NEAR(azimuth_of_direction(0, 1), 0.0, 1e-9);    // north
+  EXPECT_NEAR(azimuth_of_direction(1, 0), 90.0, 1e-9);   // east
+  EXPECT_NEAR(azimuth_of_direction(0, -1), 180.0, 1e-9); // south
+  EXPECT_NEAR(azimuth_of_direction(-1, 0), 270.0, 1e-9); // west
+  EXPECT_DOUBLE_EQ(azimuth_of_direction(0, 0), 0.0);     // degenerate
+}
+
+TEST(AzimuthDirectionTest, RoundTrip) {
+  for (double az = 0.0; az < 360.0; az += 11.25) {
+    double e, n;
+    direction_of_azimuth(az, e, n);
+    EXPECT_NEAR(azimuth_of_direction(e, n), az, 1e-9) << az;
+    EXPECT_NEAR(e * e + n * n, 1.0, 1e-12);
+  }
+}
+
+TEST(DegRadTest, RoundTrip) {
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(123.4)), 123.4, 1e-12);
+  EXPECT_NEAR(deg_to_rad(180.0), std::numbers::pi, 1e-15);
+}
+
+}  // namespace

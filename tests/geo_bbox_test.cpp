@@ -1,0 +1,106 @@
+#include "geo/bbox.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using svg::geo::Box2;
+using svg::geo::Box3;
+
+TEST(BoxTest, EmptyBoxProperties) {
+  const Box2 e = Box2::empty();
+  EXPECT_TRUE(e.is_empty());
+  EXPECT_FALSE(e.valid());
+  EXPECT_EQ(e.volume(), 0.0);
+}
+
+TEST(BoxTest, ExpandEmptyWithPointYieldsPoint) {
+  Box2 e = Box2::empty();
+  e.expand_point({1.0, 2.0});
+  EXPECT_TRUE(e.valid());
+  EXPECT_EQ(e.min[0], 1.0);
+  EXPECT_EQ(e.max[1], 2.0);
+  EXPECT_EQ(e.volume(), 0.0);  // degenerate but valid
+}
+
+TEST(BoxTest, FromPointContainsExactlyThatPoint) {
+  const Box2 b = Box2::from_point({3.0, 4.0});
+  EXPECT_TRUE(b.contains_point({3.0, 4.0}));
+  EXPECT_FALSE(b.contains_point({3.0, 4.1}));
+}
+
+TEST(BoxTest, IntersectsIsSymmetricAndCorrect) {
+  const Box2 a{{0, 0}, {2, 2}};
+  const Box2 b{{1, 1}, {3, 3}};
+  const Box2 c{{2.5, 2.5}, {4, 4}};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  EXPECT_FALSE(a.intersects(c));
+  EXPECT_TRUE(b.intersects(c));
+}
+
+TEST(BoxTest, TouchingEdgesIntersect) {
+  const Box2 a{{0, 0}, {1, 1}};
+  const Box2 b{{1, 0}, {2, 1}};
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(BoxTest, ContainsBoxAndPoint) {
+  const Box2 outer{{0, 0}, {10, 10}};
+  const Box2 inner{{2, 2}, {5, 5}};
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(outer));
+  EXPECT_TRUE(outer.contains_point({0, 10}));
+  EXPECT_FALSE(outer.contains_point({-0.1, 5}));
+}
+
+TEST(BoxTest, VolumeAndMargin) {
+  const Box3 b{{0, 0, 0}, {2, 3, 4}};
+  EXPECT_DOUBLE_EQ(b.volume(), 24.0);
+  EXPECT_DOUBLE_EQ(b.margin(), 9.0);
+}
+
+TEST(BoxTest, DegenerateDimensionVolumeZero) {
+  const Box3 b{{0, 0, 5}, {2, 3, 5}};
+  EXPECT_DOUBLE_EQ(b.volume(), 0.0);
+  EXPECT_DOUBLE_EQ(b.margin(), 5.0);
+}
+
+TEST(BoxTest, EnlargementMetric) {
+  const Box2 a{{0, 0}, {2, 2}};
+  const Box2 inside{{0.5, 0.5}, {1, 1}};
+  const Box2 outside{{3, 0}, {4, 2}};
+  EXPECT_DOUBLE_EQ(a.enlargement(inside), 0.0);
+  EXPECT_DOUBLE_EQ(a.enlargement(outside), 8.0 - 4.0);
+}
+
+TEST(BoxTest, OverlapVolume) {
+  const Box2 a{{0, 0}, {2, 2}};
+  const Box2 b{{1, 1}, {3, 3}};
+  EXPECT_DOUBLE_EQ(a.overlap_volume(b), 1.0);
+  const Box2 c{{5, 5}, {6, 6}};
+  EXPECT_DOUBLE_EQ(a.overlap_volume(c), 0.0);
+  // Touching boxes overlap with zero volume.
+  const Box2 d{{2, 0}, {3, 2}};
+  EXPECT_DOUBLE_EQ(a.overlap_volume(d), 0.0);
+}
+
+TEST(BoxTest, ExpandedUnionCoversBoth) {
+  const Box2 a{{0, 0}, {1, 1}};
+  const Box2 b{{2, -1}, {3, 0.5}};
+  const Box2 u = a.expanded(b);
+  EXPECT_TRUE(u.contains(a));
+  EXPECT_TRUE(u.contains(b));
+  EXPECT_EQ(u.min[1], -1.0);
+  EXPECT_EQ(u.max[0], 3.0);
+}
+
+TEST(BoxTest, CenterOfBox) {
+  const Box2 a{{0, 2}, {4, 6}};
+  const auto c = a.center();
+  EXPECT_DOUBLE_EQ(c[0], 2.0);
+  EXPECT_DOUBLE_EQ(c[1], 4.0);
+}
+
+}  // namespace

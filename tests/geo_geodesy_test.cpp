@@ -1,0 +1,115 @@
+#include "geo/geodesy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/angle.hpp"
+
+namespace {
+
+using namespace svg::geo;
+
+TEST(MetresPerDegreeTest, LatitudeScaleMatchesSphere) {
+  // 2πr/360 for the paper's r = 6378140 m.
+  EXPECT_NEAR(metres_per_degree_lat(), 111'319.45, 1.0);
+}
+
+TEST(MetresPerDegreeTest, LongitudeShrinksWithLatitude) {
+  EXPECT_NEAR(metres_per_degree_lng(0.0), metres_per_degree_lat(), 1e-6);
+  EXPECT_NEAR(metres_per_degree_lng(60.0), metres_per_degree_lat() * 0.5,
+              1e-6);
+  EXPECT_LT(metres_per_degree_lng(89.9), 200.0);
+}
+
+TEST(DisplacementTest, PureNorth) {
+  const LatLng a{40.0, 116.0};
+  const LatLng b{40.001, 116.0};
+  const Vec2 d = displacement_m(a, b);
+  EXPECT_NEAR(d.x, 0.0, 1e-9);
+  EXPECT_NEAR(d.y, 0.001 * metres_per_degree_lat(), 1e-6);
+}
+
+TEST(DisplacementTest, PureEastScaledByLatitude) {
+  const LatLng a{60.0, 10.0};
+  const LatLng b{60.0, 10.001};
+  const Vec2 d = displacement_m(a, b);
+  EXPECT_NEAR(d.x, 0.001 * metres_per_degree_lng(60.0), 1e-6);
+  EXPECT_NEAR(d.y, 0.0, 1e-9);
+}
+
+TEST(DisplacementTest, AntiSymmetric) {
+  const LatLng a{39.9, 116.3};
+  const LatLng b{39.95, 116.42};
+  const Vec2 ab = displacement_m(a, b);
+  const Vec2 ba = displacement_m(b, a);
+  EXPECT_NEAR(ab.x, -ba.x, 1e-9);
+  EXPECT_NEAR(ab.y, -ba.y, 1e-9);
+}
+
+TEST(DisplacementTest, ShortWayAcrossAntimeridian) {
+  const LatLng a{0.0, 179.999};
+  const LatLng b{0.0, -179.999};
+  const Vec2 d = displacement_m(a, b);
+  // 0.002° of longitude at the equator, heading east.
+  EXPECT_NEAR(d.x, 0.002 * metres_per_degree_lng(0.0), 1e-6);
+  EXPECT_LT(std::fabs(d.x), 300.0);
+}
+
+TEST(DistanceTest, PythagoreanOnSmallOffsets) {
+  const LatLng a{40.0, 116.0};
+  const LatLng b = offset_m(a, 30.0, 40.0);
+  EXPECT_NEAR(distance_m(a, b), 50.0, 0.01);
+}
+
+TEST(BearingTest, CardinalBearings) {
+  const LatLng a{40.0, 116.0};
+  EXPECT_NEAR(bearing_deg(a, offset_m(a, 0.0, 100.0)), 0.0, 1e-6);
+  EXPECT_NEAR(bearing_deg(a, offset_m(a, 100.0, 0.0)), 90.0, 1e-3);
+  EXPECT_NEAR(bearing_deg(a, offset_m(a, 0.0, -100.0)), 180.0, 1e-6);
+  EXPECT_NEAR(bearing_deg(a, offset_m(a, -100.0, 0.0)), 270.0, 1e-3);
+}
+
+TEST(OffsetTest, RoundTripsThroughDisplacement) {
+  const LatLng origin{39.9042, 116.4074};
+  for (double east : {-500.0, 0.0, 123.45}) {
+    for (double north : {-200.0, 0.0, 777.0}) {
+      const LatLng moved = offset_m(origin, east, north);
+      const Vec2 d = displacement_m(origin, moved);
+      EXPECT_NEAR(d.x, east, 0.05) << east << "," << north;
+      EXPECT_NEAR(d.y, north, 0.05);
+    }
+  }
+}
+
+TEST(LocalFrameTest, OriginMapsToZero) {
+  const LatLng origin{39.9, 116.4};
+  const LocalFrame frame(origin);
+  const Vec2 v = frame.to_local(origin);
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+}
+
+TEST(LocalFrameTest, RoundTrip) {
+  const LocalFrame frame(LatLng{39.9, 116.4});
+  for (double x : {-1000.0, -1.5, 0.0, 250.0}) {
+    for (double y : {-300.0, 0.0, 42.0, 2000.0}) {
+      const LatLng g = frame.to_global({x, y});
+      const Vec2 back = frame.to_local(g);
+      EXPECT_NEAR(back.x, x, 1e-6);
+      EXPECT_NEAR(back.y, y, 1e-6);
+    }
+  }
+}
+
+TEST(LocalFrameTest, ConsistentWithDisplacement) {
+  const LatLng origin{39.9, 116.4};
+  const LocalFrame frame(origin);
+  const LatLng p = offset_m(origin, 120.0, -80.0);
+  const Vec2 local = frame.to_local(p);
+  const Vec2 disp = displacement_m(origin, p);
+  EXPECT_NEAR(local.x, disp.x, 0.01);
+  EXPECT_NEAR(local.y, disp.y, 0.01);
+}
+
+}  // namespace

@@ -1,0 +1,142 @@
+#include "geo/sector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "geo/angle.hpp"
+
+namespace {
+
+using svg::geo::Sector;
+using svg::geo::Vec2;
+
+Sector north_sector(double half_angle = 30.0, double radius = 100.0) {
+  Sector s;
+  s.apex = {0, 0};
+  s.azimuth_deg = 0.0;
+  s.half_angle_deg = half_angle;
+  s.radius_m = radius;
+  return s;
+}
+
+TEST(SectorCoversTest, ApexIsCovered) {
+  EXPECT_TRUE(north_sector().covers({0, 0}));
+}
+
+TEST(SectorCoversTest, PointsAlongAxis) {
+  const Sector s = north_sector();
+  EXPECT_TRUE(s.covers({0, 50}));
+  EXPECT_TRUE(s.covers({0, 100}));   // boundary inclusive
+  EXPECT_FALSE(s.covers({0, 100.1}));
+  EXPECT_FALSE(s.covers({0, -1}));   // behind
+}
+
+TEST(SectorCoversTest, AngularBoundary) {
+  const Sector s = north_sector(30.0, 100.0);
+  // 29.9° off-axis at range 50: inside.
+  const double a1 = svg::geo::deg_to_rad(29.9);
+  EXPECT_TRUE(s.covers({50 * std::sin(a1), 50 * std::cos(a1)}));
+  // 30.1° off-axis: outside.
+  const double a2 = svg::geo::deg_to_rad(30.1);
+  EXPECT_FALSE(s.covers({50 * std::sin(a2), 50 * std::cos(a2)}));
+}
+
+TEST(SectorCoversTest, WorksAcrossNorthWrap) {
+  Sector s = north_sector(30.0, 100.0);
+  s.azimuth_deg = 350.0;
+  // 10° east of north is within [320°, 20°].
+  const double a = svg::geo::deg_to_rad(10.0);
+  EXPECT_TRUE(s.covers({50 * std::sin(a), 50 * std::cos(a)}));
+  // 50° east of north is not.
+  const double b = svg::geo::deg_to_rad(50.0);
+  EXPECT_FALSE(s.covers({50 * std::sin(b), 50 * std::cos(b)}));
+}
+
+TEST(SectorAreaTest, MatchesFormula) {
+  const Sector s = north_sector(30.0, 100.0);
+  EXPECT_NEAR(s.area(), (60.0 / 360.0) * std::numbers::pi * 1e4, 1e-9);
+}
+
+TEST(SectorAxisTest, PointsAlongAzimuth) {
+  Sector s = north_sector();
+  s.azimuth_deg = 90.0;
+  const Vec2 a = s.axis();
+  EXPECT_NEAR(a.x, 1.0, 1e-12);
+  EXPECT_NEAR(a.y, 0.0, 1e-12);
+}
+
+TEST(SectorBoundingBoxTest, ContainsPolygonSamples) {
+  for (double az : {0.0, 45.0, 135.0, 250.0, 355.0}) {
+    Sector s = north_sector(35.0, 80.0);
+    s.azimuth_deg = az;
+    const auto bb = s.bounding_box();
+    for (const Vec2& p : s.polygon(64)) {
+      EXPECT_TRUE(bb.contains_point({p.x, p.y}))
+          << "az=" << az << " p=(" << p.x << "," << p.y << ")";
+    }
+  }
+}
+
+TEST(SectorBoundingBoxTest, NorthFacingIncludesArcTop) {
+  const Sector s = north_sector(30.0, 100.0);
+  const auto bb = s.bounding_box();
+  // The arc's topmost point is (0, R), which exceeds the chord endpoints.
+  EXPECT_NEAR(bb.max[1], 100.0, 1e-9);
+  EXPECT_NEAR(bb.min[1], 0.0, 1e-9);
+  EXPECT_NEAR(bb.max[0], 50.0, 1e-9);   // R sin 30°
+  EXPECT_NEAR(bb.min[0], -50.0, 1e-9);
+}
+
+TEST(SectorPolygonTest, VerticesOnArcOrApex) {
+  const Sector s = north_sector(30.0, 100.0);
+  const auto poly = s.polygon(16);
+  EXPECT_EQ(poly.size(), 17u);
+  EXPECT_EQ(poly.front(), (Vec2{0, 0}));
+  for (std::size_t i = 1; i < poly.size(); ++i) {
+    EXPECT_NEAR(poly[i].norm(), 100.0, 1e-9);
+  }
+}
+
+TEST(SectorOverlapTest, SelfOverlapEqualsArea) {
+  const Sector s = north_sector(30.0, 100.0);
+  const double overlap = sector_overlap_area(s, s, 512);
+  EXPECT_NEAR(overlap, s.area(), 0.02 * s.area());
+}
+
+TEST(SectorOverlapTest, DisjointSectorsZero) {
+  const Sector a = north_sector();
+  Sector b = north_sector();
+  b.apex = {500, 0};
+  EXPECT_EQ(sector_overlap_area(a, b), 0.0);
+}
+
+TEST(SectorOverlapTest, OppositeDirectionsZero) {
+  const Sector a = north_sector();
+  Sector b = north_sector();
+  b.azimuth_deg = 180.0;
+  EXPECT_NEAR(sector_overlap_area(a, b, 256), 0.0, 1.0);
+}
+
+TEST(SectorOverlapTest, HalfRotationOverlapRoughlyHalf) {
+  const Sector a = north_sector(30.0, 100.0);
+  Sector b = a;
+  b.azimuth_deg = 30.0;  // half the 60° span shared
+  const double overlap = sector_overlap_area(a, b, 512);
+  EXPECT_NEAR(overlap / a.area(), 0.5, 0.03);
+}
+
+TEST(SectorOverlapTest, MonotoneInRotation) {
+  const Sector a = north_sector(30.0, 100.0);
+  double prev = sector_overlap_area(a, a, 256);
+  for (double az = 10.0; az <= 70.0; az += 10.0) {
+    Sector b = a;
+    b.azimuth_deg = az;
+    const double o = sector_overlap_area(a, b, 256);
+    EXPECT_LE(o, prev + 0.02 * a.area()) << az;
+    prev = o;
+  }
+}
+
+}  // namespace

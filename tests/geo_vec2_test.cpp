@@ -1,0 +1,73 @@
+#include "geo/vec2.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace {
+
+using svg::geo::Vec2;
+
+TEST(Vec2Test, ArithmeticOperators) {
+  const Vec2 a{1, 2}, b{3, -4};
+  EXPECT_EQ(a + b, (Vec2{4, -2}));
+  EXPECT_EQ(a - b, (Vec2{-2, 6}));
+  EXPECT_EQ(a * 2.0, (Vec2{2, 4}));
+  EXPECT_EQ(2.0 * a, (Vec2{2, 4}));
+  EXPECT_EQ(b / 2.0, (Vec2{1.5, -2}));
+  EXPECT_EQ(-a, (Vec2{-1, -2}));
+}
+
+TEST(Vec2Test, CompoundAssignment) {
+  Vec2 v{1, 1};
+  v += {2, 3};
+  EXPECT_EQ(v, (Vec2{3, 4}));
+  v -= {1, 1};
+  EXPECT_EQ(v, (Vec2{2, 3}));
+}
+
+TEST(Vec2Test, DotAndCross) {
+  const Vec2 a{1, 0}, b{0, 1};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0);   // b is CCW from a
+  EXPECT_DOUBLE_EQ(b.cross(a), -1.0);
+  EXPECT_DOUBLE_EQ((Vec2{2, 3}).dot({4, 5}), 23.0);
+}
+
+TEST(Vec2Test, NormAndDistance) {
+  const Vec2 v{3, 4};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(svg::geo::distance({0, 0}, v), 5.0);
+}
+
+TEST(Vec2Test, NormalizedUnitLength) {
+  const Vec2 v{3, 4};
+  const Vec2 n = v.normalized();
+  EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(n.x, 0.6, 1e-12);
+  // Zero vector normalizes to zero, not NaN.
+  const Vec2 z = Vec2{}.normalized();
+  EXPECT_EQ(z, Vec2{});
+}
+
+TEST(Vec2Test, RotationCcw) {
+  const Vec2 east{1, 0};
+  const Vec2 north = east.rotated(std::numbers::pi / 2);
+  EXPECT_NEAR(north.x, 0.0, 1e-12);
+  EXPECT_NEAR(north.y, 1.0, 1e-12);
+  // Full turn is identity.
+  const Vec2 round = east.rotated(2 * std::numbers::pi);
+  EXPECT_NEAR(round.x, 1.0, 1e-12);
+  EXPECT_NEAR(round.y, 0.0, 1e-12);
+}
+
+TEST(Vec2Test, RotationPreservesNorm) {
+  const Vec2 v{2.5, -7.25};
+  for (double a = 0.0; a < 6.28; a += 0.37) {
+    EXPECT_NEAR(v.rotated(a).norm(), v.norm(), 1e-12);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+#include "index/kdtree_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/crowd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace svg::index;
+using svg::core::RepresentativeFov;
+
+std::vector<std::uint64_t> ids(const std::vector<RepresentativeFov>& v) {
+  std::vector<std::uint64_t> out;
+  for (const auto& r : v) out.push_back(r.video_id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(KdTreeIndexTest, EmptyCorpus) {
+  const KdTreeIndex idx({});
+  EXPECT_EQ(idx.size(), 0u);
+  EXPECT_TRUE(
+      idx.query_collect({0, 1, 0, 1, 0, 1}).empty());
+}
+
+TEST(KdTreeIndexTest, SingleEntry) {
+  RepresentativeFov rep;
+  rep.video_id = 9;
+  rep.fov.p = {40.0, 116.0};
+  rep.t_start = 1000;
+  rep.t_end = 2000;
+  const KdTreeIndex idx({rep});
+  EXPECT_EQ(
+      idx.query_collect({115.9, 116.1, 39.9, 40.1, 1500, 1600}).size(), 1u);
+  EXPECT_TRUE(
+      idx.query_collect({115.9, 116.1, 39.9, 40.1, 3000, 4000}).empty());
+}
+
+TEST(KdTreeIndexTest, MatchesLinearOnRandomWorkload) {
+  svg::sim::CityModel city;
+  svg::util::Xoshiro256 rng(8);
+  const auto reps = svg::sim::random_representative_fovs(
+      3000, city, 0, 86'400'000, rng);
+  const KdTreeIndex kd(reps);
+  LinearIndex linear;
+  for (const auto& r : reps) linear.insert(r);
+
+  for (int q = 0; q < 80; ++q) {
+    const auto c = city.random_point(rng);
+    const double half = rng.uniform(0.0005, 0.01);
+    const auto t0 = static_cast<svg::core::TimestampMs>(
+        rng.bounded(80'000'000));
+    const GeoTimeRange range{c.lng - half, c.lng + half, c.lat - half,
+                             c.lat + half, t0,
+                             t0 + static_cast<svg::core::TimestampMs>(
+                                      rng.bounded(6'000'000))};
+    ASSERT_EQ(ids(kd.query_collect(range)),
+              ids(linear.query_collect(range)))
+        << q;
+  }
+}
+
+TEST(KdTreeIndexTest, FindsSegmentsStartedBeforeWindow) {
+  // The t_start-only weakness the widening compensates: a segment that
+  // began long before the query window but still overlaps it.
+  RepresentativeFov lingering;
+  lingering.video_id = 1;
+  lingering.fov.p = {40.0, 116.0};
+  lingering.t_start = 0;
+  lingering.t_end = 1'000'000;  // ~17 min segment
+  const KdTreeIndex idx({lingering});
+  EXPECT_EQ(
+      idx.query_collect({115.9, 116.1, 39.9, 40.1, 900'000, 950'000}).size(),
+      1u);
+}
+
+TEST(KdTreeIndexTest, VisitsFewerNodesThanCorpusOnSmallQueries) {
+  svg::sim::CityModel city;
+  svg::util::Xoshiro256 rng(9);
+  const auto reps = svg::sim::random_representative_fovs(
+      10'000, city, 0, 86'400'000, rng);
+  const KdTreeIndex kd(reps);
+  const auto c = city.center;
+  (void)kd.query_collect(
+      {c.lng - 0.001, c.lng + 0.001, c.lat - 0.001, c.lat + 0.001,
+       40'000'000, 44'000'000});
+  EXPECT_LT(kd.nodes_visited_last_query(), 10'000u);
+  EXPECT_GT(kd.nodes_visited_last_query(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,196 @@
+// k-nearest-neighbour search on the R-tree and the uniform-grid baseline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "index/grid_index.hpp"
+#include "index/rtree.hpp"
+#include "sim/crowd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using svg::geo::Box3;
+using svg::index::GridIndex;
+using svg::index::RTree;
+
+using Tree = RTree<std::uint64_t, 3>;
+
+Box3 point_box(double x, double y, double z) {
+  Box3 b;
+  b.min = {x, y, z};
+  b.max = {x, y, z};
+  return b;
+}
+
+TEST(RTreeNearestTest, FindsExactNearestPoints) {
+  Tree tree(svg::index::RTreeOptions{8, 3});
+  svg::util::Xoshiro256 rng(1);
+  std::vector<std::array<double, 3>> pts;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const std::array<double, 3> p{rng.uniform(0.0, 100.0),
+                                  rng.uniform(0.0, 100.0),
+                                  rng.uniform(0.0, 100.0)};
+    pts.push_back(p);
+    tree.insert(point_box(p[0], p[1], p[2]), i);
+  }
+  const std::array<double, 3> q{50.0, 50.0, 50.0};
+  const auto knn = tree.nearest(q, 10);
+  ASSERT_EQ(knn.size(), 10u);
+
+  // Brute-force reference.
+  std::vector<std::pair<double, std::uint64_t>> ref;
+  for (std::uint64_t i = 0; i < pts.size(); ++i) {
+    double d2 = 0;
+    for (int d = 0; d < 3; ++d) {
+      d2 += (pts[i][d] - q[d]) * (pts[i][d] - q[d]);
+    }
+    ref.emplace_back(d2, i);
+  }
+  std::sort(ref.begin(), ref.end());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(knn[i].value, ref[i].second) << i;
+  }
+}
+
+TEST(RTreeNearestTest, ResultsOrderedByDistance) {
+  Tree tree;
+  svg::util::Xoshiro256 rng(2);
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    tree.insert(point_box(rng.uniform(0, 10), rng.uniform(0, 10),
+                          rng.uniform(0, 10)),
+                i);
+  }
+  const std::array<double, 3> q{5, 5, 5};
+  const auto knn = tree.nearest(q, 20);
+  double prev = -1.0;
+  for (const auto& e : knn) {
+    const double d2 = Tree::min_dist2(e.box, q);
+    EXPECT_GE(d2, prev);
+    prev = d2;
+  }
+}
+
+TEST(RTreeNearestTest, KLargerThanSizeReturnsAll) {
+  Tree tree;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    tree.insert(point_box(static_cast<double>(i), 0, 0), i);
+  }
+  EXPECT_EQ(tree.nearest({0, 0, 0}, 50).size(), 5u);
+  EXPECT_TRUE(tree.nearest({0, 0, 0}, 0).empty());
+  Tree empty;
+  EXPECT_TRUE(empty.nearest({0, 0, 0}, 3).empty());
+}
+
+TEST(RTreeNearestTest, FilterSkipsWithoutConsumingSlots) {
+  Tree tree;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    tree.insert(point_box(static_cast<double>(i), 0, 0), i);
+  }
+  // Only even ids allowed; ask for the 5 nearest to x = 0.
+  const auto knn = tree.nearest(
+      {0, 0, 0}, 5,
+      [](const Box3&, const std::uint64_t& v) { return v % 2 == 0; });
+  ASSERT_EQ(knn.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(knn[i].value, 2 * i);
+  }
+}
+
+TEST(RTreeNearestTest, MinDist2Semantics) {
+  Box3 b;
+  b.min = {0, 0, 0};
+  b.max = {10, 10, 10};
+  EXPECT_DOUBLE_EQ(Tree::min_dist2(b, {5, 5, 5}), 0.0);   // inside
+  EXPECT_DOUBLE_EQ(Tree::min_dist2(b, {13, 5, 5}), 9.0);  // face
+  EXPECT_DOUBLE_EQ(Tree::min_dist2(b, {13, 14, 5}), 25.0);  // edge
+}
+
+// --- grid baseline ------------------------------------------------------
+
+svg::geo::Box2 beijing_bounds() {
+  svg::geo::Box2 b;
+  b.min = {116.30, 39.85};
+  b.max = {116.50, 39.95};
+  return b;
+}
+
+TEST(GridIndexTest, MatchesLinearOnRandomWorkload) {
+  svg::sim::CityModel city;
+  svg::util::Xoshiro256 rng(3);
+  const auto reps = svg::sim::random_representative_fovs(
+      2000, city, 0, 86'400'000, rng);
+  const auto bounds = city.bounds_deg();
+  GridIndex grid(bounds, 32);
+  svg::index::LinearIndex linear;
+  for (const auto& r : reps) {
+    grid.insert(r);
+    linear.insert(r);
+  }
+  ASSERT_EQ(grid.size(), linear.size());
+  auto ids = [](const std::vector<svg::core::RepresentativeFov>& v) {
+    std::vector<std::uint64_t> out;
+    for (const auto& r : v) out.push_back(r.video_id);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  for (int q = 0; q < 60; ++q) {
+    const auto c = city.random_point(rng);
+    const double half = rng.uniform(0.0005, 0.01);
+    const svg::index::GeoTimeRange range{
+        c.lng - half, c.lng + half, c.lat - half, c.lat + half,
+        static_cast<svg::core::TimestampMs>(rng.bounded(43'200'000)),
+        static_cast<svg::core::TimestampMs>(43'200'000 +
+                                            rng.bounded(43'200'000))};
+    ASSERT_EQ(ids(grid.query_collect(range)),
+              ids(linear.query_collect(range)))
+        << q;
+  }
+}
+
+TEST(GridIndexTest, EraseWorks) {
+  GridIndex grid(beijing_bounds(), 8);
+  svg::core::RepresentativeFov rep;
+  rep.video_id = 1;
+  rep.fov.p = {39.9, 116.4};
+  rep.t_start = 0;
+  rep.t_end = 1000;
+  const auto h = grid.insert(rep);
+  EXPECT_EQ(grid.size(), 1u);
+  EXPECT_TRUE(grid.erase(h));
+  EXPECT_FALSE(grid.erase(h));
+  EXPECT_EQ(grid.size(), 0u);
+  const svg::index::GeoTimeRange all{116.30, 116.50, 39.85, 39.95, 0, 2000};
+  EXPECT_TRUE(grid.query_collect(all).empty());
+}
+
+TEST(GridIndexTest, OutOfBoundsEntriesClampIntoBorderCells) {
+  GridIndex grid(beijing_bounds(), 8);
+  svg::core::RepresentativeFov rep;
+  rep.video_id = 7;
+  rep.fov.p = {50.0, 120.0};  // way outside
+  rep.t_start = 0;
+  rep.t_end = 1000;
+  grid.insert(rep);
+  // Still findable with a range that includes its true coordinates.
+  const svg::index::GeoTimeRange range{119.0, 121.0, 49.0, 51.0, 0, 2000};
+  EXPECT_EQ(grid.query_collect(range).size(), 1u);
+}
+
+TEST(GridIndexTest, CellsTouchedScalesWithRange) {
+  GridIndex grid(beijing_bounds(), 16);
+  const svg::index::GeoTimeRange small{116.40, 116.41, 39.90, 39.905, 0, 1};
+  const svg::index::GeoTimeRange big{116.30, 116.50, 39.85, 39.95, 0, 1};
+  EXPECT_LT(grid.cells_touched(small), grid.cells_touched(big));
+  EXPECT_EQ(grid.cells_touched(big), 16u * 16u);
+}
+
+TEST(GridIndexTest, InvalidConstructionThrows) {
+  EXPECT_THROW(GridIndex(svg::geo::Box2::empty(), 8),
+               std::invalid_argument);
+  EXPECT_THROW(GridIndex(beijing_bounds(), 0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// FovIndex::nearest_k — Section V's "top-k most relevant video segments"
+// without a radius guess: best-first search with time-window filtering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geo/geodesy.hpp"
+#include "index/fov_index.hpp"
+#include "sim/crowd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace svg::index;
+using svg::core::RepresentativeFov;
+using svg::geo::LatLng;
+
+TEST(FovIndexNearestKTest, OrderedByDistance) {
+  svg::sim::CityModel city;
+  svg::util::Xoshiro256 rng(1);
+  FovIndex idx;
+  const auto reps =
+      svg::sim::random_representative_fovs(2000, city, 0, 3'600'000, rng);
+  for (const auto& r : reps) idx.insert(r);
+
+  const auto hits = idx.nearest_k(city.center, 10, 0, 3'600'000);
+  ASSERT_EQ(hits.size(), 10u);
+  double prev = -1.0;
+  for (const auto& h : hits) {
+    const double d = svg::geo::distance_m(h.fov.p, city.center);
+    EXPECT_GE(d, prev - 1e-9);
+    prev = d;
+  }
+}
+
+TEST(FovIndexNearestKTest, MatchesBruteForceTopK) {
+  svg::sim::CityModel city;
+  svg::util::Xoshiro256 rng(2);
+  FovIndex idx;
+  const auto reps =
+      svg::sim::random_representative_fovs(3000, city, 0, 3'600'000, rng);
+  for (const auto& r : reps) idx.insert(r);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const LatLng q = city.random_point(rng);
+    const auto got = idx.nearest_k(q, 5, 0, 3'600'000);
+    // Brute force reference.
+    std::vector<std::pair<double, std::uint64_t>> ref;
+    for (const auto& r : reps) {
+      ref.emplace_back(svg::geo::distance_m(r.fov.p, q), r.video_id);
+    }
+    std::sort(ref.begin(), ref.end());
+    ASSERT_EQ(got.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) {
+      EXPECT_EQ(got[i].video_id, ref[i].second) << trial << ":" << i;
+    }
+  }
+}
+
+TEST(FovIndexNearestKTest, TimeWindowFilters) {
+  FovIndex idx;
+  RepresentativeFov early;
+  early.video_id = 1;
+  early.fov.p = {39.9, 116.4};
+  early.t_start = 0;
+  early.t_end = 1000;
+  RepresentativeFov late = early;
+  late.video_id = 2;
+  late.t_start = 100'000;
+  late.t_end = 101'000;
+  idx.insert(early);
+  idx.insert(late);
+
+  const auto hits = idx.nearest_k({39.9, 116.4}, 5, 90'000, 200'000);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].video_id, 2u);
+}
+
+TEST(FovIndexNearestKTest, KLargerThanMatchesReturnsAll) {
+  FovIndex idx;
+  RepresentativeFov rep;
+  rep.fov.p = {39.9, 116.4};
+  rep.t_start = 0;
+  rep.t_end = 1000;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    rep.video_id = i;
+    idx.insert(rep);
+  }
+  EXPECT_EQ(idx.nearest_k({39.9, 116.4}, 50, 0, 2000).size(), 3u);
+  EXPECT_TRUE(idx.nearest_k({39.9, 116.4}, 0, 0, 2000).empty());
+}
+
+TEST(FovIndexNearestKTest, EmptyIndex) {
+  FovIndex idx;
+  EXPECT_TRUE(idx.nearest_k({39.9, 116.4}, 5, 0, 1000).empty());
+}
+
+}  // namespace

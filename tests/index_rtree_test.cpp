@@ -1,0 +1,328 @@
+// R-tree correctness: queries checked against brute force over random
+// workloads, structural invariants maintained through inserts and deletes,
+// STR bulk load equivalence.
+
+#include "index/rtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using svg::geo::Box3;
+using svg::index::RTree;
+using svg::index::RTreeOptions;
+
+using Tree = RTree<std::uint64_t, 3>;
+
+Box3 random_box(svg::util::Xoshiro256& rng, double extent = 100.0,
+                double max_size = 5.0) {
+  Box3 b;
+  for (std::size_t d = 0; d < 3; ++d) {
+    const double lo = rng.uniform(0.0, extent);
+    const double len = rng.uniform(0.0, max_size);
+    b.min[d] = lo;
+    b.max[d] = lo + len;
+  }
+  return b;
+}
+
+std::vector<std::uint64_t> brute_force(
+    const std::vector<std::pair<Box3, std::uint64_t>>& data,
+    const Box3& query) {
+  std::vector<std::uint64_t> out;
+  for (const auto& [box, value] : data) {
+    if (box.intersects(query)) out.push_back(value);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint64_t> tree_query(const Tree& tree, const Box3& query) {
+  std::vector<std::uint64_t> out;
+  tree.query(query, [&](const Box3&, const std::uint64_t& v) {
+    out.push_back(v);
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(RTreeTest, EmptyTreeBasics) {
+  Tree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree_query(tree, Box3{{0, 0, 0}, {1, 1, 1}}).empty());
+  EXPECT_FALSE(tree.erase(Box3{{0, 0, 0}, {1, 1, 1}}, 1));
+  tree.check_invariants();
+}
+
+TEST(RTreeTest, SingleEntryRoundTrip) {
+  Tree tree;
+  const Box3 b{{1, 2, 3}, {4, 5, 6}};
+  tree.insert(b, 42);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree_query(tree, b), (std::vector<std::uint64_t>{42}));
+  EXPECT_TRUE(tree_query(tree, Box3{{10, 10, 10}, {11, 11, 11}}).empty());
+  tree.check_invariants();
+}
+
+TEST(RTreeTest, OptionsValidated) {
+  EXPECT_THROW(Tree(RTreeOptions{1, 1}), std::invalid_argument);
+  EXPECT_THROW(Tree(RTreeOptions{8, 5}), std::invalid_argument);
+  EXPECT_THROW(Tree(RTreeOptions{8, 0}), std::invalid_argument);
+  EXPECT_NO_THROW(Tree(RTreeOptions{8, 4}));
+}
+
+// Parameterized over (node capacity, entry count) — splits, deep trees, and
+// degenerate boxes all get exercised.
+class RTreeRandomized
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(RTreeRandomized, QueriesMatchBruteForce) {
+  const auto [capacity, count] = GetParam();
+  RTreeOptions opts{capacity, std::max<std::size_t>(1, capacity / 3)};
+  Tree tree(opts);
+  svg::util::Xoshiro256 rng(capacity * 1000 + count);
+
+  std::vector<std::pair<Box3, std::uint64_t>> data;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Box3 b = random_box(rng);
+    data.emplace_back(b, i);
+    tree.insert(b, i);
+  }
+  tree.check_invariants();
+  EXPECT_EQ(tree.size(), count);
+
+  for (int q = 0; q < 50; ++q) {
+    const Box3 query = random_box(rng, 100.0, 20.0);
+    ASSERT_EQ(tree_query(tree, query), brute_force(data, query))
+        << "query " << q;
+  }
+}
+
+TEST_P(RTreeRandomized, DeleteHalfThenQueriesStillMatch) {
+  const auto [capacity, count] = GetParam();
+  RTreeOptions opts{capacity, std::max<std::size_t>(1, capacity / 3)};
+  Tree tree(opts);
+  svg::util::Xoshiro256 rng(capacity * 7919 + count);
+
+  std::vector<std::pair<Box3, std::uint64_t>> data;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Box3 b = random_box(rng);
+    data.emplace_back(b, i);
+    tree.insert(b, i);
+  }
+  // Delete every other entry.
+  std::vector<std::pair<Box3, std::uint64_t>> kept;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (i % 2 == 0) {
+      ASSERT_TRUE(tree.erase(data[i].first, data[i].second)) << i;
+    } else {
+      kept.push_back(data[i]);
+    }
+  }
+  tree.check_invariants();
+  EXPECT_EQ(tree.size(), kept.size());
+
+  for (int q = 0; q < 30; ++q) {
+    const Box3 query = random_box(rng, 100.0, 25.0);
+    ASSERT_EQ(tree_query(tree, query), brute_force(kept, query));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CapacityAndSize, RTreeRandomized,
+    ::testing::Combine(::testing::Values(std::size_t{4}, std::size_t{8},
+                                         std::size_t{16}, std::size_t{64}),
+                       ::testing::Values(std::size_t{10}, std::size_t{100},
+                                         std::size_t{1000})));
+
+TEST(RTreeTest, EraseMissingReturnsFalse) {
+  Tree tree;
+  const Box3 b{{0, 0, 0}, {1, 1, 1}};
+  tree.insert(b, 1);
+  EXPECT_FALSE(tree.erase(b, 2));                            // wrong value
+  EXPECT_FALSE(tree.erase(Box3{{5, 5, 5}, {6, 6, 6}}, 1));   // wrong box
+  EXPECT_TRUE(tree.erase(b, 1));
+  EXPECT_FALSE(tree.erase(b, 1));  // already gone
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(RTreeTest, DeleteEverythingLeavesCleanTree) {
+  Tree tree(RTreeOptions{4, 2});
+  svg::util::Xoshiro256 rng(5);
+  std::vector<std::pair<Box3, std::uint64_t>> data;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const Box3 b = random_box(rng);
+    data.emplace_back(b, i);
+    tree.insert(b, i);
+  }
+  for (const auto& [box, value] : data) {
+    ASSERT_TRUE(tree.erase(box, value));
+    tree.check_invariants();
+  }
+  EXPECT_TRUE(tree.empty());
+  // Tree is reusable.
+  tree.insert(data[0].first, 7);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(RTreeTest, DuplicateBoxesWithDistinctValues) {
+  Tree tree(RTreeOptions{4, 2});
+  const Box3 b{{1, 1, 1}, {2, 2, 2}};
+  for (std::uint64_t i = 0; i < 20; ++i) tree.insert(b, i);
+  EXPECT_EQ(tree_query(tree, b).size(), 20u);
+  EXPECT_TRUE(tree.erase(b, 13));
+  const auto rest = tree_query(tree, b);
+  EXPECT_EQ(rest.size(), 19u);
+  EXPECT_EQ(std::count(rest.begin(), rest.end(), 13u), 0);
+  tree.check_invariants();
+}
+
+TEST(RTreeTest, DegeneratePointBoxes) {
+  // FoV rectangles are degenerate in lng/lat; make sure zero-volume boxes
+  // index and query correctly.
+  Tree tree(RTreeOptions{8, 3});
+  svg::util::Xoshiro256 rng(6);
+  std::vector<std::pair<Box3, std::uint64_t>> data;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    Box3 b;
+    const double x = rng.uniform(0.0, 10.0);
+    const double y = rng.uniform(0.0, 10.0);
+    const double t0 = rng.uniform(0.0, 100.0);
+    b.min = {x, y, t0};
+    b.max = {x, y, t0 + rng.uniform(0.0, 5.0)};
+    data.emplace_back(b, i);
+    tree.insert(b, i);
+  }
+  tree.check_invariants();
+  for (int q = 0; q < 40; ++q) {
+    const Box3 query = random_box(rng, 10.0, 3.0);
+    ASSERT_EQ(tree_query(tree, query), brute_force(data, query));
+  }
+}
+
+TEST(RTreeTest, EarlyExitVisitorStops) {
+  Tree tree;
+  const Box3 b{{0, 0, 0}, {1, 1, 1}};
+  for (std::uint64_t i = 0; i < 100; ++i) tree.insert(b, i);
+  int seen = 0;
+  tree.query(b, [&](const Box3&, const std::uint64_t&) {
+    ++seen;
+    return seen < 5;  // stop after 5
+  });
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(RTreeTest, StatsReflectStructure) {
+  Tree tree(RTreeOptions{4, 2});
+  svg::util::Xoshiro256 rng(7);
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    tree.insert(random_box(rng), i);
+  }
+  const auto s = tree.stats();
+  EXPECT_EQ(s.size, 300u);
+  EXPECT_GE(s.height, 3u);  // 300 entries at fanout <= 4
+  EXPECT_GT(s.leaf_nodes, 300u / 4);
+  EXPECT_GT(s.internal_nodes, 0u);
+}
+
+TEST(RTreeTest, QueryWorkCounterPopulated) {
+  Tree tree(RTreeOptions{8, 3});
+  svg::util::Xoshiro256 rng(8);
+  for (std::uint64_t i = 0; i < 500; ++i) tree.insert(random_box(rng), i);
+  tree.query(Box3{{0, 0, 0}, {10, 10, 10}},
+             [](const Box3&, const std::uint64_t&) {});
+  EXPECT_GT(tree.stats().boxes_visited_last_query, 0u);
+}
+
+TEST(RTreeTest, BoundsCoverEverything) {
+  Tree tree;
+  svg::util::Xoshiro256 rng(9);
+  Box3 expect = Box3::empty();
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const Box3 b = random_box(rng);
+    expect.expand(b);
+    tree.insert(b, i);
+  }
+  EXPECT_EQ(tree.bounds(), expect);
+}
+
+TEST(RTreeBulkLoadTest, MatchesDynamicInsertResults) {
+  svg::util::Xoshiro256 rng(10);
+  std::vector<std::pair<Box3, std::uint64_t>> data;
+  std::vector<Tree::Entry> entries;
+  Tree dynamic(RTreeOptions{8, 3});
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const Box3 b = random_box(rng);
+    data.emplace_back(b, i);
+    entries.push_back({b, i});
+    dynamic.insert(b, i);
+  }
+  Tree bulk = Tree::bulk_load(std::move(entries), RTreeOptions{8, 3});
+  bulk.check_invariants();
+  EXPECT_EQ(bulk.size(), 2000u);
+  for (int q = 0; q < 50; ++q) {
+    const Box3 query = random_box(rng, 100.0, 15.0);
+    const auto expected = brute_force(data, query);
+    ASSERT_EQ(tree_query(bulk, query), expected);
+    ASSERT_EQ(tree_query(dynamic, query), expected);
+  }
+}
+
+TEST(RTreeBulkLoadTest, PacksTighterThanDynamic) {
+  svg::util::Xoshiro256 rng(11);
+  std::vector<Tree::Entry> entries;
+  Tree dynamic(RTreeOptions{16, 6});
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const Box3 b = random_box(rng);
+    entries.push_back({b, i});
+    dynamic.insert(b, i);
+  }
+  Tree bulk = Tree::bulk_load(std::move(entries), RTreeOptions{16, 6});
+  EXPECT_LT(bulk.stats().leaf_nodes, dynamic.stats().leaf_nodes);
+}
+
+TEST(RTreeBulkLoadTest, EmptyAndTiny) {
+  Tree empty = Tree::bulk_load({}, RTreeOptions{8, 3});
+  EXPECT_TRUE(empty.empty());
+  empty.check_invariants();
+
+  Tree one = Tree::bulk_load({{Box3{{0, 0, 0}, {1, 1, 1}}, 5}},
+                             RTreeOptions{8, 3});
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_EQ(tree_query(one, Box3{{0, 0, 0}, {2, 2, 2}}),
+            (std::vector<std::uint64_t>{5}));
+}
+
+TEST(RTreeTest, MixedInsertEraseStressWithInvariants) {
+  Tree tree(RTreeOptions{6, 3});
+  svg::util::Xoshiro256 rng(12);
+  std::vector<std::pair<Box3, std::uint64_t>> live;
+  std::uint64_t next_id = 0;
+  for (int round = 0; round < 2000; ++round) {
+    if (live.empty() || rng.chance(0.6)) {
+      const Box3 b = random_box(rng);
+      tree.insert(b, next_id);
+      live.emplace_back(b, next_id);
+      ++next_id;
+    } else {
+      const std::size_t pick = rng.bounded(live.size());
+      ASSERT_TRUE(tree.erase(live[pick].first, live[pick].second));
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+    if (round % 100 == 0) tree.check_invariants();
+  }
+  tree.check_invariants();
+  EXPECT_EQ(tree.size(), live.size());
+  const Box3 everything{{-1, -1, -1}, {200, 200, 200}};
+  EXPECT_EQ(tree_query(tree, everything).size(), live.size());
+}
+
+}  // namespace

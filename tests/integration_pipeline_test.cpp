@@ -1,0 +1,210 @@
+// Full-system integration: a simulated crowd records around a city, clients
+// segment + upload descriptors, the server indexes them, and queries are
+// validated against the geometric ground-truth oracle. This is the paper's
+// whole workflow in one test binary.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "retrieval/metrics.hpp"
+#include "sim/crowd.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace svg;
+using core::CameraIntrinsics;
+using geo::LatLng;
+
+const CameraIntrinsics kCam{30.0, 100.0};
+
+struct Corpus {
+  sim::CityModel city;
+  std::vector<sim::ProviderSession> sessions;
+  std::vector<core::RepresentativeFov> all_reps;
+  retrieval::VisibilityOracle oracle{kCam};
+};
+
+Corpus build_corpus(std::uint64_t seed, std::uint32_t providers = 40) {
+  Corpus c;
+  c.city.extent_m = 1500.0;
+  sim::CrowdConfig cfg;
+  cfg.providers = providers;
+  cfg.min_sessions = 1;
+  cfg.max_sessions = 2;
+  cfg.min_duration_s = 20.0;
+  cfg.max_duration_s = 60.0;
+  cfg.fps = 10.0;
+  cfg.window_length_ms = 3'600'000;  // one hour
+  util::Xoshiro256 rng(seed);
+  c.sessions = sim::generate_crowd(c.city, cfg, rng);
+  return c;
+}
+
+/// Push every session through the real client pipeline into the server.
+void ingest_all(Corpus& corpus, net::CloudServer& server,
+                net::Link* link = nullptr) {
+  const core::SimilarityModel model(kCam);
+  for (const auto& session : corpus.sessions) {
+    net::MobileClient client(session.video_id, model, {0.5});
+    auto msg = net::capture_session(client, session.records);
+    for (const auto& rep : msg.segments) corpus.all_reps.push_back(rep);
+    if (link) {
+      const auto bytes = client.upload(msg, *link);
+      ASSERT_TRUE(server.handle_upload(bytes));
+    } else {
+      server.ingest(msg);
+    }
+    corpus.oracle.add_video(session.video_id, session.ground_truth);
+  }
+}
+
+retrieval::RetrievalConfig retrieval_config() {
+  retrieval::RetrievalConfig cfg;
+  cfg.camera = kCam;
+  cfg.orientation_slack_deg = 10.0;
+  cfg.top_n = 50;
+  return cfg;
+}
+
+TEST(IntegrationTest, CrowdIngestThenQueriesAreAccurate) {
+  Corpus corpus = build_corpus(1);
+  net::CloudServer server({}, retrieval_config());
+  net::Link link;
+  ingest_all(corpus, server, &link);
+  ASSERT_GT(server.indexed_segments(), 0u);
+  ASSERT_EQ(server.indexed_segments(), corpus.all_reps.size());
+
+  // Issue queries centred on places cameras actually looked at, so the
+  // recall base is non-trivial.
+  util::Xoshiro256 rng(2);
+  std::vector<retrieval::QualityReport> reports;
+  int with_relevant = 0;
+  for (int q = 0; q < 60 && with_relevant < 20; ++q) {
+    const auto& session =
+        corpus.sessions[rng.bounded(corpus.sessions.size())];
+    const auto& frame =
+        session.ground_truth[rng.bounded(session.ground_truth.size())];
+    // A point ~40 m ahead of a real camera at a real recording time.
+    retrieval::Query query;
+    query.center = geo::offset_m(
+        frame.fov.p,
+        40.0 * std::sin(geo::deg_to_rad(frame.fov.theta_deg)),
+        40.0 * std::cos(geo::deg_to_rad(frame.fov.theta_deg)));
+    query.radius_m = 30.0;
+    query.t_start = frame.t - 10'000;
+    query.t_end = frame.t + 10'000;
+
+    const auto results = server.search(query);
+    const auto report = retrieval::evaluate_results(
+        results, corpus.all_reps, corpus.oracle, query);
+    if (report.relevant_total == 0) continue;
+    ++with_relevant;
+    reports.push_back(report);
+  }
+  ASSERT_GE(with_relevant, 10);
+  const auto merged = retrieval::merge_reports(reports);
+  // Content-free retrieval should find most truly-covering segments and
+  // not drown them in noise (paper: "comparable search accuracy").
+  EXPECT_GT(merged.recall, 0.7) << "recall too low";
+  EXPECT_GT(merged.precision, 0.5) << "precision too low";
+}
+
+TEST(IntegrationTest, WireAndInProcessPathsAgree) {
+  Corpus corpus_a = build_corpus(3, 10);
+  Corpus corpus_b = build_corpus(3, 10);
+
+  net::CloudServer wire_server({}, retrieval_config());
+  net::CloudServer local_server({}, retrieval_config());
+  net::Link link;
+  ingest_all(corpus_a, wire_server, &link);
+  ingest_all(corpus_b, local_server, nullptr);
+  ASSERT_EQ(wire_server.indexed_segments(), local_server.indexed_segments());
+
+  util::Xoshiro256 rng(4);
+  for (int i = 0; i < 10; ++i) {
+    retrieval::Query q;
+    q.center = corpus_a.city.random_point(rng);
+    q.radius_m = 50.0;
+    q.t_start = 1'400'000'000'000;
+    q.t_end = q.t_start + 3'600'000;
+    const auto a = wire_server.search(q);
+    const auto b = local_server.search(q);
+    ASSERT_EQ(a.size(), b.size()) << i;
+    for (std::size_t j = 0; j < a.size(); ++j) {
+      ASSERT_EQ(a[j].rep.video_id, b[j].rep.video_id);
+      ASSERT_EQ(a[j].rep.segment_id, b[j].rep.segment_id);
+      // Positions went through 1e-7° quantization on the wire.
+      ASSERT_NEAR(a[j].distance_m, b[j].distance_m, 0.05);
+    }
+  }
+}
+
+TEST(IntegrationTest, ConcurrentQueriersGetConsistentAnswers) {
+  Corpus corpus = build_corpus(5, 20);
+  net::CloudServer server({}, retrieval_config());
+  ingest_all(corpus, server);
+
+  // One reference query answered single-threaded.
+  retrieval::Query q;
+  q.center = corpus.city.center;
+  q.radius_m = 100.0;
+  q.t_start = 1'400'000'000'000;
+  q.t_end = q.t_start + 3'600'000;
+  const auto expected = server.search(q);
+
+  util::ThreadPool pool(8);
+  std::vector<std::future<std::size_t>> futs;
+  for (int i = 0; i < 64; ++i) {
+    futs.push_back(pool.submit([&] { return server.search(q).size(); }));
+  }
+  for (auto& f : futs) {
+    ASSERT_EQ(f.get(), expected.size());
+  }
+}
+
+TEST(IntegrationTest, SegmentationCompressesUploads) {
+  Corpus corpus = build_corpus(6, 20);
+  const core::SimilarityModel model(kCam);
+  std::size_t frames = 0, segments = 0;
+  for (const auto& session : corpus.sessions) {
+    net::MobileClient client(session.video_id, model, {0.5});
+    const auto msg = net::capture_session(client, session.records);
+    frames += session.records.size();
+    segments += msg.segments.size();
+  }
+  ASSERT_GT(segments, 0u);
+  // Averaged over movement types, many frames collapse per segment.
+  EXPECT_LT(static_cast<double>(segments),
+            0.2 * static_cast<double>(frames));
+}
+
+TEST(IntegrationTest, NoisySensorsStillRetrieveStaticObserver) {
+  // A bystander with realistic sensor noise films a fixed spot; a query at
+  // that spot must find them.
+  const core::SimilarityModel model(kCam);
+  const LatLng centre{39.9042, 116.4074};
+  sim::RotationTrajectory traj(geo::offset_m(centre, 0, -40), 0.0, 0.0,
+                               30.0);
+  sim::SensorNoiseConfig noise;  // default noisy profile
+  sim::SensorSampler sampler(noise, {30.0, 1'000'000});
+  util::Xoshiro256 rng(7);
+
+  net::CloudServer server({}, retrieval_config());
+  net::MobileClient client(11, model, {0.5});
+  server.ingest(net::capture_session(client, sampler.sample(traj, rng)));
+
+  retrieval::Query q;
+  q.center = centre;
+  q.radius_m = 30.0;
+  q.t_start = 1'000'000;
+  q.t_end = 1'000'000 + 30'000;
+  const auto results = server.search(q);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].rep.video_id, 11u);
+}
+
+}  // namespace

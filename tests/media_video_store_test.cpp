@@ -1,0 +1,134 @@
+#include "media/video_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace svg::media;
+
+RecordedVideo one_minute(std::uint64_t id = 1,
+                         svg::core::TimestampMs start = 1'000'000) {
+  return RecordedVideo(id, start, start + 60'000);
+}
+
+TEST(EncodingProfileTest, GopBytesFollowBitrate) {
+  EncodingProfile p;  // 2 Mbps, 2 s GOP
+  EXPECT_EQ(p.bytes_per_gop(), 500'000u);
+}
+
+TEST(RecordedVideoTest, SizesFollowDuration) {
+  const auto v = one_minute();
+  EXPECT_DOUBLE_EQ(v.duration_s(), 60.0);
+  EXPECT_EQ(v.gop_count(), 30u);  // 60 s / 2 s
+  EXPECT_EQ(v.total_bytes(), 30u * 500'000u);  // 15 MB
+}
+
+TEST(RecordedVideoTest, PartialLastGopStoredWhole) {
+  const RecordedVideo v(1, 0, 4'500);  // 4.5 s → 3 GOPs
+  EXPECT_EQ(v.gop_count(), 3u);
+}
+
+TEST(RecordedVideoTest, ZeroLengthRecordingHasOneGop) {
+  const RecordedVideo v(1, 1000, 1000);
+  EXPECT_EQ(v.gop_count(), 1u);
+}
+
+TEST(RecordedVideoTest, GopOfClampsAndIndexes) {
+  const auto v = one_minute();
+  EXPECT_EQ(v.gop_of(999'000), 0u);        // before start
+  EXPECT_EQ(v.gop_of(1'000'000), 0u);
+  EXPECT_EQ(v.gop_of(1'001'999), 0u);
+  EXPECT_EQ(v.gop_of(1'002'000), 1u);
+  EXPECT_EQ(v.gop_of(1'059'999), 29u);
+  EXPECT_EQ(v.gop_of(2'000'000), 29u);     // past end
+}
+
+TEST(RecordedVideoTest, InvalidConstructionThrows) {
+  EXPECT_THROW(RecordedVideo(1, 100, 50), std::invalid_argument);
+  EncodingProfile bad;
+  bad.fps = 0.0;
+  EXPECT_THROW(RecordedVideo(1, 0, 100, bad), std::invalid_argument);
+}
+
+TEST(VideoStoreTest, AddFindContains) {
+  VideoStore store;
+  EXPECT_FALSE(store.contains(1));
+  store.add(one_minute(1));
+  store.add(one_minute(2));
+  EXPECT_TRUE(store.contains(1));
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_NE(store.find(2), nullptr);
+  EXPECT_EQ(store.find(2)->id(), 2u);
+  EXPECT_EQ(store.find(99), nullptr);
+  EXPECT_EQ(store.stored_bytes(), 2u * 15'000'000u);
+}
+
+TEST(VideoStoreTest, ExtractClipAlignsToGops) {
+  VideoStore store;
+  store.add(one_minute());
+  // Ask for [1:010.5, 1:013.2] — covers GOPs 5 and 6 (10–14 s).
+  const auto clip = store.extract_clip(1, 1'010'500, 1'013'200);
+  ASSERT_TRUE(clip.has_value());
+  EXPECT_EQ(clip->t_start, 1'010'000);
+  EXPECT_EQ(clip->t_end, 1'014'000);
+  EXPECT_EQ(clip->size_bytes(), 2u * 500'000u);
+}
+
+TEST(VideoStoreTest, ClipClampsToRecordingExtent) {
+  VideoStore store;
+  store.add(one_minute());
+  const auto clip = store.extract_clip(1, 0, 9'999'999'999);
+  ASSERT_TRUE(clip.has_value());
+  EXPECT_EQ(clip->t_start, 1'000'000);
+  EXPECT_EQ(clip->t_end, 1'060'000);
+  EXPECT_EQ(clip->size_bytes(), 15'000'000u);
+}
+
+TEST(VideoStoreTest, ClipOutsideRecordingIsNullopt) {
+  VideoStore store;
+  store.add(one_minute());
+  EXPECT_FALSE(store.extract_clip(1, 0, 500'000).has_value());
+  EXPECT_FALSE(store.extract_clip(1, 2'000'000, 3'000'000).has_value());
+  EXPECT_FALSE(store.extract_clip(1, 1'020'000, 1'010'000).has_value());
+  EXPECT_FALSE(store.extract_clip(42, 1'000'000, 1'010'000).has_value());
+}
+
+TEST(VideoStoreTest, PayloadIsDeterministicAndOffsetAddressed) {
+  VideoStore store;
+  store.add(one_minute());
+  const auto a = store.extract_clip(1, 1'010'000, 1'011'000);
+  const auto b = store.extract_clip(1, 1'010'000, 1'011'000);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->payload, b->payload);
+  // A later clip has different content (different byte offsets).
+  const auto c = store.extract_clip(1, 1'020'000, 1'021'000);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_NE(a->payload, c->payload);
+  // First byte of GOP 5 equals the generator at offset 5·gop_bytes.
+  EXPECT_EQ(a->payload[0], payload_byte(1, 5u * 500'000u));
+}
+
+TEST(VideoStoreTest, DifferentVideosDifferentPayload) {
+  VideoStore store;
+  store.add(one_minute(1));
+  store.add(one_minute(2));
+  const auto a = store.extract_clip(1, 1'000'000, 1'001'000);
+  const auto b = store.extract_clip(2, 1'000'000, 1'001'000);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a->payload, b->payload);
+}
+
+TEST(VideoStoreTest, SegmentClipMuchSmallerThanFullVideo) {
+  // The Section IV saving: a 6 s matched segment from a 60 s recording
+  // moves ~1/10 of the bytes.
+  VideoStore store;
+  store.add(one_minute());
+  const auto clip = store.extract_clip(1, 1'030'000, 1'036'000);
+  ASSERT_TRUE(clip.has_value());
+  const double ratio = static_cast<double>(clip->size_bytes()) /
+                       static_cast<double>(store.find(1)->total_bytes());
+  EXPECT_LT(ratio, 0.15);
+  EXPECT_GT(ratio, 0.05);
+}
+
+}  // namespace

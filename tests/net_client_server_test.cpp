@@ -1,0 +1,209 @@
+// End-to-end protocol tests: client captures → uploads descriptors → server
+// indexes → querier searches over the wire.
+
+#include <gtest/gtest.h>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "sim/sensors.hpp"
+#include "sim/trajectory.hpp"
+
+namespace {
+
+using namespace svg::net;
+using svg::core::CameraIntrinsics;
+using svg::core::FovRecord;
+using svg::core::SimilarityModel;
+using svg::geo::LatLng;
+using svg::geo::offset_m;
+
+const LatLng kCenter{39.9042, 116.4074};
+const CameraIntrinsics kCam{30.0, 100.0};
+
+std::vector<FovRecord> record_walk(double camera_offset_deg,
+                                   double duration_s = 30.0) {
+  svg::sim::StraightTrajectory traj(offset_m(kCenter, 0, -50), 0.0, 1.4,
+                                    duration_s, camera_offset_deg);
+  svg::sim::SensorSampler sampler(svg::sim::SensorNoiseConfig::ideal(),
+                                  {30.0, 1'000'000});
+  svg::util::Xoshiro256 rng(1);
+  return sampler.sample(traj, rng);
+}
+
+TEST(TransportTest, LinkAccountsBytesAndLatency) {
+  Link link({.bandwidth_up_mbps = 8.0,
+             .bandwidth_down_mbps = 8.0,
+             .one_way_latency_ms = 25.0});
+  const double up_ms = link.send_up(1'000'000);  // 1 MB at 8 Mbps = 1 s
+  EXPECT_NEAR(up_ms, 25.0 + 1000.0, 1.0);
+  link.send_down(100);
+  const auto s = link.stats();
+  EXPECT_EQ(s.messages_up, 1u);
+  EXPECT_EQ(s.bytes_up, 1'000'000u);
+  EXPECT_EQ(s.messages_down, 1u);
+  EXPECT_EQ(s.bytes_down, 100u);
+}
+
+TEST(VideoBytesTest, BitrateModel) {
+  EXPECT_DOUBLE_EQ(video_upload_bytes(10.0, 2.0), 2.5e6);
+}
+
+TEST(MobileClientTest, UploadContainsAllSegments) {
+  const SimilarityModel model(kCam);
+  MobileClient client(42, model, {0.5});
+  const auto records = record_walk(0.0);
+  const auto msg = capture_session(client, records);
+  EXPECT_EQ(msg.video_id, 42u);
+  EXPECT_FALSE(msg.segments.empty());
+  EXPECT_EQ(client.stats().frames_processed, records.size());
+  // Segment intervals tile the recording.
+  for (std::size_t i = 1; i < msg.segments.size(); ++i) {
+    EXPECT_GT(msg.segments[i].t_start, msg.segments[i - 1].t_end - 40);
+  }
+  EXPECT_EQ(msg.segments.front().t_start, records.front().t);
+  EXPECT_EQ(msg.segments.back().t_end, records.back().t);
+}
+
+TEST(MobileClientTest, DescriptorTrafficIsNegligible) {
+  const SimilarityModel model(kCam);
+  MobileClient client(1, model, {0.5});
+  const auto records = record_walk(0.0, 60.0);
+  const auto msg = capture_session(client, records);
+  Link link;
+  client.upload(msg, link);
+  const auto& stats = client.stats();
+  EXPECT_GT(stats.descriptor_bytes, 0u);
+  EXPECT_GT(stats.video_bytes_avoided, 1e6);  // 60 s of video ≈ 15 MB
+  // The paper's headline: descriptor bytes are ~1e-5 of the video bytes.
+  EXPECT_LT(static_cast<double>(stats.descriptor_bytes),
+            1e-3 * stats.video_bytes_avoided);
+  EXPECT_EQ(link.stats().bytes_up, stats.descriptor_bytes);
+}
+
+TEST(CloudServerTest, IngestAndSearchInProcess) {
+  CloudServer server({}, {.camera = kCam,
+                          .orientation_slack_deg = 5.0,
+                          .orientation_filter = true,
+                          .top_n = 10,
+                          .box_expansion = 0.0});
+  const SimilarityModel model(kCam);
+  MobileClient client(7, model, {0.5});
+  server.ingest(capture_session(client, record_walk(0.0)));
+  EXPECT_GT(server.indexed_segments(), 0u);
+
+  svg::retrieval::Query q;
+  q.center = kCenter;
+  q.radius_m = 40.0;
+  q.t_start = 1'000'000;
+  q.t_end = 1'000'000 + 30'000;
+  const auto results = server.search(q);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].rep.video_id, 7u);
+}
+
+TEST(CloudServerTest, WireProtocolEndToEnd) {
+  CloudServer server({}, {.camera = kCam,
+                          .orientation_slack_deg = 5.0,
+                          .orientation_filter = true,
+                          .top_n = 10,
+                          .box_expansion = 0.0});
+  const SimilarityModel model(kCam);
+
+  // Provider uploads over the wire.
+  MobileClient client(9, model, {0.5});
+  Link uplink;
+  const auto bytes =
+      client.upload(capture_session(client, record_walk(0.0)), uplink);
+  ASSERT_TRUE(server.handle_upload(bytes));
+
+  // Querier asks over the wire.
+  QueryMessage qm;
+  qm.t_start = 1'000'000;
+  qm.t_end = 1'000'000 + 30'000;
+  qm.center = kCenter;
+  qm.radius_m = 40.0;
+  qm.top_n = 5;
+  const auto reply = server.handle_query(encode_query(qm));
+  ASSERT_TRUE(reply.has_value());
+  const auto results = decode_results(*reply);
+  ASSERT_TRUE(results.has_value());
+  ASSERT_FALSE(results->entries.empty());
+  EXPECT_LE(results->entries.size(), 5u);
+  EXPECT_EQ(results->entries[0].video_id, 9u);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.uploads_accepted, 1u);
+  EXPECT_EQ(stats.queries_served, 1u);
+}
+
+TEST(CloudServerTest, CameraFacingAwayNotReturned) {
+  CloudServer server({}, {.camera = kCam,
+                          .orientation_slack_deg = 5.0,
+                          .orientation_filter = true,
+                          .top_n = 10,
+                          .box_expansion = 0.0});
+  const SimilarityModel model(kCam);
+  // Walking north but filming backwards (south) from north of the centre:
+  // the query centre sits behind the camera's view for the whole walk? No —
+  // start the walk north of centre heading away, filming forward (north).
+  svg::sim::StraightTrajectory traj(offset_m(kCenter, 0, 30), 0.0, 1.4,
+                                    30.0, 0.0);
+  svg::sim::SensorSampler sampler(svg::sim::SensorNoiseConfig::ideal(),
+                                  {30.0, 1'000'000});
+  svg::util::Xoshiro256 rng(2);
+  MobileClient client(3, model, {0.5});
+  server.ingest(capture_session(client, sampler.sample(traj, rng)));
+
+  svg::retrieval::Query q;
+  q.center = kCenter;
+  q.radius_m = 20.0;
+  q.t_start = 1'000'000;
+  q.t_end = 1'000'000 + 30'000;
+  EXPECT_TRUE(server.search(q).empty());
+}
+
+TEST(CloudServerTest, MalformedUploadRejected) {
+  CloudServer server;
+  const std::vector<std::uint8_t> garbage{0xFF, 0x00, 0x12};
+  EXPECT_FALSE(server.handle_upload(garbage));
+  EXPECT_EQ(server.stats().uploads_rejected, 1u);
+  EXPECT_EQ(server.indexed_segments(), 0u);
+}
+
+TEST(CloudServerTest, MalformedQueryRejected) {
+  CloudServer server;
+  EXPECT_FALSE(server.handle_query({}).has_value());
+  const std::vector<std::uint8_t> garbage{0x00};
+  EXPECT_FALSE(server.handle_query(garbage).has_value());
+}
+
+TEST(CloudServerTest, MultipleProvidersRanked) {
+  CloudServer server({}, {.camera = kCam,
+                          .orientation_slack_deg = 5.0,
+                          .orientation_filter = true,
+                          .top_n = 10,
+                          .box_expansion = 0.0});
+  const SimilarityModel model(kCam);
+  // Two static observers at different distances, both facing the centre.
+  for (const auto& [vid, dist] :
+       std::vector<std::pair<std::uint64_t, double>>{{1, 60.0}, {2, 25.0}}) {
+    svg::sim::RotationTrajectory traj(offset_m(kCenter, 0, -dist), 0.0, 0.0,
+                                      10.0);
+    svg::sim::SensorSampler sampler(svg::sim::SensorNoiseConfig::ideal(),
+                                    {30.0, 1'000'000});
+    svg::util::Xoshiro256 rng(vid);
+    MobileClient client(vid, model, {0.5});
+    server.ingest(capture_session(client, sampler.sample(traj, rng)));
+  }
+  svg::retrieval::Query q;
+  q.center = kCenter;
+  q.radius_m = 30.0;
+  q.t_start = 1'000'000;
+  q.t_end = 1'000'000 + 10'000;
+  const auto results = server.search(q);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].rep.video_id, 2u);  // closer camera first
+  EXPECT_EQ(results[1].rep.video_id, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+#include "net/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "index/fov_index.hpp"
+#include "net/server.hpp"
+#include "sim/crowd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace svg::net;
+using svg::core::RepresentativeFov;
+
+std::vector<RepresentativeFov> sample_reps(std::size_t n,
+                                           std::uint64_t seed = 1) {
+  svg::sim::CityModel city;
+  svg::util::Xoshiro256 rng(seed);
+  return svg::sim::random_representative_fovs(n, city, 1'400'000'000'000,
+                                              86'400'000, rng);
+}
+
+TEST(SnapshotCodecTest, RoundTripPreservesRecords) {
+  const auto reps = sample_reps(500);
+  const auto back = decode_snapshot(encode_snapshot(reps));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), reps.size());
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    EXPECT_EQ((*back)[i].video_id, reps[i].video_id);
+    EXPECT_EQ((*back)[i].segment_id, reps[i].segment_id);
+    EXPECT_NEAR((*back)[i].fov.p.lat, reps[i].fov.p.lat, 1e-6);
+    EXPECT_NEAR((*back)[i].fov.p.lng, reps[i].fov.p.lng, 1e-6);
+    EXPECT_NEAR((*back)[i].fov.theta_deg, reps[i].fov.theta_deg, 0.011);
+    EXPECT_EQ((*back)[i].t_start, reps[i].t_start);
+    EXPECT_EQ((*back)[i].t_end, reps[i].t_end);
+  }
+}
+
+TEST(SnapshotCodecTest, EmptySnapshot) {
+  const auto back = decode_snapshot(encode_snapshot({}));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(SnapshotCodecTest, CompactSize) {
+  const auto reps = sample_reps(10'000);
+  const auto bytes = encode_snapshot(reps);
+  // Delta coding should keep this around 20-25 B/record even for randomly
+  // ordered records.
+  EXPECT_LT(bytes.size(), 30u * reps.size());
+}
+
+TEST(SnapshotCodecTest, RejectsBadMagicVersionAndTruncation) {
+  const auto reps = sample_reps(10);
+  auto bytes = encode_snapshot(reps);
+  {
+    auto bad = bytes;
+    bad[0] = 'x';
+    EXPECT_FALSE(decode_snapshot(bad).has_value());
+  }
+  {
+    auto bad = bytes;
+    bad[4] = 0xFF;  // version
+    EXPECT_FALSE(decode_snapshot(bad).has_value());
+  }
+  {
+    auto bad = bytes;
+    bad.resize(bad.size() / 2);
+    EXPECT_FALSE(decode_snapshot(bad).has_value());
+  }
+  EXPECT_FALSE(decode_snapshot({}).has_value());
+}
+
+TEST(SnapshotFileTest, SaveLoadRoundTrip) {
+  const auto reps = sample_reps(200, 2);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "svg_snapshot_test.bin")
+          .string();
+  ASSERT_TRUE(save_snapshot_file(reps, path));
+  const auto back = load_snapshot_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), reps.size());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_snapshot_file("/nonexistent/dir/snap.bin").has_value());
+}
+
+TEST(SnapshotFileTest, RebuildIndexFromSnapshot) {
+  const auto reps = sample_reps(1000, 3);
+  svg::index::FovIndex original;
+  for (const auto& r : reps) original.insert(r);
+
+  const auto snap = original.snapshot();
+  EXPECT_EQ(snap.size(), 1000u);
+  const auto bytes = encode_snapshot(snap);
+  const auto restored_reps = decode_snapshot(bytes);
+  ASSERT_TRUE(restored_reps.has_value());
+  const auto rebuilt = svg::index::FovIndex::bulk_load(*restored_reps);
+  EXPECT_EQ(rebuilt.size(), original.size());
+  rebuilt.check_invariants();
+
+  // Queries agree (within quantization) between original and rebuilt.
+  svg::sim::CityModel city;
+  svg::util::Xoshiro256 rng(4);
+  for (int q = 0; q < 20; ++q) {
+    const auto c = city.random_point(rng);
+    // Pad the box by more than the 1e-7 deg quantization so boundary
+    // entries cannot flip sides.
+    const svg::index::GeoTimeRange range{
+        c.lng - 0.01, c.lng + 0.01, c.lat - 0.01, c.lat + 0.01,
+        1'400'000'000'000, 1'400'000'000'000 + 86'400'000};
+    EXPECT_EQ(original.query_collect(range).size(),
+              rebuilt.query_collect(range).size());
+  }
+}
+
+TEST(SnapshotFileTest, ServerRestartRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "svg_server_snap.bin")
+          .string();
+  const auto reps = sample_reps(300, 9);
+
+  svg::retrieval::Query q;
+  q.center = svg::sim::CityModel{}.center;
+  q.radius_m = 500.0;
+  q.t_start = 1'400'000'000'000;
+  q.t_end = q.t_start + 86'400'000;
+
+  std::size_t expected_hits = 0;
+  {
+    svg::net::CloudServer server;
+    UploadMessage msg;
+    msg.video_id = 1;
+    msg.segments = reps;
+    server.ingest(msg);
+    expected_hits = server.search(q).size();
+    ASSERT_TRUE(server.save_snapshot(path));
+  }
+  {
+    svg::net::CloudServer restarted;
+    const auto loaded = restarted.load_snapshot(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, reps.size());
+    EXPECT_EQ(restarted.indexed_segments(), reps.size());
+    EXPECT_EQ(restarted.search(q).size(), expected_hits);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFileTest, ServerLoadMissingSnapshotFails) {
+  svg::net::CloudServer server;
+  EXPECT_FALSE(server.load_snapshot("/nonexistent/snap.bin").has_value());
+  EXPECT_EQ(server.indexed_segments(), 0u);
+}
+
+TEST(SnapshotFileTest, SnapshotExcludesErasedEntries) {
+  const auto reps = sample_reps(10, 5);
+  svg::index::FovIndex idx;
+  std::vector<svg::index::FovHandle> handles;
+  for (const auto& r : reps) handles.push_back(idx.insert(r));
+  idx.erase(handles[3]);
+  idx.erase(handles[7]);
+  const auto snap = idx.snapshot();
+  EXPECT_EQ(snap.size(), 8u);
+  for (const auto& r : snap) {
+    EXPECT_NE(r.video_id, reps[3].video_id);
+    EXPECT_NE(r.video_id, reps[7].video_id);
+  }
+}
+
+}  // namespace

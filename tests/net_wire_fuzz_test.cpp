@@ -1,0 +1,131 @@
+// Robustness fuzzing: the server decodes attacker-controlled bytes, so no
+// corruption, truncation, or random garbage may crash, hang, or allocate
+// absurdly — decoders return nullopt (or a valid message) and nothing else.
+
+#include <gtest/gtest.h>
+
+#include "net/clip_fetch.hpp"
+#include "net/server.hpp"
+#include "net/snapshot.hpp"
+#include "net/wire.hpp"
+#include "sim/crowd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace svg::net;
+
+std::vector<std::uint8_t> valid_upload_bytes(std::uint64_t seed) {
+  svg::sim::CityModel city;
+  svg::util::Xoshiro256 rng(seed);
+  UploadMessage msg;
+  msg.video_id = seed;
+  for (const auto& r : svg::sim::random_representative_fovs(
+           16, city, 1'400'000'000'000, 3'600'000, rng)) {
+    msg.segments.push_back(r);
+  }
+  return encode_upload(msg);
+}
+
+TEST(WireFuzzTest, UploadDecoderSurvivesTruncationAtEveryOffset) {
+  const auto bytes = valid_upload_bytes(1);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    // Must not crash; result is nullopt or (for prefixes that happen to
+    // be self-consistent) a valid message.
+    (void)decode_upload(prefix);
+  }
+  SUCCEED();
+}
+
+TEST(WireFuzzTest, UploadDecoderSurvivesSingleByteCorruption) {
+  const auto original = valid_upload_bytes(2);
+  svg::util::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto bytes = original;
+    const std::size_t pos = rng.bounded(bytes.size());
+    bytes[pos] ^= static_cast<std::uint8_t>(1 + rng.bounded(255));
+    const auto out = decode_upload(bytes);
+    if (out) {
+      // If it still decodes, the structure must be sane.
+      ASSERT_LE(out->segments.size(), 1'000'000u);
+      for (const auto& s : out->segments) {
+        ASSERT_LE(s.t_start, s.t_end);
+      }
+    }
+  }
+}
+
+TEST(WireFuzzTest, AllDecodersSurviveRandomGarbage) {
+  svg::util::Xoshiro256 rng(4);
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::vector<std::uint8_t> garbage(rng.bounded(200));
+    for (auto& b : garbage) {
+      b = static_cast<std::uint8_t>(rng.bounded(256));
+    }
+    (void)decode_upload(garbage);
+    (void)decode_query(garbage);
+    (void)decode_results(garbage);
+    (void)decode_clip_request(garbage);
+    (void)decode_clip_response(garbage);
+    (void)decode_snapshot(garbage);
+  }
+  SUCCEED();
+}
+
+TEST(WireFuzzTest, SnapshotSurvivesCorruption) {
+  svg::sim::CityModel city;
+  svg::util::Xoshiro256 rng(5);
+  const auto reps = svg::sim::random_representative_fovs(
+      64, city, 1'400'000'000'000, 3'600'000, rng);
+  const auto original = encode_snapshot(reps);
+  for (int trial = 0; trial < 1000; ++trial) {
+    auto bytes = original;
+    const std::size_t pos = rng.bounded(bytes.size());
+    bytes[pos] ^= static_cast<std::uint8_t>(1 + rng.bounded(255));
+    const auto out = decode_snapshot(bytes);
+    if (out) {
+      for (const auto& r : *out) {
+        ASSERT_LE(r.t_start, r.t_end);
+      }
+    }
+  }
+}
+
+TEST(WireFuzzTest, ClipResponseLengthFieldCannotOverallocate) {
+  // A response claiming a multi-GB payload with a short body must be
+  // rejected before any allocation of that size.
+  ByteWriter w;
+  w.put_u8(kMsgClipResponse);
+  w.put_u8(1);                       // found
+  w.put_varint(1);                   // video id
+  w.put_svarint(0);                  // t_start
+  w.put_varint(1000);                // duration
+  w.put_varint(1ULL << 40);          // claimed payload: 1 TB
+  w.put_u8(0);                       // ...but only one byte follows
+  const auto out = decode_clip_response(w.bytes());
+  EXPECT_FALSE(out.has_value());
+}
+
+TEST(WireFuzzTest, ServerHandlesFuzzedUploadsWithoutStateCorruption) {
+  CloudServer server;
+  const auto good = valid_upload_bytes(6);
+  svg::util::Xoshiro256 rng(7);
+  std::size_t accepted = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    auto bytes = good;
+    const std::size_t flips = 1 + rng.bounded(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      bytes[rng.bounded(bytes.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.bounded(255));
+    }
+    if (server.handle_upload(bytes)) ++accepted;
+  }
+  // Regardless of what was accepted, the server still works.
+  ASSERT_TRUE(server.handle_upload(good));
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.uploads_accepted, accepted + 1);
+  EXPECT_EQ(stats.uploads_rejected, 500 - accepted);
+}
+
+}  // namespace

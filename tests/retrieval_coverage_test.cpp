@@ -1,0 +1,110 @@
+#include "retrieval/coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.hpp"
+#include "sim/crowd.hpp"
+
+namespace {
+
+using namespace svg::retrieval;
+using svg::core::RepresentativeFov;
+using svg::geo::LatLng;
+using svg::geo::offset_m;
+
+const LatLng kCenter{39.9042, 116.4074};
+
+CoverageMapConfig config(std::size_t cells = 16, double extent_m = 1000.0) {
+  CoverageMapConfig cfg;
+  const LatLng sw = offset_m(kCenter, -extent_m / 2, -extent_m / 2);
+  const LatLng ne = offset_m(kCenter, extent_m / 2, extent_m / 2);
+  cfg.bounds.min = {sw.lng, sw.lat};
+  cfg.bounds.max = {ne.lng, ne.lat};
+  cfg.cells_per_side = cells;
+  cfg.t_start = 0;
+  cfg.t_end = 100'000;
+  cfg.camera = {30.0, 100.0};
+  return cfg;
+}
+
+RepresentativeFov rep_at(double east, double north, double theta,
+                         svg::core::TimestampMs t0 = 0,
+                         svg::core::TimestampMs t1 = 50'000) {
+  RepresentativeFov r;
+  r.fov.p = offset_m(kCenter, east, north);
+  r.fov.theta_deg = theta;
+  r.t_start = t0;
+  r.t_end = t1;
+  return r;
+}
+
+TEST(CoverageMapTest, EmptyCorpusNoCoverage) {
+  CoverageMap map(config());
+  map.accumulate({});
+  EXPECT_EQ(map.covered_cells(), 0u);
+  EXPECT_EQ(map.coverage_fraction(), 0.0);
+  EXPECT_EQ(map.gaps().size(), 16u * 16u);
+}
+
+TEST(CoverageMapTest, SingleFovCoversItsSectorOnly) {
+  CoverageMap map(config());
+  const std::vector<RepresentativeFov> corpus{rep_at(0, 0, 0.0)};
+  map.accumulate(corpus);
+  const std::size_t covered = map.covered_cells();
+  EXPECT_GT(covered, 0u);
+  // A 60°, 100 m sector covers ~5200 m²; cells are 62.5 m → ~1-3 cells
+  // wide; definitely under a quarter of the map.
+  EXPECT_LT(map.coverage_fraction(), 0.25);
+  // Cells north of the camera are covered; south of it are not.
+  EXPECT_EQ(map.max_count(), 1u);
+}
+
+TEST(CoverageMapTest, TimeWindowExcludesDisjointSegments) {
+  CoverageMap map(config());
+  const std::vector<RepresentativeFov> corpus{
+      rep_at(0, 0, 0.0, 200'000, 300'000)};  // outside [0, 100000]
+  map.accumulate(corpus);
+  EXPECT_EQ(map.covered_cells(), 0u);
+}
+
+TEST(CoverageMapTest, OverlappingFovsStack) {
+  CoverageMap map(config());
+  const std::vector<RepresentativeFov> corpus{
+      rep_at(0, -100, 0.0), rep_at(0, -100, 0.0), rep_at(0, -100, 0.0)};
+  map.accumulate(corpus);
+  EXPECT_EQ(map.max_count(), 3u);
+}
+
+TEST(CoverageMapTest, MoreProvidersMoreCoverage) {
+  svg::sim::CityModel city;
+  city.center = kCenter;
+  city.extent_m = 1000.0;
+  svg::util::Xoshiro256 rng(5);
+  const auto many =
+      svg::sim::random_representative_fovs(300, city, 0, 50'000, rng);
+  const std::vector<RepresentativeFov> few(many.begin(), many.begin() + 20);
+
+  CoverageMap sparse(config());
+  sparse.accumulate(few);
+  CoverageMap dense(config());
+  dense.accumulate(many);
+  EXPECT_GT(dense.covered_cells(), sparse.covered_cells());
+  EXPECT_EQ(dense.gaps().size() + dense.covered_cells(), 16u * 16u);
+}
+
+TEST(CoverageMapTest, CellCenterGeometry) {
+  CoverageMap map(config(10, 1000.0));
+  const LatLng c00 = map.cell_center(0, 0);
+  const LatLng c99 = map.cell_center(9, 9);
+  // Opposite corners, each 50 m inside the bounds.
+  EXPECT_NEAR(svg::geo::displacement_m(c00, c99).x, 900.0, 1.0);
+  EXPECT_NEAR(svg::geo::displacement_m(c00, c99).y, 900.0, 1.0);
+}
+
+TEST(CoverageMapTest, InvalidConfigThrows) {
+  CoverageMapConfig bad = config();
+  bad.cells_per_side = 0;
+  EXPECT_THROW(CoverageMap{bad}, std::invalid_argument);
+}
+
+}  // namespace

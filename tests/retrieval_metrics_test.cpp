@@ -1,0 +1,176 @@
+#include "retrieval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geo/geodesy.hpp"
+
+namespace {
+
+using namespace svg::retrieval;
+using svg::core::CameraIntrinsics;
+using svg::core::FovRecord;
+using svg::core::RepresentativeFov;
+using svg::geo::LatLng;
+using svg::geo::offset_m;
+
+const LatLng kCenter{39.9042, 116.4074};
+const CameraIntrinsics kCam{30.0, 100.0};
+
+std::vector<FovRecord> frames_facing(double east, double north, double theta,
+                                     svg::core::TimestampMs t0,
+                                     svg::core::TimestampMs t1, int n = 10) {
+  std::vector<FovRecord> v;
+  for (int i = 0; i < n; ++i) {
+    const auto t = t0 + (t1 - t0) * i / (n - 1);
+    v.push_back({t, {offset_m(kCenter, east, north), theta}});
+  }
+  return v;
+}
+
+Query make_query() {
+  Query q;
+  q.t_start = 0;
+  q.t_end = 10'000;
+  q.center = kCenter;
+  q.radius_m = 30.0;
+  return q;
+}
+
+RepresentativeFov rep(std::uint64_t vid, svg::core::TimestampMs t0,
+                      svg::core::TimestampMs t1) {
+  RepresentativeFov r;
+  r.video_id = vid;
+  r.t_start = t0;
+  r.t_end = t1;
+  return r;
+}
+
+TEST(VisibilityOracleTest, CoveringVideoIsRelevant) {
+  VisibilityOracle oracle(kCam);
+  oracle.add_video(1, frames_facing(0, -50, 0.0, 0, 10'000));
+  EXPECT_TRUE(oracle.segment_relevant(1, 0, 10'000, make_query()));
+}
+
+TEST(VisibilityOracleTest, FacingAwayIsIrrelevant) {
+  VisibilityOracle oracle(kCam);
+  oracle.add_video(1, frames_facing(0, -50, 180.0, 0, 10'000));
+  EXPECT_FALSE(oracle.segment_relevant(1, 0, 10'000, make_query()));
+}
+
+TEST(VisibilityOracleTest, TimeWindowIntersectionRequired) {
+  VisibilityOracle oracle(kCam);
+  oracle.add_video(1, frames_facing(0, -50, 0.0, 20'000, 30'000));
+  // Query window [0, 10000] doesn't reach the frames.
+  EXPECT_FALSE(oracle.segment_relevant(1, 20'000, 30'000, make_query()));
+  Query late = make_query();
+  late.t_start = 25'000;
+  late.t_end = 26'000;
+  EXPECT_TRUE(oracle.segment_relevant(1, 20'000, 30'000, late));
+}
+
+TEST(VisibilityOracleTest, UnknownVideoIsIrrelevant) {
+  VisibilityOracle oracle(kCam);
+  EXPECT_FALSE(oracle.segment_relevant(99, 0, 1000, make_query()));
+}
+
+TEST(VisibilityOracleTest, MomentaryGlimpseCounts) {
+  VisibilityOracle oracle(kCam);
+  // Camera pans: faces away except one frame at t = 5000.
+  auto frames = frames_facing(0, -50, 180.0, 0, 10'000, 11);
+  frames[5].fov.theta_deg = 0.0;
+  oracle.add_video(1, frames);
+  EXPECT_TRUE(oracle.segment_relevant(1, 0, 10'000, make_query()));
+  // But a sub-window missing that frame is irrelevant.
+  Query early = make_query();
+  early.t_end = 3000;
+  EXPECT_FALSE(oracle.segment_relevant(1, 0, 10'000, early));
+}
+
+TEST(EvaluateResultsTest, PerfectRetrieval) {
+  VisibilityOracle oracle(kCam);
+  oracle.add_video(1, frames_facing(0, -50, 0.0, 0, 10'000));
+  oracle.add_video(2, frames_facing(0, -50, 180.0, 0, 10'000));
+
+  const std::vector<RepresentativeFov> corpus{rep(1, 0, 10'000),
+                                              rep(2, 0, 10'000)};
+  std::vector<RankedResult> results(1);
+  results[0].rep = corpus[0];
+
+  const auto report =
+      evaluate_results(results, corpus, oracle, make_query());
+  EXPECT_EQ(report.returned, 1u);
+  EXPECT_EQ(report.relevant_returned, 1u);
+  EXPECT_EQ(report.relevant_total, 1u);
+  EXPECT_DOUBLE_EQ(report.precision, 1.0);
+  EXPECT_DOUBLE_EQ(report.recall, 1.0);
+  EXPECT_DOUBLE_EQ(report.f1, 1.0);
+  EXPECT_DOUBLE_EQ(report.average_precision, 1.0);
+}
+
+TEST(EvaluateResultsTest, FalsePositiveLowersPrecision) {
+  VisibilityOracle oracle(kCam);
+  oracle.add_video(1, frames_facing(0, -50, 0.0, 0, 10'000));
+  oracle.add_video(2, frames_facing(0, -50, 180.0, 0, 10'000));
+  const std::vector<RepresentativeFov> corpus{rep(1, 0, 10'000),
+                                              rep(2, 0, 10'000)};
+  std::vector<RankedResult> results(2);
+  results[0].rep = corpus[1];  // irrelevant ranked first
+  results[1].rep = corpus[0];
+  const auto report =
+      evaluate_results(results, corpus, oracle, make_query());
+  EXPECT_DOUBLE_EQ(report.precision, 0.5);
+  EXPECT_DOUBLE_EQ(report.recall, 1.0);
+  // AP penalizes the bad ordering: hit at rank 2 → AP = (1/2)/1 = 0.5.
+  EXPECT_DOUBLE_EQ(report.average_precision, 0.5);
+}
+
+TEST(EvaluateResultsTest, MissedRelevantLowersRecall) {
+  VisibilityOracle oracle(kCam);
+  oracle.add_video(1, frames_facing(0, -50, 0.0, 0, 10'000));
+  oracle.add_video(2, frames_facing(0, -40, 0.0, 0, 10'000));
+  const std::vector<RepresentativeFov> corpus{rep(1, 0, 10'000),
+                                              rep(2, 0, 10'000)};
+  std::vector<RankedResult> results(1);
+  results[0].rep = corpus[0];
+  const auto report =
+      evaluate_results(results, corpus, oracle, make_query());
+  EXPECT_DOUBLE_EQ(report.precision, 1.0);
+  EXPECT_DOUBLE_EQ(report.recall, 0.5);
+  EXPECT_NEAR(report.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(EvaluateResultsTest, EmptyResultsZeroMetrics) {
+  VisibilityOracle oracle(kCam);
+  const std::vector<RepresentativeFov> corpus;
+  const auto report = evaluate_results({}, corpus, oracle, make_query());
+  EXPECT_EQ(report.returned, 0u);
+  EXPECT_DOUBLE_EQ(report.precision, 0.0);
+  EXPECT_DOUBLE_EQ(report.recall, 0.0);
+}
+
+TEST(MergeReportsTest, AveragesRatios) {
+  QualityReport a;
+  a.precision = 1.0;
+  a.recall = 0.5;
+  a.returned = 10;
+  QualityReport b;
+  b.precision = 0.5;
+  b.recall = 1.0;
+  b.returned = 20;
+  const std::vector<QualityReport> rs{a, b};
+  const auto merged = merge_reports(rs);
+  EXPECT_DOUBLE_EQ(merged.precision, 0.75);
+  EXPECT_DOUBLE_EQ(merged.recall, 0.75);
+  EXPECT_EQ(merged.returned, 30u);
+}
+
+TEST(SegmentKeyTest, Ordering) {
+  SegmentKey a{1, 0}, b{1, 1}, c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (SegmentKey{1, 0}));
+}
+
+}  // namespace

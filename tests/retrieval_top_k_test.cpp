@@ -1,0 +1,128 @@
+#include "retrieval/top_k.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.hpp"
+#include "sim/crowd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace svg;
+using geo::LatLng;
+using geo::offset_m;
+
+const LatLng kCenter{39.9042, 116.4074};
+
+core::RepresentativeFov rep_at(std::uint64_t vid, double east, double north,
+                               double theta,
+                               core::TimestampMs t0 = 0,
+                               core::TimestampMs t1 = 10'000) {
+  core::RepresentativeFov r;
+  r.video_id = vid;
+  r.fov.p = offset_m(kCenter, east, north);
+  r.fov.theta_deg = theta;
+  r.t_start = t0;
+  r.t_end = t1;
+  return r;
+}
+
+retrieval::RetrievalConfig config() {
+  retrieval::RetrievalConfig c;
+  c.camera = {30.0, 100.0};
+  c.orientation_slack_deg = 0.0;
+  return c;
+}
+
+TEST(SearchTopKTest, ReturnsNearestCoveringCameras) {
+  index::FovIndex idx;
+  idx.insert(rep_at(1, 0, -80, 0.0));   // covers, far
+  idx.insert(rep_at(2, 0, -20, 0.0));   // covers, near
+  idx.insert(rep_at(3, 0, -10, 180.0)); // nearest but faces away
+  idx.insert(rep_at(4, 0, -50, 0.0));   // covers, middle
+  const auto results =
+      retrieval::search_top_k(idx, kCenter, 0, 10'000, 2, config());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].rep.video_id, 2u);
+  EXPECT_EQ(results[1].rep.video_id, 4u);
+}
+
+TEST(SearchTopKTest, StopsAtRadiusOfView) {
+  index::FovIndex idx;
+  idx.insert(rep_at(1, 0, -150, 0.0));  // beyond R = 100
+  const auto results =
+      retrieval::search_top_k(idx, kCenter, 0, 10'000, 5, config());
+  EXPECT_TRUE(results.empty());
+}
+
+TEST(SearchTopKTest, SurvivesHeavyFiltering) {
+  // 50 cameras face away; only 3 face the centre — top-k must dig past
+  // the decoys.
+  index::FovIndex idx;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    idx.insert(rep_at(100 + i, 0, -10.0 - static_cast<double>(i), 180.0));
+  }
+  idx.insert(rep_at(1, 0, -70, 0.0));
+  idx.insert(rep_at(2, 0, -80, 0.0));
+  idx.insert(rep_at(3, 0, -90, 0.0));
+  const auto results =
+      retrieval::search_top_k(idx, kCenter, 0, 10'000, 3, config());
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].rep.video_id, 1u);
+  EXPECT_EQ(results[2].rep.video_id, 3u);
+}
+
+TEST(SearchTopKTest, TimeWindowRespected) {
+  index::FovIndex idx;
+  idx.insert(rep_at(1, 0, -20, 0.0, 0, 1000));
+  idx.insert(rep_at(2, 0, -30, 0.0, 50'000, 60'000));
+  const auto results =
+      retrieval::search_top_k(idx, kCenter, 40'000, 70'000, 5, config());
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].rep.video_id, 2u);
+}
+
+TEST(SearchTopKTest, AgreesWithRangeEngineOnDenseCorpus) {
+  sim::CityModel city;
+  city.center = kCenter;
+  city.extent_m = 1000.0;
+  util::Xoshiro256 rng(31);
+  index::FovIndex idx;
+  for (const auto& r :
+       sim::random_representative_fovs(2000, city, 0, 3'600'000, rng)) {
+    idx.insert(r);
+  }
+  retrieval::RetrievalConfig cfg = config();
+  cfg.orientation_slack_deg = 5.0;
+  cfg.top_n = 10;
+
+  retrieval::RetrievalEngine<index::FovIndex> engine(idx, cfg);
+  retrieval::Query q;
+  q.center = kCenter;
+  q.radius_m = 100.0;  // range path with a generous radius
+  q.t_start = 0;
+  q.t_end = 3'600'000;
+  const auto range_results = engine.search(q);
+  const auto topk_results =
+      retrieval::search_top_k(idx, kCenter, 0, 3'600'000, 10, cfg);
+
+  ASSERT_EQ(topk_results.size(), range_results.size());
+  for (std::size_t i = 0; i < topk_results.size(); ++i) {
+    EXPECT_EQ(topk_results[i].rep.video_id,
+              range_results[i].rep.video_id)
+        << i;
+    EXPECT_NEAR(topk_results[i].distance_m, range_results[i].distance_m,
+                1e-6);
+  }
+}
+
+TEST(SearchTopKTest, EmptyIndexAndZeroK) {
+  index::FovIndex idx;
+  EXPECT_TRUE(
+      retrieval::search_top_k(idx, kCenter, 0, 1000, 5, config()).empty());
+  idx.insert(rep_at(1, 0, -20, 0.0));
+  EXPECT_TRUE(
+      retrieval::search_top_k(idx, kCenter, 0, 1000, 0, config()).empty());
+}
+
+}  // namespace

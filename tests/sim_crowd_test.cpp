@@ -1,0 +1,171 @@
+#include "sim/crowd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/geodesy.hpp"
+
+namespace {
+
+using namespace svg::sim;
+using svg::geo::LatLng;
+
+CityModel small_city() {
+  CityModel c;
+  c.extent_m = 2000.0;
+  return c;
+}
+
+TEST(CityModelTest, RandomPointsInsideBounds) {
+  const CityModel city = small_city();
+  svg::util::Xoshiro256 rng(1);
+  const auto bounds = city.bounds_deg();
+  for (int i = 0; i < 1000; ++i) {
+    const LatLng p = city.random_point(rng);
+    ASSERT_TRUE(bounds.contains_point({p.lng, p.lat}));
+  }
+}
+
+TEST(CityModelTest, BoundsSpanExtent) {
+  const CityModel city = small_city();
+  const auto b = city.bounds_deg();
+  const LatLng sw{b.min[1], b.min[0]};
+  const LatLng ne{b.max[1], b.max[0]};
+  const auto d = svg::geo::displacement_m(sw, ne);
+  EXPECT_NEAR(d.x, 2000.0, 2.0);
+  EXPECT_NEAR(d.y, 2000.0, 2.0);
+}
+
+TEST(MakeRandomTrajectoryTest, ProducesEveryKind) {
+  const CityModel city = small_city();
+  svg::util::Xoshiro256 rng(2);
+  for (auto kind : {MovementKind::kWalk, MovementKind::kDrive,
+                    MovementKind::kBike, MovementKind::kRotate}) {
+    const auto t = make_random_trajectory(kind, city, 30.0, rng);
+    ASSERT_NE(t, nullptr);
+    EXPECT_GT(t->duration_s(), 0.0);
+    // Start pose is well-formed.
+    const Pose p = t->at(0.0);
+    EXPECT_GE(p.heading_deg, 0.0);
+    EXPECT_LT(p.heading_deg, 360.0);
+  }
+}
+
+TEST(MakeRandomTrajectoryTest, RotationStaysPut) {
+  const CityModel city = small_city();
+  svg::util::Xoshiro256 rng(3);
+  const auto t = make_random_trajectory(MovementKind::kRotate, city, 20.0,
+                                        rng);
+  const LatLng start = t->at(0.0).position;
+  EXPECT_NEAR(svg::geo::distance_m(start, t->at(10.0).position), 0.0, 1e-9);
+}
+
+TEST(GenerateCrowdTest, SessionCountsWithinConfig) {
+  const CityModel city = small_city();
+  CrowdConfig cfg;
+  cfg.providers = 20;
+  cfg.min_sessions = 1;
+  cfg.max_sessions = 3;
+  cfg.min_duration_s = 5.0;
+  cfg.max_duration_s = 10.0;
+  cfg.fps = 10.0;
+  svg::util::Xoshiro256 rng(4);
+  const auto sessions = generate_crowd(city, cfg, rng);
+  EXPECT_GE(sessions.size(), 20u);
+  EXPECT_LE(sessions.size(), 60u);
+  std::set<std::uint64_t> video_ids;
+  for (const auto& s : sessions) {
+    EXPECT_LT(s.provider_id, 20u);
+    EXPECT_FALSE(s.records.empty());
+    EXPECT_EQ(s.records.size(), s.ground_truth.size());
+    video_ids.insert(s.video_id);
+    // Session durations in range (frame count ≈ duration · fps).
+    const double dur =
+        static_cast<double>(s.records.back().t - s.records.front().t) /
+        1000.0;
+    EXPECT_GE(dur, 4.0);
+    EXPECT_LE(dur, 11.0);
+    // Timestamps line up between noisy and truth streams.
+    for (std::size_t i = 0; i < s.records.size(); ++i) {
+      ASSERT_EQ(s.records[i].t, s.ground_truth[i].t);
+    }
+  }
+  EXPECT_EQ(video_ids.size(), sessions.size()) << "video ids must be unique";
+}
+
+TEST(GenerateCrowdTest, DeterministicForSeed) {
+  const CityModel city = small_city();
+  CrowdConfig cfg;
+  cfg.providers = 5;
+  cfg.min_duration_s = 5.0;
+  cfg.max_duration_s = 8.0;
+  cfg.fps = 5.0;
+  svg::util::Xoshiro256 r1(9), r2(9);
+  const auto a = generate_crowd(city, cfg, r1);
+  const auto b = generate_crowd(city, cfg, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].video_id, b[i].video_id);
+    ASSERT_EQ(a[i].records.size(), b[i].records.size());
+    ASSERT_EQ(a[i].records.front().fov.p.lat,
+              b[i].records.front().fov.p.lat);
+  }
+}
+
+TEST(GenerateCrowdTest, SessionStartsInsideWindow) {
+  const CityModel city = small_city();
+  CrowdConfig cfg;
+  cfg.providers = 10;
+  cfg.min_duration_s = 5.0;
+  cfg.max_duration_s = 6.0;
+  cfg.fps = 5.0;
+  cfg.window_start = 1'000'000;
+  cfg.window_length_ms = 60'000;
+  svg::util::Xoshiro256 rng(5);
+  for (const auto& s : generate_crowd(city, cfg, rng)) {
+    EXPECT_GE(s.start_time, 1'000'000);
+    EXPECT_LT(s.start_time, 1'060'000);
+    EXPECT_EQ(s.records.front().t, s.start_time);
+  }
+}
+
+TEST(GenerateCrowdTest, MovementMixRespectsZeroWeights) {
+  const CityModel city = small_city();
+  CrowdConfig cfg;
+  cfg.providers = 30;
+  cfg.min_duration_s = 5.0;
+  cfg.max_duration_s = 6.0;
+  cfg.fps = 5.0;
+  cfg.w_walk = 0.0;
+  cfg.w_drive = 0.0;
+  cfg.w_bike = 0.0;
+  cfg.w_rotate = 1.0;
+  svg::util::Xoshiro256 rng(6);
+  for (const auto& s : generate_crowd(city, cfg, rng)) {
+    EXPECT_EQ(s.movement, MovementKind::kRotate);
+  }
+}
+
+TEST(RandomRepresentativeFovsTest, FieldsInRange) {
+  const CityModel city = small_city();
+  svg::util::Xoshiro256 rng(7);
+  const auto reps =
+      random_representative_fovs(500, city, 1'000'000, 3'600'000, rng);
+  ASSERT_EQ(reps.size(), 500u);
+  const auto bounds = city.bounds_deg();
+  std::set<std::uint64_t> ids;
+  for (const auto& r : reps) {
+    ASSERT_TRUE(bounds.contains_point({r.fov.p.lng, r.fov.p.lat}));
+    ASSERT_GE(r.fov.theta_deg, 0.0);
+    ASSERT_LT(r.fov.theta_deg, 360.0);
+    ASSERT_GE(r.t_start, 1'000'000);
+    ASSERT_LT(r.t_start, 4'600'000);
+    ASSERT_GT(r.t_end, r.t_start);
+    ASSERT_LE(r.t_end - r.t_start, 60'000);
+    ids.insert(r.video_id);
+  }
+  EXPECT_EQ(ids.size(), 500u);
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+#include "sim/sensors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/angle.hpp"
+#include "geo/geodesy.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace svg::sim;
+using svg::core::FovRecord;
+using svg::geo::LatLng;
+
+const LatLng kOrigin{39.9042, 116.4074};
+
+TEST(SensorSamplerTest, FrameCountMatchesFpsAndDuration) {
+  StraightTrajectory traj(kOrigin, 0.0, 1.0, 10.0);
+  SensorSampler sampler(SensorNoiseConfig::ideal(), {30.0, 0});
+  svg::util::Xoshiro256 rng(1);
+  const auto recs = sampler.sample(traj, rng);
+  EXPECT_EQ(recs.size(), 301u);  // 10 s at 30 fps, inclusive of t = 0
+}
+
+TEST(SensorSamplerTest, TimestampsAreUniform) {
+  StraightTrajectory traj(kOrigin, 0.0, 1.0, 2.0);
+  SensorSampler sampler(SensorNoiseConfig::ideal(), {25.0, 5000});
+  svg::util::Xoshiro256 rng(1);
+  const auto recs = sampler.sample(traj, rng);
+  EXPECT_EQ(recs.front().t, 5000);
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    ASSERT_EQ(recs[i].t - recs[i - 1].t, 40);  // 1000/25 ms
+  }
+}
+
+TEST(SensorSamplerTest, IdealSensorsReproduceGroundTruth) {
+  StraightTrajectory traj(kOrigin, 45.0, 2.0, 5.0);
+  SensorSampler sampler(SensorNoiseConfig::ideal(), {10.0, 0});
+  svg::util::Xoshiro256 rng(1);
+  const auto recs = sampler.sample(traj, rng);
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const Pose truth = traj.at(static_cast<double>(i) / 10.0);
+    EXPECT_NEAR(
+        svg::geo::distance_m(recs[i].fov.p, truth.position), 0.0, 1e-6);
+    EXPECT_NEAR(recs[i].fov.theta_deg, truth.heading_deg, 1e-9);
+  }
+}
+
+TEST(SensorSamplerTest, GpsNoiseHasConfiguredMagnitude) {
+  StraightTrajectory traj(kOrigin, 0.0, 0.0001, 600.0);  // ~static, 10 min
+  SensorNoiseConfig noise = SensorNoiseConfig::ideal();
+  noise.gps_rate_hz = 1.0;
+  noise.gps_sigma_m = 5.0;
+  SensorSampler sampler(noise, {1.0, 0});
+  svg::util::Xoshiro256 rng(7);
+  const auto recs = sampler.sample(traj, rng);
+  svg::util::RunningStats err;
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const Pose truth = traj.at(static_cast<double>(i));
+    err.add(svg::geo::distance_m(recs[i].fov.p, truth.position));
+  }
+  // Rayleigh-distributed with sigma=5: mean ≈ 5·sqrt(π/2) ≈ 6.27.
+  EXPECT_GT(err.mean(), 3.0);
+  EXPECT_LT(err.mean(), 10.0);
+}
+
+TEST(SensorSamplerTest, CompassBiasShiftsAllSamples) {
+  StraightTrajectory traj(kOrigin, 90.0, 1.0, 10.0);
+  SensorNoiseConfig noise = SensorNoiseConfig::ideal();
+  noise.compass_bias_deg = 8.0;
+  SensorSampler sampler(noise, {10.0, 0});
+  svg::util::Xoshiro256 rng(3);
+  const auto recs = sampler.sample(traj, rng);
+  for (const auto& r : recs) {
+    ASSERT_NEAR(r.fov.theta_deg, 98.0, 1e-9);
+  }
+}
+
+TEST(SensorSamplerTest, CompassJitterAveragesOut) {
+  StraightTrajectory traj(kOrigin, 90.0, 1.0, 100.0);
+  SensorNoiseConfig noise = SensorNoiseConfig::ideal();
+  noise.compass_sigma_deg = 4.0;
+  SensorSampler sampler(noise, {30.0, 0});
+  svg::util::Xoshiro256 rng(4);
+  const auto recs = sampler.sample(traj, rng);
+  svg::util::RunningStats theta;
+  for (const auto& r : recs) theta.add(r.fov.theta_deg);
+  EXPECT_NEAR(theta.mean(), 90.0, 0.5);
+  EXPECT_NEAR(theta.stddev(), 4.0, 0.5);
+}
+
+TEST(SensorSamplerTest, GpsHoldRepeatsFixBetweenUpdates) {
+  StraightTrajectory traj(kOrigin, 0.0, 10.0, 5.0);  // fast mover
+  SensorNoiseConfig noise = SensorNoiseConfig::ideal();
+  noise.gps_rate_hz = 1.0;  // 1 fix/s, 30 frames/s
+  SensorSampler sampler(noise, {30.0, 0});
+  svg::util::Xoshiro256 rng(5);
+  const auto recs = sampler.sample(traj, rng);
+  // Within one GPS period the reported position is constant.
+  int changes = 0;
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    if (recs[i].fov.p.lat != recs[i - 1].fov.p.lat ||
+        recs[i].fov.p.lng != recs[i - 1].fov.p.lng) {
+      ++changes;
+    }
+  }
+  // ~5 fixes over 5 seconds (plus the initial one).
+  EXPECT_LE(changes, 7);
+  EXPECT_GE(changes, 3);
+}
+
+TEST(SensorSamplerTest, DeterministicGivenSeed) {
+  StraightTrajectory traj(kOrigin, 30.0, 1.5, 20.0);
+  SensorNoiseConfig noise;  // defaults: noisy
+  SensorSampler sampler(noise, {30.0, 0});
+  svg::util::Xoshiro256 rng1(42), rng2(42);
+  const auto a = sampler.sample(traj, rng1);
+  const auto b = sampler.sample(traj, rng2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].fov.p.lat, b[i].fov.p.lat);
+    ASSERT_EQ(a[i].fov.theta_deg, b[i].fov.theta_deg);
+  }
+}
+
+TEST(SensorSamplerTest, InvalidFpsThrows) {
+  StraightTrajectory traj(kOrigin, 0.0, 1.0, 5.0);
+  SensorSampler sampler(SensorNoiseConfig::ideal(), {0.0, 0});
+  svg::util::Xoshiro256 rng(1);
+  EXPECT_THROW(sampler.sample(traj, rng), std::invalid_argument);
+}
+
+TEST(ClockModelTest, OffsetAndDriftApply) {
+  ClockModel c{.offset_ms = 120.0, .drift_ppm = 0.0};
+  EXPECT_EQ(c.device_time(1'000'000), 1'000'120);
+  ClockModel d{.offset_ms = 0.0, .drift_ppm = 1000.0};  // 0.1%
+  EXPECT_EQ(d.device_time(1'000'000), 1'001'000);
+}
+
+TEST(ClockModelTest, NtpSyncedIsSubsecond) {
+  svg::util::Xoshiro256 rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const ClockModel c = ClockModel::ntp_synced(rng);
+    EXPECT_LT(std::fabs(c.offset_ms), 1000.0);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include "sim/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "sim/sensors.hpp"
+#include "sim/trajectory.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace svg::sim;
+using svg::core::FovRecord;
+
+std::vector<FovRecord> sample_trace() {
+  StraightTrajectory traj({39.9042, 116.4074}, 30.0, 1.4, 10.0);
+  SensorSampler sampler(SensorNoiseConfig::ideal(), {10.0, 5'000});
+  svg::util::Xoshiro256 rng(1);
+  return sampler.sample(traj, rng);
+}
+
+TEST(TraceIoTest, RoundTripThroughStream) {
+  const auto records = sample_trace();
+  std::stringstream ss;
+  write_trace_csv(ss, records);
+  const auto back = read_trace_csv(ss);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*back)[i].t, records[i].t);
+    EXPECT_NEAR((*back)[i].fov.p.lat, records[i].fov.p.lat, 1e-7);
+    EXPECT_NEAR((*back)[i].fov.p.lng, records[i].fov.p.lng, 1e-7);
+    EXPECT_NEAR((*back)[i].fov.theta_deg, records[i].fov.theta_deg, 1e-3);
+  }
+}
+
+TEST(TraceIoTest, HeaderIsOptional) {
+  std::stringstream ss("1000,39.9,116.4,45.0\n2000,39.901,116.401,46.0\n");
+  const auto back = read_trace_csv(ss);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].t, 1000);
+  EXPECT_DOUBLE_EQ((*back)[1].fov.theta_deg, 46.0);
+}
+
+TEST(TraceIoTest, BlankLinesSkipped) {
+  std::stringstream ss("t_ms,lat,lng,theta_deg\n\n1000,39.9,116.4,0\n\n");
+  const auto back = read_trace_csv(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), 1u);
+}
+
+TEST(TraceIoTest, MalformedRowRejectsWholeTrace) {
+  std::stringstream ss("1000,39.9,116.4,0\nnot,a,valid,row,at all\n");
+  EXPECT_FALSE(read_trace_csv(ss).has_value());
+}
+
+TEST(TraceIoTest, OutOfRangeCoordinatesRejected) {
+  std::stringstream ss("1000,95.0,116.4,0\n");
+  EXPECT_FALSE(read_trace_csv(ss).has_value());
+  std::stringstream ss2("1000,39.9,520.0,0\n");
+  EXPECT_FALSE(read_trace_csv(ss2).has_value());
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const auto records = sample_trace();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "svg_trace_test.csv")
+          .string();
+  ASSERT_TRUE(write_trace_csv_file(path, records));
+  const auto back = read_trace_csv_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->size(), records.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileIsNullopt) {
+  EXPECT_FALSE(read_trace_csv_file("/no/such/file.csv").has_value());
+}
+
+TEST(TraceIoTest, EmptyInputGivesEmptyTrace) {
+  std::stringstream ss;
+  const auto back = read_trace_csv(ss);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+#include "sim/trajectory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "geo/angle.hpp"
+
+namespace {
+
+using namespace svg::sim;
+using svg::geo::LatLng;
+using svg::geo::distance_m;
+using svg::geo::offset_m;
+
+const LatLng kOrigin{39.9042, 116.4074};
+
+TEST(StraightTrajectoryTest, CoversExpectedDistance) {
+  StraightTrajectory t(kOrigin, 90.0, 2.0, 30.0);  // east, 2 m/s, 30 s
+  EXPECT_DOUBLE_EQ(t.duration_s(), 30.0);
+  const Pose end = t.at(30.0);
+  EXPECT_NEAR(distance_m(kOrigin, end.position), 60.0, 0.05);
+  EXPECT_DOUBLE_EQ(end.heading_deg, 90.0);
+}
+
+TEST(StraightTrajectoryTest, ClampsOutsideDomain) {
+  StraightTrajectory t(kOrigin, 0.0, 1.0, 10.0);
+  EXPECT_EQ(t.at(-5.0).position.lat, t.at(0.0).position.lat);
+  EXPECT_EQ(t.at(50.0).position.lat, t.at(10.0).position.lat);
+}
+
+TEST(StraightTrajectoryTest, CameraOffsetAppliesToHeadingOnly) {
+  // Walking north, filming out the right side (the paper's θ_p = 90° case).
+  StraightTrajectory t(kOrigin, 0.0, 1.0, 10.0, 90.0);
+  const Pose p = t.at(5.0);
+  EXPECT_DOUBLE_EQ(p.heading_deg, 90.0);
+  // Motion is still northward.
+  const auto d = svg::geo::displacement_m(kOrigin, p.position);
+  EXPECT_NEAR(d.x, 0.0, 1e-6);
+  EXPECT_NEAR(d.y, 5.0, 0.01);
+}
+
+TEST(StraightTrajectoryTest, InvalidDurationThrows) {
+  EXPECT_THROW(StraightTrajectory(kOrigin, 0, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(RotationTrajectoryTest, SpinsAtConstantRate) {
+  RotationTrajectory t(kOrigin, 10.0, 12.0, 30.0);
+  EXPECT_DOUBLE_EQ(t.at(0.0).heading_deg, 10.0);
+  EXPECT_DOUBLE_EQ(t.at(5.0).heading_deg, 70.0);
+  EXPECT_NEAR(t.at(30.0).heading_deg, svg::geo::wrap_deg(10.0 + 360.0), 1e-9);
+  // Position never moves.
+  EXPECT_EQ(t.at(17.3).position.lat, kOrigin.lat);
+  EXPECT_EQ(t.at(17.3).position.lng, kOrigin.lng);
+}
+
+TEST(RotationTrajectoryTest, NegativeRateRotatesBackwards) {
+  RotationTrajectory t(kOrigin, 0.0, -10.0, 10.0);
+  EXPECT_DOUBLE_EQ(t.at(1.0).heading_deg, 350.0);
+}
+
+TEST(WaypointTrajectoryTest, DurationFromRouteLength) {
+  const std::vector<LatLng> route{kOrigin, offset_m(kOrigin, 0, 100),
+                                  offset_m(kOrigin, 100, 100)};
+  WaypointTrajectory t(route, 5.0);
+  EXPECT_NEAR(t.duration_s(), 200.0 / 5.0, 0.01);
+}
+
+TEST(WaypointTrajectoryTest, HeadingFollowsLegs) {
+  const std::vector<LatLng> route{kOrigin, offset_m(kOrigin, 0, 100),
+                                  offset_m(kOrigin, 100, 100)};
+  WaypointTrajectory t(route, 5.0, 0.0, /*turn_blend_s=*/0.0);
+  EXPECT_NEAR(t.at(5.0).heading_deg, 0.0, 0.1);    // northbound leg
+  EXPECT_NEAR(t.at(30.0).heading_deg, 90.0, 0.1);  // eastbound leg
+}
+
+TEST(WaypointTrajectoryTest, TurnBlendingIsGradual) {
+  const std::vector<LatLng> route{kOrigin, offset_m(kOrigin, 0, 100),
+                                  offset_m(kOrigin, 100, 100)};
+  WaypointTrajectory t(route, 5.0, 0.0, /*turn_blend_s=*/4.0);
+  // Mid-corner (t = 20 s is the corner) heading is between 0 and 90.
+  const double h = t.at(20.0).heading_deg;
+  EXPECT_GT(h, 5.0);
+  EXPECT_LT(h, 85.0);
+  // Heading never jumps more than a few degrees between close samples.
+  double prev = t.at(0.0).heading_deg;
+  for (double s = 0.25; s <= t.duration_s(); s += 0.25) {
+    const double cur = t.at(s).heading_deg;
+    ASSERT_LE(
+        std::fabs(svg::geo::signed_angular_difference_deg(prev, cur)), 10.0)
+        << s;
+    prev = cur;
+  }
+}
+
+TEST(WaypointTrajectoryTest, EndsAtLastWaypoint) {
+  const std::vector<LatLng> route{kOrigin, offset_m(kOrigin, 30, 40)};
+  WaypointTrajectory t(route, 1.0);
+  EXPECT_NEAR(distance_m(t.at(t.duration_s()).position, route.back()), 0.0,
+              0.1);
+}
+
+TEST(WaypointTrajectoryTest, SkipsDuplicateWaypoints) {
+  const std::vector<LatLng> route{kOrigin, kOrigin, offset_m(kOrigin, 0, 50)};
+  WaypointTrajectory t(route, 1.0);
+  EXPECT_NEAR(t.duration_s(), 50.0, 0.01);
+}
+
+TEST(WaypointTrajectoryTest, DegenerateRoutesThrow) {
+  EXPECT_THROW(WaypointTrajectory({kOrigin}, 1.0), std::invalid_argument);
+  EXPECT_THROW(WaypointTrajectory({kOrigin, kOrigin}, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      WaypointTrajectory({kOrigin, offset_m(kOrigin, 0, 10)}, 0.0),
+      std::invalid_argument);
+}
+
+TEST(CompositeTrajectoryTest, ConcatenatesParts) {
+  std::vector<TrajectoryPtr> parts;
+  parts.push_back(
+      std::make_unique<StraightTrajectory>(kOrigin, 0.0, 1.0, 10.0));
+  const LatLng mid = parts[0]->at(10.0).position;
+  parts.push_back(std::make_unique<RotationTrajectory>(mid, 0.0, 9.0, 10.0));
+  CompositeTrajectory t(std::move(parts));
+  EXPECT_DOUBLE_EQ(t.duration_s(), 20.0);
+  // First half: moving north.
+  EXPECT_NEAR(t.at(5.0).heading_deg, 0.0, 1e-9);
+  // Second half: spinning in place at `mid`.
+  EXPECT_NEAR(t.at(15.0).heading_deg, 45.0, 1e-9);
+  EXPECT_NEAR(distance_m(t.at(15.0).position, mid), 0.0, 1e-6);
+}
+
+TEST(CompositeTrajectoryTest, EmptyThrows) {
+  EXPECT_THROW(CompositeTrajectory({}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace {
+
+using svg::util::SplitMix64;
+using svg::util::Xoshiro256;
+
+TEST(SplitMix64Test, IsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256Test, IsDeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro256Test, UniformInUnitInterval) {
+  Xoshiro256 rng(1);
+  double sum = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, UniformRangeRespectsBounds) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 5.0);
+  }
+}
+
+TEST(Xoshiro256Test, BoundedStaysInRange) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Xoshiro256Test, BoundedZeroReturnsZero) {
+  Xoshiro256 rng(4);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Xoshiro256Test, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(5);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kN = 80'000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kN; ++i) {
+    ++counts[rng.bounded(kBuckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kN / kBuckets, 0.05 * kN / kBuckets);
+  }
+}
+
+TEST(Xoshiro256Test, GaussianMomentsMatchStandardNormal) {
+  Xoshiro256 rng(6);
+  constexpr int kN = 200'000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / kN, 1.0, 0.02);
+}
+
+TEST(Xoshiro256Test, GaussianScaledMeanStddev) {
+  Xoshiro256 rng(7);
+  constexpr int kN = 100'000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    sum += rng.gaussian(10.0, 2.0);
+  }
+  EXPECT_NEAR(sum / kN, 10.0, 0.05);
+}
+
+TEST(Xoshiro256Test, ChanceFrequencyTracksProbability) {
+  Xoshiro256 rng(8);
+  constexpr int kN = 100'000;
+  int hits = 0;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Xoshiro256Test, SplitProducesIndependentStream) {
+  Xoshiro256 parent(9);
+  Xoshiro256 child = parent.split();
+  // The streams should not be identical over a window.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Xoshiro256Test, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256>);
+  SUCCEED();
+}
+
+}  // namespace

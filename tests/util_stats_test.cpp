@@ -1,0 +1,163 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using svg::util::Histogram;
+using svg::util::RunningStats;
+using svg::util::SampleSet;
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesNaiveComputation) {
+  const std::vector<double> xs{1.5, -2.0, 3.25, 7.0, 0.0, -1.0};
+  RunningStats s;
+  double sum = 0.0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), m2 / (static_cast<double>(xs.size()) - 1), 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(s.variance()), 1e-12);
+  EXPECT_EQ(s.min(), -2.0);
+  EXPECT_EQ(s.max(), 7.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombinedStream) {
+  svg::util::Xoshiro256 rng(11);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), mean);
+}
+
+TEST(SampleSetTest, ExactQuantiles) {
+  SampleSet s;
+  for (int i = 10; i >= 1; --i) s.add(i);  // 1..10 unsorted
+  EXPECT_EQ(s.count(), 10u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 10.0);
+  EXPECT_NEAR(s.quantile(0.25), 3.25, 1e-12);
+}
+
+TEST(SampleSetTest, AddAfterQuantileStillCorrect) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(SampleSetTest, EmptyReturnsZero) {
+  SampleSet s;
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(HistogramTest, BinsCountsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 2.5, 2.6, 9.9}) h.add(x);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);  // [0,2)
+  EXPECT_EQ(h.bin_count(1), 2u);  // [2,4)
+  EXPECT_EQ(h.bin_count(4), 1u);  // [8,10)
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(HistogramTest, OutOfRangeCounted) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.1);
+  h.add(1.0);  // hi is exclusive
+  h.add(0.5);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{2, 4, 6, 8};
+  EXPECT_NEAR(svg::util::pearson(a, b), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectAnticorrelation) {
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{8, 6, 4, 2};
+  EXPECT_NEAR(svg::util::pearson(a, b), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ZeroVarianceGivesZero) {
+  const std::vector<double> a{1, 1, 1};
+  const std::vector<double> b{1, 2, 3};
+  EXPECT_EQ(svg::util::pearson(a, b), 0.0);
+}
+
+TEST(PearsonTest, SizeMismatchGivesZero) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1, 2, 3};
+  EXPECT_EQ(svg::util::pearson(a, b), 0.0);
+}
+
+TEST(RmseTest, KnownValue) {
+  const std::vector<double> a{0, 0};
+  const std::vector<double> b{3, 4};
+  EXPECT_NEAR(svg::util::rmse(a, b), std::sqrt(12.5), 1e-12);
+}
+
+TEST(RmseTest, IdenticalSeriesIsZero) {
+  const std::vector<double> a{1.0, -2.0, 7.5};
+  EXPECT_EQ(svg::util::rmse(a, a), 0.0);
+}
+
+}  // namespace
