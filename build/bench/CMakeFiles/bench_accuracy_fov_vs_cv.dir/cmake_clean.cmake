@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_accuracy_fov_vs_cv.dir/bench_accuracy_fov_vs_cv.cpp.o"
+  "CMakeFiles/bench_accuracy_fov_vs_cv.dir/bench_accuracy_fov_vs_cv.cpp.o.d"
+  "bench_accuracy_fov_vs_cv"
+  "bench_accuracy_fov_vs_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_accuracy_fov_vs_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

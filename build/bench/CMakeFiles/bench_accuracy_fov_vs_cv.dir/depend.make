@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_accuracy_fov_vs_cv.
+# This may be replaced when dependencies are built.

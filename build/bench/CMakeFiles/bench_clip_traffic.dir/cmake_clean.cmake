@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clip_traffic.dir/bench_clip_traffic.cpp.o"
+  "CMakeFiles/bench_clip_traffic.dir/bench_clip_traffic.cpp.o.d"
+  "bench_clip_traffic"
+  "bench_clip_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clip_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_theory_vs_practice.dir/bench_fig4_theory_vs_practice.cpp.o"
+  "CMakeFiles/bench_fig4_theory_vs_practice.dir/bench_fig4_theory_vs_practice.cpp.o.d"
+  "bench_fig4_theory_vs_practice"
+  "bench_fig4_theory_vs_practice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_theory_vs_practice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

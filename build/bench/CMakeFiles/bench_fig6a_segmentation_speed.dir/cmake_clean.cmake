@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6a_segmentation_speed.dir/bench_fig6a_segmentation_speed.cpp.o"
+  "CMakeFiles/bench_fig6a_segmentation_speed.dir/bench_fig6a_segmentation_speed.cpp.o.d"
+  "bench_fig6a_segmentation_speed"
+  "bench_fig6a_segmentation_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_segmentation_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_incentive_utility.dir/bench_incentive_utility.cpp.o"
+  "CMakeFiles/bench_incentive_utility.dir/bench_incentive_utility.cpp.o.d"
+  "bench_incentive_utility"
+  "bench_incentive_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_incentive_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_index_backends.dir/bench_index_backends.cpp.o"
+  "CMakeFiles/bench_index_backends.dir/bench_index_backends.cpp.o.d"
+  "bench_index_backends"
+  "bench_index_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_index_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

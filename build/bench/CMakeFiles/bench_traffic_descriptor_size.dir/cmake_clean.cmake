@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traffic_descriptor_size.dir/bench_traffic_descriptor_size.cpp.o"
+  "CMakeFiles/bench_traffic_descriptor_size.dir/bench_traffic_descriptor_size.cpp.o.d"
+  "bench_traffic_descriptor_size"
+  "bench_traffic_descriptor_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traffic_descriptor_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_city_scale_server.dir/city_scale_server.cpp.o"
+  "CMakeFiles/example_city_scale_server.dir/city_scale_server.cpp.o.d"
+  "example_city_scale_server"
+  "example_city_scale_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_city_scale_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

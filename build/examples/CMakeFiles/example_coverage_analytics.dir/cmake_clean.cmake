@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_coverage_analytics.dir/coverage_analytics.cpp.o"
+  "CMakeFiles/example_coverage_analytics.dir/coverage_analytics.cpp.o.d"
+  "example_coverage_analytics"
+  "example_coverage_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_coverage_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

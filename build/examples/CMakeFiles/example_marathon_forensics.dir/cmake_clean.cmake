@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_marathon_forensics.dir/marathon_forensics.cpp.o"
+  "CMakeFiles/example_marathon_forensics.dir/marathon_forensics.cpp.o.d"
+  "example_marathon_forensics"
+  "example_marathon_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_marathon_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sensing_campaign.dir/sensing_campaign.cpp.o"
+  "CMakeFiles/example_sensing_campaign.dir/sensing_campaign.cpp.o.d"
+  "example_sensing_campaign"
+  "example_sensing_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sensing_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

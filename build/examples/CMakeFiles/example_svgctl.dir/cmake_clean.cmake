@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_svgctl.dir/svgctl.cpp.o"
+  "CMakeFiles/example_svgctl.dir/svgctl.cpp.o.d"
+  "example_svgctl"
+  "example_svgctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_svgctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/filtering.cpp" "src/CMakeFiles/svg_core.dir/core/filtering.cpp.o" "gcc" "src/CMakeFiles/svg_core.dir/core/filtering.cpp.o.d"
+  "/root/repo/src/core/fov.cpp" "src/CMakeFiles/svg_core.dir/core/fov.cpp.o" "gcc" "src/CMakeFiles/svg_core.dir/core/fov.cpp.o.d"
+  "/root/repo/src/core/segmentation.cpp" "src/CMakeFiles/svg_core.dir/core/segmentation.cpp.o" "gcc" "src/CMakeFiles/svg_core.dir/core/segmentation.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/CMakeFiles/svg_core.dir/core/similarity.cpp.o" "gcc" "src/CMakeFiles/svg_core.dir/core/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svg_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_core.dir/core/filtering.cpp.o"
+  "CMakeFiles/svg_core.dir/core/filtering.cpp.o.d"
+  "CMakeFiles/svg_core.dir/core/fov.cpp.o"
+  "CMakeFiles/svg_core.dir/core/fov.cpp.o.d"
+  "CMakeFiles/svg_core.dir/core/segmentation.cpp.o"
+  "CMakeFiles/svg_core.dir/core/segmentation.cpp.o.d"
+  "CMakeFiles/svg_core.dir/core/similarity.cpp.o"
+  "CMakeFiles/svg_core.dir/core/similarity.cpp.o.d"
+  "libsvg_core.a"
+  "libsvg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

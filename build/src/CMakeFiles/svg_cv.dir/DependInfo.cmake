@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cv/frame.cpp" "src/CMakeFiles/svg_cv.dir/cv/frame.cpp.o" "gcc" "src/CMakeFiles/svg_cv.dir/cv/frame.cpp.o.d"
+  "/root/repo/src/cv/renderer.cpp" "src/CMakeFiles/svg_cv.dir/cv/renderer.cpp.o" "gcc" "src/CMakeFiles/svg_cv.dir/cv/renderer.cpp.o.d"
+  "/root/repo/src/cv/segmentation.cpp" "src/CMakeFiles/svg_cv.dir/cv/segmentation.cpp.o" "gcc" "src/CMakeFiles/svg_cv.dir/cv/segmentation.cpp.o.d"
+  "/root/repo/src/cv/similarity.cpp" "src/CMakeFiles/svg_cv.dir/cv/similarity.cpp.o" "gcc" "src/CMakeFiles/svg_cv.dir/cv/similarity.cpp.o.d"
+  "/root/repo/src/cv/site_survey.cpp" "src/CMakeFiles/svg_cv.dir/cv/site_survey.cpp.o" "gcc" "src/CMakeFiles/svg_cv.dir/cv/site_survey.cpp.o.d"
+  "/root/repo/src/cv/world.cpp" "src/CMakeFiles/svg_cv.dir/cv/world.cpp.o" "gcc" "src/CMakeFiles/svg_cv.dir/cv/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_cv.dir/cv/frame.cpp.o"
+  "CMakeFiles/svg_cv.dir/cv/frame.cpp.o.d"
+  "CMakeFiles/svg_cv.dir/cv/renderer.cpp.o"
+  "CMakeFiles/svg_cv.dir/cv/renderer.cpp.o.d"
+  "CMakeFiles/svg_cv.dir/cv/segmentation.cpp.o"
+  "CMakeFiles/svg_cv.dir/cv/segmentation.cpp.o.d"
+  "CMakeFiles/svg_cv.dir/cv/similarity.cpp.o"
+  "CMakeFiles/svg_cv.dir/cv/similarity.cpp.o.d"
+  "CMakeFiles/svg_cv.dir/cv/site_survey.cpp.o"
+  "CMakeFiles/svg_cv.dir/cv/site_survey.cpp.o.d"
+  "CMakeFiles/svg_cv.dir/cv/world.cpp.o"
+  "CMakeFiles/svg_cv.dir/cv/world.cpp.o.d"
+  "libsvg_cv.a"
+  "libsvg_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

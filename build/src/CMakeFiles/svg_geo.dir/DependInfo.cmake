@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/angle.cpp" "src/CMakeFiles/svg_geo.dir/geo/angle.cpp.o" "gcc" "src/CMakeFiles/svg_geo.dir/geo/angle.cpp.o.d"
+  "/root/repo/src/geo/geodesy.cpp" "src/CMakeFiles/svg_geo.dir/geo/geodesy.cpp.o" "gcc" "src/CMakeFiles/svg_geo.dir/geo/geodesy.cpp.o.d"
+  "/root/repo/src/geo/sector.cpp" "src/CMakeFiles/svg_geo.dir/geo/sector.cpp.o" "gcc" "src/CMakeFiles/svg_geo.dir/geo/sector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

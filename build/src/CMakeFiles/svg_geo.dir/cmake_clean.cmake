@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_geo.dir/geo/angle.cpp.o"
+  "CMakeFiles/svg_geo.dir/geo/angle.cpp.o.d"
+  "CMakeFiles/svg_geo.dir/geo/geodesy.cpp.o"
+  "CMakeFiles/svg_geo.dir/geo/geodesy.cpp.o.d"
+  "CMakeFiles/svg_geo.dir/geo/sector.cpp.o"
+  "CMakeFiles/svg_geo.dir/geo/sector.cpp.o.d"
+  "libsvg_geo.a"
+  "libsvg_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

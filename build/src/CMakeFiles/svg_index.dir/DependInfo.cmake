@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/fov_index.cpp" "src/CMakeFiles/svg_index.dir/index/fov_index.cpp.o" "gcc" "src/CMakeFiles/svg_index.dir/index/fov_index.cpp.o.d"
+  "/root/repo/src/index/grid_index.cpp" "src/CMakeFiles/svg_index.dir/index/grid_index.cpp.o" "gcc" "src/CMakeFiles/svg_index.dir/index/grid_index.cpp.o.d"
+  "/root/repo/src/index/kdtree_index.cpp" "src/CMakeFiles/svg_index.dir/index/kdtree_index.cpp.o" "gcc" "src/CMakeFiles/svg_index.dir/index/kdtree_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svg_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

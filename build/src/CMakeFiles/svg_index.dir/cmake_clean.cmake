@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_index.dir/index/fov_index.cpp.o"
+  "CMakeFiles/svg_index.dir/index/fov_index.cpp.o.d"
+  "CMakeFiles/svg_index.dir/index/grid_index.cpp.o"
+  "CMakeFiles/svg_index.dir/index/grid_index.cpp.o.d"
+  "CMakeFiles/svg_index.dir/index/kdtree_index.cpp.o"
+  "CMakeFiles/svg_index.dir/index/kdtree_index.cpp.o.d"
+  "libsvg_index.a"
+  "libsvg_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

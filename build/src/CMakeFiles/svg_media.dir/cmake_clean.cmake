@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_media.dir/media/video_store.cpp.o"
+  "CMakeFiles/svg_media.dir/media/video_store.cpp.o.d"
+  "libsvg_media.a"
+  "libsvg_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

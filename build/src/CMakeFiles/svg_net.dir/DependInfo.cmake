@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/client.cpp" "src/CMakeFiles/svg_net.dir/net/client.cpp.o" "gcc" "src/CMakeFiles/svg_net.dir/net/client.cpp.o.d"
+  "/root/repo/src/net/clip_fetch.cpp" "src/CMakeFiles/svg_net.dir/net/clip_fetch.cpp.o" "gcc" "src/CMakeFiles/svg_net.dir/net/clip_fetch.cpp.o.d"
+  "/root/repo/src/net/server.cpp" "src/CMakeFiles/svg_net.dir/net/server.cpp.o" "gcc" "src/CMakeFiles/svg_net.dir/net/server.cpp.o.d"
+  "/root/repo/src/net/snapshot.cpp" "src/CMakeFiles/svg_net.dir/net/snapshot.cpp.o" "gcc" "src/CMakeFiles/svg_net.dir/net/snapshot.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/CMakeFiles/svg_net.dir/net/transport.cpp.o" "gcc" "src/CMakeFiles/svg_net.dir/net/transport.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "src/CMakeFiles/svg_net.dir/net/wire.cpp.o" "gcc" "src/CMakeFiles/svg_net.dir/net/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svg_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_net.dir/net/client.cpp.o"
+  "CMakeFiles/svg_net.dir/net/client.cpp.o.d"
+  "CMakeFiles/svg_net.dir/net/clip_fetch.cpp.o"
+  "CMakeFiles/svg_net.dir/net/clip_fetch.cpp.o.d"
+  "CMakeFiles/svg_net.dir/net/server.cpp.o"
+  "CMakeFiles/svg_net.dir/net/server.cpp.o.d"
+  "CMakeFiles/svg_net.dir/net/snapshot.cpp.o"
+  "CMakeFiles/svg_net.dir/net/snapshot.cpp.o.d"
+  "CMakeFiles/svg_net.dir/net/transport.cpp.o"
+  "CMakeFiles/svg_net.dir/net/transport.cpp.o.d"
+  "CMakeFiles/svg_net.dir/net/wire.cpp.o"
+  "CMakeFiles/svg_net.dir/net/wire.cpp.o.d"
+  "libsvg_net.a"
+  "libsvg_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

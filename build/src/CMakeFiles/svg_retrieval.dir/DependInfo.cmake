@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retrieval/coverage.cpp" "src/CMakeFiles/svg_retrieval.dir/retrieval/coverage.cpp.o" "gcc" "src/CMakeFiles/svg_retrieval.dir/retrieval/coverage.cpp.o.d"
+  "/root/repo/src/retrieval/metrics.cpp" "src/CMakeFiles/svg_retrieval.dir/retrieval/metrics.cpp.o" "gcc" "src/CMakeFiles/svg_retrieval.dir/retrieval/metrics.cpp.o.d"
+  "/root/repo/src/retrieval/query.cpp" "src/CMakeFiles/svg_retrieval.dir/retrieval/query.cpp.o" "gcc" "src/CMakeFiles/svg_retrieval.dir/retrieval/query.cpp.o.d"
+  "/root/repo/src/retrieval/top_k.cpp" "src/CMakeFiles/svg_retrieval.dir/retrieval/top_k.cpp.o" "gcc" "src/CMakeFiles/svg_retrieval.dir/retrieval/top_k.cpp.o.d"
+  "/root/repo/src/retrieval/utility.cpp" "src/CMakeFiles/svg_retrieval.dir/retrieval/utility.cpp.o" "gcc" "src/CMakeFiles/svg_retrieval.dir/retrieval/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

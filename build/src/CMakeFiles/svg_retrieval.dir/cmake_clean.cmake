@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_retrieval.dir/retrieval/coverage.cpp.o"
+  "CMakeFiles/svg_retrieval.dir/retrieval/coverage.cpp.o.d"
+  "CMakeFiles/svg_retrieval.dir/retrieval/metrics.cpp.o"
+  "CMakeFiles/svg_retrieval.dir/retrieval/metrics.cpp.o.d"
+  "CMakeFiles/svg_retrieval.dir/retrieval/query.cpp.o"
+  "CMakeFiles/svg_retrieval.dir/retrieval/query.cpp.o.d"
+  "CMakeFiles/svg_retrieval.dir/retrieval/top_k.cpp.o"
+  "CMakeFiles/svg_retrieval.dir/retrieval/top_k.cpp.o.d"
+  "CMakeFiles/svg_retrieval.dir/retrieval/utility.cpp.o"
+  "CMakeFiles/svg_retrieval.dir/retrieval/utility.cpp.o.d"
+  "libsvg_retrieval.a"
+  "libsvg_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/crowd.cpp" "src/CMakeFiles/svg_sim.dir/sim/crowd.cpp.o" "gcc" "src/CMakeFiles/svg_sim.dir/sim/crowd.cpp.o.d"
+  "/root/repo/src/sim/sensors.cpp" "src/CMakeFiles/svg_sim.dir/sim/sensors.cpp.o" "gcc" "src/CMakeFiles/svg_sim.dir/sim/sensors.cpp.o.d"
+  "/root/repo/src/sim/trace_io.cpp" "src/CMakeFiles/svg_sim.dir/sim/trace_io.cpp.o" "gcc" "src/CMakeFiles/svg_sim.dir/sim/trace_io.cpp.o.d"
+  "/root/repo/src/sim/trajectory.cpp" "src/CMakeFiles/svg_sim.dir/sim/trajectory.cpp.o" "gcc" "src/CMakeFiles/svg_sim.dir/sim/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

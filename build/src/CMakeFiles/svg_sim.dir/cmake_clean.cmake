@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_sim.dir/sim/crowd.cpp.o"
+  "CMakeFiles/svg_sim.dir/sim/crowd.cpp.o.d"
+  "CMakeFiles/svg_sim.dir/sim/sensors.cpp.o"
+  "CMakeFiles/svg_sim.dir/sim/sensors.cpp.o.d"
+  "CMakeFiles/svg_sim.dir/sim/trace_io.cpp.o"
+  "CMakeFiles/svg_sim.dir/sim/trace_io.cpp.o.d"
+  "CMakeFiles/svg_sim.dir/sim/trajectory.cpp.o"
+  "CMakeFiles/svg_sim.dir/sim/trajectory.cpp.o.d"
+  "libsvg_sim.a"
+  "libsvg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

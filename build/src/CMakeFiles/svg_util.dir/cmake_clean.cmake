@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_util.dir/util/rng.cpp.o"
+  "CMakeFiles/svg_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/svg_util.dir/util/stats.cpp.o"
+  "CMakeFiles/svg_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/svg_util.dir/util/table.cpp.o"
+  "CMakeFiles/svg_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/svg_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/svg_util.dir/util/thread_pool.cpp.o.d"
+  "libsvg_util.a"
+  "libsvg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_filtering_test.dir/core_filtering_test.cpp.o"
+  "CMakeFiles/core_filtering_test.dir/core_filtering_test.cpp.o.d"
+  "core_filtering_test"
+  "core_filtering_test.pdb"
+  "core_filtering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_filtering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

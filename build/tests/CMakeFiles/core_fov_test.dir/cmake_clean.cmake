@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fov_test.dir/core_fov_test.cpp.o"
+  "CMakeFiles/core_fov_test.dir/core_fov_test.cpp.o.d"
+  "core_fov_test"
+  "core_fov_test.pdb"
+  "core_fov_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fov_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_render_test.dir/cv_render_test.cpp.o"
+  "CMakeFiles/cv_render_test.dir/cv_render_test.cpp.o.d"
+  "cv_render_test"
+  "cv_render_test.pdb"
+  "cv_render_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_segmentation_test.dir/cv_segmentation_test.cpp.o"
+  "CMakeFiles/cv_segmentation_test.dir/cv_segmentation_test.cpp.o.d"
+  "cv_segmentation_test"
+  "cv_segmentation_test.pdb"
+  "cv_segmentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_segmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_similarity_test.dir/cv_similarity_test.cpp.o"
+  "CMakeFiles/cv_similarity_test.dir/cv_similarity_test.cpp.o.d"
+  "cv_similarity_test"
+  "cv_similarity_test.pdb"
+  "cv_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_site_survey_test.dir/cv_site_survey_test.cpp.o"
+  "CMakeFiles/cv_site_survey_test.dir/cv_site_survey_test.cpp.o.d"
+  "cv_site_survey_test"
+  "cv_site_survey_test.pdb"
+  "cv_site_survey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_site_survey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_angle_test.dir/geo_angle_test.cpp.o"
+  "CMakeFiles/geo_angle_test.dir/geo_angle_test.cpp.o.d"
+  "geo_angle_test"
+  "geo_angle_test.pdb"
+  "geo_angle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_angle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_bbox_test.dir/geo_bbox_test.cpp.o"
+  "CMakeFiles/geo_bbox_test.dir/geo_bbox_test.cpp.o.d"
+  "geo_bbox_test"
+  "geo_bbox_test.pdb"
+  "geo_bbox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_bbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

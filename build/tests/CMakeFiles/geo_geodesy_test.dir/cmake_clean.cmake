@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_geodesy_test.dir/geo_geodesy_test.cpp.o"
+  "CMakeFiles/geo_geodesy_test.dir/geo_geodesy_test.cpp.o.d"
+  "geo_geodesy_test"
+  "geo_geodesy_test.pdb"
+  "geo_geodesy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_geodesy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

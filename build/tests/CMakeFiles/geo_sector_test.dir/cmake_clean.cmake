@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_sector_test.dir/geo_sector_test.cpp.o"
+  "CMakeFiles/geo_sector_test.dir/geo_sector_test.cpp.o.d"
+  "geo_sector_test"
+  "geo_sector_test.pdb"
+  "geo_sector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_sector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

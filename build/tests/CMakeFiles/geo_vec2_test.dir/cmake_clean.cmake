@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_vec2_test.dir/geo_vec2_test.cpp.o"
+  "CMakeFiles/geo_vec2_test.dir/geo_vec2_test.cpp.o.d"
+  "geo_vec2_test"
+  "geo_vec2_test.pdb"
+  "geo_vec2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_vec2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

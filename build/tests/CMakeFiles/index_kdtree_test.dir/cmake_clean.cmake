@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_kdtree_test.dir/index_kdtree_test.cpp.o"
+  "CMakeFiles/index_kdtree_test.dir/index_kdtree_test.cpp.o.d"
+  "index_kdtree_test"
+  "index_kdtree_test.pdb"
+  "index_kdtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_kdtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_nearest_k_test.dir/index_nearest_k_test.cpp.o"
+  "CMakeFiles/index_nearest_k_test.dir/index_nearest_k_test.cpp.o.d"
+  "index_nearest_k_test"
+  "index_nearest_k_test.pdb"
+  "index_nearest_k_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_nearest_k_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for index_nearest_k_test.
+# This may be replaced when dependencies are built.

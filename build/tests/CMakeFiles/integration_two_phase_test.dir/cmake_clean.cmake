@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_two_phase_test.dir/integration_two_phase_test.cpp.o"
+  "CMakeFiles/integration_two_phase_test.dir/integration_two_phase_test.cpp.o.d"
+  "integration_two_phase_test"
+  "integration_two_phase_test.pdb"
+  "integration_two_phase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_two_phase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/media_video_store_test.dir/media_video_store_test.cpp.o"
+  "CMakeFiles/media_video_store_test.dir/media_video_store_test.cpp.o.d"
+  "media_video_store_test"
+  "media_video_store_test.pdb"
+  "media_video_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/media_video_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

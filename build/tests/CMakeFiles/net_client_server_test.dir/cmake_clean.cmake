@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_client_server_test.dir/net_client_server_test.cpp.o"
+  "CMakeFiles/net_client_server_test.dir/net_client_server_test.cpp.o.d"
+  "net_client_server_test"
+  "net_client_server_test.pdb"
+  "net_client_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_client_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

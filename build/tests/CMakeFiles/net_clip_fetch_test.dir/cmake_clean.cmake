@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_clip_fetch_test.dir/net_clip_fetch_test.cpp.o"
+  "CMakeFiles/net_clip_fetch_test.dir/net_clip_fetch_test.cpp.o.d"
+  "net_clip_fetch_test"
+  "net_clip_fetch_test.pdb"
+  "net_clip_fetch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_clip_fetch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_snapshot_test.dir/net_snapshot_test.cpp.o"
+  "CMakeFiles/net_snapshot_test.dir/net_snapshot_test.cpp.o.d"
+  "net_snapshot_test"
+  "net_snapshot_test.pdb"
+  "net_snapshot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_snapshot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net_wire_fuzz_test.cpp" "tests/CMakeFiles/net_wire_fuzz_test.dir/net_wire_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/net_wire_fuzz_test.dir/net_wire_fuzz_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/svg_cv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_retrieval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/svg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_similarity_test.dir/property_similarity_test.cpp.o"
+  "CMakeFiles/property_similarity_test.dir/property_similarity_test.cpp.o.d"
+  "property_similarity_test"
+  "property_similarity_test.pdb"
+  "property_similarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_similarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrieval_engine_test.dir/retrieval_engine_test.cpp.o"
+  "CMakeFiles/retrieval_engine_test.dir/retrieval_engine_test.cpp.o.d"
+  "retrieval_engine_test"
+  "retrieval_engine_test.pdb"
+  "retrieval_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrieval_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrieval_query_test.dir/retrieval_query_test.cpp.o"
+  "CMakeFiles/retrieval_query_test.dir/retrieval_query_test.cpp.o.d"
+  "retrieval_query_test"
+  "retrieval_query_test.pdb"
+  "retrieval_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrieval_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

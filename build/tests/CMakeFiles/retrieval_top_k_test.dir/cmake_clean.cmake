@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrieval_top_k_test.dir/retrieval_top_k_test.cpp.o"
+  "CMakeFiles/retrieval_top_k_test.dir/retrieval_top_k_test.cpp.o.d"
+  "retrieval_top_k_test"
+  "retrieval_top_k_test.pdb"
+  "retrieval_top_k_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrieval_top_k_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retrieval_utility_test.dir/retrieval_utility_test.cpp.o"
+  "CMakeFiles/retrieval_utility_test.dir/retrieval_utility_test.cpp.o.d"
+  "retrieval_utility_test"
+  "retrieval_utility_test.pdb"
+  "retrieval_utility_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retrieval_utility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

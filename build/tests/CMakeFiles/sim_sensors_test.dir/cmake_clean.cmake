@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_sensors_test.dir/sim_sensors_test.cpp.o"
+  "CMakeFiles/sim_sensors_test.dir/sim_sensors_test.cpp.o.d"
+  "sim_sensors_test"
+  "sim_sensors_test.pdb"
+  "sim_sensors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_sensors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_trajectory_test.dir/sim_trajectory_test.cpp.o"
+  "CMakeFiles/sim_trajectory_test.dir/sim_trajectory_test.cpp.o.d"
+  "sim_trajectory_test"
+  "sim_trajectory_test.pdb"
+  "sim_trajectory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_trajectory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
