@@ -1,0 +1,131 @@
+// Observability overhead — the acceptance gate for the obs layer: the
+// instrumented retrieval hot path (process-wide svg_retrieval_* family:
+// four histogram observes + four counter adds + four clock reads per
+// search) must cost < 5% over the identical engine with metrics disabled
+// (nullptr ⇒ zero clock reads, zero atomics).
+//
+// Method: one index, one query batch, two engines that differ only in the
+// metrics pointer. Run many timed rounds, alternating which variant goes
+// first inside each round, and compare the median round per variant —
+// medians with alternation cancel frequency drift and one-sided scheduler
+// luck that min-of-rounds is sensitive to.
+//
+//   bench_obs_overhead [--json]   (--json: machine-readable, for BENCH_obs.json)
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "index/fov_index.hpp"
+#include "obs/families.hpp"
+#include "retrieval/engine.hpp"
+#include "sim/crowd.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace svg;
+  const bool json = argc > 1 && std::string(argv[1]) == "--json";
+
+  sim::CityModel city;
+  util::Xoshiro256 rng(20260806);
+  constexpr std::size_t kSegments = 20'000;
+  const auto reps = sim::random_representative_fovs(
+      kSegments, city, 1'400'000'000'000, 24LL * 3600 * 1000, rng);
+  const auto index = index::FovIndex::bulk_load(reps);
+
+  retrieval::RetrievalConfig cfg;
+  cfg.camera = {30.0, 100.0};
+  cfg.top_n = 20;
+
+  std::vector<retrieval::Query> queries;
+  for (int i = 0; i < 200; ++i) {
+    retrieval::Query q;
+    q.center = city.random_point(rng);
+    q.radius_m = rng.chance(0.5) ? 20.0 : 100.0;
+    q.t_start = 1'400'000'000'000 +
+                static_cast<core::TimestampMs>(rng.bounded(20LL * 3600 * 1000));
+    q.t_end = q.t_start + 2LL * 3600 * 1000;
+    queries.push_back(q);
+  }
+
+  retrieval::RetrievalEngine<index::FovIndex> instrumented(index, cfg);
+  retrieval::RetrievalEngine<index::FovIndex> bare(index, cfg, nullptr);
+
+  auto run_batch = [&](const auto& engine) {
+    std::size_t results = 0;
+    util::Stopwatch sw;
+    for (const auto& q : queries) {
+      results += engine.search(q).size();
+    }
+    const double us = sw.elapsed_us();
+    return std::pair<double, std::size_t>{us, results};
+  };
+
+  // Warm-up: touch the tree and the metric instruments once.
+  (void)run_batch(instrumented);
+  (void)run_batch(bare);
+
+  constexpr int kRounds = 25;
+  std::vector<double> bare_rounds, instr_rounds;
+  bare_rounds.reserve(kRounds);
+  instr_rounds.reserve(kRounds);
+  std::size_t checksum_bare = 0, checksum_instr = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    if (r % 2 == 0) {
+      const auto [bare_us, bare_n] = run_batch(bare);
+      const auto [instr_us, instr_n] = run_batch(instrumented);
+      bare_rounds.push_back(bare_us);
+      instr_rounds.push_back(instr_us);
+      checksum_bare = bare_n;
+      checksum_instr = instr_n;
+    } else {
+      const auto [instr_us, instr_n] = run_batch(instrumented);
+      const auto [bare_us, bare_n] = run_batch(bare);
+      bare_rounds.push_back(bare_us);
+      instr_rounds.push_back(instr_us);
+      checksum_bare = bare_n;
+      checksum_instr = instr_n;
+    }
+  }
+  if (checksum_bare != checksum_instr) {
+    std::cerr << "error: variants disagree on results ("
+              << checksum_bare << " vs " << checksum_instr << ")\n";
+    return 2;
+  }
+  auto median = [](std::vector<double>& v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+
+  const double n_queries = static_cast<double>(queries.size());
+  const double bare_per_query_us = median(bare_rounds) / n_queries;
+  const double instr_per_query_us = median(instr_rounds) / n_queries;
+  const double overhead_pct =
+      (instr_per_query_us - bare_per_query_us) / bare_per_query_us * 100.0;
+  const bool pass = overhead_pct < 5.0;
+
+  if (json) {
+    std::cout << "{\"segments\":" << kSegments
+              << ",\"queries\":" << queries.size()
+              << ",\"rounds\":" << kRounds
+              << ",\"bare_per_query_us\":" << bare_per_query_us
+              << ",\"instrumented_per_query_us\":" << instr_per_query_us
+              << ",\"overhead_pct\":" << overhead_pct
+              << ",\"budget_pct\":5.0,\"pass\":" << (pass ? "true" : "false")
+              << "}\n";
+  } else {
+    std::cout << "=== obs overhead: instrumented vs bare retrieval ===\n\n";
+    util::Table table({"variant", "per_query_us", "median_batch_us"});
+    table.add_row({"bare (metrics=nullptr)",
+                   util::Table::num(bare_per_query_us, 2),
+                   util::Table::num(bare_per_query_us * n_queries, 0)});
+    table.add_row({"instrumented (svg_retrieval_*)",
+                   util::Table::num(instr_per_query_us, 2),
+                   util::Table::num(instr_per_query_us * n_queries, 0)});
+    table.print(std::cout);
+    std::cout << "\noverhead: " << util::Table::num(overhead_pct, 2)
+              << "% (budget 5%) -> " << (pass ? "PASS" : "FAIL") << "\n";
+  }
+  return pass ? 0 : 1;
+}

@@ -2,26 +2,38 @@
 // without writing code:
 //
 //   svgctl generate --providers 50 --seed 7 --out corpus.svgx
-//       simulate a crowd, run the client pipeline, save the descriptor
-//       corpus as an index snapshot
+//       simulate a crowd, run the client pipeline (pool-parallel across
+//       sessions), save the descriptor corpus as an index snapshot
 //   svgctl info --in corpus.svgx
 //       print corpus statistics
 //   svgctl query --in corpus.svgx --lat 39.9042 --lng 116.4074
 //                --radius 50 --from 0 --to 9999999999999 [--top 10]
-//       load the snapshot, build the index, run one retrieval
+//       load the snapshot into a CloudServer, run one retrieval through the
+//       full instrumented stack, print results + per-stage timings + a
+//       process-metrics stats section
+//
+// Observability flags (query and generate):
+//   --metrics-out <file|->   dump the process metric registry after the run
+//                            ("-" = stdout)
+//   --metrics-format <fmt>   prom (default, Prometheus text exposition) or
+//                            json
 //
 // Exit codes: 0 ok, 1 bad usage, 2 runtime failure.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 
 #include "net/client.hpp"
+#include "net/server.hpp"
 #include "net/snapshot.hpp"
+#include "obs/families.hpp"
 #include "retrieval/engine.hpp"
 #include "sim/crowd.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -50,6 +62,37 @@ std::string flag_str(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : it->second;
 }
 
+/// Dump the global registry per --metrics-out/--metrics-format. Returns 0
+/// when no dump was requested or the dump succeeded, 2 on I/O failure.
+int dump_metrics(const std::map<std::string, std::string>& flags) {
+  const auto out = flag_str(flags, "metrics-out", "");
+  if (out.empty()) return 0;
+  const auto format = flag_str(flags, "metrics-format", "prom");
+  if (format != "prom" && format != "json") {
+    std::cerr << "error: --metrics-format must be prom or json\n";
+    return 1;
+  }
+  // Register every family first so the dump shows idle subsystems as zeros
+  // instead of omitting them.
+  obs::touch_all_families();
+  std::ofstream file;
+  std::ostream* os = &std::cout;
+  if (out != "-") {
+    file.open(out);
+    if (!file) {
+      std::cerr << "error: cannot write " << out << "\n";
+      return 2;
+    }
+    os = &file;
+  }
+  if (format == "json") {
+    obs::global().write_json(*os);
+  } else {
+    obs::global().write_prometheus(*os);
+  }
+  return 0;
+}
+
 int cmd_generate(const std::map<std::string, std::string>& flags) {
   const auto out = flag_str(flags, "out", "corpus.svgx");
   sim::CityModel city;
@@ -67,13 +110,26 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
   const double thresh = flag_num(flags, "thresh", 0.5);
 
   const auto sessions = sim::generate_crowd(city, cfg, rng);
+
+  // One client pipeline per session, fanned across the pool; the pool
+  // reports queue depth and task latency to the svg_threadpool_* family.
+  util::ThreadPool pool(0, &obs::thread_pool_metrics());
+  std::vector<net::UploadMessage> uploads(sessions.size());
+  pool.parallel_for(sessions.size(), [&](std::size_t i) {
+    const auto& s = sessions[i];
+    net::MobileClient client(s.video_id, model, {thresh});
+    uploads[i] = net::capture_session(client, s.records);
+  });
+  // Futures resolve before on_complete fires; drain to idle so the metrics
+  // dump below sees every task counted.
+  pool.wait_idle();
+
   std::vector<core::RepresentativeFov> corpus;
   std::size_t frames = 0;
-  for (const auto& s : sessions) {
-    net::MobileClient client(s.video_id, model, {thresh});
-    const auto msg = net::capture_session(client, s.records);
-    corpus.insert(corpus.end(), msg.segments.begin(), msg.segments.end());
-    frames += s.records.size();
+  for (std::size_t i = 0; i < sessions.size(); ++i) {
+    corpus.insert(corpus.end(), uploads[i].segments.begin(),
+                  uploads[i].segments.end());
+    frames += sessions[i].records.size();
   }
   if (!net::save_snapshot_file(corpus, out)) {
     std::cerr << "error: cannot write " << out << "\n";
@@ -81,7 +137,7 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
   }
   std::cout << "wrote " << out << ": " << sessions.size() << " sessions, "
             << frames << " frames -> " << corpus.size() << " segments\n";
-  return 0;
+  return dump_metrics(flags);
 }
 
 int cmd_info(const std::map<std::string, std::string>& flags) {
@@ -125,12 +181,22 @@ int cmd_info(const std::map<std::string, std::string>& flags) {
 
 int cmd_query(const std::map<std::string, std::string>& flags) {
   const auto in = flag_str(flags, "in", "corpus.svgx");
-  const auto reps = net::load_snapshot_file(in);
-  if (!reps) {
+
+  retrieval::RetrievalConfig cfg;
+  cfg.camera = {flag_num(flags, "alpha", 30.0),
+                flag_num(flags, "view-radius", 100.0)};
+  cfg.orientation_slack_deg = flag_num(flags, "slack", 10.0);
+  cfg.top_n = static_cast<std::size_t>(flag_num(flags, "top", 10));
+
+  // Go through CloudServer so the run exercises the production path: the
+  // concurrent index (svg_index_*), the retrieval pipeline
+  // (svg_retrieval_*), and the server boundary (svg_server_*).
+  net::CloudServer server({}, cfg);
+  const auto loaded = server.load_snapshot(in);
+  if (!loaded) {
     std::cerr << "error: cannot read " << in << "\n";
     return 2;
   }
-  const auto index = index::FovIndex::bulk_load(*reps);
 
   retrieval::Query q;
   q.center.lat = flag_num(flags, "lat", 39.9042);
@@ -140,19 +206,18 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
   q.t_end = static_cast<core::TimestampMs>(
       flag_num(flags, "to", 9'999'999'999'999.0));
 
-  retrieval::RetrievalConfig cfg;
-  cfg.camera = {flag_num(flags, "alpha", 30.0),
-                flag_num(flags, "view-radius", 100.0)};
-  cfg.orientation_slack_deg = flag_num(flags, "slack", 10.0);
-  cfg.top_n = static_cast<std::size_t>(flag_num(flags, "top", 10));
-
-  retrieval::RetrievalEngine<index::FovIndex> engine(index, cfg);
   retrieval::SearchTrace trace;
-  const auto results = engine.search(q, &trace);
+  const auto results = server.search(q, &trace);
 
   std::cout << trace.candidates << " candidates, " << trace.after_filter
             << " after orientation filter, " << results.size()
             << " returned\n";
+  std::cout << "stage timings: range_search "
+            << static_cast<double>(trace.range_search_ns) / 1e3
+            << " us, filter " << static_cast<double>(trace.filter_ns) / 1e3
+            << " us, rank " << static_cast<double>(trace.rank_ns) / 1e3
+            << " us, total " << static_cast<double>(trace.total_ns) / 1e3
+            << " us\n";
   util::Table table({"rank", "video", "segment", "t_start_ms", "t_end_ms",
                      "dist_m", "relevance"});
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -166,7 +231,14 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
                    util::Table::num(r.relevance, 3)});
   }
   table.print(std::cout);
-  return 0;
+
+  // stats section: every process-wide instrument this run touched (plus
+  // idle families as zeros), the human-readable twin of --metrics-out.
+  obs::touch_all_families();
+  std::cout << "\n=== stats ===\n";
+  obs::global().to_table().print(std::cout);
+
+  return dump_metrics(flags);
 }
 
 }  // namespace

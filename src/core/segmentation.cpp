@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "geo/angle.hpp"
+#include "obs/families.hpp"
 
 namespace svg::core {
 
@@ -12,6 +13,8 @@ VideoSegmenter::VideoSegmenter(const SimilarityModel& model,
     : model_(&model), cfg_(cfg) {}
 
 std::optional<VideoSegment> VideoSegmenter::push(const FovRecord& rec) {
+  auto& m = obs::segmentation_metrics();
+  m.frames.inc();
   ++frames_seen_;
   if (current_.empty()) {
     anchor_ = rec.fov;
@@ -24,6 +27,9 @@ std::optional<VideoSegment> VideoSegmenter::push(const FovRecord& rec) {
     anchor_ = rec.fov;
     current_.frames.push_back(rec);
     ++segments_completed_;
+    m.splits.inc();
+    m.segments.inc();
+    m.segment_frames.observe(done.size());
     return done;
   }
   current_.frames.push_back(rec);
@@ -35,6 +41,9 @@ std::optional<VideoSegment> VideoSegmenter::finish() {
   VideoSegment done = std::move(current_);
   current_ = VideoSegment{};
   ++segments_completed_;
+  auto& m = obs::segmentation_metrics();
+  m.segments.inc();
+  m.segment_frames.observe(done.size());
   return done;
 }
 
@@ -128,14 +137,20 @@ RepresentativeFov StreamingAbstractionPipeline::emit() {
 
 std::optional<RepresentativeFov> StreamingAbstractionPipeline::push(
     const FovRecord& rec) {
+  auto& m = obs::segmentation_metrics();
+  m.frames.inc();
   ++frames_seen_;
   if (!open_) {
     reset_accumulator(rec);
     return std::nullopt;
   }
   if (model_->similarity(anchor_, rec.fov) < cfg_.threshold) {
+    const std::size_t closed_frames = count_;
     RepresentativeFov rep = emit();
     reset_accumulator(rec);
+    m.splits.inc();
+    m.segments.inc();
+    m.segment_frames.observe(closed_frames);
     return rep;
   }
   t_end_ = rec.t;
@@ -152,6 +167,9 @@ std::optional<RepresentativeFov> StreamingAbstractionPipeline::push(
 std::optional<RepresentativeFov> StreamingAbstractionPipeline::finish() {
   if (!open_) return std::nullopt;
   open_ = false;
+  auto& m = obs::segmentation_metrics();
+  m.segments.inc();
+  m.segment_frames.observe(count_);
   return emit();
 }
 

@@ -15,6 +15,8 @@
 
 #include "core/fov.hpp"
 #include "index/rtree.hpp"
+#include "obs/families.hpp"
+#include "obs/timer.hpp"
 
 namespace svg::index {
 
@@ -109,24 +111,41 @@ class LinearIndex {
 };
 
 /// Reader/writer wrapper for the cloud server: many concurrent queriers,
-/// occasional upload bursts.
+/// occasional upload bursts. Feeds the svg_index_* metric family: insert
+/// and query latencies include lock wait (that is the number an operator
+/// cares about under contention), and the size gauge is updated while the
+/// writer lock is still held, so gauge and tree never disagree.
 class ConcurrentFovIndex {
  public:
   explicit ConcurrentFovIndex(FovIndexOptions options = {})
       : index_(options) {}
 
   FovHandle insert(const core::RepresentativeFov& rep) {
+    auto& m = obs::index_metrics();
+    obs::ScopedTimer timer(m.insert_ns);
     std::unique_lock lock(mutex_);
-    return index_.insert(rep);
+    const FovHandle h = index_.insert(rep);
+    m.inserts.inc();
+    m.size.set(static_cast<std::int64_t>(index_.size()));
+    return h;
   }
 
   bool erase(FovHandle handle) {
+    auto& m = obs::index_metrics();
     std::unique_lock lock(mutex_);
-    return index_.erase(handle);
+    const bool erased = index_.erase(handle);
+    if (erased) {
+      m.erases.inc();
+      m.size.set(static_cast<std::int64_t>(index_.size()));
+    }
+    return erased;
   }
 
   void query(const GeoTimeRange& range,
              const FovIndex::Visitor& visit) const {
+    auto& m = obs::index_metrics();
+    obs::ScopedTimer timer(m.query_ns);
+    m.queries.inc();
     std::shared_lock lock(mutex_);
     index_.query(range, visit);
   }

@@ -17,6 +17,7 @@
 // layers a shared_mutex on top for the multi-reader server.
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstddef>
@@ -69,8 +70,28 @@ class RTree {
     options_.validate();
   }
 
-  RTree(RTree&&) noexcept = default;
-  RTree& operator=(RTree&&) noexcept = default;
+  // Spelled out because the atomic work metric is not movable; moving a
+  // tree that is being concurrently queried is a caller bug anyway.
+  RTree(RTree&& other) noexcept
+      : options_(other.options_),
+        root_(std::move(other.root_)),
+        size_(other.size_),
+        boxes_visited_(
+            other.boxes_visited_.load(std::memory_order_relaxed)) {
+    other.size_ = 0;
+  }
+  RTree& operator=(RTree&& other) noexcept {
+    if (this != &other) {
+      options_ = other.options_;
+      root_ = std::move(other.root_);
+      size_ = other.size_;
+      boxes_visited_.store(
+          other.boxes_visited_.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      other.size_ = 0;
+    }
+    return *this;
+  }
   RTree(const RTree&) = delete;
   RTree& operator=(const RTree&) = delete;
 
@@ -123,11 +144,14 @@ class RTree {
   }
 
   /// Visit every entry whose box intersects `query`. The callback may
-  /// return void, or bool (false stops the search early).
+  /// return void, or bool (false stops the search early). Concurrent
+  /// queries are safe (the tree is read-only here): the work metric is
+  /// accumulated locally and published once per query.
   template <typename F>
   void query(const BoxN& query, F&& visit) const {
-    boxes_visited_ = 0;
-    if (root_) query_impl(root_.get(), query, visit);
+    std::size_t visited = 0;
+    if (root_) query_impl(root_.get(), query, visit, visited);
+    boxes_visited_.store(visited, std::memory_order_relaxed);
   }
 
   /// Convenience: collect intersecting entries.
@@ -151,7 +175,7 @@ class RTree {
       const std::array<double, N>& weights = unit_weights()) const {
     std::vector<Entry> out;
     if (!root_ || k == 0) return out;
-    boxes_visited_ = 0;
+    std::size_t visited = 0;
 
     struct Item {
       double dist2;
@@ -166,7 +190,7 @@ class RTree {
     while (!heap.empty() && out.size() < k) {
       const Item top = heap.top();
       heap.pop();
-      ++boxes_visited_;
+      ++visited;
       if (top.node == nullptr) {
         out.push_back(*top.entry);
         continue;
@@ -182,6 +206,7 @@ class RTree {
         }
       }
     }
+    boxes_visited_.store(visited, std::memory_order_relaxed);
     return out;
   }
 
@@ -218,7 +243,8 @@ class RTree {
   [[nodiscard]] RTreeStats stats() const {
     RTreeStats s;
     s.size = size_;
-    s.boxes_visited_last_query = boxes_visited_;
+    s.boxes_visited_last_query =
+        boxes_visited_.load(std::memory_order_relaxed);
     if (root_) collect_stats(root_.get(), 1, s);
     return s;
   }
@@ -577,10 +603,11 @@ class RTree {
   // --- query ---------------------------------------------------------------
 
   template <typename F>
-  bool query_impl(const Node* node, const BoxN& query, F& visit) const {
+  bool query_impl(const Node* node, const BoxN& query, F& visit,
+                  std::size_t& visited) const {
     if (node->leaf) {
       for (const auto& e : node->entries) {
-        ++boxes_visited_;
+        ++visited;
         if (e.box.intersects(query)) {
           if constexpr (std::is_invocable_r_v<bool, F&, const BoxN&,
                                               const T&>) {
@@ -593,9 +620,9 @@ class RTree {
       return true;
     }
     for (const auto& child : node->children) {
-      ++boxes_visited_;
+      ++visited;
       if (child->box.intersects(query)) {
-        if (!query_impl(child.get(), query, visit)) return false;
+        if (!query_impl(child.get(), query, visit, visited)) return false;
       }
     }
     return true;
@@ -699,7 +726,11 @@ class RTree {
   RTreeOptions options_;
   std::unique_ptr<Node> root_;
   std::size_t size_ = 0;
-  mutable std::size_t boxes_visited_ = 0;
+  /// Work metric for Fig. 6(c): boxes touched by the most recent
+  /// query/nearest call. Atomic so concurrent readers (shared-lock queries
+  /// through ConcurrentFovIndex) publish without racing; each query writes
+  /// it exactly once, at the end.
+  mutable std::atomic<std::size_t> boxes_visited_{0};
 };
 
 }  // namespace svg::index

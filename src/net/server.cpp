@@ -1,6 +1,8 @@
 #include "net/server.hpp"
 
 #include "net/snapshot.hpp"
+#include "obs/families.hpp"
+#include "obs/timer.hpp"
 
 namespace svg::net {
 
@@ -9,9 +11,13 @@ CloudServer::CloudServer(index::FovIndexOptions index_options,
     : index_(index_options), retrieval_config_(retrieval_config) {}
 
 bool CloudServer::handle_upload(std::span<const std::uint8_t> bytes) {
+  auto& m = obs::server_metrics();
+  obs::ScopedTimer timer(m.upload_ns);
   const auto msg = decode_upload(bytes);
   if (!msg) {
     uploads_rejected_.fetch_add(1, std::memory_order_relaxed);
+    m.uploads_rejected.inc();
+    m.reject_decode.inc();
     return false;
   }
   ingest(*msg);
@@ -19,26 +25,39 @@ bool CloudServer::handle_upload(std::span<const std::uint8_t> bytes) {
 }
 
 void CloudServer::ingest(const UploadMessage& msg) {
+  auto& m = obs::server_metrics();
+  obs::ScopedTimer timer(m.ingest_ns);
   for (const auto& rep : msg.segments) {
     index_.insert(rep);
   }
-  uploads_accepted_.fetch_add(1, std::memory_order_relaxed);
-  segments_indexed_.fetch_add(msg.segments.size(),
-                              std::memory_order_relaxed);
+  m.segments_indexed.inc(msg.segments.size());
+  m.uploads_accepted.inc();
+  // Publish segments before the accept so a stats() reader that sees the
+  // accepted upload is guaranteed to see its segments (see ServerStats).
+  segments_indexed_.fetch_add(msg.segments.size(), std::memory_order_release);
+  uploads_accepted_.fetch_add(1, std::memory_order_release);
 }
 
 std::vector<retrieval::RankedResult> CloudServer::search(
     const retrieval::Query& q, retrieval::SearchTrace* trace) const {
+  auto& m = obs::server_metrics();
+  obs::ScopedTimer timer(m.query_ns);
   retrieval::RetrievalEngine<index::ConcurrentFovIndex> engine(
       index_, retrieval_config_);
   queries_served_.fetch_add(1, std::memory_order_relaxed);
+  m.queries.inc();
   return engine.search(q, trace);
 }
 
 std::optional<std::vector<std::uint8_t>> CloudServer::handle_query(
     std::span<const std::uint8_t> bytes) {
+  auto& m = obs::server_metrics();
+  obs::ScopedTimer timer(m.query_ns);
   const auto msg = decode_query(bytes);
-  if (!msg) return std::nullopt;
+  if (!msg) {
+    m.reject_query_decode.inc();
+    return std::nullopt;
+  }
   retrieval::Query q;
   q.t_start = msg->t_start;
   q.t_end = msg->t_end;
@@ -50,6 +69,7 @@ std::optional<std::vector<std::uint8_t>> CloudServer::handle_query(
   retrieval::RetrievalEngine<index::ConcurrentFovIndex> engine(index_, cfg);
   const auto results = engine.search(q);
   queries_served_.fetch_add(1, std::memory_order_relaxed);
+  m.queries.inc();
 
   ResultsMessage out;
   out.entries.reserve(results.size());
@@ -76,17 +96,30 @@ std::optional<std::size_t> CloudServer::load_snapshot(
   for (const auto& rep : *reps) {
     index_.insert(rep);
   }
-  segments_indexed_.fetch_add(reps->size(), std::memory_order_relaxed);
+  obs::server_metrics().segments_indexed.inc(reps->size());
+  segments_indexed_.fetch_add(reps->size(), std::memory_order_release);
   return reps->size();
 }
 
 ServerStats CloudServer::stats() const {
+  // Single consistent read path: acquire-load in the reverse of the
+  // ingest() write order, so any accepted upload we count here has its
+  // segments already included in segments_indexed. Each counter is exact
+  // (relaxed RMW never loses increments); the invariant above is the
+  // cross-counter guarantee and is pinned by net_server_stats_test.
   ServerStats s;
-  s.uploads_accepted = uploads_accepted_.load(std::memory_order_relaxed);
-  s.uploads_rejected = uploads_rejected_.load(std::memory_order_relaxed);
-  s.segments_indexed = segments_indexed_.load(std::memory_order_relaxed);
-  s.queries_served = queries_served_.load(std::memory_order_relaxed);
+  s.uploads_accepted = uploads_accepted_.load(std::memory_order_acquire);
+  s.segments_indexed = segments_indexed_.load(std::memory_order_acquire);
+  s.uploads_rejected = uploads_rejected_.load(std::memory_order_acquire);
+  s.queries_served = queries_served_.load(std::memory_order_acquire);
   return s;
+}
+
+void CloudServer::reset_stats() {
+  uploads_accepted_.store(0, std::memory_order_release);
+  uploads_rejected_.store(0, std::memory_order_release);
+  segments_indexed_.store(0, std::memory_order_release);
+  queries_served_.store(0, std::memory_order_release);
 }
 
 }  // namespace svg::net

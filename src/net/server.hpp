@@ -17,6 +17,12 @@
 
 namespace svg::net {
 
+/// Per-instance production counters. stats() is the single read path and
+/// guarantees the cross-counter invariant: any upload visible in
+/// `uploads_accepted` has all of its segments already visible in
+/// `segments_indexed` (writers publish segments before the accept, readers
+/// observe in the opposite order). Process-wide equivalents live in the
+/// svg_server_* metric family (obs/families.hpp).
 struct ServerStats {
   std::uint64_t uploads_accepted = 0;
   std::uint64_t uploads_rejected = 0;
@@ -51,6 +57,8 @@ class CloudServer {
     return index_.size();
   }
   [[nodiscard]] ServerStats stats() const;
+  /// Zero this instance's counters (not the process-wide metric family).
+  void reset_stats();
 
   /// Durability: persist every indexed segment to `path` (atomic write).
   bool save_snapshot(const std::string& path) const;

@@ -1,5 +1,7 @@
 #include "net/transport.hpp"
 
+#include "obs/families.hpp"
+
 namespace svg::net {
 
 double Link::transfer_ms(std::size_t bytes, double mbps) const noexcept {
@@ -11,6 +13,9 @@ double Link::transfer_ms(std::size_t bytes, double mbps) const noexcept {
 
 double Link::send_up(std::size_t bytes) {
   const double ms = transfer_ms(bytes, config_.bandwidth_up_mbps);
+  auto& m = obs::link_metrics();
+  m.messages_up.inc();
+  m.bytes_up.inc(bytes);
   std::lock_guard lock(mutex_);
   ++stats_.messages_up;
   stats_.bytes_up += bytes;
@@ -20,6 +25,9 @@ double Link::send_up(std::size_t bytes) {
 
 double Link::send_down(std::size_t bytes) {
   const double ms = transfer_ms(bytes, config_.bandwidth_down_mbps);
+  auto& m = obs::link_metrics();
+  m.messages_down.inc();
+  m.bytes_down.inc(bytes);
   std::lock_guard lock(mutex_);
   ++stats_.messages_down;
   stats_.bytes_down += bytes;

@@ -1,0 +1,125 @@
+#include "obs/families.hpp"
+
+namespace svg::obs {
+
+namespace {
+
+/// Bucket layout for count-valued histograms (candidates, frames/segment):
+/// 1, 2, 4, … 2^23 ≈ 8.4M.
+constexpr HistogramOptions kCountBuckets{1, 2.0, 24};
+
+}  // namespace
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics m{
+      global().counter("svg_server_uploads_accepted_total",
+                       "Wire uploads decoded and ingested"),
+      global().counter("svg_server_uploads_rejected_total",
+                       "Wire uploads rejected (all reasons)"),
+      global().counter("svg_server_reject_decode_total",
+                       "Uploads rejected: malformed wire bytes"),
+      global().counter("svg_server_reject_query_decode_total",
+                       "Queries rejected: malformed wire bytes"),
+      global().counter("svg_server_segments_indexed_total",
+                       "Representative FoVs inserted via ingest/snapshot"),
+      global().counter("svg_server_queries_total",
+                       "Queries served (wire and in-process)"),
+      global().histogram("svg_server_upload_ns",
+                         "handle_upload latency: decode + ingest"),
+      global().histogram("svg_server_ingest_ns",
+                         "Index-insertion portion of an upload"),
+      global().histogram("svg_server_query_ns",
+                         "Query latency at the server boundary"),
+  };
+  return m;
+}
+
+IndexMetrics& index_metrics() {
+  static IndexMetrics m{
+      global().counter("svg_index_inserts_total",
+                       "ConcurrentFovIndex insertions"),
+      global().counter("svg_index_erases_total",
+                       "ConcurrentFovIndex erasures"),
+      global().counter("svg_index_queries_total",
+                       "ConcurrentFovIndex range queries"),
+      global().gauge("svg_index_size", "Live segments in the index"),
+      global().histogram("svg_index_insert_ns",
+                         "Insert latency incl. writer-lock wait"),
+      global().histogram("svg_index_query_ns",
+                         "Range-query latency incl. reader-lock wait"),
+  };
+  return m;
+}
+
+RetrievalMetrics& retrieval_metrics() {
+  static RetrievalMetrics m{
+      global().counter("svg_retrieval_searches_total",
+                       "Full pipeline executions"),
+      global().counter("svg_retrieval_candidates_total",
+                       "Funnel: candidates from the range search"),
+      global().counter("svg_retrieval_after_filter_total",
+                       "Funnel: survivors of the orientation filter"),
+      global().counter("svg_retrieval_returned_total",
+                       "Funnel: results returned (top-N)"),
+      global().histogram("svg_retrieval_range_search_ns",
+                         "Stage 1: spatio-temporal range search"),
+      global().histogram("svg_retrieval_filter_ns",
+                         "Stage 2: orientation filter + distance"),
+      global().histogram("svg_retrieval_rank_ns",
+                         "Stage 3: distance rank + top-N cut"),
+      global().histogram("svg_retrieval_search_ns",
+                         "Whole pipeline per search"),
+  };
+  return m;
+}
+
+LinkMetrics& link_metrics() {
+  static LinkMetrics m{
+      global().counter("svg_link_messages_up_total",
+                       "Messages sent client→cloud"),
+      global().counter("svg_link_bytes_up_total", "Bytes sent client→cloud"),
+      global().counter("svg_link_messages_down_total",
+                       "Messages sent cloud→client"),
+      global().counter("svg_link_bytes_down_total",
+                       "Bytes sent cloud→client"),
+  };
+  return m;
+}
+
+SegmentationMetrics& segmentation_metrics() {
+  static SegmentationMetrics m{
+      global().counter("svg_segmentation_frames_total",
+                       "FoV frames pushed through client segmenters"),
+      global().counter("svg_segmentation_splits_total",
+                       "Similarity-threshold split decisions"),
+      global().counter("svg_segmentation_segments_total",
+                       "Segments emitted (splits + end-of-recording)"),
+      global().histogram("svg_segmentation_segment_frames",
+                         "Frames per emitted segment", kCountBuckets),
+  };
+  return m;
+}
+
+ThreadPoolMetrics::ThreadPoolMetrics()
+    : queue_depth(global().gauge("svg_threadpool_queue_depth",
+                                 "Tasks queued but not yet started")),
+      tasks(global().counter("svg_threadpool_tasks_total",
+                             "Tasks executed to completion")),
+      task_ns(global().histogram("svg_threadpool_task_ns",
+                                 "Task execution time (excl. queue wait)")) {}
+
+ThreadPoolMetrics& thread_pool_metrics() {
+  static ThreadPoolMetrics m;
+  return m;
+}
+
+void touch_all_families() {
+  (void)server_metrics();
+  (void)index_metrics();
+  (void)retrieval_metrics();
+  (void)link_metrics();
+  (void)segmentation_metrics();
+  (void)thread_pool_metrics();
+}
+
+}  // namespace svg::obs

@@ -1,0 +1,107 @@
+#pragma once
+// The metric families of the capture→index→query pipeline, defined in one
+// place so names stay consistent and every subsystem shares the same
+// process-wide instruments. Each family is a bundle of references into
+// Registry::global(); `shared()` registers on first use and is cheap
+// afterwards, so call sites do
+//
+//   obs::index_metrics().inserts.inc();
+//
+// and pay one relaxed atomic add. touch_all_families() force-registers
+// every family so a scrape shows zeros instead of omitting idle
+// subsystems — the Prometheus "initialize your metrics" rule.
+//
+// Naming: svg_<area>_<what>[_<unit>][_total] — see docs/OBSERVABILITY.md.
+
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace svg::obs {
+
+/// net::CloudServer — ingest and query front door.
+struct ServerMetrics {
+  Counter& uploads_accepted;
+  Counter& uploads_rejected;
+  Counter& reject_decode;       ///< rejection reason: wire decode failed
+  Counter& reject_query_decode; ///< malformed query messages
+  Counter& segments_indexed;
+  Counter& queries;
+  Histogram& upload_ns;  ///< handle_upload wall time (decode + ingest)
+  Histogram& ingest_ns;  ///< index-insertion portion of an upload
+  Histogram& query_ns;   ///< handle_query / search wall time
+};
+
+/// index::ConcurrentFovIndex — the shared R-tree behind the server.
+struct IndexMetrics {
+  Counter& inserts;
+  Counter& erases;
+  Counter& queries;
+  Gauge& size;  ///< live indexed segments
+  Histogram& insert_ns;
+  Histogram& query_ns;
+};
+
+/// retrieval::RetrievalEngine — the rank-based pipeline, per stage.
+struct RetrievalMetrics {
+  Counter& searches;
+  Counter& candidates;    ///< funnel: emitted by the range search
+  Counter& after_filter;  ///< funnel: survived the orientation filter
+  Counter& returned;      ///< funnel: in the final top-N
+  Histogram& range_search_ns;
+  Histogram& filter_ns;
+  Histogram& rank_ns;
+  Histogram& search_ns;  ///< whole pipeline
+};
+
+/// net::Link — bytes and messages crossing the simulated cellular link.
+struct LinkMetrics {
+  Counter& messages_up;
+  Counter& bytes_up;
+  Counter& messages_down;
+  Counter& bytes_down;
+};
+
+/// core segmentation — the client-side real-time pipeline (Algorithm 1).
+struct SegmentationMetrics {
+  Counter& frames;    ///< FoV frames pushed through any segmenter
+  Counter& splits;    ///< split decisions (similarity dropped below thresh)
+  Counter& segments;  ///< segments emitted (splits + finish() flushes)
+  Histogram& segment_frames;  ///< frames per emitted segment
+};
+
+/// util::ThreadPool — implements the util-side observer hook so the pool
+/// itself stays obs-free. Pass `&obs::thread_pool_metrics()` as the pool's
+/// observer (the shared instance outlives any pool).
+class ThreadPoolMetrics final : public util::ThreadPoolObserver {
+ public:
+  Gauge& queue_depth;
+  Counter& tasks;
+  Histogram& task_ns;
+
+  void on_enqueue(std::size_t depth) noexcept override {
+    queue_depth.set(static_cast<std::int64_t>(depth));
+  }
+  void on_dequeue(std::size_t depth) noexcept override {
+    queue_depth.set(static_cast<std::int64_t>(depth));
+  }
+  void on_complete(std::uint64_t ns) noexcept override {
+    tasks.inc();
+    task_ns.observe(ns);
+  }
+
+ private:
+  friend ThreadPoolMetrics& thread_pool_metrics();
+  ThreadPoolMetrics();
+};
+
+[[nodiscard]] ServerMetrics& server_metrics();
+[[nodiscard]] IndexMetrics& index_metrics();
+[[nodiscard]] RetrievalMetrics& retrieval_metrics();
+[[nodiscard]] LinkMetrics& link_metrics();
+[[nodiscard]] SegmentationMetrics& segmentation_metrics();
+[[nodiscard]] ThreadPoolMetrics& thread_pool_metrics();
+
+/// Register every family above so exposition includes idle subsystems.
+void touch_all_families();
+
+}  // namespace svg::obs

@@ -1,0 +1,310 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace svg::obs {
+
+// --- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(HistogramOptions options) {
+  if (options.bucket_count == 0 || options.first_bound == 0 ||
+      options.growth <= 1.0) {
+    throw std::invalid_argument("Histogram: bad bucket layout");
+  }
+  bounds_.reserve(options.bucket_count);
+  double bound = static_cast<double>(options.first_bound);
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < options.bucket_count; ++i) {
+    auto b = static_cast<std::uint64_t>(std::llround(bound));
+    if (b <= prev) b = prev + 1;  // keep bounds strictly increasing
+    bounds_.push_back(b);
+    prev = b;
+    bound *= options.growth;
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  // Hot-path shortcut for exact doubling layouts (the default): verify the
+  // bounds really are first << i (no rounding adjustments, no overflow) so
+  // observe() may use the MSB estimate instead of a binary search.
+  if (options.growth == 2.0) {
+    doubling_ = true;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+      const std::uint64_t expected = bounds_[0] << i;
+      if ((expected >> i) != bounds_[0] || bounds_[i] != expected) {
+        doubling_ = false;
+        break;
+      }
+    }
+    if (doubling_) {
+      first_width_ = static_cast<int>(std::bit_width(bounds_[0]));
+    }
+  }
+}
+
+void Histogram::observe(std::uint64_t value) noexcept {
+  // First bucket whose upper bound admits `value`; one past the end is the
+  // +Inf bucket. bounds_ is immutable after construction, so this needs no
+  // synchronization.
+  std::size_t idx = 0;
+  if (doubling_) {
+    // bounds_[i] = first << i, so the right bucket is within one step of
+    // bit_width(value) - bit_width(first); the two correction loops each
+    // run at most once and make the result exact from any starting guess.
+    if (value > bounds_[0]) {
+      const int est = static_cast<int>(std::bit_width(value)) - first_width_;
+      idx = est < 1 ? 1
+                    : std::min(static_cast<std::size_t>(est), bounds_.size());
+      while (idx > 0 && value <= bounds_[idx - 1]) --idx;
+      while (idx < bounds_.size() && value > bounds_[idx]) ++idx;
+    }
+  } else {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+    idx = static_cast<std::size_t>(it - bounds_.begin());
+  }
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    total += buckets_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::mean() const noexcept {
+  const auto n = count();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+std::vector<std::uint64_t> Histogram::cumulative() const {
+  std::vector<std::uint64_t> cum(bounds_.size() + 1, 0);
+  std::uint64_t running = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    cum[i] = running;
+  }
+  return cum;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+
+  const double target = q * static_cast<double>(total);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const auto before = static_cast<double>(seen);
+    seen += counts[i];
+    if (static_cast<double>(seen) < target) continue;
+    if (i == bounds_.size()) {
+      // Observation past the last finite bound: best honest answer is that
+      // bound (matches Prometheus' histogram_quantile clamp).
+      return static_cast<double>(bounds_.back());
+    }
+    const double lo =
+        i == 0 ? 0.0 : static_cast<double>(bounds_[i - 1]);
+    const double hi = static_cast<double>(bounds_[i]);
+    const double within =
+        (target - before) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+  }
+  return static_cast<double>(bounds_.back());
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+// --- Registry ---------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry instance;
+  return instance;
+}
+
+Registry::Entry& Registry::find_or_create(const std::string& name, Kind kind,
+                                          std::string help,
+                                          const HistogramOptions* options) {
+  std::lock_guard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw std::logic_error("obs::Registry: '" + name +
+                             "' re-registered as a different kind");
+    }
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  e.help = std::move(help);
+  switch (kind) {
+    case Kind::kCounter:
+      e.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      e.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      e.histogram = std::make_unique<Histogram>(options ? *options
+                                                        : HistogramOptions{});
+      break;
+  }
+  return entries_.emplace(name, std::move(e)).first->second;
+}
+
+Counter& Registry::counter(const std::string& name, std::string help) {
+  return *find_or_create(name, Kind::kCounter, std::move(help), nullptr)
+              .counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, std::string help) {
+  return *find_or_create(name, Kind::kGauge, std::move(help), nullptr).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, std::string help,
+                               HistogramOptions options) {
+  return *find_or_create(name, Kind::kHistogram, std::move(help), &options)
+              .histogram;
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        e.counter->reset();
+        break;
+      case Kind::kGauge:
+        e.gauge->reset();
+        break;
+      case Kind::kHistogram:
+        e.histogram->reset();
+        break;
+    }
+  }
+}
+
+void Registry::write_prometheus(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, e] : entries_) {
+    if (!e.help.empty()) os << "# HELP " << name << " " << e.help << "\n";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << name << " counter\n";
+        os << name << " " << e.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << name << " gauge\n";
+        os << name << " " << e.gauge->value() << "\n";
+        break;
+      case Kind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        const auto& bounds = e.histogram->boundaries();
+        const auto cum = e.histogram->cumulative();
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          os << name << "_bucket{le=\"" << bounds[i] << "\"} " << cum[i]
+             << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << cum.back() << "\n";
+        os << name << "_sum " << e.histogram->sum() << "\n";
+        os << name << "_count " << e.histogram->count() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+}  // namespace
+
+void Registry::write_json(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  auto emit_section = [&](Kind kind, const char* title, auto&& body) {
+    os << "\"" << title << "\":{";
+    bool first = true;
+    for (const auto& [name, e] : entries_) {
+      if (e.kind != kind) continue;
+      if (!first) os << ",";
+      first = false;
+      os << "\"";
+      json_escape(os, name);
+      os << "\":";
+      body(e);
+    }
+    os << "}";
+  };
+  os << "{";
+  emit_section(Kind::kCounter, "counters",
+               [&](const Entry& e) { os << e.counter->value(); });
+  os << ",";
+  emit_section(Kind::kGauge, "gauges",
+               [&](const Entry& e) { os << e.gauge->value(); });
+  os << ",";
+  emit_section(Kind::kHistogram, "histograms", [&](const Entry& e) {
+    const auto& h = *e.histogram;
+    os << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
+       << ",\"mean\":" << h.mean() << ",\"p50\":" << h.quantile(0.50)
+       << ",\"p90\":" << h.quantile(0.90) << ",\"p99\":" << h.quantile(0.99)
+       << "}";
+  });
+  os << "}\n";
+}
+
+util::Table Registry::to_table() const {
+  std::lock_guard lock(mutex_);
+  util::Table table({"metric", "type", "value", "count", "mean", "p50",
+                     "p90", "p99"});
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        table.add_row({name, "counter", util::Table::num(e.counter->value()),
+                       "", "", "", "", ""});
+        break;
+      case Kind::kGauge:
+        table.add_row({name, "gauge", util::Table::num(e.gauge->value()), "",
+                       "", "", "", ""});
+        break;
+      case Kind::kHistogram: {
+        const auto& h = *e.histogram;
+        table.add_row({name, "histogram", "", util::Table::num(h.count()),
+                       util::Table::num(h.mean(), 1),
+                       util::Table::num(h.quantile(0.50), 1),
+                       util::Table::num(h.quantile(0.90), 1),
+                       util::Table::num(h.quantile(0.99), 1)});
+        break;
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace svg::obs

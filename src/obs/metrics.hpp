@@ -1,0 +1,178 @@
+#pragma once
+// Process-wide observability primitives: named counters, gauges, and
+// fixed-bucket log-scale histograms behind a thread-safe registry.
+//
+// Design constraints (this sits on the retrieval hot path):
+// * Mutation is lock-free — every instrument is a bundle of relaxed
+//   atomics; the registry mutex is taken only at registration and at
+//   exposition time. Registration is idempotent, so call sites cache a
+//   reference in a function-local static and pay one atomic add per event.
+// * Exposition never stops the world: it reads each atomic independently,
+//   so a scrape taken mid-update may be torn *across* instruments but each
+//   individual counter/bucket is exact and monotone.
+// * Histograms use immutable bucket boundaries fixed at registration —
+//   observe() is a read-only bucket lookup plus two relaxed adds.
+//   Percentiles are reconstructed from bucket counts at read time
+//   (linear interpolation within the winning bucket), which is the usual
+//   Prometheus-style trade: cheap writes, approximate quantiles.
+//
+// Naming scheme (enforced only by convention, documented in
+// docs/OBSERVABILITY.md): svg_<area>_<what>[_<unit>][_total]; counters end
+// in _total, nanosecond histograms end in _ns.
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace svg::util {
+class Table;
+}
+
+namespace svg::obs {
+
+/// Monotone event count. Wrapper over one relaxed atomic.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, index size, live workers).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void sub(std::int64_t n) noexcept {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Bucket layout for a Histogram: `count` buckets with upper bounds
+/// first, first*growth, first*growth², …, plus an implicit +Inf bucket.
+/// The default (1 µs doubling ×32) spans 1 µs … ~35 min, which covers
+/// every latency this system produces; value histograms (candidate
+/// counts, segment lengths) pass {1, 2, 24} to start at one.
+struct HistogramOptions {
+  std::uint64_t first_bound = 1'000;  ///< upper bound of bucket 0
+  double growth = 2.0;                ///< geometric bucket growth factor
+  std::size_t bucket_count = 32;      ///< finite buckets before +Inf
+};
+
+/// Fixed-bucket log-scale histogram. observe() is two relaxed adds plus the
+/// bucket lookup — an MSB-based estimate for doubling layouts (the
+/// default), a binary search otherwise; snapshots and percentiles are
+/// computed from the bucket counts on demand.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+
+  void observe(std::uint64_t value) noexcept;
+
+  /// Total observations, derived from the bucket counts (no dedicated
+  /// atomic on the write path).
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Mean of all observations (0 when empty).
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Approximate quantile, q in [0, 1]: linear interpolation inside the
+  /// bucket holding the q-th observation. q over the +Inf bucket returns
+  /// the largest finite boundary. 0 when empty.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Upper bounds of the finite buckets (immutable after construction).
+  [[nodiscard]] const std::vector<std::uint64_t>& boundaries()
+      const noexcept {
+    return bounds_;
+  }
+  /// Cumulative count at each finite boundary plus the +Inf total — the
+  /// exact shape Prometheus text exposition wants.
+  [[nodiscard]] std::vector<std::uint64_t> cumulative() const;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_+Inf
+  std::atomic<std::uint64_t> sum_{0};
+  bool doubling_ = false;  ///< bounds_[i] == bounds_[0] << i exactly
+  int first_width_ = 0;    ///< bit_width(bounds_[0]) when doubling_
+};
+
+/// Named instrument store. Registration is idempotent (same name returns
+/// the same instrument) and the returned references live as long as the
+/// registry, so hot paths cache them. Re-registering a name as a different
+/// kind throws std::logic_error — a naming bug worth failing loudly on.
+class Registry {
+ public:
+  Counter& counter(const std::string& name, std::string help = "");
+  Gauge& gauge(const std::string& name, std::string help = "");
+  Histogram& histogram(const std::string& name, std::string help = "",
+                       HistogramOptions options = {});
+
+  /// Zero every instrument. References stay valid — reset() never
+  /// unregisters. Meant for tests and for --metrics-out runs that want a
+  /// clean slate.
+  void reset();
+
+  /// Prometheus text exposition format, names sorted. Histograms emit
+  /// cumulative le-labelled buckets, _sum and _count; units are whatever
+  /// the metric name says (this system: nanoseconds).
+  void write_prometheus(std::ostream& os) const;
+  /// One JSON object: {"counters":{..}, "gauges":{..}, "histograms":
+  /// {name: {count,sum,mean,p50,p90,p99}}}.
+  void write_json(std::ostream& os) const;
+  /// Human summary via util::Table: one row per instrument with value /
+  /// count / mean / p50 / p90 / p99 columns.
+  [[nodiscard]] util::Table to_table() const;
+
+  /// The process-wide registry every built-in instrument registers with.
+  static Registry& global();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, Kind kind, std::string help,
+                        const HistogramOptions* options);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Shorthand for Registry::global().
+inline Registry& global() { return Registry::global(); }
+
+}  // namespace svg::obs

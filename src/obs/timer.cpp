@@ -1,0 +1,31 @@
+#include "obs/timer.hpp"
+
+namespace svg::obs::detail {
+
+#if SVG_OBS_TSC
+
+const TscCalibration& tsc_calibration() noexcept {
+  // Thread-safe first-use initialization. Calibration spins ~1 ms against
+  // steady_clock — paid once per process, and only by processes that time
+  // something. Invariant-TSC drift against the OS clock is ppm-level, far
+  // below what a latency histogram can resolve.
+  static const TscCalibration calibration = [] {
+    const std::uint64_t ns0 = steady_now_ns();
+    const std::uint64_t tick0 = __rdtsc();
+    while (steady_now_ns() - ns0 < 1'000'000) {
+    }
+    const std::uint64_t ns1 = steady_now_ns();
+    const std::uint64_t tick1 = __rdtsc();
+    TscCalibration c;
+    c.base_ticks = tick1;
+    c.base_ns = ns1;
+    c.ns_per_tick = static_cast<double>(ns1 - ns0) /
+                    static_cast<double>(tick1 - tick0);
+    return c;
+  }();
+  return calibration;
+}
+
+#endif  // SVG_OBS_TSC
+
+}  // namespace svg::obs::detail

@@ -15,8 +15,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "geo/angle.hpp"
+#include "obs/families.hpp"
+#include "obs/timer.hpp"
 #include "retrieval/query.hpp"
 
 namespace svg::retrieval {
@@ -38,47 +41,83 @@ struct RetrievalConfig {
   double box_expansion = 0.0;
 };
 
-/// Statistics from one search — the cost metrics Fig. 6(c) reports.
+/// Statistics from one search — the cost metrics Fig. 6(c) reports, plus
+/// per-stage wall-clock so a single trace explains where a slow query went.
+///
+/// Funnel counters:
+///   candidates   → FoVs the spatio-temporal range search emitted
+///   after_filter → survivors of the orientation filter (step 3)
+///   returned     → final top-N
+/// Stage timings (monotonic nanoseconds; 0 when the search ran untraced):
+///   range_search_ns → index range query, candidate collection included
+///   filter_ns       → orientation test + camera-to-centre distance
+///   rank_ns         → partial sort by distance + top-N cut
+///   total_ns        → the whole pipeline (≥ the sum of the stages)
 struct SearchTrace {
-  std::size_t candidates = 0;  ///< from the range search
+  std::size_t candidates = 0;
   std::size_t after_filter = 0;
   std::size_t returned = 0;
+  std::uint64_t range_search_ns = 0;
+  std::uint64_t filter_ns = 0;
+  std::uint64_t rank_ns = 0;
+  std::uint64_t total_ns = 0;
 };
 
 template <typename Index>
 class RetrievalEngine {
  public:
-  RetrievalEngine(const Index& index, RetrievalConfig config) noexcept
-      : index_(&index), config_(config) {}
+  /// `metrics` feeds the process-wide svg_retrieval_* family; the default
+  /// is the shared instance. Pass nullptr for an uninstrumented engine —
+  /// with no metrics and no trace the pipeline does zero clock reads
+  /// (bench_obs_overhead measures exactly this delta).
+  RetrievalEngine(const Index& index, RetrievalConfig config,
+                  obs::RetrievalMetrics* metrics =
+                      &obs::retrieval_metrics()) noexcept
+      : index_(&index), config_(config), metrics_(metrics) {}
 
   [[nodiscard]] const RetrievalConfig& config() const noexcept {
     return config_;
   }
 
-  /// Execute the full pipeline; `trace` (optional) receives cost counters.
+  /// Execute the full pipeline; `trace` (optional) receives the funnel
+  /// counters and per-stage timings documented on SearchTrace. Timing costs
+  /// four clock reads per search — never one per candidate.
   [[nodiscard]] std::vector<RankedResult> search(
       const Query& q, SearchTrace* trace = nullptr) const {
+    const bool timed = metrics_ != nullptr || trace != nullptr;
+    const std::uint64_t t0 = timed ? obs::now_ns() : 0;
+
     const double expansion = config_.box_expansion > 0.0
                                  ? config_.box_expansion
                                  : lossless_expansion(q, config_.camera);
     const index::GeoTimeRange range = make_search_range(q, expansion);
 
-    std::vector<RankedResult> hits;
-    std::size_t candidates = 0;
+    // Stage 1 — range search: collect every FoV in the expanded rectangle.
+    std::vector<core::RepresentativeFov> candidates;
     index_->query(range, [&](const core::RepresentativeFov& rep) {
-      ++candidates;
+      candidates.push_back(rep);
+    });
+    const std::uint64_t t1 = timed ? obs::now_ns() : 0;
+
+    // Stage 2 — orientation filter: keep FoVs whose viewing sector covers
+    // the query centre; compute the ranking distance as a by-product.
+    std::vector<RankedResult> hits;
+    hits.reserve(candidates.size());
+    for (const core::RepresentativeFov& rep : candidates) {
       const geo::Vec2 disp = geo::displacement_m(rep.fov.p, q.center);
       const double dist = disp.norm();
       if (config_.orientation_filter && !passes_orientation(rep, disp, dist)) {
-        return;
+        continue;
       }
       RankedResult r;
       r.rep = rep;
       r.distance_m = dist;
       r.relevance = 1.0 / (1.0 + dist / std::max(1.0, q.radius_m));
       hits.push_back(std::move(r));
-    });
+    }
+    const std::uint64_t t2 = timed ? obs::now_ns() : 0;
 
+    // Stage 3 — rank survivors by distance, cut to top-N.
     const std::size_t kept = hits.size();
     const std::size_t n = std::min(config_.top_n, hits.size());
     std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(n),
@@ -87,11 +126,26 @@ class RetrievalEngine {
                         return a.distance_m < b.distance_m;
                       });
     hits.resize(n);
+    const std::uint64_t t3 = timed ? obs::now_ns() : 0;
 
-    if (trace) {
-      trace->candidates = candidates;
+    if (metrics_ != nullptr) {
+      metrics_->searches.inc();
+      metrics_->candidates.inc(candidates.size());
+      metrics_->after_filter.inc(kept);
+      metrics_->returned.inc(hits.size());
+      metrics_->range_search_ns.observe(t1 - t0);
+      metrics_->filter_ns.observe(t2 - t1);
+      metrics_->rank_ns.observe(t3 - t2);
+      metrics_->search_ns.observe(t3 - t0);
+    }
+    if (trace != nullptr) {
+      trace->candidates = candidates.size();
       trace->after_filter = kept;
       trace->returned = hits.size();
+      trace->range_search_ns = t1 - t0;
+      trace->filter_ns = t2 - t1;
+      trace->rank_ns = t3 - t2;
+      trace->total_ns = t3 - t0;
     }
     return hits;
   }
@@ -112,6 +166,7 @@ class RetrievalEngine {
 
   const Index* index_;
   RetrievalConfig config_;
+  obs::RetrievalMetrics* metrics_;
 };
 
 }  // namespace svg::retrieval

@@ -1,10 +1,12 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace svg::util {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, ThreadPoolObserver* observer)
+    : observer_(observer) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -38,14 +40,29 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++active_;
+      if (observer_ != nullptr) observer_->on_dequeue(queue_.size());
     }
-    task();
+    if (observer_ != nullptr) {
+      const auto start = std::chrono::steady_clock::now();
+      task();
+      observer_->on_complete(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+    } else {
+      task();
+    }
     {
       std::lock_guard lock(mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }
   }
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
 }
 
 void ThreadPool::wait_idle() {

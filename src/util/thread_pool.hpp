@@ -5,6 +5,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -16,10 +17,31 @@
 
 namespace svg::util {
 
+/// Observation hook for pool instrumentation. util stays free of the obs
+/// layer; obs::ThreadPoolMetrics implements this to feed the process-wide
+/// queue-depth gauge and task-latency histogram. Callbacks run on pool
+/// threads (enqueue: caller thread) and must be cheap and non-blocking.
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+  /// A task entered the queue; `queue_depth` counts it.
+  virtual void on_enqueue(std::size_t queue_depth) noexcept = 0;
+  /// A worker dequeued a task and is about to run it.
+  virtual void on_dequeue(std::size_t queue_depth) noexcept = 0;
+  /// A task finished after `task_ns` nanoseconds of execution. Fires after
+  /// the task's future is satisfied, so a reader synchronizing on a future
+  /// may observe the completion before this callback lands; `wait_idle()`
+  /// is the consistency point (workers decrement the active count only
+  /// after on_complete returns).
+  virtual void on_complete(std::uint64_t task_ns) noexcept = 0;
+};
+
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (hardware_concurrency when 0).
-  explicit ThreadPool(std::size_t threads = 0);
+  /// Spawns `threads` workers (hardware_concurrency when 0). The observer,
+  /// when given, must outlive the pool.
+  explicit ThreadPool(std::size_t threads = 0,
+                      ThreadPoolObserver* observer = nullptr);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -42,6 +64,7 @@ class ThreadPool {
         throw std::runtime_error("ThreadPool: submit after shutdown");
       }
       queue_.emplace_back([task]() { (*task)(); });
+      if (observer_ != nullptr) observer_->on_enqueue(queue_.size());
     }
     cv_.notify_one();
     return fut;
@@ -52,6 +75,9 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Tasks queued but not yet started (instantaneous; racy by nature).
+  [[nodiscard]] std::size_t queue_depth() const;
+
   /// Run fn(i) for i in [0, n) across the pool and wait for completion.
   /// Work is divided into contiguous chunks, one per worker.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
@@ -60,8 +86,9 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
+  ThreadPoolObserver* observer_ = nullptr;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::size_t active_ = 0;

@@ -1,0 +1,151 @@
+// CloudServer stats semantics pinned: the single consistent read path in
+// stats(), reset_stats(), and exact counting under a multi-threaded
+// upload/query hammer — both the per-instance ServerStats and the
+// process-wide svg_server_* metric family must sum exactly (no lost
+// increments). Run with -DSVG_SANITIZE=thread to race-check the whole path.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "obs/families.hpp"
+#include "sim/sensors.hpp"
+#include "sim/trajectory.hpp"
+
+namespace {
+
+using namespace svg::net;
+using svg::core::CameraIntrinsics;
+using svg::core::SimilarityModel;
+using svg::geo::LatLng;
+using svg::geo::offset_m;
+
+const LatLng kCenter{39.9042, 116.4074};
+const CameraIntrinsics kCam{30.0, 100.0};
+
+/// One wire-encoded upload captured from a short walk towards the centre.
+std::vector<std::uint8_t> make_upload(std::uint64_t video_id,
+                                      std::size_t* segments_out = nullptr) {
+  svg::sim::StraightTrajectory traj(offset_m(kCenter, 0, -50), 0.0, 1.4,
+                                    30.0, 0.0);
+  svg::sim::SensorSampler sampler(svg::sim::SensorNoiseConfig::ideal(),
+                                  {30.0, 1'000'000});
+  svg::util::Xoshiro256 rng(video_id);
+  const SimilarityModel model(kCam);
+  MobileClient client(video_id, model, {0.5});
+  const auto msg =
+      capture_session(client, sampler.sample(traj, rng));
+  if (segments_out != nullptr) *segments_out = msg.segments.size();
+  return encode_upload(msg);
+}
+
+std::vector<std::uint8_t> make_query_bytes() {
+  QueryMessage qm;
+  qm.t_start = 1'000'000;
+  qm.t_end = 1'000'000 + 30'000;
+  qm.center = kCenter;
+  qm.radius_m = 40.0;
+  qm.top_n = 5;
+  return encode_query(qm);
+}
+
+TEST(ServerStatsTest, SnapshotReflectsAllFourCounters) {
+  CloudServer server({}, {.camera = kCam});
+  std::size_t segments = 0;
+  const auto upload = make_upload(1, &segments);
+  ASSERT_TRUE(server.handle_upload(upload));
+  EXPECT_FALSE(
+      server.handle_upload(std::vector<std::uint8_t>{0xFF, 0x00, 0x12}));
+  ASSERT_TRUE(server.handle_query(make_query_bytes()).has_value());
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.uploads_accepted, 1u);
+  EXPECT_EQ(s.uploads_rejected, 1u);
+  EXPECT_EQ(s.segments_indexed, segments);
+  EXPECT_EQ(s.queries_served, 1u);
+}
+
+TEST(ServerStatsTest, ResetZeroesTheSnapshot) {
+  CloudServer server({}, {.camera = kCam});
+  ASSERT_TRUE(server.handle_upload(make_upload(2)));
+  ASSERT_TRUE(server.handle_query(make_query_bytes()).has_value());
+  server.reset_stats();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.uploads_accepted, 0u);
+  EXPECT_EQ(s.uploads_rejected, 0u);
+  EXPECT_EQ(s.segments_indexed, 0u);
+  EXPECT_EQ(s.queries_served, 0u);
+  // The index itself is untouched — reset_stats is counters only.
+  EXPECT_GT(server.indexed_segments(), 0u);
+}
+
+// N threads × M iterations of accept + reject + query; every counter must
+// sum exactly, in ServerStats and in the process-wide metric family alike.
+TEST(ServerStatsTest, ConcurrentHammerLosesNoIncrements) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 200;
+
+  CloudServer server({}, {.camera = kCam});
+  std::size_t segments_per_upload = 0;
+  const auto upload = make_upload(3, &segments_per_upload);
+  ASSERT_GT(segments_per_upload, 0u);
+  const auto query = make_query_bytes();
+  const std::vector<std::uint8_t> garbage{0xDE, 0xAD, 0xBE, 0xEF};
+
+  // Process-wide counters are shared across tests in this binary, so assert
+  // on deltas.
+  auto& m = svg::obs::server_metrics();
+  const auto accepted0 = m.uploads_accepted.value();
+  const auto rejected0 = m.uploads_rejected.value();
+  const auto indexed0 = m.segments_indexed.value();
+  const auto queries0 = m.queries.value();
+  const auto upload_obs0 = m.upload_ns.count();
+  const auto query_obs0 = m.query_ns.count();
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::size_t i = 0; i < kIters; ++i) {
+        EXPECT_TRUE(server.handle_upload(upload));
+        EXPECT_FALSE(server.handle_upload(garbage));
+        EXPECT_TRUE(server.handle_query(query).has_value());
+      }
+    });
+  }
+  // A concurrent reader pins the stats() ordering invariant: any accepted
+  // upload it observes must have all of its segments already visible.
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const ServerStats s = server.stats();
+      EXPECT_GE(s.segments_indexed, s.uploads_accepted * segments_per_upload);
+    }
+  });
+  for (auto& t : threads) t.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  constexpr std::uint64_t kOps = kThreads * kIters;
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.uploads_accepted, kOps);
+  EXPECT_EQ(s.uploads_rejected, kOps);
+  EXPECT_EQ(s.segments_indexed, kOps * segments_per_upload);
+  EXPECT_EQ(s.queries_served, kOps);
+  EXPECT_EQ(server.indexed_segments(), kOps * segments_per_upload);
+
+  EXPECT_EQ(m.uploads_accepted.value() - accepted0, kOps);
+  EXPECT_EQ(m.uploads_rejected.value() - rejected0, kOps);
+  EXPECT_EQ(m.segments_indexed.value() - indexed0, kOps * segments_per_upload);
+  EXPECT_EQ(m.queries.value() - queries0, kOps);
+  // Histogram observation counts line up with the op counts: one upload_ns
+  // sample per handle_upload (accepted or rejected), one query_ns per query.
+  EXPECT_EQ(m.upload_ns.count() - upload_obs0, 2 * kOps);
+  EXPECT_EQ(m.query_ns.count() - query_obs0, kOps);
+}
+
+}  // namespace

@@ -1,0 +1,279 @@
+// Unit tests for the observability primitives: histogram bucket layout and
+// percentile extraction, registry semantics, exposition formats — plus the
+// multi-threaded hammer that TSan runs against the lock-free hot path
+// (configure with -DSVG_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+#include "obs/families.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timer.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace svg::obs;
+
+TEST(CounterTest, IncAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge g;
+  g.set(10);
+  g.add(5);
+  g.sub(20);
+  EXPECT_EQ(g.value(), -5);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(HistogramTest, BucketBoundariesAreGeometric) {
+  Histogram h({1'000, 2.0, 4});
+  const std::vector<std::uint64_t> expected{1'000, 2'000, 4'000, 8'000};
+  EXPECT_EQ(h.boundaries(), expected);
+}
+
+TEST(HistogramTest, DegenerateGrowthKeepsBoundsStrictlyIncreasing) {
+  // growth barely above 1: rounding would repeat bounds without the +1 fix.
+  Histogram h({1, 1.0001, 8});
+  const auto& b = h.boundaries();
+  for (std::size_t i = 1; i < b.size(); ++i) {
+    EXPECT_GT(b[i], b[i - 1]) << "at " << i;
+  }
+}
+
+TEST(HistogramTest, RejectsBadLayout) {
+  EXPECT_THROW(Histogram({0, 2.0, 4}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1'000, 1.0, 4}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1'000, 2.0, 0}), std::invalid_argument);
+}
+
+TEST(HistogramTest, ObserveRoutesToCorrectBucket) {
+  Histogram h({1'000, 2.0, 4});  // bounds 1000 2000 4000 8000 (+Inf)
+  h.observe(0);       // bucket 0 (le 1000)
+  h.observe(1'000);   // bucket 0 — bounds are inclusive upper limits
+  h.observe(1'001);   // bucket 1 (le 2000)
+  h.observe(8'000);   // bucket 3
+  h.observe(8'001);   // +Inf
+  const auto cum = h.cumulative();
+  ASSERT_EQ(cum.size(), 5u);
+  EXPECT_EQ(cum[0], 2u);
+  EXPECT_EQ(cum[1], 3u);
+  EXPECT_EQ(cum[2], 3u);
+  EXPECT_EQ(cum[3], 4u);
+  EXPECT_EQ(cum[4], 5u);  // +Inf cumulative == total
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 1'000 + 1'001 + 8'000 + 8'001);
+}
+
+TEST(HistogramTest, QuantileInterpolatesWithinBucket) {
+  Histogram h({1'000, 2.0, 4});
+  for (int i = 0; i < 100; ++i) h.observe(500);  // all in bucket [0, 1000]
+  // Linear interpolation across the winning bucket: q maps to q * width.
+  EXPECT_DOUBLE_EQ(h.quantile(0.50), 500.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 990.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.00), 1'000.0);
+}
+
+TEST(HistogramTest, QuantileAcrossBuckets) {
+  Histogram h({1'000, 2.0, 4});
+  // 50 observations in bucket 0, 50 in bucket 1.
+  for (int i = 0; i < 50; ++i) h.observe(400);
+  for (int i = 0; i < 50; ++i) h.observe(1'500);
+  // p25 → middle of bucket 0; p75 → middle of bucket 1 ([1000, 2000]).
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 500.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 1'500.0);
+}
+
+TEST(HistogramTest, QuantileClampsToLastFiniteBound) {
+  Histogram h({1'000, 2.0, 4});
+  h.observe(1'000'000);  // +Inf bucket
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 8'000.0);
+}
+
+TEST(HistogramTest, EmptyAndMeanAndReset) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  h.observe(10);
+  h.observe(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(RegistryTest, RegistrationIsIdempotent) {
+  Registry r;
+  Counter& a = r.counter("x_total");
+  Counter& b = r.counter("x_total");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(RegistryTest, KindMismatchThrows) {
+  Registry r;
+  r.counter("metric");
+  EXPECT_THROW(r.gauge("metric"), std::logic_error);
+  EXPECT_THROW(r.histogram("metric"), std::logic_error);
+}
+
+TEST(RegistryTest, ResetZeroesEverythingButKeepsReferences) {
+  Registry r;
+  Counter& c = r.counter("c_total");
+  Gauge& g = r.gauge("g");
+  Histogram& h = r.histogram("h_ns");
+  c.inc(7);
+  g.set(3);
+  h.observe(100);
+  r.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(RegistryTest, PrometheusExposition) {
+  Registry r;
+  r.counter("svg_test_events_total", "events").inc(3);
+  r.gauge("svg_test_depth", "depth").set(-2);
+  Histogram& h = r.histogram("svg_test_lat_ns", "latency", {1'000, 2.0, 2});
+  h.observe(500);
+  h.observe(3'000);
+
+  std::ostringstream os;
+  r.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# HELP svg_test_events_total events\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE svg_test_events_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svg_test_events_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE svg_test_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("svg_test_depth -2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE svg_test_lat_ns histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svg_test_lat_ns_bucket{le=\"1000\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svg_test_lat_ns_bucket{le=\"2000\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svg_test_lat_ns_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("svg_test_lat_ns_sum 3500\n"), std::string::npos);
+  EXPECT_NE(text.find("svg_test_lat_ns_count 2\n"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonExposition) {
+  Registry r;
+  r.counter("c_total").inc(5);
+  r.gauge("g").set(9);
+  r.histogram("h_ns").observe(1'000);
+  std::ostringstream os;
+  r.write_json(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"counters\":{\"c_total\":5}"), std::string::npos);
+  EXPECT_NE(text.find("\"gauges\":{\"g\":9}"), std::string::npos);
+  EXPECT_NE(text.find("\"h_ns\":{\"count\":1,\"sum\":1000"),
+            std::string::npos);
+}
+
+TEST(RegistryTest, TableHasOneRowPerInstrument) {
+  Registry r;
+  r.counter("a_total");
+  r.gauge("b");
+  r.histogram("c_ns");
+  EXPECT_EQ(r.to_table().rows(), 3u);
+}
+
+TEST(ScopedTimerTest, RecordsOnDestructionAndStop) {
+  Histogram h;
+  {
+    ScopedTimer t(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  ScopedTimer t2(h);
+  t2.stop();
+  t2.stop();  // disarmed: second stop must not double-record
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(FamiliesTest, TouchAllRegistersEverySubsystem) {
+  touch_all_families();
+  std::ostringstream os;
+  global().write_prometheus(os);
+  const std::string text = os.str();
+  for (const char* name :
+       {"svg_server_uploads_accepted_total", "svg_index_inserts_total",
+        "svg_retrieval_range_search_ns", "svg_link_bytes_up_total",
+        "svg_segmentation_frames_total", "svg_threadpool_queue_depth"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+}
+
+// The TSan target: every thread hammers the same instruments through the
+// registry (registration races included) and the totals must come out
+// exact — the relaxed-atomic hot path may not lose increments.
+TEST(RegistryConcurrencyTest, NoLostIncrementsUnderContention) {
+  Registry r;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&r] {
+      Counter& c = r.counter("hammer_total");
+      Gauge& g = r.gauge("hammer_depth");
+      Histogram& h = r.histogram("hammer_ns", "", {1'000, 2.0, 8});
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        g.add(1);
+        h.observe(static_cast<std::uint64_t>(i % 3'000));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(r.counter("hammer_total").value(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(r.gauge("hammer_depth").value(),
+            static_cast<std::int64_t>(kThreads) * kIters);
+  Histogram& h = r.histogram("hammer_ns");
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.cumulative().back(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+// Scrapes running concurrently with writers must be race-free (TSan) and
+// monotone per counter.
+TEST(RegistryConcurrencyTest, ScrapeDuringWritesIsConsistent) {
+  Registry r;
+  Counter& c = r.counter("scrape_total");
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 100'000; ++i) c.inc();
+    done.store(true);
+  });
+  std::uint64_t prev = 0;
+  while (!done.load()) {
+    std::ostringstream os;
+    r.write_prometheus(os);
+    const std::uint64_t now = c.value();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+  writer.join();
+  EXPECT_EQ(c.value(), 100'000u);
+}
+
+}  // namespace

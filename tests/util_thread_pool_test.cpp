@@ -11,6 +11,7 @@
 namespace {
 
 using svg::util::ThreadPool;
+using svg::util::ThreadPoolObserver;
 
 TEST(ThreadPoolTest, SubmitReturnsResult) {
   ThreadPool pool(2);
@@ -97,6 +98,42 @@ TEST(ThreadPoolTest, DestructorJoinsCleanly) {
     pool.wait_idle();
   }
   EXPECT_EQ(done.load(), 8);
+}
+
+/// Counts observer callbacks; enqueue/dequeue depths are checked only for
+/// plausibility (depth reporting is inherently racy across workers).
+class RecordingObserver final : public ThreadPoolObserver {
+ public:
+  std::atomic<std::size_t> enqueues{0};
+  std::atomic<std::size_t> dequeues{0};
+  std::atomic<std::size_t> completes{0};
+  std::atomic<std::uint64_t> total_ns{0};
+
+  void on_enqueue(std::size_t) noexcept override { enqueues.fetch_add(1); }
+  void on_dequeue(std::size_t) noexcept override { dequeues.fetch_add(1); }
+  void on_complete(std::uint64_t ns) noexcept override {
+    completes.fetch_add(1);
+    total_ns.fetch_add(ns);
+  }
+};
+
+TEST(ThreadPoolTest, ObserverSeesEveryTaskExactlyOnce) {
+  RecordingObserver obs;
+  constexpr std::size_t kTasks = 64;
+  {
+    ThreadPool pool(4, &obs);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      pool.submit([] {
+        std::this_thread::sleep_for(std::chrono::microseconds(10));
+      });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(pool.queue_depth(), 0u);
+  }
+  EXPECT_EQ(obs.enqueues.load(), kTasks);
+  EXPECT_EQ(obs.dequeues.load(), kTasks);
+  EXPECT_EQ(obs.completes.load(), kTasks);
+  EXPECT_GT(obs.total_ns.load(), 0u);
 }
 
 }  // namespace
