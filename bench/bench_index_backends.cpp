@@ -9,6 +9,7 @@
 #include "index/fov_index.hpp"
 #include "index/grid_index.hpp"
 #include "index/kdtree_index.hpp"
+#include "index/sharded_fov_index.hpp"
 #include "sim/crowd.hpp"
 #include "util/stats.hpp"
 #include "util/stopwatch.hpp"
@@ -83,6 +84,15 @@ int main() {
     util::Stopwatch sw;
     const index::KdTreeIndex kd(reps);
     run_queries(kd, "kd-tree (static, t_start)", sw.elapsed_ms());
+  }
+  {
+    // Single-threaded view of the sharded backend: measures the pure cost
+    // of visiting K R-trees per query (its win — lock independence under
+    // mixed load — is bench_index_contention's subject).
+    index::ShardedFovIndex sharded({.shards = 8});
+    util::Stopwatch sw;
+    sharded.insert_batch(reps);
+    run_queries(sharded, "sharded R-tree (8 shards)", sw.elapsed_ms());
   }
   table.print(std::cout);
 

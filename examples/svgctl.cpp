@@ -8,9 +8,12 @@
 //       print corpus statistics
 //   svgctl query --in corpus.svgx --lat 39.9042 --lng 116.4074
 //                --radius 50 --from 0 --to 9999999999999 [--top 10]
+//                [--backend single|sharded] [--shards K]
 //       load the snapshot into a CloudServer, run one retrieval through the
 //       full instrumented stack, print results + per-stage timings + a
-//       process-metrics stats section
+//       process-metrics stats section. --backend sharded selects the
+//       K-way sharded index (K = --shards, 0/default = hardware
+//       concurrency); see docs/PERFORMANCE.md for when that wins.
 //
 // Observability flags (query and generate):
 //   --metrics-out <file|->   dump the process metric registry after the run
@@ -188,10 +191,20 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
   cfg.orientation_slack_deg = flag_num(flags, "slack", 10.0);
   cfg.top_n = static_cast<std::size_t>(flag_num(flags, "top", 10));
 
+  net::ServerIndexConfig icfg;
+  const auto backend = flag_str(flags, "backend", "single");
+  if (backend == "sharded") {
+    icfg.backend = net::ServerIndexConfig::Backend::kSharded;
+    icfg.shards = static_cast<std::size_t>(flag_num(flags, "shards", 0));
+  } else if (backend != "single") {
+    std::cerr << "error: --backend must be single or sharded\n";
+    return 1;
+  }
+
   // Go through CloudServer so the run exercises the production path: the
-  // concurrent index (svg_index_*), the retrieval pipeline
+  // selected index backend (svg_index_*), the retrieval pipeline
   // (svg_retrieval_*), and the server boundary (svg_server_*).
-  net::CloudServer server({}, cfg);
+  net::CloudServer server(icfg, cfg);
   const auto loaded = server.load_snapshot(in);
   if (!loaded) {
     std::cerr << "error: cannot read " << in << "\n";

@@ -48,10 +48,7 @@ bool FovIndex::erase(FovHandle handle) {
 }
 
 void FovIndex::query(const GeoTimeRange& range, const Visitor& visit) const {
-  const geo::Box3 qbox = to_box(range);
-  tree_.query(qbox, [&](const geo::Box3&, const FovHandle& h) {
-    visit(slots_[h]);
-  });
+  query(range, [&](const core::RepresentativeFov& rep) { visit(rep); });
 }
 
 std::vector<core::RepresentativeFov> FovIndex::query_collect(
@@ -132,16 +129,7 @@ bool LinearIndex::erase(FovHandle handle) {
 
 void LinearIndex::query(const GeoTimeRange& range,
                         const Visitor& visit) const {
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (!alive_[i]) continue;
-    const auto& rep = slots_[i];
-    if (rep.fov.p.lng < range.lng_min || rep.fov.p.lng > range.lng_max ||
-        rep.fov.p.lat < range.lat_min || rep.fov.p.lat > range.lat_max) {
-      continue;
-    }
-    if (rep.t_end < range.t_start || rep.t_start > range.t_end) continue;
-    visit(rep);
-  }
+  query(range, [&](const core::RepresentativeFov& rep) { visit(rep); });
 }
 
 std::vector<core::RepresentativeFov> LinearIndex::query_collect(

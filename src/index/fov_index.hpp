@@ -11,6 +11,7 @@
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <vector>
 
 #include "core/fov.hpp"
@@ -54,7 +55,17 @@ class FovIndex {
   /// handles.
   bool erase(FovHandle handle);
 
-  /// Visit every stored FoV whose rectangle intersects the range.
+  /// Visit every stored FoV whose rectangle intersects the range. The
+  /// visitor is a template parameter so the R-tree descent inlines the
+  /// per-candidate call — no type erasure on the hot path.
+  template <typename F>
+  void query(const GeoTimeRange& range, F&& visit) const {
+    tree_.query(to_box(range),
+                [&](const geo::Box3&, const FovHandle& h) { visit(slots_[h]); });
+  }
+
+  /// Thin adapter for callers that already hold a std::function (and for
+  /// virtual-dispatch call sites); pays one indirect call per candidate.
   void query(const GeoTimeRange& range, const Visitor& visit) const;
 
   /// Convenience: collect matches.
@@ -99,6 +110,19 @@ class LinearIndex {
 
   FovHandle insert(const core::RepresentativeFov& rep);
   bool erase(FovHandle handle);
+  template <typename F>
+  void query(const GeoTimeRange& range, F&& visit) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (!alive_[i]) continue;
+      const auto& rep = slots_[i];
+      if (rep.fov.p.lng < range.lng_min || rep.fov.p.lng > range.lng_max ||
+          rep.fov.p.lat < range.lat_min || rep.fov.p.lat > range.lat_max) {
+        continue;
+      }
+      if (rep.t_end < range.t_start || rep.t_start > range.t_end) continue;
+      visit(rep);
+    }
+  }
   void query(const GeoTimeRange& range, const Visitor& visit) const;
   [[nodiscard]] std::vector<core::RepresentativeFov> query_collect(
       const GeoTimeRange& range) const;
@@ -130,6 +154,21 @@ class ConcurrentFovIndex {
     return h;
   }
 
+  /// Insert a whole upload's segments under one writer-lock acquisition.
+  /// Each acquisition of this reader-preferring lock can stall behind the
+  /// full set of in-flight readers, so amortizing it across a batch is what
+  /// keeps sustained ingest possible under read pressure (see
+  /// bench_index_contention).
+  void insert_batch(std::span<const core::RepresentativeFov> reps) {
+    if (reps.empty()) return;
+    auto& m = obs::index_metrics();
+    obs::ScopedTimer timer(m.insert_ns);
+    std::unique_lock lock(mutex_);
+    for (const auto& rep : reps) index_.insert(rep);
+    m.inserts.inc(reps.size());
+    m.size.set(static_cast<std::int64_t>(index_.size()));
+  }
+
   bool erase(FovHandle handle) {
     auto& m = obs::index_metrics();
     std::unique_lock lock(mutex_);
@@ -141,27 +180,45 @@ class ConcurrentFovIndex {
     return erased;
   }
 
-  void query(const GeoTimeRange& range,
-             const FovIndex::Visitor& visit) const {
+  /// Devirtualized range query: the visitor inlines through FovIndex into
+  /// the R-tree descent. Latency includes reader-lock wait — that is the
+  /// number an operator cares about under contention.
+  template <typename F>
+  void query(const GeoTimeRange& range, F&& visit) const {
     auto& m = obs::index_metrics();
     obs::ScopedTimer timer(m.query_ns);
     m.queries.inc();
     std::shared_lock lock(mutex_);
-    index_.query(range, visit);
+    index_.query(range, std::forward<F>(visit));
+  }
+
+  void query(const GeoTimeRange& range,
+             const FovIndex::Visitor& visit) const {
+    query(range, [&](const core::RepresentativeFov& rep) { visit(rep); });
   }
 
   [[nodiscard]] std::vector<core::RepresentativeFov> query_collect(
       const GeoTimeRange& range) const {
-    std::shared_lock lock(mutex_);
-    return index_.query_collect(range);
+    // Through the instrumented query() path, so collect-style reads count
+    // on the svg_index_* dashboards like every other range query.
+    std::vector<core::RepresentativeFov> out;
+    query(range,
+          [&](const core::RepresentativeFov& rep) { out.push_back(rep); });
+    return out;
   }
 
   [[nodiscard]] std::size_t size() const {
+    auto& m = obs::index_metrics();
+    obs::ScopedTimer timer(m.query_ns);
+    m.queries.inc();
     std::shared_lock lock(mutex_);
     return index_.size();
   }
 
   [[nodiscard]] std::vector<core::RepresentativeFov> snapshot() const {
+    auto& m = obs::index_metrics();
+    obs::ScopedTimer timer(m.query_ns);
+    m.queries.inc();
     std::shared_lock lock(mutex_);
     return index_.snapshot();
   }

@@ -1,0 +1,190 @@
+#include "index/sharded_fov_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+#include "geo/geodesy.hpp"
+
+namespace svg::index {
+
+namespace {
+
+/// Planar metric distance at the query latitude — the same ordering
+/// FovIndex::nearest_k ranks by, recomputed here to merge across shards.
+double planar_distance_m(const geo::LatLng& center,
+                         const core::RepresentativeFov& rep) {
+  const double dx = (rep.fov.p.lng - center.lng) *
+                    geo::metres_per_degree_lng(center.lat);
+  const double dy = (rep.fov.p.lat - center.lat) * geo::metres_per_degree_lat();
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+ShardedFovIndex::ShardedFovIndex(ShardedFovIndexOptions options)
+    : options_(options) {
+  std::size_t n = options_.shards;
+  if (n == 0) n = std::thread::hardware_concurrency();
+  n = std::clamp<std::size_t>(n, 1, 64);
+  options_.shards = n;
+  if (options_.insert_chunk == 0) options_.insert_chunk = 1;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_.index));
+    shards_.back()->metrics = &obs::index_shard_metrics(i);
+  }
+}
+
+FovHandle ShardedFovIndex::insert(const core::RepresentativeFov& rep) {
+  auto& m = obs::index_metrics();
+  obs::ScopedTimer timer(m.insert_ns);
+  const std::size_t si = shard_of(rep.video_id);
+  Shard& s = *shards_[si];
+  FovHandle local;
+  {
+    std::unique_lock lock(s.mutex);
+    local = s.index.insert(rep);
+    s.metrics->size.set(static_cast<std::int64_t>(s.index.size()));
+  }
+  s.metrics->inserts.inc();
+  m.inserts.inc();
+  const std::size_t total = total_.fetch_add(1, std::memory_order_relaxed) + 1;
+  m.size.set(static_cast<std::int64_t>(total));
+  return encode(local, si);
+}
+
+void ShardedFovIndex::insert_batch(
+    std::span<const core::RepresentativeFov> reps) {
+  if (reps.empty()) return;
+  auto& m = obs::index_metrics();
+  obs::ScopedTimer timer(m.insert_ns);
+  const std::size_t n = shards_.size();
+  const std::size_t chunk = options_.insert_chunk;
+  std::size_t inserted = 0;
+  for (std::size_t si = 0; si < n; ++si) {
+    Shard& s = *shards_[si];
+    std::size_t in_shard = 0;
+    std::size_t i = 0;
+    while (true) {
+      // Find the next item owned by this shard before taking the lock.
+      while (i < reps.size() && shard_of(reps[i].video_id) != si) ++i;
+      if (i >= reps.size()) break;
+      std::unique_lock lock(s.mutex);
+      std::size_t in_hold = 0;
+      while (i < reps.size() && in_hold < chunk) {
+        if (shard_of(reps[i].video_id) == si) {
+          s.index.insert(reps[i]);
+          ++in_hold;
+        }
+        ++i;
+      }
+      s.metrics->size.set(static_cast<std::int64_t>(s.index.size()));
+      in_shard += in_hold;
+    }
+    if (in_shard > 0) {
+      s.metrics->inserts.inc(in_shard);
+      inserted += in_shard;
+    }
+  }
+  m.inserts.inc(inserted);
+  const std::size_t total =
+      total_.fetch_add(inserted, std::memory_order_relaxed) + inserted;
+  m.size.set(static_cast<std::int64_t>(total));
+}
+
+bool ShardedFovIndex::erase(FovHandle handle) {
+  auto& m = obs::index_metrics();
+  const std::size_t n = shards_.size();
+  const std::size_t si = static_cast<std::size_t>(handle) % n;
+  const auto local = static_cast<FovHandle>(handle / n);
+  Shard& s = *shards_[si];
+  bool erased;
+  {
+    std::unique_lock lock(s.mutex);
+    erased = s.index.erase(local);
+    if (erased) {
+      s.metrics->size.set(static_cast<std::int64_t>(s.index.size()));
+    }
+  }
+  if (erased) {
+    s.metrics->erases.inc();
+    m.erases.inc();
+    const std::size_t total =
+        total_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    m.size.set(static_cast<std::int64_t>(total));
+  }
+  return erased;
+}
+
+std::vector<core::RepresentativeFov> ShardedFovIndex::query_collect(
+    const GeoTimeRange& range) const {
+  std::vector<core::RepresentativeFov> out;
+  query(range,
+        [&](const core::RepresentativeFov& rep) { out.push_back(rep); });
+  return out;
+}
+
+std::size_t ShardedFovIndex::size() const {
+  obs::index_metrics().queries.inc();
+  return total_.load(std::memory_order_relaxed);
+}
+
+std::vector<core::RepresentativeFov> ShardedFovIndex::snapshot() const {
+  auto& m = obs::index_metrics();
+  obs::ScopedTimer timer(m.query_ns);
+  m.queries.inc();
+  // Hold every reader lock at once (acquired in index order — writers take
+  // a single shard, so ordered acquisition cannot deadlock against them)
+  // for a consistent point-in-time view.
+  std::vector<std::shared_lock<std::shared_mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& sp : shards_) locks.emplace_back(sp->mutex);
+  std::vector<core::RepresentativeFov> out;
+  out.reserve(total_.load(std::memory_order_relaxed));
+  for (const auto& sp : shards_) {
+    sp->metrics->queries.inc();
+    auto part = sp->index.snapshot();
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+std::vector<core::RepresentativeFov> ShardedFovIndex::nearest_k(
+    const geo::LatLng& center, std::size_t k, core::TimestampMs t_start,
+    core::TimestampMs t_end) const {
+  if (k == 0) return {};
+  auto& m = obs::index_metrics();
+  obs::ScopedTimer timer(m.query_ns);
+  m.queries.inc();
+  std::vector<core::RepresentativeFov> merged;
+  for (const auto& sp : shards_) {
+    std::shared_lock lock(sp->mutex);
+    sp->metrics->queries.inc();
+    auto part = sp->index.nearest_k(center, k, t_start, t_end);
+    merged.insert(merged.end(), part.begin(), part.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [&](const core::RepresentativeFov& a,
+                       const core::RepresentativeFov& b) {
+                     return planar_distance_m(center, a) <
+                            planar_distance_m(center, b);
+                   });
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+void ShardedFovIndex::check_invariants() const {
+  std::size_t sum = 0;
+  for (const auto& sp : shards_) {
+    std::shared_lock lock(sp->mutex);
+    sp->index.check_invariants();
+    sum += sp->index.size();
+  }
+  if (sum != total_.load(std::memory_order_relaxed)) {
+    throw std::logic_error("ShardedFovIndex: shard sizes disagree with total");
+  }
+}
+
+}  // namespace svg::index

@@ -1,0 +1,185 @@
+#pragma once
+// ShardedFovIndex: the cloud-side FoV index partitioned across K
+// independently-locked shards so upload bursts from one provider only ever
+// block 1/K of the read traffic, and inserts from different providers
+// proceed in parallel. Shard selection hashes the uploader (video_id), so
+// a provider's whole session lands in one shard and a range query must
+// visit every shard — the win is lock independence, not search pruning.
+//
+// Satisfies the same concept RetrievalEngine and CloudServer template
+// over: insert / erase / size / snapshot / query(GeoTimeRange, visitor).
+// Feeds the aggregated svg_index_* metric family plus one
+// svg_index_shard<i>_* slice per shard (hash-skew visibility).
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "core/fov.hpp"
+#include "index/fov_index.hpp"
+#include "obs/families.hpp"
+#include "obs/timer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace svg::index {
+
+struct ShardedFovIndexOptions {
+  /// Shard count; 0 → std::thread::hardware_concurrency(). Clamped to
+  /// [1, 64] (the query path tracks shard visitation in one 64-bit mask).
+  std::size_t shards = 0;
+  /// Options forwarded to every per-shard FovIndex.
+  FovIndexOptions index{};
+  /// Optional pool for fanning large-range queries across shards; nullptr
+  /// or a single-worker pool keeps every query inline. Must outlive the
+  /// index. Never run queries *from* this pool's own workers — the fan-out
+  /// would wait on tasks the calling worker is blocking.
+  util::ThreadPool* pool = nullptr;
+  /// Fan a query across the pool only once the index holds at least this
+  /// many entries; below it per-task overhead dwarfs the per-shard scan.
+  std::size_t parallel_query_min_size = 65'536;
+  /// insert_batch releases and re-acquires the shard writer lock every
+  /// this-many inserts, so an upload burst never holds a shard against its
+  /// readers for the whole batch (clamped to ≥ 1).
+  std::size_t insert_chunk = 16;
+};
+
+class ShardedFovIndex {
+ public:
+  explicit ShardedFovIndex(ShardedFovIndexOptions options = {});
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// Insert one representative FoV; locks only the owning shard. The
+  /// returned handle encodes the shard and round-trips through erase().
+  FovHandle insert(const core::RepresentativeFov& rep);
+
+  /// Insert an upload burst. Items are grouped by owning shard and written
+  /// in chunks of `insert_chunk` per lock hold — writer cost is amortized
+  /// without starving that shard's readers for the burst duration.
+  void insert_batch(std::span<const core::RepresentativeFov> reps);
+
+  /// Remove a previously inserted FoV. Returns false for unknown/stale
+  /// handles.
+  bool erase(FovHandle handle);
+
+  /// Visit every stored FoV intersecting the range. Shards are scanned
+  /// with a try-then-block discipline: a first pass takes whichever shard
+  /// locks are free, and only shards momentarily held by a writer are
+  /// revisited with a blocking lock — so one mid-burst shard never
+  /// head-of-line-blocks the other K-1. With a pool configured and the
+  /// index past parallel_query_min_size, shards are scanned by pool tasks
+  /// instead and results merged (visitor then runs on the caller thread).
+  template <typename F>
+  void query(const GeoTimeRange& range, F&& visit) const {
+    auto& m = obs::index_metrics();
+    obs::ScopedTimer timer(m.query_ns);
+    m.queries.inc();
+    if (options_.pool != nullptr && options_.pool->size() > 1 &&
+        total_.load(std::memory_order_relaxed) >=
+            options_.parallel_query_min_size) {
+      query_fanout(range, visit);
+      return;
+    }
+    const std::size_t n = shards_.size();
+    std::uint64_t deferred = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Shard& s = *shards_[i];
+      if (s.mutex.try_lock_shared()) {
+        std::shared_lock lock(s.mutex, std::adopt_lock);
+        s.metrics->queries.inc();
+        s.index.query(range, visit);
+      } else {
+        deferred |= std::uint64_t{1} << i;
+      }
+    }
+    for (std::size_t i = 0; deferred != 0 && i < n; ++i) {
+      if ((deferred & (std::uint64_t{1} << i)) == 0) continue;
+      deferred &= ~(std::uint64_t{1} << i);
+      Shard& s = *shards_[i];
+      std::shared_lock lock(s.mutex);
+      s.metrics->queries.inc();
+      s.index.query(range, visit);
+    }
+  }
+
+  void query(const GeoTimeRange& range,
+             const FovIndex::Visitor& visit) const {
+    query(range, [&](const core::RepresentativeFov& rep) { visit(rep); });
+  }
+
+  /// Convenience: collect matches (instrumented via query()).
+  [[nodiscard]] std::vector<core::RepresentativeFov> query_collect(
+      const GeoTimeRange& range) const;
+
+  /// Live entries across all shards. Lock-free (maintained atomically by
+  /// the write paths); counts as a read on the svg_index_* dashboards.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Point-in-time copy: all shard reader locks are held simultaneously
+  /// (acquired in index order), so no concurrent write is half-visible.
+  /// Order is per-shard insertion order, concatenated by shard — treat the
+  /// result as a set.
+  [[nodiscard]] std::vector<core::RepresentativeFov> snapshot() const;
+
+  /// k nearest across all shards: per-shard best-first k-NN, then a merge
+  /// by planar metric distance (same ordering FovIndex::nearest_k uses).
+  [[nodiscard]] std::vector<core::RepresentativeFov> nearest_k(
+      const geo::LatLng& center, std::size_t k, core::TimestampMs t_start,
+      core::TimestampMs t_end) const;
+
+  /// Per-shard R-tree invariants plus the cross-shard size accounting.
+  void check_invariants() const;
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::shared_mutex mutex;
+    FovIndex index;
+    obs::IndexShardMetrics* metrics = nullptr;
+
+    explicit Shard(const FovIndexOptions& opts) : index(opts) {}
+  };
+
+  [[nodiscard]] std::size_t shard_of(std::uint64_t video_id) const noexcept {
+    return static_cast<std::size_t>(
+        (video_id * 0x9E3779B97F4A7C15ull) >> 32) % shards_.size();
+  }
+
+  // Handle layout: local_handle * K + shard. Decode: shard = h % K,
+  // local = h / K. Survives as long as a shard holds < 2^32 / K entries.
+  [[nodiscard]] FovHandle encode(FovHandle local,
+                                 std::size_t shard) const noexcept {
+    return static_cast<FovHandle>(local * shards_.size() + shard);
+  }
+
+  template <typename F>
+  void query_fanout(const GeoTimeRange& range, F&& visit) const {
+    std::vector<std::future<std::vector<core::RepresentativeFov>>> futs;
+    futs.reserve(shards_.size());
+    for (const auto& sp : shards_) {
+      futs.push_back(options_.pool->submit([&range, s = sp.get()] {
+        std::shared_lock lock(s->mutex);
+        s->metrics->queries.inc();
+        std::vector<core::RepresentativeFov> out;
+        s->index.query(range, [&](const core::RepresentativeFov& rep) {
+          out.push_back(rep);
+        });
+        return out;
+      }));
+    }
+    for (auto& f : futs) {
+      for (const auto& rep : f.get()) visit(rep);
+    }
+  }
+
+  ShardedFovIndexOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> total_{0};
+};
+
+}  // namespace svg::index

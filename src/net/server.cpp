@@ -1,14 +1,27 @@
 #include "net/server.hpp"
 
+#include <type_traits>
+
 #include "net/snapshot.hpp"
 #include "obs/families.hpp"
 #include "obs/timer.hpp"
 
 namespace svg::net {
 
-CloudServer::CloudServer(index::FovIndexOptions index_options,
+CloudServer::IndexVariant CloudServer::make_index(
+    const ServerIndexConfig& cfg) {
+  if (cfg.backend == ServerIndexConfig::Backend::kSharded) {
+    index::ShardedFovIndexOptions opts;
+    opts.shards = cfg.shards;
+    opts.index = cfg.index;
+    return std::make_unique<index::ShardedFovIndex>(opts);
+  }
+  return std::make_unique<index::ConcurrentFovIndex>(cfg.index);
+}
+
+CloudServer::CloudServer(ServerIndexConfig index_config,
                          retrieval::RetrievalConfig retrieval_config)
-    : index_(index_options), retrieval_config_(retrieval_config) {}
+    : index_(make_index(index_config)), retrieval_config_(retrieval_config) {}
 
 bool CloudServer::handle_upload(std::span<const std::uint8_t> bytes) {
   auto& m = obs::server_metrics();
@@ -27,9 +40,9 @@ bool CloudServer::handle_upload(std::span<const std::uint8_t> bytes) {
 void CloudServer::ingest(const UploadMessage& msg) {
   auto& m = obs::server_metrics();
   obs::ScopedTimer timer(m.ingest_ns);
-  for (const auto& rep : msg.segments) {
-    index_.insert(rep);
-  }
+  // Batch path: one writer-lock acquisition per upload (per shard for the
+  // sharded backend) instead of one per segment.
+  with_index([&](auto& idx) { idx.insert_batch(msg.segments); });
   m.segments_indexed.inc(msg.segments.size());
   m.uploads_accepted.inc();
   // Publish segments before the accept so a stats() reader that sees the
@@ -42,11 +55,13 @@ std::vector<retrieval::RankedResult> CloudServer::search(
     const retrieval::Query& q, retrieval::SearchTrace* trace) const {
   auto& m = obs::server_metrics();
   obs::ScopedTimer timer(m.query_ns);
-  retrieval::RetrievalEngine<index::ConcurrentFovIndex> engine(
-      index_, retrieval_config_);
   queries_served_.fetch_add(1, std::memory_order_relaxed);
   m.queries.inc();
-  return engine.search(q, trace);
+  return with_index([&](const auto& idx) {
+    retrieval::RetrievalEngine<std::decay_t<decltype(idx)>> engine(
+        idx, retrieval_config_);
+    return engine.search(q, trace);
+  });
 }
 
 std::optional<std::vector<std::uint8_t>> CloudServer::handle_query(
@@ -66,8 +81,10 @@ std::optional<std::vector<std::uint8_t>> CloudServer::handle_query(
 
   retrieval::RetrievalConfig cfg = retrieval_config_;
   cfg.top_n = msg->top_n;
-  retrieval::RetrievalEngine<index::ConcurrentFovIndex> engine(index_, cfg);
-  const auto results = engine.search(q);
+  const auto results = with_index([&](const auto& idx) {
+    retrieval::RetrievalEngine<std::decay_t<decltype(idx)>> engine(idx, cfg);
+    return engine.search(q);
+  });
   queries_served_.fetch_add(1, std::memory_order_relaxed);
   m.queries.inc();
 
@@ -86,16 +103,15 @@ std::optional<std::vector<std::uint8_t>> CloudServer::handle_query(
 }
 
 bool CloudServer::save_snapshot(const std::string& path) const {
-  return save_snapshot_file(index_.snapshot(), path);
+  return save_snapshot_file(
+      with_index([](const auto& idx) { return idx.snapshot(); }), path);
 }
 
 std::optional<std::size_t> CloudServer::load_snapshot(
     const std::string& path) {
   const auto reps = load_snapshot_file(path);
   if (!reps) return std::nullopt;
-  for (const auto& rep : *reps) {
-    index_.insert(rep);
-  }
+  with_index([&](auto& idx) { idx.insert_batch(*reps); });
   obs::server_metrics().segments_indexed.inc(reps->size());
   segments_indexed_.fetch_add(reps->size(), std::memory_order_release);
   return reps->size();

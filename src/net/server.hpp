@@ -5,12 +5,15 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "index/fov_index.hpp"
+#include "index/sharded_fov_index.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "retrieval/engine.hpp"
@@ -30,9 +33,32 @@ struct ServerStats {
   std::uint64_t queries_served = 0;
 };
 
+/// Which index implementation backs the server. kConcurrent is the single
+/// R-tree behind one reader/writer lock; kSharded partitions across K
+/// independently-locked R-trees so upload bursts stop stalling the whole
+/// read side (docs/PERFORMANCE.md discusses the trade-off).
+struct ServerIndexConfig {
+  enum class Backend { kConcurrent, kSharded };
+
+  ServerIndexConfig() = default;
+  /// Implicit, so existing call sites that pass plain FovIndexOptions (or
+  /// `{}`) keep selecting the single-lock backend unchanged.
+  ServerIndexConfig(index::FovIndexOptions opts)  // NOLINT(google-explicit-constructor)
+      : index(opts) {}
+  explicit ServerIndexConfig(Backend b, std::size_t shard_count = 0,
+                             index::FovIndexOptions opts = {})
+      : backend(b), shards(shard_count), index(opts) {}
+
+  Backend backend = Backend::kConcurrent;
+  /// Shard count for kSharded; 0 → hardware concurrency (see
+  /// ShardedFovIndexOptions::shards). Ignored by kConcurrent.
+  std::size_t shards = 0;
+  index::FovIndexOptions index{};
+};
+
 class CloudServer {
  public:
-  explicit CloudServer(index::FovIndexOptions index_options = {},
+  explicit CloudServer(ServerIndexConfig index_config = {},
                        retrieval::RetrievalConfig retrieval_config = {});
 
   /// Decode + ingest a wire-format upload. Returns false (and counts a
@@ -54,7 +80,11 @@ class CloudServer {
       retrieval::SearchTrace* trace = nullptr) const;
 
   [[nodiscard]] std::size_t indexed_segments() const {
-    return index_.size();
+    return std::visit([](const auto& p) { return p->size(); }, index_);
+  }
+  [[nodiscard]] ServerIndexConfig::Backend backend() const noexcept {
+    return index_.index() == 0 ? ServerIndexConfig::Backend::kConcurrent
+                               : ServerIndexConfig::Backend::kSharded;
   }
   [[nodiscard]] ServerStats stats() const;
   /// Zero this instance's counters (not the process-wide metric family).
@@ -67,7 +97,28 @@ class CloudServer {
   std::optional<std::size_t> load_snapshot(const std::string& path);
 
  private:
-  index::ConcurrentFovIndex index_;
+  // The alternatives hold a shared_mutex / atomics and are immovable, so
+  // the variant stores owning pointers; the backend is fixed for the
+  // server's lifetime, so every access goes through one std::visit.
+  using IndexVariant = std::variant<std::unique_ptr<index::ConcurrentFovIndex>,
+                                    std::unique_ptr<index::ShardedFovIndex>>;
+
+  static IndexVariant make_index(const ServerIndexConfig& cfg);
+
+  /// Visit the active backend; the callable sees a concrete index type, so
+  /// RetrievalEngine instantiates per backend with no virtual dispatch.
+  template <typename F>
+  decltype(auto) with_index(F&& f) const {
+    return std::visit([&](const auto& p) -> decltype(auto) { return f(*p); },
+                      index_);
+  }
+  template <typename F>
+  decltype(auto) with_index(F&& f) {
+    return std::visit([&](const auto& p) -> decltype(auto) { return f(*p); },
+                      index_);
+  }
+
+  IndexVariant index_;
   retrieval::RetrievalConfig retrieval_config_;
   std::atomic<std::uint64_t> uploads_accepted_{0};
   std::atomic<std::uint64_t> uploads_rejected_{0};

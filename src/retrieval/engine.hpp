@@ -21,6 +21,7 @@
 #include "obs/families.hpp"
 #include "obs/timer.hpp"
 #include "retrieval/query.hpp"
+#include "retrieval/top_n.hpp"
 
 namespace svg::retrieval {
 
@@ -50,8 +51,10 @@ struct RetrievalConfig {
 ///   returned     → final top-N
 /// Stage timings (monotonic nanoseconds; 0 when the search ran untraced):
 ///   range_search_ns → index range query, candidate collection included
-///   filter_ns       → orientation test + camera-to-centre distance
-///   rank_ns         → partial sort by distance + top-N cut
+///   filter_ns       → orientation test + camera-to-centre distance +
+///                     bounded-heap push (survivors stream straight into
+///                     the top-N selector)
+///   rank_ns         → heap extraction into the sorted top-N
 ///   total_ns        → the whole pipeline (≥ the sum of the stages)
 struct SearchTrace {
   std::size_t candidates = 0;
@@ -93,7 +96,11 @@ class RetrievalEngine {
     const index::GeoTimeRange range = make_search_range(q, expansion);
 
     // Stage 1 — range search: collect every FoV in the expanded rectangle.
-    std::vector<core::RepresentativeFov> candidates;
+    // The buffer is per-thread and reused across searches, so steady-state
+    // queries allocate nothing here (the visitor inlines through the
+    // index's template query() — no std::function on the hot path).
+    std::vector<core::RepresentativeFov>& candidates = scratch();
+    candidates.clear();
     index_->query(range, [&](const core::RepresentativeFov& rep) {
       candidates.push_back(rep);
     });
@@ -101,8 +108,10 @@ class RetrievalEngine {
 
     // Stage 2 — orientation filter: keep FoVs whose viewing sector covers
     // the query centre; compute the ranking distance as a by-product.
-    std::vector<RankedResult> hits;
-    hits.reserve(candidates.size());
+    // Survivors stream straight into a bounded top-N heap, so memory and
+    // rank cost are O(top_n) regardless of how many candidates survive.
+    BoundedTopN top(config_.top_n);
+    std::size_t kept = 0;
     for (const core::RepresentativeFov& rep : candidates) {
       const geo::Vec2 disp = geo::displacement_m(rep.fov.p, q.center);
       const double dist = disp.norm();
@@ -113,19 +122,15 @@ class RetrievalEngine {
       r.rep = rep;
       r.distance_m = dist;
       r.relevance = 1.0 / (1.0 + dist / std::max(1.0, q.radius_m));
-      hits.push_back(std::move(r));
+      ++kept;
+      top.push(std::move(r));
     }
     const std::uint64_t t2 = timed ? obs::now_ns() : 0;
 
-    // Stage 3 — rank survivors by distance, cut to top-N.
-    const std::size_t kept = hits.size();
-    const std::size_t n = std::min(config_.top_n, hits.size());
-    std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(n),
-                      hits.end(),
-                      [](const RankedResult& a, const RankedResult& b) {
-                        return a.distance_m < b.distance_m;
-                      });
-    hits.resize(n);
+    // Stage 3 — extract the heap, best first (deterministic distance
+    // ranking with (video_id, segment_id) tie-break, so the result is
+    // identical across index backends and shard layouts).
+    std::vector<RankedResult> hits = top.take_sorted();
     const std::uint64_t t3 = timed ? obs::now_ns() : 0;
 
     if (metrics_ != nullptr) {
@@ -151,6 +156,14 @@ class RetrievalEngine {
   }
 
  private:
+  /// Per-thread candidate buffer for stage 1, reused across searches (and
+  /// across engine instances on the same thread — search() never
+  /// re-enters itself, so sharing is safe).
+  [[nodiscard]] static std::vector<core::RepresentativeFov>& scratch() {
+    static thread_local std::vector<core::RepresentativeFov> buf;
+    return buf;
+  }
+
   /// Section V-B step 3: keep the FoV only when its camera can actually see
   /// the query centre — within radius of view AND within the viewing cone
   /// (plus slack).

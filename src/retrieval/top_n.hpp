@@ -1,0 +1,67 @@
+#pragma once
+// Bounded top-N selection for the ranking stage. The engine used to
+// collect every filter survivor and partial_sort the lot — O(M) memory and
+// O(M log N) time with an M-sized buffer per query. A fixed-capacity
+// max-heap (worst on top) gets the same result in O(N) memory, so rank
+// cost stops scaling with candidate count.
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "retrieval/query.hpp"
+
+namespace svg::retrieval {
+
+/// Strict weak order for the top-N cut: primary key metric distance, ties
+/// broken by (video_id, segment_id). With the tie-break, the returned
+/// list is a pure function of the candidate *set* — candidate arrival
+/// order (which differs across index backends and shard layouts) never
+/// leaks into the output.
+struct RankedBefore {
+  bool operator()(const RankedResult& a,
+                  const RankedResult& b) const noexcept {
+    if (a.distance_m != b.distance_m) return a.distance_m < b.distance_m;
+    if (a.rep.video_id != b.rep.video_id) {
+      return a.rep.video_id < b.rep.video_id;
+    }
+    return a.rep.segment_id < b.rep.segment_id;
+  }
+};
+
+/// Fixed-capacity selector over a stream of ranked results. Keeps the N
+/// best seen so far in a max-heap whose root is the current worst, so a
+/// push against a full heap is a single compare in the common
+/// "not-competitive" case.
+class BoundedTopN {
+ public:
+  explicit BoundedTopN(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(RankedResult&& r) {
+    if (capacity_ == 0) return;
+    if (heap_.size() < capacity_) {
+      heap_.push_back(std::move(r));
+      std::push_heap(heap_.begin(), heap_.end(), before_);
+      return;
+    }
+    if (!before_(r, heap_.front())) return;  // not better than current worst
+    std::pop_heap(heap_.begin(), heap_.end(), before_);
+    heap_.back() = std::move(r);
+    std::push_heap(heap_.begin(), heap_.end(), before_);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Destructively extract the contents, best first.
+  [[nodiscard]] std::vector<RankedResult> take_sorted() {
+    std::sort_heap(heap_.begin(), heap_.end(), before_);
+    return std::move(heap_);
+  }
+
+ private:
+  std::size_t capacity_;
+  RankedBefore before_;
+  std::vector<RankedResult> heap_;
+};
+
+}  // namespace svg::retrieval

@@ -159,6 +159,41 @@ TEST(LinearIndexTest, EraseHidesEntry) {
       idx.query_collect(range(115.0, 117.0, 39.0, 41.0, 0, 2000)).empty());
 }
 
+// Regression: query_collect/size/snapshot used to bypass the svg_index_*
+// query instrumentation, so dashboards undercounted reads. All read entry
+// points must count as queries.
+TEST(ConcurrentFovIndexTest, AllReadPathsFeedQueryMetrics) {
+  auto& m = svg::obs::index_metrics();
+  ConcurrentFovIndex idx;
+  idx.insert(make_rep(1, 40.0, 116.0, 0, 0, 1000));
+
+  const auto q0 = m.queries.value();
+  idx.query(range(115.9, 116.1, 39.9, 40.1, 0, 2000),
+            [](const RepresentativeFov&) {});
+  EXPECT_EQ(m.queries.value() - q0, 1u);
+  (void)idx.query_collect(range(115.9, 116.1, 39.9, 40.1, 0, 2000));
+  EXPECT_EQ(m.queries.value() - q0, 2u);
+  (void)idx.size();
+  EXPECT_EQ(m.queries.value() - q0, 3u);
+  (void)idx.snapshot();
+  EXPECT_EQ(m.queries.value() - q0, 4u);
+}
+
+TEST(ConcurrentFovIndexTest, InsertBatchAmortizesOneLockHold) {
+  auto& m = svg::obs::index_metrics();
+  ConcurrentFovIndex idx;
+  std::vector<RepresentativeFov> burst;
+  for (int i = 0; i < 40; ++i) {
+    burst.push_back(make_rep(7, 40.0, 116.0, 0, i * 100, i * 100 + 50));
+  }
+  const auto inserts0 = m.inserts.value();
+  idx.insert_batch(burst);
+  EXPECT_EQ(idx.size(), 40u);
+  EXPECT_EQ(m.inserts.value() - inserts0, 40u);
+  idx.insert_batch({});  // empty batch is a no-op, not a lock acquisition
+  EXPECT_EQ(m.inserts.value() - inserts0, 40u);
+}
+
 TEST(ConcurrentFovIndexTest, ParallelReadersDuringWrites) {
   svg::sim::CityModel city;
   svg::util::Xoshiro256 rng(45);

@@ -1,0 +1,209 @@
+#include "index/sharded_fov_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "index/fov_index.hpp"
+#include "obs/families.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace svg::index;
+using svg::core::RepresentativeFov;
+using svg::core::TimestampMs;
+
+RepresentativeFov random_rep(svg::util::Xoshiro256& rng) {
+  RepresentativeFov r;
+  r.video_id = 1 + rng.bounded(64);  // few providers → all shards hit
+  r.segment_id = static_cast<std::uint32_t>(rng.bounded(1'000'000));
+  r.fov.p = {39.8 + rng.uniform() * 0.2, 116.3 + rng.uniform() * 0.2};
+  r.fov.theta_deg = rng.uniform() * 360.0;
+  r.t_start = static_cast<TimestampMs>(rng.uniform() * 1e6);
+  r.t_end = r.t_start + 1'000 + static_cast<TimestampMs>(rng.uniform() * 1e5);
+  return r;
+}
+
+GeoTimeRange random_range(svg::util::Xoshiro256& rng) {
+  const double lng = 116.3 + rng.uniform() * 0.2;
+  const double lat = 39.8 + rng.uniform() * 0.2;
+  const double half = rng.chance(0.5) ? 0.01 : 0.08;
+  const auto t0 = static_cast<TimestampMs>(rng.uniform() * 1e6);
+  return {lng - half, lng + half, lat - half, lat + half, t0, t0 + 200'000};
+}
+
+/// Order-insensitive identity of a result set.
+std::vector<std::pair<std::uint64_t, std::uint32_t>> keys(
+    const std::vector<RepresentativeFov>& v) {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> out;
+  out.reserve(v.size());
+  for (const auto& r : v) out.emplace_back(r.video_id, r.segment_id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// The core guarantee: for any randomized insert/erase/query sequence the
+// sharded index is indistinguishable (as a set) from one FovIndex.
+TEST(ShardedFovIndexTest, EquivalentToPlainIndexUnderRandomOps) {
+  svg::util::Xoshiro256 rng(1234);
+  FovIndex plain;
+  ShardedFovIndex sharded({.shards = 5});
+  std::vector<std::pair<FovHandle, FovHandle>> live;  // (plain, sharded)
+
+  for (int step = 0; step < 3'000; ++step) {
+    const auto roll = rng.bounded(100);
+    if (roll < 55 || live.empty()) {
+      const auto rep = random_rep(rng);
+      live.emplace_back(plain.insert(rep), sharded.insert(rep));
+    } else if (roll < 75) {
+      const auto pick = rng.bounded(live.size());
+      const auto [ph, sh] = live[pick];
+      EXPECT_EQ(plain.erase(ph), sharded.erase(sh));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const auto q = random_range(rng);
+      EXPECT_EQ(keys(plain.query_collect(q)),
+                keys(sharded.query_collect(q)));
+    }
+    ASSERT_EQ(plain.size(), sharded.size());
+  }
+  EXPECT_EQ(keys(plain.snapshot()), keys(sharded.snapshot()));
+  sharded.check_invariants();
+}
+
+TEST(ShardedFovIndexTest, HandlesRoundTripThroughErase) {
+  svg::util::Xoshiro256 rng(99);
+  ShardedFovIndex idx({.shards = 7});
+  std::vector<FovHandle> handles;
+  for (int i = 0; i < 500; ++i) handles.push_back(idx.insert(random_rep(rng)));
+  EXPECT_EQ(idx.size(), 500u);
+  for (const auto h : handles) EXPECT_TRUE(idx.erase(h));
+  EXPECT_EQ(idx.size(), 0u);
+  // Stale handles must be rejected, not resolved to some other entry.
+  for (const auto h : handles) EXPECT_FALSE(idx.erase(h));
+  idx.check_invariants();
+}
+
+TEST(ShardedFovIndexTest, InsertBatchMatchesIndividualInserts) {
+  svg::util::Xoshiro256 rng(7);
+  std::vector<RepresentativeFov> reps;
+  for (int i = 0; i < 300; ++i) reps.push_back(random_rep(rng));
+
+  ShardedFovIndex batched({.shards = 4, .insert_chunk = 16});
+  batched.insert_batch(reps);
+  ShardedFovIndex individual({.shards = 4});
+  for (const auto& r : reps) individual.insert(r);
+
+  EXPECT_EQ(batched.size(), reps.size());
+  EXPECT_EQ(keys(batched.snapshot()), keys(individual.snapshot()));
+  batched.check_invariants();
+}
+
+TEST(ShardedFovIndexTest, SingleShardDegeneratesToPlainIndex) {
+  svg::util::Xoshiro256 rng(55);
+  FovIndex plain;
+  ShardedFovIndex sharded({.shards = 1});
+  for (int i = 0; i < 400; ++i) {
+    const auto rep = random_rep(rng);
+    plain.insert(rep);
+    sharded.insert(rep);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const auto q = random_range(rng);
+    EXPECT_EQ(keys(plain.query_collect(q)), keys(sharded.query_collect(q)));
+  }
+}
+
+TEST(ShardedFovIndexTest, TemplateAndFunctionVisitorsAgree) {
+  svg::util::Xoshiro256 rng(21);
+  ShardedFovIndex idx({.shards = 3});
+  for (int i = 0; i < 200; ++i) idx.insert(random_rep(rng));
+  const auto q = random_range(rng);
+
+  std::vector<RepresentativeFov> via_template;
+  idx.query(q, [&](const RepresentativeFov& r) { via_template.push_back(r); });
+  std::vector<RepresentativeFov> via_function;
+  const FovIndex::Visitor visit = [&](const RepresentativeFov& r) {
+    via_function.push_back(r);
+  };
+  idx.query(q, visit);
+  EXPECT_EQ(keys(via_template), keys(via_function));
+}
+
+// The pool fan-out path (threshold forced to 0 so it triggers on a small
+// corpus) must return the same set as the inline path.
+TEST(ShardedFovIndexTest, PoolFanoutMatchesInlineQueries) {
+  svg::util::Xoshiro256 rng(31);
+  std::vector<RepresentativeFov> reps;
+  for (int i = 0; i < 500; ++i) reps.push_back(random_rep(rng));
+
+  svg::util::ThreadPool pool(4);
+  ShardedFovIndexOptions opts;
+  opts.shards = 4;
+  opts.pool = &pool;
+  opts.parallel_query_min_size = 0;
+  ShardedFovIndex fanout(opts);
+  fanout.insert_batch(reps);
+  ShardedFovIndex inline_idx({.shards = 4});
+  inline_idx.insert_batch(reps);
+
+  for (int i = 0; i < 30; ++i) {
+    const auto q = random_range(rng);
+    EXPECT_EQ(keys(fanout.query_collect(q)),
+              keys(inline_idx.query_collect(q)));
+  }
+}
+
+TEST(ShardedFovIndexTest, NearestKMergesAcrossShards) {
+  svg::util::Xoshiro256 rng(61);
+  FovIndex plain;
+  ShardedFovIndex sharded({.shards = 6});
+  for (int i = 0; i < 400; ++i) {
+    const auto rep = random_rep(rng);
+    plain.insert(rep);
+    sharded.insert(rep);
+  }
+  const svg::geo::LatLng center{39.9, 116.4};
+  const auto a = plain.nearest_k(center, 10, 0, 2'000'000);
+  const auto b = sharded.nearest_k(center, 10, 0, 2'000'000);
+  // Same k nearest (order-insensitive compare: equal-distance ties may
+  // legitimately resolve differently).
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(keys(a), keys(b));
+}
+
+// Aggregated svg_index_* metrics move for sharded operations, and the
+// per-shard size gauges always sum to the aggregate.
+TEST(ShardedFovIndexTest, FeedsAggregatedAndPerShardMetrics) {
+  auto& agg = svg::obs::index_metrics();
+  const auto inserts0 = agg.inserts.value();
+  const auto queries0 = agg.queries.value();
+  const auto erases0 = agg.erases.value();
+
+  svg::util::Xoshiro256 rng(77);
+  constexpr std::size_t kShards = 3;
+  ShardedFovIndex idx({.shards = kShards});
+  std::vector<FovHandle> handles;
+  for (int i = 0; i < 120; ++i) handles.push_back(idx.insert(random_rep(rng)));
+  (void)idx.query_collect(random_range(rng));
+  EXPECT_TRUE(idx.erase(handles.front()));
+
+  EXPECT_EQ(agg.inserts.value() - inserts0, 120u);
+  EXPECT_GE(agg.queries.value() - queries0, 1u);
+  EXPECT_EQ(agg.erases.value() - erases0, 1u);
+
+  std::int64_t shard_sum = 0;
+  std::uint64_t shard_inserts = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    shard_sum += svg::obs::index_shard_metrics(s).size.value();
+    shard_inserts += svg::obs::index_shard_metrics(s).inserts.value();
+  }
+  EXPECT_EQ(shard_sum, static_cast<std::int64_t>(idx.size()));
+  EXPECT_GE(shard_inserts, 120u);
+}
+
+}  // namespace

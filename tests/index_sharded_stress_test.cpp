@@ -1,0 +1,135 @@
+// Concurrency stress for the sharded index: inserters, batch inserters,
+// queriers, snapshotters, and erasers running simultaneously. The
+// assertions are deliberately weak (no torn reads, handles round-trip,
+// final accounting adds up) — the real check is running this binary under
+// ThreadSanitizer (cmake -DSVG_SANITIZE=thread), where any lock-discipline
+// mistake in the shard map is a hard failure.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "index/sharded_fov_index.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace svg::index;
+using svg::core::RepresentativeFov;
+using svg::core::TimestampMs;
+
+RepresentativeFov make_rep(std::uint64_t vid, std::uint32_t seg,
+                           svg::util::Xoshiro256& rng) {
+  RepresentativeFov r;
+  r.video_id = vid;
+  r.segment_id = seg;
+  r.fov.p = {39.8 + rng.uniform() * 0.2, 116.3 + rng.uniform() * 0.2};
+  r.fov.theta_deg = rng.uniform() * 360.0;
+  r.t_start = static_cast<TimestampMs>(rng.uniform() * 1e6);
+  r.t_end = r.t_start + 10'000;
+  return r;
+}
+
+TEST(ShardedFovIndexStressTest, ConcurrentInsertQueryEraseSnapshot) {
+  ShardedFovIndex idx({.shards = 4, .insert_chunk = 8});
+
+  constexpr int kInserters = 3;
+  constexpr int kQueriers = 3;
+  constexpr int kErasers = 2;
+  constexpr int kOpsPerInserter = 400;
+
+  std::mutex handles_mu;
+  std::vector<FovHandle> handles;  // erasable pool, fed by inserters
+  std::atomic<std::uint64_t> inserted{0}, erased{0};
+  std::atomic<bool> writers_done{false};
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < kInserters; ++t) {
+    threads.emplace_back([&, t] {
+      svg::util::Xoshiro256 rng(100 + static_cast<std::uint64_t>(t));
+      const auto base = static_cast<std::uint64_t>(t) * 1'000'000;
+      for (int i = 0; i < kOpsPerInserter; ++i) {
+        if (i % 5 == 0) {
+          // Batch path: one provider's upload of 16 segments.
+          std::vector<RepresentativeFov> burst;
+          for (std::uint32_t s = 0; s < 16; ++s) {
+            burst.push_back(
+                make_rep(base + static_cast<std::uint64_t>(i), s, rng));
+          }
+          idx.insert_batch(burst);
+          inserted.fetch_add(burst.size(), std::memory_order_relaxed);
+        } else {
+          const auto h = idx.insert(
+              make_rep(base + static_cast<std::uint64_t>(i), 0, rng));
+          inserted.fetch_add(1, std::memory_order_relaxed);
+          std::lock_guard lock(handles_mu);
+          handles.push_back(h);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kErasers; ++t) {
+    threads.emplace_back([&] {
+      svg::util::Xoshiro256 rng(7);
+      while (true) {
+        FovHandle h = 0;
+        bool have = false;
+        {
+          std::lock_guard lock(handles_mu);
+          if (!handles.empty()) {
+            h = handles.back();
+            handles.pop_back();
+            have = true;
+          }
+        }
+        if (have) {
+          ASSERT_TRUE(idx.erase(h));  // only ever handed out once
+          erased.fetch_add(1, std::memory_order_relaxed);
+        } else if (writers_done.load(std::memory_order_acquire)) {
+          break;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int t = 0; t < kQueriers; ++t) {
+    threads.emplace_back([&, t] {
+      svg::util::Xoshiro256 rng(200 + static_cast<std::uint64_t>(t));
+      while (!writers_done.load(std::memory_order_acquire)) {
+        const double lng = 116.3 + rng.uniform() * 0.2;
+        const double lat = 39.8 + rng.uniform() * 0.2;
+        const GeoTimeRange q{lng - 0.05, lng + 0.05, lat - 0.05, lat + 0.05,
+                             0, 2'000'000};
+        // The inserted counter is bumped after the index write, so a
+        // concurrent reader can observe up to one in-flight burst per
+        // inserter beyond the counter.
+        constexpr std::uint64_t kCounterLag = kInserters * 16;
+        std::size_t hits = 0;
+        idx.query(q, [&](const RepresentativeFov&) { ++hits; });
+        EXPECT_LE(hits,
+                  inserted.load(std::memory_order_relaxed) + kCounterLag);
+        if (rng.chance(0.05)) {
+          const auto snap = idx.snapshot();
+          EXPECT_LE(snap.size(),
+                    inserted.load(std::memory_order_relaxed) + kCounterLag);
+        }
+        (void)idx.size();
+      }
+    });
+  }
+
+  // Joining in construction order is fine: inserters exit on their own,
+  // then the flag releases erasers (who first drain the pool) and queriers.
+  for (int t = 0; t < kInserters; ++t) threads[static_cast<std::size_t>(t)].join();
+  writers_done.store(true, std::memory_order_release);
+  for (std::size_t t = kInserters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(idx.size(), inserted.load() - erased.load());
+  idx.check_invariants();
+}
+
+}  // namespace
