@@ -9,6 +9,9 @@
 // report per-query network traffic and compute. CV cost is measured (frame
 // differencing on rendered frames), not assumed.
 
+#include <unistd.h>
+
+#include <filesystem>
 #include <iostream>
 
 #include "cv/renderer.hpp"
@@ -145,6 +148,41 @@ int main() {
                               64.0 * sharded_results.size(),
                           0),
          util::Table::num(sharded_query_ms, 3), "no (until matched)"});
+  }
+  // Content-free with durable ingest: same architecture plus a write-ahead
+  // log (fsync=batch, the production default) in front of the index — the
+  // traffic columns are unchanged, the query cost shows durability is free
+  // on the read path (the WAL sits only on ingest; see BENCH_wal.json for
+  // the ingest-side cost).
+  {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("svg_bench_arch_wal_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(dir);
+    net::ServerDurabilityConfig dcfg;
+    dcfg.data_dir = dir;
+    net::CloudServer durable_server({}, {.camera = cam,
+                                         .orientation_slack_deg = 10.0,
+                                         .orientation_filter = true,
+                                         .top_n = 10,
+                                         .box_expansion = 0.0},
+                                    dcfg);
+    for (const auto& s : sessions) {
+      net::MobileClient client(s.video_id, model, {0.5});
+      durable_server.ingest(net::capture_session(client, s.records));
+    }
+    util::Stopwatch dsw;
+    const auto durable_results = durable_server.search(q);
+    const double durable_query_ms = dsw.elapsed_ms();
+    table.add_row(
+        {"content-free + WAL (fsync=batch)",
+         util::Table::num(static_cast<double>(descriptor_bytes), 0),
+         util::Table::num(static_cast<double>(query_bytes.size()) +
+                              64.0 * durable_results.size(),
+                          0),
+         util::Table::num(durable_query_ms, 3), "no (until matched)"});
+    std::filesystem::remove_all(dir);
   }
   table.print(std::cout);
 

@@ -14,6 +14,18 @@
 //       process-metrics stats section. --backend sharded selects the
 //       K-way sharded index (K = --shards, 0/default = hardware
 //       concurrency); see docs/PERFORMANCE.md for when that wins.
+//   svgctl recover --data-dir d
+//       recover a durable data directory (checkpoint + WAL replay), print
+//       the recovery summary; --checkpoint 1 additionally takes a fresh
+//       checkpoint and retires covered WAL segments
+//   svgctl wal-dump --data-dir d
+//       read-only inspection of the WAL chain: per-segment and per-record
+//       listing, torn-tail/corruption diagnosis; exit 2 on a broken chain
+//
+// Durability flags (generate, query, recover): --data-dir <dir> enables the
+// write-ahead log (docs/DURABILITY.md). generate ingests through a durable
+// server so the corpus survives in <dir>; query recovers <dir> instead of
+// reading --in. --fsync always|batch|none picks the ack policy.
 //
 // Observability flags (query and generate):
 //   --metrics-out <file|->   dump the process metric registry after the run
@@ -27,6 +39,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "net/client.hpp"
@@ -35,6 +48,9 @@
 #include "obs/families.hpp"
 #include "retrieval/engine.hpp"
 #include "sim/crowd.hpp"
+#include "store/recovery.hpp"
+#include "store/snapshot.hpp"
+#include "store/wal.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -96,6 +112,44 @@ int dump_metrics(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Build the durability config from --data-dir/--fsync/--segment-bytes/
+/// --checkpoint-interval-ms. Returns false (after printing usage) on a bad
+/// --fsync value; an absent --data-dir leaves the config disabled.
+bool durability_from_flags(const std::map<std::string, std::string>& flags,
+                           net::ServerDurabilityConfig& out) {
+  out.data_dir = flag_str(flags, "data-dir", "");
+  if (out.data_dir.empty()) return true;
+  const auto fsync = flag_str(flags, "fsync", "batch");
+  if (fsync == "always") {
+    out.fsync = store::FsyncPolicy::kAlways;
+  } else if (fsync == "batch") {
+    out.fsync = store::FsyncPolicy::kBatch;
+  } else if (fsync == "none") {
+    out.fsync = store::FsyncPolicy::kNone;
+  } else {
+    std::cerr << "error: --fsync must be always, batch, or none\n";
+    return false;
+  }
+  out.segment_bytes = static_cast<std::uint64_t>(
+      flag_num(flags, "segment-bytes", 8.0 * 1024 * 1024));
+  out.checkpoint_interval_ms = static_cast<std::uint32_t>(
+      flag_num(flags, "checkpoint-interval-ms", 0));
+  return true;
+}
+
+/// Construct a durable server, turning the recovery-failure exception into
+/// an error message + null (svgctl's runtime-failure path).
+std::unique_ptr<net::CloudServer> open_durable_server(
+    const net::ServerIndexConfig& icfg, const retrieval::RetrievalConfig& cfg,
+    const net::ServerDurabilityConfig& dcfg) {
+  try {
+    return std::make_unique<net::CloudServer>(icfg, cfg, dcfg);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return nullptr;
+  }
+}
+
 int cmd_generate(const std::map<std::string, std::string>& flags) {
   const auto out = flag_str(flags, "out", "corpus.svgx");
   sim::CityModel city;
@@ -133,6 +187,22 @@ int cmd_generate(const std::map<std::string, std::string>& flags) {
     corpus.insert(corpus.end(), uploads[i].segments.begin(),
                   uploads[i].segments.end());
     frames += sessions[i].records.size();
+  }
+
+  net::ServerDurabilityConfig dcfg;
+  if (!durability_from_flags(flags, dcfg)) return 1;
+  if (!dcfg.data_dir.empty()) {
+    // Durable path: ingest every upload through a WAL-backed server so the
+    // corpus survives in the data directory; --out becomes optional.
+    auto server = open_durable_server({}, {}, dcfg);
+    if (!server) return 2;
+    for (const auto& u : uploads) server->ingest(u);
+    server->sync_wal();
+    std::cout << "ingested " << sessions.size() << " sessions, " << frames
+              << " frames -> " << corpus.size() << " segments into "
+              << dcfg.data_dir << " (wal seq " << server->last_wal_seq()
+              << ")\n";
+    if (flags.count("out") == 0) return dump_metrics(flags);
   }
   if (!net::save_snapshot_file(corpus, out)) {
     std::cerr << "error: cannot write " << out << "\n";
@@ -201,14 +271,24 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
     return 1;
   }
 
+  net::ServerDurabilityConfig dcfg;
+  if (!durability_from_flags(flags, dcfg)) return 1;
+
   // Go through CloudServer so the run exercises the production path: the
   // selected index backend (svg_index_*), the retrieval pipeline
-  // (svg_retrieval_*), and the server boundary (svg_server_*).
-  net::CloudServer server(icfg, cfg);
-  const auto loaded = server.load_snapshot(in);
-  if (!loaded) {
-    std::cerr << "error: cannot read " << in << "\n";
-    return 2;
+  // (svg_retrieval_*), and the server boundary (svg_server_*). With
+  // --data-dir, the corpus comes from crash recovery of that directory
+  // instead of the --in snapshot.
+  auto server = open_durable_server(icfg, cfg, dcfg);
+  if (!server) return 2;
+  if (server->durable()) {
+    std::cout << server->recovery().summary() << "\n";
+  } else {
+    const auto loaded = server->load_snapshot(in);
+    if (!loaded) {
+      std::cerr << "error: cannot read " << in << "\n";
+      return 2;
+    }
   }
 
   retrieval::Query q;
@@ -220,7 +300,7 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
       flag_num(flags, "to", 9'999'999'999'999.0));
 
   retrieval::SearchTrace trace;
-  const auto results = server.search(q, &trace);
+  const auto results = server->search(q, &trace);
 
   std::cout << trace.candidates << " candidates, " << trace.after_filter
             << " after orientation filter, " << results.size()
@@ -254,11 +334,81 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
   return dump_metrics(flags);
 }
 
+int cmd_recover(const std::map<std::string, std::string>& flags) {
+  net::ServerDurabilityConfig dcfg;
+  if (!durability_from_flags(flags, dcfg)) return 1;
+  if (dcfg.data_dir.empty()) {
+    std::cerr << "error: recover requires --data-dir\n";
+    return 1;
+  }
+  auto server = open_durable_server({}, {}, dcfg);
+  if (!server) return 2;
+  std::cout << server->recovery().summary() << "\n";
+  std::cout << "indexed segments: " << server->indexed_segments() << "\n";
+  if (flag_num(flags, "checkpoint", 0) != 0) {
+    if (!server->checkpoint_now()) {
+      std::cerr << "error: checkpoint failed\n";
+      return 2;
+    }
+    std::cout << "checkpoint written (covers wal seq "
+              << server->last_wal_seq() << ")\n";
+  }
+  return dump_metrics(flags);
+}
+
+int cmd_wal_dump(const std::map<std::string, std::string>& flags) {
+  const auto dir = flag_str(flags, "data-dir", "");
+  if (dir.empty()) {
+    std::cerr << "error: wal-dump requires --data-dir\n";
+    return 1;
+  }
+  // The chain is only complete relative to the newest checkpoint: segments
+  // it covers have been retired, so its seq is the scan watermark.
+  std::uint64_t watermark = 0;
+  for (const auto& snap : store::list_checkpoints(dir)) {
+    if (const auto full = store::load_snapshot_file_full(snap)) {
+      watermark = full->last_seq;
+      std::cout << "checkpoint " << snap << " covers seq " << watermark
+                << "\n";
+      break;
+    }
+  }
+  const auto dump = store::wal_dump(dir, watermark);
+  util::Table segs({"segment", "first_seq", "records", "bytes"});
+  for (const auto& s : dump.segments) {
+    segs.add_row({s.path, util::Table::num(s.first_seq),
+                  util::Table::num(s.records), util::Table::num(s.file_bytes)});
+  }
+  segs.print(std::cout);
+  if (flag_num(flags, "records", 0) != 0) {
+    util::Table recs({"seq", "segment", "offset", "payload_bytes"});
+    for (const auto& r : dump.records) {
+      recs.add_row({util::Table::num(r.seq), util::Table::num(r.segment),
+                    util::Table::num(r.offset),
+                    util::Table::num(r.payload_bytes)});
+    }
+    recs.print(std::cout);
+  }
+  std::cout << dump.stats.records_scanned << " records in "
+            << dump.stats.segments_scanned << " segments, next seq "
+            << dump.stats.next_seq << "\n";
+  if (dump.stats.tail_torn) {
+    std::cout << "torn tail: " << dump.stats.bytes_truncated
+              << " bytes would be truncated on open\n";
+  }
+  if (!dump.error.empty()) {
+    std::cerr << "error: " << dump.error << "\n";
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: svgctl <generate|info|query> [--flag value ...]\n";
+    std::cerr << "usage: svgctl <generate|info|query|recover|wal-dump> "
+                 "[--flag value ...]\n";
     return 1;
   }
   const std::string cmd = argv[1];
@@ -266,6 +416,8 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return cmd_generate(flags);
   if (cmd == "info") return cmd_info(flags);
   if (cmd == "query") return cmd_query(flags);
+  if (cmd == "recover") return cmd_recover(flags);
+  if (cmd == "wal-dump") return cmd_wal_dump(flags);
   std::cerr << "unknown command: " << cmd << "\n";
   return 1;
 }

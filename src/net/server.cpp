@@ -1,6 +1,9 @@
 #include "net/server.hpp"
 
+#include <mutex>
+#include <stdexcept>
 #include <type_traits>
+#include <utility>
 
 #include "net/snapshot.hpp"
 #include "obs/families.hpp"
@@ -20,8 +23,47 @@ CloudServer::IndexVariant CloudServer::make_index(
 }
 
 CloudServer::CloudServer(ServerIndexConfig index_config,
-                         retrieval::RetrievalConfig retrieval_config)
-    : index_(make_index(index_config)), retrieval_config_(retrieval_config) {}
+                         retrieval::RetrievalConfig retrieval_config,
+                         ServerDurabilityConfig durability)
+    : index_(make_index(index_config)), retrieval_config_(retrieval_config) {
+  if (durability.data_dir.empty()) return;
+
+  store::WalOptions wal_opts;
+  wal_opts.dir = durability.data_dir;
+  wal_opts.segment_bytes = durability.segment_bytes;
+  wal_opts.fsync = durability.fsync;
+  wal_opts.batch_flush_bytes = durability.batch_flush_bytes;
+  wal_opts.batch_flush_interval_ms = durability.batch_flush_interval_ms;
+
+  auto opened = store::recover_and_open(
+      wal_opts, [&](std::span<const core::RepresentativeFov> reps) {
+        with_index([&](auto& idx) { idx.insert_batch(reps); });
+        obs::server_metrics().segments_indexed.inc(reps.size());
+        segments_indexed_.fetch_add(reps.size(), std::memory_order_release);
+      });
+  recovery_ = std::move(opened.result);
+  if (!recovery_.ok) {
+    // Serving from a partially recovered index would silently drop acked
+    // data; refuse to start instead.
+    throw std::runtime_error("durable ingest recovery failed (" +
+                             durability.data_dir + "): " + recovery_.error);
+  }
+  wal_ = std::move(opened.wal);
+
+  auto source = [this]() {
+    // Exclusive gate: no ingest is between its WAL append and its index
+    // insert, so (last_seq, snapshot) is a consistent pair.
+    std::unique_lock gate(ingest_gate_);
+    const std::uint64_t seq = wal_->last_seq();
+    auto reps = with_index([](const auto& idx) { return idx.snapshot(); });
+    return std::make_pair(std::move(reps), seq);
+  };
+  checkpointer_ = std::make_unique<store::Checkpointer>(
+      durability.data_dir, wal_.get(), std::move(source),
+      durability.checkpoint_interval_ms);
+}
+
+CloudServer::~CloudServer() = default;
 
 bool CloudServer::handle_upload(std::span<const std::uint8_t> bytes) {
   auto& m = obs::server_metrics();
@@ -40,9 +82,23 @@ bool CloudServer::handle_upload(std::span<const std::uint8_t> bytes) {
 void CloudServer::ingest(const UploadMessage& msg) {
   auto& m = obs::server_metrics();
   obs::ScopedTimer timer(m.ingest_ns);
-  // Batch path: one writer-lock acquisition per upload (per shard for the
-  // sharded backend) instead of one per segment.
-  with_index([&](auto& idx) { idx.insert_batch(msg.segments); });
+  if (wal_ != nullptr) {
+    // Log before indexing — the WAL ack is what recovery restores. The
+    // shared gate keeps (append + insert) atomic w.r.t. a checkpoint (see
+    // ingest_gate_); encoding stays outside it.
+    const auto record = store::encode_upload_record(msg.segments);
+    std::shared_lock gate(ingest_gate_);
+    if (wal_->append(record) == 0) {
+      // The log is dead (disk error); keep serving from memory but make
+      // the gap visible.
+      obs::wal_metrics().append_failures.inc();
+    }
+    with_index([&](auto& idx) { idx.insert_batch(msg.segments); });
+  } else {
+    // Batch path: one writer-lock acquisition per upload (per shard for
+    // the sharded backend) instead of one per segment.
+    with_index([&](auto& idx) { idx.insert_batch(msg.segments); });
+  }
   m.segments_indexed.inc(msg.segments.size());
   m.uploads_accepted.inc();
   // Publish segments before the accept so a stats() reader that sees the
@@ -115,6 +171,23 @@ std::optional<std::size_t> CloudServer::load_snapshot(
   obs::server_metrics().segments_indexed.inc(reps->size());
   segments_indexed_.fetch_add(reps->size(), std::memory_order_release);
   return reps->size();
+}
+
+bool CloudServer::checkpoint_now() {
+  if (checkpointer_ == nullptr) return false;
+  return checkpointer_->checkpoint_now();
+}
+
+void CloudServer::sync_wal() {
+  if (wal_ != nullptr) wal_->sync();
+}
+
+std::uint64_t CloudServer::last_wal_seq() const {
+  return wal_ != nullptr ? wal_->last_seq() : 0;
+}
+
+std::uint64_t CloudServer::durable_wal_seq() const {
+  return wal_ != nullptr ? wal_->durable_seq() : 0;
 }
 
 ServerStats CloudServer::stats() const {

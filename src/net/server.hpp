@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <variant>
@@ -17,6 +18,9 @@
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "retrieval/engine.hpp"
+#include "store/checkpoint.hpp"
+#include "store/recovery.hpp"
+#include "store/wal.hpp"
 
 namespace svg::net {
 
@@ -56,10 +60,26 @@ struct ServerIndexConfig {
   index::FovIndexOptions index{};
 };
 
+/// Durable-ingest configuration. An empty data_dir (the default) keeps the
+/// server fully in-memory, exactly as before this subsystem existed. With a
+/// data_dir, construction recovers the directory (checkpoint + WAL replay —
+/// see docs/DURABILITY.md) and every ingest is logged before it is indexed.
+struct ServerDurabilityConfig {
+  std::string data_dir;  ///< empty = durability off
+  store::FsyncPolicy fsync = store::FsyncPolicy::kBatch;
+  std::uint64_t segment_bytes = 8ull << 20;
+  /// Background checkpoint period; 0 = manual checkpoint_now() only.
+  std::uint32_t checkpoint_interval_ms = 0;
+  std::uint64_t batch_flush_bytes = 256u << 10;
+  std::uint32_t batch_flush_interval_ms = 5;
+};
+
 class CloudServer {
  public:
   explicit CloudServer(ServerIndexConfig index_config = {},
-                       retrieval::RetrievalConfig retrieval_config = {});
+                       retrieval::RetrievalConfig retrieval_config = {},
+                       ServerDurabilityConfig durability = {});
+  ~CloudServer();
 
   /// Decode + ingest a wire-format upload. Returns false (and counts a
   /// rejection) on malformed bytes.
@@ -96,6 +116,22 @@ class CloudServer {
   /// of segments loaded, or nullopt on a missing/corrupt file.
   std::optional<std::size_t> load_snapshot(const std::string& path);
 
+  /// True when constructed with a data_dir (WAL + checkpoints active).
+  [[nodiscard]] bool durable() const noexcept { return wal_ != nullptr; }
+  /// What construction-time recovery found (default-constructed with
+  /// ok == false when the server is not durable).
+  [[nodiscard]] const store::RecoveryResult& recovery() const noexcept {
+    return recovery_;
+  }
+  /// Snapshot the index now and retire covered WAL segments. False when
+  /// not durable or on I/O failure.
+  bool checkpoint_now();
+  /// Force all acked ingest to disk (kBatch: close the un-synced window).
+  void sync_wal();
+  /// Highest acknowledged / known-durable WAL sequence (0 if not durable).
+  [[nodiscard]] std::uint64_t last_wal_seq() const;
+  [[nodiscard]] std::uint64_t durable_wal_seq() const;
+
  private:
   // The alternatives hold a shared_mutex / atomics and are immovable, so
   // the variant stores owning pointers; the backend is fixed for the
@@ -124,6 +160,17 @@ class CloudServer {
   std::atomic<std::uint64_t> uploads_rejected_{0};
   std::atomic<std::uint64_t> segments_indexed_{0};
   mutable std::atomic<std::uint64_t> queries_served_{0};
+
+  // Durable path. Ingest holds ingest_gate_ shared across (WAL append +
+  // index insert); the checkpoint source holds it exclusive across (read
+  // last_seq + index snapshot), so a checkpoint's covered-seq is exact —
+  // no acked record is missing from it and none newer leaks in (which
+  // would replay as a duplicate). checkpointer_ is declared after wal_ so
+  // it is destroyed first and never checkpoints against a dead log.
+  std::shared_mutex ingest_gate_;
+  store::RecoveryResult recovery_;
+  std::unique_ptr<store::Wal> wal_;
+  std::unique_ptr<store::Checkpointer> checkpointer_;
 };
 
 }  // namespace svg::net

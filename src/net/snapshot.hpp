@@ -1,37 +1,22 @@
 #pragma once
-// Index durability: the cloud server can snapshot every live representative
-// FoV to a compact binary file and rebuild (via STR bulk load) on restart.
-// The file reuses the wire codec's delta encoding, so a 100k-segment index
-// snapshots to ~2 MB.
-//
-// File format:  magic "SVGX" | u16 version | varint count | upload-style
-// delta-encoded records (lat/lng fixed-point, θ centi-degrees, timestamps).
+// Compatibility forwarder: the snapshot codec moved to src/store/ when the
+// durability subsystem (WAL + checkpointing) grew around it. Existing
+// net:: call sites keep working through these aliases; new code should
+// include "store/snapshot.hpp" directly.
 
-#include <optional>
-#include <span>
-#include <string>
-#include <vector>
-
-#include "core/fov.hpp"
+#include "store/snapshot.hpp"
 
 namespace svg::net {
 
-inline constexpr std::uint16_t kSnapshotVersion = 1;
+using store::kSnapshotVersion;
 
-/// Serialize to an in-memory buffer.
-[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(
-    const std::vector<core::RepresentativeFov>& reps);
+using store::SnapshotData;
 
-/// Parse a buffer; nullopt on bad magic/version/truncation.
-[[nodiscard]] std::optional<std::vector<core::RepresentativeFov>>
-decode_snapshot(std::span<const std::uint8_t> bytes);
-
-/// Write a snapshot file atomically (tmp + rename). False on I/O error.
-bool save_snapshot_file(const std::vector<core::RepresentativeFov>& reps,
-                        const std::string& path);
-
-/// Read a snapshot file; nullopt on I/O error or malformed content.
-[[nodiscard]] std::optional<std::vector<core::RepresentativeFov>>
-load_snapshot_file(const std::string& path);
+using store::decode_snapshot;
+using store::decode_snapshot_full;
+using store::encode_snapshot;
+using store::load_snapshot_file;
+using store::load_snapshot_file_full;
+using store::save_snapshot_file;
 
 }  // namespace svg::net

@@ -15,53 +15,15 @@
 #include <vector>
 
 #include "core/fov.hpp"
+#include "util/bytes.hpp"
 
 namespace svg::net {
 
-class ByteWriter {
- public:
-  void put_u8(std::uint8_t v) { buf_.push_back(v); }
-  void put_u16(std::uint16_t v);
-  void put_u32(std::uint32_t v);
-  void put_u64(std::uint64_t v);
-  void put_varint(std::uint64_t v);
-  void put_svarint(std::int64_t v);  ///< zigzag + varint
-  void put_bytes(std::span<const std::uint8_t> bytes);
-
-  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
-    return buf_;
-  }
-  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
-
- private:
-  std::vector<std::uint8_t> buf_;
-};
-
-/// Reads the formats ByteWriter emits. All getters return nullopt on
-/// truncated input instead of throwing — a server must survive malformed
-/// uploads.
-class ByteReader {
- public:
-  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
-      : data_(data) {}
-
-  [[nodiscard]] std::optional<std::uint8_t> get_u8();
-  [[nodiscard]] std::optional<std::uint16_t> get_u16();
-  [[nodiscard]] std::optional<std::uint32_t> get_u32();
-  [[nodiscard]] std::optional<std::uint64_t> get_u64();
-  [[nodiscard]] std::optional<std::uint64_t> get_varint();
-  [[nodiscard]] std::optional<std::int64_t> get_svarint();
-
-  [[nodiscard]] std::size_t remaining() const noexcept {
-    return data_.size() - pos_;
-  }
-  [[nodiscard]] bool exhausted() const noexcept { return pos_ >= data_.size(); }
-
- private:
-  std::span<const std::uint8_t> data_;
-  std::size_t pos_ = 0;
-};
+// The codec primitives moved to util/bytes.hpp so the durability subsystem
+// (src/store/) can share the delta encoding; these aliases keep every
+// existing net:: call site working.
+using util::ByteReader;
+using util::ByteWriter;
 
 // --- protocol messages ------------------------------------------------------
 

@@ -127,6 +127,35 @@ SegmentationMetrics& segmentation_metrics() {
   return m;
 }
 
+WalMetrics& wal_metrics() {
+  static WalMetrics m{
+      global().counter("svg_wal_appends_total",
+                       "Records acked by Wal::append"),
+      global().counter("svg_wal_append_failures_total",
+                       "Appends rejected because the WAL failed"),
+      global().counter("svg_wal_bytes_total",
+                       "Framed bytes written to WAL segments"),
+      global().counter("svg_wal_fsyncs_total", "fsync calls issued"),
+      global().counter("svg_wal_rotations_total", "Segment rotations"),
+      global().counter("svg_wal_segments_retired_total",
+                       "Segments deleted after checkpointing"),
+      global().counter("svg_wal_checkpoints_total",
+                       "Successful checkpoint snapshots"),
+      global().counter("svg_wal_replay_records_total",
+                       "Records replayed during recovery"),
+      global().counter("svg_wal_replay_truncated_bytes_total",
+                       "Torn-tail bytes discarded at open"),
+      global().histogram("svg_wal_batch_records",
+                         "Records per group-commit batch", kCountBuckets),
+      global().histogram("svg_wal_batch_bytes",
+                         "Bytes per group-commit batch", kCountBuckets),
+      global().histogram("svg_wal_fsync_ns", "fsync latency"),
+      global().histogram("svg_wal_append_ns",
+                         "append() wall time incl. commit wait"),
+  };
+  return m;
+}
+
 ThreadPoolMetrics::ThreadPoolMetrics()
     : queue_depth(global().gauge("svg_threadpool_queue_depth",
                                  "Tasks queued but not yet started")),
@@ -146,6 +175,7 @@ void touch_all_families() {
   (void)retrieval_metrics();
   (void)link_metrics();
   (void)segmentation_metrics();
+  (void)wal_metrics();
   (void)thread_pool_metrics();
 }
 

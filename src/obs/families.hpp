@@ -83,6 +83,26 @@ struct SegmentationMetrics {
   Histogram& segment_frames;  ///< frames per emitted segment
 };
 
+/// store::Wal / store::Checkpointer — the durable-ingest subsystem.
+/// Counters cover the append path (group commit), segment lifecycle, and
+/// recovery; histograms expose group-commit batching efficiency and the
+/// cost of the two syscalls that dominate the durable path.
+struct WalMetrics {
+  Counter& appends;                ///< records acked by Wal::append
+  Counter& append_failures;        ///< appends rejected (failed WAL)
+  Counter& bytes;                  ///< framed bytes written to segments
+  Counter& fsyncs;                 ///< fsync/fdatasync calls issued
+  Counter& rotations;              ///< segment rotations
+  Counter& segments_retired;       ///< segments deleted by checkpointing
+  Counter& checkpoints;            ///< successful checkpoint snapshots
+  Counter& replay_records;         ///< records replayed during recovery
+  Counter& replay_truncated_bytes; ///< torn-tail bytes discarded at open
+  Histogram& batch_records;        ///< records per group-commit batch
+  Histogram& batch_bytes;          ///< bytes per group-commit batch
+  Histogram& fsync_ns;             ///< fsync latency
+  Histogram& append_ns;            ///< append() wall time incl. commit wait
+};
+
 /// util::ThreadPool — implements the util-side observer hook so the pool
 /// itself stays obs-free. Pass `&obs::thread_pool_metrics()` as the pool's
 /// observer (the shared instance outlives any pool).
@@ -117,6 +137,7 @@ class ThreadPoolMetrics final : public util::ThreadPoolObserver {
 [[nodiscard]] RetrievalMetrics& retrieval_metrics();
 [[nodiscard]] LinkMetrics& link_metrics();
 [[nodiscard]] SegmentationMetrics& segmentation_metrics();
+[[nodiscard]] WalMetrics& wal_metrics();
 [[nodiscard]] ThreadPoolMetrics& thread_pool_metrics();
 
 /// Register every family above so exposition includes idle subsystems.

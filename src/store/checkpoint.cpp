@@ -1,0 +1,83 @@
+#include "store/checkpoint.hpp"
+
+#include <chrono>
+#include <filesystem>
+
+#include "obs/families.hpp"
+#include "store/recovery.hpp"
+#include "store/snapshot.hpp"
+
+namespace svg::store {
+
+Checkpointer::Checkpointer(std::string dir, Wal* wal, Source source,
+                           std::uint32_t interval_ms)
+    : dir_(std::move(dir)),
+      wal_(wal),
+      source_(std::move(source)),
+      interval_ms_(interval_ms) {
+  // Resuming after recovery: the newest on-disk checkpoint already covers
+  // its seq; don't re-checkpoint an idle server.
+  for (const auto& path : list_checkpoints(dir_)) {
+    if (auto snap = load_snapshot_file_full(path)) {
+      checkpointed_seq_ = snap->last_seq;
+      break;
+    }
+  }
+  if (interval_ms_ > 0) {
+    thread_ = std::thread([this] { run(); });
+  }
+}
+
+Checkpointer::~Checkpointer() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Checkpointer::run() {
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_));
+    if (stopping_) break;
+    lock.unlock();
+    checkpoint_now();
+    lock.lock();
+  }
+}
+
+bool Checkpointer::checkpoint_now() {
+  // Serialize checkpoints (manual + background) without holding mu_
+  // across the snapshot write.
+  std::unique_lock gate(checkpoint_gate_);
+  auto [reps, seq] = source_();
+  {
+    std::lock_guard lock(mu_);
+    if (seq <= checkpointed_seq_) return true;  // nothing new
+  }
+  const std::string path = checkpoint_path(dir_, seq);
+  if (!save_snapshot_file(reps, path, seq)) return false;
+  obs::wal_metrics().checkpoints.inc();
+
+  // Older snapshots are superseded; delete them so recovery never picks a
+  // base whose WAL segments are about to be retired.
+  std::error_code ec;
+  for (const auto& old : list_checkpoints(dir_)) {
+    if (old != path) std::filesystem::remove(old, ec);
+  }
+  if (wal_ != nullptr) wal_->retire_through(seq);
+  {
+    std::lock_guard lock(mu_);
+    if (seq > checkpointed_seq_) checkpointed_seq_ = seq;
+  }
+  return true;
+}
+
+std::uint64_t Checkpointer::checkpointed_seq() const {
+  std::lock_guard lock(mu_);
+  return checkpointed_seq_;
+}
+
+}  // namespace svg::store

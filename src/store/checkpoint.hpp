@@ -1,0 +1,67 @@
+#pragma once
+// Background checkpointing: periodically snapshot the index, bind the
+// snapshot to the WAL sequence it covers, and retire fully-covered log
+// segments so the log (and hence recovery time) stays bounded.
+//
+// The caller supplies a Source that atomically captures (index contents,
+// covering WAL seq) — CloudServer implements it by holding its ingest
+// gate exclusively for the duration of the in-memory copy, so a snapshot
+// can never contain a record newer than its recorded seq (which would
+// replay as a duplicate) or miss one it claims to cover (which would be
+// lost at retirement).
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/fov.hpp"
+#include "store/wal.hpp"
+
+namespace svg::store {
+
+class Checkpointer {
+ public:
+  /// Point-in-time (contents, covering seq) pair; must be internally
+  /// consistent (see file comment).
+  using Source = std::function<
+      std::pair<std::vector<core::RepresentativeFov>, std::uint64_t>()>;
+
+  /// interval_ms == 0 disables the background thread; checkpoint_now()
+  /// still works. `wal` may be null (snapshot-only mode, nothing retired).
+  Checkpointer(std::string dir, Wal* wal, Source source,
+               std::uint32_t interval_ms);
+  ~Checkpointer();
+  Checkpointer(const Checkpointer&) = delete;
+  Checkpointer& operator=(const Checkpointer&) = delete;
+
+  /// Take a checkpoint immediately: durable snapshot write, delete older
+  /// snapshots, retire covered WAL segments. Skips (returning true) when
+  /// nothing new was ingested since the last checkpoint. False on I/O
+  /// failure (the previous checkpoint and the WAL are left untouched).
+  bool checkpoint_now();
+
+  /// Sequence covered by the newest successful checkpoint.
+  [[nodiscard]] std::uint64_t checkpointed_seq() const;
+
+ private:
+  void run();
+
+  std::string dir_;
+  Wal* wal_;
+  Source source_;
+  std::uint32_t interval_ms_;
+
+  mutable std::mutex mu_;
+  std::mutex checkpoint_gate_;  ///< serializes manual + background checkpoints
+  std::condition_variable cv_;
+  std::uint64_t checkpointed_seq_ = 0;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace svg::store

@@ -1,0 +1,217 @@
+#include "store/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "geo/angle.hpp"
+#include "store/crc32c.hpp"
+
+namespace svg::store {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'S', 'V', 'G', 'X'};
+constexpr double kDegScale = 1e7;
+constexpr double kThetaScale = 100.0;
+
+bool write_file_durable(std::span<const std::uint8_t> bytes,
+                        const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  return synced;
+}
+
+bool fsync_parent_dir(const std::string& path) {
+  const auto dir = std::filesystem::path(path).parent_path();
+  const std::string d = dir.empty() ? "." : dir.string();
+  const int fd = ::open(d.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+void put_rep_records(util::ByteWriter& w,
+                     std::span<const core::RepresentativeFov> reps) {
+  std::int64_t prev_lat = 0, prev_lng = 0, prev_t = 0;
+  for (const auto& r : reps) {
+    const auto lat =
+        static_cast<std::int64_t>(std::llround(r.fov.p.lat * kDegScale));
+    const auto lng =
+        static_cast<std::int64_t>(std::llround(r.fov.p.lng * kDegScale));
+    w.put_varint(r.video_id);
+    w.put_varint(r.segment_id);
+    w.put_svarint(lat - prev_lat);
+    w.put_svarint(lng - prev_lng);
+    w.put_u16(static_cast<std::uint16_t>(
+        std::llround(geo::wrap_deg(r.fov.theta_deg) * kThetaScale) % 36000));
+    w.put_svarint(r.t_start - prev_t);
+    w.put_varint(static_cast<std::uint64_t>(r.t_end - r.t_start));
+    prev_lat = lat;
+    prev_lng = lng;
+    prev_t = r.t_start;
+  }
+}
+
+bool get_rep_records(util::ByteReader& r, std::uint64_t count,
+                     std::vector<core::RepresentativeFov>& out) {
+  std::int64_t prev_lat = 0, prev_lng = 0, prev_t = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto vid = r.get_varint();
+    const auto sid = r.get_varint();
+    const auto dlat = r.get_svarint();
+    const auto dlng = r.get_svarint();
+    const auto theta = r.get_u16();
+    const auto dt = r.get_svarint();
+    const auto dur = r.get_varint();
+    if (!vid || !sid || !dlat || !dlng || !theta || !dt || !dur) {
+      return false;
+    }
+    core::RepresentativeFov rep;
+    rep.video_id = *vid;
+    rep.segment_id = static_cast<std::uint32_t>(*sid);
+    prev_lat += *dlat;
+    prev_lng += *dlng;
+    rep.fov.p.lat = static_cast<double>(prev_lat) / kDegScale;
+    rep.fov.p.lng = static_cast<double>(prev_lng) / kDegScale;
+    rep.fov.theta_deg = static_cast<double>(*theta) / kThetaScale;
+    prev_t += *dt;
+    rep.t_start = prev_t;
+    rep.t_end = prev_t + static_cast<std::int64_t>(*dur);
+    out.push_back(rep);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> encode_snapshot(
+    const std::vector<core::RepresentativeFov>& reps,
+    std::uint64_t last_seq) {
+  util::ByteWriter w;
+  w.put_bytes(kMagic);
+  w.put_u16(kSnapshotVersion);
+  w.put_u64(last_seq);
+  w.put_varint(reps.size());
+  put_rep_records(w, reps);
+  auto bytes = w.take();
+  const std::uint32_t crc = crc32c(bytes);
+  bytes.push_back(static_cast<std::uint8_t>(crc));
+  bytes.push_back(static_cast<std::uint8_t>(crc >> 8));
+  bytes.push_back(static_cast<std::uint8_t>(crc >> 16));
+  bytes.push_back(static_cast<std::uint8_t>(crc >> 24));
+  return bytes;
+}
+
+std::optional<SnapshotData> decode_snapshot_full(
+    std::span<const std::uint8_t> bytes) {
+  util::ByteReader r(bytes);
+  for (std::uint8_t m : kMagic) {
+    const auto b = r.get_u8();
+    if (!b || *b != m) return std::nullopt;
+  }
+  const auto version = r.get_u16();
+  if (!version || (*version != 1 && *version != 2)) return std::nullopt;
+
+  SnapshotData out;
+  out.version = *version;
+  std::span<const std::uint8_t> body = bytes;
+  if (*version == 2) {
+    // Validate the CRC trailer before trusting a single varint: a torn or
+    // bit-flipped snapshot must fail here, not decode garbage downstream.
+    if (bytes.size() < 4) return std::nullopt;
+    body = bytes.first(bytes.size() - 4);
+    const std::uint32_t stored =
+        static_cast<std::uint32_t>(bytes[bytes.size() - 4]) |
+        static_cast<std::uint32_t>(bytes[bytes.size() - 3]) << 8 |
+        static_cast<std::uint32_t>(bytes[bytes.size() - 2]) << 16 |
+        static_cast<std::uint32_t>(bytes[bytes.size() - 1]) << 24;
+    if (crc32c(body) != stored) return std::nullopt;
+    r = util::ByteReader(body);
+    (void)r.get_u32();  // skip magic (validated above)
+    (void)r.get_u16();  // skip version
+    const auto seq = r.get_u64();
+    if (!seq) return std::nullopt;
+    out.last_seq = *seq;
+  }
+  const auto count = r.get_varint();
+  if (!count) return std::nullopt;
+  // Never trust the claimed count for allocation: each record takes at
+  // least 8 bytes on the wire, so anything beyond remaining is corrupt.
+  if (*count > r.remaining()) return std::nullopt;
+  out.reps.reserve(*count);
+  if (!get_rep_records(r, *count, out.reps)) return std::nullopt;
+  return out;
+}
+
+std::optional<std::vector<core::RepresentativeFov>> decode_snapshot(
+    std::span<const std::uint8_t> bytes) {
+  auto full = decode_snapshot_full(bytes);
+  if (!full) return std::nullopt;
+  return std::move(full->reps);
+}
+
+bool save_snapshot_file(const std::vector<core::RepresentativeFov>& reps,
+                        const std::string& path, std::uint64_t last_seq) {
+  const auto bytes = encode_snapshot(reps, last_seq);
+  const std::string tmp = path + ".tmp";
+  // Durable atomic replace: data must hit the disk before the rename makes
+  // it reachable, and the rename itself must hit the directory — otherwise
+  // "atomic" only covers process death, not power loss.
+  if (!write_file_durable(bytes, tmp)) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return fsync_parent_dir(path);
+}
+
+std::optional<SnapshotData> load_snapshot_file_full(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  const bool ok =
+      std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return decode_snapshot_full(bytes);
+}
+
+std::optional<std::vector<core::RepresentativeFov>> load_snapshot_file(
+    const std::string& path) {
+  auto full = load_snapshot_file_full(path);
+  if (!full) return std::nullopt;
+  return std::move(full->reps);
+}
+
+}  // namespace svg::store

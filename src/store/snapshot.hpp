@@ -1,0 +1,76 @@
+#pragma once
+// Index durability: snapshot every live representative FoV to a compact
+// binary file and rebuild (via STR bulk load) on restart. The file reuses
+// the wire codec's delta encoding, so a 100k-segment index snapshots to
+// ~2 MB. Lived in src/net/ until the durability subsystem (WAL +
+// checkpointing) grew around it; net/snapshot.hpp forwards here.
+//
+// v2 file format (current):
+//   magic "SVGX" | u16 version=2 | u64 last_seq | varint count
+//   | delta-encoded records | u32 crc32c(all preceding bytes)
+// `last_seq` is the WAL sequence number the snapshot covers (0 for
+// standalone snapshots with no WAL). The CRC trailer turns truncation or
+// bit rot into a clean decode failure instead of garbage records.
+//
+// v1 (magic | u16 version=1 | varint count | records, no CRC) stays
+// readable; writers always emit v2.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/fov.hpp"
+#include "util/bytes.hpp"
+
+namespace svg::store {
+
+inline constexpr std::uint16_t kSnapshotVersion = 2;
+
+/// A decoded snapshot plus its metadata.
+struct SnapshotData {
+  std::vector<core::RepresentativeFov> reps;
+  std::uint64_t last_seq = 0;  ///< WAL sequence this snapshot covers
+  std::uint16_t version = kSnapshotVersion;
+};
+
+/// Delta-encode a run of representative FoVs (lat/lng fixed-point at
+/// 1e-7°, θ centi-degrees, zigzag time deltas) — the shared record codec
+/// behind snapshots and WAL upload records.
+void put_rep_records(util::ByteWriter& w,
+                     std::span<const core::RepresentativeFov> reps);
+
+/// Decode `count` records written by put_rep_records, appending to `out`.
+/// False on truncated/malformed input (out may hold a partial prefix).
+[[nodiscard]] bool get_rep_records(util::ByteReader& r, std::uint64_t count,
+                                   std::vector<core::RepresentativeFov>& out);
+
+/// Serialize to an in-memory buffer (always v2).
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(
+    const std::vector<core::RepresentativeFov>& reps,
+    std::uint64_t last_seq = 0);
+
+/// Parse a buffer; nullopt on bad magic/version/truncation/CRC mismatch.
+[[nodiscard]] std::optional<std::vector<core::RepresentativeFov>>
+decode_snapshot(std::span<const std::uint8_t> bytes);
+
+/// Like decode_snapshot but also surfaces last_seq and the format version.
+[[nodiscard]] std::optional<SnapshotData> decode_snapshot_full(
+    std::span<const std::uint8_t> bytes);
+
+/// Write a snapshot file atomically AND durably: write to path+".tmp",
+/// fsync the tmp file, rename over path, fsync the directory — so the
+/// snapshot survives power loss, not just process death. False on I/O
+/// error.
+bool save_snapshot_file(const std::vector<core::RepresentativeFov>& reps,
+                        const std::string& path, std::uint64_t last_seq = 0);
+
+/// Read a snapshot file; nullopt on I/O error or malformed content.
+[[nodiscard]] std::optional<std::vector<core::RepresentativeFov>>
+load_snapshot_file(const std::string& path);
+
+[[nodiscard]] std::optional<SnapshotData> load_snapshot_file_full(
+    const std::string& path);
+
+}  // namespace svg::store

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.hpp"
+#include "obs/families.hpp"
+#include "sim/crowd.hpp"
+#include "store/recovery.hpp"
+#include "store/wal.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace svg::net;
+using svg::core::RepresentativeFov;
+
+struct ScopedDir {
+  explicit ScopedDir(const std::string& tag) {
+    path = (std::filesystem::temp_directory_path() /
+            ("svg_durab_test_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScopedDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+std::vector<RepresentativeFov> sample_reps(std::size_t n,
+                                           std::uint64_t seed = 1) {
+  svg::sim::CityModel city;
+  svg::util::Xoshiro256 rng(seed);
+  return svg::sim::random_representative_fovs(n, city, 1'400'000'000'000,
+                                              86'400'000, rng);
+}
+
+void ingest_in_batches(CloudServer& server,
+                       const std::vector<RepresentativeFov>& reps,
+                       std::size_t batch) {
+  for (std::size_t i = 0; i < reps.size(); i += batch) {
+    UploadMessage msg;
+    msg.video_id = i;
+    const auto end = std::min(i + batch, reps.size());
+    msg.segments.assign(reps.begin() + static_cast<std::ptrdiff_t>(i),
+                        reps.begin() + static_cast<std::ptrdiff_t>(end));
+    server.ingest(msg);
+  }
+}
+
+TEST(ServerDurabilityTest, NonDurableByDefault) {
+  CloudServer server;
+  EXPECT_FALSE(server.durable());
+  EXPECT_FALSE(server.recovery().ok);
+  EXPECT_FALSE(server.checkpoint_now());
+  EXPECT_EQ(server.last_wal_seq(), 0u);
+  EXPECT_EQ(server.durable_wal_seq(), 0u);
+}
+
+TEST(ServerDurabilityTest, RestartRestoresEveryIngestedSegment) {
+  ScopedDir dir("restart");
+  const auto reps = sample_reps(300, 7);
+
+  svg::retrieval::Query q;
+  q.center = svg::sim::CityModel{}.center;
+  q.radius_m = 500.0;
+  q.t_start = 1'400'000'000'000;
+  q.t_end = q.t_start + 86'400'000;
+
+  std::size_t expected_hits = 0;
+  {
+    ServerDurabilityConfig dcfg;
+    dcfg.data_dir = dir.path;
+    CloudServer server({}, {}, dcfg);
+    ASSERT_TRUE(server.durable());
+    EXPECT_TRUE(server.recovery().ok);
+    ingest_in_batches(server, reps, 25);
+    EXPECT_EQ(server.last_wal_seq(), 12u);  // 300/25 uploads
+    expected_hits = server.search(q).size();
+    server.sync_wal();
+    EXPECT_EQ(server.durable_wal_seq(), 12u);
+  }  // no snapshot taken: restart replays purely from the WAL
+  {
+    ServerDurabilityConfig dcfg;
+    dcfg.data_dir = dir.path;
+    CloudServer server({}, {}, dcfg);
+    EXPECT_TRUE(server.recovery().ok);
+    EXPECT_EQ(server.recovery().wal_records_replayed, 12u);
+    EXPECT_EQ(server.indexed_segments(), reps.size());
+    EXPECT_EQ(server.search(q).size(), expected_hits);
+    EXPECT_EQ(server.last_wal_seq(), 12u);
+  }
+}
+
+TEST(ServerDurabilityTest, CheckpointRetiresCoveredSegments) {
+  ScopedDir dir("checkpoint");
+  const auto reps = sample_reps(400, 9);
+  {
+    ServerDurabilityConfig dcfg;
+    dcfg.data_dir = dir.path;
+    dcfg.segment_bytes = 1024;  // force a multi-segment chain
+    CloudServer server({}, {}, dcfg);
+    ingest_in_batches(server, reps, 10);
+    const auto before = svg::store::wal_dump(dir.path);
+    ASSERT_GT(before.segments.size(), 2u);
+
+    ASSERT_TRUE(server.checkpoint_now());
+    // Dump relative to the checkpoint watermark — the chain no longer
+    // reaches back to seq 1, and that is correct.
+    const auto after =
+        svg::store::wal_dump(dir.path, server.last_wal_seq());
+    EXPECT_TRUE(after.error.empty()) << after.error;
+    EXPECT_LT(after.segments.size(), before.segments.size());
+    EXPECT_EQ(after.segments.size(), 1u);  // only the active segment left
+    // Exactly one checkpoint file.
+    EXPECT_EQ(svg::store::list_checkpoints(dir.path).size(), 1u);
+
+    // Re-checkpointing with nothing new is a no-op success.
+    ASSERT_TRUE(server.checkpoint_now());
+  }
+  // Restart: snapshot + (empty) WAL tail restores everything.
+  {
+    ServerDurabilityConfig dcfg;
+    dcfg.data_dir = dir.path;
+    CloudServer server({}, {}, dcfg);
+    EXPECT_TRUE(server.recovery().ok);
+    EXPECT_EQ(server.recovery().snapshot_records, reps.size());
+    EXPECT_EQ(server.recovery().wal_records_replayed, 0u);
+    EXPECT_EQ(server.indexed_segments(), reps.size());
+  }
+}
+
+TEST(ServerDurabilityTest, MissingMiddleSegmentThrowsOnConstruction) {
+  ScopedDir dir("missing");
+  {
+    ServerDurabilityConfig dcfg;
+    dcfg.data_dir = dir.path;
+    dcfg.segment_bytes = 1024;
+    CloudServer server({}, {}, dcfg);
+    ingest_in_batches(server, sample_reps(400, 11), 10);
+    ASSERT_GT(svg::store::wal_dump(dir.path).segments.size(), 2u);
+  }
+  const auto dump = svg::store::wal_dump(dir.path);
+  std::filesystem::remove(dump.segments[1].path);
+
+  ServerDurabilityConfig dcfg;
+  dcfg.data_dir = dir.path;
+  EXPECT_THROW(CloudServer({}, {}, dcfg), std::runtime_error);
+}
+
+TEST(ServerDurabilityTest, WalMetricsAccountForIngest) {
+  ScopedDir dir("metrics");
+  auto& m = svg::obs::wal_metrics();
+  const auto appends_before = m.appends.value();
+  const auto bytes_before = m.bytes.value();
+  const auto fsyncs_before = m.fsyncs.value();
+  const auto checkpoints_before = m.checkpoints.value();
+  {
+    ServerDurabilityConfig dcfg;
+    dcfg.data_dir = dir.path;
+    dcfg.fsync = svg::store::FsyncPolicy::kAlways;
+    CloudServer server({}, {}, dcfg);
+    ingest_in_batches(server, sample_reps(100, 13), 10);
+    ASSERT_TRUE(server.checkpoint_now());
+  }
+  EXPECT_EQ(m.appends.value(), appends_before + 10);
+  EXPECT_GT(m.bytes.value(), bytes_before);
+  EXPECT_GT(m.fsyncs.value(), fsyncs_before);
+  EXPECT_EQ(m.checkpoints.value(), checkpoints_before + 1);
+}
+
+TEST(ServerDurabilityTest, BackgroundCheckpointerRunsWithoutManualCalls) {
+  ScopedDir dir("background");
+  {
+    ServerDurabilityConfig dcfg;
+    dcfg.data_dir = dir.path;
+    dcfg.checkpoint_interval_ms = 5;
+    CloudServer server({}, {}, dcfg);
+    ingest_in_batches(server, sample_reps(200, 15), 10);
+    // Wait (bounded) for the background thread to capture a checkpoint.
+    for (int i = 0; i < 200; ++i) {
+      if (!svg::store::list_checkpoints(dir.path).empty()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_FALSE(svg::store::list_checkpoints(dir.path).empty());
+  ServerDurabilityConfig dcfg;
+  dcfg.data_dir = dir.path;
+  CloudServer server({}, {}, dcfg);
+  EXPECT_EQ(server.indexed_segments(), 200u);
+}
+
+}  // namespace

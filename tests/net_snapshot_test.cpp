@@ -74,6 +74,63 @@ TEST(SnapshotCodecTest, RejectsBadMagicVersionAndTruncation) {
   EXPECT_FALSE(decode_snapshot({}).has_value());
 }
 
+TEST(SnapshotCodecTest, CrcTrailerDetectsBitFlipAnywhere) {
+  const auto reps = sample_reps(50, 6);
+  const auto bytes = encode_snapshot(reps);
+  ASSERT_TRUE(decode_snapshot(bytes).has_value());
+  // Flip one bit in a sampling of positions across header, body, and the
+  // CRC trailer itself — every flip must turn into a clean decode failure.
+  for (std::size_t i = 6; i < bytes.size(); i += 7) {
+    auto bad = bytes;
+    bad[i] ^= 0x10;
+    EXPECT_FALSE(decode_snapshot(bad).has_value()) << "flip at byte " << i;
+  }
+}
+
+TEST(SnapshotCodecTest, CrcTrailerDetectsTruncation) {
+  const auto reps = sample_reps(50, 7);
+  const auto bytes = encode_snapshot(reps);
+  // Any shortened prefix long enough to carry magic+version must fail on
+  // the CRC, including cuts inside the trailer itself.
+  for (std::size_t keep = 6; keep < bytes.size(); ++keep) {
+    EXPECT_FALSE(
+        decode_snapshot({bytes.data(), keep}).has_value())
+        << "truncated to " << keep;
+  }
+}
+
+TEST(SnapshotCodecTest, LastSeqRoundTripsThroughV2) {
+  const auto reps = sample_reps(20, 8);
+  const auto full = decode_snapshot_full(encode_snapshot(reps, 12345));
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->last_seq, 12345u);
+  EXPECT_EQ(full->version, kSnapshotVersion);
+  EXPECT_EQ(full->reps.size(), reps.size());
+}
+
+TEST(SnapshotCodecTest, V1FilesRemainReadable) {
+  const auto reps = sample_reps(30, 9);
+  // Hand-build the v1 layout: magic | u16 version=1 | varint count |
+  // records — no last_seq, no CRC trailer.
+  svg::util::ByteWriter w;
+  const std::uint8_t magic[4] = {'S', 'V', 'G', 'X'};
+  w.put_bytes(magic);
+  w.put_u16(1);
+  w.put_varint(reps.size());
+  svg::store::put_rep_records(w, reps);
+  const auto bytes = w.take();
+
+  const auto full = decode_snapshot_full(bytes);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->version, 1u);
+  EXPECT_EQ(full->last_seq, 0u);
+  ASSERT_EQ(full->reps.size(), reps.size());
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    EXPECT_EQ(full->reps[i].video_id, reps[i].video_id);
+    EXPECT_EQ(full->reps[i].t_start, reps[i].t_start);
+  }
+}
+
 TEST(SnapshotFileTest, SaveLoadRoundTrip) {
   const auto reps = sample_reps(200, 2);
   const std::string path =
