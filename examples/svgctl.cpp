@@ -21,6 +21,13 @@
 //   svgctl wal-dump --data-dir d
 //       read-only inspection of the WAL chain: per-segment and per-record
 //       listing, torn-tail/corruption diagnosis; exit 2 on a broken chain
+//   svgctl chaos --seeds 20 --drop 0.1 --dup 0.05 --reorder 0.05
+//                --corrupt 0.02 --providers 12
+//       chaos smoke test on the upload path: for every seed, drive a
+//       crowd's uploads through FaultyLink + UploadQueue into a fresh
+//       server and verify the index converges byte-for-byte to a
+//       fault-free ingest of the same uploads. Prints fault/retry stats;
+//       exit 2 if any seed diverges (docs/ROBUSTNESS.md)
 //
 // Durability flags (generate, query, recover): --data-dir <dir> enables the
 // write-ahead log (docs/DURABILITY.md). generate ingests through a durable
@@ -35,14 +42,22 @@
 //
 // Exit codes: 0 ok, 1 bad usage, 2 runtime failure.
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
+#include <vector>
 
 #include "net/client.hpp"
+#include "net/fault.hpp"
+#include "net/upload_queue.hpp"
 #include "net/server.hpp"
 #include "net/snapshot.hpp"
 #include "obs/families.hpp"
@@ -403,11 +418,124 @@ int cmd_wal_dump(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// The index as order-independent canonical bytes: snapshot to a scratch
+/// file, reload, sort, re-encode. Two servers hold the same index iff these
+/// byte strings are equal (same trick as the chaos property tests).
+std::vector<std::uint8_t> canonical_index(net::CloudServer& server,
+                                          const std::string& scratch) {
+  if (!server.save_snapshot(scratch)) return {};
+  auto reps = net::load_snapshot_file(scratch);
+  std::filesystem::remove(scratch);
+  if (!reps) return {};
+  std::sort(reps->begin(), reps->end(), [](const auto& a, const auto& b) {
+    return std::tie(a.video_id, a.segment_id, a.t_start) <
+           std::tie(b.video_id, b.segment_id, b.t_start);
+  });
+  return net::encode_snapshot(*reps);
+}
+
+int cmd_chaos(const std::map<std::string, std::string>& flags) {
+  const auto seeds =
+      static_cast<std::uint64_t>(flag_num(flags, "seeds", 20));
+  net::FaultPlan base;
+  base.drop = flag_num(flags, "drop", 0.10);
+  base.duplicate = flag_num(flags, "dup", 0.05);
+  base.reorder = flag_num(flags, "reorder", 0.05);
+  base.corrupt = flag_num(flags, "corrupt", 0.02);
+
+  sim::CrowdConfig ccfg;
+  ccfg.providers =
+      static_cast<std::uint32_t>(flag_num(flags, "providers", 12));
+  const core::SimilarityModel model({});
+  const std::string scratch =
+      (std::filesystem::temp_directory_path() /
+       ("svgctl_chaos_" + std::to_string(::getpid()) + ".bin"))
+          .string();
+
+  net::FaultStats faults;
+  std::uint64_t uploads_total = 0, attempts_total = 0, retries_total = 0;
+  std::uint64_t failed_seeds = 0;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    sim::CityModel city;
+    util::Xoshiro256 rng(seed);
+    const auto sessions = sim::generate_crowd(city, ccfg, rng);
+    std::vector<net::UploadMessage> uploads;
+    uploads.reserve(sessions.size());
+    for (const auto& s : sessions) {
+      net::MobileClient client(s.video_id, model, {0.5});
+      uploads.push_back(net::capture_session(client, s.records));
+    }
+
+    // Ground truth: the same uploads over a perfect channel.
+    net::CloudServer baseline;
+    for (const auto& u : uploads) baseline.ingest(u);
+    const auto want = canonical_index(baseline, scratch);
+
+    // Chaos run: same uploads through the faulty link and retry queue.
+    net::SimClock clock;
+    net::FaultPlan plan = base;
+    plan.seed = seed;
+    net::Link link;
+    net::FaultyLink faulty(link, plan, &clock);
+    net::CloudServer server;
+    net::RetryPolicy policy;
+    policy.max_attempts = 64;
+    net::UploadQueue queue(policy, seed, &clock);
+    for (const auto& u : uploads) queue.enqueue(u);
+    (void)queue.drain(net::FaultyUploadChannel(faulty, server));
+
+    const auto& qs = queue.stats();
+    const auto fs = faulty.stats();
+    uploads_total += qs.enqueued;
+    attempts_total += qs.attempts;
+    retries_total += qs.retries;
+    faults.attempts += fs.attempts;
+    faults.dropped += fs.dropped;
+    faults.duplicated += fs.duplicated;
+    faults.reordered += fs.reordered;
+    faults.corrupted += fs.corrupted;
+
+    std::string problem;
+    if (qs.acked != qs.enqueued) {
+      problem = "not every upload was acked";
+    } else if (server.known_upload_ids() != uploads.size()) {
+      problem = "dedup set size != uploads";
+    } else if (want.empty() || canonical_index(server, scratch) != want) {
+      problem = "index diverged from fault-free run";
+    }
+    if (!problem.empty()) {
+      ++failed_seeds;
+      std::cout << "seed " << seed << ": FAIL — " << problem << " (acked "
+                << qs.acked << "/" << qs.enqueued << ")\n";
+    }
+  }
+
+  util::Table table({"metric", "value"});
+  table.add_row({"seeds", util::Table::num(seeds)});
+  table.add_row({"uploads", util::Table::num(uploads_total)});
+  table.add_row({"delivery attempts", util::Table::num(attempts_total)});
+  table.add_row({"retries", util::Table::num(retries_total)});
+  table.add_row({"link transfers", util::Table::num(faults.attempts)});
+  table.add_row({"dropped", util::Table::num(faults.dropped)});
+  table.add_row({"duplicated", util::Table::num(faults.duplicated)});
+  table.add_row({"reordered", util::Table::num(faults.reordered)});
+  table.add_row({"corrupted", util::Table::num(faults.corrupted)});
+  table.print(std::cout);
+  if (failed_seeds != 0) {
+    std::cerr << "error: " << failed_seeds << "/" << seeds
+              << " seeds diverged from the fault-free index\n";
+    return 2;
+  }
+  std::cout << "all " << seeds
+            << " seeds converged to the fault-free index\n";
+  return dump_metrics(flags);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: svgctl <generate|info|query|recover|wal-dump> "
+    std::cerr << "usage: svgctl <generate|info|query|recover|wal-dump|chaos> "
                  "[--flag value ...]\n";
     return 1;
   }
@@ -418,6 +546,7 @@ int main(int argc, char** argv) {
   if (cmd == "query") return cmd_query(flags);
   if (cmd == "recover") return cmd_recover(flags);
   if (cmd == "wal-dump") return cmd_wal_dump(flags);
+  if (cmd == "chaos") return cmd_chaos(flags);
   std::cerr << "unknown command: " << cmd << "\n";
   return 1;
 }

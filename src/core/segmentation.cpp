@@ -8,14 +8,54 @@
 
 namespace svg::core {
 
+bool valid_fov_record(const FovRecord& rec) noexcept {
+  return std::isfinite(rec.fov.p.lat) && std::isfinite(rec.fov.p.lng) &&
+         std::isfinite(rec.fov.theta_deg) && rec.fov.p.lat >= -90.0 &&
+         rec.fov.p.lat <= 90.0 && rec.fov.p.lng >= -180.0 &&
+         rec.fov.p.lng <= 180.0;
+}
+
+namespace {
+
+/// Shared sensor-dropout policy for both segmenter variants: repair an
+/// invalid reading to the last valid fix (keeping the frame's timestamp,
+/// so segment durations stay truthful) or report it unusable when no fix
+/// exists yet. Returns the frame to process, or nullopt to drop it.
+std::optional<FovRecord> repair_frame(const FovRecord& rec,
+                                      std::optional<FoV>& last_fix,
+                                      std::size_t& held,
+                                      std::size_t& dropped) {
+  auto& m = obs::segmentation_metrics();
+  if (valid_fov_record(rec)) {
+    last_fix = rec.fov;
+    return rec;
+  }
+  if (last_fix) {
+    FovRecord fixed = rec;
+    fixed.fov = *last_fix;
+    ++held;
+    m.frames_held.inc();
+    return fixed;
+  }
+  ++dropped;
+  m.frames_dropped.inc();
+  return std::nullopt;
+}
+
+}  // namespace
+
 VideoSegmenter::VideoSegmenter(const SimilarityModel& model,
                                SegmenterConfig cfg) noexcept
     : model_(&model), cfg_(cfg) {}
 
-std::optional<VideoSegment> VideoSegmenter::push(const FovRecord& rec) {
+std::optional<VideoSegment> VideoSegmenter::push(const FovRecord& raw) {
   auto& m = obs::segmentation_metrics();
   m.frames.inc();
   ++frames_seen_;
+  const auto repaired =
+      repair_frame(raw, last_fix_, frames_held_, frames_dropped_);
+  if (!repaired) return std::nullopt;
+  const FovRecord& rec = *repaired;
   if (current_.empty()) {
     anchor_ = rec.fov;
     current_.frames.push_back(rec);
@@ -136,10 +176,14 @@ RepresentativeFov StreamingAbstractionPipeline::emit() {
 }
 
 std::optional<RepresentativeFov> StreamingAbstractionPipeline::push(
-    const FovRecord& rec) {
+    const FovRecord& raw) {
   auto& m = obs::segmentation_metrics();
   m.frames.inc();
   ++frames_seen_;
+  const auto repaired =
+      repair_frame(raw, last_fix_, frames_held_, frames_dropped_);
+  if (!repaired) return std::nullopt;
+  const FovRecord& rec = *repaired;
   if (!open_) {
     reset_accumulator(rec);
     return std::nullopt;

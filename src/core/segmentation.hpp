@@ -37,6 +37,12 @@ enum class MeanPolicy {
   kCircular,         ///< wrap-safe circular mean of θ (default)
 };
 
+/// Sensor sanity check for one captured frame: finite values, latitude in
+/// [-90, 90], longitude in [-180, 180], finite compass angle. Phones emit
+/// NaN/garbage fixes during GPS dropout or compass calibration; letting
+/// one through poisons every running average in the segment it lands in.
+[[nodiscard]] bool valid_fov_record(const FovRecord& rec) noexcept;
+
 /// Streaming implementation of Algorithm 1. Push frames as they are
 /// captured; completed segments pop out as splits happen. Stores only the
 /// frames of the segment currently being built.
@@ -45,7 +51,9 @@ class VideoSegmenter {
   VideoSegmenter(const SimilarityModel& model, SegmenterConfig cfg) noexcept;
 
   /// Feed the FoV of the next frame. Returns the just-completed segment
-  /// when this frame triggered a split, nullopt otherwise.
+  /// when this frame triggered a split, nullopt otherwise. An invalid
+  /// sensor reading (see valid_fov_record) is repaired to the last valid
+  /// fix when one exists, and dropped outright otherwise.
   std::optional<VideoSegment> push(const FovRecord& rec);
 
   /// Signal end of recording; returns the final segment if any frames are
@@ -58,6 +66,12 @@ class VideoSegmenter {
   [[nodiscard]] std::size_t segments_completed() const noexcept {
     return segments_completed_;
   }
+  [[nodiscard]] std::size_t frames_held() const noexcept {
+    return frames_held_;
+  }
+  [[nodiscard]] std::size_t frames_dropped() const noexcept {
+    return frames_dropped_;
+  }
   [[nodiscard]] const SegmenterConfig& config() const noexcept { return cfg_; }
 
  private:
@@ -65,8 +79,11 @@ class VideoSegmenter {
   SegmenterConfig cfg_;
   VideoSegment current_;
   FoV anchor_;
+  std::optional<FoV> last_fix_;  ///< newest valid FoV, for hold-last-fix
   std::size_t frames_seen_ = 0;
   std::size_t segments_completed_ = 0;
+  std::size_t frames_held_ = 0;
+  std::size_t frames_dropped_ = 0;
 };
 
 /// Batch convenience: run Algorithm 1 over a whole FoV sequence.
@@ -92,7 +109,9 @@ class StreamingAbstractionPipeline {
       noexcept;
 
   /// Feed one frame; returns the representative FoV of the segment this
-  /// frame closed, if any.
+  /// frame closed, if any. Invalid sensor readings are repaired to the
+  /// last valid fix (hold-last-fix) or dropped when no fix exists yet —
+  /// see valid_fov_record.
   std::optional<RepresentativeFov> push(const FovRecord& rec);
 
   /// End of recording; emits the final segment's representative.
@@ -103,6 +122,12 @@ class StreamingAbstractionPipeline {
   }
   [[nodiscard]] std::uint32_t segments_emitted() const noexcept {
     return next_segment_id_;
+  }
+  [[nodiscard]] std::size_t frames_held() const noexcept {
+    return frames_held_;
+  }
+  [[nodiscard]] std::size_t frames_dropped() const noexcept {
+    return frames_dropped_;
   }
 
  private:
@@ -126,7 +151,10 @@ class StreamingAbstractionPipeline {
   double sum_sin_ = 0.0;    ///< circular-policy accumulators
   double sum_cos_ = 0.0;
 
+  std::optional<FoV> last_fix_;  ///< newest valid FoV, for hold-last-fix
   std::size_t frames_seen_ = 0;
+  std::size_t frames_held_ = 0;
+  std::size_t frames_dropped_ = 0;
   std::uint32_t next_segment_id_ = 0;
 };
 

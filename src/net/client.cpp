@@ -18,6 +18,10 @@ void MobileClient::on_frame(const core::FovRecord& rec) {
   if (auto rep = pipeline_.push(rec)) {
     pending_.push_back(*rep);
   }
+  // The pipeline owns sensor validation (hold-last-fix / drop); mirror its
+  // counters so per-device dropout is visible in ClientStats.
+  stats_.frames_held = pipeline_.frames_held();
+  stats_.frames_dropped = pipeline_.frames_dropped();
 }
 
 UploadMessage MobileClient::finish_recording() {

@@ -15,6 +15,8 @@ namespace svg::net {
 
 struct ClientStats {
   std::size_t frames_processed = 0;
+  std::size_t frames_held = 0;     ///< invalid fixes repaired (hold-last-fix)
+  std::size_t frames_dropped = 0;  ///< invalid fixes with nothing to hold
   std::size_t segments_uploaded = 0;
   std::uint64_t descriptor_bytes = 0;
   double video_bytes_avoided = 0.0;  ///< what a raw-upload design would send

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "media/video_store.hpp"
+#include "net/fault.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "retrieval/query.hpp"
@@ -57,6 +58,44 @@ struct FetchStats {
   std::uint64_t clip_bytes = 0;       ///< what actually crossed the links
   std::uint64_t full_video_bytes = 0; ///< counterfactual: whole recordings
   double fetch_time_ms = 0.0;         ///< simulated link time
+  std::uint64_t attempts = 0;         ///< degraded-path exchanges tried
+  std::uint64_t retries = 0;          ///< degraded-path re-tries
+  std::uint64_t timeouts = 0;         ///< attempts with no usable response
+};
+
+/// Retry/deadline policy for degraded fetch over a lossy link. Backoff is
+/// capped-exponential without jitter (per-clip exchanges are serial; the
+/// thundering-herd concern behind upload jitter does not apply).
+struct FetchPolicy {
+  std::uint32_t max_attempts = 3;
+  double attempt_timeout_ms = 2'000.0;  ///< charged when no response lands
+  double backoff_base_ms = 50.0;
+  double backoff_max_ms = 1'000.0;
+  /// Total sim-time budget per clip, measured from its first attempt;
+  /// 0 = no deadline (attempts alone bound the work).
+  double deadline_ms = 8'000.0;
+};
+
+enum class FetchFailure : std::uint8_t {
+  kUnknownProvider,  ///< no registered device for the video
+  kNotFound,         ///< provider answered: it no longer has the clip
+  kTimedOut,         ///< retries/deadline exhausted without a response
+};
+
+/// One result the degraded fetch could not satisfy — flagged, not fatal.
+struct MissingClip {
+  std::uint64_t video_id = 0;
+  std::uint32_t segment_id = 0;
+  FetchFailure reason = FetchFailure::kTimedOut;
+  std::uint32_t attempts = 0;
+};
+
+/// Partial result of a degraded fetch: what arrived, plus an explicit
+/// account of every clip that did not (instead of failing the query).
+struct FetchReport {
+  std::vector<media::Clip> clips;
+  std::vector<MissingClip> missing;
+  [[nodiscard]] bool complete() const noexcept { return missing.empty(); }
 };
 
 /// The querier-side driver: given ranked results, fetch each matched clip
@@ -66,6 +105,12 @@ class FetchCoordinator {
   /// Register a provider device (its store and its uplink).
   void register_provider(std::uint64_t video_id,
                          const media::VideoStore* store, Link* link);
+
+  /// Register a provider reachable only through a faulty link; degraded
+  /// fetches route the exchange through it (and the plain fetch() path
+  /// uses its inner link, faults not applied).
+  void register_provider(std::uint64_t video_id,
+                         const media::VideoStore* store, FaultyLink* link);
 
   /// Fetch the clip for one result. When a query window is given, the
   /// request is clamped to segment ∩ window — a segment can be much
@@ -85,13 +130,37 @@ class FetchCoordinator {
       std::size_t limit = 0, core::TimestampMs window_start = 0,
       core::TimestampMs window_end = 0);
 
+  /// Fetch one clip with per-attempt timeouts, capped backoff and a
+  /// per-request deadline — the lossy-link path. nullopt means the clip
+  /// could not be fetched; when `missing_out` is non-null it receives the
+  /// reason and attempt count.
+  [[nodiscard]] std::optional<media::Clip> fetch_degraded(
+      const retrieval::RankedResult& result, const FetchPolicy& policy = {},
+      MissingClip* missing_out = nullptr, core::TimestampMs window_start = 0,
+      core::TimestampMs window_end = 0);
+
+  /// Degraded fetch over the top `limit` results (all when limit = 0):
+  /// partial results with every unfetchable clip explicitly flagged,
+  /// never a failed query.
+  [[nodiscard]] FetchReport fetch_all_degraded(
+      std::span<const retrieval::RankedResult> results,
+      const FetchPolicy& policy = {}, std::size_t limit = 0,
+      core::TimestampMs window_start = 0, core::TimestampMs window_end = 0);
+
   [[nodiscard]] const FetchStats& stats() const noexcept { return stats_; }
 
  private:
   struct Provider {
     const media::VideoStore* store = nullptr;
     Link* link = nullptr;
+    FaultyLink* faulty = nullptr;  ///< set = degraded path injects faults
   };
+
+  /// One request/response exchange via the provider's (possibly faulty)
+  /// link. nullopt = nothing usable came back this attempt.
+  [[nodiscard]] std::optional<ClipResponse> exchange(
+      const Provider& p, const ClipRequest& req);
+
   std::map<std::uint64_t, Provider> providers_;
   FetchStats stats_;
 };

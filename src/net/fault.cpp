@@ -1,0 +1,108 @@
+#include "net/fault.hpp"
+
+#include "obs/families.hpp"
+#include "util/rng.hpp"
+
+namespace svg::net {
+
+namespace {
+
+/// Mix (seed, direction, ordinal) into one RNG stream per message so every
+/// fault decision is independent of call interleaving across directions —
+/// a replay with the same plan makes identical choices message by message.
+util::Xoshiro256 message_rng(std::uint64_t seed, bool up,
+                             std::uint64_t ordinal) {
+  util::SplitMix64 mix(seed ^ (up ? 0x75704c696e6bULL : 0x646f776e4cULL));
+  mix.next();
+  return util::Xoshiro256(mix.next() ^ ordinal * 0x9e3779b97f4a7c15ULL);
+}
+
+}  // namespace
+
+FaultyLink::Delivery FaultyLink::transfer_up(
+    std::span<const std::uint8_t> bytes) {
+  return transfer(bytes, true);
+}
+
+FaultyLink::Delivery FaultyLink::transfer_down(
+    std::span<const std::uint8_t> bytes) {
+  return transfer(bytes, false);
+}
+
+FaultStats FaultyLink::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+FaultyLink::Delivery FaultyLink::transfer(std::span<const std::uint8_t> bytes,
+                                          bool up) {
+  std::lock_guard lock(mutex_);
+  auto& fm = obs::net_fault_metrics();
+  DirectionState& dir = up ? up_ : down_;
+  auto rng = message_rng(plan_.seed, up, dir.ordinal++);
+  ++stats_.attempts;
+  fm.messages.inc();
+
+  Delivery d;
+  // The radio transmits whether or not the far side hears it: airtime is
+  // charged on the wrapped link for every attempt.
+  d.latency_ms =
+      up ? inner_.send_up(bytes.size()) : inner_.send_down(bytes.size());
+  if (clock_ != nullptr) clock_->advance(d.latency_ms);
+  const double now = clock_ != nullptr ? clock_->now_ms() : 0.0;
+
+  if (plan_.disconnected_at(now)) {
+    ++stats_.disconnect_drops;
+    fm.disconnect_drops.inc();
+    d.lost = true;
+    // A disconnect also flushes nothing: a held (reordered) message stays
+    // held until the link is back and another message pushes it out.
+    return d;
+  }
+
+  if (rng.chance(plan_.drop)) {
+    ++stats_.dropped;
+    fm.drops.inc();
+    d.lost = true;
+  } else if (!dir.holding && rng.chance(plan_.reorder)) {
+    // Hold this message back; it arrives after the NEXT message in this
+    // direction. From the sender's view it looks lost for now.
+    dir.held.assign(bytes.begin(), bytes.end());
+    dir.holding = true;
+    ++stats_.reordered;
+    fm.reorders.inc();
+  } else {
+    d.copies.emplace_back(bytes.begin(), bytes.end());
+    if (rng.chance(plan_.duplicate)) {
+      d.copies.emplace_back(bytes.begin(), bytes.end());
+      ++stats_.duplicated;
+      fm.duplicates.inc();
+    }
+  }
+
+  // Release a previously held message behind whatever arrived now; across
+  // a loss it simply stays held and rides behind a later delivery.
+  if (dir.holding && !d.copies.empty()) {
+    d.copies.push_back(std::move(dir.held));
+    dir.held.clear();
+    dir.holding = false;
+  }
+
+  for (auto& copy : d.copies) {
+    if (!copy.empty() && rng.chance(plan_.corrupt)) {
+      const std::size_t flips = 1 + rng.bounded(3);
+      for (std::size_t i = 0; i < flips; ++i) {
+        const std::size_t pos = rng.bounded(copy.size());
+        copy[pos] ^= static_cast<std::uint8_t>(1U << rng.bounded(8));
+      }
+      ++stats_.corrupted;
+      fm.corruptions.inc();
+    }
+  }
+
+  stats_.delivered += d.copies.size();
+  if (d.copies.empty() && !d.lost) d.lost = true;  // held for reorder
+  return d;
+}
+
+}  // namespace svg::net

@@ -36,10 +36,18 @@ CloudServer::CloudServer(ServerIndexConfig index_config,
   wal_opts.batch_flush_interval_ms = durability.batch_flush_interval_ms;
 
   auto opened = store::recover_and_open(
-      wal_opts, [&](std::span<const core::RepresentativeFov> reps) {
+      wal_opts,
+      [&](std::span<const core::RepresentativeFov> reps) {
         with_index([&](auto& idx) { idx.insert_batch(reps); });
         obs::server_metrics().segments_indexed.inc(reps.size());
         segments_indexed_.fetch_add(reps.size(), std::memory_order_release);
+      },
+      [&](std::span<const std::uint64_t> ids) {
+        // Replay bypasses ingest() (records were deduped before they were
+        // logged), so the set is repopulated directly: a retransmit that
+        // arrives after the crash must still be recognized.
+        std::lock_guard lock(dedup_mu_);
+        seen_upload_ids_.insert(ids.begin(), ids.end());
       });
   recovery_ = std::move(opened.result);
   if (!recovery_.ok) {
@@ -51,12 +59,19 @@ CloudServer::CloudServer(ServerIndexConfig index_config,
   wal_ = std::move(opened.wal);
 
   auto source = [this]() {
-    // Exclusive gate: no ingest is between its WAL append and its index
-    // insert, so (last_seq, snapshot) is a consistent pair.
+    // Exclusive gate: no ingest is between its id claim, WAL append and
+    // index insert, so (last_seq, snapshot, dedup set) is consistent —
+    // every captured id's record is ≤ seq and vice versa.
     std::unique_lock gate(ingest_gate_);
-    const std::uint64_t seq = wal_->last_seq();
-    auto reps = with_index([](const auto& idx) { return idx.snapshot(); });
-    return std::make_pair(std::move(reps), seq);
+    store::CheckpointData data;
+    data.seq = wal_->last_seq();
+    data.reps = with_index([](const auto& idx) { return idx.snapshot(); });
+    {
+      std::lock_guard lock(dedup_mu_);
+      data.upload_ids.assign(seen_upload_ids_.begin(),
+                             seen_upload_ids_.end());
+    }
+    return data;
   };
   checkpointer_ = std::make_unique<store::Checkpointer>(
       durability.data_dir, wal_.get(), std::move(source),
@@ -75,19 +90,56 @@ bool CloudServer::handle_upload(std::span<const std::uint8_t> bytes) {
     m.reject_decode.inc();
     return false;
   }
-  ingest(*msg);
+  // A deduped retransmit is a success from the sender's view: the upload
+  // is in the index, just not twice.
+  (void)ingest(*msg);
   return true;
 }
 
-void CloudServer::ingest(const UploadMessage& msg) {
+std::optional<std::vector<std::uint8_t>> CloudServer::handle_upload_acked(
+    std::span<const std::uint8_t> bytes) {
+  auto& m = obs::server_metrics();
+  obs::ScopedTimer timer(m.upload_ns);
+  const auto msg = decode_upload(bytes);
+  if (!msg) {
+    // Corrupted/truncated on the wire — no upload_id to address an ack
+    // to, so stay silent and let the client's retry timeout handle it.
+    uploads_rejected_.fetch_add(1, std::memory_order_relaxed);
+    m.uploads_rejected.inc();
+    m.reject_decode.inc();
+    return std::nullopt;
+  }
+  UploadAck ack;
+  ack.upload_id = msg->upload_id;
+  ack.segments_indexed = msg->segments.size();
+  ack.status = ingest(*msg) ? UploadAckStatus::kAccepted
+                            : UploadAckStatus::kDuplicate;
+  return encode_upload_ack(ack);
+}
+
+bool CloudServer::claim_upload_id(std::uint64_t id) {
+  if (id == 0) return true;  // legacy/no-id uploads bypass dedup
+  std::lock_guard lock(dedup_mu_);
+  return seen_upload_ids_.insert(id).second;
+}
+
+bool CloudServer::ingest(const UploadMessage& msg) {
   auto& m = obs::server_metrics();
   obs::ScopedTimer timer(m.ingest_ns);
   if (wal_ != nullptr) {
     // Log before indexing — the WAL ack is what recovery restores. The
-    // shared gate keeps (append + insert) atomic w.r.t. a checkpoint (see
-    // ingest_gate_); encoding stays outside it.
-    const auto record = store::encode_upload_record(msg.segments);
+    // shared gate keeps (claim + append + insert) atomic w.r.t. a
+    // checkpoint (see ingest_gate_); encoding stays outside it. The id is
+    // claimed before the append so the WAL holds each upload_id at most
+    // once — replay can repopulate the dedup set unconditionally.
+    const auto record =
+        store::encode_upload_record(msg.segments, msg.upload_id);
     std::shared_lock gate(ingest_gate_);
+    if (!claim_upload_id(msg.upload_id)) {
+      uploads_deduped_.fetch_add(1, std::memory_order_relaxed);
+      m.uploads_deduped.inc();
+      return false;
+    }
     if (wal_->append(record) == 0) {
       // The log is dead (disk error); keep serving from memory but make
       // the gap visible.
@@ -95,6 +147,11 @@ void CloudServer::ingest(const UploadMessage& msg) {
     }
     with_index([&](auto& idx) { idx.insert_batch(msg.segments); });
   } else {
+    if (!claim_upload_id(msg.upload_id)) {
+      uploads_deduped_.fetch_add(1, std::memory_order_relaxed);
+      m.uploads_deduped.inc();
+      return false;
+    }
     // Batch path: one writer-lock acquisition per upload (per shard for
     // the sharded backend) instead of one per segment.
     with_index([&](auto& idx) { idx.insert_batch(msg.segments); });
@@ -105,6 +162,7 @@ void CloudServer::ingest(const UploadMessage& msg) {
   // accepted upload is guaranteed to see its segments (see ServerStats).
   segments_indexed_.fetch_add(msg.segments.size(), std::memory_order_release);
   uploads_accepted_.fetch_add(1, std::memory_order_release);
+  return true;
 }
 
 std::vector<retrieval::RankedResult> CloudServer::search(
@@ -159,18 +217,34 @@ std::optional<std::vector<std::uint8_t>> CloudServer::handle_query(
 }
 
 bool CloudServer::save_snapshot(const std::string& path) const {
+  std::vector<std::uint64_t> ids;
+  {
+    std::lock_guard lock(dedup_mu_);
+    ids.assign(seen_upload_ids_.begin(), seen_upload_ids_.end());
+  }
   return save_snapshot_file(
-      with_index([](const auto& idx) { return idx.snapshot(); }), path);
+      with_index([](const auto& idx) { return idx.snapshot(); }), path,
+      /*last_seq=*/0, std::move(ids));
 }
 
 std::optional<std::size_t> CloudServer::load_snapshot(
     const std::string& path) {
-  const auto reps = load_snapshot_file(path);
-  if (!reps) return std::nullopt;
-  with_index([&](auto& idx) { idx.insert_batch(*reps); });
-  obs::server_metrics().segments_indexed.inc(reps->size());
-  segments_indexed_.fetch_add(reps->size(), std::memory_order_release);
-  return reps->size();
+  const auto snap = store::load_snapshot_file_full(path);
+  if (!snap) return std::nullopt;
+  with_index([&](auto& idx) { idx.insert_batch(snap->reps); });
+  {
+    std::lock_guard lock(dedup_mu_);
+    seen_upload_ids_.insert(snap->upload_ids.begin(),
+                            snap->upload_ids.end());
+  }
+  obs::server_metrics().segments_indexed.inc(snap->reps.size());
+  segments_indexed_.fetch_add(snap->reps.size(), std::memory_order_release);
+  return snap->reps.size();
+}
+
+std::size_t CloudServer::known_upload_ids() const {
+  std::lock_guard lock(dedup_mu_);
+  return seen_upload_ids_.size();
 }
 
 bool CloudServer::checkpoint_now() {
@@ -200,6 +274,7 @@ ServerStats CloudServer::stats() const {
   s.uploads_accepted = uploads_accepted_.load(std::memory_order_acquire);
   s.segments_indexed = segments_indexed_.load(std::memory_order_acquire);
   s.uploads_rejected = uploads_rejected_.load(std::memory_order_acquire);
+  s.uploads_deduped = uploads_deduped_.load(std::memory_order_acquire);
   s.queries_served = queries_served_.load(std::memory_order_acquire);
   return s;
 }
@@ -207,6 +282,7 @@ ServerStats CloudServer::stats() const {
 void CloudServer::reset_stats() {
   uploads_accepted_.store(0, std::memory_order_release);
   uploads_rejected_.store(0, std::memory_order_release);
+  uploads_deduped_.store(0, std::memory_order_release);
   segments_indexed_.store(0, std::memory_order_release);
   queries_served_.store(0, std::memory_order_release);
 }

@@ -6,10 +6,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <variant>
 #include <vector>
 
@@ -33,6 +35,7 @@ namespace svg::net {
 struct ServerStats {
   std::uint64_t uploads_accepted = 0;
   std::uint64_t uploads_rejected = 0;
+  std::uint64_t uploads_deduped = 0;  ///< retransmits absorbed by upload_id
   std::uint64_t segments_indexed = 0;
   std::uint64_t queries_served = 0;
 };
@@ -82,11 +85,23 @@ class CloudServer {
   ~CloudServer();
 
   /// Decode + ingest a wire-format upload. Returns false (and counts a
-  /// rejection) on malformed bytes.
+  /// rejection) on malformed bytes. A retransmit of an already-ingested
+  /// upload_id returns true without indexing anything twice.
   bool handle_upload(std::span<const std::uint8_t> bytes);
 
-  /// Ingest an already decoded upload (local/in-process path).
-  void ingest(const UploadMessage& msg);
+  /// Decode + ingest a wire-format upload and produce the encoded
+  /// UploadAck to send back. nullopt only when the bytes are undecodable
+  /// (no upload_id to address the ack to — the client's retry timeout
+  /// covers it). The retrying-client path: at-least-once delivery on the
+  /// link, exactly-once effect in the index.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> handle_upload_acked(
+      std::span<const std::uint8_t> bytes);
+
+  /// Ingest an already decoded upload (local/in-process path). Returns
+  /// false when msg.upload_id was already ingested (nothing indexed) —
+  /// always true for id-less (upload_id == 0) messages, which bypass
+  /// dedup entirely.
+  bool ingest(const UploadMessage& msg);
 
   /// Decode a wire-format query, run retrieval, return encoded results.
   /// nullopt on malformed input. Thread-safe; many queriers may call
@@ -109,6 +124,9 @@ class CloudServer {
   [[nodiscard]] ServerStats stats() const;
   /// Zero this instance's counters (not the process-wide metric family).
   void reset_stats();
+
+  /// Distinct upload_ids the dedup set currently remembers.
+  [[nodiscard]] std::size_t known_upload_ids() const;
 
   /// Durability: persist every indexed segment to `path` (atomic write).
   bool save_snapshot(const std::string& path) const;
@@ -154,12 +172,24 @@ class CloudServer {
                       index_);
   }
 
+  /// Atomically claim an upload_id. False = already ingested (retransmit).
+  /// id 0 (legacy/no-id) always claims successfully and is never stored.
+  bool claim_upload_id(std::uint64_t id);
+
   IndexVariant index_;
   retrieval::RetrievalConfig retrieval_config_;
   std::atomic<std::uint64_t> uploads_accepted_{0};
   std::atomic<std::uint64_t> uploads_rejected_{0};
+  std::atomic<std::uint64_t> uploads_deduped_{0};
   std::atomic<std::uint64_t> segments_indexed_{0};
   mutable std::atomic<std::uint64_t> queries_served_{0};
+
+  // Ingest-dedup state. Guarded by its own mutex (many shared-gate
+  // holders ingest concurrently); claimed INSIDE the ingest gate and
+  // BEFORE the WAL append, so a checkpoint (exclusive gate) can never
+  // capture an id whose record it does not also cover.
+  mutable std::mutex dedup_mu_;
+  std::unordered_set<std::uint64_t> seen_upload_ids_;
 
   // Durable path. Ingest holds ingest_gate_ shared across (WAL append +
   // index insert); the checkpoint source holds it exclusive across (read

@@ -1,0 +1,122 @@
+#include "net/upload_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/server.hpp"
+#include "obs/families.hpp"
+
+namespace svg::net {
+
+std::uint64_t UploadQueue::enqueue(const UploadMessage& m) {
+  // ids are a pure function of (queue seed, enqueue ordinal): a client that
+  // crashes and re-enqueues the same recordings through a fresh queue with
+  // the same seed re-offers the same ids, which is exactly what lets the
+  // server's dedup set absorb the replay.
+  util::SplitMix64 mix(seed_ ^ (next_ordinal_++ * 0x9e3779b97f4a7c15ULL));
+  std::uint64_t id = mix.next();
+  if (id == 0) id = 1;  // 0 is reserved for legacy no-id uploads
+
+  UploadMessage tagged = m;
+  tagged.upload_id = id;
+  Pending p;
+  p.upload_id = id;
+  p.bytes = encode_upload(tagged);
+  p.next_eligible_ms = now_ms();
+  p.enqueued_ms = now_ms();
+  pending_.push_back(std::move(p));
+  ++stats_.enqueued;
+  return id;
+}
+
+double UploadQueue::backoff_ms(std::uint32_t attempts_made) {
+  if (!policy_.backoff_enabled) return 0.0;
+  const double exp =
+      policy_.base_backoff_ms *
+      std::pow(policy_.multiplier,
+               static_cast<double>(attempts_made > 0 ? attempts_made - 1 : 0));
+  const double capped = std::min(exp, policy_.max_backoff_ms);
+  const double j = std::clamp(policy_.jitter, 0.0, 1.0);
+  return capped * jitter_rng_.uniform(1.0 - j, 1.0 + j);
+}
+
+bool UploadQueue::drain(const AttemptFn& attempt) {
+  auto& rm = obs::net_retry_metrics();
+  bool all_acked = true;
+  while (!pending_.empty()) {
+    // Next-eligible first: with several uploads in flight the queue
+    // interleaves their attempts instead of hammering one while the
+    // others' backoff windows sit idle.
+    const auto it = std::min_element(
+        pending_.begin(), pending_.end(), [](const auto& a, const auto& b) {
+          return a.next_eligible_ms < b.next_eligible_ms;
+        });
+    Pending& p = *it;
+    if (clock_ != nullptr && p.next_eligible_ms > clock_->now_ms()) {
+      clock_->advance(p.next_eligible_ms - clock_->now_ms());
+    }
+
+    ++p.attempts;
+    ++stats_.attempts;
+    rm.upload_attempts.inc();
+    if (p.attempts > 1) {
+      ++stats_.retries;
+      rm.upload_retries.inc();
+    }
+
+    const auto ack = attempt(p.bytes);
+    const bool matched = ack && ack->upload_id == p.upload_id;
+    if (matched && ack->status == UploadAckStatus::kRejected) {
+      ++stats_.rejected;
+      rm.upload_rejected.inc();
+      pending_.erase(it);
+      all_acked = false;
+      continue;
+    }
+    if (matched) {  // accepted or duplicate — either way it is indexed
+      ++stats_.acked;
+      rm.upload_acks.inc();
+      rm.attempts_per_upload.observe(p.attempts);
+      if (ack->status == UploadAckStatus::kDuplicate) {
+        ++stats_.duplicate_acks;
+        rm.upload_duplicate_acks.inc();
+      }
+      completion_ms_.push_back(now_ms() - p.enqueued_ms);
+      pending_.erase(it);
+      continue;
+    }
+
+    // No usable ack: the client waits out the ack timeout, then backs off.
+    if (clock_ != nullptr) clock_->advance(policy_.attempt_timeout_ms);
+    if (p.attempts >= policy_.max_attempts) {
+      ++stats_.exhausted;
+      rm.upload_exhausted.inc();
+      pending_.erase(it);
+      all_acked = false;
+      continue;
+    }
+    const double backoff = backoff_ms(p.attempts);
+    rm.backoff_ms.observe(static_cast<std::uint64_t>(backoff));
+    p.next_eligible_ms = now_ms() + backoff;
+  }
+  return all_acked;
+}
+
+std::optional<UploadAck> FaultyUploadChannel::operator()(
+    const std::vector<std::uint8_t>& bytes) {
+  const auto up = link_.transfer_up(bytes);
+  std::optional<UploadAck> result;
+  for (const auto& copy : up.copies) {
+    const auto ack_bytes = server_.handle_upload_acked(copy);
+    if (!ack_bytes) continue;  // undecodable on arrival — no one to ack
+    const auto down = link_.transfer_down(*ack_bytes);
+    for (const auto& ack_copy : down.copies) {
+      if (auto ack = decode_upload_ack(ack_copy); ack && !result) {
+        result = ack;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace svg::net

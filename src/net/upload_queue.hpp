@@ -1,0 +1,115 @@
+#pragma once
+// Client-side at-least-once upload delivery. Finished recordings are
+// enqueued with a unique upload_id (deterministic per queue seed, so a
+// crashed client that re-enqueues the same recordings reproduces the same
+// ids and the server dedups the replays). drain() retries each pending
+// upload with capped exponential backoff + jitter and a per-attempt ack
+// timeout until the server acknowledges it, rejects it permanently, or the
+// attempt budget runs out. Time is simulated: transfers, timeouts and
+// backoff sleeps advance a SimClock, never the wall clock.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "net/fault.hpp"
+#include "net/wire.hpp"
+#include "util/rng.hpp"
+
+namespace svg::net {
+
+struct RetryPolicy {
+  std::uint32_t max_attempts = 8;
+  double base_backoff_ms = 100.0;
+  double max_backoff_ms = 10'000.0;
+  double multiplier = 2.0;
+  double jitter = 0.2;  ///< backoff scaled by uniform [1-j, 1+j)
+  double attempt_timeout_ms = 2'000.0;  ///< charged when no ack arrives
+  bool backoff_enabled = true;  ///< false = immediate retry (bench contrast)
+};
+
+struct UploadQueueStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t acked = 0;           ///< accepted + duplicate acks
+  std::uint64_t duplicate_acks = 0;  ///< retransmits the server deduped
+  std::uint64_t attempts = 0;        ///< every send, first tries included
+  std::uint64_t retries = 0;         ///< re-sends only
+  std::uint64_t exhausted = 0;       ///< gave up after max_attempts
+  std::uint64_t rejected = 0;        ///< server said permanent reject
+};
+
+class UploadQueue {
+ public:
+  /// One delivery attempt: takes the encoded upload, returns the decoded
+  /// ack if one made it back (nullopt = lost/timed out/corrupted).
+  using AttemptFn =
+      std::function<std::optional<UploadAck>(const std::vector<std::uint8_t>&)>;
+
+  explicit UploadQueue(RetryPolicy policy = {}, std::uint64_t seed = 1,
+                       SimClock* clock = nullptr)
+      : policy_(policy), seed_(seed), jitter_rng_(seed), clock_(clock) {}
+
+  /// Assigns the message its upload_id, encodes it once, and queues it.
+  /// Returns the assigned id.
+  std::uint64_t enqueue(const UploadMessage& m);
+
+  /// Drives every pending upload to a terminal state (acked, rejected, or
+  /// exhausted). Entries are attempted in next-eligible order; waiting for
+  /// a backoff deadline advances the sim clock. Returns true iff every
+  /// pending upload was acked.
+  bool drain(const AttemptFn& attempt);
+
+  [[nodiscard]] const UploadQueueStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] double now_ms() const noexcept {
+    return clock_ != nullptr ? clock_->now_ms() : 0.0;
+  }
+  /// Completion latency (enqueue → ack, sim ms) per acked upload, in ack
+  /// order — the bench reads percentiles from this.
+  [[nodiscard]] const std::vector<double>& completion_ms() const noexcept {
+    return completion_ms_;
+  }
+
+ private:
+  struct Pending {
+    std::uint64_t upload_id = 0;
+    std::vector<std::uint8_t> bytes;
+    std::uint32_t attempts = 0;
+    double next_eligible_ms = 0.0;
+    double enqueued_ms = 0.0;
+  };
+
+  [[nodiscard]] double backoff_ms(std::uint32_t attempts_made);
+
+  RetryPolicy policy_;
+  std::uint64_t seed_;
+  std::uint64_t next_ordinal_ = 0;  ///< per-queue id counter
+  util::Xoshiro256 jitter_rng_;
+  SimClock* clock_;
+  std::vector<Pending> pending_;
+  UploadQueueStats stats_;
+  std::vector<double> completion_ms_;
+};
+
+/// The standard loop closure for tests/benches/svgctl: push the encoded
+/// upload through a FaultyLink, feed every delivered copy to the server,
+/// and carry the (first valid) ack back through the same faulty downlink.
+class FaultyUploadChannel {
+ public:
+  FaultyUploadChannel(FaultyLink& link, class CloudServer& server) noexcept
+      : link_(link), server_(server) {}
+
+  [[nodiscard]] std::optional<UploadAck> operator()(
+      const std::vector<std::uint8_t>& bytes);
+
+ private:
+  FaultyLink& link_;
+  CloudServer& server_;
+};
+
+}  // namespace svg::net

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "geo/angle.hpp"
+#include "store/crc32c.hpp"
 
 namespace svg::net {
 
@@ -18,18 +19,12 @@ double dequantize_deg(std::int64_t q) {
   return static_cast<double>(q) / kDegScale;
 }
 
-}  // namespace
-
-// --- upload -----------------------------------------------------------------
-
-std::vector<std::uint8_t> encode_upload(const UploadMessage& m) {
-  ByteWriter w;
-  w.put_u8(kMsgUpload);
-  w.put_varint(m.video_id);
-  w.put_varint(m.segments.size());
+/// Delta-encoded segment records — the common body of v1/v2 uploads.
+void put_segment_records(ByteWriter& w,
+                         std::span<const core::RepresentativeFov> segments) {
   std::int64_t prev_lat = 0, prev_lng = 0;
   std::int64_t prev_t = 0;
-  for (const auto& s : m.segments) {
+  for (const auto& s : segments) {
     const std::int64_t lat = quantize_deg(s.fov.p.lat);
     const std::int64_t lng = quantize_deg(s.fov.p.lng);
     w.put_varint(s.segment_id);
@@ -43,32 +38,22 @@ std::vector<std::uint8_t> encode_upload(const UploadMessage& m) {
     prev_lng = lng;
     prev_t = s.t_start;
   }
-  return w.take();
 }
 
-std::optional<UploadMessage> decode_upload(
-    std::span<const std::uint8_t> bytes) {
-  ByteReader r(bytes);
-  const auto tag = r.get_u8();
-  if (!tag || *tag != kMsgUpload) return std::nullopt;
-  UploadMessage m;
-  const auto vid = r.get_varint();
-  const auto count = r.get_varint();
-  if (!vid || !count) return std::nullopt;
-  m.video_id = *vid;
+bool get_segment_records(ByteReader& r, std::uint64_t count,
+                         std::uint64_t video_id,
+                         std::vector<core::RepresentativeFov>& out) {
   std::int64_t prev_lat = 0, prev_lng = 0, prev_t = 0;
-  for (std::uint64_t i = 0; i < *count; ++i) {
+  for (std::uint64_t i = 0; i < count; ++i) {
     const auto seg_id = r.get_varint();
     const auto dlat = r.get_svarint();
     const auto dlng = r.get_svarint();
     const auto theta = r.get_u16();
     const auto dt = r.get_svarint();
     const auto dur = r.get_varint();
-    if (!seg_id || !dlat || !dlng || !theta || !dt || !dur) {
-      return std::nullopt;
-    }
+    if (!seg_id || !dlat || !dlng || !theta || !dt || !dur) return false;
     core::RepresentativeFov rep;
-    rep.video_id = m.video_id;
+    rep.video_id = video_id;
     rep.segment_id = static_cast<std::uint32_t>(*seg_id);
     prev_lat += *dlat;
     prev_lng += *dlng;
@@ -78,8 +63,105 @@ std::optional<UploadMessage> decode_upload(
     prev_t += *dt;
     rep.t_start = prev_t;
     rep.t_end = prev_t + static_cast<std::int64_t>(*dur);
-    m.segments.push_back(rep);
+    out.push_back(rep);
   }
+  return true;
+}
+
+/// Appends crc32c of everything written so far — the v2/ack trailer.
+void put_crc_trailer(ByteWriter& w) {
+  w.put_u32(store::crc32c(std::span(w.bytes())));
+}
+
+/// True iff `bytes` ends with a valid crc32c of everything before it.
+bool check_crc_trailer(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 4) return false;
+  const auto body = bytes.first(bytes.size() - 4);
+  ByteReader tail(bytes.subspan(bytes.size() - 4));
+  const auto crc = tail.get_u32();
+  return crc && *crc == store::crc32c(body);
+}
+
+}  // namespace
+
+// --- upload -----------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_upload(const UploadMessage& m) {
+  ByteWriter w;
+  if (m.upload_id == 0) {
+    // Legacy v1 — byte-identical to the pre-upload_id format.
+    w.put_u8(kMsgUpload);
+    w.put_varint(m.video_id);
+    w.put_varint(m.segments.size());
+    put_segment_records(w, m.segments);
+    return w.take();
+  }
+  w.put_u8(kMsgUploadV2);
+  w.put_varint(m.upload_id);
+  w.put_varint(m.video_id);
+  w.put_varint(m.segments.size());
+  put_segment_records(w, m.segments);
+  put_crc_trailer(w);
+  return w.take();
+}
+
+std::optional<UploadMessage> decode_upload(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return std::nullopt;
+  const std::uint8_t tag = bytes.front();
+  UploadMessage m;
+  if (tag == kMsgUploadV2) {
+    // The checksum gates everything: corrupted v2 bytes must not decode
+    // into a plausible-but-wrong message (the chaos tests rely on this).
+    if (!check_crc_trailer(bytes)) return std::nullopt;
+    ByteReader r(bytes.first(bytes.size() - 4));
+    (void)r.get_u8();
+    const auto uid = r.get_varint();
+    const auto vid = r.get_varint();
+    const auto count = r.get_varint();
+    if (!uid || *uid == 0 || !vid || !count) return std::nullopt;
+    m.upload_id = *uid;
+    m.video_id = *vid;
+    if (!get_segment_records(r, *count, *vid, m.segments)) return std::nullopt;
+    return m;
+  }
+  if (tag != kMsgUpload) return std::nullopt;
+  ByteReader r(bytes);
+  (void)r.get_u8();
+  const auto vid = r.get_varint();
+  const auto count = r.get_varint();
+  if (!vid || !count) return std::nullopt;
+  m.video_id = *vid;
+  if (!get_segment_records(r, *count, *vid, m.segments)) return std::nullopt;
+  return m;
+}
+
+// --- upload ack -------------------------------------------------------------
+
+std::vector<std::uint8_t> encode_upload_ack(const UploadAck& m) {
+  ByteWriter w;
+  w.put_u8(kMsgUploadAck);
+  w.put_u8(static_cast<std::uint8_t>(m.status));
+  w.put_varint(m.upload_id);
+  w.put_varint(m.segments_indexed);
+  put_crc_trailer(w);
+  return w.take();
+}
+
+std::optional<UploadAck> decode_upload_ack(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.empty() || bytes.front() != kMsgUploadAck) return std::nullopt;
+  if (!check_crc_trailer(bytes)) return std::nullopt;
+  ByteReader r(bytes.first(bytes.size() - 4));
+  (void)r.get_u8();
+  const auto status = r.get_u8();
+  const auto uid = r.get_varint();
+  const auto segs = r.get_varint();
+  if (!status || *status > 2 || !uid || !segs) return std::nullopt;
+  UploadAck m;
+  m.status = static_cast<UploadAckStatus>(*status);
+  m.upload_id = *uid;
+  m.segments_indexed = *segs;
   return m;
 }
 

@@ -30,12 +30,36 @@ using util::ByteWriter;
 inline constexpr std::uint8_t kMsgUpload = 1;
 inline constexpr std::uint8_t kMsgQuery = 2;
 inline constexpr std::uint8_t kMsgResults = 3;
+// 4 and 5 are the clip request/response (clip_fetch.hpp).
+inline constexpr std::uint8_t kMsgUploadV2 = 6;
+inline constexpr std::uint8_t kMsgUploadAck = 7;
 
 /// A client's end-of-recording upload: every representative FoV of one
 /// video. Positions/timestamps are delta-encoded across segments.
+///
+/// upload_id == 0 encodes as the legacy kMsgUpload format (no id, no
+/// checksum) so pre-retry peers keep interoperating; any other id encodes
+/// as kMsgUploadV2 — the id travels first so the server can dedup
+/// retransmits, and a crc32c trailer rejects corrupted-but-parseable
+/// bytes (a flipped varint byte otherwise silently changes a position).
 struct UploadMessage {
+  std::uint64_t upload_id = 0;  ///< 0 = legacy message without an id
   std::uint64_t video_id = 0;
   std::vector<core::RepresentativeFov> segments;
+};
+
+/// Server verdict on one upload attempt, keyed by upload_id so the client
+/// can match acks to pending queue entries even after reordering.
+enum class UploadAckStatus : std::uint8_t {
+  kRejected = 0,   ///< permanently malformed — do not retry
+  kAccepted = 1,   ///< ingested (durably, if a WAL is configured)
+  kDuplicate = 2,  ///< retransmit of an already-ingested upload_id
+};
+
+struct UploadAck {
+  std::uint64_t upload_id = 0;
+  UploadAckStatus status = UploadAckStatus::kRejected;
+  std::uint64_t segments_indexed = 0;
 };
 
 struct QueryMessage {
@@ -62,6 +86,10 @@ struct ResultsMessage {
 
 [[nodiscard]] std::vector<std::uint8_t> encode_upload(const UploadMessage& m);
 [[nodiscard]] std::optional<UploadMessage> decode_upload(
+    std::span<const std::uint8_t> bytes);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_upload_ack(const UploadAck& m);
+[[nodiscard]] std::optional<UploadAck> decode_upload_ack(
     std::span<const std::uint8_t> bytes);
 
 [[nodiscard]] std::vector<std::uint8_t> encode_query(const QueryMessage& m);

@@ -21,6 +21,8 @@ ServerMetrics& server_metrics() {
                        "Wire uploads decoded and ingested"),
       global().counter("svg_server_uploads_rejected_total",
                        "Wire uploads rejected (all reasons)"),
+      global().counter("svg_server_uploads_deduped_total",
+                       "Retransmitted uploads absorbed by upload_id dedup"),
       global().counter("svg_server_reject_decode_total",
                        "Uploads rejected: malformed wire bytes"),
       global().counter("svg_server_reject_query_decode_total",
@@ -113,6 +115,53 @@ LinkMetrics& link_metrics() {
   return m;
 }
 
+NetFaultMetrics& net_fault_metrics() {
+  static NetFaultMetrics m{
+      global().counter("svg_net_fault_messages_total",
+                       "Transfers attempted through faulty links"),
+      global().counter("svg_net_fault_drops_total",
+                       "Deliveries suppressed by drop probability"),
+      global().counter("svg_net_fault_duplicates_total",
+                       "Extra message copies delivered"),
+      global().counter("svg_net_fault_reorders_total",
+                       "Messages held back and delivered late"),
+      global().counter("svg_net_fault_corruptions_total",
+                       "Deliveries with injected byte flips"),
+      global().counter("svg_net_fault_disconnect_drops_total",
+                       "Deliveries lost inside a disconnect window"),
+  };
+  return m;
+}
+
+NetRetryMetrics& net_retry_metrics() {
+  static NetRetryMetrics m{
+      global().counter("svg_net_retry_upload_attempts_total",
+                       "Upload send attempts (first tries + retries)"),
+      global().counter("svg_net_retry_upload_retries_total",
+                       "Upload re-sends after a missing/invalid ack"),
+      global().counter("svg_net_retry_upload_acks_total",
+                       "Uploads acknowledged by the server"),
+      global().counter("svg_net_retry_upload_duplicate_acks_total",
+                       "Acks for retransmits the server deduped"),
+      global().counter("svg_net_retry_upload_exhausted_total",
+                       "Uploads abandoned after max attempts"),
+      global().counter("svg_net_retry_upload_rejected_total",
+                       "Uploads permanently rejected by the server"),
+      global().counter("svg_net_retry_fetch_attempts_total",
+                       "Clip-fetch exchanges attempted"),
+      global().counter("svg_net_retry_fetch_retries_total",
+                       "Clip-fetch exchanges retried"),
+      global().counter("svg_net_retry_fetch_failures_total",
+                       "Clips given up on and flagged missing"),
+      global().histogram("svg_net_retry_backoff_ms",
+                         "Simulated backoff sleeps between attempts",
+                         kCountBuckets),
+      global().histogram("svg_net_retry_attempts_per_upload",
+                         "Attempts each acked upload needed", kCountBuckets),
+  };
+  return m;
+}
+
 SegmentationMetrics& segmentation_metrics() {
   static SegmentationMetrics m{
       global().counter("svg_segmentation_frames_total",
@@ -121,6 +170,10 @@ SegmentationMetrics& segmentation_metrics() {
                        "Similarity-threshold split decisions"),
       global().counter("svg_segmentation_segments_total",
                        "Segments emitted (splits + end-of-recording)"),
+      global().counter("svg_segmentation_frames_held_total",
+                       "Invalid sensor frames repaired by hold-last-fix"),
+      global().counter("svg_segmentation_frames_dropped_total",
+                       "Invalid sensor frames dropped (no fix to hold)"),
       global().histogram("svg_segmentation_segment_frames",
                          "Frames per emitted segment", kCountBuckets),
   };
@@ -174,6 +227,8 @@ void touch_all_families() {
   (void)index_metrics();
   (void)retrieval_metrics();
   (void)link_metrics();
+  (void)net_fault_metrics();
+  (void)net_retry_metrics();
   (void)segmentation_metrics();
   (void)wal_metrics();
   (void)thread_pool_metrics();

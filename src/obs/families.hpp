@@ -22,6 +22,7 @@ namespace svg::obs {
 struct ServerMetrics {
   Counter& uploads_accepted;
   Counter& uploads_rejected;
+  Counter& uploads_deduped;     ///< retransmits absorbed by upload_id dedup
   Counter& reject_decode;       ///< rejection reason: wire decode failed
   Counter& reject_query_decode; ///< malformed query messages
   Counter& segments_indexed;
@@ -75,11 +76,43 @@ struct LinkMetrics {
   Counter& bytes_down;
 };
 
+/// net::FaultyLink — impairments injected by the active FaultPlan. Every
+/// message that crosses a faulty link counts in `messages`; the other
+/// counters record which faults actually fired (docs/ROBUSTNESS.md).
+struct NetFaultMetrics {
+  Counter& messages;          ///< transfers attempted through faulty links
+  Counter& drops;             ///< deliveries suppressed by drop probability
+  Counter& duplicates;        ///< extra copies delivered
+  Counter& reorders;          ///< messages held and delivered late
+  Counter& corruptions;       ///< deliveries with flipped bytes
+  Counter& disconnect_drops;  ///< deliveries lost to a disconnect window
+};
+
+/// net::UploadQueue / FetchCoordinator — the retry machinery that turns a
+/// lossy link into at-least-once delivery. `upload_attempts` counts every
+/// send (first try + retries); `upload_retries` only the re-sends, so
+/// attempts - retries == distinct uploads tried.
+struct NetRetryMetrics {
+  Counter& upload_attempts;
+  Counter& upload_retries;
+  Counter& upload_acks;            ///< uploads acknowledged by the server
+  Counter& upload_duplicate_acks;  ///< acks for retransmits the server deduped
+  Counter& upload_exhausted;       ///< uploads abandoned after max attempts
+  Counter& upload_rejected;        ///< server said permanent reject
+  Counter& fetch_attempts;         ///< clip-fetch exchanges attempted
+  Counter& fetch_retries;
+  Counter& fetch_failures;         ///< clips given up on (flagged missing)
+  Histogram& backoff_ms;           ///< simulated backoff sleeps
+  Histogram& attempts_per_upload;  ///< attempts each acked upload needed
+};
+
 /// core segmentation — the client-side real-time pipeline (Algorithm 1).
 struct SegmentationMetrics {
   Counter& frames;    ///< FoV frames pushed through any segmenter
   Counter& splits;    ///< split decisions (similarity dropped below thresh)
   Counter& segments;  ///< segments emitted (splits + finish() flushes)
+  Counter& frames_held;     ///< invalid sensor frames repaired by hold-last-fix
+  Counter& frames_dropped;  ///< invalid sensor frames with no fix to hold
   Histogram& segment_frames;  ///< frames per emitted segment
 };
 
@@ -136,6 +169,8 @@ class ThreadPoolMetrics final : public util::ThreadPoolObserver {
 [[nodiscard]] IndexShardMetrics& index_shard_metrics(std::size_t shard);
 [[nodiscard]] RetrievalMetrics& retrieval_metrics();
 [[nodiscard]] LinkMetrics& link_metrics();
+[[nodiscard]] NetFaultMetrics& net_fault_metrics();
+[[nodiscard]] NetRetryMetrics& net_retry_metrics();
 [[nodiscard]] SegmentationMetrics& segmentation_metrics();
 [[nodiscard]] WalMetrics& wal_metrics();
 [[nodiscard]] ThreadPoolMetrics& thread_pool_metrics();

@@ -52,13 +52,16 @@ bool Checkpointer::checkpoint_now() {
   // Serialize checkpoints (manual + background) without holding mu_
   // across the snapshot write.
   std::unique_lock gate(checkpoint_gate_);
-  auto [reps, seq] = source_();
+  auto data = source_();
+  const std::uint64_t seq = data.seq;
   {
     std::lock_guard lock(mu_);
     if (seq <= checkpointed_seq_) return true;  // nothing new
   }
   const std::string path = checkpoint_path(dir_, seq);
-  if (!save_snapshot_file(reps, path, seq)) return false;
+  if (!save_snapshot_file(data.reps, path, seq, std::move(data.upload_ids))) {
+    return false;
+  }
   obs::wal_metrics().checkpoints.inc();
 
   // Older snapshots are superseded; delete them so recovery never picks a

@@ -24,12 +24,20 @@
 
 namespace svg::store {
 
+/// What one checkpoint persists: the index contents, the ingest-dedup
+/// upload_id set, and the WAL sequence covering both.
+struct CheckpointData {
+  std::vector<core::RepresentativeFov> reps;
+  std::vector<std::uint64_t> upload_ids;
+  std::uint64_t seq = 0;
+};
+
 class Checkpointer {
  public:
-  /// Point-in-time (contents, covering seq) pair; must be internally
-  /// consistent (see file comment).
-  using Source = std::function<
-      std::pair<std::vector<core::RepresentativeFov>, std::uint64_t>()>;
+  /// Point-in-time capture; must be internally consistent (see file
+  /// comment) — the dedup set must contain exactly the ids of uploads
+  /// whose records are ≤ seq, or a replayed retransmit double-indexes.
+  using Source = std::function<CheckpointData()>;
 
   /// interval_ms == 0 disables the background thread; checkpoint_now()
   /// still works. `wal` may be null (snapshot-only mode, nothing retired).

@@ -58,7 +58,8 @@ std::vector<std::string> list_checkpoints(const std::string& dir) {
 }
 
 RecoverAndOpenResult recover_and_open(WalOptions options,
-                                      const RecoveryApply& apply) {
+                                      const RecoveryApply& apply,
+                                      const RecoveryApplyIds& apply_ids) {
   RecoverAndOpenResult res;
   auto& r = res.result;
 
@@ -83,6 +84,7 @@ RecoverAndOpenResult recover_and_open(WalOptions options,
     r.snapshot_seq = snap->last_seq;
     r.snapshot_records = snap->reps.size();
     if (apply && !snap->reps.empty()) apply(snap->reps);
+    if (apply_ids && !snap->upload_ids.empty()) apply_ids(snap->upload_ids);
     r.records_restored += snap->reps.size();
     break;
   }
@@ -91,15 +93,18 @@ RecoverAndOpenResult recover_and_open(WalOptions options,
   auto open = wal_open(
       options, r.snapshot_seq,
       [&](std::uint64_t, std::span<const std::uint8_t> payload) {
-        auto reps = decode_upload_record(payload);
-        if (!reps) {
+        auto rec = decode_upload_record(payload);
+        if (!rec) {
           // The frame CRC passed but the payload does not parse — that is
           // a writer bug or targeted corruption, not a torn tail.
           ++bad_payloads;
           return;
         }
-        if (apply && !reps->empty()) apply(*reps);
-        r.records_restored += reps->size();
+        if (apply && !rec->reps.empty()) apply(rec->reps);
+        if (apply_ids && rec->upload_id != 0) {
+          apply_ids(std::span(&rec->upload_id, 1));
+        }
+        r.records_restored += rec->reps.size();
       });
   r.segments_replayed = open.stats.segments_scanned;
   r.wal_records_replayed = open.stats.records_replayed;

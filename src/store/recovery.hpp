@@ -49,6 +49,11 @@ struct RecoverAndOpenResult {
 using RecoveryApply =
     std::function<void(std::span<const core::RepresentativeFov>)>;
 
+/// Restored upload_ids (the server's ingest-dedup set): the snapshot's
+/// whole set in one call, then each v2 WAL record's id as it replays.
+/// Never invoked with id 0 (v1 records carry no id).
+using RecoveryApplyIds = std::function<void(std::span<const std::uint64_t>)>;
+
 /// Checkpoint snapshot path for a given covered sequence number.
 [[nodiscard]] std::string checkpoint_path(const std::string& dir,
                                           std::uint64_t seq);
@@ -57,10 +62,12 @@ using RecoveryApply =
 [[nodiscard]] std::vector<std::string> list_checkpoints(
     const std::string& dir);
 
-/// Restore `dir` into `apply` and open its WAL for appending (repairing a
-/// torn tail). On failure result.ok is false, wal is null, and nothing
-/// should be served from the index.
-[[nodiscard]] RecoverAndOpenResult recover_and_open(WalOptions options,
-                                                    const RecoveryApply& apply);
+/// Restore `dir` into `apply` (and the dedup set into `apply_ids`, when
+/// given) and open its WAL for appending (repairing a torn tail). On
+/// failure result.ok is false, wal is null, and nothing should be served
+/// from the index.
+[[nodiscard]] RecoverAndOpenResult recover_and_open(
+    WalOptions options, const RecoveryApply& apply,
+    const RecoveryApplyIds& apply_ids = nullptr);
 
 }  // namespace svg::store

@@ -4,10 +4,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <utility>
 
 #include "geo/angle.hpp"
 #include "store/crc32c.hpp"
@@ -105,13 +107,23 @@ bool get_rep_records(util::ByteReader& r, std::uint64_t count,
 
 std::vector<std::uint8_t> encode_snapshot(
     const std::vector<core::RepresentativeFov>& reps,
-    std::uint64_t last_seq) {
+    std::uint64_t last_seq, std::vector<std::uint64_t> upload_ids) {
   util::ByteWriter w;
   w.put_bytes(kMagic);
   w.put_u16(kSnapshotVersion);
   w.put_u64(last_seq);
   w.put_varint(reps.size());
   put_rep_records(w, reps);
+  // Sorted ascending deltas: dedup ids are random 64-bit values, so raw
+  // varints would be ~9 bytes each; sorting drops the expected gap to
+  // 2^64/n and the per-id cost toward the gap's varint width.
+  std::sort(upload_ids.begin(), upload_ids.end());
+  w.put_varint(upload_ids.size());
+  std::uint64_t prev = 0;
+  for (const auto id : upload_ids) {
+    w.put_varint(id - prev);
+    prev = id;
+  }
   auto bytes = w.take();
   const std::uint32_t crc = crc32c(bytes);
   bytes.push_back(static_cast<std::uint8_t>(crc));
@@ -129,12 +141,12 @@ std::optional<SnapshotData> decode_snapshot_full(
     if (!b || *b != m) return std::nullopt;
   }
   const auto version = r.get_u16();
-  if (!version || (*version != 1 && *version != 2)) return std::nullopt;
+  if (!version || *version < 1 || *version > 3) return std::nullopt;
 
   SnapshotData out;
   out.version = *version;
   std::span<const std::uint8_t> body = bytes;
-  if (*version == 2) {
+  if (*version >= 2) {
     // Validate the CRC trailer before trusting a single varint: a torn or
     // bit-flipped snapshot must fail here, not decode garbage downstream.
     if (bytes.size() < 4) return std::nullopt;
@@ -159,6 +171,19 @@ std::optional<SnapshotData> decode_snapshot_full(
   if (*count > r.remaining()) return std::nullopt;
   out.reps.reserve(*count);
   if (!get_rep_records(r, *count, out.reps)) return std::nullopt;
+  if (*version >= 3) {
+    const auto id_count = r.get_varint();
+    if (!id_count) return std::nullopt;
+    if (*id_count > r.remaining()) return std::nullopt;
+    out.upload_ids.reserve(*id_count);
+    std::uint64_t prev = 0;
+    for (std::uint64_t i = 0; i < *id_count; ++i) {
+      const auto delta = r.get_varint();
+      if (!delta) return std::nullopt;
+      prev += *delta;
+      out.upload_ids.push_back(prev);
+    }
+  }
   return out;
 }
 
@@ -170,8 +195,9 @@ std::optional<std::vector<core::RepresentativeFov>> decode_snapshot(
 }
 
 bool save_snapshot_file(const std::vector<core::RepresentativeFov>& reps,
-                        const std::string& path, std::uint64_t last_seq) {
-  const auto bytes = encode_snapshot(reps, last_seq);
+                        const std::string& path, std::uint64_t last_seq,
+                        std::vector<std::uint64_t> upload_ids) {
+  const auto bytes = encode_snapshot(reps, last_seq, std::move(upload_ids));
   const std::string tmp = path + ".tmp";
   // Durable atomic replace: data must hit the disk before the rename makes
   // it reachable, and the rename itself must hit the directory — otherwise

@@ -5,15 +5,18 @@
 // ~2 MB. Lived in src/net/ until the durability subsystem (WAL +
 // checkpointing) grew around it; net/snapshot.hpp forwards here.
 //
-// v2 file format (current):
-//   magic "SVGX" | u16 version=2 | u64 last_seq | varint count
-//   | delta-encoded records | u32 crc32c(all preceding bytes)
+// v3 file format (current):
+//   magic "SVGX" | u16 version=3 | u64 last_seq | varint rep_count
+//   | delta-encoded records | varint id_count | delta-encoded sorted
+//   upload_ids | u32 crc32c(all preceding bytes)
 // `last_seq` is the WAL sequence number the snapshot covers (0 for
-// standalone snapshots with no WAL). The CRC trailer turns truncation or
-// bit rot into a clean decode failure instead of garbage records.
+// standalone snapshots with no WAL). `upload_ids` persists the server's
+// ingest-dedup set, so a retransmit arriving after crash recovery is
+// still recognized (docs/ROBUSTNESS.md). The CRC trailer turns truncation
+// or bit rot into a clean decode failure instead of garbage records.
 //
-// v1 (magic | u16 version=1 | varint count | records, no CRC) stays
-// readable; writers always emit v2.
+// v1 (magic | u16 version=1 | varint count | records, no CRC) and v2 (v3
+// without the upload_id set) stay readable; writers always emit v3.
 
 #include <cstdint>
 #include <optional>
@@ -26,11 +29,12 @@
 
 namespace svg::store {
 
-inline constexpr std::uint16_t kSnapshotVersion = 2;
+inline constexpr std::uint16_t kSnapshotVersion = 3;
 
 /// A decoded snapshot plus its metadata.
 struct SnapshotData {
   std::vector<core::RepresentativeFov> reps;
+  std::vector<std::uint64_t> upload_ids;  ///< dedup set, sorted (v3+)
   std::uint64_t last_seq = 0;  ///< WAL sequence this snapshot covers
   std::uint16_t version = kSnapshotVersion;
 };
@@ -46,10 +50,11 @@ void put_rep_records(util::ByteWriter& w,
 [[nodiscard]] bool get_rep_records(util::ByteReader& r, std::uint64_t count,
                                    std::vector<core::RepresentativeFov>& out);
 
-/// Serialize to an in-memory buffer (always v2).
+/// Serialize to an in-memory buffer (always v3). `upload_ids` is sorted
+/// before encoding (the format stores ascending deltas).
 [[nodiscard]] std::vector<std::uint8_t> encode_snapshot(
     const std::vector<core::RepresentativeFov>& reps,
-    std::uint64_t last_seq = 0);
+    std::uint64_t last_seq = 0, std::vector<std::uint64_t> upload_ids = {});
 
 /// Parse a buffer; nullopt on bad magic/version/truncation/CRC mismatch.
 [[nodiscard]] std::optional<std::vector<core::RepresentativeFov>>
@@ -64,7 +69,8 @@ decode_snapshot(std::span<const std::uint8_t> bytes);
 /// snapshot survives power loss, not just process death. False on I/O
 /// error.
 bool save_snapshot_file(const std::vector<core::RepresentativeFov>& reps,
-                        const std::string& path, std::uint64_t last_seq = 0);
+                        const std::string& path, std::uint64_t last_seq = 0,
+                        std::vector<std::uint64_t> upload_ids = {});
 
 /// Read a snapshot file; nullopt on I/O error or malformed content.
 [[nodiscard]] std::optional<std::vector<core::RepresentativeFov>>

@@ -625,24 +625,36 @@ std::vector<std::string> Wal::segment_files() const {
 // --- record payload codec ---------------------------------------------------
 
 std::vector<std::uint8_t> encode_upload_record(
-    std::span<const core::RepresentativeFov> reps) {
+    std::span<const core::RepresentativeFov> reps, std::uint64_t upload_id) {
   util::ByteWriter w;
-  w.put_u8(kWalRecUpload);
+  if (upload_id == 0) {
+    w.put_u8(kWalRecUpload);
+  } else {
+    w.put_u8(kWalRecUploadV2);
+    w.put_varint(upload_id);
+  }
   w.put_varint(reps.size());
   put_rep_records(w, reps);
   return w.take();
 }
 
-std::optional<std::vector<core::RepresentativeFov>> decode_upload_record(
+std::optional<UploadRecord> decode_upload_record(
     std::span<const std::uint8_t> payload) {
   util::ByteReader r(payload);
   const auto type = r.get_u8();
-  if (!type || *type != kWalRecUpload) return std::nullopt;
+  if (!type || (*type != kWalRecUpload && *type != kWalRecUploadV2)) {
+    return std::nullopt;
+  }
+  UploadRecord out;
+  if (*type == kWalRecUploadV2) {
+    const auto id = r.get_varint();
+    if (!id || *id == 0) return std::nullopt;
+    out.upload_id = *id;
+  }
   const auto count = r.get_varint();
   if (!count || *count > r.remaining()) return std::nullopt;
-  std::vector<core::RepresentativeFov> out;
-  out.reserve(*count);
-  if (!get_rep_records(r, *count, out)) return std::nullopt;
+  out.reps.reserve(*count);
+  if (!get_rep_records(r, *count, out.reps)) return std::nullopt;
   return out;
 }
 

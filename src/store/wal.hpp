@@ -205,14 +205,28 @@ struct WalOpenResult {
 // --- record payload codec ---------------------------------------------------
 
 inline constexpr std::uint8_t kWalRecUpload = 1;
+inline constexpr std::uint8_t kWalRecUploadV2 = 2;
 
-/// Payload of an upload record: u8 type | varint count | the snapshot
-/// codec's delta-encoded representative FoVs (store/snapshot.hpp).
+/// A decoded upload record. upload_id == 0 for v1 records (written before
+/// retransmit dedup existed) and for id-less in-process ingest.
+struct UploadRecord {
+  std::uint64_t upload_id = 0;
+  std::vector<core::RepresentativeFov> reps;
+};
+
+/// Payload of an upload record. upload_id == 0 emits the v1 layout
+/// (u8 type=1 | varint count | records); a non-zero id emits v2
+/// (u8 type=2 | varint upload_id | varint count | records). Records are
+/// the snapshot codec's delta-encoded representative FoVs
+/// (store/snapshot.hpp). Both layouts replay; the id is what lets
+/// recovery rebuild the server's dedup set so a retransmit arriving
+/// after a crash is still absorbed.
 [[nodiscard]] std::vector<std::uint8_t> encode_upload_record(
-    std::span<const core::RepresentativeFov> reps);
+    std::span<const core::RepresentativeFov> reps,
+    std::uint64_t upload_id = 0);
 
 /// nullopt on malformed payload (unknown type, truncated records).
-[[nodiscard]] std::optional<std::vector<core::RepresentativeFov>>
-decode_upload_record(std::span<const std::uint8_t> payload);
+[[nodiscard]] std::optional<UploadRecord> decode_upload_record(
+    std::span<const std::uint8_t> payload);
 
 }  // namespace svg::store

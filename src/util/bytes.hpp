@@ -52,6 +52,7 @@ class ByteReader {
   [[nodiscard]] std::size_t remaining() const noexcept {
     return data_.size() - pos_;
   }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
   [[nodiscard]] bool exhausted() const noexcept { return pos_ >= data_.size(); }
 
  private:

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
 #include "index/fov_index.hpp"
+#include "store/crc32c.hpp"
 #include "net/server.hpp"
 #include "sim/crowd.hpp"
 #include "util/rng.hpp"
@@ -129,6 +131,56 @@ TEST(SnapshotCodecTest, V1FilesRemainReadable) {
     EXPECT_EQ(full->reps[i].video_id, reps[i].video_id);
     EXPECT_EQ(full->reps[i].t_start, reps[i].t_start);
   }
+}
+
+TEST(SnapshotCodecTest, UploadIdsRoundTripThroughV3) {
+  const auto reps = sample_reps(20, 10);
+  const std::vector<std::uint64_t> ids{
+      0xDEADBEEFULL, 3, 0xFFFFFFFFFFFFFFFFULL, 42, 7'000'000'000ULL};
+  const auto full =
+      svg::store::decode_snapshot_full(encode_snapshot(reps, 99, ids));
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->version, kSnapshotVersion);
+  EXPECT_EQ(full->last_seq, 99u);
+  EXPECT_EQ(full->reps.size(), reps.size());
+  auto want = ids;
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(full->upload_ids, want);  // stored sorted (delta-encoded)
+}
+
+TEST(SnapshotCodecTest, V2FilesWithoutUploadIdsRemainReadable) {
+  const auto reps = sample_reps(15, 11);
+  // Hand-build the v2 layout: magic | u16 version=2 | u64 last_seq |
+  // varint count | records | crc32c trailer — no upload_ids section.
+  svg::util::ByteWriter w;
+  const std::uint8_t magic[4] = {'S', 'V', 'G', 'X'};
+  w.put_bytes(magic);
+  w.put_u16(2);
+  w.put_u64(777);
+  w.put_varint(reps.size());
+  svg::store::put_rep_records(w, reps);
+  w.put_u32(svg::store::crc32c(w.bytes()));
+  const auto full = svg::store::decode_snapshot_full(w.take());
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(full->version, 2u);
+  EXPECT_EQ(full->last_seq, 777u);
+  EXPECT_EQ(full->reps.size(), reps.size());
+  EXPECT_TRUE(full->upload_ids.empty());
+}
+
+TEST(SnapshotCodecTest, AbsurdUploadIdCountRejectedBeforeAllocation) {
+  // A corrupted id_count must fail the remaining-bytes guard, not reserve
+  // gigabytes. Build a v3 buffer with no reps and a huge claimed count.
+  svg::util::ByteWriter w;
+  const std::uint8_t magic[4] = {'S', 'V', 'G', 'X'};
+  w.put_bytes(magic);
+  w.put_u16(3);
+  w.put_u64(0);
+  w.put_varint(0);            // no reps
+  w.put_varint(1ULL << 40);   // claimed: a trillion upload ids
+  w.put_varint(1);            // ...one byte of them present
+  w.put_u32(svg::store::crc32c(w.bytes()));
+  EXPECT_FALSE(svg::store::decode_snapshot_full(w.take()).has_value());
 }
 
 TEST(SnapshotFileTest, SaveLoadRoundTrip) {

@@ -107,6 +107,125 @@ TEST(WireFuzzTest, ClipResponseLengthFieldCannotOverallocate) {
   EXPECT_FALSE(out.has_value());
 }
 
+std::vector<std::uint8_t> valid_upload_v2_bytes(std::uint64_t seed,
+                                                std::uint64_t upload_id) {
+  svg::sim::CityModel city;
+  svg::util::Xoshiro256 rng(seed);
+  UploadMessage msg;
+  msg.upload_id = upload_id;
+  msg.video_id = seed;
+  for (const auto& r : svg::sim::random_representative_fovs(
+           16, city, 1'400'000'000'000, 3'600'000, rng)) {
+    msg.segments.push_back(r);
+  }
+  return encode_upload(msg);
+}
+
+TEST(WireFuzzTest, LegacyIdlessUploadKeepsV1WireFormat) {
+  // upload_id == 0 must emit the original kMsgUpload layout, so pre-retry
+  // clients and archived captures stay decodable — and decode back with
+  // upload_id == 0.
+  const auto v1 = valid_upload_bytes(11);
+  ASSERT_FALSE(v1.empty());
+  EXPECT_EQ(v1[0], kMsgUpload);
+  const auto back = decode_upload(v1);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->upload_id, 0u);
+  EXPECT_EQ(back->segments.size(), 16u);
+
+  const auto v2 = valid_upload_v2_bytes(11, 99);
+  EXPECT_EQ(v2[0], kMsgUploadV2);
+  const auto back2 = decode_upload(v2);
+  ASSERT_TRUE(back2.has_value());
+  EXPECT_EQ(back2->upload_id, 99u);
+}
+
+TEST(WireFuzzTest, UploadV2DecoderSurvivesTruncationAtEveryOffset) {
+  const auto bytes = valid_upload_v2_bytes(12, 0xDEADBEEF);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    // The CRC trailer means no strict prefix can decode.
+    EXPECT_FALSE(
+        decode_upload(std::span<const std::uint8_t>(bytes.data(), cut))
+            .has_value());
+  }
+}
+
+TEST(WireFuzzTest, UploadV2CrcRejectsEveryBitFlip) {
+  // v2 is the retry path: a retransmitted-and-corrupted upload that still
+  // decoded would poison the index *and* be deduped against its honest
+  // twin. The CRC trailer must reject all of these.
+  const auto original = valid_upload_v2_bytes(13, 7777);
+  svg::util::Xoshiro256 rng(14);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto bytes = original;
+    const std::size_t flips = 1 + rng.bounded(3);
+    for (std::size_t f = 0; f < flips; ++f) {
+      bytes[rng.bounded(bytes.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.bounded(8));
+    }
+    if (bytes == original) continue;  // flips may cancel out
+    EXPECT_FALSE(decode_upload(bytes).has_value()) << "trial " << trial;
+  }
+}
+
+TEST(WireFuzzTest, UploadAckSurvivesTruncationCorruptionAndGarbage) {
+  UploadAck ack;
+  ack.upload_id = 123456789;
+  ack.status = UploadAckStatus::kAccepted;
+  ack.segments_indexed = 42;
+  const auto original = encode_upload_ack(ack);
+
+  const auto back = decode_upload_ack(original);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->upload_id, ack.upload_id);
+  EXPECT_EQ(back->status, ack.status);
+  EXPECT_EQ(back->segments_indexed, ack.segments_indexed);
+
+  for (std::size_t cut = 0; cut < original.size(); ++cut) {
+    EXPECT_FALSE(
+        decode_upload_ack(
+            std::span<const std::uint8_t>(original.data(), cut))
+            .has_value());
+  }
+  svg::util::Xoshiro256 rng(15);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto bytes = original;
+    bytes[rng.bounded(bytes.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.bounded(255));
+    EXPECT_FALSE(decode_upload_ack(bytes).has_value());
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> garbage(rng.bounded(64));
+    for (auto& b : garbage) b = static_cast<std::uint8_t>(rng.bounded(256));
+    (void)decode_upload_ack(garbage);
+  }
+}
+
+TEST(WireFuzzTest, AckedIngestPathSurvivesFuzzedUploads) {
+  CloudServer server;
+  const auto good = valid_upload_v2_bytes(16, 555);
+  svg::util::Xoshiro256 rng(17);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto bytes = good;
+    const std::size_t flips = 1 + rng.bounded(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      bytes[rng.bounded(bytes.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.bounded(255));
+    }
+    if (const auto ack_bytes = server.handle_upload_acked(bytes)) {
+      const auto ack = decode_upload_ack(*ack_bytes);
+      ASSERT_TRUE(ack.has_value());  // whatever we emit must decode
+    }
+  }
+  // The genuine upload still lands exactly once afterwards.
+  const auto ack_bytes = server.handle_upload_acked(good);
+  ASSERT_TRUE(ack_bytes.has_value());
+  const auto ack = decode_upload_ack(*ack_bytes);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->status, UploadAckStatus::kAccepted);
+  EXPECT_EQ(server.indexed_segments(), 16u);
+}
+
 TEST(WireFuzzTest, ServerHandlesFuzzedUploadsWithoutStateCorruption) {
   CloudServer server;
   const auto good = valid_upload_bytes(6);

@@ -12,6 +12,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/bytes.hpp"
+
 namespace {
 
 using namespace svg::store;
@@ -287,6 +289,74 @@ TEST(WalTest, DumpReportsFrameOffsetsAndSizes) {
     off += 8 + r.payload_bytes;  // frame header + payload
   }
   EXPECT_EQ(dump.segments.at(0).file_bytes, off);
+}
+
+std::vector<svg::core::RepresentativeFov> codec_reps() {
+  std::vector<svg::core::RepresentativeFov> reps;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    svg::core::RepresentativeFov r;
+    r.video_id = 100 + i;
+    r.segment_id = i;
+    r.fov.p.lat = 39.9 + 0.001 * i;  // exactly representable at 1e-7°
+    r.fov.p.lng = 116.4 - 0.002 * i;
+    r.fov.theta_deg = 10.0 * i;  // exactly representable at centi-degrees
+    r.t_start = 1'400'000'000'000 + 5'000 * i;
+    r.t_end = r.t_start + 3'000;
+    reps.push_back(r);
+  }
+  return reps;
+}
+
+TEST(WalRecordCodecTest, LegacyV1LayoutEmittedForIdlessRecords) {
+  const auto reps = codec_reps();
+  const auto bytes = encode_upload_record(reps);  // default upload_id = 0
+  ASSERT_FALSE(bytes.empty());
+  EXPECT_EQ(bytes[0], kWalRecUpload);  // byte-identical pre-dedup layout
+  const auto rec = decode_upload_record(bytes);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->upload_id, 0u);
+  ASSERT_EQ(rec->reps.size(), reps.size());
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    EXPECT_EQ(rec->reps[i].video_id, reps[i].video_id);
+    EXPECT_EQ(rec->reps[i].segment_id, reps[i].segment_id);
+    EXPECT_DOUBLE_EQ(rec->reps[i].fov.p.lat, reps[i].fov.p.lat);
+    EXPECT_DOUBLE_EQ(rec->reps[i].fov.p.lng, reps[i].fov.p.lng);
+    EXPECT_EQ(rec->reps[i].t_start, reps[i].t_start);
+    EXPECT_EQ(rec->reps[i].t_end, reps[i].t_end);
+  }
+}
+
+TEST(WalRecordCodecTest, V2RoundTripsUploadId) {
+  const auto reps = codec_reps();
+  const auto bytes = encode_upload_record(reps, 0xABCDEF0123456789ULL);
+  EXPECT_EQ(bytes[0], kWalRecUploadV2);
+  const auto rec = decode_upload_record(bytes);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->upload_id, 0xABCDEF0123456789ULL);
+  EXPECT_EQ(rec->reps.size(), reps.size());
+}
+
+TEST(WalRecordCodecTest, RejectsUnknownTypeZeroIdAndTruncation) {
+  const auto reps = codec_reps();
+  auto v2 = encode_upload_record(reps, 42);
+  {
+    auto bad = v2;
+    bad[0] = 99;  // unknown record type
+    EXPECT_FALSE(decode_upload_record(bad).has_value());
+  }
+  {
+    // A v2 frame claiming id 0 is malformed: 0 is the legacy marker and
+    // must never appear inside the dedup set.
+    svg::util::ByteWriter w;
+    w.put_u8(kWalRecUploadV2);
+    w.put_varint(0);
+    w.put_varint(0);
+    EXPECT_FALSE(decode_upload_record(w.bytes()).has_value());
+  }
+  for (std::size_t cut = 0; cut + 1 < v2.size(); ++cut) {
+    (void)decode_upload_record({v2.data(), cut});  // must not crash
+  }
+  EXPECT_FALSE(decode_upload_record({}).has_value());
 }
 
 }  // namespace
