@@ -9,6 +9,10 @@
 //   batch   the production default: ack after write(), background fsync
 //           on a byte/interval threshold (process-crash safe; power-loss
 //           window bounded by the flush interval)
+//   batch+env  batch, but with store I/O routed through a pure forwarding
+//           Env wrapper — one extra virtual hop per operation, isolating
+//           what the pluggable-Env seam itself costs (docs/ROBUSTNESS.md
+//           pins it under 2% of plain batch; --gate enforces that)
 //   always  ack after fsync (full durability; group commit coalesces the
 //           concurrent appenders into one fsync per batch)
 //
@@ -23,7 +27,7 @@
 // segment throughput within 25% of the no-WAL baseline.
 //
 // Flags: --threads N --uploads N --segments N --json (the generator for
-// BENCH_wal.json).
+// BENCH_wal.json) --gate (exit 1 if batch+env drops below 98% of batch).
 
 #include <unistd.h>
 
@@ -39,6 +43,7 @@
 
 #include "net/server.hpp"
 #include "sim/crowd.hpp"
+#include "store/env.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -46,6 +51,49 @@ namespace {
 
 using namespace svg;
 using Clock = std::chrono::steady_clock;
+
+// Pure pass-through Env: every call (file writes and syncs included)
+// takes exactly one extra virtual hop before landing on Env::posix().
+// This is the seam a FaultyEnv occupies in tests — "batch+env" measures
+// what paying for that seam in production would cost.
+class ForwardingFile final : public store::File {
+ public:
+  explicit ForwardingFile(std::unique_ptr<store::File> base)
+      : base_(std::move(base)) {}
+  bool write(std::span<const std::uint8_t> bytes) override {
+    return base_->write(bytes);
+  }
+  bool sync() override { return base_->sync(); }
+
+ private:
+  std::unique_ptr<store::File> base_;
+};
+
+class ForwardingEnv final : public store::Env {
+ public:
+  std::unique_ptr<store::File> open(const std::string& path,
+                                    store::OpenMode mode) override {
+    auto file = store::Env::posix().open(path, mode);
+    if (!file) return nullptr;
+    return std::make_unique<ForwardingFile>(std::move(file));
+  }
+  std::optional<std::vector<std::uint8_t>> read_file(
+      const std::string& path) override {
+    return store::Env::posix().read_file(path);
+  }
+  bool sync_dir(const std::string& dir) override {
+    return store::Env::posix().sync_dir(dir);
+  }
+  bool rename_file(const std::string& from, const std::string& to) override {
+    return store::Env::posix().rename_file(from, to);
+  }
+  bool remove_file(const std::string& path) override {
+    return store::Env::posix().remove_file(path);
+  }
+  bool truncate_file(const std::string& path, std::uint64_t size) override {
+    return store::Env::posix().truncate_file(path, size);
+  }
+};
 
 std::size_t g_threads = 4;
 std::size_t g_uploads_per_thread = 400;
@@ -107,12 +155,17 @@ ModeResult run_mode(const std::string& name) {
           .string();
   std::filesystem::remove_all(dir);
 
+  ForwardingEnv fwd_env;
   net::ServerDurabilityConfig dcfg;
   if (name != "off") {
     dcfg.data_dir = dir;
     if (name == "none") dcfg.fsync = store::FsyncPolicy::kNone;
     if (name == "batch") dcfg.fsync = store::FsyncPolicy::kBatch;
     if (name == "always") dcfg.fsync = store::FsyncPolicy::kAlways;
+    if (name == "batch+env") {
+      dcfg.fsync = store::FsyncPolicy::kBatch;
+      dcfg.env = &fwd_env;
+    }
   }
   net::CloudServer server({}, {}, dcfg);
 
@@ -169,11 +222,13 @@ ModeResult run_mode(const std::string& name) {
 void write_json(std::ostream& os, const std::vector<ModeResult>& modes) {
   const double base = modes.front().segments_per_s;
   os << "{\n"
-     << "  \"note\": \"regenerate: build/bench/bench_wal_overhead --json\",\n"
+     << "  \"note\": \"regenerate: build/bench/bench_wal_overhead --json "
+        "--gate\",\n"
      << "  \"workload\": {\"threads\": " << g_threads
      << ", \"uploads_per_thread\": " << g_uploads_per_thread
      << ", \"segments_per_upload\": " << g_segments_per_upload << "},\n"
-     << "  \"acceptance\": \"fsync=batch within 25% of off\",\n"
+     << "  \"acceptance\": \"fsync=batch within 25% of off; "
+        "batch+env within 2% of batch\",\n"
      << "  \"modes\": [\n";
   for (std::size_t i = 0; i < modes.size(); ++i) {
     const auto& m = modes[i];
@@ -194,8 +249,10 @@ void write_json(std::ostream& os, const std::vector<ModeResult>& modes) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool gate = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       g_threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
     }
@@ -209,13 +266,35 @@ int main(int argc, char** argv) {
   }
 
   std::vector<ModeResult> modes;
-  for (const char* name : {"off", "none", "batch", "always"}) {
+  for (const char* name : {"off", "none", "batch", "batch+env", "always"}) {
     modes.push_back(run_mode(name));
+  }
+
+  int rc = 0;
+  if (gate) {
+    // A single closed-loop sample of fsync=batch swings far more than 2%
+    // with scheduler/page-cache luck, so the gate compares the best of
+    // several alternating paired runs: interference only ever slows a
+    // sample down, so the per-mode best approximates the quiet-machine
+    // ceiling, where a real seam cost would still show up.
+    double batch = 0, batch_env = 0;
+    for (const auto& m : modes) {
+      if (m.name == "batch") batch = m.segments_per_s;
+      if (m.name == "batch+env") batch_env = m.segments_per_s;
+    }
+    for (int rep = 0; rep < 4; ++rep) {
+      batch = std::max(batch, run_mode("batch").segments_per_s);
+      batch_env = std::max(batch_env, run_mode("batch+env").segments_per_s);
+    }
+    const double ratio = batch > 0 ? batch_env / batch : 0.0;
+    std::cerr << "gate: best-of-5 batch+env/batch = " << ratio
+              << (ratio >= 0.98 ? " (>= 0.98, pass)\n" : " (< 0.98, FAIL)\n");
+    if (ratio < 0.98) rc = 1;
   }
 
   if (json) {
     write_json(std::cout, modes);
-    return 0;
+    return rc;
   }
   std::cout << "=== WAL ingest overhead: closed-loop saturating ingest, "
             << g_threads << " uploaders x " << g_uploads_per_thread
@@ -238,6 +317,8 @@ int main(int argc, char** argv) {
                "a background fsync cadence off the ack path; \"always\" "
                "puts an fsync between every ack and its caller — group "
                "commit amortizes it across concurrent uploaders, so the "
-               "gap narrows as thread count grows.\n";
-  return 0;
+               "gap narrows as thread count grows. \"batch+env\" shows the "
+               "pluggable-Env seam is one virtual hop per batch, not per "
+               "record: it has to land within noise of \"batch\".\n";
+  return rc;
 }

@@ -17,17 +17,30 @@
 //   svgctl recover --data-dir d
 //       recover a durable data directory (checkpoint + WAL replay), print
 //       the recovery summary; --checkpoint 1 additionally takes a fresh
-//       checkpoint and retires covered WAL segments
+//       checkpoint and retires covered WAL segments. Exit 0 on a clean
+//       recovery, 3 when a torn tail was truncated (recovered, but the
+//       last batch died mid-write), 2 when the chain is unrecoverable
 //   svgctl wal-dump --data-dir d
 //       read-only inspection of the WAL chain: per-segment and per-record
-//       listing, torn-tail/corruption diagnosis; exit 2 on a broken chain
+//       listing, torn-tail/corruption diagnosis. Exit 0 on a clean chain,
+//       3 when only the tail is torn (open would truncate it), 2 on a
+//       broken chain
 //   svgctl chaos --seeds 20 --drop 0.1 --dup 0.05 --reorder 0.05
 //                --corrupt 0.02 --providers 12
+//                [--disk-write-error p] [--disk-fsync-error p]
+//                [--disk-short-write p]
 //       chaos smoke test on the upload path: for every seed, drive a
 //       crowd's uploads through FaultyLink + UploadQueue into a fresh
 //       server and verify the index converges byte-for-byte to a
-//       fault-free ingest of the same uploads. Prints fault/retry stats;
-//       exit 2 if any seed diverges (docs/ROBUSTNESS.md)
+//       fault-free ingest of the same uploads. Any --disk-* probability
+//       arms the storage-fault variant: the server ingests durably
+//       through a store::FaultyEnv, the WAL fail-stops and the server
+//       degrades to read-only under injected disk faults, then the "disk
+//       is repaired" (plan cleared + try_recover_storage) and a fresh
+//       queue with the same seed re-offers everything — the dedup set
+//       absorbs the replays and the index must still converge. Prints
+//       fault/retry stats; exit 2 if any seed diverges
+//       (docs/ROBUSTNESS.md)
 //
 // Durability flags (generate, query, recover): --data-dir <dir> enables the
 // write-ahead log (docs/DURABILITY.md). generate ingests through a durable
@@ -40,7 +53,8 @@
 //   --metrics-format <fmt>   prom (default, Prometheus text exposition) or
 //                            json
 //
-// Exit codes: 0 ok, 1 bad usage, 2 runtime failure.
+// Exit codes: 0 ok, 1 bad usage, 2 runtime failure, 3 recovered/readable
+// but a torn tail was (or would be) truncated (recover, wal-dump).
 
 #include <unistd.h>
 
@@ -368,7 +382,11 @@ int cmd_recover(const std::map<std::string, std::string>& flags) {
     std::cout << "checkpoint written (covers wal seq "
               << server->last_wal_seq() << ")\n";
   }
-  return dump_metrics(flags);
+  if (const int rc = dump_metrics(flags); rc != 0) return rc;
+  // Exit 3: recovered, but the log ended mid-batch — only unacked bytes
+  // were dropped, yet an operator probably wants to know the disk or the
+  // process died mid-write.
+  return server->recovery().tail_torn ? 3 : 0;
 }
 
 int cmd_wal_dump(const std::map<std::string, std::string>& flags) {
@@ -415,7 +433,7 @@ int cmd_wal_dump(const std::map<std::string, std::string>& flags) {
     std::cerr << "error: " << dump.error << "\n";
     return 2;
   }
-  return 0;
+  return dump.stats.tail_torn ? 3 : 0;
 }
 
 /// The index as order-independent canonical bytes: snapshot to a scratch
@@ -443,6 +461,14 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
   base.reorder = flag_num(flags, "reorder", 0.05);
   base.corrupt = flag_num(flags, "corrupt", 0.02);
 
+  store::StoreFaultPlan disk_base;
+  disk_base.write_error = flag_num(flags, "disk-write-error", 0.0);
+  disk_base.fsync_error = flag_num(flags, "disk-fsync-error", 0.0);
+  disk_base.short_write = flag_num(flags, "disk-short-write", 0.0);
+  const bool disk_faults = disk_base.write_error > 0.0 ||
+                           disk_base.fsync_error > 0.0 ||
+                           disk_base.short_write > 0.0;
+
   sim::CrowdConfig ccfg;
   ccfg.providers =
       static_cast<std::uint32_t>(flag_num(flags, "providers", 12));
@@ -455,6 +481,7 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
   net::FaultStats faults;
   std::uint64_t uploads_total = 0, attempts_total = 0, retries_total = 0;
   std::uint64_t failed_seeds = 0;
+  std::uint64_t deferred_total = 0, degraded_seeds = 0;
   for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
     sim::CityModel city;
     util::Xoshiro256 rng(seed);
@@ -471,18 +498,66 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
     for (const auto& u : uploads) baseline.ingest(u);
     const auto want = canonical_index(baseline, scratch);
 
-    // Chaos run: same uploads through the faulty link and retry queue.
+    // Chaos run: same uploads through the faulty link and retry queue —
+    // and, with --disk-*, through a FaultyEnv-backed durable server.
     net::SimClock clock;
     net::FaultPlan plan = base;
     plan.seed = seed;
     net::Link link;
     net::FaultyLink faulty(link, plan, &clock);
-    net::CloudServer server;
+
+    std::string data_dir;
+    std::unique_ptr<store::FaultyEnv> env;
+    net::ServerDurabilityConfig dcfg;
+    if (disk_faults) {
+      data_dir = (std::filesystem::temp_directory_path() /
+                  ("svgctl_chaos_disk_" + std::to_string(::getpid()) + "_" +
+                   std::to_string(seed)))
+                     .string();
+      std::filesystem::remove_all(data_dir);
+      // Construct over a healthy disk (empty plan); faults arm after the
+      // server is up, so construction-time recovery never trips them.
+      env = std::make_unique<store::FaultyEnv>(store::StoreFaultPlan{});
+      dcfg.data_dir = data_dir;
+      dcfg.fsync = store::FsyncPolicy::kAlways;
+      dcfg.env = env.get();
+    }
+    auto server_ptr = open_durable_server({}, {}, dcfg);
+    if (!server_ptr) return 2;
+    net::CloudServer& server = *server_ptr;
+    if (env) {
+      auto splan = disk_base;
+      splan.seed = seed;
+      env->set_plan(splan);
+    }
+
     net::RetryPolicy policy;
     policy.max_attempts = 64;
     net::UploadQueue queue(policy, seed, &clock);
     for (const auto& u : uploads) queue.enqueue(u);
     (void)queue.drain(net::FaultyUploadChannel(faulty, server));
+
+    if (env) {
+      // The disk is "repaired": clear the fault plan, recover storage, and
+      // let a fresh queue with the same seed re-offer every upload — same
+      // ids, so already-acked ones dedup and lost ones finally land.
+      deferred_total += queue.stats().deferred;
+      env->set_plan({});
+      if (server.health() == net::ServerHealth::kDegraded) {
+        ++degraded_seeds;
+        if (!server.try_recover_storage()) {
+          ++failed_seeds;
+          std::cout << "seed " << seed
+                    << ": FAIL — storage recovery failed on a healthy "
+                       "disk\n";
+          std::filesystem::remove_all(data_dir);
+          continue;
+        }
+      }
+      net::UploadQueue requeue(policy, seed, &clock);
+      for (const auto& u : uploads) requeue.enqueue(u);
+      (void)requeue.drain(net::FaultyUploadChannel(faulty, server));
+    }
 
     const auto& qs = queue.stats();
     const auto fs = faulty.stats();
@@ -496,7 +571,7 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
     faults.corrupted += fs.corrupted;
 
     std::string problem;
-    if (qs.acked != qs.enqueued) {
+    if (!env && qs.acked != qs.enqueued) {
       problem = "not every upload was acked";
     } else if (server.known_upload_ids() != uploads.size()) {
       problem = "dedup set size != uploads";
@@ -508,6 +583,7 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
       std::cout << "seed " << seed << ": FAIL — " << problem << " (acked "
                 << qs.acked << "/" << qs.enqueued << ")\n";
     }
+    if (!data_dir.empty()) std::filesystem::remove_all(data_dir);
   }
 
   util::Table table({"metric", "value"});
@@ -520,6 +596,10 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
   table.add_row({"duplicated", util::Table::num(faults.duplicated)});
   table.add_row({"reordered", util::Table::num(faults.reordered)});
   table.add_row({"corrupted", util::Table::num(faults.corrupted)});
+  if (disk_faults) {
+    table.add_row({"deferred acks", util::Table::num(deferred_total)});
+    table.add_row({"seeds gone degraded", util::Table::num(degraded_seeds)});
+  }
   table.print(std::cout);
   if (failed_seeds != 0) {
     std::cerr << "error: " << failed_seeds << "/" << seeds

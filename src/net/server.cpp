@@ -22,21 +22,46 @@ CloudServer::IndexVariant CloudServer::make_index(
   return std::make_unique<index::ConcurrentFovIndex>(cfg.index);
 }
 
+store::WalOptions CloudServer::wal_options() const {
+  store::WalOptions wal_opts;
+  wal_opts.dir = durability_.data_dir;
+  wal_opts.segment_bytes = durability_.segment_bytes;
+  wal_opts.fsync = durability_.fsync;
+  wal_opts.batch_flush_bytes = durability_.batch_flush_bytes;
+  wal_opts.batch_flush_interval_ms = durability_.batch_flush_interval_ms;
+  wal_opts.env = durability_.env;
+  return wal_opts;
+}
+
+store::Checkpointer::Source CloudServer::checkpoint_source() {
+  return [this]() {
+    // Exclusive gate: no ingest is between its id claim, WAL append and
+    // index insert, so (last_seq, snapshot, dedup set) is consistent —
+    // every captured id's record is ≤ seq and vice versa.
+    std::unique_lock gate(ingest_gate_);
+    store::CheckpointData data;
+    data.seq = wal_->last_seq();
+    data.reps = with_index([](const auto& idx) { return idx.snapshot(); });
+    {
+      std::lock_guard lock(dedup_mu_);
+      data.upload_ids.assign(seen_upload_ids_.begin(),
+                             seen_upload_ids_.end());
+    }
+    return data;
+  };
+}
+
 CloudServer::CloudServer(ServerIndexConfig index_config,
                          retrieval::RetrievalConfig retrieval_config,
                          ServerDurabilityConfig durability)
-    : index_(make_index(index_config)), retrieval_config_(retrieval_config) {
-  if (durability.data_dir.empty()) return;
-
-  store::WalOptions wal_opts;
-  wal_opts.dir = durability.data_dir;
-  wal_opts.segment_bytes = durability.segment_bytes;
-  wal_opts.fsync = durability.fsync;
-  wal_opts.batch_flush_bytes = durability.batch_flush_bytes;
-  wal_opts.batch_flush_interval_ms = durability.batch_flush_interval_ms;
+    : index_(make_index(index_config)),
+      retrieval_config_(retrieval_config),
+      durability_(std::move(durability)) {
+  if (durability_.data_dir.empty()) return;
+  durable_cfg_ = true;
 
   auto opened = store::recover_and_open(
-      wal_opts,
+      wal_options(),
       [&](std::span<const core::RepresentativeFov> reps) {
         with_index([&](auto& idx) { idx.insert_batch(reps); });
         obs::server_metrics().segments_indexed.inc(reps.size());
@@ -54,28 +79,15 @@ CloudServer::CloudServer(ServerIndexConfig index_config,
     // Serving from a partially recovered index would silently drop acked
     // data; refuse to start instead.
     throw std::runtime_error("durable ingest recovery failed (" +
-                             durability.data_dir + "): " + recovery_.error);
+                             durability_.data_dir + "): " + recovery_.error);
   }
   wal_ = std::move(opened.wal);
+  acked_wal_seq_ = recovery_.next_seq - 1;
+  obs::server_metrics().health.set(0);
 
-  auto source = [this]() {
-    // Exclusive gate: no ingest is between its id claim, WAL append and
-    // index insert, so (last_seq, snapshot, dedup set) is consistent —
-    // every captured id's record is ≤ seq and vice versa.
-    std::unique_lock gate(ingest_gate_);
-    store::CheckpointData data;
-    data.seq = wal_->last_seq();
-    data.reps = with_index([](const auto& idx) { return idx.snapshot(); });
-    {
-      std::lock_guard lock(dedup_mu_);
-      data.upload_ids.assign(seen_upload_ids_.begin(),
-                             seen_upload_ids_.end());
-    }
-    return data;
-  };
   checkpointer_ = std::make_unique<store::Checkpointer>(
-      durability.data_dir, wal_.get(), std::move(source),
-      durability.checkpoint_interval_ms);
+      durability_.data_dir, wal_.get(), checkpoint_source(),
+      durability_.checkpoint_interval_ms, durability_.env);
 }
 
 CloudServer::~CloudServer() = default;
@@ -112,8 +124,18 @@ std::optional<std::vector<std::uint8_t>> CloudServer::handle_upload_acked(
   UploadAck ack;
   ack.upload_id = msg->upload_id;
   ack.segments_indexed = msg->segments.size();
-  ack.status = ingest(*msg) ? UploadAckStatus::kAccepted
-                            : UploadAckStatus::kDuplicate;
+  switch (ingest_status(*msg)) {
+    case IngestStatus::kAccepted:
+      ack.status = UploadAckStatus::kAccepted;
+      break;
+    case IngestStatus::kDuplicate:
+      ack.status = UploadAckStatus::kDuplicate;
+      break;
+    case IngestStatus::kRetryLater:
+      ack.status = UploadAckStatus::kRetryLater;
+      ack.segments_indexed = 0;
+      break;
+  }
   return encode_upload_ack(ack);
 }
 
@@ -123,10 +145,29 @@ bool CloudServer::claim_upload_id(std::uint64_t id) {
   return seen_upload_ids_.insert(id).second;
 }
 
+void CloudServer::unclaim_upload_id(std::uint64_t id) {
+  if (id == 0) return;
+  std::lock_guard lock(dedup_mu_);
+  seen_upload_ids_.erase(id);
+}
+
+void CloudServer::enter_degraded() {
+  auto expected = ServerHealth::kOk;
+  if (health_.compare_exchange_strong(expected, ServerHealth::kDegraded,
+                                      std::memory_order_acq_rel)) {
+    obs::server_metrics().health.set(1);
+    obs::store_fault_metrics().degraded_entries.inc();
+  }
+}
+
 bool CloudServer::ingest(const UploadMessage& msg) {
+  return ingest_status(msg) == IngestStatus::kAccepted;
+}
+
+IngestStatus CloudServer::ingest_status(const UploadMessage& msg) {
   auto& m = obs::server_metrics();
   obs::ScopedTimer timer(m.ingest_ns);
-  if (wal_ != nullptr) {
+  if (durable_cfg_) {
     // Log before indexing — the WAL ack is what recovery restores. The
     // shared gate keeps (claim + append + insert) atomic w.r.t. a
     // checkpoint (see ingest_gate_); encoding stays outside it. The id is
@@ -135,22 +176,35 @@ bool CloudServer::ingest(const UploadMessage& msg) {
     const auto record =
         store::encode_upload_record(msg.segments, msg.upload_id);
     std::shared_lock gate(ingest_gate_);
+    if (health_.load(std::memory_order_acquire) == ServerHealth::kDegraded) {
+      uploads_deferred_.fetch_add(1, std::memory_order_relaxed);
+      obs::store_fault_metrics().ingest_deferrals.inc();
+      return IngestStatus::kRetryLater;
+    }
     if (!claim_upload_id(msg.upload_id)) {
       uploads_deduped_.fetch_add(1, std::memory_order_relaxed);
       m.uploads_deduped.inc();
-      return false;
+      return IngestStatus::kDuplicate;
     }
-    if (wal_->append(record) == 0) {
-      // The log is dead (disk error); keep serving from memory but make
-      // the gap visible.
+    if (wal_ == nullptr || wal_->append(record) == 0) {
+      // The log is dead (fail-stop after a disk error). Acking anyway
+      // would be ack-then-lose; indexing anyway would desync memory from
+      // the log. Un-claim the id (this upload was never ingested — its
+      // retry after recovery must not be misread as a retransmit) and go
+      // degraded read-only.
+      unclaim_upload_id(msg.upload_id);
       obs::wal_metrics().append_failures.inc();
+      enter_degraded();
+      uploads_deferred_.fetch_add(1, std::memory_order_relaxed);
+      obs::store_fault_metrics().ingest_deferrals.inc();
+      return IngestStatus::kRetryLater;
     }
     with_index([&](auto& idx) { idx.insert_batch(msg.segments); });
   } else {
     if (!claim_upload_id(msg.upload_id)) {
       uploads_deduped_.fetch_add(1, std::memory_order_relaxed);
       m.uploads_deduped.inc();
-      return false;
+      return IngestStatus::kDuplicate;
     }
     // Batch path: one writer-lock acquisition per upload (per shard for
     // the sharded backend) instead of one per segment.
@@ -162,7 +216,7 @@ bool CloudServer::ingest(const UploadMessage& msg) {
   // accepted upload is guaranteed to see its segments (see ServerStats).
   segments_indexed_.fetch_add(msg.segments.size(), std::memory_order_release);
   uploads_accepted_.fetch_add(1, std::memory_order_release);
-  return true;
+  return IngestStatus::kAccepted;
 }
 
 std::vector<retrieval::RankedResult> CloudServer::search(
@@ -248,19 +302,71 @@ std::size_t CloudServer::known_upload_ids() const {
 }
 
 bool CloudServer::checkpoint_now() {
+  // recover_mu_ pins checkpointer_'s lifetime against a concurrent
+  // try_recover_storage (which destroys and recreates it).
+  std::lock_guard rec(recover_mu_);
   if (checkpointer_ == nullptr) return false;
   return checkpointer_->checkpoint_now();
 }
 
+bool CloudServer::try_recover_storage() {
+  if (!durable_cfg_) return false;
+  std::lock_guard rec(recover_mu_);
+  if (health_.load(std::memory_order_acquire) == ServerHealth::kOk) {
+    return true;
+  }
+
+  // Stop the checkpointer BEFORE taking the gate: its background thread
+  // acquires ingest_gate_ inside the source, so joining it while holding
+  // the gate would deadlock. New checkpoints can't start meanwhile —
+  // checkpoint_now serializes on recover_mu_.
+  const std::uint64_t watermark =
+      checkpointer_ != nullptr ? checkpointer_->checkpointed_seq() : 0;
+  checkpointer_.reset();
+
+  std::unique_lock gate(ingest_gate_);
+  if (wal_ != nullptr) acked_wal_seq_ = wal_->last_seq();
+  wal_.reset();
+
+  // The on-disk log may hold fully-written-but-unacked records from the
+  // failed batch (write landed, fsync did not). If they survived a client
+  // retry would claim the "free" id again and log it twice, so trim the
+  // log back to exactly the acked prefix before reopening. No replay on
+  // reopen — the index already holds everything acked.
+  const auto opts = wal_options();
+  if (!store::wal_trim_after(opts.dir, acked_wal_seq_, watermark, opts.env)) {
+    return false;  // disk still bad (or chain corrupt) — stay degraded
+  }
+  auto open = store::wal_open(opts, acked_wal_seq_, nullptr);
+  if (!open.wal || open.stats.next_seq != acked_wal_seq_ + 1) {
+    // Either the reopen itself failed or the surviving chain does not
+    // reach the acked watermark (acked data lost — never serve an ack we
+    // cannot honor). Stay degraded; queries keep working.
+    return false;
+  }
+  wal_ = std::move(open.wal);
+  checkpointer_ = std::make_unique<store::Checkpointer>(
+      durability_.data_dir, wal_.get(), checkpoint_source(),
+      durability_.checkpoint_interval_ms, durability_.env);
+  health_.store(ServerHealth::kOk, std::memory_order_release);
+  obs::server_metrics().health.set(0);
+  obs::store_fault_metrics().recoveries.inc();
+  return true;
+}
+
 void CloudServer::sync_wal() {
+  // Shared gate: wal_ is only reset under the exclusive gate (recovery).
+  std::shared_lock gate(ingest_gate_);
   if (wal_ != nullptr) wal_->sync();
 }
 
 std::uint64_t CloudServer::last_wal_seq() const {
+  std::shared_lock gate(ingest_gate_);
   return wal_ != nullptr ? wal_->last_seq() : 0;
 }
 
 std::uint64_t CloudServer::durable_wal_seq() const {
+  std::shared_lock gate(ingest_gate_);
   return wal_ != nullptr ? wal_->durable_seq() : 0;
 }
 
@@ -275,6 +381,7 @@ ServerStats CloudServer::stats() const {
   s.segments_indexed = segments_indexed_.load(std::memory_order_acquire);
   s.uploads_rejected = uploads_rejected_.load(std::memory_order_acquire);
   s.uploads_deduped = uploads_deduped_.load(std::memory_order_acquire);
+  s.uploads_deferred = uploads_deferred_.load(std::memory_order_acquire);
   s.queries_served = queries_served_.load(std::memory_order_acquire);
   return s;
 }
@@ -283,6 +390,7 @@ void CloudServer::reset_stats() {
   uploads_accepted_.store(0, std::memory_order_release);
   uploads_rejected_.store(0, std::memory_order_release);
   uploads_deduped_.store(0, std::memory_order_release);
+  uploads_deferred_.store(0, std::memory_order_release);
   segments_indexed_.store(0, std::memory_order_release);
   queries_served_.store(0, std::memory_order_release);
 }

@@ -36,8 +36,24 @@ struct ServerStats {
   std::uint64_t uploads_accepted = 0;
   std::uint64_t uploads_rejected = 0;
   std::uint64_t uploads_deduped = 0;  ///< retransmits absorbed by upload_id
+  std::uint64_t uploads_deferred = 0;  ///< refused with kRetryLater (degraded)
   std::uint64_t segments_indexed = 0;
   std::uint64_t queries_served = 0;
+};
+
+/// Health of the durable ingest path. A durable server that can no longer
+/// log (failed WAL append/fsync, per fail-stop semantics) flips to
+/// kDegraded: queries keep serving from memory, ingest is refused with a
+/// retriable ack, and an operator (or probe) calls try_recover_storage()
+/// to flip back once the disk works again. Mirrored by the
+/// svg_server_health gauge. Non-durable servers are always kOk.
+enum class ServerHealth { kOk, kDegraded };
+
+/// Outcome of one ingest attempt (the tri-state behind UploadAckStatus).
+enum class IngestStatus {
+  kAccepted,    ///< logged (if durable) and indexed
+  kDuplicate,   ///< upload_id already ingested; nothing indexed twice
+  kRetryLater,  ///< degraded read-only — not logged, not indexed
 };
 
 /// Which index implementation backs the server. kConcurrent is the single
@@ -75,6 +91,10 @@ struct ServerDurabilityConfig {
   std::uint32_t checkpoint_interval_ms = 0;
   std::uint64_t batch_flush_bytes = 256u << 10;
   std::uint32_t batch_flush_interval_ms = 5;
+  /// All WAL/checkpoint/recovery I/O goes through this environment; null
+  /// means Env::posix(). Not owned — must outlive the server (tests pass
+  /// a store::FaultyEnv to exercise the degraded path).
+  store::Env* env = nullptr;
 };
 
 class CloudServer {
@@ -100,8 +120,16 @@ class CloudServer {
   /// Ingest an already decoded upload (local/in-process path). Returns
   /// false when msg.upload_id was already ingested (nothing indexed) —
   /// always true for id-less (upload_id == 0) messages, which bypass
-  /// dedup entirely.
+  /// dedup entirely — and false when the server is degraded read-only
+  /// (nothing indexed; use ingest_status to tell the cases apart).
   bool ingest(const UploadMessage& msg);
+
+  /// The tri-state behind ingest()/handle_upload_acked: accepted,
+  /// duplicate, or refused-retriably because the durable log is dead
+  /// (see ServerHealth). A refused upload is neither logged nor indexed
+  /// and its id stays unclaimed, so a retry after recovery is accepted
+  /// rather than misread as a duplicate.
+  [[nodiscard]] IngestStatus ingest_status(const UploadMessage& msg);
 
   /// Decode a wire-format query, run retrieval, return encoded results.
   /// nullopt on malformed input. Thread-safe; many queriers may call
@@ -135,7 +163,22 @@ class CloudServer {
   std::optional<std::size_t> load_snapshot(const std::string& path);
 
   /// True when constructed with a data_dir (WAL + checkpoints active).
-  [[nodiscard]] bool durable() const noexcept { return wal_ != nullptr; }
+  /// Stays true while degraded — the configuration, not the disk's mood.
+  [[nodiscard]] bool durable() const noexcept { return durable_cfg_; }
+
+  /// Current health (always kOk for non-durable servers).
+  [[nodiscard]] ServerHealth health() const noexcept {
+    return health_.load(std::memory_order_acquire);
+  }
+
+  /// Operator-triggered storage recovery: when degraded, trim the on-disk
+  /// log back to the acked prefix (unacked bytes from the failed batch
+  /// must not resurrect), reopen the WAL, restart checkpointing, and flip
+  /// back to kOk. True when healthy afterwards (including "was already
+  /// ok"); false when the disk still fails or the server is not durable.
+  /// Ingest refused in the meantime keeps getting kRetryLater, so a
+  /// backing-off UploadQueue redelivers everything exactly once.
+  bool try_recover_storage();
   /// What construction-time recovery found (default-constructed with
   /// ok == false when the server is not durable).
   [[nodiscard]] const store::RecoveryResult& recovery() const noexcept {
@@ -175,14 +218,25 @@ class CloudServer {
   /// Atomically claim an upload_id. False = already ingested (retransmit).
   /// id 0 (legacy/no-id) always claims successfully and is never stored.
   bool claim_upload_id(std::uint64_t id);
+  /// Release a claim after a failed WAL append — the upload was never
+  /// acked, so its retry must not look like a retransmit.
+  void unclaim_upload_id(std::uint64_t id);
+  /// One-way ok → degraded flip (first caller wins; counts + gauge once).
+  void enter_degraded();
+  /// WalOptions equivalent to the construction-time durability config.
+  [[nodiscard]] store::WalOptions wal_options() const;
+  /// The consistent (seq, index, dedup set) capture for checkpoints.
+  [[nodiscard]] store::Checkpointer::Source checkpoint_source();
 
   IndexVariant index_;
   retrieval::RetrievalConfig retrieval_config_;
   std::atomic<std::uint64_t> uploads_accepted_{0};
   std::atomic<std::uint64_t> uploads_rejected_{0};
   std::atomic<std::uint64_t> uploads_deduped_{0};
+  std::atomic<std::uint64_t> uploads_deferred_{0};
   std::atomic<std::uint64_t> segments_indexed_{0};
   mutable std::atomic<std::uint64_t> queries_served_{0};
+  std::atomic<ServerHealth> health_{ServerHealth::kOk};
 
   // Ingest-dedup state. Guarded by its own mutex (many shared-gate
   // holders ingest concurrently); claimed INSIDE the ingest gate and
@@ -197,10 +251,20 @@ class CloudServer {
   // no acked record is missing from it and none newer leaks in (which
   // would replay as a duplicate). checkpointer_ is declared after wal_ so
   // it is destroyed first and never checkpoints against a dead log.
-  std::shared_mutex ingest_gate_;
+  mutable std::shared_mutex ingest_gate_;  // mutable: const seq accessors
   store::RecoveryResult recovery_;
+  bool durable_cfg_ = false;            ///< constructed with a data_dir
+  ServerDurabilityConfig durability_;   ///< saved for degraded reopen
   std::unique_ptr<store::Wal> wal_;
   std::unique_ptr<store::Checkpointer> checkpointer_;
+
+  // Recovery/checkpoint administration. Serializes try_recover_storage
+  // and checkpoint_now against each other (recovery destroys and
+  // recreates checkpointer_, and must stop its background thread before
+  // taking ingest_gate_ — that thread's source acquires the gate).
+  // Ordering: recover_mu_ before ingest_gate_, never the reverse.
+  std::mutex recover_mu_;
+  std::uint64_t acked_wal_seq_ = 0;  ///< guarded by recover_mu_
 };
 
 }  // namespace svg::net

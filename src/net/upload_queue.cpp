@@ -73,6 +73,24 @@ bool UploadQueue::drain(const AttemptFn& attempt) {
       all_acked = false;
       continue;
     }
+    if (matched && ack->status == UploadAckStatus::kRetryLater) {
+      // Degraded read-only server: the upload reached it but was refused
+      // without being indexed. No ack-timeout wait (the server answered);
+      // back off and re-offer, still bounded by the attempt budget.
+      ++stats_.deferred;
+      rm.upload_deferrals.inc();
+      if (p.attempts >= policy_.max_attempts) {
+        ++stats_.exhausted;
+        rm.upload_exhausted.inc();
+        pending_.erase(it);
+        all_acked = false;
+        continue;
+      }
+      const double backoff = backoff_ms(p.attempts);
+      rm.backoff_ms.observe(static_cast<std::uint64_t>(backoff));
+      p.next_eligible_ms = now_ms() + backoff;
+      continue;
+    }
     if (matched) {  // accepted or duplicate — either way it is indexed
       ++stats_.acked;
       rm.upload_acks.inc();

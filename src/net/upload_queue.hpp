@@ -37,6 +37,7 @@ struct UploadQueueStats {
   std::uint64_t retries = 0;         ///< re-sends only
   std::uint64_t exhausted = 0;       ///< gave up after max_attempts
   std::uint64_t rejected = 0;        ///< server said permanent reject
+  std::uint64_t deferred = 0;        ///< kRetryLater acks (degraded server)
 };
 
 class UploadQueue {

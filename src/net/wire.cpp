@@ -157,7 +157,7 @@ std::optional<UploadAck> decode_upload_ack(
   const auto status = r.get_u8();
   const auto uid = r.get_varint();
   const auto segs = r.get_varint();
-  if (!status || *status > 2 || !uid || !segs) return std::nullopt;
+  if (!status || *status > 3 || !uid || !segs) return std::nullopt;
   UploadAck m;
   m.status = static_cast<UploadAckStatus>(*status);
   m.upload_id = *uid;

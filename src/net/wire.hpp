@@ -51,9 +51,10 @@ struct UploadMessage {
 /// Server verdict on one upload attempt, keyed by upload_id so the client
 /// can match acks to pending queue entries even after reordering.
 enum class UploadAckStatus : std::uint8_t {
-  kRejected = 0,   ///< permanently malformed — do not retry
-  kAccepted = 1,   ///< ingested (durably, if a WAL is configured)
-  kDuplicate = 2,  ///< retransmit of an already-ingested upload_id
+  kRejected = 0,    ///< permanently malformed — do not retry
+  kAccepted = 1,    ///< ingested (durably, if a WAL is configured)
+  kDuplicate = 2,   ///< retransmit of an already-ingested upload_id
+  kRetryLater = 3,  ///< server degraded read-only — retry with backoff
 };
 
 struct UploadAck {

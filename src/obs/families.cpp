@@ -31,6 +31,8 @@ ServerMetrics& server_metrics() {
                        "Representative FoVs inserted via ingest/snapshot"),
       global().counter("svg_server_queries_total",
                        "Queries served (wire and in-process)"),
+      global().gauge("svg_server_health",
+                     "Server health: 0 = ok, 1 = degraded read-only"),
       global().histogram("svg_server_upload_ns",
                          "handle_upload latency: decode + ingest"),
       global().histogram("svg_server_ingest_ns",
@@ -147,6 +149,8 @@ NetRetryMetrics& net_retry_metrics() {
                        "Uploads abandoned after max attempts"),
       global().counter("svg_net_retry_upload_rejected_total",
                        "Uploads permanently rejected by the server"),
+      global().counter("svg_net_retry_upload_deferrals_total",
+                       "Retry-later acks from a degraded read-only server"),
       global().counter("svg_net_retry_fetch_attempts_total",
                        "Clip-fetch exchanges attempted"),
       global().counter("svg_net_retry_fetch_retries_total",
@@ -209,6 +213,28 @@ WalMetrics& wal_metrics() {
   return m;
 }
 
+StoreFaultMetrics& store_fault_metrics() {
+  static StoreFaultMetrics m{
+      global().counter("svg_store_fault_io_errors_total",
+                       "Storage I/O operations that failed (any cause)"),
+      global().counter("svg_store_fault_injected_total",
+                       "Failures injected by store::FaultyEnv"),
+      global().counter("svg_store_fault_short_writes_total",
+                       "Injected torn writes (a prefix reached the disk)"),
+      global().counter("svg_store_fault_wal_failstops_total",
+                       "WAL fail-stop transitions after an I/O error"),
+      global().counter("svg_store_fault_checkpoint_failures_total",
+                       "Checkpoints abandoned on I/O failure"),
+      global().counter("svg_store_fault_degraded_entries_total",
+                       "Server ok -> degraded read-only transitions"),
+      global().counter("svg_store_fault_recoveries_total",
+                       "Server degraded -> ok storage recoveries"),
+      global().counter("svg_store_fault_ingest_deferrals_total",
+                       "Ingests refused with a retriable ack while degraded"),
+  };
+  return m;
+}
+
 ThreadPoolMetrics::ThreadPoolMetrics()
     : queue_depth(global().gauge("svg_threadpool_queue_depth",
                                  "Tasks queued but not yet started")),
@@ -231,6 +257,7 @@ void touch_all_families() {
   (void)net_retry_metrics();
   (void)segmentation_metrics();
   (void)wal_metrics();
+  (void)store_fault_metrics();
   (void)thread_pool_metrics();
 }
 

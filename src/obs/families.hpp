@@ -27,6 +27,7 @@ struct ServerMetrics {
   Counter& reject_query_decode; ///< malformed query messages
   Counter& segments_indexed;
   Counter& queries;
+  Gauge& health;  ///< svg_server_health: 0 = ok, 1 = degraded read-only
   Histogram& upload_ns;  ///< handle_upload wall time (decode + ingest)
   Histogram& ingest_ns;  ///< index-insertion portion of an upload
   Histogram& query_ns;   ///< handle_query / search wall time
@@ -99,6 +100,7 @@ struct NetRetryMetrics {
   Counter& upload_duplicate_acks;  ///< acks for retransmits the server deduped
   Counter& upload_exhausted;       ///< uploads abandoned after max attempts
   Counter& upload_rejected;        ///< server said permanent reject
+  Counter& upload_deferrals;       ///< kRetryLater acks (degraded server)
   Counter& fetch_attempts;         ///< clip-fetch exchanges attempted
   Counter& fetch_retries;
   Counter& fetch_failures;         ///< clips given up on (flagged missing)
@@ -134,6 +136,21 @@ struct WalMetrics {
   Histogram& batch_bytes;          ///< bytes per group-commit batch
   Histogram& fsync_ns;             ///< fsync latency
   Histogram& append_ns;            ///< append() wall time incl. commit wait
+};
+
+/// store::Env fault layer + the consumers hardened against it: counts
+/// every storage I/O failure (real or injected by FaultyEnv), the
+/// fail-stop and degraded-mode transitions they trigger, and the ingests
+/// refused while the server is read-only (docs/ROBUSTNESS.md).
+struct StoreFaultMetrics {
+  Counter& io_errors;            ///< storage ops that failed (any cause)
+  Counter& injected;             ///< failures injected by FaultyEnv
+  Counter& short_writes;         ///< injected torn writes (prefix persisted)
+  Counter& wal_failstops;        ///< WAL poisoned itself after an I/O error
+  Counter& checkpoint_failures;  ///< checkpoints abandoned on I/O failure
+  Counter& degraded_entries;     ///< server ok → degraded transitions
+  Counter& recoveries;           ///< server degraded → ok transitions
+  Counter& ingest_deferrals;     ///< ingests refused with a retriable ack
 };
 
 /// util::ThreadPool — implements the util-side observer hook so the pool
@@ -173,6 +190,7 @@ class ThreadPoolMetrics final : public util::ThreadPoolObserver {
 [[nodiscard]] NetRetryMetrics& net_retry_metrics();
 [[nodiscard]] SegmentationMetrics& segmentation_metrics();
 [[nodiscard]] WalMetrics& wal_metrics();
+[[nodiscard]] StoreFaultMetrics& store_fault_metrics();
 [[nodiscard]] ThreadPoolMetrics& thread_pool_metrics();
 
 /// Register every family above so exposition includes idle subsystems.

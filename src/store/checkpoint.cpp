@@ -1,7 +1,6 @@
 #include "store/checkpoint.hpp"
 
 #include <chrono>
-#include <filesystem>
 
 #include "obs/families.hpp"
 #include "store/recovery.hpp"
@@ -10,15 +9,16 @@
 namespace svg::store {
 
 Checkpointer::Checkpointer(std::string dir, Wal* wal, Source source,
-                           std::uint32_t interval_ms)
+                           std::uint32_t interval_ms, Env* env)
     : dir_(std::move(dir)),
       wal_(wal),
       source_(std::move(source)),
-      interval_ms_(interval_ms) {
+      interval_ms_(interval_ms),
+      env_(env != nullptr ? env : &Env::posix()) {
   // Resuming after recovery: the newest on-disk checkpoint already covers
   // its seq; don't re-checkpoint an idle server.
   for (const auto& path : list_checkpoints(dir_)) {
-    if (auto snap = load_snapshot_file_full(path)) {
+    if (auto snap = load_snapshot_file_full(path, env_)) {
       checkpointed_seq_ = snap->last_seq;
       break;
     }
@@ -59,16 +59,20 @@ bool Checkpointer::checkpoint_now() {
     if (seq <= checkpointed_seq_) return true;  // nothing new
   }
   const std::string path = checkpoint_path(dir_, seq);
-  if (!save_snapshot_file(data.reps, path, seq, std::move(data.upload_ids))) {
+  if (!save_snapshot_file(data.reps, path, seq, std::move(data.upload_ids),
+                          env_)) {
+    // Failure ordering is the safety property: nothing was deleted and no
+    // segment was retired yet, so the previous checkpoint + full WAL chain
+    // still reconstruct the index. The next cycle simply retries.
+    obs::store_fault_metrics().checkpoint_failures.inc();
     return false;
   }
   obs::wal_metrics().checkpoints.inc();
 
   // Older snapshots are superseded; delete them so recovery never picks a
   // base whose WAL segments are about to be retired.
-  std::error_code ec;
   for (const auto& old : list_checkpoints(dir_)) {
-    if (old != path) std::filesystem::remove(old, ec);
+    if (old != path) (void)env_->remove_file(old);
   }
   if (wal_ != nullptr) wal_->retire_through(seq);
   {

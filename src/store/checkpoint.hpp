@@ -41,8 +41,9 @@ class Checkpointer {
 
   /// interval_ms == 0 disables the background thread; checkpoint_now()
   /// still works. `wal` may be null (snapshot-only mode, nothing retired).
+  /// Snapshot I/O goes through `env` (null = Env::posix(), not owned).
   Checkpointer(std::string dir, Wal* wal, Source source,
-               std::uint32_t interval_ms);
+               std::uint32_t interval_ms, Env* env = nullptr);
   ~Checkpointer();
   Checkpointer(const Checkpointer&) = delete;
   Checkpointer& operator=(const Checkpointer&) = delete;
@@ -63,6 +64,7 @@ class Checkpointer {
   Wal* wal_;
   Source source_;
   std::uint32_t interval_ms_;
+  Env* env_;
 
   mutable std::mutex mu_;
   std::mutex checkpoint_gate_;  ///< serializes manual + background checkpoints

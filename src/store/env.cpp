@@ -1,0 +1,329 @@
+#include "store/env.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "obs/families.hpp"
+#include "util/rng.hpp"
+
+namespace svg::store {
+
+namespace {
+
+/// Mix (seed, op kind, per-kind ordinal) into one RNG stream per
+/// operation, so fault decisions are independent of interleaving across
+/// kinds — the same derivation shape as net::FaultyLink's message_rng.
+util::Xoshiro256 op_rng(std::uint64_t seed, IoOp op, std::uint64_t ordinal) {
+  util::SplitMix64 mix(seed ^ (0x53746f7245ULL + static_cast<std::uint64_t>(op)));
+  mix.next();
+  return util::Xoshiro256(mix.next() ^ ordinal * 0x9e3779b97f4a7c15ULL);
+}
+
+class PosixFile final : public File {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool write(std::span<const std::uint8_t> bytes) override {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        obs::store_fault_metrics().io_errors.inc();
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool sync() override {
+    if (::fsync(fd_) != 0) {
+      obs::store_fault_metrics().io_errors.inc();
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  std::unique_ptr<File> open(const std::string& path,
+                             OpenMode mode) override {
+    int flags = O_WRONLY;
+    switch (mode) {
+      case OpenMode::kCreateExclusive:
+        flags |= O_CREAT | O_EXCL;
+        break;
+      case OpenMode::kTruncate:
+        flags |= O_CREAT | O_TRUNC;
+        break;
+      case OpenMode::kResumeAppend:
+        break;
+    }
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      obs::store_fault_metrics().io_errors.inc();
+      return nullptr;
+    }
+    if (mode == OpenMode::kResumeAppend && ::lseek(fd, 0, SEEK_END) < 0) {
+      ::close(fd);
+      obs::store_fault_metrics().io_errors.inc();
+      return nullptr;
+    }
+    return std::make_unique<PosixFile>(fd);
+  }
+
+  std::optional<std::vector<std::uint8_t>> read_file(
+      const std::string& path) override {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) return std::nullopt;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+      std::fclose(f);
+      return std::nullopt;
+    }
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    const bool ok =
+        std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
+    std::fclose(f);
+    if (!ok) return std::nullopt;
+    return bytes;
+  }
+
+  bool sync_dir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+      obs::store_fault_metrics().io_errors.inc();
+      return false;
+    }
+    const bool ok = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!ok) obs::store_fault_metrics().io_errors.inc();
+    return ok;
+  }
+
+  bool rename_file(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);
+    if (ec) obs::store_fault_metrics().io_errors.inc();
+    return !ec;
+  }
+
+  bool remove_file(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // false-without-error = was missing
+    if (ec) obs::store_fault_metrics().io_errors.inc();
+    return !ec;
+  }
+
+  bool truncate_file(const std::string& path, std::uint64_t size) override {
+    std::error_code ec;
+    std::filesystem::resize_file(path, size, ec);
+    if (ec) obs::store_fault_metrics().io_errors.inc();
+    return !ec;
+  }
+};
+
+}  // namespace
+
+const char* io_op_name(IoOp op) {
+  switch (op) {
+    case IoOp::kOpen: return "open";
+    case IoOp::kWrite: return "write";
+    case IoOp::kFsync: return "fsync";
+    case IoOp::kSyncDir: return "sync_dir";
+    case IoOp::kRead: return "read";
+    case IoOp::kRename: return "rename";
+    case IoOp::kRemove: return "remove";
+    case IoOp::kTruncate: return "truncate";
+  }
+  return "?";
+}
+
+bool Env::sync_parent_dir(const std::string& path) {
+  const auto dir = std::filesystem::path(path).parent_path();
+  return sync_dir(dir.empty() ? "." : dir.string());
+}
+
+Env& Env::posix() {
+  static PosixEnv env;
+  return env;
+}
+
+// --- FaultyEnv ---------------------------------------------------------------
+
+/// Write/sync wrapper that routes every call through the owning env's
+/// fault decision before (maybe) touching the real file.
+class FaultyFile final : public File {
+ public:
+  FaultyFile(FaultyEnv* env, std::unique_ptr<File> base)
+      : env_(env), base_(std::move(base)) {}
+
+  bool write(std::span<const std::uint8_t> bytes) override {
+    std::size_t prefix = 0;
+    switch (env_->decide(IoOp::kWrite, bytes.size(), &prefix)) {
+      case FaultyEnv::Fault::kNone:
+        return base_->write(bytes);
+      case FaultyEnv::Fault::kShortWrite:
+        // The torn write: a prefix reaches the disk, then the device
+        // fails. The caller sees an error; recovery later sees a torn
+        // frame. Ignore a base failure here — the op fails either way.
+        (void)base_->write(bytes.first(prefix));
+        return false;
+      case FaultyEnv::Fault::kFail:
+        return false;
+    }
+    return false;
+  }
+
+  bool sync() override {
+    std::size_t unused = 0;
+    if (env_->decide(IoOp::kFsync, 0, &unused) != FaultyEnv::Fault::kNone) {
+      // fsyncgate semantics: the pages this sync covered may be gone.
+      // Nothing is replayed into the file; the caller must fail-stop.
+      return false;
+    }
+    return base_->sync();
+  }
+
+ private:
+  FaultyEnv* env_;
+  std::unique_ptr<File> base_;
+};
+
+FaultyEnv::FaultyEnv(StoreFaultPlan plan, Env* base)
+    : plan_(plan), base_(base != nullptr ? base : &Env::posix()) {}
+
+FaultyEnv::Fault FaultyEnv::decide(IoOp op, std::size_t len,
+                                   std::size_t* prefix) {
+  std::lock_guard lock(mu_);
+  auto& fm = obs::store_fault_metrics();
+  const std::uint64_t global = ordinal_++;
+  auto rng = op_rng(plan_.seed, op, op_ordinal_[static_cast<std::size_t>(op)]++);
+  ++stats_.ops;
+
+  Fault fault = Fault::kNone;
+  if (global == fail_at_) {
+    fault = (fail_torn_ && op == IoOp::kWrite && len > 0) ? Fault::kShortWrite
+                                                          : Fault::kFail;
+  } else {
+    double p_fail = 0.0;
+    double p_short = 0.0;
+    switch (op) {
+      case IoOp::kWrite:
+        p_fail = plan_.write_error + plan_.write_enospc;
+        p_short = plan_.short_write;
+        break;
+      case IoOp::kFsync: p_fail = plan_.fsync_error; break;
+      case IoOp::kSyncDir: p_fail = plan_.sync_dir_error; break;
+      case IoOp::kOpen: p_fail = plan_.open_error; break;
+      case IoOp::kRead: p_fail = plan_.read_error; break;
+      case IoOp::kRename: p_fail = plan_.rename_error; break;
+      case IoOp::kRemove: p_fail = plan_.remove_error; break;
+      case IoOp::kTruncate: p_fail = plan_.truncate_error; break;
+    }
+    if (rng.chance(p_fail)) {
+      fault = Fault::kFail;
+    } else if (p_short > 0.0 && len > 0 && rng.chance(p_short)) {
+      fault = Fault::kShortWrite;
+    }
+  }
+
+  if (fault == Fault::kShortWrite) {
+    *prefix = static_cast<std::size_t>(rng.bounded(len));  // may be 0 bytes
+    ++stats_.short_writes;
+    stats_.torn_bytes += *prefix;
+  }
+  if (fault != Fault::kNone) {
+    ++stats_.injected;
+    fm.injected.inc();
+    fm.io_errors.inc();
+    if (fault == Fault::kShortWrite) fm.short_writes.inc();
+  }
+  return fault;
+}
+
+std::unique_ptr<File> FaultyEnv::open(const std::string& path,
+                                      OpenMode mode) {
+  std::size_t unused = 0;
+  if (decide(IoOp::kOpen, 0, &unused) != Fault::kNone) return nullptr;
+  auto base = base_->open(path, mode);
+  if (!base) return nullptr;
+  return std::make_unique<FaultyFile>(this, std::move(base));
+}
+
+std::optional<std::vector<std::uint8_t>> FaultyEnv::read_file(
+    const std::string& path) {
+  std::size_t prefix = 0;
+  switch (decide(IoOp::kRead, 0, &prefix)) {
+    case Fault::kNone: break;
+    case Fault::kFail:
+    case Fault::kShortWrite:
+      return std::nullopt;
+  }
+  return base_->read_file(path);
+}
+
+bool FaultyEnv::sync_dir(const std::string& dir) {
+  std::size_t unused = 0;
+  if (decide(IoOp::kSyncDir, 0, &unused) != Fault::kNone) return false;
+  return base_->sync_dir(dir);
+}
+
+bool FaultyEnv::rename_file(const std::string& from, const std::string& to) {
+  std::size_t unused = 0;
+  if (decide(IoOp::kRename, 0, &unused) != Fault::kNone) return false;
+  return base_->rename_file(from, to);
+}
+
+bool FaultyEnv::remove_file(const std::string& path) {
+  std::size_t unused = 0;
+  if (decide(IoOp::kRemove, 0, &unused) != Fault::kNone) return false;
+  return base_->remove_file(path);
+}
+
+bool FaultyEnv::truncate_file(const std::string& path, std::uint64_t size) {
+  std::size_t unused = 0;
+  if (decide(IoOp::kTruncate, 0, &unused) != Fault::kNone) return false;
+  return base_->truncate_file(path, size);
+}
+
+void FaultyEnv::fail_once_at(std::uint64_t ordinal, bool torn) {
+  std::lock_guard lock(mu_);
+  fail_at_ = ordinal;
+  fail_torn_ = torn;
+}
+
+void FaultyEnv::set_plan(StoreFaultPlan plan) {
+  std::lock_guard lock(mu_);
+  plan_ = plan;
+  fail_at_ = UINT64_MAX;
+  fail_torn_ = false;
+}
+
+std::uint64_t FaultyEnv::ops() const {
+  std::lock_guard lock(mu_);
+  return ordinal_;
+}
+
+StoreFaultStats FaultyEnv::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace svg::store

@@ -1,0 +1,176 @@
+#pragma once
+// Pluggable storage I/O environment for the durability subsystem. Every
+// byte the WAL, snapshot writer, checkpointer and recovery path move to or
+// from disk goes through an Env, so tests can interpose a deterministic
+// fault injector (FaultyEnv) between the durability logic and the real
+// filesystem — the storage twin of net::FaultyLink (docs/ROBUSTNESS.md).
+//
+// Env::posix() is the production implementation: plain open/write/fsync/
+// rename/unlink with EINTR retry, byte-for-byte what the subsystem did
+// before the abstraction existed. It also owns the one directory-fsync
+// helper (sync_dir / sync_parent_dir) that used to be duplicated across
+// wal.cpp and snapshot.cpp.
+//
+// Failure semantics matter more than the call surface: a false return
+// from File::sync() means the kernel may already have DROPPED the dirty
+// pages (fsyncgate), so callers must treat it as fail-stop for that file —
+// never retry-fsync-then-ack. The WAL honors this by poisoning itself on
+// the first failed write or fsync; see Wal::append.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace svg::store {
+
+/// The operation kinds an Env performs — the key space for deterministic
+/// fault injection (each kind keeps its own ordinal counter, mirroring
+/// FaultyLink's per-direction ordinals).
+enum class IoOp : std::uint8_t {
+  kOpen = 0,
+  kWrite,
+  kFsync,
+  kSyncDir,
+  kRead,
+  kRename,
+  kRemove,
+  kTruncate,
+};
+inline constexpr std::size_t kIoOpCount = 8;
+
+[[nodiscard]] const char* io_op_name(IoOp op);
+
+/// An open file handle for sequential writing. write() either persists the
+/// whole span or fails (short writes at the syscall level are retried by
+/// the POSIX impl; a short write surfaced here is an injected torn write).
+/// A false return from either call is fail-stop: the caller must not
+/// assume anything about the file past the last successful sync.
+class File {
+ public:
+  virtual ~File() = default;
+  File() = default;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  [[nodiscard]] virtual bool write(std::span<const std::uint8_t> bytes) = 0;
+  [[nodiscard]] virtual bool sync() = 0;
+};
+
+enum class OpenMode {
+  kCreateExclusive,  ///< O_CREAT|O_EXCL — new WAL segments
+  kTruncate,         ///< O_CREAT|O_TRUNC — snapshot tmp files
+  kResumeAppend,     ///< existing file, positioned at the end
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+  Env() = default;
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  /// nullptr on failure (including an injected open fault).
+  [[nodiscard]] virtual std::unique_ptr<File> open(const std::string& path,
+                                                   OpenMode mode) = 0;
+  /// Whole-file read; nullopt on any error (missing file, short read).
+  [[nodiscard]] virtual std::optional<std::vector<std::uint8_t>> read_file(
+      const std::string& path) = 0;
+  /// fsync the directory itself — the barrier that makes created, renamed
+  /// and removed names durable across power loss.
+  [[nodiscard]] virtual bool sync_dir(const std::string& dir) = 0;
+  [[nodiscard]] virtual bool rename_file(const std::string& from,
+                                         const std::string& to) = 0;
+  /// True if the file is gone afterwards (removing a missing file is ok).
+  [[nodiscard]] virtual bool remove_file(const std::string& path) = 0;
+  [[nodiscard]] virtual bool truncate_file(const std::string& path,
+                                           std::uint64_t size) = 0;
+
+  /// sync_dir on the parent directory of `path`.
+  [[nodiscard]] bool sync_parent_dir(const std::string& path);
+
+  /// Process-wide POSIX environment (what a null Env* option resolves to).
+  [[nodiscard]] static Env& posix();
+};
+
+// --- deterministic fault injection ------------------------------------------
+
+/// Per-operation fault probabilities, all decided as a pure function of
+/// (seed, operation kind, per-kind ordinal) — two runs over the same call
+/// sequence inject byte-identical faults regardless of timing or thread
+/// interleaving, exactly like net::FaultPlan.
+struct StoreFaultPlan {
+  std::uint64_t seed = 0;
+  double write_error = 0.0;   ///< P(write fails, nothing persisted) — EIO
+  double write_enospc = 0.0;  ///< P(write fails, nothing persisted) — ENOSPC
+  double short_write = 0.0;   ///< P(write persists only a prefix, then fails)
+  double fsync_error = 0.0;   ///< P(fsync fails; dirty pages may be gone)
+  double sync_dir_error = 0.0;
+  double open_error = 0.0;
+  double read_error = 0.0;
+  double rename_error = 0.0;
+  double remove_error = 0.0;
+  double truncate_error = 0.0;
+};
+
+struct StoreFaultStats {
+  std::uint64_t ops = 0;          ///< operations that reached the env
+  std::uint64_t injected = 0;     ///< operations failed by injection
+  std::uint64_t short_writes = 0; ///< injected torn writes
+  std::uint64_t torn_bytes = 0;   ///< prefix bytes persisted by torn writes
+};
+
+/// Seeded fault-injecting Env wrapper. Probabilistic faults follow the
+/// plan; fail_once_at() scripts a single failure at an exact global
+/// operation ordinal — the primitive behind the "every I/O operation
+/// fails once" property sweep. Thread-safe (the WAL's leader, its batch
+/// flusher and the checkpointer all hit one env concurrently).
+class FaultyEnv final : public Env {
+ public:
+  explicit FaultyEnv(StoreFaultPlan plan, Env* base = nullptr);
+
+  std::unique_ptr<File> open(const std::string& path, OpenMode mode) override;
+  std::optional<std::vector<std::uint8_t>> read_file(
+      const std::string& path) override;
+  bool sync_dir(const std::string& dir) override;
+  bool rename_file(const std::string& from, const std::string& to) override;
+  bool remove_file(const std::string& path) override;
+  bool truncate_file(const std::string& path, std::uint64_t size) override;
+
+  /// Fail exactly the operation with this 0-based global ordinal (count
+  /// with ops() from a fault-free run of the same workload). If `torn` and
+  /// the victim is a write, a deterministic prefix is persisted before the
+  /// failure — a torn write; otherwise the operation fails cleanly.
+  void fail_once_at(std::uint64_t ordinal, bool torn = false);
+
+  /// Replace the plan — "the operator swapped the disk". Scripted
+  /// fail_once_at state is cleared too.
+  void set_plan(StoreFaultPlan plan);
+
+  /// Global operations seen so far (every kind).
+  [[nodiscard]] std::uint64_t ops() const;
+  [[nodiscard]] StoreFaultStats stats() const;
+
+ private:
+  friend class FaultyFile;
+
+  enum class Fault : std::uint8_t { kNone, kFail, kShortWrite };
+
+  /// One decision per operation: bump ordinals, consult the script and
+  /// the plan. For kShortWrite, *prefix is set to the persisted length.
+  Fault decide(IoOp op, std::size_t len, std::size_t* prefix);
+
+  mutable std::mutex mu_;
+  StoreFaultPlan plan_;
+  Env* base_;
+  std::uint64_t ordinal_ = 0;               ///< global, all kinds
+  std::uint64_t op_ordinal_[kIoOpCount]{};  ///< per-kind streams
+  std::uint64_t fail_at_ = UINT64_MAX;
+  bool fail_torn_ = false;
+  StoreFaultStats stats_;
+};
+
+}  // namespace svg::store

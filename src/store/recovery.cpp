@@ -75,7 +75,7 @@ RecoverAndOpenResult recover_and_open(WalOptions options,
   // then decides whether the older base is still recoverable or the data
   // is genuinely gone (fail loudly either way, never skip).
   for (const auto& path : list_checkpoints(options.dir)) {
-    auto snap = load_snapshot_file_full(path);
+    auto snap = load_snapshot_file_full(path, options.env);
     if (!snap) {
       ++r.snapshots_skipped;
       continue;

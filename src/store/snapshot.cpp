@@ -1,14 +1,7 @@
 #include "store/snapshot.hpp"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <cmath>
-#include <cstdio>
-#include <filesystem>
 #include <utility>
 
 #include "geo/angle.hpp"
@@ -22,33 +15,13 @@ constexpr std::uint8_t kMagic[4] = {'S', 'V', 'G', 'X'};
 constexpr double kDegScale = 1e7;
 constexpr double kThetaScale = 100.0;
 
+/// Open-truncate, write, fsync — the data half of a durable replace.
 bool write_file_durable(std::span<const std::uint8_t> bytes,
-                        const std::string& path) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return false;
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  const bool synced = ::fsync(fd) == 0;
-  ::close(fd);
-  return synced;
-}
-
-bool fsync_parent_dir(const std::string& path) {
-  const auto dir = std::filesystem::path(path).parent_path();
-  const std::string d = dir.empty() ? "." : dir.string();
-  const int fd = ::open(d.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return false;
-  const bool ok = ::fsync(fd) == 0;
-  ::close(fd);
-  return ok;
+                        const std::string& path, Env& env) {
+  auto file = env.open(path, OpenMode::kTruncate);
+  if (!file) return false;
+  if (!file->write(bytes)) return false;
+  return file->sync();
 }
 
 }  // namespace
@@ -196,46 +169,36 @@ std::optional<std::vector<core::RepresentativeFov>> decode_snapshot(
 
 bool save_snapshot_file(const std::vector<core::RepresentativeFov>& reps,
                         const std::string& path, std::uint64_t last_seq,
-                        std::vector<std::uint64_t> upload_ids) {
+                        std::vector<std::uint64_t> upload_ids, Env* env) {
+  Env& e = env != nullptr ? *env : Env::posix();
   const auto bytes = encode_snapshot(reps, last_seq, std::move(upload_ids));
   const std::string tmp = path + ".tmp";
   // Durable atomic replace: data must hit the disk before the rename makes
   // it reachable, and the rename itself must hit the directory — otherwise
-  // "atomic" only covers process death, not power loss.
-  if (!write_file_durable(bytes, tmp)) {
-    std::remove(tmp.c_str());
+  // "atomic" only covers process death, not power loss. Any failure leaves
+  // the previous snapshot at `path` intact.
+  if (!write_file_durable(bytes, tmp, e)) {
+    (void)e.remove_file(tmp);
     return false;
   }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    std::remove(tmp.c_str());
+  if (!e.rename_file(tmp, path)) {
+    (void)e.remove_file(tmp);
     return false;
   }
-  return fsync_parent_dir(path);
+  return e.sync_parent_dir(path);
 }
 
-std::optional<SnapshotData> load_snapshot_file_full(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) return std::nullopt;
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  if (size < 0) {
-    std::fclose(f);
-    return std::nullopt;
-  }
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  const bool ok =
-      std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
-  std::fclose(f);
-  if (!ok) return std::nullopt;
-  return decode_snapshot_full(bytes);
+std::optional<SnapshotData> load_snapshot_file_full(const std::string& path,
+                                                    Env* env) {
+  Env& e = env != nullptr ? *env : Env::posix();
+  const auto bytes = e.read_file(path);
+  if (!bytes) return std::nullopt;
+  return decode_snapshot_full(*bytes);
 }
 
 std::optional<std::vector<core::RepresentativeFov>> load_snapshot_file(
-    const std::string& path) {
-  auto full = load_snapshot_file_full(path);
+    const std::string& path, Env* env) {
+  auto full = load_snapshot_file_full(path, env);
   if (!full) return std::nullopt;
   return std::move(full->reps);
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/fov.hpp"
+#include "store/env.hpp"
 #include "util/bytes.hpp"
 
 namespace svg::store {
@@ -67,16 +68,19 @@ decode_snapshot(std::span<const std::uint8_t> bytes);
 /// Write a snapshot file atomically AND durably: write to path+".tmp",
 /// fsync the tmp file, rename over path, fsync the directory — so the
 /// snapshot survives power loss, not just process death. False on I/O
-/// error.
+/// error; on failure the previous file at `path` is untouched (only the
+/// tmp file is ever written before the rename). All I/O goes through
+/// `env` (null = Env::posix()).
 bool save_snapshot_file(const std::vector<core::RepresentativeFov>& reps,
                         const std::string& path, std::uint64_t last_seq = 0,
-                        std::vector<std::uint64_t> upload_ids = {});
+                        std::vector<std::uint64_t> upload_ids = {},
+                        Env* env = nullptr);
 
 /// Read a snapshot file; nullopt on I/O error or malformed content.
 [[nodiscard]] std::optional<std::vector<core::RepresentativeFov>>
-load_snapshot_file(const std::string& path);
+load_snapshot_file(const std::string& path, Env* env = nullptr);
 
 [[nodiscard]] std::optional<SnapshotData> load_snapshot_file_full(
-    const std::string& path);
+    const std::string& path, Env* env = nullptr);
 
 }  // namespace svg::store

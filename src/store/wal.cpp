@@ -1,11 +1,6 @@
 #include "store/wal.hpp"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -14,6 +9,7 @@
 #include "obs/families.hpp"
 #include "obs/timer.hpp"
 #include "store/crc32c.hpp"
+#include "store/env.hpp"
 #include "store/snapshot.hpp"
 #include "util/bytes.hpp"
 
@@ -53,33 +49,6 @@ void append_frame(std::vector<std::uint8_t>& out,
   put_u32le(out, static_cast<std::uint32_t>(payload.size()));
   put_u32le(out, crc32c(payload));
   out.insert(out.end(), payload.begin(), payload.end());
-}
-
-bool fsync_dir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return false;
-  const bool ok = ::fsync(fd) == 0;
-  ::close(fd);
-  return ok;
-}
-
-std::optional<std::vector<std::uint8_t>> read_whole_file(
-    const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (!f) return std::nullopt;
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  if (size < 0) {
-    std::fclose(f);
-    return std::nullopt;
-  }
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  const bool ok =
-      std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
-  std::fclose(f);
-  if (!ok) return std::nullopt;
-  return bytes;
 }
 
 struct ScanSegment {
@@ -122,7 +91,8 @@ struct ScanResult {
 /// deliver records newer than replay_after; classify a bad tail as torn
 /// (final segment) or corruption (anything else).
 ScanResult scan_wal(const std::string& dir, std::uint64_t replay_after,
-                    const WalReplayHandler& handler, bool collect_records) {
+                    const WalReplayHandler& handler, bool collect_records,
+                    Env& env) {
   ScanResult res;
   res.stats.next_seq = replay_after + 1;
   const auto files = list_segment_files(dir);
@@ -130,7 +100,7 @@ ScanResult scan_wal(const std::string& dir, std::uint64_t replay_after,
   std::uint64_t expected = 0;  // 0 = chain start not yet pinned
   for (std::size_t i = 0; i < files.size(); ++i) {
     const bool last = i + 1 == files.size();
-    const auto bytes = read_whole_file(files[i].path);
+    const auto bytes = env.read_file(files[i].path);
     if (!bytes) {
       res.error = "cannot read " + files[i].path;
       return res;
@@ -182,12 +152,20 @@ ScanResult scan_wal(const std::string& dir, std::uint64_t replay_after,
         return res;
       }
     } else if (first_seq != expected) {
-      res.error = files[i].path + ": segment starts at seq " +
-                  std::to_string(first_seq) + ", expected " +
-                  std::to_string(expected) +
-                  (first_seq > expected ? " (missing middle segment)"
-                                        : " (overlapping segments)");
-      return res;
+      if (first_seq > expected && first_seq <= replay_after + 1) {
+        // Gap wholly below the checkpoint watermark: every missing record
+        // is ≤ replay_after, i.e. covered by the snapshot, and the
+        // segments scanned so far are pre-checkpoint leftovers that a
+        // crashed or faulted retirement failed to unlink. Restart the
+        // chain here — nothing replayable was lost.
+      } else {
+        res.error = files[i].path + ": segment starts at seq " +
+                    std::to_string(first_seq) + ", expected " +
+                    std::to_string(expected) +
+                    (first_seq > expected ? " (missing middle segment)"
+                                          : " (overlapping segments)");
+        return res;
+      }
     }
 
     WalSegmentInfo info;
@@ -261,14 +239,60 @@ std::string wal_segment_path(const std::string& dir,
   return (std::filesystem::path(dir) / name).string();
 }
 
-WalDump wal_dump(const std::string& dir, std::uint64_t replay_after) {
-  auto scan = scan_wal(dir, replay_after, nullptr, /*collect_records=*/true);
+WalDump wal_dump(const std::string& dir, std::uint64_t replay_after,
+                 Env* env) {
+  auto scan = scan_wal(dir, replay_after, nullptr, /*collect_records=*/true,
+                       env != nullptr ? *env : Env::posix());
   WalDump dump;
   dump.segments = std::move(scan.segments);
   dump.records = std::move(scan.records);
   dump.stats = scan.stats;
   dump.error = std::move(scan.error);
   return dump;
+}
+
+bool wal_trim_after(const std::string& dir, std::uint64_t seq,
+                    std::uint64_t replay_after, Env* env) {
+  Env& e = env != nullptr ? *env : Env::posix();
+  auto scan = scan_wal(dir, replay_after, nullptr, /*collect_records=*/true,
+                       e);
+  if (!scan.error.empty()) return false;
+
+  bool touched = false;
+  // A trailing file whose header never made it to disk is not a chain
+  // member at all (scan excludes it from segments); drop it outright.
+  if (!scan.truncate_path.empty() && scan.truncate_to < kSegHeaderBytes) {
+    if (!e.remove_file(scan.truncate_path)) return false;
+    touched = true;
+  }
+  // Records with seq > `seq` were never acked (or are being disowned):
+  // cut the segment holding seq+1 at that frame and delete everything
+  // after it. A torn frame tail (scan.truncate_*) lies past any acked
+  // record by construction, so the cut subsumes it when they share a
+  // segment and the removal loop covers it when they don't.
+  std::optional<std::size_t> cut_segment;
+  for (const auto& rec : scan.records) {
+    if (rec.seq == seq + 1) {
+      if (!e.truncate_file(scan.segments[rec.segment].path, rec.offset)) {
+        return false;
+      }
+      cut_segment = rec.segment;
+      touched = true;
+      break;
+    }
+  }
+  if (cut_segment.has_value()) {
+    for (std::size_t i = *cut_segment + 1; i < scan.segments.size(); ++i) {
+      if (!e.remove_file(scan.segments[i].path)) return false;
+      touched = true;
+    }
+  } else if (!scan.truncate_path.empty() &&
+             scan.truncate_to >= kSegHeaderBytes) {
+    // Every whole record is ≤ seq; only the torn bytes go.
+    if (!e.truncate_file(scan.truncate_path, scan.truncate_to)) return false;
+    touched = true;
+  }
+  return !touched || e.sync_dir(dir);
 }
 
 // --- Wal --------------------------------------------------------------------
@@ -291,9 +315,10 @@ WalOpenResult wal_open(WalOptions options, std::uint64_t replay_after,
   }
   options.batch_flush_interval_ms =
       std::max<std::uint32_t>(1, options.batch_flush_interval_ms);
+  Env& env = options.env != nullptr ? *options.env : Env::posix();
 
   auto scan = scan_wal(options.dir, replay_after, handler,
-                       /*collect_records=*/false);
+                       /*collect_records=*/false, env);
   res.stats = scan.stats;
   if (!scan.error.empty()) {
     res.error = std::move(scan.error);
@@ -303,30 +328,35 @@ WalOpenResult wal_open(WalOptions options, std::uint64_t replay_after,
   // Repair the torn tail: partially written records were never acked, so
   // dropping them restores the exact acked prefix.
   if (!scan.truncate_path.empty()) {
+    bool repaired = false;
     if (scan.truncate_to < kSegHeaderBytes) {
-      std::filesystem::remove(scan.truncate_path, ec);
-      if (!ec && !scan.segments.empty() &&
+      repaired = env.remove_file(scan.truncate_path);
+      if (repaired && !scan.segments.empty() &&
           scan.segments.back().path == scan.truncate_path) {
         scan.segments.pop_back();
       }
     } else {
-      std::filesystem::resize_file(scan.truncate_path, scan.truncate_to, ec);
-      if (!ec && !scan.segments.empty() &&
+      repaired = env.truncate_file(scan.truncate_path, scan.truncate_to);
+      if (repaired && !scan.segments.empty() &&
           scan.segments.back().path == scan.truncate_path) {
         scan.segments.back().file_bytes = scan.truncate_to;
       }
     }
-    if (ec) {
-      res.error = "cannot repair torn tail of " + scan.truncate_path + ": " +
-                  ec.message();
+    // The repair must be durable before any new record lands after the
+    // cut: if the truncation (or the directory entry for the removal)
+    // were lost in a later crash, the revived torn bytes would corrupt
+    // the middle of the chain. Surface the failure instead of appending
+    // past an un-durable repair.
+    if (!repaired || !env.sync_dir(options.dir)) {
+      res.error = "cannot repair torn tail of " + scan.truncate_path;
       return res;
     }
-    fsync_dir(options.dir);
     obs::wal_metrics().replay_truncated_bytes.inc(res.stats.bytes_truncated);
   }
   obs::wal_metrics().replay_records.inc(res.stats.records_replayed);
 
   auto wal = WalOpenAccess::make(options);
+  wal->env_ = &env;
   wal->next_seq_ = res.stats.next_seq;
   wal->written_seq_ = res.stats.next_seq - 1;
   wal->durable_seq_ = res.stats.next_seq - 1;
@@ -364,10 +394,7 @@ Wal::~Wal() {
   if (flusher_.joinable()) flusher_.join();
   std::unique_lock lock(mu_);
   if (!failed_) sync_locked(lock, next_seq_ - 1);
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  file_.reset();
 }
 
 void Wal::start_flusher() {
@@ -492,7 +519,13 @@ void Wal::lead(std::unique_lock<std::mutex>& lock, bool force_sync) {
 
     lock.lock();
     if (!io_ok) {
+      // Fail-stop: the batch is NOT acked (written_seq_ stays put, so
+      // every follower in it returns 0 from append), durable_seq_ never
+      // advances again, and no later append or fsync is attempted — per
+      // fsyncgate, a failed fsync means the dirty pages may already be
+      // gone, so retrying could only ack lost data.
       failed_ = true;
+      obs::store_fault_metrics().wal_failstops.inc();
     } else {
       written_seq_ = batch_last;
       if (synced) durable_seq_ = batch_last;
@@ -508,6 +541,7 @@ void Wal::lead(std::unique_lock<std::mutex>& lock, bool force_sync) {
     lock.lock();
     if (!io_ok) {
       failed_ = true;
+      obs::store_fault_metrics().wal_failstops.inc();
     } else if (durable_seq_ < target) {
       durable_seq_ = target;
     }
@@ -517,15 +551,7 @@ void Wal::lead(std::unique_lock<std::mutex>& lock, bool force_sync) {
 }
 
 bool Wal::write_all(std::span<const std::uint8_t> bytes) {
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
+  if (!file_ || !file_->write(bytes)) return false;
   segment_written_ += bytes.size();
   unsynced_bytes_ += bytes.size();
   obs::wal_metrics().bytes.inc(bytes.size());
@@ -535,7 +561,7 @@ bool Wal::write_all(std::span<const std::uint8_t> bytes) {
 bool Wal::do_fsync() {
   auto& m = obs::wal_metrics();
   obs::ScopedTimer timer(m.fsync_ns);
-  if (::fsync(fd_) != 0) return false;
+  if (!file_ || !file_->sync()) return false;
   unsynced_bytes_ = 0;
   m.fsyncs.inc();
   return true;
@@ -544,8 +570,7 @@ bool Wal::do_fsync() {
 bool Wal::rotate(std::uint64_t first_seq) {
   // Finish the old segment durably before the chain moves past it.
   if (options_.fsync != FsyncPolicy::kNone && !do_fsync()) return false;
-  ::close(fd_);
-  fd_ = -1;
+  file_.reset();
   obs::wal_metrics().rotations.inc();
   return open_segment(first_seq, /*resume=*/false, 0);
 }
@@ -554,19 +579,14 @@ bool Wal::open_segment(std::uint64_t first_seq, bool resume,
                        std::uint64_t size) {
   const std::string path = resume ? segments_.back().path
                                   : wal_segment_path(options_.dir, first_seq);
-  const int flags = resume ? O_WRONLY : (O_WRONLY | O_CREAT | O_EXCL);
-  const int fd = ::open(path.c_str(), flags, 0644);
-  if (fd < 0) return false;
+  auto file = env_->open(
+      path, resume ? OpenMode::kResumeAppend : OpenMode::kCreateExclusive);
+  if (!file) return false;
+  file_ = std::move(file);
   if (resume) {
-    if (::lseek(fd, 0, SEEK_END) < 0) {
-      ::close(fd);
-      return false;
-    }
-    fd_ = fd;
     segment_written_ = size;
     return true;
   }
-  fd_ = fd;
   segment_written_ = 0;
   std::vector<std::uint8_t> header;
   header.insert(header.end(), kSegMagic, kSegMagic + 4);
@@ -578,13 +598,17 @@ bool Wal::open_segment(std::uint64_t first_seq, bool resume,
     header.push_back(static_cast<std::uint8_t>(first_seq >> (8 * i)));
   }
   if (!write_all(header)) {
-    ::close(fd_);
-    fd_ = -1;
+    file_.reset();
     return false;
   }
   // Make the new file name durable so a post-rotation crash still sees a
-  // contiguous chain.
-  fsync_dir(options_.dir);
+  // contiguous chain. A failed directory fsync fails the rotation — the
+  // segment's name may not survive power loss, so records must not land
+  // in it (the leader turns this into WAL fail-stop).
+  if (!env_->sync_dir(options_.dir)) {
+    file_.reset();
+    return false;
+  }
   segments_.push_back({path, first_seq});
   return true;
 }
@@ -601,10 +625,18 @@ std::size_t Wal::retire_through(std::uint64_t seq) {
     segments_.erase(segments_.begin());
   }
   lock.unlock();
-  std::error_code ec;
-  for (const auto& path : victims) std::filesystem::remove(path, ec);
-  if (!victims.empty()) fsync_dir(options_.dir);
+  bool dir_durable = true;
+  for (const auto& path : victims) (void)env_->remove_file(path);
+  if (!victims.empty()) dir_durable = env_->sync_dir(options_.dir);
   lock.lock();
+  if (!dir_durable && !failed_) {
+    // The removals may not be durable and the directory's durability is
+    // now unknowable (fsyncgate) — poison the log rather than keep
+    // promising durability on top of it. Recovery tolerates resurrected
+    // pre-checkpoint segments, so the data itself is safe either way.
+    failed_ = true;
+    obs::store_fault_metrics().wal_failstops.inc();
+  }
   writing_ = false;
   cv_.notify_all();
   obs::wal_metrics().segments_retired.inc(victims.size());

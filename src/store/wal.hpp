@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "core/fov.hpp"
+#include "store/env.hpp"
 
 namespace svg::store {
 
@@ -63,6 +64,10 @@ struct WalOptions {
   /// …or this much time has passed (a background flusher covers idle
   /// periods). Clamped to ≥ 1.
   std::uint32_t batch_flush_interval_ms = 5;
+  /// All file and directory I/O goes through this environment; null means
+  /// Env::posix(). Not owned — must outlive the Wal (tests pass a
+  /// FaultyEnv; see store/env.hpp).
+  Env* env = nullptr;
 };
 
 /// seq + payload of every record newer than the replay watermark.
@@ -106,7 +111,21 @@ struct WalDump {
 /// retired prefix, so pass the newest checkpoint's last_seq (0 = no
 /// checkpoint, the chain must reach back to seq 1).
 [[nodiscard]] WalDump wal_dump(const std::string& dir,
-                               std::uint64_t replay_after = 0);
+                               std::uint64_t replay_after = 0,
+                               Env* env = nullptr);
+
+/// Truncate the log so that no record with seq > `seq` remains: later
+/// segments are deleted, the segment containing seq+1 is cut at that
+/// record's frame boundary, and a torn tail past the cut is dropped with
+/// it. Used by CloudServer::try_recover_storage to realign the on-disk
+/// log with the acked in-memory prefix before reopening after a disk
+/// fault (unacked bytes from a failed batch must not resurrect — a client
+/// retry of one of those uploads would otherwise log its id twice).
+/// `replay_after` is the checkpoint watermark, as for wal_dump. False on
+/// chain corruption or I/O failure.
+[[nodiscard]] bool wal_trim_after(const std::string& dir, std::uint64_t seq,
+                                  std::uint64_t replay_after = 0,
+                                  Env* env = nullptr);
 
 /// Segment file path for a given first sequence number.
 [[nodiscard]] std::string wal_segment_path(const std::string& dir,
@@ -123,7 +142,12 @@ class Wal {
   /// Durably append one record. Blocks until the record is acknowledged
   /// per the fsync policy; concurrent callers coalesce into one
   /// write+fsync. Returns the record's sequence number, or 0 after an
-  /// unrecoverable I/O error (see ok()).
+  /// unrecoverable I/O error (see ok()). I/O failure is fail-stop: the
+  /// first failed write or fsync poisons the log permanently — every
+  /// record of the failing batch (and everything after) returns 0 and
+  /// durable_seq never advances again. In particular a failed fsync is
+  /// never retried (fsyncgate: the kernel may have dropped the dirty
+  /// pages, so a later "successful" fsync would ack lost data).
   std::uint64_t append(std::span<const std::uint8_t> payload);
 
   /// Force everything appended so far to disk (no-op effect under kNone).
@@ -137,7 +161,10 @@ class Wal {
   [[nodiscard]] bool ok() const;
 
   /// Delete segments whose records are all ≤ seq (checkpoint retirement).
-  /// The active segment is never deleted. Returns segments removed.
+  /// The active segment is never deleted. Returns segments removed. A
+  /// failed directory fsync afterwards poisons the WAL (fail-stop): the
+  /// removals may not be durable, and per fsyncgate semantics nothing
+  /// about the directory's durability can be assumed from then on.
   std::size_t retire_through(std::uint64_t seq);
 
   /// Paths of live segments, oldest first (active segment last).
@@ -173,9 +200,11 @@ class Wal {
   bool failed_ = false;
   bool stopping_ = false;
 
+  Env* env_ = nullptr;  ///< resolved from options_.env at open
+
   // Owned by the current leader (writing_ == true) or by single-threaded
   // open/destroy; never touched otherwise.
-  int fd_ = -1;
+  std::unique_ptr<File> file_;
   std::uint64_t segment_written_ = 0;
   std::uint64_t unsynced_bytes_ = 0;
   struct LiveSegment {

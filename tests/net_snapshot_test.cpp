@@ -8,6 +8,7 @@
 
 #include "index/fov_index.hpp"
 #include "store/crc32c.hpp"
+#include "store/env.hpp"
 #include "net/server.hpp"
 #include "sim/crowd.hpp"
 #include "util/rng.hpp"
@@ -181,6 +182,95 @@ TEST(SnapshotCodecTest, AbsurdUploadIdCountRejectedBeforeAllocation) {
   w.put_varint(1);            // ...one byte of them present
   w.put_u32(svg::store::crc32c(w.bytes()));
   EXPECT_FALSE(svg::store::decode_snapshot_full(w.take()).has_value());
+}
+
+// --- version compat matrix under injected I/O faults -------------------------
+//
+// Snapshot files of every on-disk generation (v1: no seq/CRC, v2: seq+CRC,
+// v3: seq+dedup ids+CRC) must keep loading through the pluggable Env — and
+// must fail CLEANLY (nullopt, no crash, no partial data) when the read is
+// injected to fail or the file comes back short.
+
+/// Serialize `reps` in the given historical snapshot layout.
+std::vector<std::uint8_t> snapshot_bytes_v(std::uint16_t version,
+                                           const std::vector<RepresentativeFov>& reps) {
+  if (version >= 3) {
+    return encode_snapshot(reps, 99, {5, 7, 11});
+  }
+  svg::util::ByteWriter w;
+  const std::uint8_t magic[4] = {'S', 'V', 'G', 'X'};
+  w.put_bytes(magic);
+  w.put_u16(version);
+  if (version == 2) w.put_u64(777);
+  w.put_varint(reps.size());
+  svg::store::put_rep_records(w, reps);
+  if (version == 2) w.put_u32(svg::store::crc32c(w.bytes()));
+  return w.take();
+}
+
+std::string write_snapshot_file(const std::string& tag,
+                                const std::vector<std::uint8_t>& bytes) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / ("svg_snap_compat_" + tag))
+          .string();
+  auto f = svg::store::Env::posix().open(path,
+                                         svg::store::OpenMode::kTruncate);
+  EXPECT_TRUE(f != nullptr);
+  EXPECT_TRUE(f->write(bytes));
+  return path;
+}
+
+TEST(SnapshotFileTest, CompatMatrixEveryVersionLoadsThroughEnv) {
+  const auto reps = sample_reps(25, 12);
+  svg::store::FaultyEnv env{svg::store::StoreFaultPlan{}};
+  for (std::uint16_t v = 1; v <= 3; ++v) {
+    const auto path = write_snapshot_file("v" + std::to_string(v),
+                                          snapshot_bytes_v(v, reps));
+    const auto full = svg::store::load_snapshot_file_full(path, &env);
+    ASSERT_TRUE(full.has_value()) << "version " << v;
+    EXPECT_EQ(full->version, v);
+    EXPECT_EQ(full->reps.size(), reps.size()) << "version " << v;
+    EXPECT_EQ(full->last_seq, v == 1 ? 0u : (v == 2 ? 777u : 99u));
+    EXPECT_EQ(full->upload_ids.size(), v == 3 ? 3u : 0u);
+    std::remove(path.c_str());
+  }
+  EXPECT_EQ(env.stats().injected, 0u);
+}
+
+TEST(SnapshotFileTest, CompatMatrixInjectedReadFailureIsClean) {
+  const auto reps = sample_reps(25, 13);
+  svg::store::StoreFaultPlan plan;
+  plan.read_error = 1.0;
+  svg::store::FaultyEnv env{plan};
+  for (std::uint16_t v = 1; v <= 3; ++v) {
+    const auto path = write_snapshot_file("rf_v" + std::to_string(v),
+                                          snapshot_bytes_v(v, reps));
+    EXPECT_FALSE(
+        svg::store::load_snapshot_file_full(path, &env).has_value())
+        << "version " << v;
+    // The file itself is untouched — a later healthy read still works.
+    EXPECT_TRUE(svg::store::load_snapshot_file_full(path).has_value())
+        << "version " << v;
+    std::remove(path.c_str());
+  }
+  EXPECT_GE(env.stats().injected, 3u);
+}
+
+TEST(SnapshotFileTest, CompatMatrixTruncatedFilesRejectedAtEveryCut) {
+  const auto reps = sample_reps(12, 14);
+  svg::store::FaultyEnv env{svg::store::StoreFaultPlan{}};
+  for (std::uint16_t v = 1; v <= 3; ++v) {
+    const auto bytes = snapshot_bytes_v(v, reps);
+    for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+      const auto path = write_snapshot_file(
+          "tr_v" + std::to_string(v),
+          {bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(keep)});
+      EXPECT_FALSE(
+          svg::store::load_snapshot_file_full(path, &env).has_value())
+          << "version " << v << " truncated to " << keep;
+      std::remove(path.c_str());
+    }
+  }
 }
 
 TEST(SnapshotFileTest, SaveLoadRoundTrip) {

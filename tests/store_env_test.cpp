@@ -1,0 +1,252 @@
+// store::Env / store::FaultyEnv — the pluggable I/O layer under the WAL,
+// snapshots and checkpoints (docs/ROBUSTNESS.md). Pins the POSIX
+// implementation's file semantics and the fault layer's determinism: the
+// same (seed, plan) injects the same faults at the same per-op ordinals,
+// and fail_once_at turns "which single I/O dies" into a sweepable
+// parameter.
+
+#include "store/env.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace svg::store;
+
+struct ScopedDir {
+  explicit ScopedDir(const std::string& tag) {
+    path = (std::filesystem::temp_directory_path() /
+            ("svg_env_test_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScopedDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(StoreEnvTest, PosixWriteReadRoundTrip) {
+  ScopedDir dir("roundtrip");
+  Env& env = Env::posix();
+  const std::string path = dir.path + "/f";
+  {
+    auto f = env.open(path, OpenMode::kCreateExclusive);
+    ASSERT_TRUE(f != nullptr);
+    EXPECT_TRUE(f->write(bytes_of("hello ")));
+    EXPECT_TRUE(f->write(bytes_of("world")));
+    EXPECT_TRUE(f->sync());
+  }
+  const auto back = env.read_file(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes_of("hello world"));
+}
+
+TEST(StoreEnvTest, PosixCreateExclusiveRefusesExistingFile) {
+  ScopedDir dir("excl");
+  Env& env = Env::posix();
+  const std::string path = dir.path + "/f";
+  ASSERT_TRUE(env.open(path, OpenMode::kCreateExclusive) != nullptr);
+  EXPECT_TRUE(env.open(path, OpenMode::kCreateExclusive) == nullptr);
+}
+
+TEST(StoreEnvTest, PosixResumeAppendContinuesAtEnd) {
+  ScopedDir dir("resume");
+  Env& env = Env::posix();
+  const std::string path = dir.path + "/f";
+  {
+    auto f = env.open(path, OpenMode::kCreateExclusive);
+    ASSERT_TRUE(f != nullptr);
+    ASSERT_TRUE(f->write(bytes_of("abc")));
+  }
+  {
+    auto f = env.open(path, OpenMode::kResumeAppend);
+    ASSERT_TRUE(f != nullptr);
+    ASSERT_TRUE(f->write(bytes_of("def")));
+  }
+  EXPECT_EQ(*env.read_file(path), bytes_of("abcdef"));
+}
+
+TEST(StoreEnvTest, PosixTruncateOverwritesExisting) {
+  ScopedDir dir("trunc");
+  Env& env = Env::posix();
+  const std::string path = dir.path + "/f";
+  {
+    auto f = env.open(path, OpenMode::kCreateExclusive);
+    ASSERT_TRUE(f->write(bytes_of("a long first version")));
+  }
+  {
+    auto f = env.open(path, OpenMode::kTruncate);
+    ASSERT_TRUE(f != nullptr);
+    ASSERT_TRUE(f->write(bytes_of("v2")));
+  }
+  EXPECT_EQ(*env.read_file(path), bytes_of("v2"));
+}
+
+TEST(StoreEnvTest, PosixRenameRemoveTruncateFile) {
+  ScopedDir dir("fsops");
+  Env& env = Env::posix();
+  const std::string a = dir.path + "/a";
+  const std::string b = dir.path + "/b";
+  {
+    auto f = env.open(a, OpenMode::kCreateExclusive);
+    ASSERT_TRUE(f->write(bytes_of("0123456789")));
+  }
+  EXPECT_TRUE(env.rename_file(a, b));
+  EXPECT_FALSE(env.read_file(a).has_value());
+  EXPECT_TRUE(env.truncate_file(b, 4));
+  EXPECT_EQ(*env.read_file(b), bytes_of("0123"));
+  EXPECT_TRUE(env.remove_file(b));
+  EXPECT_FALSE(env.read_file(b).has_value());
+  // Removing a missing file is not an error (idempotent retirement).
+  EXPECT_TRUE(env.remove_file(b));
+}
+
+TEST(StoreEnvTest, PosixSyncDirAndParentDir) {
+  ScopedDir dir("syncdir");
+  Env& env = Env::posix();
+  EXPECT_TRUE(env.sync_dir(dir.path));
+  EXPECT_TRUE(env.sync_parent_dir(dir.path + "/some_file"));
+  EXPECT_FALSE(env.sync_dir(dir.path + "/no_such_subdir"));
+}
+
+TEST(StoreEnvTest, PosixReadMissingFileReturnsNullopt) {
+  EXPECT_FALSE(Env::posix().read_file("/nonexistent/env/file").has_value());
+}
+
+// --- FaultyEnv ---------------------------------------------------------------
+
+/// Drive a fixed little I/O workload, returning which of its ops failed.
+std::vector<int> run_workload(FaultyEnv& env, const std::string& dir,
+                              const std::string& tag) {
+  std::vector<int> failed;
+  int op = 0;
+  auto note = [&](bool ok) { if (!ok) failed.push_back(op); ++op; };
+  const std::string path = dir + "/" + tag;
+  auto f = env.open(path, OpenMode::kTruncate);
+  note(f != nullptr);
+  for (int i = 0; i < 8; ++i) {
+    note(f != nullptr && f->write(std::vector<std::uint8_t>(64, 0xAB)));
+    note(f != nullptr && f->sync());
+  }
+  note(env.sync_dir(dir));
+  note(env.read_file(path).has_value());
+  note(env.rename_file(path, path + ".r"));
+  note(env.remove_file(path + ".r"));
+  return failed;
+}
+
+TEST(StoreEnvTest, FaultyEnvZeroPlanIsTransparent) {
+  ScopedDir dir("fault_zero");
+  FaultyEnv env{StoreFaultPlan{}};
+  EXPECT_TRUE(run_workload(env, dir.path, "w").empty());
+  EXPECT_GT(env.ops(), 0u);
+  EXPECT_EQ(env.stats().injected, 0u);
+  EXPECT_EQ(env.stats().ops, env.ops());
+}
+
+TEST(StoreEnvTest, FaultyEnvSameSeedSameFaults) {
+  StoreFaultPlan plan;
+  plan.seed = 42;
+  plan.write_error = 0.2;
+  plan.fsync_error = 0.2;
+  plan.sync_dir_error = 0.5;
+  plan.read_error = 0.5;
+  plan.rename_error = 0.5;
+  plan.remove_error = 0.5;
+
+  ScopedDir d1("fault_det1");
+  ScopedDir d2("fault_det2");
+  FaultyEnv e1{plan};
+  FaultyEnv e2{plan};
+  const auto f1 = run_workload(e1, d1.path, "w");
+  const auto f2 = run_workload(e2, d2.path, "w");
+  EXPECT_EQ(f1, f2);  // fault schedule is a pure function of (seed, plan)
+  EXPECT_FALSE(f1.empty());
+  EXPECT_EQ(e1.stats().injected, e2.stats().injected);
+
+  // A different seed draws a different schedule (with these probabilities
+  // a collision across every op would be astronomically unlikely).
+  ScopedDir d3("fault_det3");
+  plan.seed = 43;
+  FaultyEnv e3{plan};
+  EXPECT_NE(run_workload(e3, d3.path, "w"), f1);
+}
+
+TEST(StoreEnvTest, FailOnceAtKillsExactlyThatOp) {
+  // First pass: count ops with no faults. Then re-run failing each single
+  // ordinal and check exactly one op fails per run — the primitive behind
+  // the every-op-fails-once sweep.
+  ScopedDir dry("fail_once_dry");
+  FaultyEnv probe{StoreFaultPlan{}};
+  ASSERT_TRUE(run_workload(probe, dry.path, "w").empty());
+  const std::uint64_t n = probe.ops();
+  ASSERT_GT(n, 10u);
+
+  for (std::uint64_t k = 0; k < n; ++k) {
+    ScopedDir dir("fail_once_" + std::to_string(k));
+    FaultyEnv env{StoreFaultPlan{}};
+    env.fail_once_at(k);
+    const auto failed = run_workload(env, dir.path, "w");
+    EXPECT_EQ(env.stats().injected, 1u) << "ordinal " << k;
+    // One injected fault fails at least the op it hit (a dead open also
+    // fails the writes/syncs that depended on the handle).
+    EXPECT_FALSE(failed.empty()) << "ordinal " << k;
+  }
+}
+
+TEST(StoreEnvTest, ShortWritePersistsStrictPrefix) {
+  ScopedDir dir("short");
+  FaultyEnv env{StoreFaultPlan{}};
+  const std::string path = dir.path + "/f";
+  auto f = env.open(path, OpenMode::kCreateExclusive);
+  ASSERT_TRUE(f != nullptr);
+  ASSERT_TRUE(f->write(std::vector<std::uint8_t>(100, 0x11)));
+
+  // Ordinal 2 is the second write (open=0, first write=1).
+  env.fail_once_at(2, /*torn=*/true);
+  EXPECT_FALSE(f->write(std::vector<std::uint8_t>(100, 0x22)));
+  EXPECT_EQ(env.stats().short_writes, 1u);
+
+  const auto back = Env::posix().read_file(path);
+  ASSERT_TRUE(back.has_value());
+  // The first write is intact; the torn one persisted only a prefix.
+  ASSERT_GE(back->size(), 100u);
+  EXPECT_LT(back->size(), 200u);
+  EXPECT_EQ(back->size() - 100u, env.stats().torn_bytes);
+  for (std::size_t i = 0; i < back->size(); ++i) {
+    EXPECT_EQ((*back)[i], i < 100 ? 0x11 : 0x22);
+  }
+}
+
+TEST(StoreEnvTest, SetPlanResetsScriptedFault) {
+  ScopedDir dir("reset");
+  FaultyEnv env{StoreFaultPlan{}};
+  env.fail_once_at(0);
+  env.set_plan(StoreFaultPlan{});  // "disk repaired" clears the script too
+  EXPECT_TRUE(env.open(dir.path + "/f", OpenMode::kTruncate) != nullptr);
+  EXPECT_EQ(env.stats().injected, 0u);
+}
+
+TEST(StoreEnvTest, FaultyEnvLayersOverExplicitBase) {
+  // Wrapping a FaultyEnv over another env must forward to it, not to the
+  // POSIX singleton — the contract that lets tests stack fault layers.
+  ScopedDir dir("layer");
+  FaultyEnv inner{StoreFaultPlan{}};
+  FaultyEnv outer{StoreFaultPlan{}, &inner};
+  auto f = outer.open(dir.path + "/f", OpenMode::kTruncate);
+  ASSERT_TRUE(f != nullptr);
+  ASSERT_TRUE(f->write(bytes_of("x")));
+  EXPECT_GT(inner.ops(), 0u);
+}
+
+}  // namespace
