@@ -1,5 +1,6 @@
 #include "net/server.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <stdexcept>
 #include <type_traits>
@@ -83,6 +84,7 @@ CloudServer::CloudServer(ServerIndexConfig index_config,
   }
   wal_ = std::move(opened.wal);
   acked_wal_seq_ = recovery_.next_seq - 1;
+  checkpoint_wal_seq_ = recovery_.snapshot_seq;
   obs::server_metrics().health.set(0);
 
   checkpointer_ = std::make_unique<store::Checkpointer>(
@@ -177,6 +179,19 @@ IngestStatus CloudServer::ingest_status(const UploadMessage& msg) {
         store::encode_upload_record(msg.segments, msg.upload_id);
     std::shared_lock gate(ingest_gate_);
     if (health_.load(std::memory_order_acquire) == ServerHealth::kDegraded) {
+      // A retransmit of an already-ingested id is still answered
+      // kDuplicate (read-only lookup — the data is durably acked and
+      // indexed); deferring it would burn the client's bounded retry
+      // budget re-offering data the server already holds. Only genuinely
+      // new uploads are deferred.
+      if (msg.upload_id != 0) {
+        std::lock_guard lock(dedup_mu_);
+        if (seen_upload_ids_.count(msg.upload_id) != 0) {
+          uploads_deduped_.fetch_add(1, std::memory_order_relaxed);
+          m.uploads_deduped.inc();
+          return IngestStatus::kDuplicate;
+        }
+      }
       uploads_deferred_.fetch_add(1, std::memory_order_relaxed);
       obs::store_fault_metrics().ingest_deferrals.inc();
       return IngestStatus::kRetryLater;
@@ -278,12 +293,12 @@ bool CloudServer::save_snapshot(const std::string& path) const {
   }
   return save_snapshot_file(
       with_index([](const auto& idx) { return idx.snapshot(); }), path,
-      /*last_seq=*/0, std::move(ids));
+      /*last_seq=*/0, std::move(ids), durability_.env);
 }
 
 std::optional<std::size_t> CloudServer::load_snapshot(
     const std::string& path) {
-  const auto snap = store::load_snapshot_file_full(path);
+  const auto snap = store::load_snapshot_file_full(path, durability_.env);
   if (!snap) return std::nullopt;
   with_index([&](auto& idx) { idx.insert_batch(snap->reps); });
   {
@@ -319,10 +334,17 @@ bool CloudServer::try_recover_storage() {
   // Stop the checkpointer BEFORE taking the gate: its background thread
   // acquires ingest_gate_ inside the source, so joining it while holding
   // the gate would deadlock. New checkpoints can't start meanwhile —
-  // checkpoint_now serializes on recover_mu_.
-  const std::uint64_t watermark =
-      checkpointer_ != nullptr ? checkpointer_->checkpointed_seq() : 0;
+  // checkpoint_now serializes on recover_mu_. The watermark is folded
+  // into the cached member (max: a fresh post-recovery Checkpointer
+  // starts at 0) so a failed attempt — checkpointer_ already null on
+  // re-entry — still trims against the true replay floor instead of
+  // demanding a chain back to seq 1.
+  if (checkpointer_ != nullptr) {
+    checkpoint_wal_seq_ =
+        std::max(checkpoint_wal_seq_, checkpointer_->checkpointed_seq());
+  }
   checkpointer_.reset();
+  const std::uint64_t watermark = checkpoint_wal_seq_;
 
   std::unique_lock gate(ingest_gate_);
   if (wal_ != nullptr) acked_wal_seq_ = wal_->last_seq();
@@ -337,7 +359,13 @@ bool CloudServer::try_recover_storage() {
   if (!store::wal_trim_after(opts.dir, acked_wal_seq_, watermark, opts.env)) {
     return false;  // disk still bad (or chain corrupt) — stay degraded
   }
-  auto open = store::wal_open(opts, acked_wal_seq_, nullptr);
+  // Reopen from the CHECKPOINT watermark, not the acked seq: scan_wal
+  // seeds next_seq with replay_after + 1, so opening at acked_wal_seq_
+  // would report next_seq == acked + 1 even over an empty directory and
+  // the loss check below would be a tautology. From the checkpoint floor,
+  // next_seq only reaches acked + 1 if the scanned chain actually holds
+  // every record in (watermark, acked].
+  auto open = store::wal_open(opts, watermark, nullptr);
   if (!open.wal || open.stats.next_seq != acked_wal_seq_ + 1) {
     // Either the reopen itself failed or the surviving chain does not
     // reach the acked watermark (acked data lost — never serve an ack we

@@ -265,6 +265,13 @@ class CloudServer {
   // Ordering: recover_mu_ before ingest_gate_, never the reverse.
   std::mutex recover_mu_;
   std::uint64_t acked_wal_seq_ = 0;  ///< guarded by recover_mu_
+  /// Newest checkpoint watermark, cached so a FAILED recovery attempt
+  /// (which has already destroyed checkpointer_) can still trim and
+  /// verify the chain against the right replay floor on re-entry —
+  /// deriving it from a null checkpointer_ would demand a chain back to
+  /// seq 1 and brick recovery forever after any retirement. Guarded by
+  /// recover_mu_; seeded from construction-time recovery.
+  std::uint64_t checkpoint_wal_seq_ = 0;
 };
 
 }  // namespace svg::net

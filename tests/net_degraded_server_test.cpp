@@ -179,6 +179,111 @@ TEST(DegradedServerTest, TryRecoverStorageRestoresIngestAfterHeal) {
   EXPECT_TRUE(server.try_recover_storage());
 }
 
+TEST(DegradedServerTest, FailedRecoveryAttemptDoesNotBrickAfterRetirement) {
+  ScopedDir dir("rebrick");
+  FaultyEnv env{StoreFaultPlan{}};
+  ServerDurabilityConfig cfg = durable_cfg(dir.path, &env);
+  cfg.segment_bytes = 1;  // rotate every append: one record per segment
+  CloudServer server({}, {}, cfg);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(server.ingest_status(upload_of(i, 600 + i)),
+              IngestStatus::kAccepted);
+  }
+  // Checkpoint and retire: the chain no longer reaches back to seq 1.
+  ASSERT_TRUE(server.checkpoint_now());
+  ASSERT_EQ(server.ingest_status(upload_of(3, 603)), IngestStatus::kAccepted);
+
+  env.set_plan(dead_disk());
+  ASSERT_EQ(server.ingest_status(upload_of(4, 604)),
+            IngestStatus::kRetryLater);
+  ASSERT_EQ(server.health(), ServerHealth::kDegraded);
+
+  // The expected operator pattern: the probe fires while the disk is
+  // still bad. This failed attempt destroys the checkpointer — recovery
+  // after the heal must still find the checkpoint watermark (a server
+  // that re-derived it as 0 would demand a chain back to seq 1 and stay
+  // bricked on "missing earlier segment" forever).
+  StoreFaultPlan still_bad;
+  still_bad.read_error = 1.0;
+  env.set_plan(still_bad);
+  ASSERT_FALSE(server.try_recover_storage());
+  ASSERT_EQ(server.health(), ServerHealth::kDegraded);
+
+  env.set_plan(StoreFaultPlan{});
+  EXPECT_TRUE(server.try_recover_storage());
+  EXPECT_EQ(server.health(), ServerHealth::kOk);
+  EXPECT_EQ(server.ingest_status(upload_of(4, 604)), IngestStatus::kAccepted);
+}
+
+TEST(DegradedServerTest, RecoveryRefusesChainMissingAckedRecords) {
+  ScopedDir dir("lost");
+  FaultyEnv env{StoreFaultPlan{}};
+  ServerDurabilityConfig cfg = durable_cfg(dir.path, &env);
+  cfg.segment_bytes = 1;  // rotate every append: one record per segment
+  CloudServer server({}, {}, cfg);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(server.ingest_status(upload_of(i, 700 + i)),
+              IngestStatus::kAccepted);
+  }
+  env.set_plan(dead_disk());
+  ASSERT_EQ(server.ingest_status(upload_of(3, 703)),
+            IngestStatus::kRetryLater);
+  ASSERT_EQ(server.health(), ServerHealth::kDegraded);
+
+  // The outage eats the tail of the log: the acked record at seq 3 is
+  // gone (plus whatever partial segment the failed append left behind).
+  ASSERT_TRUE(
+      std::filesystem::remove(svg::store::wal_segment_path(dir.path, 3)));
+  std::filesystem::remove(svg::store::wal_segment_path(dir.path, 4));
+
+  // The disk "heals", but acked data is lost: recovery must refuse to
+  // declare the log healthy rather than reopen over the hole (verifying
+  // from the acked seq itself would make the check a tautology).
+  env.set_plan(StoreFaultPlan{});
+  EXPECT_FALSE(server.try_recover_storage());
+  EXPECT_EQ(server.health(), ServerHealth::kDegraded);
+}
+
+TEST(DegradedServerTest, DegradedRetransmitOfAckedUploadIsDuplicate) {
+  ScopedDir dir("dupdeg");
+  FaultyEnv env{StoreFaultPlan{}};
+  CloudServer server({}, {}, durable_cfg(dir.path, &env));
+  ASSERT_EQ(server.ingest_status(upload_of(0, 800)), IngestStatus::kAccepted);
+
+  env.set_plan(dead_disk());
+  ASSERT_EQ(server.ingest_status(upload_of(1, 801)),
+            IngestStatus::kRetryLater);
+  ASSERT_EQ(server.health(), ServerHealth::kDegraded);
+
+  // A retransmit of a durably acked id is absorbed as kDuplicate even
+  // while degraded — the data is already indexed, and a deferral would
+  // burn the client's bounded attempt budget on data the server holds.
+  EXPECT_EQ(server.ingest_status(upload_of(0, 800)), IngestStatus::kDuplicate);
+  EXPECT_EQ(server.indexed_segments(), 2u);
+  // Genuinely new uploads keep deferring.
+  EXPECT_EQ(server.ingest_status(upload_of(2, 802)),
+            IngestStatus::kRetryLater);
+}
+
+TEST(DegradedServerTest, StandaloneSnapshotsGoThroughConfiguredEnv) {
+  ScopedDir dir("snapenv");
+  FaultyEnv env{StoreFaultPlan{}};
+  CloudServer server({}, {}, durable_cfg(dir.path, &env));
+  ASSERT_EQ(server.ingest_status(upload_of(0, 850)), IngestStatus::kAccepted);
+  const std::string snap = dir.path + "/standalone.svgx";
+  ASSERT_TRUE(server.save_snapshot(snap));
+
+  // save/load must see the configured env like every other storage path.
+  env.set_plan(dead_disk());
+  EXPECT_FALSE(server.save_snapshot(snap));
+  StoreFaultPlan unreadable;
+  unreadable.read_error = 1.0;
+  env.set_plan(unreadable);
+  EXPECT_FALSE(server.load_snapshot(snap).has_value());
+  env.set_plan(StoreFaultPlan{});
+  EXPECT_TRUE(server.load_snapshot(snap).has_value());
+}
+
 TEST(DegradedServerTest, OutageIsExactlyOnceAcrossRestart) {
   ScopedDir dir("restart");
   FaultyEnv env{StoreFaultPlan{}};
