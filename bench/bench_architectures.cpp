@@ -20,6 +20,7 @@
 #include "net/fault.hpp"
 #include "net/upload_queue.hpp"
 #include "net/server.hpp"
+#include "obs/trace.hpp"
 #include "sim/crowd.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -222,6 +223,46 @@ int main() {
                               64.0 * lossy_results.size(),
                           0),
          util::Table::num(lossy_query_ms, 3), "no (until matched)"});
+  }
+  // Content-free with every request traced (sample_every=1, the most
+  // expensive tracer setting): ingest traffic grows by the two trailing
+  // trace-context varints per upload, and the query cost shows full span
+  // recording. Production samples 1/64 or less — this row is the ceiling.
+  {
+    obs::TracerConfig tcfg;
+    tcfg.enabled = true;
+    tcfg.sample_every = 1;
+    obs::tracer().configure(tcfg);
+    net::CloudServer traced_server({}, {.camera = cam,
+                                        .orientation_slack_deg = 10.0,
+                                        .orientation_filter = true,
+                                        .top_n = 10,
+                                        .box_expansion = 0.0});
+    std::uint64_t traced_ingest_bytes = 0;
+    std::uint64_t next_upload = 1;
+    for (const auto& s : sessions) {
+      net::MobileClient client(s.video_id, model, {0.5});
+      auto msg = net::capture_session(client, s.records);
+      obs::Span attempt = obs::tracer().root_span("upload.attempt");
+      msg.upload_id = next_upload++;
+      const auto ctx = obs::tracer().current_context();
+      msg.trace_id = ctx.trace_id;
+      msg.parent_span_id = ctx.parent_span_id;
+      const auto bytes = net::encode_upload(msg);
+      traced_ingest_bytes += bytes.size();
+      traced_server.handle_upload(bytes);
+    }
+    util::Stopwatch tsw;
+    const auto traced_results = traced_server.search(q);
+    const double traced_query_ms = tsw.elapsed_ms();
+    obs::tracer().configure({});
+    table.add_row(
+        {"content-free, traced (sample=1)",
+         util::Table::num(static_cast<double>(traced_ingest_bytes), 0),
+         util::Table::num(static_cast<double>(query_bytes.size()) +
+                              64.0 * traced_results.size(),
+                          0),
+         util::Table::num(traced_query_ms, 3), "no (until matched)"});
   }
   table.print(std::cout);
 

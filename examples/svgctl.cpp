@@ -20,6 +20,14 @@
 //       checkpoint and retires covered WAL segments. Exit 0 on a clean
 //       recovery, 3 when a torn tail was truncated (recovered, but the
 //       last batch died mid-write), 2 when the chain is unrecoverable
+//   svgctl trace --in corpus.svgx --lat .. --lng .. [--queries N]
+//                [--mode text|chrome|slow|journal] [--out file]
+//                [--sample n] [--slow-ms t]
+//       run N traced queries against the corpus, then inspect what the
+//       tracer stored: the span tree of every trace (text), a Chrome
+//       trace_event JSON export for chrome://tracing (chrome), the
+//       slow-request log (slow), or the structured event journal
+//       (journal). docs/TRACING.md walks through the output.
 //   svgctl wal-dump --data-dir d
 //       read-only inspection of the WAL chain: per-segment and per-record
 //       listing, torn-tail/corruption diagnosis. Exit 0 on a clean chain,
@@ -52,6 +60,13 @@
 //                            ("-" = stdout)
 //   --metrics-format <fmt>   prom (default, Prometheus text exposition) or
 //                            json
+//   --trace 1 (query)        trace the request end-to-end and print its
+//                            span tree; --trace-out <file> additionally
+//                            writes the Chrome trace_event JSON
+//
+// chaos and recover print the server-health gauge and the tail of the
+// structured event journal before any non-zero exit, so a failed run
+// explains what the system did last.
 //
 // Exit codes: 0 ok, 1 bad usage, 2 runtime failure, 3 recovered/readable
 // but a torn tail was (or would be) truncated (recover, wal-dump).
@@ -75,6 +90,8 @@
 #include "net/server.hpp"
 #include "net/snapshot.hpp"
 #include "obs/families.hpp"
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
 #include "retrieval/engine.hpp"
 #include "sim/crowd.hpp"
 #include "store/recovery.hpp"
@@ -139,6 +156,35 @@ int dump_metrics(const std::map<std::string, std::string>& flags) {
     obs::global().write_prometheus(*os);
   }
   return 0;
+}
+
+/// Failure breadcrumb for chaos/recover: the health gauge plus the newest
+/// journal events, so a non-zero exit says what the system did last.
+void print_failure_context(std::ostream& os) {
+  os << "svg_server_health " << obs::server_metrics().health.value()
+     << (obs::server_metrics().health.value() == 0 ? " (ok)"
+                                                   : " (degraded)")
+     << "\n";
+  const auto tail = obs::Journal::global().tail(12);
+  if (tail.empty()) {
+    os << "journal: no events recorded\n";
+    return;
+  }
+  os << "journal tail (" << tail.size() << " of "
+     << obs::Journal::global().appended() << " events):\n";
+  obs::write_journal_text(os, tail);
+}
+
+/// Arm the global tracer for a CLI run: sample 1/n (default every request),
+/// slow threshold from --slow-ms.
+void enable_tracing(const std::map<std::string, std::string>& flags) {
+  obs::TracerConfig tcfg;
+  tcfg.enabled = true;
+  tcfg.sample_every =
+      static_cast<std::uint32_t>(flag_num(flags, "sample", 1));
+  tcfg.slow_ns = static_cast<std::uint64_t>(
+      flag_num(flags, "slow-ms", 50.0) * 1e6);
+  obs::tracer().configure(tcfg);
 }
 
 /// Build the durability config from --data-dir/--fsync/--segment-bytes/
@@ -328,6 +374,9 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
   q.t_end = static_cast<core::TimestampMs>(
       flag_num(flags, "to", 9'999'999'999'999.0));
 
+  const bool traced = flag_num(flags, "trace", 0) != 0;
+  if (traced) enable_tracing(flags);
+
   retrieval::SearchTrace trace;
   const auto results = server->search(q, &trace);
 
@@ -335,10 +384,10 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
             << " after orientation filter, " << results.size()
             << " returned\n";
   std::cout << "stage timings: range_search "
-            << static_cast<double>(trace.range_search_ns) / 1e3
-            << " us, filter " << static_cast<double>(trace.filter_ns) / 1e3
-            << " us, rank " << static_cast<double>(trace.rank_ns) / 1e3
-            << " us, total " << static_cast<double>(trace.total_ns) / 1e3
+            << static_cast<double>(trace.range_search_ns()) / 1e3
+            << " us, filter " << static_cast<double>(trace.filter_ns()) / 1e3
+            << " us, rank " << static_cast<double>(trace.rank_ns()) / 1e3
+            << " us, total " << static_cast<double>(trace.total_ns()) / 1e3
             << " us\n";
   util::Table table({"rank", "video", "segment", "t_start_ms", "t_end_ms",
                      "dist_m", "relevance"});
@@ -353,6 +402,27 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
                    util::Table::num(r.relevance, 3)});
   }
   table.print(std::cout);
+
+  if (traced) {
+    // The search ran under a "server.query" root; its completed span tree
+    // is in the tracer ring. SearchTrace carries the shared trace_id.
+    std::cout << "\n=== trace ===\n";
+    const auto stored = obs::tracer().find_trace(trace.spans[3].trace_id);
+    if (stored.empty()) {
+      std::cout << "(no stored trace — sampled out?)\n";
+    }
+    for (const auto& t : stored) obs::write_trace_text(std::cout, *t);
+    const auto trace_out = flag_str(flags, "trace-out", "");
+    if (!trace_out.empty()) {
+      std::ofstream file(trace_out);
+      if (!file) {
+        std::cerr << "error: cannot write " << trace_out << "\n";
+        return 2;
+      }
+      obs::write_chrome_trace(file, obs::tracer().ring().snapshot());
+      std::cout << "wrote " << trace_out << " (chrome://tracing)\n";
+    }
+  }
 
   // stats section: every process-wide instrument this run touched (plus
   // idle families as zeros), the human-readable twin of --metrics-out.
@@ -371,12 +441,16 @@ int cmd_recover(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   auto server = open_durable_server({}, {}, dcfg);
-  if (!server) return 2;
+  if (!server) {
+    print_failure_context(std::cerr);
+    return 2;
+  }
   std::cout << server->recovery().summary() << "\n";
   std::cout << "indexed segments: " << server->indexed_segments() << "\n";
   if (flag_num(flags, "checkpoint", 0) != 0) {
     if (!server->checkpoint_now()) {
       std::cerr << "error: checkpoint failed\n";
+      print_failure_context(std::cerr);
       return 2;
     }
     std::cout << "checkpoint written (covers wal seq "
@@ -386,7 +460,11 @@ int cmd_recover(const std::map<std::string, std::string>& flags) {
   // Exit 3: recovered, but the log ended mid-batch — only unacked bytes
   // were dropped, yet an operator probably wants to know the disk or the
   // process died mid-write.
-  return server->recovery().tail_torn ? 3 : 0;
+  if (server->recovery().tail_torn) {
+    print_failure_context(std::cout);
+    return 3;
+  }
+  return 0;
 }
 
 int cmd_wal_dump(const std::map<std::string, std::string>& flags) {
@@ -523,7 +601,10 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
       dcfg.env = env.get();
     }
     auto server_ptr = open_durable_server({}, {}, dcfg);
-    if (!server_ptr) return 2;
+    if (!server_ptr) {
+      print_failure_context(std::cerr);
+      return 2;
+    }
     net::CloudServer& server = *server_ptr;
     if (env) {
       auto splan = disk_base;
@@ -604,6 +685,7 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
   if (failed_seeds != 0) {
     std::cerr << "error: " << failed_seeds << "/" << seeds
               << " seeds diverged from the fault-free index\n";
+    print_failure_context(std::cerr);
     return 2;
   }
   std::cout << "all " << seeds
@@ -611,11 +693,86 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
   return dump_metrics(flags);
 }
 
+int cmd_trace(const std::map<std::string, std::string>& flags) {
+  const auto mode = flag_str(flags, "mode", "text");
+  if (mode != "text" && mode != "chrome" && mode != "slow" &&
+      mode != "journal") {
+    std::cerr << "error: --mode must be text, chrome, slow, or journal\n";
+    return 1;
+  }
+  enable_tracing(flags);
+
+  net::ServerDurabilityConfig dcfg;
+  if (!durability_from_flags(flags, dcfg)) return 1;
+  auto server = open_durable_server({}, {}, dcfg);
+  if (!server) return 2;
+  if (!server->durable()) {
+    const auto in = flag_str(flags, "in", "corpus.svgx");
+    if (!server->load_snapshot(in)) {
+      std::cerr << "error: cannot read " << in << "\n";
+      return 2;
+    }
+  }
+
+  retrieval::Query q;
+  q.center.lat = flag_num(flags, "lat", 39.9042);
+  q.center.lng = flag_num(flags, "lng", 116.4074);
+  q.radius_m = flag_num(flags, "radius", 50.0);
+  q.t_start = static_cast<core::TimestampMs>(flag_num(flags, "from", 0));
+  q.t_end = static_cast<core::TimestampMs>(
+      flag_num(flags, "to", 9'999'999'999'999.0));
+
+  const auto queries =
+      static_cast<std::size_t>(flag_num(flags, "queries", 8));
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < queries; ++i) {
+    hits += server->search(q).size();
+  }
+  std::cout << queries << " traced queries, " << hits << " total hits\n";
+
+  std::ofstream file;
+  std::ostream* os = &std::cout;
+  const auto out = flag_str(flags, "out", "");
+  if (!out.empty() && out != "-") {
+    file.open(out);
+    if (!file) {
+      std::cerr << "error: cannot write " << out << "\n";
+      return 2;
+    }
+    os = &file;
+  }
+
+  if (mode == "journal") {
+    obs::write_journal_text(*os, obs::Journal::global().tail());
+    return 0;
+  }
+  const auto& ring =
+      mode == "slow" ? obs::tracer().slow_ring() : obs::tracer().ring();
+  const auto traces = ring.snapshot();
+  if (mode == "chrome") {
+    obs::write_chrome_trace(*os, traces);
+    if (os != &std::cout) {
+      std::cout << "wrote " << out << " (" << traces.size()
+                << " traces; open in chrome://tracing)\n";
+    }
+    return 0;
+  }
+  if (traces.empty()) {
+    *os << (mode == "slow" ? "slow-request log empty (no root ran >= "
+                             "--slow-ms)\n"
+                           : "trace ring empty\n");
+    return 0;
+  }
+  for (const auto& t : traces) obs::write_trace_text(*os, *t);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: svgctl <generate|info|query|recover|wal-dump|chaos> "
+    std::cerr << "usage: svgctl "
+                 "<generate|info|query|trace|recover|wal-dump|chaos> "
                  "[--flag value ...]\n";
     return 1;
   }
@@ -624,6 +781,7 @@ int main(int argc, char** argv) {
   if (cmd == "generate") return cmd_generate(flags);
   if (cmd == "info") return cmd_info(flags);
   if (cmd == "query") return cmd_query(flags);
+  if (cmd == "trace") return cmd_trace(flags);
   if (cmd == "recover") return cmd_recover(flags);
   if (cmd == "wal-dump") return cmd_wal_dump(flags);
   if (cmd == "chaos") return cmd_chaos(flags);

@@ -18,6 +18,7 @@
 #include "index/rtree.hpp"
 #include "obs/families.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace svg::index {
 
@@ -186,7 +187,8 @@ class ConcurrentFovIndex {
   template <typename F>
   void query(const GeoTimeRange& range, F&& visit) const {
     auto& m = obs::index_metrics();
-    obs::ScopedTimer timer(m.query_ns);
+    obs::Span span = obs::tracer().span("index.query");
+    obs::ScopedTimer timer(m.query_ns, span.trace_id());
     m.queries.inc();
     std::shared_lock lock(mutex_);
     index_.query(range, std::forward<F>(visit));

@@ -23,6 +23,7 @@
 #include "index/fov_index.hpp"
 #include "obs/families.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace svg::index {
@@ -78,11 +79,14 @@ class ShardedFovIndex {
   template <typename F>
   void query(const GeoTimeRange& range, F&& visit) const {
     auto& m = obs::index_metrics();
-    obs::ScopedTimer timer(m.query_ns);
+    obs::Span span = obs::tracer().span("index.query");
+    obs::ScopedTimer timer(m.query_ns, span.trace_id());
     m.queries.inc();
+    span.tag("shards", shards_.size());
     if (options_.pool != nullptr && options_.pool->size() > 1 &&
         total_.load(std::memory_order_relaxed) >=
             options_.parallel_query_min_size) {
+      span.tag("fanout", 1);
       query_fanout(range, visit);
       return;
     }

@@ -1,6 +1,7 @@
 #include "net/fault.hpp"
 
 #include "obs/families.hpp"
+#include "obs/journal.hpp"
 #include "util/rng.hpp"
 
 namespace svg::net {
@@ -54,6 +55,7 @@ FaultyLink::Delivery FaultyLink::transfer(std::span<const std::uint8_t> bytes,
   if (plan_.disconnected_at(now)) {
     ++stats_.disconnect_drops;
     fm.disconnect_drops.inc();
+    obs::journal_event(obs::JournalEvent::kNetFaultInjected, 1, up ? 1 : 0);
     d.lost = true;
     // A disconnect also flushes nothing: a held (reordered) message stays
     // held until the link is back and another message pushes it out.
@@ -63,6 +65,7 @@ FaultyLink::Delivery FaultyLink::transfer(std::span<const std::uint8_t> bytes,
   if (rng.chance(plan_.drop)) {
     ++stats_.dropped;
     fm.drops.inc();
+    obs::journal_event(obs::JournalEvent::kNetFaultInjected, 2, up ? 1 : 0);
     d.lost = true;
   } else if (!dir.holding && rng.chance(plan_.reorder)) {
     // Hold this message back; it arrives after the NEXT message in this
@@ -71,12 +74,14 @@ FaultyLink::Delivery FaultyLink::transfer(std::span<const std::uint8_t> bytes,
     dir.holding = true;
     ++stats_.reordered;
     fm.reorders.inc();
+    obs::journal_event(obs::JournalEvent::kNetFaultInjected, 3, up ? 1 : 0);
   } else {
     d.copies.emplace_back(bytes.begin(), bytes.end());
     if (rng.chance(plan_.duplicate)) {
       d.copies.emplace_back(bytes.begin(), bytes.end());
       ++stats_.duplicated;
       fm.duplicates.inc();
+      obs::journal_event(obs::JournalEvent::kNetFaultInjected, 4, up ? 1 : 0);
     }
   }
 
@@ -97,6 +102,7 @@ FaultyLink::Delivery FaultyLink::transfer(std::span<const std::uint8_t> bytes,
       }
       ++stats_.corrupted;
       fm.corruptions.inc();
+      obs::journal_event(obs::JournalEvent::kNetFaultInjected, 5, up ? 1 : 0);
     }
   }
 

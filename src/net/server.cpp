@@ -8,7 +8,9 @@
 
 #include "net/snapshot.hpp"
 #include "obs/families.hpp"
+#include "obs/journal.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace svg::net {
 
@@ -104,6 +106,13 @@ bool CloudServer::handle_upload(std::span<const std::uint8_t> bytes) {
     m.reject_decode.inc();
     return false;
   }
+  // Joins the client's trace when the message carried a context (or the
+  // in-process caller's open trace), so ingest spans nest under the
+  // sender's attempt.
+  obs::Span span = obs::tracer().adopted_span(
+      "server.upload", {msg->trace_id, msg->parent_span_id});
+  span.tag("upload_id", msg->upload_id);
+  span.tag("segments", msg->segments.size());
   // A deduped retransmit is a success from the sender's view: the upload
   // is in the index, just not twice.
   (void)ingest(*msg);
@@ -123,6 +132,10 @@ std::optional<std::vector<std::uint8_t>> CloudServer::handle_upload_acked(
     m.reject_decode.inc();
     return std::nullopt;
   }
+  obs::Span span = obs::tracer().adopted_span(
+      "server.upload", {msg->trace_id, msg->parent_span_id});
+  span.tag("upload_id", msg->upload_id);
+  span.tag("segments", msg->segments.size());
   UploadAck ack;
   ack.upload_id = msg->upload_id;
   ack.segments_indexed = msg->segments.size();
@@ -159,6 +172,7 @@ void CloudServer::enter_degraded() {
                                       std::memory_order_acq_rel)) {
     obs::server_metrics().health.set(1);
     obs::store_fault_metrics().degraded_entries.inc();
+    obs::journal_event(obs::JournalEvent::kServerDegraded);
   }
 }
 
@@ -168,7 +182,8 @@ bool CloudServer::ingest(const UploadMessage& msg) {
 
 IngestStatus CloudServer::ingest_status(const UploadMessage& msg) {
   auto& m = obs::server_metrics();
-  obs::ScopedTimer timer(m.ingest_ns);
+  obs::Span span = obs::tracer().span("server.ingest");
+  obs::ScopedTimer timer(m.ingest_ns, span.trace_id());
   if (durable_cfg_) {
     // Log before indexing — the WAL ack is what recovery restores. The
     // shared gate keeps (claim + append + insert) atomic w.r.t. a
@@ -196,12 +211,21 @@ IngestStatus CloudServer::ingest_status(const UploadMessage& msg) {
       obs::store_fault_metrics().ingest_deferrals.inc();
       return IngestStatus::kRetryLater;
     }
-    if (!claim_upload_id(msg.upload_id)) {
-      uploads_deduped_.fetch_add(1, std::memory_order_relaxed);
-      m.uploads_deduped.inc();
-      return IngestStatus::kDuplicate;
+    {
+      obs::Span claim_span = obs::tracer().span("server.dedup_claim");
+      if (!claim_upload_id(msg.upload_id)) {
+        claim_span.tag("duplicate", 1);
+        claim_span.end();
+        uploads_deduped_.fetch_add(1, std::memory_order_relaxed);
+        m.uploads_deduped.inc();
+        return IngestStatus::kDuplicate;
+      }
     }
-    if (wal_ == nullptr || wal_->append(record) == 0) {
+    obs::Span wal_span = obs::tracer().span("wal.append");
+    wal_span.tag("bytes", record.size());
+    const bool appended = wal_ != nullptr && wal_->append(record) != 0;
+    wal_span.end();
+    if (!appended) {
       // The log is dead (fail-stop after a disk error). Acking anyway
       // would be ack-then-lose; indexing anyway would desync memory from
       // the log. Un-claim the id (this upload was never ingested — its
@@ -214,15 +238,23 @@ IngestStatus CloudServer::ingest_status(const UploadMessage& msg) {
       obs::store_fault_metrics().ingest_deferrals.inc();
       return IngestStatus::kRetryLater;
     }
+    obs::Span index_span = obs::tracer().span("index.insert");
+    index_span.tag("segments", msg.segments.size());
     with_index([&](auto& idx) { idx.insert_batch(msg.segments); });
   } else {
+    obs::Span claim_span = obs::tracer().span("server.dedup_claim");
     if (!claim_upload_id(msg.upload_id)) {
+      claim_span.tag("duplicate", 1);
+      claim_span.end();
       uploads_deduped_.fetch_add(1, std::memory_order_relaxed);
       m.uploads_deduped.inc();
       return IngestStatus::kDuplicate;
     }
+    claim_span.end();
     // Batch path: one writer-lock acquisition per upload (per shard for
     // the sharded backend) instead of one per segment.
+    obs::Span index_span = obs::tracer().span("index.insert");
+    index_span.tag("segments", msg.segments.size());
     with_index([&](auto& idx) { idx.insert_batch(msg.segments); });
   }
   m.segments_indexed.inc(msg.segments.size());
@@ -237,7 +269,10 @@ IngestStatus CloudServer::ingest_status(const UploadMessage& msg) {
 std::vector<retrieval::RankedResult> CloudServer::search(
     const retrieval::Query& q, retrieval::SearchTrace* trace) const {
   auto& m = obs::server_metrics();
-  obs::ScopedTimer timer(m.query_ns);
+  // Span before timer: the timer fires last and stamps the query-latency
+  // exemplar with this request's trace_id.
+  obs::Span span = obs::tracer().root_span("server.query");
+  obs::ScopedTimer timer(m.query_ns, span.trace_id());
   queries_served_.fetch_add(1, std::memory_order_relaxed);
   m.queries.inc();
   return with_index([&](const auto& idx) {
@@ -250,7 +285,8 @@ std::vector<retrieval::RankedResult> CloudServer::search(
 std::optional<std::vector<std::uint8_t>> CloudServer::handle_query(
     std::span<const std::uint8_t> bytes) {
   auto& m = obs::server_metrics();
-  obs::ScopedTimer timer(m.query_ns);
+  obs::Span span = obs::tracer().root_span("server.query");
+  obs::ScopedTimer timer(m.query_ns, span.trace_id());
   const auto msg = decode_query(bytes);
   if (!msg) {
     m.reject_query_decode.inc();
@@ -330,6 +366,8 @@ bool CloudServer::try_recover_storage() {
   if (health_.load(std::memory_order_acquire) == ServerHealth::kOk) {
     return true;
   }
+  const std::uint64_t attempt = ++recovery_attempts_;
+  obs::journal_event(obs::JournalEvent::kRecoveryAttempt, attempt);
 
   // Stop the checkpointer BEFORE taking the gate: its background thread
   // acquires ingest_gate_ inside the source, so joining it while holding
@@ -357,7 +395,9 @@ bool CloudServer::try_recover_storage() {
   // reopen — the index already holds everything acked.
   const auto opts = wal_options();
   if (!store::wal_trim_after(opts.dir, acked_wal_seq_, watermark, opts.env)) {
-    return false;  // disk still bad (or chain corrupt) — stay degraded
+    // Disk still bad (or chain corrupt) — stay degraded.
+    obs::journal_event(obs::JournalEvent::kRecoveryFailed, attempt);
+    return false;
   }
   // Reopen from the CHECKPOINT watermark, not the acked seq: scan_wal
   // seeds next_seq with replay_after + 1, so opening at acked_wal_seq_
@@ -370,6 +410,7 @@ bool CloudServer::try_recover_storage() {
     // Either the reopen itself failed or the surviving chain does not
     // reach the acked watermark (acked data lost — never serve an ack we
     // cannot honor). Stay degraded; queries keep working.
+    obs::journal_event(obs::JournalEvent::kRecoveryFailed, attempt);
     return false;
   }
   wal_ = std::move(open.wal);
@@ -379,6 +420,7 @@ bool CloudServer::try_recover_storage() {
   health_.store(ServerHealth::kOk, std::memory_order_release);
   obs::server_metrics().health.set(0);
   obs::store_fault_metrics().recoveries.inc();
+  obs::journal_event(obs::JournalEvent::kServerRecovered, acked_wal_seq_);
   return true;
 }
 

@@ -265,6 +265,7 @@ class CloudServer {
   // Ordering: recover_mu_ before ingest_gate_, never the reverse.
   std::mutex recover_mu_;
   std::uint64_t acked_wal_seq_ = 0;  ///< guarded by recover_mu_
+  std::uint64_t recovery_attempts_ = 0;  ///< guarded by recover_mu_ (journal)
   /// Newest checkpoint watermark, cached so a FAILED recovery attempt
   /// (which has already destroyed checkpointer_) can still trim and
   /// verify the chain against the right replay floor on re-entry —

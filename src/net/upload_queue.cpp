@@ -5,6 +5,8 @@
 
 #include "net/server.hpp"
 #include "obs/families.hpp"
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
 
 namespace svg::net {
 
@@ -19,9 +21,12 @@ std::uint64_t UploadQueue::enqueue(const UploadMessage& m) {
 
   UploadMessage tagged = m;
   tagged.upload_id = id;
+  tagged.trace_id = 0;  // trace context is per-attempt, stamped in drain()
+  tagged.parent_span_id = 0;
   Pending p;
   p.upload_id = id;
   p.bytes = encode_upload(tagged);
+  p.message = std::move(tagged);
   p.next_eligible_ms = now_ms();
   p.enqueued_ms = now_ms();
   pending_.push_back(std::move(p));
@@ -64,8 +69,33 @@ bool UploadQueue::drain(const AttemptFn& attempt) {
       rm.upload_retries.inc();
     }
 
-    const auto ack = attempt(p.bytes);
+    // Each delivery attempt is its own trace root ("upload.attempt"):
+    // the queue interleaves several pending uploads on this thread, so a
+    // trace-per-upload spanning all its attempts is not representable —
+    // and per-attempt roots are what the slow-request log wants anyway
+    // (the slow thing is one delivery, not the retry schedule around it).
+    // A traced attempt re-encodes the message so its span rides the wire
+    // and the server's ingest spans join this trace.
+    obs::Span span = obs::tracer().root_span("upload.attempt");
+    const std::vector<std::uint8_t>* bytes = &p.bytes;
+    std::vector<std::uint8_t> traced_bytes;
+    if (span.active()) {
+      span.tag("upload_id", p.upload_id);
+      span.tag("attempt", p.attempts);
+      UploadMessage traced = p.message;
+      traced.trace_id = span.trace_id();
+      traced.parent_span_id = span.span_id();
+      traced_bytes = encode_upload(traced);
+      bytes = &traced_bytes;
+    }
+
+    const auto ack = attempt(*bytes);
     const bool matched = ack && ack->upload_id == p.upload_id;
+    if (span.active()) {
+      // 0..3 mirror UploadAckStatus; 4 = no usable ack came back.
+      span.tag("ack", matched ? static_cast<std::uint64_t>(ack->status) : 4);
+      span.end();
+    }
     if (matched && ack->status == UploadAckStatus::kRejected) {
       ++stats_.rejected;
       rm.upload_rejected.inc();
@@ -79,9 +109,13 @@ bool UploadQueue::drain(const AttemptFn& attempt) {
       // back off and re-offer, still bounded by the attempt budget.
       ++stats_.deferred;
       rm.upload_deferrals.inc();
+      obs::journal_event(obs::JournalEvent::kUploadDeferred, p.upload_id,
+                         p.attempts);
       if (p.attempts >= policy_.max_attempts) {
         ++stats_.exhausted;
         rm.upload_exhausted.inc();
+        obs::journal_event(obs::JournalEvent::kUploadExhausted, p.upload_id,
+                           p.attempts);
         pending_.erase(it);
         all_acked = false;
         continue;
@@ -109,6 +143,8 @@ bool UploadQueue::drain(const AttemptFn& attempt) {
     if (p.attempts >= policy_.max_attempts) {
       ++stats_.exhausted;
       rm.upload_exhausted.inc();
+      obs::journal_event(obs::JournalEvent::kUploadExhausted, p.upload_id,
+                         p.attempts);
       pending_.erase(it);
       all_acked = false;
       continue;
@@ -122,12 +158,20 @@ bool UploadQueue::drain(const AttemptFn& attempt) {
 
 std::optional<UploadAck> FaultyUploadChannel::operator()(
     const std::vector<std::uint8_t>& bytes) {
-  const auto up = link_.transfer_up(bytes);
+  FaultyLink::Delivery up;
+  {
+    obs::Span span = obs::tracer().span("link.up");
+    up = link_.transfer_up(bytes);
+    span.tag("copies", up.copies.size());
+  }
   std::optional<UploadAck> result;
   for (const auto& copy : up.copies) {
     const auto ack_bytes = server_.handle_upload_acked(copy);
     if (!ack_bytes) continue;  // undecodable on arrival — no one to ack
+    obs::Span span = obs::tracer().span("link.down");
     const auto down = link_.transfer_down(*ack_bytes);
+    span.tag("copies", down.copies.size());
+    span.end();
     for (const auto& ack_copy : down.copies) {
       if (auto ack = decode_upload_ack(ack_copy); ack && !result) {
         result = ack;

@@ -79,7 +79,10 @@ class UploadQueue {
  private:
   struct Pending {
     std::uint64_t upload_id = 0;
-    std::vector<std::uint8_t> bytes;
+    /// The tagged message, kept so a traced attempt can re-encode with
+    /// that attempt's span as the wire trace context.
+    UploadMessage message;
+    std::vector<std::uint8_t> bytes;  ///< untraced encoding, cached once
     std::uint32_t attempts = 0;
     double next_eligible_ms = 0.0;
     double enqueued_ms = 0.0;

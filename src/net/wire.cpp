@@ -101,6 +101,12 @@ std::vector<std::uint8_t> encode_upload(const UploadMessage& m) {
   w.put_varint(m.video_id);
   w.put_varint(m.segments.size());
   put_segment_records(w, m.segments);
+  if (m.trace_id != 0) {
+    // Optional trailing trace context, covered by the crc. Untraced
+    // messages skip it so their bytes match pre-trace encoders.
+    w.put_varint(m.trace_id);
+    w.put_varint(m.parent_span_id);
+  }
   put_crc_trailer(w);
   return w.take();
 }
@@ -123,6 +129,16 @@ std::optional<UploadMessage> decode_upload(
     m.upload_id = *uid;
     m.video_id = *vid;
     if (!get_segment_records(r, *count, *vid, m.segments)) return std::nullopt;
+    if (r.remaining() > 0) {
+      // Trailing trace context: exactly two varints, nothing after.
+      const auto trace_id = r.get_varint();
+      const auto parent = r.get_varint();
+      if (!trace_id || *trace_id == 0 || !parent || r.remaining() != 0) {
+        return std::nullopt;
+      }
+      m.trace_id = *trace_id;
+      m.parent_span_id = *parent;
+    }
     return m;
   }
   if (tag != kMsgUpload) return std::nullopt;

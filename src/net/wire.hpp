@@ -42,9 +42,19 @@ inline constexpr std::uint8_t kMsgUploadAck = 7;
 /// as kMsgUploadV2 — the id travels first so the server can dedup
 /// retransmits, and a crc32c trailer rejects corrupted-but-parseable
 /// bytes (a flipped varint byte otherwise silently changes a position).
+///
+/// Trace propagation (obs/trace.hpp): a non-zero trace_id adds a trailing
+/// optional field to v2 — two varints (trace_id, parent_span_id) after
+/// the segment records, inside the crc — so the server's ingest spans
+/// join the client's trace. trace_id == 0 omits the field entirely,
+/// keeping untraced v2 messages byte-identical to pre-trace builds; v1
+/// never carries it. Decoders accept both shapes: no trailing bytes, or
+/// exactly the two varints.
 struct UploadMessage {
   std::uint64_t upload_id = 0;  ///< 0 = legacy message without an id
   std::uint64_t video_id = 0;
+  std::uint64_t trace_id = 0;         ///< 0 = request not traced
+  std::uint64_t parent_span_id = 0;   ///< client span the server nests under
   std::vector<core::RepresentativeFov> segments;
 };
 

@@ -235,6 +235,30 @@ StoreFaultMetrics& store_fault_metrics() {
   return m;
 }
 
+TraceMetrics& trace_metrics() {
+  static TraceMetrics m{
+      global().counter("svg_trace_started_total",
+                       "Sampled trace roots begun (local + adopted)"),
+      global().counter("svg_trace_completed_total",
+                       "Traces completed and stored in the ring"),
+      global().counter("svg_trace_slow_total",
+                       "Traces retained in the slow-request log"),
+      global().counter("svg_trace_spans_total",
+                       "Spans recorded across completed traces"),
+      global().counter("svg_trace_ring_evictions_total",
+                       "Completed traces overwritten by newer ones"),
+  };
+  return m;
+}
+
+JournalMetrics& journal_metrics() {
+  static JournalMetrics m{
+      global().counter("svg_journal_events_total",
+                       "Structured journal records appended"),
+  };
+  return m;
+}
+
 ThreadPoolMetrics::ThreadPoolMetrics()
     : queue_depth(global().gauge("svg_threadpool_queue_depth",
                                  "Tasks queued but not yet started")),
@@ -258,6 +282,8 @@ void touch_all_families() {
   (void)segmentation_metrics();
   (void)wal_metrics();
   (void)store_fault_metrics();
+  (void)trace_metrics();
+  (void)journal_metrics();
   (void)thread_pool_metrics();
 }
 

@@ -153,6 +153,20 @@ struct StoreFaultMetrics {
   Counter& ingest_deferrals;     ///< ingests refused with a retriable ack
 };
 
+/// obs::Tracer — the request-tracing layer watching itself (obs/trace.hpp).
+struct TraceMetrics {
+  Counter& traces_started;    ///< sampled roots begun (local + adopted)
+  Counter& traces_completed;  ///< traces pushed into the ring
+  Counter& slow_traces;       ///< traces retained in the slow-request log
+  Counter& spans;             ///< spans recorded across completed traces
+  Counter& ring_evictions;    ///< completed traces overwritten before read
+};
+
+/// obs::Journal — the structured event journal (obs/journal.hpp).
+struct JournalMetrics {
+  Counter& events;  ///< journal records appended
+};
+
 /// util::ThreadPool — implements the util-side observer hook so the pool
 /// itself stays obs-free. Pass `&obs::thread_pool_metrics()` as the pool's
 /// observer (the shared instance outlives any pool).
@@ -191,6 +205,8 @@ class ThreadPoolMetrics final : public util::ThreadPoolObserver {
 [[nodiscard]] SegmentationMetrics& segmentation_metrics();
 [[nodiscard]] WalMetrics& wal_metrics();
 [[nodiscard]] StoreFaultMetrics& store_fault_metrics();
+[[nodiscard]] TraceMetrics& trace_metrics();
+[[nodiscard]] JournalMetrics& journal_metrics();
 [[nodiscard]] ThreadPoolMetrics& thread_pool_metrics();
 
 /// Register every family above so exposition includes idle subsystems.

@@ -1,0 +1,111 @@
+#include "obs/journal.hpp"
+
+#include <atomic>
+#include <ostream>
+#include <sstream>
+
+#include "obs/families.hpp"
+#include "obs/timer.hpp"
+
+namespace svg::obs {
+
+namespace {
+
+std::uint32_t journal_thread_ordinal() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace
+
+const char* journal_event_name(JournalEvent event) {
+  switch (event) {
+    case JournalEvent::kServerDegraded: return "server_degraded";
+    case JournalEvent::kServerRecovered: return "server_recovered";
+    case JournalEvent::kRecoveryAttempt: return "recovery_attempt";
+    case JournalEvent::kRecoveryFailed: return "recovery_failed";
+    case JournalEvent::kWalRotation: return "wal_rotation";
+    case JournalEvent::kWalRetirement: return "wal_retirement";
+    case JournalEvent::kWalFailstop: return "wal_failstop";
+    case JournalEvent::kCheckpointBegin: return "checkpoint_begin";
+    case JournalEvent::kCheckpointEnd: return "checkpoint_end";
+    case JournalEvent::kCheckpointFailed: return "checkpoint_failed";
+    case JournalEvent::kStorageFaultInjected: return "storage_fault_injected";
+    case JournalEvent::kNetFaultInjected: return "net_fault_injected";
+    case JournalEvent::kUploadDeferred: return "upload_deferred";
+    case JournalEvent::kUploadExhausted: return "upload_exhausted";
+  }
+  return "unknown";
+}
+
+std::string to_string(const JournalRecord& rec) {
+  std::ostringstream os;
+  os << rec.seq << " @" << static_cast<double>(rec.ts_ns) / 1e6 << "ms "
+     << journal_event_name(rec.event) << " a0=" << rec.args[0]
+     << " a1=" << rec.args[1] << " a2=" << rec.args[2] << " t" << rec.thread;
+  return os.str();
+}
+
+Journal::Journal(std::size_t capacity)
+    : ring_(std::max<std::size_t>(1, capacity)) {}
+
+std::uint64_t Journal::append(JournalEvent event, std::uint64_t a0,
+                              std::uint64_t a1, std::uint64_t a2) {
+  JournalRecord rec;
+  rec.ts_ns = now_ns();
+  rec.event = event;
+  rec.thread = journal_thread_ordinal();
+  rec.args = {a0, a1, a2};
+  std::uint64_t seq;
+  {
+    std::lock_guard lock(mu_);
+    seq = next_seq_++;
+    rec.seq = seq;
+    ring_[(seq - 1) % ring_.size()] = rec;
+  }
+  journal_metrics().events.inc();
+  return seq;
+}
+
+std::vector<JournalRecord> Journal::tail(std::size_t max_records) const {
+  std::lock_guard lock(mu_);
+  const std::uint64_t total = next_seq_ - 1;
+  std::uint64_t live = std::min<std::uint64_t>(total, ring_.size());
+  if (max_records != 0) live = std::min<std::uint64_t>(live, max_records);
+  std::vector<JournalRecord> out;
+  out.reserve(live);
+  for (std::uint64_t seq = total - live + 1; seq <= total; ++seq) {
+    out.push_back(ring_[(seq - 1) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t Journal::appended() const {
+  std::lock_guard lock(mu_);
+  return next_seq_ - 1;
+}
+
+void Journal::clear() {
+  std::lock_guard lock(mu_);
+  for (JournalRecord& rec : ring_) rec = {};
+  next_seq_ = 1;
+}
+
+Journal& Journal::global() {
+  static Journal instance;
+  return instance;
+}
+
+std::uint64_t journal_event(JournalEvent event, std::uint64_t a0,
+                            std::uint64_t a1, std::uint64_t a2) {
+  return Journal::global().append(event, a0, a1, a2);
+}
+
+void write_journal_text(std::ostream& os,
+                        const std::vector<JournalRecord>& records) {
+  for (const JournalRecord& rec : records) os << to_string(rec) << "\n";
+}
+
+}  // namespace svg::obs

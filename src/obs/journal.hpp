@@ -1,0 +1,103 @@
+#pragma once
+// Structured event journal: a bounded ring of state transitions that
+// counters and histograms cannot express as *sequences* — health
+// ok↔degraded flips, recovery attempts and their outcomes, WAL segment
+// rotation/retirement, checkpoint begin/end, fault-injection firings,
+// upload-deferral storms. Where a trace answers "what happened to this
+// request" and a metric answers "how much overall", the journal answers
+// "what did the SYSTEM do, in what order" — the first thing a failed
+// chaos run needs (svgctl chaos/recover print the tail on failure).
+//
+// Records are fixed-size binary (no strings stored — event kinds are an
+// enum, details are three uint64 args whose meaning is per-kind, see
+// to_string). Appending is a mutex push into a preallocated ring:
+// journal events fire on state *transitions*, which are rare, so the
+// lock is never contended on a hot path.
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace svg::obs {
+
+/// What happened. Keep append-only: persisted tooling and tests match on
+/// numeric values via to_string round-trips.
+enum class JournalEvent : std::uint16_t {
+  kServerDegraded = 1,     ///< ingest path entered read-only
+  kServerRecovered = 2,    ///< storage recovery succeeded (a0 = wal last_seq)
+  kRecoveryAttempt = 3,    ///< try_recover_storage entered (a0 = attempt ordinal)
+  kRecoveryFailed = 4,     ///< recovery attempt failed (a0 = attempt ordinal)
+  kWalRotation = 5,        ///< new segment opened (a0 = first_seq)
+  kWalRetirement = 6,      ///< segments deleted (a0 = count, a1 = through seq)
+  kWalFailstop = 7,        ///< WAL poisoned itself after I/O error
+  kCheckpointBegin = 8,    ///< checkpoint started (a0 = seq being captured)
+  kCheckpointEnd = 9,      ///< checkpoint durable (a0 = seq, a1 = retired segs)
+  kCheckpointFailed = 10,  ///< checkpoint abandoned on I/O failure
+  kStorageFaultInjected = 11,  ///< FaultyEnv fired (a0 = op code, a1 = ordinal)
+  kNetFaultInjected = 12,      ///< FaultyLink fired (a0 = fault code)
+  kUploadDeferred = 13,    ///< kRetryLater ack (a0 = upload_id, a1 = streak)
+  kUploadExhausted = 14,   ///< upload abandoned (a0 = upload_id, a1 = attempts)
+};
+
+/// Human-readable event name ("server_degraded", …); "unknown" for
+/// values this build does not know.
+[[nodiscard]] const char* journal_event_name(JournalEvent event);
+
+/// One journal entry. POD; `args` meaning is per-kind (see the enum).
+struct JournalRecord {
+  std::uint64_t seq = 0;    ///< 1-based append ordinal, monotonic
+  std::uint64_t ts_ns = 0;  ///< obs::now_ns() at append
+  JournalEvent event{};
+  std::uint32_t thread = 0;  ///< small per-process thread ordinal
+  std::array<std::uint64_t, 3> args{};
+};
+
+/// "seq @ms event_name a0=… a1=… a2=…" single-line rendering.
+[[nodiscard]] std::string to_string(const JournalRecord& rec);
+
+/// Bounded append-only-semantics journal: a preallocated ring that
+/// overwrites the oldest record once full. All methods are thread-safe.
+class Journal {
+ public:
+  explicit Journal(std::size_t capacity = 1024);
+
+  /// Append one event; returns its seq.
+  std::uint64_t append(JournalEvent event, std::uint64_t a0 = 0,
+                       std::uint64_t a1 = 0, std::uint64_t a2 = 0);
+
+  /// The newest `max_records` records, oldest-first (all of them when
+  /// max_records == 0 or exceeds the live count).
+  [[nodiscard]] std::vector<JournalRecord> tail(
+      std::size_t max_records = 0) const;
+
+  /// Records appended over the journal's lifetime (≥ live count).
+  [[nodiscard]] std::uint64_t appended() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_.size();
+  }
+
+  void clear();
+
+  /// The process-wide journal every built-in event site writes to.
+  static Journal& global();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<JournalRecord> ring_;
+  std::uint64_t next_seq_ = 1;
+};
+
+/// Shorthand for Journal::global().append(...) — what instrumentation
+/// sites call.
+std::uint64_t journal_event(JournalEvent event, std::uint64_t a0 = 0,
+                            std::uint64_t a1 = 0, std::uint64_t a2 = 0);
+
+/// Text tail: one to_string line per record, newest last.
+void write_journal_text(std::ostream& os,
+                        const std::vector<JournalRecord>& records);
+
+}  // namespace svg::obs

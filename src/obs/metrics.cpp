@@ -31,6 +31,7 @@ Histogram::Histogram(HistogramOptions options) {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
   }
+  exemplars_ = std::make_unique<ExemplarSlot[]>(bounds_.size() + 1);
   // Hot-path shortcut for exact doubling layouts (the default): verify the
   // bounds really are first << i (no rounding adjustments, no overflow) so
   // observe() may use the MSB estimate instead of a binary search.
@@ -49,7 +50,8 @@ Histogram::Histogram(HistogramOptions options) {
   }
 }
 
-void Histogram::observe(std::uint64_t value) noexcept {
+void Histogram::observe(std::uint64_t value,
+                        std::uint64_t exemplar_trace_id) noexcept {
   // First bucket whose upper bound admits `value`; one past the end is the
   // +Inf bucket. bounds_ is immutable after construction, so this needs no
   // synchronization.
@@ -71,6 +73,20 @@ void Histogram::observe(std::uint64_t value) noexcept {
   }
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
+  if (exemplar_trace_id != 0) {
+    exemplars_[idx].value.store(value, std::memory_order_relaxed);
+    exemplars_[idx].trace_id.store(exemplar_trace_id,
+                                   std::memory_order_relaxed);
+  }
+}
+
+std::vector<Histogram::Exemplar> Histogram::exemplars() const {
+  std::vector<Exemplar> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i].value = exemplars_[i].value.load(std::memory_order_relaxed);
+    out[i].trace_id = exemplars_[i].trace_id.load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 std::uint64_t Histogram::count() const noexcept {
@@ -132,6 +148,8 @@ double Histogram::quantile(double q) const noexcept {
 void Histogram::reset() noexcept {
   for (std::size_t i = 0; i <= bounds_.size(); ++i) {
     buckets_[i].store(0, std::memory_order_relaxed);
+    exemplars_[i].value.store(0, std::memory_order_relaxed);
+    exemplars_[i].trace_id.store(0, std::memory_order_relaxed);
   }
   sum_.store(0, std::memory_order_relaxed);
 }
@@ -222,11 +240,21 @@ void Registry::write_prometheus(std::ostream& os) const {
         os << "# TYPE " << name << " histogram\n";
         const auto& bounds = e.histogram->boundaries();
         const auto cum = e.histogram->cumulative();
+        const auto ex = e.histogram->exemplars();
+        // OpenMetrics exemplar syntax: bucket line, then " # {labels} value".
+        auto exemplar_suffix = [&](std::size_t i) {
+          if (ex[i].trace_id == 0) return;
+          os << " # {trace_id=\"" << std::hex << ex[i].trace_id << std::dec
+             << "\"} " << ex[i].value;
+        };
         for (std::size_t i = 0; i < bounds.size(); ++i) {
-          os << name << "_bucket{le=\"" << bounds[i] << "\"} " << cum[i]
-             << "\n";
+          os << name << "_bucket{le=\"" << bounds[i] << "\"} " << cum[i];
+          exemplar_suffix(i);
+          os << "\n";
         }
-        os << name << "_bucket{le=\"+Inf\"} " << cum.back() << "\n";
+        os << name << "_bucket{le=\"+Inf\"} " << cum.back();
+        exemplar_suffix(bounds.size());
+        os << "\n";
         os << name << "_sum " << e.histogram->sum() << "\n";
         os << name << "_count " << e.histogram->count() << "\n";
         break;
@@ -273,8 +301,25 @@ void Registry::write_json(std::ostream& os) const {
     const auto& h = *e.histogram;
     os << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
        << ",\"mean\":" << h.mean() << ",\"p50\":" << h.quantile(0.50)
-       << ",\"p90\":" << h.quantile(0.90) << ",\"p99\":" << h.quantile(0.99)
-       << "}";
+       << ",\"p90\":" << h.quantile(0.90) << ",\"p99\":" << h.quantile(0.99);
+    const auto ex = h.exemplars();
+    const auto& bounds = h.boundaries();
+    bool any = false;
+    for (std::size_t i = 0; i < ex.size(); ++i) {
+      if (ex[i].trace_id == 0) continue;
+      os << (any ? "," : ",\"exemplars\":[");
+      any = true;
+      os << "{\"le\":";
+      if (i < bounds.size()) {
+        os << bounds[i];
+      } else {
+        os << "\"+Inf\"";
+      }
+      os << ",\"value\":" << ex[i].value << ",\"trace_id\":\"" << std::hex
+         << ex[i].trace_id << std::dec << "\"}";
+    }
+    if (any) os << "]";
+    os << "}";
   });
   os << "}\n";
 }

@@ -86,11 +86,28 @@ struct HistogramOptions {
 /// bucket lookup — an MSB-based estimate for doubling layouts (the
 /// default), a binary search otherwise; snapshots and percentiles are
 /// computed from the bucket counts on demand.
+///
+/// Exemplars: each bucket can remember the (value, trace_id) of a recent
+/// observation, so a p99 spike in exposition links directly to a stored
+/// trace (obs/trace.hpp). Pass the trace_id via the two-argument
+/// observe(); id 0 (no active trace) leaves the slot untouched.
 class Histogram {
  public:
+  /// One bucket's remembered sample. trace_id == 0 = no exemplar yet.
+  struct Exemplar {
+    std::uint64_t value = 0;
+    std::uint64_t trace_id = 0;
+  };
+
   explicit Histogram(HistogramOptions options = {});
 
-  void observe(std::uint64_t value) noexcept;
+  void observe(std::uint64_t value) noexcept { observe(value, 0); }
+  /// Observe and, when exemplar_trace_id != 0, stamp the bucket's exemplar
+  /// slot. The two stores are relaxed and independent, so a concurrent
+  /// reader may pair the value of one observation with the trace_id of
+  /// another — both always belong to this bucket, which is all an
+  /// exemplar promises.
+  void observe(std::uint64_t value, std::uint64_t exemplar_trace_id) noexcept;
 
   /// Total observations, derived from the bucket counts (no dedicated
   /// atomic on the write path).
@@ -115,11 +132,21 @@ class Histogram {
   /// exact shape Prometheus text exposition wants.
   [[nodiscard]] std::vector<std::uint64_t> cumulative() const;
 
+  /// Per-bucket exemplars (finite buckets then +Inf); trace_id == 0 marks
+  /// buckets that never saw a traced observation.
+  [[nodiscard]] std::vector<Exemplar> exemplars() const;
+
   void reset() noexcept;
 
  private:
+  struct ExemplarSlot {
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<std::uint64_t> trace_id{0};
+  };
+
   std::vector<std::uint64_t> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_+Inf
+  std::unique_ptr<ExemplarSlot[]> exemplars_;              // bounds_+Inf
   std::atomic<std::uint64_t> sum_{0};
   bool doubling_ = false;  ///< bounds_[i] == bounds_[0] << i exactly
   int first_width_ = 0;    ///< bit_width(bounds_[0]) when doubling_

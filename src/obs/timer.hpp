@@ -73,23 +73,30 @@ class ScopedTimer {
   explicit ScopedTimer(Histogram& hist) noexcept
       : hist_(&hist), start_(now_ns()) {}
 
+  /// As above, but the recorded sample also stamps the bucket's exemplar
+  /// with `exemplar_trace_id` (0 = none). The id is captured by the caller
+  /// — typically from the request's root Span, which may be destroyed
+  /// before this timer fires.
+  ScopedTimer(Histogram& hist, std::uint64_t exemplar_trace_id) noexcept
+      : hist_(&hist), start_(now_ns()), trace_id_(exemplar_trace_id) {}
+
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
   ScopedTimer(ScopedTimer&& other) noexcept
-      : hist_(other.hist_), start_(other.start_) {
+      : hist_(other.hist_), start_(other.start_), trace_id_(other.trace_id_) {
     other.hist_ = nullptr;
   }
   ScopedTimer& operator=(ScopedTimer&&) = delete;
 
   ~ScopedTimer() {
-    if (hist_ != nullptr) hist_->observe(now_ns() - start_);
+    if (hist_ != nullptr) hist_->observe(now_ns() - start_, trace_id_);
   }
 
   /// Record now instead of at scope exit; returns elapsed nanoseconds.
   std::uint64_t stop() noexcept {
     const std::uint64_t elapsed = now_ns() - start_;
     if (hist_ != nullptr) {
-      hist_->observe(elapsed);
+      hist_->observe(elapsed, trace_id_);
       hist_ = nullptr;
     }
     return elapsed;
@@ -98,6 +105,7 @@ class ScopedTimer {
  private:
   Histogram* hist_;
   std::uint64_t start_;
+  std::uint64_t trace_id_ = 0;
 };
 
 }  // namespace svg::obs

@@ -1,0 +1,450 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <ostream>
+#include <unordered_map>
+#include <utility>
+
+#include "obs/families.hpp"
+
+namespace svg::obs {
+
+// --- SpanRecord / Trace -----------------------------------------------------
+
+bool SpanRecord::tag(const char* key, std::uint64_t& out) const noexcept {
+  for (std::uint8_t i = 0; i < tag_count; ++i) {
+    if (std::strcmp(tags[i].key, key) == 0) {
+      out = tags[i].value;
+      return true;
+    }
+  }
+  return false;
+}
+
+const SpanRecord* Trace::find(const char* name) const noexcept {
+  for (const SpanRecord& s : spans) {
+    if (std::strcmp(s.name, name) == 0) return &s;
+  }
+  return nullptr;
+}
+
+// --- TraceRing --------------------------------------------------------------
+
+TraceRing::TraceRing(std::size_t slots)
+    : slots_(std::max<std::size_t>(1, slots)) {}
+
+namespace {
+
+/// One-word slot spinlock. The critical section is two pointer moves, so
+/// contention is only ever a same-slot collision — spinning is cheaper
+/// than any blocking primitive and keeps the ring mutex-free.
+class SlotLock {
+ public:
+  explicit SlotLock(std::atomic<std::uint32_t>& lock) noexcept
+      : lock_(lock) {
+    std::uint32_t expected = 0;
+    while (!lock_.compare_exchange_weak(expected, 1,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      expected = 0;
+    }
+  }
+  ~SlotLock() { lock_.store(0, std::memory_order_release); }
+  SlotLock(const SlotLock&) = delete;
+  SlotLock& operator=(const SlotLock&) = delete;
+
+ private:
+  std::atomic<std::uint32_t>& lock_;
+};
+
+}  // namespace
+
+bool TraceRing::push(TracePtr trace) {
+  const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % slots_.size()];
+  TracePtr evicted;  // destroyed outside the slot lock
+  {
+    SlotLock lock(slot.lock);
+    evicted = std::move(slot.trace);
+    slot.ticket = ticket;
+    slot.trace = std::move(trace);
+  }
+  return evicted != nullptr;
+}
+
+std::vector<TracePtr> TraceRing::snapshot() const {
+  std::vector<std::pair<std::uint64_t, TracePtr>> live;
+  live.reserve(slots_.size());
+  for (const Slot& slot : slots_) {
+    SlotLock lock(slot.lock);
+    if (slot.trace != nullptr) live.emplace_back(slot.ticket, slot.trace);
+  }
+  std::sort(live.begin(), live.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<TracePtr> out;
+  out.reserve(live.size());
+  for (auto& [ticket, trace] : live) out.push_back(std::move(trace));
+  return out;
+}
+
+std::vector<TracePtr> TraceRing::find(std::uint64_t trace_id) const {
+  std::vector<TracePtr> out;
+  for (const TracePtr& t : snapshot()) {
+    if (t->trace_id == trace_id) out.push_back(t);
+  }
+  return out;
+}
+
+void TraceRing::clear() {
+  for (Slot& slot : slots_) {
+    TracePtr dropped;
+    SlotLock lock(slot.lock);
+    dropped = std::move(slot.trace);
+  }
+}
+
+// --- thread-local trace state -----------------------------------------------
+
+namespace detail {
+
+/// Everything one thread accumulates for its active trace. Owned by the
+/// thread (no synchronization); recycled across traces so steady-state
+/// tracing allocates only the per-trace span vector handed to the ring.
+struct ThreadTrace {
+  Tracer* owner = nullptr;  ///< which Tracer instance this trace feeds
+  std::uint64_t trace_id = 0;
+  bool truncated = false;
+  std::vector<SpanRecord> spans;       ///< completed spans, root last
+  std::vector<std::uint64_t> stack;    ///< open span ids, innermost last
+};
+
+}  // namespace detail
+
+namespace {
+
+thread_local detail::ThreadTrace* tls_trace = nullptr;
+thread_local std::unique_ptr<detail::ThreadTrace> tls_storage;
+
+std::uint32_t thread_ordinal() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+/// Fresh non-zero 64-bit id. SplitMix64 over a thread-local state seeded
+/// from a global counter, so ids are unique-enough across threads without
+/// any shared mutation on the hot path.
+std::uint64_t next_id() noexcept {
+  static std::atomic<std::uint64_t> seed{0x9e3779b97f4a7c15ULL};
+  thread_local std::uint64_t state =
+      seed.fetch_add(0xbf58476d1ce4e5b9ULL, std::memory_order_relaxed);
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
+}  // namespace
+
+// --- Tracer -----------------------------------------------------------------
+
+Tracer::Tracer()
+    : ring_(std::make_unique<TraceRing>(config_.ring_slots)),
+      slow_ring_(std::make_unique<TraceRing>(config_.slow_ring_slots)) {}
+
+void Tracer::configure(const TracerConfig& config) {
+  config_ = config;
+  ring_ = std::make_unique<TraceRing>(config_.ring_slots);
+  slow_ring_ = std::make_unique<TraceRing>(config_.slow_ring_slots);
+  enabled_.store(config_.enabled, std::memory_order_relaxed);
+}
+
+bool Tracer::active() const noexcept {
+  return tls_trace != nullptr && tls_trace->owner == this;
+}
+
+std::uint64_t Tracer::current_trace_id() const noexcept {
+  return active() ? tls_trace->trace_id : 0;
+}
+
+TraceContext Tracer::current_context() const noexcept {
+  if (!active() || tls_trace->stack.empty()) return {};
+  return {tls_trace->trace_id, tls_trace->stack.back()};
+}
+
+bool Tracer::sample_now() noexcept {
+  const std::uint32_t n = config_.sample_every;
+  if (n == 0) return false;
+  if (n == 1) return true;
+  thread_local std::uint64_t counter = 0;
+  return (counter++ % n) == 0;
+}
+
+detail::ThreadTrace* Tracer::begin_trace(std::uint64_t trace_id) {
+  if (!tls_storage) tls_storage = std::make_unique<detail::ThreadTrace>();
+  detail::ThreadTrace* t = tls_storage.get();
+  t->owner = this;
+  t->trace_id = trace_id;
+  t->truncated = false;
+  t->spans.clear();
+  t->stack.clear();
+  tls_trace = t;
+  trace_metrics().traces_started.inc();
+  return t;
+}
+
+Span Tracer::root_span(const char* name) {
+  if (!enabled()) return {};
+  if (active()) {
+    // An in-process caller is already tracing this thread — compose as a
+    // plain child instead of starting a second trace.
+    return Span(this, tls_trace, name,
+                tls_trace->stack.empty() ? 0 : tls_trace->stack.back(),
+                /*is_root=*/false);
+  }
+  if (tls_trace != nullptr || !sample_now()) return {};
+  return Span(this, begin_trace(next_id()), name, 0, /*is_root=*/true);
+}
+
+Span Tracer::span(const char* name) {
+  if (!active()) return {};
+  return Span(this, tls_trace, name,
+              tls_trace->stack.empty() ? 0 : tls_trace->stack.back(),
+              /*is_root=*/false);
+}
+
+Span Tracer::adopted_span(const char* name, TraceContext ctx) {
+  if (!enabled()) return {};
+  if (active()) {
+    // In-process call chain: the caller's open span is the natural parent;
+    // the wire context is redundant (same trace) and ignored.
+    return Span(this, tls_trace, name,
+                tls_trace->stack.empty() ? 0 : tls_trace->stack.back(),
+                /*is_root=*/false);
+  }
+  if (tls_trace != nullptr) return {};  // another tracer owns this thread
+  if (!ctx.valid()) return root_span(name);
+  // Upstream sampled this request — record unconditionally, joined to the
+  // remote caller's ids.
+  return Span(this, begin_trace(ctx.trace_id), name, ctx.parent_span_id,
+              /*is_root=*/true);
+}
+
+bool Tracer::emit(SpanRecord& rec) {
+  if (!active()) return false;
+  detail::ThreadTrace* t = tls_trace;
+  rec.trace_id = t->trace_id;
+  rec.span_id = next_id();
+  rec.parent_span_id = t->stack.empty() ? 0 : t->stack.back();
+  rec.thread = thread_ordinal();
+  if (t->spans.size() < config_.max_spans) {
+    t->spans.push_back(rec);
+  } else {
+    t->truncated = true;
+  }
+  return true;
+}
+
+void Tracer::finish_root(detail::ThreadTrace* t) {
+  auto trace = std::make_shared<Trace>();
+  trace->trace_id = t->trace_id;
+  trace->truncated = t->truncated;
+  trace->spans = std::move(t->spans);
+  t->spans = {};
+  t->stack.clear();
+  t->owner = nullptr;
+  tls_trace = nullptr;
+
+  auto& tm = trace_metrics();
+  tm.traces_completed.inc();
+  tm.spans.inc(trace->spans.size());
+  const std::uint64_t duration = trace->duration_ns();
+  if (ring_->push(trace)) tm.ring_evictions.inc();
+  if (duration >= config_.slow_ns) {
+    tm.slow_traces.inc();
+    slow_ring_->push(std::move(trace));
+  }
+}
+
+std::vector<TracePtr> Tracer::find_trace(std::uint64_t trace_id) const {
+  std::vector<TracePtr> out = ring_->find(trace_id);
+  for (TracePtr& t : slow_ring_->find(trace_id)) {
+    if (std::find(out.begin(), out.end(), t) == out.end()) {
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  ring_->clear();
+  slow_ring_->clear();
+}
+
+Tracer& Tracer::global() {
+  static Tracer instance;
+  return instance;
+}
+
+// --- Span -------------------------------------------------------------------
+
+Span::Span(Tracer* tracer, detail::ThreadTrace* trace, const char* name,
+           std::uint64_t parent, bool is_root) noexcept
+    : tracer_(tracer), trace_(trace), is_root_(is_root) {
+  rec_.trace_id = trace->trace_id;
+  rec_.span_id = next_id();
+  rec_.parent_span_id = parent;
+  rec_.name = name;
+  rec_.thread = thread_ordinal();
+  rec_.start_ns = now_ns();
+  trace->stack.push_back(rec_.span_id);
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    trace_ = other.trace_;
+    rec_ = other.rec_;
+    is_root_ = other.is_root_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::tag(const char* key, std::uint64_t value) noexcept {
+  if (tracer_ == nullptr || rec_.tag_count >= SpanRecord::kMaxTags) return;
+  rec_.tags[rec_.tag_count++] = {key, value};
+}
+
+void Span::end() noexcept {
+  if (tracer_ == nullptr) return;
+  rec_.end_ns = now_ns();
+  detail::ThreadTrace* t = trace_;
+  // Pop our frame; mis-nested early-ended children above us (a bug, but a
+  // recoverable one) are popped with it rather than leaking open frames.
+  while (!t->stack.empty()) {
+    const bool found = t->stack.back() == rec_.span_id;
+    t->stack.pop_back();
+    if (found) break;
+  }
+  // The root is stored even when the buffer is at capacity — Trace::root()
+  // relies on the last span being the root.
+  if (t->spans.size() < tracer_->config_.max_spans || is_root_) {
+    t->spans.push_back(rec_);
+  } else {
+    t->truncated = true;
+  }
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  if (is_root_) tracer->finish_root(t);
+}
+
+// --- export -----------------------------------------------------------------
+
+namespace {
+
+void hex_id(std::ostream& os, std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  os << "0x";
+  bool started = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const auto nibble = static_cast<unsigned>((v >> shift) & 0xF);
+    if (nibble != 0) started = true;
+    if (started || shift == 0) os << digits[nibble];
+  }
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os,
+                        const std::vector<TracePtr>& traces) {
+  // Timestamps are rebased to the earliest span: the raw TSC-derived
+  // nanoseconds are huge, and Chrome only cares about relative time —
+  // rebasing keeps full microsecond precision in the double formatting.
+  std::uint64_t base = UINT64_MAX;
+  for (const TracePtr& trace : traces) {
+    if (trace == nullptr) continue;
+    for (const SpanRecord& s : trace->spans) {
+      base = std::min(base, s.start_ns);
+    }
+  }
+  if (base == UINT64_MAX) base = 0;
+  const auto old_precision = os.precision(12);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TracePtr& trace : traces) {
+    if (trace == nullptr) continue;
+    for (const SpanRecord& s : trace->spans) {
+      if (!first) os << ",";
+      first = false;
+      // "X" complete events; ts/dur are microseconds (Chrome's unit).
+      os << "{\"ph\":\"X\",\"cat\":\"svg\",\"name\":\"" << s.name
+         << "\",\"pid\":1,\"tid\":" << s.thread << ",\"ts\":"
+         << static_cast<double>(s.start_ns - base) / 1e3 << ",\"dur\":"
+         << static_cast<double>(s.duration_ns()) / 1e3 << ",\"args\":{"
+         << "\"trace_id\":\"";
+      hex_id(os, s.trace_id);
+      os << "\",\"span_id\":\"";
+      hex_id(os, s.span_id);
+      os << "\",\"parent_span_id\":\"";
+      hex_id(os, s.parent_span_id);
+      os << "\"";
+      for (std::uint8_t i = 0; i < s.tag_count; ++i) {
+        os << ",\"" << s.tags[i].key << "\":" << s.tags[i].value;
+      }
+      os << "}}";
+    }
+  }
+  os << "]}\n";
+  os.precision(old_precision);
+}
+
+void write_trace_text(std::ostream& os, const Trace& trace) {
+  os << "trace ";
+  hex_id(os, trace.trace_id);
+  os << "  " << static_cast<double>(trace.duration_ns()) / 1e6 << " ms, "
+     << trace.spans.size() << " spans"
+     << (trace.truncated ? " (truncated)" : "") << "\n";
+  if (trace.spans.empty()) return;
+
+  // Depth via parent chains; spans printed in start order, children
+  // indented under their parent.
+  std::unordered_map<std::uint64_t, const SpanRecord*> by_id;
+  for (const SpanRecord& s : trace.spans) by_id.emplace(s.span_id, &s);
+  std::vector<const SpanRecord*> order;
+  order.reserve(trace.spans.size());
+  for (const SpanRecord& s : trace.spans) order.push_back(&s);
+  std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+    return a->start_ns != b->start_ns ? a->start_ns < b->start_ns
+                                      : a->end_ns > b->end_ns;
+  });
+  const std::uint64_t origin = trace.root().start_ns;
+  for (const SpanRecord* s : order) {
+    int depth = 0;
+    for (auto it = by_id.find(s->parent_span_id);
+         it != by_id.end() && depth < 32;
+         it = by_id.find(it->second->parent_span_id)) {
+      ++depth;
+    }
+    os << "  ";
+    for (int i = 0; i < depth; ++i) os << "  ";
+    const double at_ms =
+        s->start_ns >= origin
+            ? static_cast<double>(s->start_ns - origin) / 1e6
+            : -static_cast<double>(origin - s->start_ns) / 1e6;
+    os << s->name << "  +" << at_ms << " ms, "
+       << static_cast<double>(s->duration_ns()) / 1e3 << " us";
+    for (std::uint8_t i = 0; i < s->tag_count; ++i) {
+      os << (i == 0 ? "  {" : ", ") << s->tags[i].key << "="
+         << s->tags[i].value;
+    }
+    if (s->tag_count > 0) os << "}";
+    os << "\n";
+  }
+}
+
+}  // namespace svg::obs

@@ -17,9 +17,12 @@
 #include <cmath>
 #include <cstdint>
 
+#include <array>
+
 #include "geo/angle.hpp"
 #include "obs/families.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "retrieval/query.hpp"
 #include "retrieval/top_n.hpp"
 
@@ -49,21 +52,38 @@ struct RetrievalConfig {
 ///   candidates   → FoVs the spatio-temporal range search emitted
 ///   after_filter → survivors of the orientation filter (step 3)
 ///   returned     → final top-N
-/// Stage timings (monotonic nanoseconds; 0 when the search ran untraced):
-///   range_search_ns → index range query, candidate collection included
-///   filter_ns       → orientation test + camera-to-centre distance +
-///                     bounded-heap push (survivors stream straight into
-///                     the top-N selector)
-///   rank_ns         → heap extraction into the sorted top-N
-///   total_ns        → the whole pipeline (≥ the sum of the stages)
+///
+/// Stage timings are a thin view over the same obs::SpanRecord entries the
+/// tracer stores (the engine fills both from one set of clock reads, so a
+/// SearchTrace and a stored trace of the same search always agree):
+///   range_search_ns() → index range query, candidate collection included
+///   filter_ns()       → orientation test + camera-to-centre distance +
+///                       bounded-heap push (survivors stream straight into
+///                       the top-N selector)
+///   rank_ns()         → heap extraction into the sorted top-N
+///   total_ns()        → the whole pipeline (≥ the sum of the stages)
+/// All 0 when the search ran untraced.
 struct SearchTrace {
   std::size_t candidates = 0;
   std::size_t after_filter = 0;
   std::size_t returned = 0;
-  std::uint64_t range_search_ns = 0;
-  std::uint64_t filter_ns = 0;
-  std::uint64_t rank_ns = 0;
-  std::uint64_t total_ns = 0;
+  /// Per-stage span records: [0] range_search, [1] filter, [2] rank,
+  /// [3] the whole pipeline. ids are zero unless the search ran inside an
+  /// active trace (then they match the stored trace's spans).
+  std::array<obs::SpanRecord, 4> spans{};
+
+  [[nodiscard]] std::uint64_t range_search_ns() const noexcept {
+    return spans[0].duration_ns();
+  }
+  [[nodiscard]] std::uint64_t filter_ns() const noexcept {
+    return spans[1].duration_ns();
+  }
+  [[nodiscard]] std::uint64_t rank_ns() const noexcept {
+    return spans[2].duration_ns();
+  }
+  [[nodiscard]] std::uint64_t total_ns() const noexcept {
+    return spans[3].duration_ns();
+  }
 };
 
 template <typename Index>
@@ -87,7 +107,11 @@ class RetrievalEngine {
   /// four clock reads per search — never one per candidate.
   [[nodiscard]] std::vector<RankedResult> search(
       const Query& q, SearchTrace* trace = nullptr) const {
-    const bool timed = metrics_ != nullptr || trace != nullptr;
+    // Child of the caller's open span (server.query) when the request is
+    // traced; inactive no-op otherwise. Stage records nest under it.
+    obs::Span pipeline_span = obs::tracer().span("retrieval.search");
+    const bool timed =
+        metrics_ != nullptr || trace != nullptr || pipeline_span.active();
     const std::uint64_t t0 = timed ? obs::now_ns() : 0;
 
     const double expansion = config_.box_expansion > 0.0
@@ -143,14 +167,38 @@ class RetrievalEngine {
       metrics_->rank_ns.observe(t3 - t2);
       metrics_->search_ns.observe(t3 - t0);
     }
+    // One set of stage records serves both consumers: the caller's
+    // SearchTrace and (when the request is traced) the stored trace.
+    std::array<obs::SpanRecord, 4> stages{};
+    stages[0] = {.start_ns = t0, .end_ns = t1, .name = "retrieval.range_search"};
+    stages[1] = {.start_ns = t1, .end_ns = t2, .name = "retrieval.filter"};
+    stages[2] = {.start_ns = t2, .end_ns = t3, .name = "retrieval.rank"};
+    stages[3] = {.start_ns = t0, .end_ns = t3, .name = "retrieval.search"};
+    stages[0].tag_count = 1;
+    stages[0].tags[0] = {"candidates", candidates.size()};
+    stages[1].tag_count = 1;
+    stages[1].tags[0] = {"after_filter", kept};
+    stages[2].tag_count = 1;
+    stages[2].tags[0] = {"returned", hits.size()};
+    if (pipeline_span.active()) {
+      // Emit the three stage records while pipeline_span is still the
+      // innermost open span, so they nest under it; emit() fills their
+      // ids in place, which the SearchTrace copy below then shares.
+      obs::tracer().emit(stages[0]);
+      obs::tracer().emit(stages[1]);
+      obs::tracer().emit(stages[2]);
+      pipeline_span.tag("candidates", candidates.size());
+      pipeline_span.tag("after_filter", kept);
+      pipeline_span.tag("returned", hits.size());
+      stages[3].trace_id = pipeline_span.trace_id();
+      stages[3].span_id = pipeline_span.span_id();
+      pipeline_span.end();
+    }
     if (trace != nullptr) {
       trace->candidates = candidates.size();
       trace->after_filter = kept;
       trace->returned = hits.size();
-      trace->range_search_ns = t1 - t0;
-      trace->filter_ns = t2 - t1;
-      trace->rank_ns = t3 - t2;
-      trace->total_ns = t3 - t0;
+      trace->spans = stages;
     }
     return hits;
   }

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "obs/families.hpp"
+#include "obs/journal.hpp"
 #include "store/recovery.hpp"
 #include "store/snapshot.hpp"
 
@@ -58,6 +59,7 @@ bool Checkpointer::checkpoint_now() {
     std::lock_guard lock(mu_);
     if (seq <= checkpointed_seq_) return true;  // nothing new
   }
+  obs::journal_event(obs::JournalEvent::kCheckpointBegin, seq);
   const std::string path = checkpoint_path(dir_, seq);
   if (!save_snapshot_file(data.reps, path, seq, std::move(data.upload_ids),
                           env_)) {
@@ -65,6 +67,7 @@ bool Checkpointer::checkpoint_now() {
     // segment was retired yet, so the previous checkpoint + full WAL chain
     // still reconstruct the index. The next cycle simply retries.
     obs::store_fault_metrics().checkpoint_failures.inc();
+    obs::journal_event(obs::JournalEvent::kCheckpointFailed, seq);
     return false;
   }
   obs::wal_metrics().checkpoints.inc();
@@ -74,11 +77,13 @@ bool Checkpointer::checkpoint_now() {
   for (const auto& old : list_checkpoints(dir_)) {
     if (old != path) (void)env_->remove_file(old);
   }
-  if (wal_ != nullptr) wal_->retire_through(seq);
+  std::size_t retired = 0;
+  if (wal_ != nullptr) retired = wal_->retire_through(seq);
   {
     std::lock_guard lock(mu_);
     if (seq > checkpointed_seq_) checkpointed_seq_ = seq;
   }
+  obs::journal_event(obs::JournalEvent::kCheckpointEnd, seq, retired);
   return true;
 }
 

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "obs/families.hpp"
+#include "obs/journal.hpp"
 #include "util/rng.hpp"
 
 namespace svg::store {
@@ -254,6 +255,8 @@ FaultyEnv::Fault FaultyEnv::decide(IoOp op, std::size_t len,
     fm.injected.inc();
     fm.io_errors.inc();
     if (fault == Fault::kShortWrite) fm.short_writes.inc();
+    obs::journal_event(obs::JournalEvent::kStorageFaultInjected,
+                       static_cast<std::uint64_t>(op), global);
   }
   return fault;
 }

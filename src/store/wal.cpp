@@ -7,7 +7,9 @@
 #include <filesystem>
 
 #include "obs/families.hpp"
+#include "obs/journal.hpp"
 #include "obs/timer.hpp"
+#include "obs/trace.hpp"
 #include "store/crc32c.hpp"
 #include "store/env.hpp"
 #include "store/snapshot.hpp"
@@ -413,11 +415,16 @@ void Wal::start_flusher() {
 
 std::uint64_t Wal::append(std::span<const std::uint8_t> payload) {
   auto& m = obs::wal_metrics();
-  obs::ScopedTimer timer(m.append_ns);
+  // The commit-wait span separates "the WAL was slow" from "the index was
+  // slow" inside a traced ingest: it covers framing, leader I/O or
+  // follower wait, and the fsync the ack policy demands.
+  obs::Span span = obs::tracer().span("wal.commit_wait");
+  obs::ScopedTimer timer(m.append_ns, span.trace_id());
   if (payload.empty()) return 0;  // a zero-length frame reads as torn tail
   std::unique_lock lock(mu_);
   if (failed_) return 0;
   const std::uint64_t seq = next_seq_++;
+  span.tag("seq", seq);
   if (pending_count_ == 0) pending_first_seq_ = seq;
   append_frame(pending_, payload);
   pending_last_seq_ = seq;
@@ -526,6 +533,7 @@ void Wal::lead(std::unique_lock<std::mutex>& lock, bool force_sync) {
       // gone, so retrying could only ack lost data.
       failed_ = true;
       obs::store_fault_metrics().wal_failstops.inc();
+      obs::journal_event(obs::JournalEvent::kWalFailstop);
     } else {
       written_seq_ = batch_last;
       if (synced) durable_seq_ = batch_last;
@@ -542,6 +550,7 @@ void Wal::lead(std::unique_lock<std::mutex>& lock, bool force_sync) {
     if (!io_ok) {
       failed_ = true;
       obs::store_fault_metrics().wal_failstops.inc();
+      obs::journal_event(obs::JournalEvent::kWalFailstop);
     } else if (durable_seq_ < target) {
       durable_seq_ = target;
     }
@@ -572,6 +581,7 @@ bool Wal::rotate(std::uint64_t first_seq) {
   if (options_.fsync != FsyncPolicy::kNone && !do_fsync()) return false;
   file_.reset();
   obs::wal_metrics().rotations.inc();
+  obs::journal_event(obs::JournalEvent::kWalRotation, first_seq);
   return open_segment(first_seq, /*resume=*/false, 0);
 }
 
@@ -636,10 +646,15 @@ std::size_t Wal::retire_through(std::uint64_t seq) {
     // pre-checkpoint segments, so the data itself is safe either way.
     failed_ = true;
     obs::store_fault_metrics().wal_failstops.inc();
+    obs::journal_event(obs::JournalEvent::kWalFailstop);
   }
   writing_ = false;
   cv_.notify_all();
   obs::wal_metrics().segments_retired.inc(victims.size());
+  if (!victims.empty()) {
+    obs::journal_event(obs::JournalEvent::kWalRetirement, victims.size(),
+                       seq);
+  }
   return victims.size();
 }
 

@@ -1,0 +1,145 @@
+// Unit tests for the structured event journal (obs/journal.hpp): append
+// ordering, ring wrap, rendering, and thread safety of concurrent appends.
+
+#include "obs/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace svg::obs;
+
+TEST(JournalTest, AppendAssignsMonotonicSeqs) {
+  Journal j(16);
+  EXPECT_EQ(j.append(JournalEvent::kServerDegraded), 1u);
+  EXPECT_EQ(j.append(JournalEvent::kRecoveryAttempt, 1), 2u);
+  EXPECT_EQ(j.append(JournalEvent::kServerRecovered, 42), 3u);
+  EXPECT_EQ(j.appended(), 3u);
+  const auto tail = j.tail();
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[0].event, JournalEvent::kServerDegraded);
+  EXPECT_EQ(tail[1].args[0], 1u);
+  EXPECT_EQ(tail[2].event, JournalEvent::kServerRecovered);
+  EXPECT_EQ(tail[2].args[0], 42u);
+  // Timestamps are monotone in append order.
+  EXPECT_LE(tail[0].ts_ns, tail[1].ts_ns);
+  EXPECT_LE(tail[1].ts_ns, tail[2].ts_ns);
+}
+
+TEST(JournalTest, RingOverwritesOldestWhenFull) {
+  Journal j(4);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    j.append(JournalEvent::kWalRotation, i);
+  }
+  EXPECT_EQ(j.appended(), 10u);
+  const auto tail = j.tail();
+  ASSERT_EQ(tail.size(), 4u);  // only the newest capacity records survive
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(tail[i].seq, 7 + i);
+    EXPECT_EQ(tail[i].args[0], 7 + i);
+  }
+}
+
+TEST(JournalTest, TailMaxRecordsReturnsNewestOldestFirst) {
+  Journal j(16);
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    j.append(JournalEvent::kCheckpointBegin, i);
+  }
+  const auto tail = j.tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].seq, 5u);
+  EXPECT_EQ(tail[1].seq, 6u);
+  // max beyond the live count returns everything.
+  EXPECT_EQ(j.tail(100).size(), 6u);
+}
+
+TEST(JournalTest, EventNamesAreStable) {
+  EXPECT_STREQ(journal_event_name(JournalEvent::kServerDegraded),
+               "server_degraded");
+  EXPECT_STREQ(journal_event_name(JournalEvent::kServerRecovered),
+               "server_recovered");
+  EXPECT_STREQ(journal_event_name(JournalEvent::kWalFailstop),
+               "wal_failstop");
+  EXPECT_STREQ(journal_event_name(JournalEvent::kCheckpointEnd),
+               "checkpoint_end");
+  // Unknown values render without crashing.
+  const char* unknown =
+      journal_event_name(static_cast<JournalEvent>(9999));
+  EXPECT_NE(unknown, nullptr);
+}
+
+TEST(JournalTest, ToStringCarriesEventAndArgs) {
+  Journal j(4);
+  j.append(JournalEvent::kWalRetirement, 3, 120);
+  const auto tail = j.tail();
+  ASSERT_EQ(tail.size(), 1u);
+  const std::string line = to_string(tail[0]);
+  EXPECT_NE(line.find("wal_retirement"), std::string::npos) << line;
+  EXPECT_NE(line.find("a0=3"), std::string::npos) << line;
+  EXPECT_NE(line.find("a1=120"), std::string::npos) << line;
+}
+
+TEST(JournalTest, WriteJournalTextOneLinePerRecord) {
+  Journal j(8);
+  j.append(JournalEvent::kCheckpointBegin, 10);
+  j.append(JournalEvent::kCheckpointEnd, 10, 2);
+  std::ostringstream os;
+  write_journal_text(os, j.tail());
+  const std::string out = os.str();
+  EXPECT_NE(out.find("checkpoint_begin"), std::string::npos);
+  EXPECT_NE(out.find("checkpoint_end"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+}
+
+TEST(JournalTest, ClearEmptiesTheRing) {
+  Journal j(8);
+  j.append(JournalEvent::kServerDegraded);
+  j.clear();
+  EXPECT_TRUE(j.tail().empty());
+  // The journal restarts from seq 1 after a clear.
+  EXPECT_EQ(j.append(JournalEvent::kServerRecovered), 1u);
+  EXPECT_EQ(j.tail().size(), 1u);
+}
+
+TEST(JournalTest, ConcurrentAppendsNeverLoseOrDuplicateSeqs) {
+  Journal j(64);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1'000;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&j, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        j.append(JournalEvent::kStorageFaultInjected,
+                 static_cast<std::uint64_t>(w),
+                 static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(j.appended(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto tail = j.tail();
+  ASSERT_EQ(tail.size(), 64u);
+  // The surviving window is exactly the newest 64 seqs, strictly ordered.
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    EXPECT_EQ(tail[i].seq, kThreads * kPerThread - 64 + 1 + i);
+  }
+}
+
+TEST(JournalTest, GlobalShorthandAppendsToTheSharedJournal) {
+  const auto before = Journal::global().appended();
+  journal_event(JournalEvent::kUploadDeferred, 7, 1);
+  EXPECT_EQ(Journal::global().appended(), before + 1);
+  const auto tail = Journal::global().tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].event, JournalEvent::kUploadDeferred);
+  EXPECT_EQ(tail[0].args[0], 7u);
+}
+
+}  // namespace

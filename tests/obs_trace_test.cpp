@@ -1,0 +1,436 @@
+// Unit tests for the request tracer (obs/trace.hpp): span nesting, head
+// sampling, adopted wire contexts, truncation, the completed-trace rings
+// (including overwrite under concurrent emission — run under TSan in CI),
+// and histogram exemplars.
+
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace svg::obs;
+
+TracerConfig base_config() {
+  TracerConfig cfg;
+  cfg.enabled = true;
+  cfg.sample_every = 1;
+  cfg.ring_slots = 64;
+  cfg.slow_ring_slots = 8;
+  cfg.slow_ns = 50'000'000;
+  return cfg;
+}
+
+TEST(TraceTest, DisabledTracerYieldsInactiveSpans) {
+  Tracer t;  // default config: disabled
+  Span root = t.root_span("root");
+  EXPECT_FALSE(root.active());
+  EXPECT_EQ(root.trace_id(), 0u);
+  Span child = t.span("child");
+  EXPECT_FALSE(child.active());
+  root.end();
+  EXPECT_TRUE(t.ring().snapshot().empty());
+  EXPECT_FALSE(t.active());
+  EXPECT_EQ(t.current_trace_id(), 0u);
+}
+
+TEST(TraceTest, RootAndChildrenFormOneNestedTrace) {
+  Tracer t;
+  t.configure(base_config());
+  std::uint64_t root_id = 0, child_a = 0, child_b = 0, grand = 0;
+  {
+    Span root = t.root_span("request");
+    ASSERT_TRUE(root.active());
+    root_id = root.span_id();
+    EXPECT_EQ(t.current_trace_id(), root.trace_id());
+    {
+      Span a = t.span("stage_a");
+      ASSERT_TRUE(a.active());
+      child_a = a.span_id();
+      {
+        Span g = t.span("inner");
+        grand = g.span_id();
+        g.tag("items", 7);
+      }
+    }
+    {
+      Span b = t.span("stage_b");
+      child_b = b.span_id();
+    }
+    root.tag("ok", 1);
+  }
+  const auto traces = t.ring().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const Trace& tr = *traces[0];
+  ASSERT_EQ(tr.spans.size(), 4u);
+  EXPECT_FALSE(tr.truncated);
+  // Children complete before the root; the root is always last.
+  EXPECT_EQ(tr.root().span_id, root_id);
+  EXPECT_STREQ(tr.root().name, "request");
+  EXPECT_EQ(tr.root().parent_span_id, 0u);
+  const SpanRecord* a = tr.find("stage_a");
+  const SpanRecord* b = tr.find("stage_b");
+  const SpanRecord* g = tr.find("inner");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(a->span_id, child_a);
+  EXPECT_EQ(a->parent_span_id, root_id);
+  EXPECT_EQ(b->span_id, child_b);
+  EXPECT_EQ(b->parent_span_id, root_id);
+  EXPECT_EQ(g->parent_span_id, child_a);
+  EXPECT_EQ(g->span_id, grand);
+  std::uint64_t items = 0;
+  EXPECT_TRUE(g->tag("items", items));
+  EXPECT_EQ(items, 7u);
+  // Every span carries the trace id and start <= end.
+  for (const auto& s : tr.spans) {
+    EXPECT_EQ(s.trace_id, tr.trace_id);
+    EXPECT_LE(s.start_ns, s.end_ns);
+  }
+}
+
+TEST(TraceTest, ChildSpanWithoutActiveTraceIsInactive) {
+  Tracer t;
+  t.configure(base_config());
+  Span orphan = t.span("orphan");
+  EXPECT_FALSE(orphan.active());
+  orphan.end();
+  EXPECT_TRUE(t.ring().snapshot().empty());
+}
+
+TEST(TraceTest, NestedRootDegradesToChild) {
+  Tracer t;
+  t.configure(base_config());
+  {
+    Span outer = t.root_span("outer");
+    Span inner = t.root_span("inner");  // already tracing: becomes a child
+    ASSERT_TRUE(inner.active());
+    EXPECT_EQ(inner.trace_id(), outer.trace_id());
+    inner.end();
+  }
+  const auto traces = t.ring().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const SpanRecord* inner = traces[0]->find("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->parent_span_id, traces[0]->root().span_id);
+}
+
+TEST(TraceTest, SamplingRecordsOneInEveryN) {
+  auto cfg = base_config();
+  cfg.sample_every = 4;
+  Tracer t;
+  t.configure(cfg);
+  for (int i = 0; i < 40; ++i) {
+    Span root = t.root_span("req");
+    root.end();
+  }
+  EXPECT_EQ(t.ring().snapshot().size(), 10u);
+}
+
+TEST(TraceTest, SampleEveryZeroRecordsNothing) {
+  auto cfg = base_config();
+  cfg.sample_every = 0;
+  Tracer t;
+  t.configure(cfg);
+  for (int i = 0; i < 16; ++i) {
+    Span root = t.root_span("req");
+    EXPECT_FALSE(root.active());
+  }
+  EXPECT_TRUE(t.ring().snapshot().empty());
+}
+
+TEST(TraceTest, AdoptedSpanAdoptsWireContext) {
+  auto cfg = base_config();
+  cfg.sample_every = 0;  // local sampling off: adoption must bypass it
+  Tracer t;
+  t.configure(cfg);
+  const TraceContext wire{0xABCDEF12u, 0x1234u};
+  {
+    Span s = t.adopted_span("server.upload", wire);
+    ASSERT_TRUE(s.active());
+    EXPECT_EQ(s.trace_id(), wire.trace_id);
+    Span child = t.span("wal.append");
+    EXPECT_EQ(child.trace_id(), wire.trace_id);
+  }
+  const auto traces = t.find_trace(wire.trace_id);
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_EQ(traces[0]->root().parent_span_id, wire.parent_span_id);
+  EXPECT_NE(traces[0]->find("wal.append"), nullptr);
+}
+
+TEST(TraceTest, AdoptedSpanJoinsOpenLocalTrace) {
+  Tracer t;
+  t.configure(base_config());
+  Span outer = t.root_span("client");
+  const TraceContext stale{999u, 111u};  // in-process call: wire ctx ignored
+  Span adopted = t.adopted_span("server", stale);
+  ASSERT_TRUE(adopted.active());
+  EXPECT_EQ(adopted.trace_id(), outer.trace_id());
+  adopted.end();
+  outer.end();
+  const auto traces = t.ring().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  const SpanRecord* server = traces[0]->find("server");
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->parent_span_id, traces[0]->root().span_id);
+}
+
+TEST(TraceTest, AdoptedSpanWithInvalidContextStartsFreshRoot) {
+  Tracer t;
+  t.configure(base_config());
+  {
+    Span s = t.adopted_span("server", TraceContext{});
+    ASSERT_TRUE(s.active());
+    EXPECT_NE(s.trace_id(), 0u);
+  }
+  EXPECT_EQ(t.ring().snapshot().size(), 1u);
+}
+
+TEST(TraceTest, SpanBufferTruncatesAtMaxSpans) {
+  auto cfg = base_config();
+  cfg.max_spans = 8;
+  Tracer t;
+  t.configure(cfg);
+  {
+    Span root = t.root_span("root");
+    for (int i = 0; i < 32; ++i) {
+      Span c = t.span("child");
+      c.end();
+    }
+  }
+  const auto traces = t.ring().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_TRUE(traces[0]->truncated);
+  // The buffer caps at max_spans, plus the root which is always stored
+  // (Trace::root() relies on the last span being the root).
+  EXPECT_LE(traces[0]->spans.size(), cfg.max_spans + 1);
+  EXPECT_STREQ(traces[0]->root().name, "root");
+}
+
+TEST(TraceTest, EmitRecordsPreTimedSpanUnderActiveTrace) {
+  Tracer t;
+  t.configure(base_config());
+  SpanRecord rec{};
+  rec.start_ns = 100;
+  rec.end_ns = 200;
+  rec.name = "stage";
+  {
+    Span root = t.root_span("root");
+    ASSERT_TRUE(t.emit(rec));
+    EXPECT_EQ(rec.trace_id, root.trace_id());
+    EXPECT_EQ(rec.parent_span_id, root.span_id());
+    EXPECT_NE(rec.span_id, 0u);
+  }
+  SpanRecord untraced{};
+  untraced.name = "nope";
+  EXPECT_FALSE(t.emit(untraced));
+  EXPECT_EQ(untraced.trace_id, 0u);
+  const auto traces = t.ring().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_NE(traces[0]->find("stage"), nullptr);
+}
+
+TEST(TraceTest, SlowRingKeepsOnlySlowRoots) {
+  auto cfg = base_config();
+  cfg.slow_ns = 1;  // every real root qualifies
+  Tracer t;
+  t.configure(cfg);
+  {
+    Span root = t.root_span("slow");
+    Span c = t.span("child");
+    c.end();
+  }
+  EXPECT_EQ(t.ring().snapshot().size(), 1u);
+  const auto slow = t.slow_ring().snapshot();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_STREQ(slow[0]->root().name, "slow");
+
+  cfg.slow_ns = UINT64_MAX;  // nothing qualifies
+  t.configure(cfg);
+  {
+    Span root = t.root_span("fast");
+  }
+  EXPECT_EQ(t.ring().snapshot().size(), 1u);
+  EXPECT_TRUE(t.slow_ring().snapshot().empty());
+}
+
+TEST(TraceTest, RingOverwritesOldestWhenFull) {
+  auto cfg = base_config();
+  cfg.ring_slots = 4;
+  Tracer t;
+  t.configure(cfg);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    Span root = t.root_span("req");
+    root.tag("ordinal", i);
+  }
+  EXPECT_EQ(t.ring().pushed(), 10u);
+  const auto traces = t.ring().snapshot();
+  ASSERT_EQ(traces.size(), 4u);
+  // Oldest-first snapshot of the newest four (ordinals 6..9).
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    std::uint64_t ordinal = 0;
+    ASSERT_TRUE(traces[i]->root().tag("ordinal", ordinal));
+    EXPECT_EQ(ordinal, 6 + i);
+  }
+}
+
+TEST(TraceTest, FindTraceSearchesBothRings) {
+  auto cfg = base_config();
+  cfg.slow_ns = 1;
+  Tracer t;
+  t.configure(cfg);
+  std::uint64_t id = 0;
+  {
+    Span root = t.root_span("req");
+    id = root.trace_id();
+  }
+  // Present in both rings, reported once.
+  EXPECT_EQ(t.find_trace(id).size(), 1u);
+  EXPECT_TRUE(t.find_trace(id ^ 1).empty());
+  t.clear();
+  EXPECT_TRUE(t.find_trace(id).empty());
+  EXPECT_TRUE(t.ring().snapshot().empty());
+}
+
+// The TSan target: 8 threads complete traces concurrently into a small
+// ring, forcing constant slot reuse. Every published trace must still be
+// internally consistent (single trace_id, root last, parents resolve).
+TEST(TraceTest, ConcurrentEmissionIntoSmallRingStaysConsistent) {
+  auto cfg = base_config();
+  cfg.ring_slots = 16;
+  cfg.slow_ring_slots = 4;
+  cfg.slow_ns = 1;  // exercise the slow ring concurrently too
+  Tracer t;
+  t.configure(cfg);
+  constexpr int kThreads = 8;
+  constexpr int kTracesPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&t] {
+      for (int i = 0; i < kTracesPerThread; ++i) {
+        Span root = t.root_span("req");
+        {
+          Span a = t.span("stage_a");
+          Span b = t.span("inner");
+          b.tag("i", static_cast<std::uint64_t>(i));
+        }
+        Span c = t.span("stage_c");
+        c.end();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(t.ring().pushed(),
+            static_cast<std::uint64_t>(kThreads) * kTracesPerThread);
+  const auto traces = t.ring().snapshot();
+  EXPECT_EQ(traces.size(), 16u);
+  std::set<std::uint64_t> ids;
+  for (const auto& tr : traces) {
+    ASSERT_FALSE(tr->spans.empty());
+    EXPECT_TRUE(ids.insert(tr->trace_id).second);  // ids never collide
+    EXPECT_STREQ(tr->root().name, "req");
+    EXPECT_EQ(tr->root().parent_span_id, 0u);
+    std::set<std::uint64_t> span_ids;
+    for (const auto& s : tr->spans) span_ids.insert(s.span_id);
+    for (const auto& s : tr->spans) {
+      EXPECT_EQ(s.trace_id, tr->trace_id);
+      if (s.parent_span_id != 0) {
+        EXPECT_TRUE(span_ids.count(s.parent_span_id))
+            << "dangling parent in concurrent trace";
+      }
+    }
+  }
+}
+
+TEST(TraceTest, TextAndChromeExportsRenderEverySpan) {
+  Tracer t;
+  t.configure(base_config());
+  {
+    Span root = t.root_span("request");
+    Span child = t.span("stage");
+    child.tag("items", 3);
+  }
+  const auto traces = t.ring().snapshot();
+  ASSERT_EQ(traces.size(), 1u);
+  std::ostringstream text;
+  write_trace_text(text, *traces[0]);
+  EXPECT_NE(text.str().find("request"), std::string::npos);
+  EXPECT_NE(text.str().find("stage"), std::string::npos);
+  std::ostringstream chrome;
+  write_chrome_trace(chrome, traces);
+  const std::string json = chrome.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"request\""), std::string::npos);
+  EXPECT_NE(json.find("\"stage\""), std::string::npos);
+}
+
+// --- histogram exemplars ----------------------------------------------------
+
+TEST(TraceExemplarTest, ObserveStampsTheBucketExemplar) {
+  Histogram h({1'000, 2.0, 4});  // bounds 1000 2000 4000 8000 (+Inf)
+  h.observe(500, 0xAAAA);        // bucket 0
+  h.observe(3'000, 0xBBBB);      // bucket 2
+  h.observe(999'999, 0xCCCC);    // +Inf bucket
+  h.observe(600);                // no exemplar: must not clobber 0xAAAA
+  const auto ex = h.exemplars();
+  ASSERT_EQ(ex.size(), 5u);  // one slot per bucket incl. +Inf
+  EXPECT_EQ(ex[0].trace_id, 0xAAAAu);
+  EXPECT_EQ(ex[0].value, 500u);
+  EXPECT_EQ(ex[1].trace_id, 0u);  // untouched bucket
+  EXPECT_EQ(ex[2].trace_id, 0xBBBBu);
+  EXPECT_EQ(ex[4].trace_id, 0xCCCCu);
+  EXPECT_EQ(ex[4].value, 999'999u);
+}
+
+TEST(TraceExemplarTest, NewerObservationReplacesTheExemplar) {
+  Histogram h({1'000, 2.0, 4});
+  h.observe(100, 0x1);
+  h.observe(200, 0x2);
+  EXPECT_EQ(h.exemplars()[0].trace_id, 0x2u);
+  EXPECT_EQ(h.exemplars()[0].value, 200u);
+}
+
+TEST(TraceExemplarTest, PrometheusExpositionCarriesExemplars) {
+  Registry reg;
+  auto& h = reg.histogram("svg_test_latency_ns", "test", {1'000, 2.0, 4});
+  h.observe(500, 0xDEADBEEF);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# {trace_id=\"deadbeef\"} 500"), std::string::npos)
+      << out;
+}
+
+TEST(TraceExemplarTest, JsonExpositionCarriesExemplars) {
+  Registry reg;
+  auto& h = reg.histogram("svg_test_latency_ns", "test", {1'000, 2.0, 4});
+  h.observe(500, 0xBEEF);
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("\"exemplars\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"beef\""), std::string::npos) << out;
+}
+
+TEST(TraceExemplarTest, ResetClearsExemplars) {
+  Histogram h({1'000, 2.0, 4});
+  h.observe(500, 0x77);
+  h.reset();
+  for (const auto& e : h.exemplars()) {
+    EXPECT_EQ(e.trace_id, 0u);
+    EXPECT_EQ(e.value, 0u);
+  }
+}
+
+}  // namespace
