@@ -1,17 +1,40 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels behind every
 // paper number: similarity evaluation, the per-frame segmentation step,
-// R-tree insert/query, wire encode/decode, and frame differencing. These
-// are the per-operation costs that the figure-level benches aggregate.
+// R-tree insert/query, wire encode/decode, frame differencing, and the
+// tiered index's columnar scan kernels vs their scalar AoS equivalents.
+// These are the per-operation costs that the figure-level benches
+// aggregate.
+//
+// Beyond the google-benchmark registry, two flags drive the columnar
+// kernel acceptance gate:
+//   --gate  hand-rolled best-of-attempts throughput comparison; exit 1
+//           unless the columnar range scan AND the fused candidate filter
+//           both beat their scalar AoS counterparts on rows/s (the SoA
+//           layout + branch-free append exist for exactly this)
+//   --json  machine-readable kernel throughputs — the generator for
+//           BENCH_kernels.json, the committed record of what this box
+//           measured when the gate last passed
+// Both flags bypass the google-benchmark runner; without them the binary
+// behaves as before.
 
 #include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <numbers>
 
 #include "core/segmentation.hpp"
 #include "core/similarity.hpp"
 #include "cv/renderer.hpp"
 #include "cv/similarity.hpp"
+#include "geo/angle.hpp"
+#include "geo/geodesy.hpp"
+#include "index/columnar.hpp"
 #include "index/fov_index.hpp"
 #include "net/wire.hpp"
 #include "sim/crowd.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -151,6 +174,258 @@ void BM_FrameDifference(benchmark::State& state) {
 }
 BENCHMARK(BM_FrameDifference)->Arg(320)->Arg(640)->Arg(1280);
 
+// --- columnar scan kernels vs the scalar AoS path ----------------------
+// Same rows, same predicate, two layouts: FovColumns + the branch-free
+// kernels from index/columnar.cpp against an AoS RepresentativeFov vector
+// walked with the early-exit per-row test the R-tree leaf visitor and
+// RetrievalEngine::passes_orientation perform.
+
+struct KernelFixture {
+  index::FovColumns cols;
+  std::vector<core::RepresentativeFov> rows;
+  index::GeoTimeRange range{};
+  index::CandidateFilter filter{};
+  double limit_deg = 0.0;
+
+  explicit KernelFixture(std::size_t n) {
+    sim::CityModel city;
+    util::Xoshiro256 rng(42);
+    const auto reps = sim::random_representative_fovs(
+        n, city, 1'400'000'000'000, 24LL * 3600 * 1000, rng);
+    cols.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cols.push_back(reps[i], static_cast<index::FovHandle>(i));
+    }
+    rows = reps;
+    // ~1 km box, ~7 h window: enough survivors that the append path is
+    // exercised, enough misses that the predicate actually filters.
+    const auto c = city.center;
+    range = {c.lng - 0.006, c.lng + 0.006, c.lat - 0.006, c.lat + 0.006,
+             1'400'000'000'000, 1'400'000'000'000 + 25'000'000};
+    const core::CameraIntrinsics cam{};
+    limit_deg = cam.half_angle_deg + 5.0;
+    filter.range = range;
+    filter.center_lng = c.lng;
+    filter.center_lat = c.lat;
+    filter.m_per_deg_lng = geo::metres_per_degree_lng(c.lat);
+    filter.m_per_deg_lat = geo::metres_per_degree_lat();
+    filter.radius_m = cam.radius_m;
+    filter.cos_limit =
+        std::cos(limit_deg * std::numbers::pi / 180.0);
+  }
+
+  [[nodiscard]] std::size_t aos_scan_range(
+      std::vector<std::uint32_t>& out) const {
+    const std::size_t before = out.size();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      if (r.fov.p.lng < range.lng_min || r.fov.p.lng > range.lng_max ||
+          r.fov.p.lat < range.lat_min || r.fov.p.lat > range.lat_max ||
+          r.t_end < range.t_start || r.t_start > range.t_end) {
+        continue;
+      }
+      out.push_back(static_cast<std::uint32_t>(i));
+    }
+    return out.size() - before;
+  }
+
+  [[nodiscard]] std::size_t aos_scan_candidates(
+      std::vector<std::uint32_t>& out) const {
+    const std::size_t before = out.size();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      if (r.fov.p.lng < range.lng_min || r.fov.p.lng > range.lng_max ||
+          r.fov.p.lat < range.lat_min || r.fov.p.lat > range.lat_max ||
+          r.t_end < range.t_start || r.t_start > range.t_end) {
+        continue;
+      }
+      // Same planar displacement model as the columnar filter, with the
+      // per-row atan2 the dot-product trick removes.
+      const double e =
+          (filter.center_lng - r.fov.p.lng) * filter.m_per_deg_lng;
+      const double nr =
+          (filter.center_lat - r.fov.p.lat) * filter.m_per_deg_lat;
+      const double dist = std::sqrt(e * e + nr * nr);
+      if (dist > filter.radius_m) continue;
+      if (dist > 0.0) {
+        const double bearing = geo::azimuth_of_direction(e, nr);
+        if (geo::angular_difference_deg(bearing, r.fov.theta_deg) >
+            limit_deg) {
+          continue;
+        }
+      }
+      out.push_back(static_cast<std::uint32_t>(i));
+    }
+    return out.size() - before;
+  }
+};
+
+const KernelFixture& kernel_fixture() {
+  static const KernelFixture fixture(1'000'000);
+  return fixture;
+}
+
+void BM_ColumnarScanRange(benchmark::State& state) {
+  const auto& f = kernel_fixture();
+  std::vector<std::uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(index::scan_range(
+        f.cols, 0, static_cast<std::uint32_t>(f.cols.size()), f.range,
+        out));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.cols.size()));
+}
+BENCHMARK(BM_ColumnarScanRange);
+
+void BM_AosScanRange(benchmark::State& state) {
+  const auto& f = kernel_fixture();
+  std::vector<std::uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(f.aos_scan_range(out));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.rows.size()));
+}
+BENCHMARK(BM_AosScanRange);
+
+void BM_ColumnarCandidateFilter(benchmark::State& state) {
+  const auto& f = kernel_fixture();
+  std::vector<std::uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(index::scan_candidates(
+        f.cols, 0, static_cast<std::uint32_t>(f.cols.size()), f.filter,
+        out));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.cols.size()));
+}
+BENCHMARK(BM_ColumnarCandidateFilter);
+
+void BM_AosCandidateFilter(benchmark::State& state) {
+  const auto& f = kernel_fixture();
+  std::vector<std::uint32_t> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(f.aos_scan_candidates(out));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.rows.size()));
+}
+BENCHMARK(BM_AosCandidateFilter);
+
+// --- hand-rolled gate path ---------------------------------------------
+
+struct KernelThroughput {
+  double columnar_rows_per_us = 0;
+  double aos_rows_per_us = 0;
+  std::size_t hits = 0;
+};
+
+template <typename ColumnarFn, typename AosFn>
+KernelThroughput measure_kernel(const KernelFixture& f, ColumnarFn col,
+                                AosFn aos, int attempts) {
+  KernelThroughput t;
+  std::vector<std::uint32_t> out;
+  out.reserve(f.cols.size());
+  constexpr int kReps = 8;
+  std::size_t col_hits = 0, aos_hits = 0;
+  for (int a = 0; a < attempts; ++a) {
+    util::Stopwatch sw;
+    for (int r = 0; r < kReps; ++r) {
+      out.clear();
+      col_hits = col(out);
+    }
+    const double col_us = sw.elapsed_us() / kReps;
+    t.columnar_rows_per_us = std::max(
+        t.columnar_rows_per_us, static_cast<double>(f.cols.size()) / col_us);
+  }
+  for (int a = 0; a < attempts; ++a) {
+    util::Stopwatch sw;
+    for (int r = 0; r < kReps; ++r) {
+      out.clear();
+      aos_hits = aos(out);
+    }
+    const double aos_us = sw.elapsed_us() / kReps;
+    t.aos_rows_per_us = std::max(
+        t.aos_rows_per_us, static_cast<double>(f.rows.size()) / aos_us);
+  }
+  if (col_hits != aos_hits) {
+    std::cerr << "kernel gate: layouts disagree (columnar " << col_hits
+              << " hits, aos " << aos_hits << ")\n";
+    std::exit(1);
+  }
+  t.hits = col_hits;
+  return t;
+}
+
+int run_kernel_gate(bool gate, bool json, int attempts) {
+  const auto& f = kernel_fixture();
+  const auto range = measure_kernel(
+      f,
+      [&](std::vector<std::uint32_t>& out) {
+        return index::scan_range(
+            f.cols, 0, static_cast<std::uint32_t>(f.cols.size()), f.range,
+            out);
+      },
+      [&](std::vector<std::uint32_t>& out) { return f.aos_scan_range(out); },
+      attempts);
+  const auto cand = measure_kernel(
+      f,
+      [&](std::vector<std::uint32_t>& out) {
+        return index::scan_candidates(
+            f.cols, 0, static_cast<std::uint32_t>(f.cols.size()), f.filter,
+            out);
+      },
+      [&](std::vector<std::uint32_t>& out) {
+        return f.aos_scan_candidates(out);
+      },
+      attempts);
+
+  if (json) {
+    std::cout << "{\n"
+              << "  \"note\": \"regenerate: build/bench/bench_micro_kernels"
+                 " --json\",\n"
+              << "  \"workload\": {\"rows\": " << f.cols.size()
+              << ", \"attempts\": " << attempts << "},\n"
+              << "  \"kernels\": [\n"
+              << "    {\"kernel\": \"scan_range\", \"columnar_rows_per_us\": "
+              << range.columnar_rows_per_us << ", \"aos_rows_per_us\": "
+              << range.aos_rows_per_us << ", \"speedup\": "
+              << range.columnar_rows_per_us / range.aos_rows_per_us
+              << ", \"hits\": " << range.hits << "},\n"
+              << "    {\"kernel\": \"scan_candidates\", "
+                 "\"columnar_rows_per_us\": "
+              << cand.columnar_rows_per_us << ", \"aos_rows_per_us\": "
+              << cand.aos_rows_per_us << ", \"speedup\": "
+              << cand.columnar_rows_per_us / cand.aos_rows_per_us
+              << ", \"hits\": " << cand.hits << "}\n"
+              << "  ]\n}\n";
+  } else {
+    std::cout << "scan_range:      columnar " << range.columnar_rows_per_us
+              << " rows/us vs aos " << range.aos_rows_per_us << " ("
+              << range.columnar_rows_per_us / range.aos_rows_per_us
+              << "x), " << range.hits << " hits\n"
+              << "scan_candidates: columnar " << cand.columnar_rows_per_us
+              << " rows/us vs aos " << cand.aos_rows_per_us << " ("
+              << cand.columnar_rows_per_us / cand.aos_rows_per_us
+              << "x), " << cand.hits << " hits\n";
+  }
+  if (gate) {
+    if (range.columnar_rows_per_us <= range.aos_rows_per_us ||
+        cand.columnar_rows_per_us <= cand.aos_rows_per_us) {
+      std::cerr << "gate: FAIL — columnar kernels must beat the scalar AoS "
+                   "path on rows/s\n";
+      return 1;
+    }
+    std::cerr << "gate: PASS\n";
+  }
+  return 0;
+}
+
 void BM_RenderFrame(benchmark::State& state) {
   util::Xoshiro256 rng(8);
   const auto world = cv::World::random_city(500, 500.0, rng);
@@ -167,4 +442,20 @@ BENCHMARK(BM_RenderFrame)->Arg(320)->Arg(640);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool gate = false, json = false;
+  int attempts = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--attempts") == 0 && i + 1 < argc) {
+      attempts = std::atoi(argv[i + 1]);
+    }
+  }
+  if (gate || json) return run_kernel_gate(gate, json, attempts);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,359 @@
+// Sustained-ingest tail latency for the tiered index — the experiment its
+// out-of-lock seal/compact machinery exists for. An LSM-style index is
+// only an improvement if maintenance (sealing the memtable, STR-packing a
+// run, merging runs) never stalls the foreground: the lock is held for the
+// O(1) buffer swaps, while sorting and packing run on immutable sealed
+// data outside it.
+//
+// Methodology (same open-loop discipline as bench_index_contention):
+//   * One paced writer drives upload bursts (insert_batch of --burst
+//     segments) at a fixed offered rate; latency is measured from the
+//     *scheduled* arrival, so any queueing behind a seal or a compaction
+//     swap is charged to the tail (coordinated-omission corrected).
+//   * Paced readers run the mixed query set concurrently — a compaction
+//     that stalled queries would be invisible to a writer-only bench.
+//   * The tiered backend runs its background compactor on a tight cadence
+//     (--compact-ms, default 25), so the measured window genuinely
+//     contains seal + compact cycles; the run reports how many.
+//   * The single-lock backend runs the same schedule as the contrast: its
+//     ingest cost IS on the query path.
+//
+// Flags: --seconds N (default 3) --burst N (default 2048) --corpus N
+// (default 100000) --compact-ms N (default 25) --json (generator for the
+// sustained_ingest section of BENCH_tiered.json) --gate (exit 1 unless,
+// best of --attempts passes: at least one compaction happened during the
+// tiered window, tiered ingest p99 stays under --gate-ms, and tiered read
+// p99 stays under --gate-ms — "bounded tail under maintenance, no stall
+// collapse"). --gate-ms default 20: a stop-the-world merge of a 100k-row
+// corpus would cost hundreds of ms, so a 20 ms ceiling can only hold if
+// maintenance genuinely runs off the foreground path.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "index/fov_index.hpp"
+#include "index/tiered_fov_index.hpp"
+#include "obs/families.hpp"
+#include "sim/crowd.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace svg;
+using Clock = std::chrono::steady_clock;
+
+constexpr core::TimestampMs kT0 = 1'400'000'000'000;
+constexpr core::TimestampMs kDay = 24LL * 3600 * 1000;
+constexpr int kReaders = 2;
+
+struct Options {
+  double seconds = 3.0;
+  std::size_t burst = 2048;
+  std::size_t corpus = 100'000;
+  std::uint32_t compact_ms = 25;
+  double gate_ms = 20.0;
+  int attempts = 3;
+  bool json = false;
+  bool gate = false;
+};
+
+std::vector<core::RepresentativeFov> make_upload(std::uint64_t video_id,
+                                                 std::size_t n,
+                                                 const sim::CityModel& city,
+                                                 util::Xoshiro256& rng) {
+  std::vector<core::RepresentativeFov> reps;
+  reps.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    core::RepresentativeFov r;
+    r.video_id = video_id;
+    r.segment_id = static_cast<std::uint32_t>(i);
+    r.fov.p = city.random_point(rng);
+    r.fov.theta_deg = rng.uniform() * 360.0;
+    r.t_start = kT0 + static_cast<core::TimestampMs>(
+                          rng.uniform() * static_cast<double>(kDay));
+    r.t_end = r.t_start + 5'000 +
+              static_cast<core::TimestampMs>(rng.uniform() * 55'000.0);
+    reps.push_back(r);
+  }
+  return reps;
+}
+
+struct Pctls {
+  double p50 = 0, p99 = 0, max = 0;
+};
+
+Pctls percentiles_us(std::vector<std::uint64_t>& ns) {
+  Pctls p;
+  if (ns.empty()) return p;
+  std::sort(ns.begin(), ns.end());
+  p.p50 = static_cast<double>(ns[ns.size() / 2]) / 1e3;
+  p.p99 = static_cast<double>(ns[(ns.size() * 99) / 100]) / 1e3;
+  p.max = static_cast<double>(ns.back()) / 1e3;
+  return p;
+}
+
+struct CellResult {
+  std::string backend;
+  double offered_bursts_per_s = 0, achieved_bursts_per_s = 0;
+  Pctls ingest_us;
+  Pctls read_us;
+  std::uint64_t seals = 0, compactions = 0;
+};
+
+template <typename Index>
+CellResult run_cell(Index& idx, const char* backend,
+                    const std::vector<index::GeoTimeRange>& queries,
+                    const Options& opt, double bursts_per_s,
+                    double reads_per_s) {
+  CellResult res;
+  res.backend = backend;
+  res.offered_bursts_per_s = bursts_per_s;
+
+  std::vector<std::uint64_t> ingest_lat;
+  std::vector<std::vector<std::uint64_t>> read_lat(kReaders);
+  std::vector<std::thread> threads;
+  const auto t_begin = Clock::now() + std::chrono::milliseconds(100);
+  const auto t_end =
+      t_begin + std::chrono::nanoseconds(
+                    static_cast<std::uint64_t>(opt.seconds * 1e9));
+
+  threads.emplace_back([&] {
+    sim::CityModel city;
+    util::Xoshiro256 rng(31'337);
+    std::uint64_t vid = 5'000'000;
+    const double period_ns = 1e9 / bursts_per_s;
+    for (std::uint64_t i = 0;; ++i) {
+      const auto scheduled =
+          t_begin + std::chrono::nanoseconds(static_cast<std::uint64_t>(
+                        period_ns * static_cast<double>(i)));
+      if (scheduled >= t_end) break;
+      const auto burst = make_upload(++vid, opt.burst, city, rng);
+      std::this_thread::sleep_until(scheduled);
+      idx.insert_batch(burst);
+      ingest_lat.push_back(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              Clock::now() - scheduled)
+              .count()));
+    }
+  });
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      auto& lat = read_lat[static_cast<std::size_t>(r)];
+      const double period_ns = 1e9 / reads_per_s;
+      const auto phase = std::chrono::nanoseconds(
+          static_cast<std::uint64_t>(period_ns * r / kReaders));
+      std::size_t qi = static_cast<std::size_t>(r) * 37;
+      for (std::uint64_t i = 0;; ++i) {
+        const auto scheduled =
+            t_begin + phase +
+            std::chrono::nanoseconds(static_cast<std::uint64_t>(
+                period_ns * static_cast<double>(i)));
+        if (scheduled >= t_end) break;
+        std::this_thread::sleep_until(scheduled);
+        std::size_t hits = 0;
+        idx.query(queries[qi % queries.size()],
+                  [&](const core::RepresentativeFov&) { ++hits; });
+        lat.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - scheduled)
+                .count()));
+        qi += 7;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t_begin).count();
+
+  res.achieved_bursts_per_s =
+      static_cast<double>(ingest_lat.size()) / elapsed_s;
+  res.ingest_us = percentiles_us(ingest_lat);
+  std::vector<std::uint64_t> all_reads;
+  for (auto& v : read_lat) {
+    all_reads.insert(all_reads.end(), v.begin(), v.end());
+  }
+  res.read_us = percentiles_us(all_reads);
+  return res;
+}
+
+CellResult run_tiered(const std::vector<core::RepresentativeFov>& corpus,
+                      const std::vector<index::GeoTimeRange>& queries,
+                      const Options& opt, double bursts_per_s,
+                      double reads_per_s) {
+  index::TieredFovIndex idx({.compact_interval_ms = opt.compact_ms});
+  idx.insert_batch(corpus);
+  const auto& rm = obs::index_run_metrics();
+  const auto& cm = obs::index_compaction_metrics();
+  const auto seals0 = rm.seals.value();
+  const auto compactions0 = cm.compactions.value();
+  auto res =
+      run_cell(idx, "tiered", queries, opt, bursts_per_s, reads_per_s);
+  res.seals = rm.seals.value() - seals0;
+  res.compactions = cm.compactions.value() - compactions0;
+  return res;
+}
+
+CellResult run_single(const std::vector<core::RepresentativeFov>& corpus,
+                      const std::vector<index::GeoTimeRange>& queries,
+                      const Options& opt, double bursts_per_s,
+                      double reads_per_s) {
+  index::ConcurrentFovIndex idx;
+  idx.insert_batch(corpus);
+  return run_cell(idx, "concurrent", queries, opt, bursts_per_s,
+                  reads_per_s);
+}
+
+void write_json(std::ostream& os, const std::vector<CellResult>& cells,
+                const Options& opt) {
+  os << "{\n"
+     << "  \"note\": \"regenerate: build/bench/bench_sustained_ingest "
+        "--json --seconds "
+     << opt.seconds << "\",\n"
+     << "  \"workload\": {\"corpus_segments\": " << opt.corpus
+     << ", \"burst_segments\": " << opt.burst
+     << ", \"compact_interval_ms\": " << opt.compact_ms
+     << ", \"readers\": " << kReaders << "},\n"
+     << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    os << "    {\"backend\": \"" << c.backend
+       << "\", \"offered_bursts_per_s\": " << c.offered_bursts_per_s
+       << ", \"achieved_bursts_per_s\": " << c.achieved_bursts_per_s
+       << ", \"ingest_p50_us\": " << c.ingest_us.p50
+       << ", \"ingest_p99_us\": " << c.ingest_us.p99
+       << ", \"ingest_max_us\": " << c.ingest_us.max
+       << ", \"read_p50_us\": " << c.read_us.p50
+       << ", \"read_p99_us\": " << c.read_us.p99
+       << ", \"seals\": " << c.seals
+       << ", \"compactions\": " << c.compactions << "}"
+       << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) opt.json = true;
+    if (std::strcmp(argv[i], "--gate") == 0) opt.gate = true;
+    if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      opt.seconds = std::atof(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--burst") == 0 && i + 1 < argc) {
+      opt.burst = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--corpus") == 0 && i + 1 < argc) {
+      opt.corpus = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--compact-ms") == 0 && i + 1 < argc) {
+      opt.compact_ms = static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--gate-ms") == 0 && i + 1 < argc) {
+      opt.gate_ms = std::atof(argv[i + 1]);
+    }
+    if (std::strcmp(argv[i], "--attempts") == 0 && i + 1 < argc) {
+      opt.attempts = std::atoi(argv[i + 1]);
+    }
+  }
+
+  sim::CityModel city;
+  util::Xoshiro256 rng(2'024);
+  const auto corpus = sim::random_representative_fovs(
+      opt.corpus, city, kT0, kDay, rng);
+  std::vector<index::GeoTimeRange> queries;
+  for (int i = 0; i < 200; ++i) {
+    const auto c = city.random_point(rng);
+    const double half = rng.chance(0.5) ? 0.002 : 0.006;
+    const auto t0 =
+        kT0 + static_cast<core::TimestampMs>(rng.uniform() * 20.0 * 3.6e6);
+    queries.push_back({c.lng - half, c.lng + half, c.lat - half,
+                       c.lat + half, t0, t0 + 4LL * 3600 * 1000});
+  }
+
+  // Offered load: 20 bursts/s (40k+ segments/s at the default burst) and
+  // 200 queries/s across the readers — brisk for one box but far from
+  // saturating either backend, so the signal is the latency tail, not a
+  // throughput ceiling.
+  const double bursts_per_s = 20.0;
+  const double reads_per_s = 100.0;
+
+  // Gate mode takes the best tiered pass of several: the bound is about
+  // the index's maintenance machinery, and one preempted scheduler
+  // quantum on a loaded CI box should not fail the build. The contrast
+  // cell (single lock) runs once — it is reporting, not gated.
+  std::vector<CellResult> cells;
+  cells.push_back(
+      run_single(corpus, queries, opt, bursts_per_s, reads_per_s));
+  CellResult best{};
+  const int passes = opt.gate ? std::max(1, opt.attempts) : 1;
+  for (int a = 0; a < passes; ++a) {
+    auto res = run_tiered(corpus, queries, opt, bursts_per_s, reads_per_s);
+    const bool better =
+        a == 0 || std::max(res.ingest_us.p99, res.read_us.p99) <
+                      std::max(best.ingest_us.p99, best.read_us.p99);
+    if (better) best = res;
+  }
+  cells.push_back(best);
+
+  if (opt.json) {
+    write_json(std::cout, cells, opt);
+  } else {
+    std::cout << "=== Sustained open-loop ingest during compaction ("
+              << opt.corpus << " preloaded segments, " << bursts_per_s
+              << " bursts/s of " << opt.burst << ", " << reads_per_s
+              << " reads/s) ===\n\n";
+    util::Table table({"backend", "bursts/s", "ingest_p50_us",
+                       "ingest_p99_us", "ingest_max_us", "read_p99_us",
+                       "seals", "compactions"});
+    for (const auto& c : cells) {
+      table.add_row({c.backend,
+                     util::Table::num(c.achieved_bursts_per_s, 1),
+                     util::Table::num(c.ingest_us.p50, 1),
+                     util::Table::num(c.ingest_us.p99, 1),
+                     util::Table::num(c.ingest_us.max, 1),
+                     util::Table::num(c.read_us.p99, 1),
+                     std::to_string(c.seals),
+                     std::to_string(c.compactions)});
+    }
+    table.print(std::cout);
+    std::cout << "\nReading: the tiered column to watch is ingest_p99 — "
+                 "each burst lands as O(burst) memtable appends plus an "
+                 "O(1) seal swap, while STR packing and merging happen on "
+                 "sealed immutable buffers off the foreground path. With "
+                 "seals and compactions both non-zero, the window "
+                 "demonstrably contains maintenance, and the tail stays "
+                 "within an order of magnitude of p50 instead of "
+                 "absorbing whole merge pauses.\n";
+  }
+
+  if (opt.gate) {
+    const auto& t = cells.back();
+    std::cerr << "gate: tiered ingest p99 " << t.ingest_us.p99 / 1e3
+              << " ms, read p99 " << t.read_us.p99 / 1e3 << " ms, seals "
+              << t.seals << ", compactions " << t.compactions
+              << " (ceiling " << opt.gate_ms << " ms)\n";
+    if (t.compactions == 0 || t.seals == 0) {
+      std::cerr << "gate: FAIL — window contained no maintenance; raise "
+                   "--seconds or lower --compact-ms\n";
+      return 1;
+    }
+    if (t.ingest_us.p99 > opt.gate_ms * 1e3 ||
+        t.read_us.p99 > opt.gate_ms * 1e3) {
+      std::cerr << "gate: FAIL — tail exceeded the ceiling\n";
+      return 1;
+    }
+    std::cerr << "gate: PASS\n";
+  }
+  return 0;
+}

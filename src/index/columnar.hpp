@@ -1,0 +1,94 @@
+#pragma once
+// Structure-of-arrays storage for representative FoVs plus the tight
+// branch-minimal scan kernels that run over it. Immutable sealed runs
+// (tiered_fov_index.hpp) lay their rows out in STR leaf order inside these
+// columns, so the candidate filter — the spatio-temporal range test, and
+// the orientation/coverage test the retrieval stage layers on top — reads
+// contiguous doubles instead of pointer-chasing AoS R-tree entries.
+//
+// The kernels accumulate their per-row predicate with bitwise & (no early
+// exits) and append hits with a branch-free "store then advance by hit"
+// idiom, which is what lets the compiler keep the loop free of
+// unpredictable branches and vectorize the comparisons
+// (bench_micro_kernels gates the resulting throughput against the scalar
+// AoS path).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fov.hpp"
+#include "index/fov_index.hpp"
+
+namespace svg::index {
+
+/// Column arena: one contiguous array per field. Row i across all columns
+/// is one representative FoV; `handle` carries the owning index's stable
+/// per-entry id so erasure tombstones can be consulted during scans.
+struct FovColumns {
+  std::vector<double> lng;
+  std::vector<double> lat;
+  std::vector<double> theta;
+  /// Unit heading vector (east, north) of θ, materialized once at insert so
+  /// the fused orientation kernel is pure arithmetic — no per-row sin/cos.
+  std::vector<double> dir_east;
+  std::vector<double> dir_north;
+  std::vector<core::TimestampMs> ts;
+  std::vector<core::TimestampMs> te;
+  std::vector<std::uint64_t> video_id;
+  std::vector<std::uint32_t> segment_id;
+  std::vector<FovHandle> handle;
+
+  [[nodiscard]] std::size_t size() const noexcept { return lng.size(); }
+  [[nodiscard]] bool empty() const noexcept { return lng.empty(); }
+
+  void reserve(std::size_t n);
+  void clear();
+  void push_back(const core::RepresentativeFov& rep, FovHandle h);
+
+  [[nodiscard]] core::RepresentativeFov rep_at(std::size_t i) const {
+    core::RepresentativeFov r;
+    r.video_id = video_id[i];
+    r.segment_id = segment_id[i];
+    r.fov.p = {lat[i], lng[i]};
+    r.fov.theta_deg = theta[i];
+    r.t_start = ts[i];
+    r.t_end = te[i];
+    return r;
+  }
+};
+
+/// Append to `out` the row ids in [begin, end) whose position lies inside
+/// the range's rectangle and whose [ts, te] interval overlaps its time
+/// window — exactly the per-entry test LinearIndex/FovIndex::query apply.
+/// Returns the number of rows appended.
+std::size_t scan_range(const FovColumns& cols, std::uint32_t begin,
+                       std::uint32_t end, const GeoTimeRange& range,
+                       std::vector<std::uint32_t>& out);
+
+/// Query-centre context for the fused candidate filter: the range test
+/// plus the retrieval engine's orientation stage (radius-of-view cut and
+/// sector-coverage test) in one pass over the columns.
+struct CandidateFilter {
+  GeoTimeRange range;
+  double center_lng = 0.0;
+  double center_lat = 0.0;
+  /// Planar scale factors at the query latitude (geo::metres_per_degree_*),
+  /// so distances match geo::displacement_m at city scale.
+  double m_per_deg_lng = 0.0;
+  double m_per_deg_lat = 0.0;
+  double radius_m = 0.0;  ///< camera radius of view R
+  /// cos(half viewing angle + slack), the sector test as a dot product:
+  /// accept when dot(disp, dir(θ)) >= |disp| * cos_limit — equivalent to
+  /// angular_difference(bearing, θ) <= limit without any atan2 in the loop.
+  double cos_limit = -1.0;
+};
+
+/// Append to `out` the row ids in [begin, end) passing the fused range +
+/// orientation filter. A row at distance 0 (camera exactly on the centre)
+/// is accepted regardless of heading, mirroring
+/// RetrievalEngine::passes_orientation. Returns the number appended.
+std::size_t scan_candidates(const FovColumns& cols, std::uint32_t begin,
+                            std::uint32_t end, const CandidateFilter& f,
+                            std::vector<std::uint32_t>& out);
+
+}  // namespace svg::index

@@ -1,0 +1,385 @@
+#include "index/tiered_fov_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace svg::index {
+
+namespace {
+
+/// Copy row `i` of `src` into `dst` (columns already reserved).
+void append_row(FovColumns& dst, const FovColumns& src, std::size_t i) {
+  dst.lng.push_back(src.lng[i]);
+  dst.lat.push_back(src.lat[i]);
+  dst.theta.push_back(src.theta[i]);
+  dst.dir_east.push_back(src.dir_east[i]);
+  dst.dir_north.push_back(src.dir_north[i]);
+  dst.ts.push_back(src.ts[i]);
+  dst.te.push_back(src.te[i]);
+  dst.video_id.push_back(src.video_id[i]);
+  dst.segment_id.push_back(src.segment_id[i]);
+  dst.handle.push_back(src.handle[i]);
+}
+
+}  // namespace
+
+std::shared_ptr<const ColumnarRun> ColumnarRun::build(
+    const FovColumns& rows, const FovIndexOptions& options) {
+  assert(!rows.empty());
+  const std::size_t n = rows.size();
+  const double u = options.ms_to_units;
+  const std::size_t cap = options.rtree.max_entries;
+
+  // STR order the rows: one Entry per row, payload = source row id.
+  using RowTree = RTree<std::uint32_t, 3>;
+  std::vector<RowTree::Entry> entries;
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    geo::Box3 b;
+    b.min = {rows.lng[i], rows.lat[i], static_cast<double>(rows.ts[i]) * u};
+    b.max = {rows.lng[i], rows.lat[i], static_cast<double>(rows.te[i]) * u};
+    entries.push_back({b, static_cast<std::uint32_t>(i)});
+  }
+  RowTree::str_sort(entries, cap);
+
+  // Materialize the columns in that order; track the run's time bound.
+  FovColumns cols;
+  cols.reserve(n);
+  core::TimestampMs ts_min = std::numeric_limits<core::TimestampMs>::max();
+  core::TimestampMs ts_max = std::numeric_limits<core::TimestampMs>::min();
+  for (const auto& e : entries) {
+    append_row(cols, rows, e.value);
+    ts_min = std::min(ts_min, rows.ts[e.value]);
+    ts_max = std::max(ts_max, rows.te[e.value]);
+  }
+
+  // Group consecutive rows into the same compact tiles bulk_load would
+  // pack into leaves, then bulk-load a tree whose leaf payloads are the
+  // [begin, end) blocks.
+  using BlockTree = RTree<RowBlock, 3>;
+  const auto counts = BlockTree::pack_counts(n, cap);
+  std::vector<BlockTree::Entry> blocks;
+  blocks.reserve(counts.size());
+  std::uint32_t begin = 0;
+  for (const std::size_t count : counts) {
+    const auto end = static_cast<std::uint32_t>(begin + count);
+    geo::Box3 bound;
+    bound.min = {cols.lng[begin], cols.lat[begin],
+                 static_cast<double>(cols.ts[begin]) * u};
+    bound.max = {cols.lng[begin], cols.lat[begin],
+                 static_cast<double>(cols.te[begin]) * u};
+    for (std::uint32_t i = begin + 1; i < end; ++i) {
+      bound.min[0] = std::min(bound.min[0], cols.lng[i]);
+      bound.min[1] = std::min(bound.min[1], cols.lat[i]);
+      bound.min[2] =
+          std::min(bound.min[2], static_cast<double>(cols.ts[i]) * u);
+      bound.max[0] = std::max(bound.max[0], cols.lng[i]);
+      bound.max[1] = std::max(bound.max[1], cols.lat[i]);
+      bound.max[2] =
+          std::max(bound.max[2], static_cast<double>(cols.te[i]) * u);
+    }
+    blocks.push_back({bound, RowBlock{begin, end}});
+    begin = end;
+  }
+  BlockTree tree = BlockTree::bulk_load(std::move(blocks), options.rtree);
+
+  return std::shared_ptr<const ColumnarRun>(new ColumnarRun(
+      std::move(cols), std::move(tree), u, ts_min, ts_max));
+}
+
+TieredFovIndex::TieredFovIndex(TieredFovIndexOptions options)
+    : options_(options) {
+  options_.memtable_capacity = std::max<std::size_t>(16, options_.memtable_capacity);
+  options_.compact_fanin = std::max<std::size_t>(2, options_.compact_fanin);
+  options_.index.rtree.validate();
+  memtable_.reserve(options_.memtable_capacity);
+  if (options_.compact_interval_ms > 0) {
+    compactor_ = std::thread([this] { compactor_loop(); });
+  }
+}
+
+TieredFovIndex::~TieredFovIndex() {
+  if (compactor_.joinable()) {
+    {
+      std::lock_guard lock(cv_mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    compactor_.join();
+  }
+}
+
+FovHandle TieredFovIndex::append_locked(const core::RepresentativeFov& rep) {
+  const auto h = static_cast<FovHandle>(alive_.size());
+  alive_.push_back(1);
+  ++live_;
+  memtable_.push_back(rep, h);
+  return h;
+}
+
+std::shared_ptr<const FovColumns> TieredFovIndex::maybe_seal_locked() {
+  if (memtable_.size() < options_.memtable_capacity) return nullptr;
+  auto sealed = std::make_shared<FovColumns>(std::move(memtable_));
+  memtable_ = FovColumns{};
+  memtable_.reserve(options_.memtable_capacity);
+  sealing_.push_back(sealed);
+  return sealed;
+}
+
+void TieredFovIndex::build_and_publish(
+    const std::shared_ptr<const FovColumns>& sealed) {
+  auto& rm = obs::index_run_metrics();
+  obs::Span span = obs::tracer().span("index.seal");
+  span.tag("rows", sealed->size());
+  obs::ScopedTimer timer(rm.seal_ns, span.trace_id());
+  // The expensive part — STR sort, column copy, bulk load — reads only the
+  // immutable sealed buffer; no lock held.
+  auto run = ColumnarRun::build(*sealed, options_.index);
+  std::size_t run_rows = 0;
+  {
+    std::unique_lock lock(mutex_);
+    sealing_.erase(std::find(sealing_.begin(), sealing_.end(), sealed));
+    runs_.push_back(run);
+    ++seals_;
+    for (const auto& r : runs_) run_rows += r->size();
+    rm.count.set(static_cast<std::int64_t>(runs_.size()));
+  }
+  rm.seals.inc();
+  rm.sealed_rows.inc(sealed->size());
+  rm.rows.set(static_cast<std::int64_t>(run_rows));
+}
+
+FovHandle TieredFovIndex::insert(const core::RepresentativeFov& rep) {
+  auto& m = obs::index_metrics();
+  obs::ScopedTimer timer(m.insert_ns);
+  std::shared_ptr<const FovColumns> sealed;
+  FovHandle h;
+  std::size_t memtable_rows;
+  {
+    std::unique_lock lock(mutex_);
+    h = append_locked(rep);
+    sealed = maybe_seal_locked();
+    memtable_rows = memtable_.size();
+    m.size.set(static_cast<std::int64_t>(live_));
+  }
+  m.inserts.inc();
+  obs::index_run_metrics().memtable_rows.set(
+      static_cast<std::int64_t>(memtable_rows));
+  if (sealed) build_and_publish(sealed);
+  return h;
+}
+
+void TieredFovIndex::insert_batch(
+    std::span<const core::RepresentativeFov> reps) {
+  if (reps.empty()) return;
+  auto& m = obs::index_metrics();
+  obs::ScopedTimer timer(m.insert_ns);
+  std::size_t done = 0;
+  std::size_t memtable_rows = 0;
+  while (done < reps.size()) {
+    std::shared_ptr<const FovColumns> sealed;
+    {
+      std::unique_lock lock(mutex_);
+      // Append up to the seal boundary under one lock hold, so a burst
+      // costs one acquisition per memtable_capacity rows, not per row.
+      while (done < reps.size() &&
+             memtable_.size() < options_.memtable_capacity) {
+        append_locked(reps[done++]);
+      }
+      sealed = maybe_seal_locked();
+      memtable_rows = memtable_.size();
+      m.size.set(static_cast<std::int64_t>(live_));
+    }
+    if (sealed) build_and_publish(sealed);
+  }
+  m.inserts.inc(reps.size());
+  obs::index_run_metrics().memtable_rows.set(
+      static_cast<std::int64_t>(memtable_rows));
+}
+
+bool TieredFovIndex::erase(FovHandle handle) {
+  auto& m = obs::index_metrics();
+  std::unique_lock lock(mutex_);
+  if (handle >= alive_.size() || alive_[handle] == 0) return false;
+  alive_[handle] = 0;
+  --live_;
+  m.erases.inc();
+  m.size.set(static_cast<std::int64_t>(live_));
+  return true;
+}
+
+std::vector<core::RepresentativeFov> TieredFovIndex::query_collect(
+    const GeoTimeRange& range) const {
+  std::vector<core::RepresentativeFov> out;
+  query(range,
+        [&](const core::RepresentativeFov& rep) { out.push_back(rep); });
+  return out;
+}
+
+std::size_t TieredFovIndex::size() const {
+  std::shared_lock lock(mutex_);
+  return live_;
+}
+
+std::vector<core::RepresentativeFov> TieredFovIndex::snapshot() const {
+  std::shared_lock lock(mutex_);
+  std::vector<core::RepresentativeFov> out;
+  out.reserve(live_);
+  const auto collect = [&](const FovColumns& cols) {
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (alive_[cols.handle[i]] == 0) continue;
+      out.push_back(cols.rep_at(i));
+    }
+  };
+  collect(memtable_);
+  for (const auto& sealed : sealing_) collect(*sealed);
+  for (const auto& run : runs_) collect(run->cols());
+  return out;
+}
+
+std::size_t TieredFovIndex::compact_now(bool full) {
+  std::lock_guard admin(compact_mu_);
+  auto& cm = obs::index_compaction_metrics();
+  auto& rm = obs::index_run_metrics();
+
+  // Pick the inputs (smallest first) and copy their live rows while
+  // holding the lock shared — row copies are cheap sequential reads and
+  // never block other readers, only (briefly) writers.
+  std::vector<std::shared_ptr<const ColumnarRun>> inputs;
+  FovColumns merged;
+  std::size_t input_rows = 0;
+  {
+    std::shared_lock lock(mutex_);
+    if (runs_.size() < 2) return 0;
+    if (!full && runs_.size() < options_.compact_fanin) return 0;
+    inputs = runs_;
+    std::sort(inputs.begin(), inputs.end(),
+              [](const auto& a, const auto& b) { return a->size() < b->size(); });
+    if (!full && inputs.size() > options_.compact_fanin) {
+      inputs.resize(options_.compact_fanin);
+    }
+    for (const auto& run : inputs) input_rows += run->size();
+    merged.reserve(input_rows);
+    for (const auto& run : inputs) {
+      const FovColumns& cols = run->cols();
+      for (std::size_t i = 0; i < cols.size(); ++i) {
+        // Rows tombstoned at copy time are dropped for good; later erases
+        // stay guarded by the bitmap until the next round.
+        if (alive_[cols.handle[i]] != 0) append_row(merged, cols, i);
+      }
+    }
+  }
+
+  obs::Span span = obs::tracer().span("index.compact");
+  span.tag("input_runs", inputs.size());
+  span.tag("input_rows", input_rows);
+  obs::ScopedTimer timer(cm.compact_ns, span.trace_id());
+
+  std::shared_ptr<const ColumnarRun> replacement;
+  if (!merged.empty()) {
+    replacement = ColumnarRun::build(merged, options_.index);
+  }
+
+  std::size_t run_rows = 0;
+  {
+    std::unique_lock lock(mutex_);
+    // Only one compaction runs at a time (compact_mu_) and seals only
+    // append, so the inputs are still present; drop them, keep list order
+    // (oldest surviving first), append the merged run.
+    std::erase_if(runs_, [&](const auto& r) {
+      return std::find(inputs.begin(), inputs.end(), r) != inputs.end();
+    });
+    if (replacement) runs_.push_back(replacement);
+    ++compactions_;
+    for (const auto& r : runs_) run_rows += r->size();
+    rm.count.set(static_cast<std::int64_t>(runs_.size()));
+  }
+  cm.compactions.inc();
+  cm.input_runs.inc(inputs.size());
+  cm.output_rows.inc(merged.size());
+  cm.dropped_tombstones.inc(input_rows - merged.size());
+  rm.rows.set(static_cast<std::int64_t>(run_rows));
+  return inputs.size();
+}
+
+bool TieredFovIndex::seal_now() {
+  std::shared_ptr<const FovColumns> sealed;
+  {
+    std::unique_lock lock(mutex_);
+    if (memtable_.empty()) return false;
+    sealed = std::make_shared<FovColumns>(std::move(memtable_));
+    memtable_ = FovColumns{};
+    memtable_.reserve(options_.memtable_capacity);
+    sealing_.push_back(sealed);
+  }
+  obs::index_run_metrics().memtable_rows.set(0);
+  build_and_publish(sealed);
+  return true;
+}
+
+TieredStats TieredFovIndex::run_stats() const {
+  std::shared_lock lock(mutex_);
+  TieredStats s;
+  s.memtable_rows = memtable_.size();
+  for (const auto& sealed : sealing_) s.sealing_rows += sealed->size();
+  s.seals = seals_;
+  s.compactions = compactions_;
+  s.runs.reserve(runs_.size());
+  for (const auto& run : runs_) {
+    s.runs.push_back({run->size(), run->ts_min(), run->ts_max()});
+  }
+  return s;
+}
+
+void TieredFovIndex::check_invariants() const {
+  std::shared_lock lock(mutex_);
+  std::size_t rows = memtable_.size();
+  std::size_t alive_rows = 0;
+  const auto count_alive = [&](const FovColumns& cols) {
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (cols.handle[i] >= alive_.size()) {
+        throw std::logic_error("TieredFovIndex: handle out of range");
+      }
+      if (alive_[cols.handle[i]] != 0) ++alive_rows;
+    }
+  };
+  count_alive(memtable_);
+  for (const auto& sealed : sealing_) {
+    rows += sealed->size();
+    count_alive(*sealed);
+  }
+  for (const auto& run : runs_) {
+    rows += run->size();
+    count_alive(run->cols());
+    const FovColumns& cols = run->cols();
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      if (cols.ts[i] < run->ts_min() || cols.te[i] > run->ts_max()) {
+        throw std::logic_error("TieredFovIndex: run time bound violated");
+      }
+    }
+  }
+  if (alive_rows != live_) {
+    throw std::logic_error("TieredFovIndex: live-row accounting mismatch");
+  }
+  if (rows > alive_.size()) {
+    throw std::logic_error("TieredFovIndex: more rows stored than handles");
+  }
+}
+
+void TieredFovIndex::compactor_loop() {
+  std::unique_lock lock(cv_mu_);
+  while (!stopping_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.compact_interval_ms),
+                 [this] { return stopping_; });
+    if (stopping_) return;
+    lock.unlock();
+    compact_now(false);
+    lock.lock();
+  }
+}
+
+}  // namespace svg::index

@@ -1,0 +1,277 @@
+#pragma once
+// TieredFovIndex: LSM-style tiering of the FoV index (ROADMAP items 2+3).
+// Fresh representatives land in a small mutable columnar memtable; when it
+// reaches `memtable_capacity` rows it seals into an immutable ColumnarRun —
+// rows re-ordered by the RTree STR packer, stored as structure-of-arrays
+// columns (columnar.hpp), indexed by a bulk-loaded R-tree over row *blocks*
+// so the leaf-level candidate filter is a tight branch-minimal scan over
+// contiguous columns instead of a pointer-chasing node walk. A background
+// compactor (Checkpointer cadence) merges small runs into larger ones and
+// garbage-collects tombstones.
+//
+// Because FoV timestamps are near-monotone (uploads arrive roughly in
+// capture order), each run carries its [ts_min, ts_max]: a query with a
+// tight time window skips whole runs before touching a single node.
+//
+// Determinism: sealing is purely size-triggered (no wall clock), so WAL
+// replay — the same inserts in the same order — rebuilds byte-identical
+// run contents; durability needs no new on-disk format. Compaction timing
+// is wall-clock and therefore only changes run *boundaries*, never the
+// indexed set; disable the background compactor (compact_interval_ms = 0)
+// where boundary determinism matters and drive compact_now() manually.
+//
+// Satisfies the backend concept RetrievalEngine and CloudServer template
+// over: insert / insert_batch / erase / size / snapshot /
+// query(GeoTimeRange, visitor). Feeds the aggregated svg_index_* family
+// plus svg_index_run_* (seal/run lifecycle) and svg_index_compaction_*.
+//
+// Concurrency: one shared_mutex guards the mutable state (memtable, run
+// list, tombstone bitmap). Writers hold it exclusively only for the O(1)
+// column append or the O(runs) list swap; the expensive work — STR sort,
+// column materialization, bulk load — runs on sealed immutable buffers
+// outside any lock, so ingest never stalls behind a seal or a compaction
+// and queries never stall behind ingest for longer than an append.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/fov.hpp"
+#include "index/columnar.hpp"
+#include "index/fov_index.hpp"
+#include "index/rtree.hpp"
+#include "obs/families.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+
+namespace svg::index {
+
+struct TieredFovIndexOptions {
+  /// Rows the memtable holds before sealing into an immutable run
+  /// (clamped to >= 16). Smaller = fresher runs + more merge work;
+  /// larger = longer linear memtable scans.
+  std::size_t memtable_capacity = 4096;
+  /// Background compaction merges the smallest `compact_fanin` runs
+  /// whenever at least that many exist (clamped to >= 2).
+  std::size_t compact_fanin = 4;
+  /// Background compactor period; 0 = no thread, compact_now() only.
+  /// CloudServer defaults this to the Checkpointer's cadence.
+  std::uint32_t compact_interval_ms = 0;
+  /// R-tree packing (node capacity = columnar block size) and the
+  /// time-axis scaling shared with every other backend.
+  FovIndexOptions index{};
+};
+
+/// Introspection snapshot of one sealed run (svgctl compact, tests).
+struct RunStats {
+  std::size_t rows = 0;
+  core::TimestampMs ts_min = 0;
+  core::TimestampMs ts_max = 0;
+};
+
+/// Introspection snapshot of the whole tier structure.
+struct TieredStats {
+  std::size_t memtable_rows = 0;
+  std::size_t sealing_rows = 0;  ///< sealed, run build still in flight
+  std::uint64_t seals = 0;
+  std::uint64_t compactions = 0;
+  std::vector<RunStats> runs;    ///< in run-list order (oldest first)
+};
+
+/// An immutable sealed run: SoA columns in STR leaf order plus a
+/// bulk-loaded R-tree over [begin, end) row blocks. A block's box is the
+/// bound of its rows, so the tree descent prunes in node-box space and the
+/// per-block scan re-checks rows exactly (scan_range).
+class ColumnarRun {
+ public:
+  /// Row-block payload of the block tree: a half-open row range whose
+  /// rows are contiguous in the columns.
+  struct RowBlock {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+  };
+
+  /// STR-sort `rows` (any order), materialize columns, bulk-load the
+  /// block tree. `rows` must be non-empty.
+  static std::shared_ptr<const ColumnarRun> build(
+      const FovColumns& rows, const FovIndexOptions& options);
+
+  [[nodiscard]] const FovColumns& cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return cols_.size(); }
+  [[nodiscard]] core::TimestampMs ts_min() const noexcept { return ts_min_; }
+  [[nodiscard]] core::TimestampMs ts_max() const noexcept { return ts_max_; }
+
+  /// Append matching row ids to `out` (exact filter, tombstones NOT
+  /// consulted here — the owning index checks its bitmap).
+  void collect(const GeoTimeRange& range,
+               std::vector<std::uint32_t>& out) const {
+    geo::Box3 qbox;
+    qbox.min = {range.lng_min, range.lat_min,
+                static_cast<double>(range.t_start) * ms_to_units_};
+    qbox.max = {range.lng_max, range.lat_max,
+                static_cast<double>(range.t_end) * ms_to_units_};
+    tree_.query(qbox, [&](const geo::Box3&, const RowBlock& b) {
+      scan_range(cols_, b.begin, b.end, range, out);
+    });
+  }
+
+ private:
+  ColumnarRun(FovColumns cols, RTree<RowBlock, 3> tree, double ms_to_units,
+              core::TimestampMs ts_min, core::TimestampMs ts_max)
+      : cols_(std::move(cols)),
+        tree_(std::move(tree)),
+        ms_to_units_(ms_to_units),
+        ts_min_(ts_min),
+        ts_max_(ts_max) {}
+
+  FovColumns cols_;
+  RTree<RowBlock, 3> tree_;
+  double ms_to_units_;
+  core::TimestampMs ts_min_;
+  core::TimestampMs ts_max_;
+};
+
+class TieredFovIndex {
+ public:
+  explicit TieredFovIndex(TieredFovIndexOptions options = {});
+  ~TieredFovIndex();
+
+  TieredFovIndex(const TieredFovIndex&) = delete;
+  TieredFovIndex& operator=(const TieredFovIndex&) = delete;
+
+  [[nodiscard]] const TieredFovIndexOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Insert one representative FoV. O(1) append; at the seal threshold the
+  /// inserting thread additionally packs the sealed buffer into a run
+  /// outside the lock. Returns a handle for erase().
+  FovHandle insert(const core::RepresentativeFov& rep);
+
+  /// Insert an upload burst under one lock acquisition per seal interval.
+  void insert_batch(std::span<const core::RepresentativeFov> reps);
+
+  /// Tombstone a previously inserted FoV (the row is dropped physically at
+  /// the next compaction touching its run). False for unknown/stale
+  /// handles.
+  bool erase(FovHandle handle);
+
+  /// Visit every live FoV intersecting the range: linear columnar scan of
+  /// the memtable (and any in-flight sealed buffers), then each run whose
+  /// [ts_min, ts_max] overlaps the window — block-tree descent + per-block
+  /// columnar scan_range. The visitor inlines; no type erasure.
+  template <typename F>
+  void query(const GeoTimeRange& range, F&& visit) const {
+    auto& m = obs::index_metrics();
+    auto& rm = obs::index_run_metrics();
+    obs::Span span = obs::tracer().span("index.query");
+    obs::ScopedTimer timer(m.query_ns, span.trace_id());
+    m.queries.inc();
+    std::vector<std::uint32_t>& rows = scratch();
+
+    std::shared_lock lock(mutex_);
+    span.tag("runs", runs_.size());
+    const auto emit = [&](const FovColumns& cols) {
+      for (const std::uint32_t r : rows) {
+        if (alive_[cols.handle[r]] == 0) continue;
+        visit(cols.rep_at(r));
+      }
+    };
+    rows.clear();
+    scan_range(memtable_, 0, static_cast<std::uint32_t>(memtable_.size()),
+               range, rows);
+    emit(memtable_);
+    for (const auto& sealed : sealing_) {
+      rows.clear();
+      scan_range(*sealed, 0, static_cast<std::uint32_t>(sealed->size()),
+                 range, rows);
+      emit(*sealed);
+    }
+    for (const auto& run : runs_) {
+      if (run->ts_max() < range.t_start || run->ts_min() > range.t_end) {
+        rm.time_pruned.inc();
+        continue;
+      }
+      rm.scans.inc();
+      rows.clear();
+      run->collect(range, rows);
+      emit(run->cols());
+    }
+  }
+
+  void query(const GeoTimeRange& range, const FovIndex::Visitor& visit) const {
+    query(range, [&](const core::RepresentativeFov& rep) { visit(rep); });
+  }
+
+  /// Convenience: collect matches (instrumented via query()).
+  [[nodiscard]] std::vector<core::RepresentativeFov> query_collect(
+      const GeoTimeRange& range) const;
+
+  /// Live entries across all tiers.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Point-in-time copy of every live FoV. Order is memtable insertion
+  /// order followed by runs in STR order — treat the result as a set.
+  [[nodiscard]] std::vector<core::RepresentativeFov> snapshot() const;
+
+  /// One compaction round: merge the smallest `compact_fanin` runs (all
+  /// runs when `full`), dropping tombstoned rows. The merge reads and
+  /// packs outside the lock; only the run-list swap is exclusive. Returns
+  /// the number of input runs merged (0 = nothing to do).
+  std::size_t compact_now(bool full = false);
+
+  /// Seal the current memtable into a run even if below capacity (svgctl
+  /// compact, tests). No-op on an empty memtable; returns true if sealed.
+  bool seal_now();
+
+  /// Structure introspection (row counts + [ts_min, ts_max] per run).
+  [[nodiscard]] TieredStats run_stats() const;
+
+  /// Cross-tier accounting + per-run ordering invariants.
+  void check_invariants() const;
+
+ private:
+  [[nodiscard]] static std::vector<std::uint32_t>& scratch() {
+    static thread_local std::vector<std::uint32_t> buf;
+    return buf;
+  }
+
+  /// Append under an already-held exclusive lock; returns the new handle.
+  FovHandle append_locked(const core::RepresentativeFov& rep);
+  /// At/above capacity: move the memtable into sealing_ (still queryable)
+  /// and hand it back for packing; nullptr below the threshold.
+  std::shared_ptr<const FovColumns> maybe_seal_locked();
+  /// Pack a sealed buffer into a run (outside any lock) and publish it.
+  void build_and_publish(const std::shared_ptr<const FovColumns>& sealed);
+  void compactor_loop();
+
+  TieredFovIndexOptions options_;
+
+  mutable std::shared_mutex mutex_;
+  FovColumns memtable_;
+  /// Sealed buffers whose run build is in flight: immutable, still
+  /// visible to queries via linear scan until the run replaces them.
+  std::vector<std::shared_ptr<const FovColumns>> sealing_;
+  std::vector<std::shared_ptr<const ColumnarRun>> runs_;
+  /// Tombstone bitmap indexed by handle; source of truth for liveness
+  /// (runs may physically retain dead rows until compaction).
+  std::vector<std::uint8_t> alive_;
+  std::size_t live_ = 0;
+  std::uint64_t seals_ = 0;
+  std::uint64_t compactions_ = 0;
+
+  /// Serializes compaction rounds (manual + background).
+  std::mutex compact_mu_;
+
+  std::mutex cv_mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread compactor_;
+};
+
+}  // namespace svg::index

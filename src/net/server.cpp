@@ -15,12 +15,19 @@
 namespace svg::net {
 
 CloudServer::IndexVariant CloudServer::make_index(
-    const ServerIndexConfig& cfg) {
+    const ServerIndexConfig& cfg, std::uint32_t compact_interval_ms) {
   if (cfg.backend == ServerIndexConfig::Backend::kSharded) {
     index::ShardedFovIndexOptions opts;
     opts.shards = cfg.shards;
     opts.index = cfg.index;
     return std::make_unique<index::ShardedFovIndex>(opts);
+  }
+  if (cfg.backend == ServerIndexConfig::Backend::kTiered) {
+    index::TieredFovIndexOptions opts;
+    if (cfg.memtable > 0) opts.memtable_capacity = cfg.memtable;
+    opts.compact_interval_ms = compact_interval_ms;
+    opts.index = cfg.index;
+    return std::make_unique<index::TieredFovIndex>(opts);
   }
   return std::make_unique<index::ConcurrentFovIndex>(cfg.index);
 }
@@ -57,7 +64,12 @@ store::Checkpointer::Source CloudServer::checkpoint_source() {
 CloudServer::CloudServer(ServerIndexConfig index_config,
                          retrieval::RetrievalConfig retrieval_config,
                          ServerDurabilityConfig durability)
-    : index_(make_index(index_config)),
+    : index_(make_index(index_config,
+                        // The tiered backend compacts on the Checkpointer's
+                        // cadence unless the index config overrides it.
+                        index_config.compact_interval_ms != 0
+                            ? index_config.compact_interval_ms
+                            : durability.checkpoint_interval_ms)),
       retrieval_config_(retrieval_config),
       durability_(std::move(durability)) {
   if (durability_.data_dir.empty()) return;
@@ -345,6 +357,25 @@ std::optional<std::size_t> CloudServer::load_snapshot(
   obs::server_metrics().segments_indexed.inc(snap->reps.size());
   segments_indexed_.fetch_add(snap->reps.size(), std::memory_order_release);
   return snap->reps.size();
+}
+
+std::optional<index::TieredStats> CloudServer::tiered_run_stats() const {
+  const auto* tiered =
+      std::get_if<std::unique_ptr<index::TieredFovIndex>>(&index_);
+  if (tiered == nullptr) return std::nullopt;
+  return (*tiered)->run_stats();
+}
+
+bool CloudServer::seal_index_now() {
+  auto* tiered = std::get_if<std::unique_ptr<index::TieredFovIndex>>(&index_);
+  if (tiered == nullptr) return false;
+  return (*tiered)->seal_now();
+}
+
+std::size_t CloudServer::compact_index_now(bool full) {
+  auto* tiered = std::get_if<std::unique_ptr<index::TieredFovIndex>>(&index_);
+  if (tiered == nullptr) return 0;
+  return (*tiered)->compact_now(full);
 }
 
 std::size_t CloudServer::known_upload_ids() const {

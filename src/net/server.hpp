@@ -17,6 +17,7 @@
 
 #include "index/fov_index.hpp"
 #include "index/sharded_fov_index.hpp"
+#include "index/tiered_fov_index.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "retrieval/engine.hpp"
@@ -59,9 +60,11 @@ enum class IngestStatus {
 /// Which index implementation backs the server. kConcurrent is the single
 /// R-tree behind one reader/writer lock; kSharded partitions across K
 /// independently-locked R-trees so upload bursts stop stalling the whole
-/// read side (docs/PERFORMANCE.md discusses the trade-off).
+/// read side; kTiered is the LSM-style memtable + immutable STR-packed
+/// columnar runs + background compaction backend
+/// (docs/PERFORMANCE.md discusses the trade-offs).
 struct ServerIndexConfig {
-  enum class Backend { kConcurrent, kSharded };
+  enum class Backend { kConcurrent, kSharded, kTiered };
 
   ServerIndexConfig() = default;
   /// Implicit, so existing call sites that pass plain FovIndexOptions (or
@@ -74,8 +77,14 @@ struct ServerIndexConfig {
 
   Backend backend = Backend::kConcurrent;
   /// Shard count for kSharded; 0 → hardware concurrency (see
-  /// ShardedFovIndexOptions::shards). Ignored by kConcurrent.
+  /// ShardedFovIndexOptions::shards). Ignored by the other backends.
   std::size_t shards = 0;
+  /// kTiered memtable seal threshold; 0 → TieredFovIndexOptions default.
+  std::size_t memtable = 0;
+  /// kTiered background-compaction period; 0 → follow the Checkpointer's
+  /// cadence (durability.checkpoint_interval_ms), which itself may be 0
+  /// (manual compaction only).
+  std::uint32_t compact_interval_ms = 0;
   index::FovIndexOptions index{};
 };
 
@@ -146,9 +155,22 @@ class CloudServer {
     return std::visit([](const auto& p) { return p->size(); }, index_);
   }
   [[nodiscard]] ServerIndexConfig::Backend backend() const noexcept {
-    return index_.index() == 0 ? ServerIndexConfig::Backend::kConcurrent
-                               : ServerIndexConfig::Backend::kSharded;
+    switch (index_.index()) {
+      case 1: return ServerIndexConfig::Backend::kSharded;
+      case 2: return ServerIndexConfig::Backend::kTiered;
+      default: return ServerIndexConfig::Backend::kConcurrent;
+    }
   }
+
+  /// Tiered-backend introspection: run/memtable structure, or nullopt for
+  /// the other backends.
+  [[nodiscard]] std::optional<index::TieredStats> tiered_run_stats() const;
+  /// Tiered backend only: seal the memtable into a run (false = empty
+  /// memtable or non-tiered backend).
+  bool seal_index_now();
+  /// Tiered backend only: run one compaction round (all runs when `full`);
+  /// returns input runs merged, 0 for the other backends.
+  std::size_t compact_index_now(bool full = false);
   [[nodiscard]] ServerStats stats() const;
   /// Zero this instance's counters (not the process-wide metric family).
   void reset_stats();
@@ -198,9 +220,13 @@ class CloudServer {
   // the variant stores owning pointers; the backend is fixed for the
   // server's lifetime, so every access goes through one std::visit.
   using IndexVariant = std::variant<std::unique_ptr<index::ConcurrentFovIndex>,
-                                    std::unique_ptr<index::ShardedFovIndex>>;
+                                    std::unique_ptr<index::ShardedFovIndex>,
+                                    std::unique_ptr<index::TieredFovIndex>>;
 
-  static IndexVariant make_index(const ServerIndexConfig& cfg);
+  /// `compact_interval_ms` is the already-resolved tiered compaction
+  /// cadence (config override or the Checkpointer's).
+  static IndexVariant make_index(const ServerIndexConfig& cfg,
+                                 std::uint32_t compact_interval_ms);
 
   /// Visit the active backend; the callable sees a concrete index type, so
   /// RetrievalEngine instantiates per backend with no virtual dispatch.

@@ -82,6 +82,44 @@ IndexShardMetrics& index_shard_metrics(std::size_t shard) {
   return *slices[shard];
 }
 
+IndexRunMetrics& index_run_metrics() {
+  static IndexRunMetrics m{
+      global().gauge("svg_index_run_count",
+                     "Sealed immutable runs currently live"),
+      global().gauge("svg_index_run_rows",
+                     "Rows stored across all sealed runs"),
+      global().gauge("svg_index_run_memtable_rows",
+                     "Rows in the tiered backend's mutable memtable"),
+      global().counter("svg_index_run_seals_total",
+                       "Memtable-to-run seal events"),
+      global().counter("svg_index_run_sealed_rows_total",
+                       "Rows sealed into immutable runs"),
+      global().counter("svg_index_run_time_pruned_total",
+                       "Runs skipped via the [ts_min, ts_max] tag"),
+      global().counter("svg_index_run_scans_total",
+                       "Runs actually scanned by range queries"),
+      global().histogram("svg_index_run_seal_ns",
+                         "Seal cost: STR sort + column pack + bulk load"),
+  };
+  return m;
+}
+
+IndexCompactionMetrics& index_compaction_metrics() {
+  static IndexCompactionMetrics m{
+      global().counter("svg_index_compaction_rounds_total",
+                       "Compaction merge rounds completed"),
+      global().counter("svg_index_compaction_input_runs_total",
+                       "Runs consumed by compaction merges"),
+      global().counter("svg_index_compaction_output_rows_total",
+                       "Rows written into merged runs"),
+      global().counter("svg_index_compaction_dropped_tombstones_total",
+                       "Tombstoned rows garbage-collected by compaction"),
+      global().histogram("svg_index_compaction_ns",
+                         "Compaction merge round wall time"),
+  };
+  return m;
+}
+
 RetrievalMetrics& retrieval_metrics() {
   static RetrievalMetrics m{
       global().counter("svg_retrieval_searches_total",
@@ -275,6 +313,8 @@ ThreadPoolMetrics& thread_pool_metrics() {
 void touch_all_families() {
   (void)server_metrics();
   (void)index_metrics();
+  (void)index_run_metrics();
+  (void)index_compaction_metrics();
   (void)retrieval_metrics();
   (void)link_metrics();
   (void)net_fault_metrics();

@@ -57,6 +57,31 @@ struct IndexShardMetrics {
   Gauge& size;  ///< live indexed segments in this shard
 };
 
+/// index::TieredFovIndex — sealed-run lifecycle of the tiered backend
+/// (svg_index_run_*): memtable seals, the resulting immutable runs, and
+/// how often the per-run [ts_min, ts_max] tag lets a query skip a run.
+struct IndexRunMetrics {
+  Gauge& count;          ///< sealed immutable runs currently live
+  Gauge& rows;           ///< rows stored across all sealed runs
+  Gauge& memtable_rows;  ///< rows in the mutable memtable
+  Counter& seals;        ///< memtable → run seal events
+  Counter& sealed_rows;  ///< rows sealed into runs (cumulative)
+  Counter& time_pruned;  ///< runs skipped by the [ts_min, ts_max] tag
+  Counter& scans;        ///< runs actually scanned by queries
+  Histogram& seal_ns;    ///< STR sort + column pack + bulk load per seal
+};
+
+/// index::TieredFovIndex — background/manual compaction
+/// (svg_index_compaction_*): merge rounds, their input/output sizes, and
+/// the tombstoned rows physically dropped.
+struct IndexCompactionMetrics {
+  Counter& compactions;         ///< merge rounds completed
+  Counter& input_runs;          ///< runs consumed by merges
+  Counter& output_rows;         ///< rows written into merged runs
+  Counter& dropped_tombstones;  ///< dead rows garbage-collected
+  Histogram& compact_ns;        ///< merge round wall time
+};
+
 /// retrieval::RetrievalEngine — the rank-based pipeline, per stage.
 struct RetrievalMetrics {
   Counter& searches;
@@ -198,6 +223,8 @@ class ThreadPoolMetrics final : public util::ThreadPoolObserver {
 /// `shard`. Thread-safe; intended to be resolved once per shard at index
 /// construction, not per operation.
 [[nodiscard]] IndexShardMetrics& index_shard_metrics(std::size_t shard);
+[[nodiscard]] IndexRunMetrics& index_run_metrics();
+[[nodiscard]] IndexCompactionMetrics& index_compaction_metrics();
 [[nodiscard]] RetrievalMetrics& retrieval_metrics();
 [[nodiscard]] LinkMetrics& link_metrics();
 [[nodiscard]] NetFaultMetrics& net_fault_metrics();

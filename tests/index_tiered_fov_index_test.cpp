@@ -1,0 +1,265 @@
+#include "index/tiered_fov_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "index/fov_index.hpp"
+#include "obs/families.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace svg::index;
+using svg::core::RepresentativeFov;
+using svg::core::TimestampMs;
+
+RepresentativeFov random_rep(svg::util::Xoshiro256& rng) {
+  RepresentativeFov r;
+  r.video_id = 1 + rng.bounded(64);
+  r.segment_id = static_cast<std::uint32_t>(rng.bounded(1'000'000));
+  r.fov.p = {39.8 + rng.uniform() * 0.2, 116.3 + rng.uniform() * 0.2};
+  r.fov.theta_deg = rng.uniform() * 360.0;
+  r.t_start = static_cast<TimestampMs>(rng.uniform() * 1e6);
+  r.t_end = r.t_start + 1'000 + static_cast<TimestampMs>(rng.uniform() * 1e5);
+  return r;
+}
+
+GeoTimeRange random_range(svg::util::Xoshiro256& rng) {
+  const double lng = 116.3 + rng.uniform() * 0.2;
+  const double lat = 39.8 + rng.uniform() * 0.2;
+  const double half = rng.chance(0.5) ? 0.01 : 0.08;
+  const auto t0 = static_cast<TimestampMs>(rng.uniform() * 1e6);
+  return {lng - half, lng + half, lat - half, lat + half, t0, t0 + 200'000};
+}
+
+/// Order-insensitive identity of a result set.
+std::vector<std::pair<std::uint64_t, std::uint32_t>> keys(
+    const std::vector<RepresentativeFov>& v) {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> out;
+  out.reserve(v.size());
+  for (const auto& r : v) out.emplace_back(r.video_id, r.segment_id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// The core guarantee: for any randomized insert/erase/query sequence the
+// tiered index — memtable, in-flight seals, and STR-packed runs included —
+// is indistinguishable (as a set) from one plain FovIndex. The tiny
+// memtable forces many seals mid-sequence.
+TEST(TieredFovIndexTest, EquivalentToPlainIndexUnderRandomOps) {
+  svg::util::Xoshiro256 rng(1234);
+  FovIndex plain;
+  TieredFovIndex tiered({.memtable_capacity = 64});
+  std::vector<std::pair<FovHandle, FovHandle>> live;  // (plain, tiered)
+
+  for (int step = 0; step < 3'000; ++step) {
+    const auto roll = rng.bounded(100);
+    if (roll < 55 || live.empty()) {
+      const auto rep = random_rep(rng);
+      live.emplace_back(plain.insert(rep), tiered.insert(rep));
+    } else if (roll < 75) {
+      const auto pick = rng.bounded(live.size());
+      const auto [ph, th] = live[pick];
+      EXPECT_EQ(plain.erase(ph), tiered.erase(th));
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const auto q = random_range(rng);
+      EXPECT_EQ(keys(plain.query_collect(q)), keys(tiered.query_collect(q)));
+    }
+    ASSERT_EQ(plain.size(), tiered.size());
+  }
+  EXPECT_EQ(keys(plain.snapshot()), keys(tiered.snapshot()));
+  tiered.check_invariants();
+  EXPECT_GT(tiered.run_stats().seals, 0u);
+}
+
+// Compaction must preserve the indexed set exactly: merge everything down
+// to one run and re-compare against the plain index, tombstones included.
+TEST(TieredFovIndexTest, CompactionPreservesTheIndexedSet) {
+  svg::util::Xoshiro256 rng(4321);
+  FovIndex plain;
+  TieredFovIndex tiered({.memtable_capacity = 32});
+  std::vector<std::pair<FovHandle, FovHandle>> live;
+
+  for (int i = 0; i < 1'000; ++i) {
+    const auto rep = random_rep(rng);
+    live.emplace_back(plain.insert(rep), tiered.insert(rep));
+  }
+  // Tombstone a third of them.
+  for (int i = 0; i < 300; ++i) {
+    const auto pick = rng.bounded(live.size());
+    const auto [ph, th] = live[pick];
+    EXPECT_EQ(plain.erase(ph), tiered.erase(th));
+    live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+
+  const auto before = tiered.run_stats();
+  ASSERT_GT(before.runs.size(), 1u);
+  EXPECT_TRUE(tiered.seal_now());
+  std::size_t merged = 0;
+  while (tiered.compact_now(/*full=*/true) > 0) ++merged;
+  EXPECT_GT(merged, 0u);
+
+  const auto after = tiered.run_stats();
+  EXPECT_EQ(after.runs.size(), 1u);
+  // Compaction physically dropped the tombstones: the surviving run holds
+  // exactly the live rows.
+  EXPECT_EQ(after.runs[0].rows, tiered.size());
+  EXPECT_EQ(keys(plain.snapshot()), keys(tiered.snapshot()));
+  for (int i = 0; i < 30; ++i) {
+    const auto q = random_range(rng);
+    EXPECT_EQ(keys(plain.query_collect(q)), keys(tiered.query_collect(q)));
+  }
+  tiered.check_invariants();
+}
+
+TEST(TieredFovIndexTest, HandlesRoundTripThroughErase) {
+  svg::util::Xoshiro256 rng(99);
+  TieredFovIndex idx({.memtable_capacity = 64});
+  std::vector<FovHandle> handles;
+  for (int i = 0; i < 500; ++i) handles.push_back(idx.insert(random_rep(rng)));
+  EXPECT_EQ(idx.size(), 500u);
+  for (const auto h : handles) EXPECT_TRUE(idx.erase(h));
+  EXPECT_EQ(idx.size(), 0u);
+  // Stale handles must be rejected, not resolved to some other entry.
+  for (const auto h : handles) EXPECT_FALSE(idx.erase(h));
+  idx.check_invariants();
+}
+
+// Sealing is purely size-triggered, so a batch insert must produce exactly
+// the same tier structure (run boundaries AND contents) as the same
+// sequence of individual inserts — the property WAL replay relies on.
+TEST(TieredFovIndexTest, InsertBatchMatchesIndividualInserts) {
+  svg::util::Xoshiro256 rng(7);
+  std::vector<RepresentativeFov> reps;
+  for (int i = 0; i < 300; ++i) reps.push_back(random_rep(rng));
+
+  TieredFovIndex batched({.memtable_capacity = 64});
+  batched.insert_batch(reps);
+  TieredFovIndex individual({.memtable_capacity = 64});
+  for (const auto& r : reps) individual.insert(r);
+
+  EXPECT_EQ(batched.size(), reps.size());
+  EXPECT_EQ(keys(batched.snapshot()), keys(individual.snapshot()));
+  const auto bs = batched.run_stats();
+  const auto is = individual.run_stats();
+  ASSERT_EQ(bs.runs.size(), is.runs.size());
+  for (std::size_t i = 0; i < bs.runs.size(); ++i) {
+    EXPECT_EQ(bs.runs[i].rows, is.runs[i].rows);
+    EXPECT_EQ(bs.runs[i].ts_min, is.runs[i].ts_min);
+    EXPECT_EQ(bs.runs[i].ts_max, is.runs[i].ts_max);
+  }
+  EXPECT_EQ(bs.memtable_rows, is.memtable_rows);
+  batched.check_invariants();
+}
+
+// A query whose time window misses a run's [ts_min, ts_max] must skip it
+// without touching a node — visible through svg_index_run_time_pruned.
+TEST(TieredFovIndexTest, TightTimeWindowsSkipWholeRuns) {
+  auto& rm = svg::obs::index_run_metrics();
+  TieredFovIndex idx({.memtable_capacity = 100});
+  // Two disjoint time epochs, one run each.
+  RepresentativeFov r;
+  r.fov.p = {39.9, 116.4};
+  for (int i = 0; i < 100; ++i) {
+    r.segment_id = static_cast<std::uint32_t>(i);
+    r.t_start = 1'000 + i;
+    r.t_end = r.t_start + 10;
+    idx.insert(r);
+  }
+  for (int i = 0; i < 100; ++i) {
+    r.segment_id = static_cast<std::uint32_t>(1000 + i);
+    r.t_start = 5'000'000 + i;
+    r.t_end = r.t_start + 10;
+    idx.insert(r);
+  }
+  ASSERT_EQ(idx.run_stats().runs.size(), 2u);
+
+  const auto pruned0 = rm.time_pruned.value();
+  const auto scans0 = rm.scans.value();
+  // Window covering only the first epoch: one run scanned, one pruned.
+  const auto hits = idx.query_collect(
+      {116.0, 117.0, 39.0, 40.0, 0, 10'000});
+  EXPECT_EQ(hits.size(), 100u);
+  EXPECT_EQ(rm.time_pruned.value() - pruned0, 1u);
+  EXPECT_EQ(rm.scans.value() - scans0, 1u);
+
+  // Window between the epochs: both runs pruned, nothing scanned.
+  const auto none = idx.query_collect(
+      {116.0, 117.0, 39.0, 40.0, 100'000, 200'000});
+  EXPECT_TRUE(none.empty());
+  EXPECT_EQ(rm.time_pruned.value() - pruned0, 3u);
+  EXPECT_EQ(rm.scans.value() - scans0, 1u);
+}
+
+TEST(TieredFovIndexTest, TemplateAndFunctionVisitorsAgree) {
+  svg::util::Xoshiro256 rng(21);
+  TieredFovIndex idx({.memtable_capacity = 50});
+  for (int i = 0; i < 200; ++i) idx.insert(random_rep(rng));
+  const auto q = random_range(rng);
+
+  std::vector<RepresentativeFov> via_template;
+  idx.query(q, [&](const RepresentativeFov& r) { via_template.push_back(r); });
+  std::vector<RepresentativeFov> via_function;
+  const FovIndex::Visitor visit = [&](const RepresentativeFov& r) {
+    via_function.push_back(r);
+  };
+  idx.query(q, visit);
+  EXPECT_EQ(keys(via_template), keys(via_function));
+}
+
+// Aggregated svg_index_* metrics move for tiered operations, and the
+// run-lifecycle family tracks seals and run rows.
+TEST(TieredFovIndexTest, FeedsAggregatedAndRunMetrics) {
+  auto& agg = svg::obs::index_metrics();
+  auto& rm = svg::obs::index_run_metrics();
+  const auto inserts0 = agg.inserts.value();
+  const auto queries0 = agg.queries.value();
+  const auto erases0 = agg.erases.value();
+  const auto seals0 = rm.seals.value();
+  const auto sealed_rows0 = rm.sealed_rows.value();
+
+  svg::util::Xoshiro256 rng(77);
+  TieredFovIndex idx({.memtable_capacity = 50});
+  std::vector<FovHandle> handles;
+  for (int i = 0; i < 120; ++i) handles.push_back(idx.insert(random_rep(rng)));
+  (void)idx.query_collect(random_range(rng));
+  EXPECT_TRUE(idx.erase(handles.front()));
+
+  EXPECT_EQ(agg.inserts.value() - inserts0, 120u);
+  EXPECT_GE(agg.queries.value() - queries0, 1u);
+  EXPECT_EQ(agg.erases.value() - erases0, 1u);
+  // 120 inserts over a 50-row memtable = 2 seals of 50 rows each.
+  EXPECT_EQ(rm.seals.value() - seals0, 2u);
+  EXPECT_EQ(rm.sealed_rows.value() - sealed_rows0, 100u);
+  EXPECT_EQ(rm.count.value(), 2);
+  EXPECT_EQ(idx.run_stats().memtable_rows, 20u);
+}
+
+// The run-level time tags must be exact bounds of the rows they summarize
+// (check_invariants verifies rows ⊆ bounds; this pins tightness too).
+TEST(TieredFovIndexTest, RunTimeTagsAreTight) {
+  svg::util::Xoshiro256 rng(13);
+  TieredFovIndex idx({.memtable_capacity = 128});
+  std::vector<RepresentativeFov> reps;
+  for (int i = 0; i < 512; ++i) {
+    reps.push_back(random_rep(rng));
+    idx.insert(reps.back());
+  }
+  const auto stats = idx.run_stats();
+  ASSERT_EQ(stats.runs.size(), 4u);
+  for (std::size_t r = 0; r < stats.runs.size(); ++r) {
+    TimestampMs lo = reps[r * 128].t_start, hi = reps[r * 128].t_end;
+    for (std::size_t i = r * 128; i < (r + 1) * 128; ++i) {
+      lo = std::min(lo, reps[i].t_start);
+      hi = std::max(hi, reps[i].t_end);
+    }
+    EXPECT_EQ(stats.runs[r].ts_min, lo);
+    EXPECT_EQ(stats.runs[r].ts_max, hi);
+  }
+}
+
+}  // namespace
