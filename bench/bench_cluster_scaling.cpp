@@ -1,0 +1,403 @@
+// Cluster scaling — what geo-partitioning buys at the two front doors,
+// measured honestly on one box.
+//
+// Two sides, identical code path (a cluster::Router over in-memory
+// CloudServers; "single" is the degenerate 1-partition router):
+//
+//   single    1 node, corpus C over a T-hour retention window
+//   cluster   4 nodes, corpus 4C over 4T hours (same city-wide upload
+//             rate, 4x the retained history — equal per-node corpus)
+//
+// Ingest throughput is a NETWORK property, not a CPU property: a real
+// deployment's win is aggregate uplink bandwidth across nodes, which a
+// single-core bench box cannot show as wall-clock thread scaling. So the
+// gate measures it in the simulated domain the repo already accounts in:
+// every (sub-)upload's true wire bytes pass through its serving node's
+// net::Link, and a side's ingest makespan is the busiest link's
+// transmission time (bytes / uplink bandwidth — at saturation the uplink
+// is transmission-bound; propagation overlaps and is reported, not
+// gated). The bytes are deterministic, so this ratio is too. Wall-clock
+// ingest rates are reported alongside for reference.
+//
+// Query p99 IS wall-clock: each fan-out leg's node-side compute is timed
+// inside the exchange seam, and a query's scatter-gather latency is
+// router overhead + max(leg times) — legs run on distinct machines in a
+// real deployment, so they compose by max, not sum (on the single side
+// the formula degenerates to the plain measured total). The bar: growing
+// the corpus 4x along the retention axis must not cost more than 3x at
+// p99 — the 3-D (lng, lat, time) R-tree prunes the query window inside
+// the tree, so per-leg work stays near the single node's and the rest is
+// fan-out overhead.
+//
+// Flags: --uploads N (per node-corpus) --segments N --queries N
+// --json (the generator for BENCH_cluster.json) --gate (exit 1 unless
+// 4-node simulated ingest >= 2.5x single AND query p99 <= 3x single,
+// best of 5 query passes per side).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/partition.hpp"
+#include "cluster/router.hpp"
+#include "cluster/wire.hpp"
+#include "net/server.hpp"
+#include "net/transport.hpp"
+#include "net/wire.hpp"
+#include "retrieval/query.hpp"
+#include "sim/crowd.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace svg;
+using Clock = std::chrono::steady_clock;
+
+std::size_t g_uploads_per_corpus = 256;  // C: the single node's corpus
+std::size_t g_segments_per_upload = 40;
+std::size_t g_queries = 2000;
+
+constexpr double kRetentionHoursSingle = 24.0;
+constexpr core::TimestampMs kEpoch = 1'400'000'000'000;
+
+std::vector<net::UploadMessage> make_corpus(std::size_t uploads,
+                                            double span_hours,
+                                            std::uint64_t seed) {
+  sim::CityModel city;
+  util::Xoshiro256 rng(seed);
+  std::vector<net::UploadMessage> out;
+  out.reserve(uploads);
+  for (std::size_t u = 0; u < uploads; ++u) {
+    net::UploadMessage msg;
+    msg.upload_id = u + 1;
+    msg.video_id = u + 1;
+    msg.segments.reserve(g_segments_per_upload);
+    for (std::size_t s = 0; s < g_segments_per_upload; ++s) {
+      core::RepresentativeFov r;
+      r.video_id = msg.video_id;
+      r.segment_id = static_cast<std::uint32_t>(s);
+      r.fov.p = city.random_point(rng);
+      r.fov.theta_deg = rng.uniform() * 360.0;
+      r.t_start = kEpoch + static_cast<core::TimestampMs>(
+                               rng.uniform() * span_hours * 3'600'000.0);
+      r.t_end = r.t_start + 5'000;
+      msg.segments.push_back(r);
+    }
+    out.push_back(std::move(msg));
+  }
+  return out;
+}
+
+std::vector<retrieval::Query> make_queries(std::size_t count,
+                                           double span_hours,
+                                           std::uint64_t seed) {
+  sim::CityModel city;
+  const geo::Box2 b = city.bounds_deg();
+  util::Xoshiro256 rng(seed);
+  std::vector<retrieval::Query> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    retrieval::Query q;
+    const double h = rng.uniform() * (span_hours - 1.0);
+    q.t_start = kEpoch + static_cast<core::TimestampMs>(h * 3'600'000.0);
+    q.t_end = q.t_start + 3'600'000;  // fixed 1-hour window
+    q.center = {b.min[1] + rng.uniform() * (b.max[1] - b.min[1]),
+                b.min[0] + rng.uniform() * (b.max[0] - b.min[0])};
+    q.radius_m = 150.0 + rng.uniform() * 350.0;
+    out.push_back(q);
+  }
+  return out;
+}
+
+struct QueryStats {
+  double p50_us = 0, p99_us = 0;      // scatter-gather (legs by max)
+  double wall_p99_us = 0;             // raw sequential wall time
+  std::uint64_t hits = 0;             // keeps the loop honest
+};
+
+/// One side of the comparison: N in-memory nodes behind a Router whose
+/// exchange seam accounts wire bytes per node Link and times each leg.
+class Side {
+ public:
+  explicit Side(std::size_t nodes) : links_(nodes) {
+    for (std::size_t i = 0; i < nodes; ++i) {
+      servers_.push_back(std::make_unique<net::CloudServer>());
+    }
+    cluster::PartitionConfig pc;
+    pc.bounds = sim::CityModel{}.bounds_deg();
+    pc.cells_per_side = 16;
+    pc.partitions = nodes;
+    router_ = std::make_unique<cluster::Router>(
+        cluster::GeoPartitioner(pc), retrieval::RetrievalConfig{},
+        cluster::RoutingTable::identity(nodes),
+        [this](std::size_t node, std::span<const std::uint8_t> req)
+            -> std::vector<std::vector<std::uint8_t>> {
+          links_[node].send_up(req.size());
+          const auto t0 = Clock::now();
+          std::vector<std::uint8_t> resp;
+          if (!req.empty() && req.front() == cluster::kMsgQueryFanout) {
+            resp = cluster::handle_fanout_query(*servers_[node], node, req);
+          } else {
+            auto ack = servers_[node]->handle_upload_acked(req);
+            if (ack) resp = std::move(*ack);
+          }
+          leg_ns_.push_back(static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - t0)
+                  .count()));
+          if (resp.empty()) return {};
+          links_[node].send_down(resp.size());
+          return {std::move(resp)};
+        });
+  }
+
+  /// Returns wall-clock seconds for the ingest loop.
+  double ingest(const std::vector<net::UploadMessage>& corpus) {
+    const auto t0 = Clock::now();
+    for (const auto& msg : corpus) {
+      const auto ack = router_->route_upload(msg);
+      if (!ack || ack->status != net::UploadAckStatus::kAccepted) {
+        std::cerr << "ingest rejected upload " << msg.upload_id << "\n";
+        std::exit(2);
+      }
+    }
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+  }
+
+  QueryStats measure(const std::vector<retrieval::Query>& queries) {
+    QueryStats out;
+    std::vector<double> sim_us, wall_us;
+    sim_us.reserve(queries.size());
+    wall_us.reserve(queries.size());
+    for (const auto& q : queries) {
+      leg_ns_.clear();
+      const auto t0 = Clock::now();
+      bool complete = false;
+      const auto hits = router_->search(q, 10, &complete);
+      const double total_ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               t0)
+              .count());
+      if (!complete) {
+        std::cerr << "incomplete scatter-gather on a fault-free side\n";
+        std::exit(2);
+      }
+      out.hits += hits.size();
+      double sum = 0, mx = 0;
+      for (const double ns : leg_ns_) {
+        sum += ns;
+        mx = std::max(mx, ns);
+      }
+      sim_us.push_back((total_ns - sum + mx) / 1e3);
+      wall_us.push_back(total_ns / 1e3);
+    }
+    std::sort(sim_us.begin(), sim_us.end());
+    std::sort(wall_us.begin(), wall_us.end());
+    out.p50_us = sim_us[sim_us.size() / 2];
+    out.p99_us = sim_us[(sim_us.size() * 99) / 100];
+    out.wall_p99_us = wall_us[(wall_us.size() * 99) / 100];
+    return out;
+  }
+
+  /// Busiest uplink's transmission time (s): the side's ingest makespan
+  /// in the simulated network domain.
+  [[nodiscard]] double uplink_busy_max_s() const {
+    double mx = 0;
+    for (const auto& link : links_) {
+      const auto st = link.stats();
+      mx = std::max(mx, static_cast<double>(st.bytes_up) /
+                            (link.config().bandwidth_up_mbps * 1e6 / 8.0));
+    }
+    return mx;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_up_total() const {
+    std::uint64_t total = 0;
+    for (const auto& link : links_) total += link.stats().bytes_up;
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_up_max_node() const {
+    std::uint64_t mx = 0;
+    for (const auto& link : links_) mx = std::max(mx, link.stats().bytes_up);
+    return mx;
+  }
+
+ private:
+  std::vector<std::unique_ptr<net::CloudServer>> servers_;
+  std::vector<net::Link> links_;
+  std::unique_ptr<cluster::Router> router_;
+  std::vector<double> leg_ns_;
+};
+
+struct SideResult {
+  std::string name;
+  std::size_t nodes = 0;
+  std::size_t uploads = 0;
+  double retention_h = 0;
+  double ingest_wall_s = 0;
+  double sim_makespan_s = 0;
+  double sim_segments_per_s = 0;
+  std::uint64_t bytes_total = 0, bytes_max_node = 0;
+  QueryStats q;
+};
+
+SideResult run_side(const std::string& name, Side& side,
+                    const std::vector<net::UploadMessage>& corpus,
+                    double retention_h,
+                    const std::vector<retrieval::Query>& queries,
+                    std::size_t nodes) {
+  SideResult res;
+  res.name = name;
+  res.nodes = nodes;
+  res.uploads = corpus.size();
+  res.retention_h = retention_h;
+  res.ingest_wall_s = side.ingest(corpus);
+  res.sim_makespan_s = side.uplink_busy_max_s();
+  res.sim_segments_per_s =
+      static_cast<double>(corpus.size() * g_segments_per_upload) /
+      res.sim_makespan_s;
+  res.bytes_total = side.bytes_up_total();
+  res.bytes_max_node = side.bytes_up_max_node();
+  res.q = side.measure(queries);
+  return res;
+}
+
+void write_json(std::ostream& os, const SideResult& s, const SideResult& c,
+                double ingest_ratio, double p99_ratio) {
+  os << "{\n"
+     << "  \"note\": \"regenerate: build/bench/bench_cluster_scaling "
+        "--json --gate\",\n"
+     << "  \"workload\": {\"uploads_per_corpus\": " << g_uploads_per_corpus
+     << ", \"segments_per_upload\": " << g_segments_per_upload
+     << ", \"queries\": " << g_queries
+     << ", \"cluster_corpus\": \"4x uploads over 4x retention (equal "
+        "per-node corpus, equal upload rate)\"},\n"
+     << "  \"acceptance\": \"4-node simulated ingest >= 2.5x single; "
+        "scatter-gather query p99 <= 3x single at 4x total corpus\",\n"
+     << "  \"sides\": [\n";
+  for (const SideResult* r : {&s, &c}) {
+    os << "    {\"side\": \"" << r->name << "\", \"nodes\": " << r->nodes
+       << ", \"uploads\": " << r->uploads
+       << ", \"retention_h\": " << r->retention_h
+       << ", \"sim_ingest_segments_per_s\": " << r->sim_segments_per_s
+       << ", \"sim_makespan_s\": " << r->sim_makespan_s
+       << ", \"bytes_up_total\": " << r->bytes_total
+       << ", \"bytes_up_max_node\": " << r->bytes_max_node
+       << ", \"ingest_wall_s\": " << r->ingest_wall_s
+       << ", \"query_p50_us\": " << r->q.p50_us
+       << ", \"query_p99_us\": " << r->q.p99_us
+       << ", \"query_wall_p99_us\": " << r->q.wall_p99_us << "}"
+       << (r == &s ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"ingest_ratio\": " << ingest_ratio << ",\n"
+     << "  \"query_p99_ratio\": " << p99_ratio << "\n"
+     << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
+    if (std::strcmp(argv[i], "--uploads") == 0 && i + 1 < argc) {
+      g_uploads_per_corpus = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--segments") == 0 && i + 1 < argc) {
+      g_segments_per_upload =
+          static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--queries") == 0 && i + 1 < argc) {
+      g_queries = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    }
+  }
+
+  const auto single_corpus =
+      make_corpus(g_uploads_per_corpus, kRetentionHoursSingle, 1);
+  const auto cluster_corpus =
+      make_corpus(4 * g_uploads_per_corpus, 4 * kRetentionHoursSingle, 1);
+  const auto single_queries =
+      make_queries(g_queries, kRetentionHoursSingle, 99);
+  const auto cluster_queries =
+      make_queries(g_queries, 4 * kRetentionHoursSingle, 99);
+
+  Side single_side(1);
+  Side cluster_side(4);
+  SideResult single = run_side("single", single_side, single_corpus,
+                               kRetentionHoursSingle, single_queries, 1);
+  SideResult cluster = run_side("cluster4", cluster_side, cluster_corpus,
+                                4 * kRetentionHoursSingle, cluster_queries, 4);
+
+  // The byte accounting is deterministic; the query percentiles are not.
+  // The gate (and the committed baseline) takes the best of 5 PAIRED
+  // query passes — both sides measured back to back, ratio per pass, min
+  // ratio wins. Pairing keeps one lucky pass on either side from skewing
+  // the comparison; interference on a shared box only ever slows a pass
+  // down, so the min approximates the quiet-machine ratio a real
+  // regression would still move.
+  double p99_ratio = cluster.q.p99_us / single.q.p99_us;
+  for (int rep = 0; rep < 4; ++rep) {
+    const auto qs = single_side.measure(single_queries);
+    const auto qc = cluster_side.measure(cluster_queries);
+    const double r = qc.p99_us / qs.p99_us;
+    if (r < p99_ratio) {
+      p99_ratio = r;
+      single.q = qs;
+      cluster.q = qc;
+    }
+  }
+  const double ingest_ratio =
+      cluster.sim_segments_per_s / single.sim_segments_per_s;
+
+  int rc = 0;
+  if (gate) {
+    std::cerr << "gate: ingest cluster4/single = " << ingest_ratio
+              << (ingest_ratio >= 2.5 ? " (>= 2.5, pass)\n"
+                                      : " (< 2.5, FAIL)\n");
+    std::cerr << "gate: best-of-5 query p99 cluster4/single = " << p99_ratio
+              << (p99_ratio <= 3.0 ? " (<= 3.0, pass)\n"
+                                   : " (> 3.0, FAIL)\n");
+    if (ingest_ratio < 2.5 || p99_ratio > 3.0) rc = 1;
+  }
+
+  if (json) {
+    write_json(std::cout, single, cluster, ingest_ratio, p99_ratio);
+    return rc;
+  }
+  std::cout << "=== Cluster scaling: " << g_uploads_per_corpus
+            << " uploads/corpus x " << g_segments_per_upload
+            << " segments, " << g_queries << " queries ===\n";
+  util::Table table({"side", "nodes", "uploads", "sim seg/s", "ing_wall_s",
+                     "q_p50_us", "q_p99_us", "wall_p99_us"});
+  for (const SideResult* r : {&single, &cluster}) {
+    table.add_row({r->name, util::Table::num(static_cast<double>(r->nodes), 0),
+                   util::Table::num(static_cast<double>(r->uploads), 0),
+                   util::Table::num(r->sim_segments_per_s, 0),
+                   util::Table::num(r->ingest_wall_s, 3),
+                   util::Table::num(r->q.p50_us, 1),
+                   util::Table::num(r->q.p99_us, 1),
+                   util::Table::num(r->q.wall_p99_us, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\ningest ratio (simulated uplink makespan): " << ingest_ratio
+            << "x; query p99 ratio at 4x corpus: " << p99_ratio << "x\n"
+            << "\nReading: ingest scales with aggregate uplink bandwidth — "
+               "the busiest of 4 per-node links carries about a quarter of "
+               "the bytes one link would, minus hash imbalance and "
+               "sub-upload framing. Query p99 holds because the 3-D R-tree "
+               "prunes the 1-hour window inside the tree: 4x retention "
+               "means deeper trees, not 4x candidates, and fan-out legs "
+               "compose by max (distinct machines), not sum.\n";
+  return rc;
+}

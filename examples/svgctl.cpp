@@ -58,6 +58,17 @@
 //       absorbs the replays and the index must still converge. Prints
 //       fault/retry stats; exit 2 if any seed diverges
 //       (docs/ROBUSTNESS.md)
+//   svgctl cluster --nodes 3 --seeds 10 --drop 0.1 --dup 0.05
+//                  --reorder 0.05 --corrupt 0.02 --providers 8
+//                  [--queries N]
+//       in-process N-node cluster through the full failure lifecycle per
+//       seed: geo-partitioned faulty ingest, partial WAL-shipping
+//       replication, a node crash, probe-driven failover promotion,
+//       re-delivery, rejoin, and resync — then the ownership-filtered
+//       union of the nodes must match a fault-free single-node ingest
+//       byte-for-byte and scatter-gather answers must match the single
+//       node's. Prints routing/replication activity and the final
+//       routing table; exit 2 if any seed diverges (docs/CLUSTER.md)
 //
 // Durability flags (generate, query, recover): --data-dir <dir> enables the
 // write-ahead log (docs/DURABILITY.md). generate ingests through a durable
@@ -93,6 +104,9 @@
 #include <tuple>
 #include <vector>
 
+#include "cluster/cluster.hpp"
+#include "cluster/router.hpp"
+#include "cluster/wire.hpp"
 #include "net/client.hpp"
 #include "net/fault.hpp"
 #include "net/upload_queue.hpp"
@@ -748,6 +762,222 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
   return dump_metrics(flags);
 }
 
+int cmd_cluster(const std::map<std::string, std::string>& flags) {
+  // In-process N-node cluster, driven through the whole failure
+  // lifecycle per seed: faulty ingest → partial replication → node crash
+  // → probe-driven promotion → re-delivery → rejoin → resync — then the
+  // ownership-filtered union of the nodes must equal a fault-free
+  // single-node ingest of the same uploads, byte for byte, and
+  // scatter-gather answers must match the single node's through the
+  // client codec. Prints routing and replication activity; exit 2 if any
+  // seed diverges (docs/CLUSTER.md).
+  const auto nodes = static_cast<std::size_t>(flag_num(flags, "nodes", 3));
+  const auto seeds =
+      static_cast<std::uint64_t>(flag_num(flags, "seeds", 10));
+  const auto queries =
+      static_cast<std::uint64_t>(flag_num(flags, "queries", 5));
+  net::FaultPlan base;
+  base.drop = flag_num(flags, "drop", 0.10);
+  base.duplicate = flag_num(flags, "dup", 0.05);
+  base.reorder = flag_num(flags, "reorder", 0.05);
+  base.corrupt = flag_num(flags, "corrupt", 0.02);
+  if (nodes < 2) {
+    std::cerr << "error: --nodes must be >= 2 (replication is a ring)\n";
+    return 1;
+  }
+
+  sim::CrowdConfig ccfg;
+  ccfg.providers =
+      static_cast<std::uint32_t>(flag_num(flags, "providers", 8));
+  const core::SimilarityModel model({});
+
+  const auto results_bytes =
+      [](const std::vector<retrieval::RankedResult>& hits) {
+        net::ResultsMessage out;
+        for (const auto& h : hits) {
+          net::ResultEntry e;
+          e.video_id = h.rep.video_id;
+          e.segment_id = h.rep.segment_id;
+          e.t_start = h.rep.t_start;
+          e.t_end = h.rep.t_end;
+          e.distance_m = static_cast<float>(h.distance_m);
+          out.entries.push_back(e);
+        }
+        return net::encode_results(out);
+      };
+
+  auto& cm = obs::cluster_metrics();
+  const std::uint64_t routed0 = cm.uploads_routed.value();
+  const std::uint64_t sub0 = cm.subuploads.value();
+  const std::uint64_t fan0 = cm.fanout_nodes.value();
+  const std::uint64_t skip0 = cm.fanout_skipped.value();
+  const std::uint64_t batches0 = cm.replicate_batches.value();
+  const std::uint64_t records0 = cm.replicate_records.value();
+  const std::uint64_t promo0 = cm.promotions.value();
+  const std::uint64_t demo0 = cm.demotions.value();
+
+  std::uint64_t failed_seeds = 0;
+  cluster::RoutingTableMessage last_routing;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("svgctl_cluster_" + std::to_string(::getpid()) + "_" +
+          std::to_string(seed)))
+            .string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    sim::CityModel city;
+    util::Xoshiro256 rng(seed);
+    const auto sessions = sim::generate_crowd(city, ccfg, rng);
+    std::vector<net::UploadMessage> uploads;
+    uploads.reserve(sessions.size());
+    for (const auto& s : sessions) {
+      net::MobileClient client(s.video_id, model, {0.5});
+      uploads.push_back(net::capture_session(client, s.records));
+    }
+
+    // Fault-free single-node oracle over codec-roundtripped uploads (the
+    // nodes index what the wire delivered: 1e-7 degree fixed point).
+    net::CloudServer oracle;
+    bool oracle_ok = true;
+    for (const auto& u : uploads) {
+      net::UploadMessage msg = u;
+      msg.upload_id = 0;
+      const auto rt = net::decode_upload(net::encode_upload(msg));
+      if (!rt || !oracle.ingest(*rt)) oracle_ok = false;
+    }
+    std::vector<std::uint8_t> want;
+    if (oracle_ok && oracle.save_snapshot(dir + "/oracle.snap")) {
+      if (const auto snap =
+              store::load_snapshot_file_full(dir + "/oracle.snap")) {
+        want = cluster::canonical_fingerprint(snap->reps);
+      }
+    }
+
+    net::SimClock clock;
+    cluster::ClusterConfig cfg;
+    cfg.nodes = nodes;
+    cfg.partition.bounds = city.bounds_deg();
+    cfg.data_dir = dir + "/cluster";
+    cfg.faulty = true;
+    cfg.fault = base;
+    cfg.fault.seed = seed;
+    cfg.clock = &clock;
+    cluster::Cluster cluster(cfg);
+
+    net::RetryPolicy policy;
+    policy.max_attempts = 64;
+    const auto drain = [&](std::size_t count) {
+      net::UploadQueue queue(policy, seed * 31 + 7, &clock);
+      for (std::size_t i = 0; i < count; ++i) queue.enqueue(uploads[i]);
+      return queue.drain(cluster.router().upload_channel());
+    };
+
+    std::string problem;
+    const std::size_t victim = seed % nodes;
+    if (want.empty()) problem = "oracle ingest failed";
+    if (problem.empty() && !drain(1 + uploads.size() / 2)) {
+      problem = "phase-1 uploads exhausted their retry budget";
+    }
+    if (problem.empty()) {
+      cluster.replicate_round(2);  // deliberately partial
+      cluster.fail_node(victim);
+      for (std::uint32_t p = 0; p < 3; ++p) cluster.probe_round();
+      const auto routing = cluster.router().routing();
+      for (const auto node : routing.table.primary_of) {
+        if (node == victim) problem = "promotion left a partition on the dead node";
+      }
+    }
+    if (problem.empty() && !drain(uploads.size())) {
+      problem = "phase-2 uploads exhausted their retry budget";
+    }
+    if (problem.empty()) {
+      cluster.rejoin_node(victim);
+      std::size_t rounds = 0;
+      for (; rounds < 400; ++rounds) {
+        const std::size_t applied = cluster.replicate_round();
+        bool caught_up = applied == 0;
+        for (std::size_t i = 0; i < nodes && caught_up; ++i) {
+          if (cluster.replication_lag(i) > 0) caught_up = false;
+        }
+        if (caught_up) break;
+        clock.advance(50.0);
+      }
+      if (rounds >= 400) problem = "replication never converged";
+    }
+    if (problem.empty()) {
+      const auto got = cluster.canonical_bytes(dir);
+      if (!got || *got != want) {
+        problem = "cluster content diverged from the fault-free oracle";
+      }
+    }
+    if (problem.empty()) {
+      util::Xoshiro256 qrng(seed ^ 0xFEED);
+      const geo::Box2 b = city.bounds_deg();
+      for (std::uint64_t i = 0; i < queries && problem.empty(); ++i) {
+        retrieval::Query q;
+        q.t_start = 0;
+        q.t_end = 9'999'999'999'999;
+        q.center = {b.min[1] + qrng.uniform() * (b.max[1] - b.min[1]),
+                    b.min[0] + qrng.uniform() * (b.max[0] - b.min[0])};
+        q.radius_m = 60.0 + qrng.uniform() * 90.0;
+        bool complete = false;
+        const auto hits = cluster.router().search(q, 10, &complete, 64);
+        if (!complete) {
+          problem = "a scatter-gather leg went unanswered";
+        } else if (results_bytes(hits) !=
+                   results_bytes(oracle.search_n(q, 10))) {
+          problem = "scatter-gather results diverged from the oracle";
+        }
+      }
+    }
+    last_routing = cluster.router().routing();
+    if (!problem.empty()) {
+      ++failed_seeds;
+      std::cout << "seed " << seed << ": FAIL — " << problem << "\n";
+    }
+    std::filesystem::remove_all(dir);
+  }
+
+  util::Table table({"metric", "value"});
+  table.add_row({"seeds", util::Table::num(seeds)});
+  table.add_row({"nodes", util::Table::num(nodes)});
+  table.add_row(
+      {"partitions", util::Table::num(last_routing.table.primary_of.size())});
+  table.add_row(
+      {"uploads routed", util::Table::num(cm.uploads_routed.value() - routed0)});
+  table.add_row({"sub-uploads", util::Table::num(cm.subuploads.value() - sub0)});
+  table.add_row(
+      {"query legs fanned", util::Table::num(cm.fanout_nodes.value() - fan0)});
+  table.add_row({"query legs pruned",
+                 util::Table::num(cm.fanout_skipped.value() - skip0)});
+  table.add_row({"replicate batches",
+                 util::Table::num(cm.replicate_batches.value() - batches0)});
+  table.add_row({"replicate records",
+                 util::Table::num(cm.replicate_records.value() - records0)});
+  table.add_row(
+      {"promotions", util::Table::num(cm.promotions.value() - promo0)});
+  table.add_row({"demotions", util::Table::num(cm.demotions.value() - demo0)});
+  table.print(std::cout);
+
+  std::cout << "routing after the last seed (epoch "
+            << last_routing.table.epoch << "):";
+  for (std::size_t p = 0; p < last_routing.table.primary_of.size(); ++p) {
+    std::cout << " p" << p << "->n" << last_routing.table.primary_of[p];
+  }
+  std::cout << "\n";
+  if (failed_seeds != 0) {
+    std::cerr << "error: " << failed_seeds << "/" << seeds
+              << " seeds diverged from the fault-free oracle\n";
+    print_failure_context(std::cerr);
+    return 2;
+  }
+  std::cout << "all " << seeds
+            << " seeds converged through crash, promotion, and resync\n";
+  return dump_metrics(flags);
+}
+
 int cmd_compact(const std::map<std::string, std::string>& flags) {
   // Load a corpus (or recover a durable data dir) into a tiered-backend
   // server, seal the memtable, and run compaction to completion — the
@@ -870,8 +1100,8 @@ int cmd_trace(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: svgctl "
-                 "<generate|info|query|trace|recover|wal-dump|chaos|compact> "
-                 "[--flag value ...]\n"
+                 "<generate|info|query|trace|recover|wal-dump|chaos|cluster|"
+                 "compact> [--flag value ...]\n"
                  "  query/chaos take --backend single|sharded|tiered; "
                  "compact takes --backend tiered\n";
     return 1;
@@ -886,6 +1116,7 @@ int main(int argc, char** argv) {
   if (cmd == "recover") return cmd_recover(flags);
   if (cmd == "wal-dump") return cmd_wal_dump(flags);
   if (cmd == "chaos") return cmd_chaos(flags);
+  if (cmd == "cluster") return cmd_cluster(flags);
   std::cerr << "unknown command: " << cmd << "\n";
   return 1;
 }

@@ -1,0 +1,307 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "cluster/replication.hpp"
+#include "cluster/wire.hpp"
+#include "net/wire.hpp"
+#include "obs/families.hpp"
+#include "obs/journal.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+#include "store/snapshot.hpp"
+
+namespace svg::cluster {
+
+namespace {
+
+/// Resolve the partition count: explicit, or one home partition per node.
+PartitionConfig resolve_partition(PartitionConfig p, std::size_t nodes) {
+  if (p.partitions == 0) p.partitions = nodes;
+  return p;
+}
+
+/// Per-link seed perturbation so one cluster seed drives every link with
+/// an independent fault stream. `role` separates request from replication
+/// links.
+net::FaultPlan link_plan(const net::FaultPlan& base, std::uint64_t role,
+                         std::uint64_t node) {
+  net::FaultPlan p = base;
+  p.seed = base.seed ^ (role * 0x9E3779B97F4A7C15ULL) ^ (node + 1) * 0xBF58476D1CE4E5B9ULL;
+  return p;
+}
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(std::move(cfg)),
+      partitioner_(resolve_partition(cfg_.partition, cfg_.nodes)) {
+  cfg_.partition = partitioner_.config();
+  nodes_.reserve(cfg_.nodes);
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+    auto n = std::make_unique<NodeState>();
+    n->server = make_server(i);
+    if (cfg_.faulty) {
+      n->faulty_link = std::make_unique<net::FaultyLink>(
+          n->link, link_plan(cfg_.fault, 1, i), cfg_.clock);
+      n->faulty_repl_link = std::make_unique<net::FaultyLink>(
+          n->repl_link, link_plan(cfg_.fault, 2, i), cfg_.clock);
+    }
+    nodes_.push_back(std::move(n));
+  }
+  acked_.assign(cfg_.nodes, 0);
+  applied_.assign(cfg_.nodes, 0);
+  lag_alerted_.assign(cfg_.nodes, false);
+  router_ = std::make_unique<Router>(
+      partitioner_, cfg_.retrieval,
+      RoutingTable::identity(partitioner_.config().partitions),
+      [this](std::size_t node, std::span<const std::uint8_t> request) {
+        return exchange(node, request);
+      });
+  set_nodes_up_gauge();
+}
+
+Cluster::~Cluster() = default;
+
+std::string Cluster::wal_dir(std::size_t i) const {
+  return cfg_.data_dir + "/node" + std::to_string(i);
+}
+
+std::unique_ptr<net::CloudServer> Cluster::make_server(std::size_t i) {
+  net::ServerDurabilityConfig d;
+  if (!cfg_.data_dir.empty()) {
+    d.data_dir = wal_dir(i);
+    d.fsync = cfg_.fsync;
+    // Never checkpoint: retirement must not pass a follower's cursor, and
+    // the harness keeps the whole chain so a resync can always start over.
+    d.checkpoint_interval_ms = 0;
+  }
+  return std::make_unique<net::CloudServer>(cfg_.index, cfg_.retrieval, d);
+}
+
+std::vector<std::vector<std::uint8_t>> Cluster::exchange(
+    std::size_t i, std::span<const std::uint8_t> request) {
+  NodeState& n = *nodes_[i];
+  if (!n.up) return {};
+  if (n.faulty_link == nullptr) {
+    auto response = dispatch(i, request);
+    if (response.empty()) return {};
+    std::vector<std::vector<std::uint8_t>> out;
+    out.push_back(std::move(response));
+    return out;
+  }
+  std::vector<std::vector<std::uint8_t>> out;
+  const auto up = n.faulty_link->transfer_up(request);
+  for (const auto& copy : up.copies) {
+    const auto response = dispatch(i, copy);
+    if (response.empty()) continue;
+    auto down = n.faulty_link->transfer_down(response);
+    for (auto& reply : down.copies) out.push_back(std::move(reply));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Cluster::dispatch(
+    std::size_t i, std::span<const std::uint8_t> request) {
+  NodeState& n = *nodes_[i];
+  if (request.empty() || n.server == nullptr) return {};
+  // Route by tag byte; a corrupted tag falls through to a decoder whose
+  // crc check rejects it (no reply — the sender retries).
+  if (request.front() == kMsgQueryFanout) {
+    return handle_fanout_query(*n.server, i, request);
+  }
+  auto ack = n.server->handle_upload_acked(request);
+  return ack ? std::move(*ack) : std::vector<std::uint8_t>{};
+}
+
+void Cluster::set_nodes_up_gauge() {
+  std::int64_t up = 0;
+  for (const auto& n : nodes_) up += n->up ? 1 : 0;
+  obs::cluster_metrics().nodes_up.set(up);
+}
+
+void Cluster::fail_node(std::size_t i) {
+  NodeState& n = *nodes_[i];
+  n.server.reset();
+  n.up = false;
+  set_nodes_up_gauge();
+}
+
+void Cluster::rejoin_node(std::size_t i) {
+  NodeState& n = *nodes_[i];
+  n.server = make_server(i);  // recovery replays the surviving WAL
+  n.up = true;
+  n.failed_probes = 0;
+  set_nodes_up_gauge();
+}
+
+void Cluster::probe_round() {
+  auto& m = obs::cluster_metrics();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeState& n = *nodes_[i];
+    if (n.up) {
+      n.failed_probes = 0;
+      continue;
+    }
+    ++n.failed_probes;
+    if (n.failed_probes != cfg_.probe_fail_threshold) continue;
+    // Find the next live node in ring order to take over.
+    std::size_t candidate = i;
+    for (std::size_t k = 1; k < nodes_.size(); ++k) {
+      const std::size_t c = (i + k) % nodes_.size();
+      if (nodes_[c]->up) {
+        candidate = c;
+        break;
+      }
+    }
+    if (candidate == i) continue;  // nobody left to promote
+    const auto routing = router_->routing();
+    bool demoted = false;
+    for (std::size_t p = 0; p < routing.table.primary_of.size(); ++p) {
+      if (routing.table.primary_of[p] != i) continue;
+      if (!demoted) {
+        obs::journal_event(obs::JournalEvent::kPrimaryDemoted, p, i);
+        m.demotions.inc();
+        demoted = true;
+      }
+      router_->set_primary(p, static_cast<std::uint32_t>(candidate));
+      obs::journal_event(obs::JournalEvent::kFollowerPromoted, p, candidate,
+                         router_->routing().table.epoch);
+      m.promotions.inc();
+    }
+  }
+}
+
+std::size_t Cluster::replicate_round(std::size_t max_records) {
+  if (cfg_.data_dir.empty() || nodes_.size() < 2) return 0;
+  auto& m = obs::cluster_metrics();
+  obs::Span span = obs::tracer().root_span("cluster.replicate");
+  obs::ScopedTimer timer(m.replicate_ns, span.trace_id());
+  std::size_t total_applied = 0;
+  std::uint64_t max_lag = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    NodeState& primary = *nodes_[i];
+    const std::size_t f = (i + 1) % nodes_.size();
+    NodeState& follower = *nodes_[f];
+    if (!primary.up || primary.server == nullptr) continue;
+    primary.server->sync_wal();
+    const std::uint64_t tip = primary.server->last_wal_seq();
+    if (follower.up && follower.server != nullptr && tip > acked_[i]) {
+      auto batch = next_replicate_batch(wal_dir(i), i, acked_[i], max_records);
+      if (batch && !batch->payloads.empty()) {
+        const auto bytes = encode_replicate_batch(*batch);
+        std::vector<std::vector<std::uint8_t>> copies;
+        if (primary.faulty_repl_link != nullptr) {
+          copies = primary.faulty_repl_link->transfer_up(bytes).copies;
+        } else {
+          copies.push_back(bytes);
+        }
+        for (const auto& copy : copies) {
+          const auto delivered = decode_replicate_batch(copy);
+          if (!delivered) continue;  // corrupted in flight
+          std::size_t applied = 0;
+          applied_[i] = apply_replicate_batch(*follower.server, *delivered,
+                                              applied_[i], &applied);
+          total_applied += applied;
+        }
+        // Ack the follower's cursor back; a lost ack just means the next
+        // round re-ships records the follower will skip.
+        ReplicateAckMessage ack;
+        ack.follower = f;
+        ack.applied_seq = applied_[i];
+        const auto ack_bytes = encode_replicate_ack(ack);
+        std::vector<std::vector<std::uint8_t>> ack_copies;
+        if (primary.faulty_repl_link != nullptr) {
+          ack_copies = primary.faulty_repl_link->transfer_down(ack_bytes).copies;
+        } else {
+          ack_copies.push_back(ack_bytes);
+        }
+        for (const auto& copy : ack_copies) {
+          const auto got = decode_replicate_ack(copy);
+          if (got) acked_[i] = std::max(acked_[i], got->applied_seq);
+        }
+      }
+    }
+    const std::uint64_t lag = tip > acked_[i] ? tip - acked_[i] : 0;
+    max_lag = std::max(max_lag, lag);
+    if (lag >= cfg_.lag_alert_records) {
+      if (!lag_alerted_[i]) {
+        obs::journal_event(obs::JournalEvent::kReplicationLagged, i, f, lag);
+        m.lag_alerts.inc();
+        lag_alerted_[i] = true;
+      }
+    } else {
+      lag_alerted_[i] = false;
+    }
+  }
+  m.replication_lag.set(static_cast<std::int64_t>(max_lag));
+  span.tag("applied", total_applied);
+  return total_applied;
+}
+
+std::size_t Cluster::replicate_until_quiescent(std::size_t max_rounds) {
+  std::size_t total = 0;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const std::size_t applied = replicate_round();
+    total += applied;
+    if (applied > 0) continue;
+    bool caught_up = true;
+    for (std::size_t i = 0; i < nodes_.size() && caught_up; ++i) {
+      if (replication_lag(i) > 0) caught_up = false;
+    }
+    if (caught_up) break;
+  }
+  return total;
+}
+
+std::uint64_t Cluster::replication_lag(std::size_t i) const {
+  const NodeState& primary = *nodes_[i];
+  if (!primary.up || primary.server == nullptr) return 0;
+  const std::uint64_t tip = primary.server->last_wal_seq();
+  return tip > acked_[i] ? tip - acked_[i] : 0;
+}
+
+std::optional<std::vector<std::uint8_t>> Cluster::canonical_bytes(
+    const std::string& scratch_dir) {
+  const auto routing = router_->routing();
+  // Serving nodes, deduplicated (after failover one node may serve many
+  // partitions).
+  std::vector<std::uint32_t> serving = routing.table.primary_of;
+  std::sort(serving.begin(), serving.end());
+  serving.erase(std::unique(serving.begin(), serving.end()), serving.end());
+  std::vector<core::RepresentativeFov> owned;
+  for (const std::uint32_t s : serving) {
+    NodeState& n = *nodes_[s];
+    if (!n.up || n.server == nullptr) return std::nullopt;
+    const std::string path =
+        scratch_dir + "/canonical_node" + std::to_string(s) + ".snap";
+    if (!n.server->save_snapshot(path)) return std::nullopt;
+    const auto snap = store::load_snapshot_file(path);
+    if (!snap) return std::nullopt;
+    // Ownership filter: keep only rows whose partition this node serves
+    // — replicated copies held as a follower drop out here.
+    for (const core::RepresentativeFov& rep : *snap) {
+      const std::size_t p =
+          partitioner_.partition_of(rep.fov.p.lng, rep.fov.p.lat);
+      if (routing.table.primary_of[p] == s) owned.push_back(rep);
+    }
+  }
+  return canonical_fingerprint(std::move(owned));
+}
+
+std::vector<std::uint8_t> canonical_fingerprint(
+    std::vector<core::RepresentativeFov> reps) {
+  std::sort(reps.begin(), reps.end(),
+            [](const core::RepresentativeFov& a,
+               const core::RepresentativeFov& b) {
+              if (a.video_id != b.video_id) return a.video_id < b.video_id;
+              if (a.segment_id != b.segment_id) {
+                return a.segment_id < b.segment_id;
+              }
+              return a.t_start < b.t_start;
+            });
+  return store::encode_snapshot(reps);
+}
+
+}  // namespace svg::cluster

@@ -1,0 +1,156 @@
+#pragma once
+// In-process multi-node cluster harness (docs/CLUSTER.md): N CloudServers
+// — each durable in its own subdirectory of data_dir — behind one Router,
+// wired together with per-node FaultyLinks so the whole topology runs
+// under seeded chaos. The harness owns everything a deployment would
+// split across machines: the router↔node request links, the ring
+// replication links (node i ships its WAL to node (i+1) mod N), the
+// primary-side replication cursors, and the health-probe loop that
+// promotes a follower when a node stays dead.
+//
+// Failure model: fail_node() destroys the server but keeps its WAL
+// directory (a crash, not a disk loss); rejoin_node() re-runs recovery
+// over that directory. A rejoined node does not reclaim its partitions —
+// it resumes shipping its WAL from the follower's acked cursor, which is
+// exactly the resync that recovers rows it acked but never replicated
+// before the crash. Cluster nodes never checkpoint (the replication
+// contract: retiring a WAL segment below a follower's cursor would break
+// the chain the shipper reads — see docs/CLUSTER.md).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/partition.hpp"
+#include "cluster/router.hpp"
+#include "net/fault.hpp"
+#include "net/server.hpp"
+#include "store/wal.hpp"
+
+namespace svg::cluster {
+
+struct ClusterConfig {
+  std::size_t nodes = 3;
+  /// Partition geometry. partitions == 0 (the default here, overriding
+  /// PartitionConfig's standalone default of 1) resolves to `nodes` —
+  /// one home partition per node, the identity routing table.
+  PartitionConfig partition = unhomed_partition();
+
+  [[nodiscard]] static PartitionConfig unhomed_partition() {
+    PartitionConfig p;
+    p.partitions = 0;
+    return p;
+  }
+  net::ServerIndexConfig index{};
+  retrieval::RetrievalConfig retrieval{};
+  /// Root directory; node i lives in data_dir + "/node<i>". Empty = all
+  /// nodes in-memory: no replication, no failover (fail = data loss).
+  std::string data_dir;
+  store::FsyncPolicy fsync = store::FsyncPolicy::kNone;
+  /// Journal kReplicationLagged (once per crossing) when a follower falls
+  /// this many records behind its primary's WAL tip.
+  std::uint64_t lag_alert_records = 64;
+  /// Consecutive failed probes before probe_round() promotes.
+  std::uint32_t probe_fail_threshold = 3;
+  /// Fault template for every link; each link perturbs the seed by its
+  /// role and node id, so one cluster seed replays the whole topology.
+  net::FaultPlan fault;
+  bool faulty = false;  ///< wrap the links in FaultyLink
+  net::SimClock* clock = nullptr;  ///< for disconnect windows (may be null)
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+  ~Cluster();
+
+  [[nodiscard]] Router& router() noexcept { return *router_; }
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  /// The node's server, or nullptr while it is failed.
+  [[nodiscard]] net::CloudServer* node(std::size_t i) noexcept {
+    return nodes_[i]->server.get();
+  }
+  [[nodiscard]] bool node_up(std::size_t i) const noexcept {
+    return nodes_[i]->up;
+  }
+  [[nodiscard]] std::string wal_dir(std::size_t i) const;
+
+  /// Crash node i: destroy the server, keep its directory. Its partitions
+  /// keep routing to it (requests go unanswered) until probe_round()
+  /// notices and promotes.
+  void fail_node(std::size_t i);
+  /// Recover node i from its surviving directory (WAL replay). The node
+  /// rejoins as a follower of the current table — no automatic failback.
+  void rejoin_node(std::size_t i);
+
+  /// One probe sweep: a node found down accumulates a failed probe; at
+  /// probe_fail_threshold consecutive failures its partitions are
+  /// retargeted to the next live node in ring order (journal: one
+  /// primary_demoted per node, one follower_promoted per partition).
+  void probe_round();
+
+  /// One replication sweep around the ring: every live node syncs its WAL,
+  /// ships up to `max_records` past the follower's acked cursor through
+  /// the (possibly faulty) replication link, applies, and folds the ack
+  /// back. Returns records applied across the cluster this round.
+  std::size_t replicate_round(std::size_t max_records = 256);
+
+  /// Drive replicate_round until a full round applies nothing and every
+  /// live pair is caught up (or `max_rounds`). Returns records applied.
+  std::size_t replicate_until_quiescent(std::size_t max_rounds = 256);
+
+  /// Follower lag of node i's stream: primary WAL tip − follower acked.
+  [[nodiscard]] std::uint64_t replication_lag(std::size_t i) const;
+
+  /// The cluster's canonical content fingerprint: every serving node's
+  /// snapshot filtered to the partitions it serves (replication copies on
+  /// followers drop out), unioned and encoded with canonical_fingerprint.
+  /// Byte-equal to a fault-free single-node run over the same uploads —
+  /// the chaos oracle. Uses scratch files under `scratch_dir`; nullopt if
+  /// any serving node is down or a snapshot fails.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> canonical_bytes(
+      const std::string& scratch_dir);
+
+ private:
+  struct NodeState {
+    std::unique_ptr<net::CloudServer> server;
+    bool up = true;
+    std::uint32_t failed_probes = 0;
+    net::Link link;            ///< router ↔ node
+    net::Link repl_link;       ///< node ↔ its ring follower
+    std::unique_ptr<net::FaultyLink> faulty_link;
+    std::unique_ptr<net::FaultyLink> faulty_repl_link;
+  };
+
+  [[nodiscard]] std::unique_ptr<net::CloudServer> make_server(std::size_t i);
+  /// Router-side transport: push the request (and any response) through
+  /// node i's faulty link; dispatch by tag byte on the node side.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> exchange(
+      std::size_t i, std::span<const std::uint8_t> request);
+  [[nodiscard]] std::vector<std::uint8_t> dispatch(
+      std::size_t i, std::span<const std::uint8_t> request);
+  void set_nodes_up_gauge();
+
+  ClusterConfig cfg_;
+  GeoPartitioner partitioner_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::unique_ptr<Router> router_;
+  /// Primary-side shipping cursor per node stream (what node (i+1)%N has
+  /// acked of node i's WAL). Survives node i's crash — harness state, the
+  /// way a real follower would remember its own cursor.
+  std::vector<std::uint64_t> acked_;
+  /// Follower-side applied cursor for node i's stream (the follower's
+  /// source of truth the acks are computed from).
+  std::vector<std::uint64_t> applied_;
+  std::vector<bool> lag_alerted_;
+};
+
+/// Canonical content fingerprint: sort by (video_id, segment_id, t_start)
+/// and encode with the snapshot codec (last_seq 0, no dedup ids). Two
+/// corpora fingerprint byte-identically iff they hold the same segments.
+[[nodiscard]] std::vector<std::uint8_t> canonical_fingerprint(
+    std::vector<core::RepresentativeFov> reps);
+
+}  // namespace svg::cluster

@@ -1,0 +1,80 @@
+#include "cluster/partition.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace svg::cluster {
+
+GeoPartitioner::GeoPartitioner(PartitionConfig cfg) : cfg_(cfg) {
+  side_ = std::max<std::size_t>(1, cfg_.cells_per_side);
+  cfg_.cells_per_side = side_;
+  cfg_.partitions = std::max<std::size_t>(1, cfg_.partitions);
+  const double w = cfg_.bounds.max[0] - cfg_.bounds.min[0];
+  const double h = cfg_.bounds.max[1] - cfg_.bounds.min[1];
+  cell_w_ = w > 0 ? w / static_cast<double>(side_) : 1.0;
+  cell_h_ = h > 0 ? h / static_cast<double>(side_) : 1.0;
+}
+
+std::size_t GeoPartitioner::cell_of(double lng, double lat) const noexcept {
+  auto axis = [this](double v, double lo, double cell) {
+    const auto i = static_cast<std::int64_t>((v - lo) / cell);
+    return static_cast<std::size_t>(
+        std::clamp<std::int64_t>(i, 0, static_cast<std::int64_t>(side_) - 1));
+  };
+  const std::size_t x = axis(lng, cfg_.bounds.min[0], cell_w_);
+  const std::size_t y = axis(lat, cfg_.bounds.min[1], cell_h_);
+  return y * side_ + x;
+}
+
+std::size_t GeoPartitioner::partition_of_cell(std::size_t cell) const noexcept {
+  // SplitMix64 spreads the (cell, salt) pair across the full 64-bit space
+  // so adjacent cells land on unrelated partitions — geographic hotspots
+  // spread over the cluster instead of hammering one node.
+  util::SplitMix64 mix(static_cast<std::uint64_t>(cell) ^
+                       (cfg_.salt * 0x9E3779B97F4A7C15ULL));
+  return static_cast<std::size_t>(mix.next() % cfg_.partitions);
+}
+
+std::size_t GeoPartitioner::partition_of(double lng,
+                                         double lat) const noexcept {
+  return partition_of_cell(cell_of(lng, lat));
+}
+
+std::vector<std::size_t> GeoPartitioner::partitions_for_range(
+    const index::GeoTimeRange& range) const {
+  // Zero fan-out contract: a rectangle that misses the deployment bounds
+  // entirely cannot match any in-bounds content, so no node is contacted.
+  // (Border-clamped out-of-bounds cameras remain reachable by any query
+  // whose rectangle overlaps the border cells — see docs/CLUSTER.md.)
+  if (range.lng_min > cfg_.bounds.max[0] ||
+      range.lng_max < cfg_.bounds.min[0] ||
+      range.lat_min > cfg_.bounds.max[1] ||
+      range.lat_max < cfg_.bounds.min[1]) {
+    return {};
+  }
+  const std::size_t x0 = cell_of(range.lng_min, range.lat_min) % side_;
+  const std::size_t y0 = cell_of(range.lng_min, range.lat_min) / side_;
+  const std::size_t x1 = cell_of(range.lng_max, range.lat_max) % side_;
+  const std::size_t y1 = cell_of(range.lng_max, range.lat_max) / side_;
+  std::vector<std::size_t> out;
+  for (std::size_t y = y0; y <= y1; ++y) {
+    for (std::size_t x = x0; x <= x1; ++x) {
+      out.push_back(partition_of_cell(y * side_ + x));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+RoutingTable RoutingTable::identity(std::size_t partitions) {
+  RoutingTable t;
+  t.primary_of.resize(partitions);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    t.primary_of[p] = static_cast<std::uint32_t>(p);
+  }
+  return t;
+}
+
+}  // namespace svg::cluster

@@ -1,0 +1,73 @@
+#include "cluster/replication.hpp"
+
+#include "obs/families.hpp"
+#include "store/wal.hpp"
+
+namespace svg::cluster {
+
+std::optional<ReplicateBatchMessage> next_replicate_batch(
+    const std::string& wal_dir, std::uint64_t primary_node,
+    std::uint64_t acked_seq, std::size_t max_records, store::Env* env) {
+  auto records =
+      store::wal_read_records(wal_dir, acked_seq, max_records, 0, env);
+  if (!records) return std::nullopt;
+  ReplicateBatchMessage batch;
+  batch.primary = primary_node;
+  batch.first_seq = records->empty() ? acked_seq + 1 : records->front().seq;
+  batch.payloads.reserve(records->size());
+  for (auto& rec : *records) batch.payloads.push_back(std::move(rec.payload));
+  return batch;
+}
+
+std::uint64_t apply_replicate_batch(net::CloudServer& follower,
+                                    const ReplicateBatchMessage& batch,
+                                    std::uint64_t cursor,
+                                    std::size_t* applied) {
+  auto& m = obs::cluster_metrics();
+  if (applied != nullptr) *applied = 0;
+  if (batch.payloads.empty()) return cursor;
+  // A batch that starts past the cursor would leave a hole: refuse it
+  // whole and let the shipper retry from the acked cursor. (Reordered
+  // batches across a faulty link land here.)
+  if (batch.first_seq > cursor + 1) {
+    m.replicate_rejects.inc();
+    return cursor;
+  }
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < batch.payloads.size(); ++i) {
+    const std::uint64_t seq = batch.first_seq + i;
+    if (seq <= cursor) continue;  // duplicate delivery — already applied
+    const auto rec = store::decode_upload_record(batch.payloads[i]);
+    if (!rec) {
+      // A corrupt payload means the batch cannot be trusted past this
+      // point; stop here with the prefix applied. (The crc trailer makes
+      // this unreachable for link corruption — it guards shipper bugs.)
+      m.replicate_rejects.inc();
+      break;
+    }
+    net::UploadMessage msg;
+    msg.upload_id = rec->upload_id;
+    msg.video_id = rec->reps.empty() ? 0 : rec->reps.front().video_id;
+    msg.segments = rec->reps;
+    // ingest() returns false for duplicates and for a degraded follower;
+    // either way the record is consumed — a degraded follower re-syncs
+    // from its cursor after recovery, and replicated records it already
+    // holds dedup on replay.
+    const auto status = follower.ingest_status(msg);
+    if (status == net::IngestStatus::kRetryLater) {
+      // Degraded read-only follower: stop, keep the cursor at the last
+      // applied record so the shipper re-offers the rest later.
+      break;
+    }
+    cursor = seq;
+    ++n;
+  }
+  if (n > 0) {
+    m.replicate_batches.inc();
+    m.replicate_records.inc(n);
+  }
+  if (applied != nullptr) *applied = n;
+  return cursor;
+}
+
+}  // namespace svg::cluster

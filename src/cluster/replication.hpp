@@ -1,0 +1,51 @@
+#pragma once
+// Primary→follower replication by WAL shipping (docs/CLUSTER.md). The
+// primary's segmented WAL is already the perfect replication stream: every
+// acked ingest is one CRC-framed record whose payload carries the
+// sub-upload's id, so a follower replaying it through the ordinary ingest
+// path is idempotent — drops retry, duplicates dedup, and a full resync
+// after failover is just "ship the whole log again".
+//
+// The shipper is pull-free and stateless on the follower side of the
+// wire: the primary keeps one cursor per follower (the highest seq the
+// follower has acked), reads records past it straight out of the WAL
+// directory (store::wal_read_records), and frames them into
+// ReplicateBatchMessages. The follower applies in-seq-order, skips
+// records at or below its cursor (duplicate batches), refuses batches
+// that would leave a gap (a reordered batch is retried later), and acks
+// its cursor. Acks fold in with max(), so stale acks are harmless.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "cluster/wire.hpp"
+#include "net/server.hpp"
+#include "store/env.hpp"
+
+namespace svg::cluster {
+
+/// Primary-side per-follower shipping state.
+struct ReplicationCursor {
+  std::uint64_t acked_seq = 0;  ///< highest seq the follower has applied
+};
+
+/// Read the next batch for a follower out of `wal_dir`: records with
+/// seq in (cursor, cursor + max_records]. nullopt on chain corruption;
+/// a batch with empty payloads means the follower is caught up.
+[[nodiscard]] std::optional<ReplicateBatchMessage> next_replicate_batch(
+    const std::string& wal_dir, std::uint64_t primary_node,
+    std::uint64_t acked_seq, std::size_t max_records,
+    store::Env* env = nullptr);
+
+/// Follower-side apply: decode each payload as a WAL upload record and
+/// ingest it (upload_id dedup absorbs retransmits and resync overlap).
+/// Records with seq ≤ `cursor` are skipped; a batch starting past
+/// cursor+1 is refused whole (gap — apply nothing, return cursor
+/// unchanged). Returns the follower's new cursor. Counts applied records
+/// into *applied when non-null.
+[[nodiscard]] std::uint64_t apply_replicate_batch(
+    net::CloudServer& follower, const ReplicateBatchMessage& batch,
+    std::uint64_t cursor, std::size_t* applied = nullptr);
+
+}  // namespace svg::cluster

@@ -1,0 +1,218 @@
+#include "cluster/router.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "obs/families.hpp"
+#include "obs/timer.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace svg::cluster {
+
+std::uint64_t sub_upload_id(std::uint64_t upload_id, std::size_t partition) {
+  util::SplitMix64 mix(upload_id ^
+                       (static_cast<std::uint64_t>(partition) + 1) *
+                           0x9E3779B97F4A7C15ULL);
+  const std::uint64_t id = mix.next();
+  // 0 means "legacy id-less upload" on the wire and would bypass dedup.
+  return id == 0 ? 1 : id;
+}
+
+Router::Router(GeoPartitioner partitioner, retrieval::RetrievalConfig retrieval,
+               RoutingTable table, NodeExchange exchange)
+    : partitioner_(std::move(partitioner)),
+      retrieval_(retrieval),
+      exchange_(std::move(exchange)),
+      table_(std::move(table)) {}
+
+std::optional<net::UploadAck> Router::route_upload(
+    const net::UploadMessage& msg) {
+  auto& m = obs::cluster_metrics();
+  obs::Span span = obs::tracer().root_span("cluster.route");
+  obs::ScopedTimer timer(m.route_ns, span.trace_id());
+  m.uploads_routed.inc();
+
+  // Split by partition. std::map keeps partition order deterministic.
+  std::map<std::size_t, std::vector<core::RepresentativeFov>> groups;
+  for (const core::RepresentativeFov& rep : msg.segments) {
+    groups[partitioner_.partition_of(rep.fov.p.lng, rep.fov.p.lat)].push_back(
+        rep);
+  }
+  span.tag("partitions", groups.size());
+  if (groups.empty()) {
+    // A segment-less upload touches no partition; ack it as accepted so
+    // the client's queue retires it (re-sends land here again — harmless).
+    net::UploadAck ack;
+    ack.upload_id = msg.upload_id;
+    ack.status = net::UploadAckStatus::kAccepted;
+    return ack;
+  }
+
+  net::UploadAck out;
+  out.upload_id = msg.upload_id;
+  out.status = net::UploadAckStatus::kDuplicate;
+  for (auto& [partition, segments] : groups) {
+    net::UploadMessage sub;
+    sub.upload_id = sub_upload_id(msg.upload_id, partition);
+    sub.video_id = msg.video_id;
+    sub.segments = std::move(segments);
+
+    std::uint32_t node = 0;
+    {
+      std::shared_lock lk(table_mu_);
+      node = table_.primary_of[partition];
+    }
+    const auto bytes = net::encode_upload(sub);
+    m.subuploads.inc();
+    const auto replies = exchange_(node, bytes);
+    std::optional<net::UploadAck> sub_ack;
+    for (const auto& reply : replies) {
+      const auto a = net::decode_upload_ack(reply);
+      if (a && a->upload_id == sub.upload_id) {
+        sub_ack = *a;
+        break;
+      }
+    }
+    // Any unanswered leg fails the whole attempt: the client retries the
+    // parent upload, the sub ids regenerate identically, and legs that
+    // did land dedup on the next pass.
+    if (!sub_ack) return std::nullopt;
+    switch (sub_ack->status) {
+      case net::UploadAckStatus::kRejected:
+        out.status = net::UploadAckStatus::kRejected;
+        return out;
+      case net::UploadAckStatus::kRetryLater:
+        // Degraded node: surface the retriable verdict so the queue backs
+        // off instead of burning attempts.
+        out.status = net::UploadAckStatus::kRetryLater;
+        return out;
+      case net::UploadAckStatus::kAccepted:
+        out.status = net::UploadAckStatus::kAccepted;
+        break;
+      case net::UploadAckStatus::kDuplicate:
+        break;  // keep whatever the other legs said
+    }
+    out.segments_indexed += sub_ack->segments_indexed;
+  }
+  return out;
+}
+
+net::UploadQueue::AttemptFn Router::upload_channel() {
+  return [this](const std::vector<std::uint8_t>& bytes)
+             -> std::optional<net::UploadAck> {
+    const auto msg = net::decode_upload(bytes);
+    if (!msg) return std::nullopt;
+    return route_upload(*msg);
+  };
+}
+
+std::vector<retrieval::RankedResult> Router::search(
+    const retrieval::Query& q, std::uint32_t top_n, bool* complete,
+    std::size_t attempts_per_node) {
+  auto& m = obs::cluster_metrics();
+  obs::Span span = obs::tracer().root_span("cluster.fanout");
+  obs::ScopedTimer timer(m.fanout_ns, span.trace_id());
+  m.queries.inc();
+  if (complete != nullptr) *complete = true;
+
+  // Prune with the same expanded rectangle the per-node engines search,
+  // so a camera in a neighbouring cell that can see into the query circle
+  // is never skipped.
+  const double expansion = retrieval_.box_expansion > 0.0
+                               ? retrieval_.box_expansion
+                               : lossless_expansion(q, retrieval_.camera);
+  const index::GeoTimeRange range = retrieval::make_search_range(q, expansion);
+  const std::vector<std::size_t> parts =
+      partitioner_.partitions_for_range(range);
+
+  std::uint64_t epoch = 0;
+  std::vector<std::uint32_t> targets;  // owning nodes, deduplicated
+  std::size_t serving_nodes = 0;
+  {
+    std::shared_lock lk(table_mu_);
+    epoch = table_.epoch;
+    for (const std::size_t p : parts) targets.push_back(table_.primary_of[p]);
+    std::sort(targets.begin(), targets.end());
+    targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+    std::vector<std::uint32_t> all = table_.primary_of;
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    serving_nodes = all.size();
+  }
+  span.tag("partitions", parts.size());
+  span.tag("nodes", targets.size());
+  m.fanout_nodes.inc(targets.size());
+  m.fanout_skipped.inc(serving_nodes - targets.size());
+  if (targets.empty()) return {};  // query misses the deployment entirely
+
+  QueryFanoutMessage fan;
+  fan.epoch = epoch;
+  fan.t_start = q.t_start;
+  fan.t_end = q.t_end;
+  fan.center = q.center;
+  fan.radius_m = q.radius_m;
+  fan.top_n = top_n;
+  const auto request = encode_query_fanout(fan);
+
+  std::vector<std::vector<retrieval::RankedResult>> lists;
+  lists.reserve(targets.size());
+  for (const std::uint32_t node : targets) {
+    std::optional<FanoutResultsMessage> answer;
+    for (std::size_t attempt = 0;
+         attempt < attempts_per_node && !answer; ++attempt) {
+      for (const auto& reply : exchange_(node, request)) {
+        const auto res = decode_fanout_results(reply);
+        if (res) {
+          answer = std::move(*res);
+          break;
+        }
+      }
+    }
+    if (answer) {
+      lists.push_back(std::move(answer->results));
+    } else if (complete != nullptr) {
+      *complete = false;
+    }
+  }
+
+  // Followers may answer with copies of rows the owning primary also
+  // returned (replication), so the merge deduplicates by segment identity.
+  return retrieval::merge_ranked_lists(
+      std::span<const std::vector<retrieval::RankedResult>>(lists), top_n,
+      retrieval::RankedBefore{},
+      [](const retrieval::RankedResult& a, const retrieval::RankedResult& b) {
+        return a.rep.video_id == b.rep.video_id &&
+               a.rep.segment_id == b.rep.segment_id;
+      });
+}
+
+RoutingTableMessage Router::routing() const {
+  std::shared_lock lk(table_mu_);
+  return {partitioner_.config(), table_};
+}
+
+void Router::set_primary(std::size_t partition, std::uint32_t node) {
+  std::unique_lock lk(table_mu_);
+  table_.primary_of[partition] = node;
+  ++table_.epoch;
+}
+
+std::vector<std::uint8_t> handle_fanout_query(
+    net::CloudServer& server, std::size_t node_id,
+    std::span<const std::uint8_t> bytes) {
+  const auto msg = decode_query_fanout(bytes);
+  if (!msg) return {};
+  retrieval::Query q;
+  q.t_start = msg->t_start;
+  q.t_end = msg->t_end;
+  q.center = msg->center;
+  q.radius_m = msg->radius_m;
+  FanoutResultsMessage out;
+  out.node = node_id;
+  out.results = server.search_n(q, msg->top_n);
+  return encode_fanout_results(out);
+}
+
+}  // namespace svg::cluster

@@ -1,0 +1,263 @@
+#include "cluster/wire.hpp"
+
+#include <bit>
+
+#include "store/crc32c.hpp"
+#include "store/snapshot.hpp"
+#include "util/bytes.hpp"
+
+namespace svg::cluster {
+
+namespace {
+
+using util::ByteReader;
+using util::ByteWriter;
+
+/// Append the crc32c trailer over everything written so far and return
+/// the sealed buffer — the same framing net/wire.cpp gives v2 uploads.
+std::vector<std::uint8_t> seal(ByteWriter& w) {
+  auto bytes = w.take();
+  const std::uint32_t crc = store::crc32c(bytes);
+  bytes.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+  bytes.push_back(static_cast<std::uint8_t>((crc >> 8) & 0xFF));
+  bytes.push_back(static_cast<std::uint8_t>((crc >> 16) & 0xFF));
+  bytes.push_back(static_cast<std::uint8_t>((crc >> 24) & 0xFF));
+  return bytes;
+}
+
+/// Verify the trailer; returns the body (without the crc) or nullopt.
+std::optional<std::span<const std::uint8_t>> unseal(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 5) return std::nullopt;
+  const auto body = bytes.first(bytes.size() - 4);
+  const auto* t = bytes.data() + bytes.size() - 4;
+  const std::uint32_t want = static_cast<std::uint32_t>(t[0]) |
+                             static_cast<std::uint32_t>(t[1]) << 8 |
+                             static_cast<std::uint32_t>(t[2]) << 16 |
+                             static_cast<std::uint32_t>(t[3]) << 24;
+  if (store::crc32c(body) != want) return std::nullopt;
+  return body;
+}
+
+void put_double(ByteWriter& w, double v) {
+  w.put_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+std::optional<double> get_double(ByteReader& r) {
+  const auto bits = r.get_u64();
+  if (!bits) return std::nullopt;
+  return std::bit_cast<double>(*bits);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_query_fanout(const QueryFanoutMessage& m) {
+  ByteWriter w;
+  w.put_u8(kMsgQueryFanout);
+  w.put_varint(m.epoch);
+  w.put_svarint(static_cast<std::int64_t>(m.t_start));
+  w.put_svarint(static_cast<std::int64_t>(m.t_end - m.t_start));
+  put_double(w, m.center.lat);
+  put_double(w, m.center.lng);
+  put_double(w, m.radius_m);
+  w.put_varint(m.top_n);
+  return seal(w);
+}
+
+std::optional<QueryFanoutMessage> decode_query_fanout(
+    std::span<const std::uint8_t> bytes) {
+  const auto body = unseal(bytes);
+  if (!body) return std::nullopt;
+  ByteReader r(*body);
+  const auto tag = r.get_u8();
+  if (!tag || *tag != kMsgQueryFanout) return std::nullopt;
+  QueryFanoutMessage m;
+  const auto epoch = r.get_varint();
+  const auto t0 = r.get_svarint();
+  const auto dt = r.get_svarint();
+  if (!epoch || !t0 || !dt) return std::nullopt;
+  m.epoch = *epoch;
+  m.t_start = static_cast<core::TimestampMs>(*t0);
+  m.t_end = static_cast<core::TimestampMs>(*t0 + *dt);
+  const auto lat = get_double(r);
+  const auto lng = get_double(r);
+  const auto radius = get_double(r);
+  const auto top_n = r.get_varint();
+  if (!lat || !lng || !radius || !top_n) return std::nullopt;
+  m.center = {*lat, *lng};
+  m.radius_m = *radius;
+  m.top_n = static_cast<std::uint32_t>(*top_n);
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_fanout_results(
+    const FanoutResultsMessage& m) {
+  ByteWriter w;
+  w.put_u8(kMsgFanoutResults);
+  w.put_varint(m.node);
+  w.put_varint(m.results.size());
+  // Reps first (the snapshot codec's delta encoding), then the exact
+  // ranking doubles in the same order.
+  std::vector<core::RepresentativeFov> reps;
+  reps.reserve(m.results.size());
+  for (const auto& r : m.results) reps.push_back(r.rep);
+  store::put_rep_records(w, reps);
+  for (const auto& r : m.results) {
+    put_double(w, r.distance_m);
+    put_double(w, r.relevance);
+  }
+  return seal(w);
+}
+
+std::optional<FanoutResultsMessage> decode_fanout_results(
+    std::span<const std::uint8_t> bytes) {
+  const auto body = unseal(bytes);
+  if (!body) return std::nullopt;
+  ByteReader r(*body);
+  const auto tag = r.get_u8();
+  if (!tag || *tag != kMsgFanoutResults) return std::nullopt;
+  FanoutResultsMessage m;
+  const auto node = r.get_varint();
+  const auto count = r.get_varint();
+  if (!node || !count) return std::nullopt;
+  m.node = *node;
+  std::vector<core::RepresentativeFov> reps;
+  if (!store::get_rep_records(r, *count, reps)) return std::nullopt;
+  m.results.reserve(reps.size());
+  for (auto& rep : reps) {
+    retrieval::RankedResult res;
+    res.rep = rep;
+    const auto dist = get_double(r);
+    const auto rel = get_double(r);
+    if (!dist || !rel) return std::nullopt;
+    res.distance_m = *dist;
+    res.relevance = *rel;
+    m.results.push_back(res);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_replicate_batch(
+    const ReplicateBatchMessage& m) {
+  ByteWriter w;
+  w.put_u8(kMsgReplicateBatch);
+  w.put_varint(m.primary);
+  w.put_varint(m.first_seq);
+  w.put_varint(m.payloads.size());
+  for (const auto& p : m.payloads) {
+    w.put_varint(p.size());
+    w.put_bytes(p);
+  }
+  return seal(w);
+}
+
+std::optional<ReplicateBatchMessage> decode_replicate_batch(
+    std::span<const std::uint8_t> bytes) {
+  const auto body = unseal(bytes);
+  if (!body) return std::nullopt;
+  ByteReader r(*body);
+  const auto tag = r.get_u8();
+  if (!tag || *tag != kMsgReplicateBatch) return std::nullopt;
+  ReplicateBatchMessage m;
+  const auto primary = r.get_varint();
+  const auto first_seq = r.get_varint();
+  const auto count = r.get_varint();
+  if (!primary || !first_seq || !count) return std::nullopt;
+  m.primary = *primary;
+  m.first_seq = *first_seq;
+  if (*count > body->size()) return std::nullopt;  // length sanity
+  m.payloads.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto len = r.get_varint();
+    if (!len || *len > r.remaining()) return std::nullopt;
+    const auto at = body->subspan(r.position(), *len);
+    m.payloads.emplace_back(at.begin(), at.end());
+    // Advance the reader past the raw bytes.
+    for (std::uint64_t b = 0; b < *len; ++b) {
+      if (!r.get_u8()) return std::nullopt;
+    }
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_replicate_ack(const ReplicateAckMessage& m) {
+  ByteWriter w;
+  w.put_u8(kMsgReplicateAck);
+  w.put_varint(m.follower);
+  w.put_varint(m.applied_seq);
+  return seal(w);
+}
+
+std::optional<ReplicateAckMessage> decode_replicate_ack(
+    std::span<const std::uint8_t> bytes) {
+  const auto body = unseal(bytes);
+  if (!body) return std::nullopt;
+  ByteReader r(*body);
+  const auto tag = r.get_u8();
+  if (!tag || *tag != kMsgReplicateAck) return std::nullopt;
+  ReplicateAckMessage m;
+  const auto follower = r.get_varint();
+  const auto applied = r.get_varint();
+  if (!follower || !applied) return std::nullopt;
+  m.follower = *follower;
+  m.applied_seq = *applied;
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+std::vector<std::uint8_t> encode_routing_table(const RoutingTableMessage& m) {
+  ByteWriter w;
+  w.put_u8(kMsgRoutingTable);
+  put_double(w, m.partition.bounds.min[0]);
+  put_double(w, m.partition.bounds.min[1]);
+  put_double(w, m.partition.bounds.max[0]);
+  put_double(w, m.partition.bounds.max[1]);
+  w.put_varint(m.partition.cells_per_side);
+  w.put_varint(m.partition.partitions);
+  w.put_varint(m.partition.salt);
+  w.put_varint(m.table.epoch);
+  w.put_varint(m.table.primary_of.size());
+  for (const std::uint32_t n : m.table.primary_of) w.put_varint(n);
+  return seal(w);
+}
+
+std::optional<RoutingTableMessage> decode_routing_table(
+    std::span<const std::uint8_t> bytes) {
+  const auto body = unseal(bytes);
+  if (!body) return std::nullopt;
+  ByteReader r(*body);
+  const auto tag = r.get_u8();
+  if (!tag || *tag != kMsgRoutingTable) return std::nullopt;
+  RoutingTableMessage m;
+  const auto lng0 = get_double(r);
+  const auto lat0 = get_double(r);
+  const auto lng1 = get_double(r);
+  const auto lat1 = get_double(r);
+  if (!lng0 || !lat0 || !lng1 || !lat1) return std::nullopt;
+  m.partition.bounds.min = {*lng0, *lat0};
+  m.partition.bounds.max = {*lng1, *lat1};
+  const auto cells = r.get_varint();
+  const auto parts = r.get_varint();
+  const auto salt = r.get_varint();
+  const auto epoch = r.get_varint();
+  const auto count = r.get_varint();
+  if (!cells || !parts || !salt || !epoch || !count) return std::nullopt;
+  if (*count > body->size()) return std::nullopt;
+  m.partition.cells_per_side = static_cast<std::size_t>(*cells);
+  m.partition.partitions = static_cast<std::size_t>(*parts);
+  m.partition.salt = *salt;
+  m.table.epoch = *epoch;
+  m.table.primary_of.reserve(*count);
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    const auto n = r.get_varint();
+    if (!n) return std::nullopt;
+    m.table.primary_of.push_back(static_cast<std::uint32_t>(*n));
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return m;
+}
+
+}  // namespace svg::cluster

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "geo/geodesy.hpp"
+#include "retrieval/top_n.hpp"
 
 namespace svg::index {
 
@@ -158,21 +159,28 @@ std::vector<core::RepresentativeFov> ShardedFovIndex::nearest_k(
   auto& m = obs::index_metrics();
   obs::ScopedTimer timer(m.query_ns);
   m.queries.inc();
-  std::vector<core::RepresentativeFov> merged;
+  // Per-shard top-k lists, each re-sorted under the shared deterministic
+  // order (distance, then id tie-break), then k-way merged — the same
+  // fan-in semantics the cluster scatter-gather uses.
+  const auto before = [&](const core::RepresentativeFov& a,
+                          const core::RepresentativeFov& b) {
+    const double da = planar_distance_m(center, a);
+    const double db = planar_distance_m(center, b);
+    if (da != db) return da < db;
+    if (a.video_id != b.video_id) return a.video_id < b.video_id;
+    return a.segment_id < b.segment_id;
+  };
+  std::vector<std::vector<core::RepresentativeFov>> parts;
+  parts.reserve(shards_.size());
   for (const auto& sp : shards_) {
     std::shared_lock lock(sp->mutex);
     sp->metrics->queries.inc();
-    auto part = sp->index.nearest_k(center, k, t_start, t_end);
-    merged.insert(merged.end(), part.begin(), part.end());
+    parts.push_back(sp->index.nearest_k(center, k, t_start, t_end));
+    std::sort(parts.back().begin(), parts.back().end(), before);
   }
-  std::stable_sort(merged.begin(), merged.end(),
-                   [&](const core::RepresentativeFov& a,
-                       const core::RepresentativeFov& b) {
-                     return planar_distance_m(center, a) <
-                            planar_distance_m(center, b);
-                   });
-  if (merged.size() > k) merged.resize(k);
-  return merged;
+  return retrieval::merge_ranked_lists(
+      std::span<const std::vector<core::RepresentativeFov>>(parts), k,
+      before);
 }
 
 void ShardedFovIndex::check_invariants() const {

@@ -294,6 +294,22 @@ std::vector<retrieval::RankedResult> CloudServer::search(
   });
 }
 
+std::vector<retrieval::RankedResult> CloudServer::search_n(
+    const retrieval::Query& q, std::uint32_t top_n,
+    retrieval::SearchTrace* trace) const {
+  auto& m = obs::server_metrics();
+  obs::Span span = obs::tracer().root_span("server.query");
+  obs::ScopedTimer timer(m.query_ns, span.trace_id());
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+  m.queries.inc();
+  retrieval::RetrievalConfig cfg = retrieval_config_;
+  cfg.top_n = top_n;
+  return with_index([&](const auto& idx) {
+    retrieval::RetrievalEngine<std::decay_t<decltype(idx)>> engine(idx, cfg);
+    return engine.search(q, trace);
+  });
+}
+
 std::optional<std::vector<std::uint8_t>> CloudServer::handle_query(
     std::span<const std::uint8_t> bytes) {
   auto& m = obs::server_metrics();

@@ -151,6 +151,13 @@ class CloudServer {
       const retrieval::Query& q,
       retrieval::SearchTrace* trace = nullptr) const;
 
+  /// search() with a per-request top-N override — the in-process twin of
+  /// handle_query's top_n field, used by the cluster fan-out path so a
+  /// node's local cut matches what a wire query would have returned.
+  [[nodiscard]] std::vector<retrieval::RankedResult> search_n(
+      const retrieval::Query& q, std::uint32_t top_n,
+      retrieval::SearchTrace* trace = nullptr) const;
+
   [[nodiscard]] std::size_t indexed_segments() const {
     return std::visit([](const auto& p) { return p->size(); }, index_);
   }

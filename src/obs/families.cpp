@@ -297,6 +297,44 @@ JournalMetrics& journal_metrics() {
   return m;
 }
 
+ClusterMetrics& cluster_metrics() {
+  static ClusterMetrics m{
+      global().counter("svg_cluster_uploads_routed_total",
+                       "Parent uploads split by geo-cell and routed"),
+      global().counter("svg_cluster_subuploads_total",
+                       "Per-partition sub-uploads sent to nodes"),
+      global().counter("svg_cluster_queries_total",
+                       "Scatter-gather searches through the router"),
+      global().counter("svg_cluster_fanout_nodes_total",
+                       "Nodes contacted by scatter-gather searches"),
+      global().counter("svg_cluster_fanout_skipped_total",
+                       "Nodes pruned from fan-out by cell intersection"),
+      global().counter("svg_cluster_replicate_batches_total",
+                       "Replication batches applied on followers"),
+      global().counter("svg_cluster_replicate_records_total",
+                       "WAL records applied on followers"),
+      global().counter("svg_cluster_replicate_rejects_total",
+                       "Replication batches refused (gap or bad bytes)"),
+      global().counter("svg_cluster_promotions_total",
+                       "Follower-to-serving-primary promotions"),
+      global().counter("svg_cluster_demotions_total",
+                       "Primaries demoted after failed health probes"),
+      global().counter("svg_cluster_lag_alerts_total",
+                       "Replication-lag threshold crossings"),
+      global().gauge("svg_cluster_nodes_up",
+                     "Cluster nodes currently up and serving"),
+      global().gauge("svg_cluster_replication_lag",
+                     "Worst follower replication lag, in records"),
+      global().histogram("svg_cluster_route_ns",
+                         "Upload routing wall time (split + deliver)"),
+      global().histogram("svg_cluster_fanout_ns",
+                         "Scatter-gather search wall time incl. merge"),
+      global().histogram("svg_cluster_replicate_ns",
+                         "Replication round wall time"),
+  };
+  return m;
+}
+
 ThreadPoolMetrics::ThreadPoolMetrics()
     : queue_depth(global().gauge("svg_threadpool_queue_depth",
                                  "Tasks queued but not yet started")),
@@ -324,6 +362,7 @@ void touch_all_families() {
   (void)store_fault_metrics();
   (void)trace_metrics();
   (void)journal_metrics();
+  (void)cluster_metrics();
   (void)thread_pool_metrics();
 }
 

@@ -192,6 +192,28 @@ struct JournalMetrics {
   Counter& events;  ///< journal records appended
 };
 
+/// cluster::Router / cluster::Cluster — geo-partitioned multi-node layer
+/// (docs/CLUSTER.md): upload routing, scatter-gather fan-out, WAL-shipping
+/// replication, and failover promotion.
+struct ClusterMetrics {
+  Counter& uploads_routed;      ///< parent uploads split and routed
+  Counter& subuploads;          ///< per-partition sub-uploads sent
+  Counter& queries;             ///< scatter-gather searches
+  Counter& fanout_nodes;        ///< nodes contacted by searches
+  Counter& fanout_skipped;      ///< nodes pruned by cell intersection
+  Counter& replicate_batches;   ///< replication batches applied
+  Counter& replicate_records;   ///< WAL records applied on followers
+  Counter& replicate_rejects;   ///< batches refused (gap/decode/corruption)
+  Counter& promotions;          ///< follower → serving-primary flips
+  Counter& demotions;           ///< primaries marked down by probes
+  Counter& lag_alerts;          ///< replication-lag threshold crossings
+  Gauge& nodes_up;              ///< cluster nodes currently serving
+  Gauge& replication_lag;       ///< worst follower lag (records behind)
+  Histogram& route_ns;          ///< route_upload wall time
+  Histogram& fanout_ns;         ///< scatter-gather search wall time
+  Histogram& replicate_ns;      ///< replicate_round wall time
+};
+
 /// util::ThreadPool — implements the util-side observer hook so the pool
 /// itself stays obs-free. Pass `&obs::thread_pool_metrics()` as the pool's
 /// observer (the shared instance outlives any pool).
@@ -234,6 +256,7 @@ class ThreadPoolMetrics final : public util::ThreadPoolObserver {
 [[nodiscard]] StoreFaultMetrics& store_fault_metrics();
 [[nodiscard]] TraceMetrics& trace_metrics();
 [[nodiscard]] JournalMetrics& journal_metrics();
+[[nodiscard]] ClusterMetrics& cluster_metrics();
 [[nodiscard]] ThreadPoolMetrics& thread_pool_metrics();
 
 /// Register every family above so exposition includes idle subsystems.

@@ -36,6 +36,9 @@ const char* journal_event_name(JournalEvent event) {
     case JournalEvent::kNetFaultInjected: return "net_fault_injected";
     case JournalEvent::kUploadDeferred: return "upload_deferred";
     case JournalEvent::kUploadExhausted: return "upload_exhausted";
+    case JournalEvent::kFollowerPromoted: return "follower_promoted";
+    case JournalEvent::kPrimaryDemoted: return "primary_demoted";
+    case JournalEvent::kReplicationLagged: return "replication_lagged";
   }
   return "unknown";
 }

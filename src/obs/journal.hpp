@@ -40,6 +40,10 @@ enum class JournalEvent : std::uint16_t {
   kNetFaultInjected = 12,      ///< FaultyLink fired (a0 = fault code)
   kUploadDeferred = 13,    ///< kRetryLater ack (a0 = upload_id, a1 = streak)
   kUploadExhausted = 14,   ///< upload abandoned (a0 = upload_id, a1 = attempts)
+  kFollowerPromoted = 15,  ///< failover (a0 = partition, a1 = node, a2 = epoch)
+  kPrimaryDemoted = 16,    ///< failover (a0 = partition, a1 = old node)
+  kReplicationLagged = 17, ///< lag threshold crossed (a0 = primary,
+                           ///< a1 = follower, a2 = records behind)
 };
 
 /// Human-readable event name ("server_degraded", …); "unknown" for

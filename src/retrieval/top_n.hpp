@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "retrieval/query.hpp"
@@ -63,5 +64,70 @@ class BoundedTopN {
   RankedBefore before_;
   std::vector<RankedResult> heap_;
 };
+
+/// Deterministic k-way merge of per-source ranked lists, each already
+/// sorted by `before`, keeping the best `k` overall. Non-destructive: the
+/// inputs are read through spans and never moved from. `same(a, b)` marks
+/// `b` as a duplicate of an already-merged `a` and drops it — cluster
+/// followers can answer with copies of rows the owning primary also
+/// returns. Exact ties under `before` resolve to the lower source index,
+/// so the output is a pure function of (lists, order-within-list) — and,
+/// when every list is sorted by a total order such as RankedBefore, of
+/// the candidate *set* alone. This is the shared merge behind both the
+/// sharded-index fan-in and the cluster scatter-gather.
+template <typename T, typename Before, typename Same>
+[[nodiscard]] std::vector<T> merge_ranked_lists(
+    std::span<const std::vector<T>> lists, std::size_t k, Before before,
+    Same same) {
+  struct Cursor {
+    std::size_t list = 0;
+    std::size_t pos = 0;
+  };
+  // Max-heap ordered so the globally best cursor surfaces first; exact
+  // ties prefer the lower list index.
+  auto worse = [&](const Cursor& a, const Cursor& b) {
+    const T& x = lists[a.list][a.pos];
+    const T& y = lists[b.list][b.pos];
+    if (before(x, y)) return false;
+    if (before(y, x)) return true;
+    return a.list > b.list;
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(lists.size());
+  for (std::size_t i = 0; i < lists.size(); ++i) {
+    if (!lists[i].empty()) heap.push_back({i, 0});
+  }
+  std::make_heap(heap.begin(), heap.end(), worse);
+  std::vector<T> out;
+  out.reserve(std::min<std::size_t>(k, 64));
+  while (!heap.empty() && out.size() < k) {
+    std::pop_heap(heap.begin(), heap.end(), worse);
+    Cursor c = heap.back();
+    heap.pop_back();
+    const T& item = lists[c.list][c.pos];
+    bool duplicate = false;
+    for (const T& seen : out) {
+      if (same(seen, item)) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) out.push_back(item);
+    if (c.pos + 1 < lists[c.list].size()) {
+      heap.push_back({c.list, c.pos + 1});
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  }
+  return out;
+}
+
+/// merge_ranked_lists without duplicate suppression (shard fan-in: shards
+/// partition the corpus, so no row appears twice).
+template <typename T, typename Before>
+[[nodiscard]] std::vector<T> merge_ranked_lists(
+    std::span<const std::vector<T>> lists, std::size_t k, Before before) {
+  return merge_ranked_lists(lists, k, before,
+                            [](const T&, const T&) { return false; });
+}
 
 }  // namespace svg::retrieval

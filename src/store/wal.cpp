@@ -253,6 +253,25 @@ WalDump wal_dump(const std::string& dir, std::uint64_t replay_after,
   return dump;
 }
 
+std::optional<std::vector<WalRecordData>> wal_read_records(
+    const std::string& dir, std::uint64_t after, std::size_t max_records,
+    std::uint64_t replay_after, Env* env) {
+  std::vector<WalRecordData> out;
+  // The handler sees every record with seq > replay_after; the shipper's
+  // cursor filter and batch cap apply on top.
+  const WalReplayHandler collect = [&](std::uint64_t seq,
+                                       std::span<const std::uint8_t> payload) {
+    if (seq <= after) return;
+    if (max_records != 0 && out.size() >= max_records) return;
+    out.push_back({seq, {payload.begin(), payload.end()}});
+  };
+  auto scan = scan_wal(dir, std::min(replay_after, after), collect,
+                       /*collect_records=*/false,
+                       env != nullptr ? *env : Env::posix());
+  if (!scan.error.empty()) return std::nullopt;
+  return out;
+}
+
 bool wal_trim_after(const std::string& dir, std::uint64_t seq,
                     std::uint64_t replay_after, Env* env) {
   Env& e = env != nullptr ? *env : Env::posix();

@@ -131,6 +131,24 @@ struct WalDump {
 [[nodiscard]] std::string wal_segment_path(const std::string& dir,
                                            std::uint64_t first_seq);
 
+/// One WAL record with its payload — the unit the replication shipper
+/// streams to followers (docs/CLUSTER.md).
+struct WalRecordData {
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Stream records with seq in (after, after + max_records] out of a WAL
+/// directory: the primary-side read of WAL-shipping replication, where
+/// `after` is the follower's applied cursor. Returned records are
+/// contiguous in seq. `replay_after` is the checkpoint watermark, as for
+/// wal_dump (cluster primaries never retire segments, so 0). nullopt on
+/// chain corruption or I/O failure; an empty vector means the follower is
+/// caught up. max_records == 0 means no cap.
+[[nodiscard]] std::optional<std::vector<WalRecordData>> wal_read_records(
+    const std::string& dir, std::uint64_t after, std::size_t max_records = 0,
+    std::uint64_t replay_after = 0, Env* env = nullptr);
+
 struct WalOpenResult;
 
 class Wal {
