@@ -1,0 +1,303 @@
+// Open-loop overload sweep — what admission control (net/admission.hpp)
+// buys when offered load exceeds capacity, and what the system looks like
+// without it.
+//
+// Workload: the ingest lane is provisioned at 1000 requests/s (1 ms
+// service). Arrivals are bursty — bursts of 64 requests, with the burst
+// interval scaled so offered load runs 1x, 2x, 4x, 8x, 16x capacity.
+// Every request carries the lane's 150 ms deadline: an answer later than
+// that is useless to its caller whether or not it was computed. One query
+// rides along with every burst to measure the priority lane.
+//
+// With admission ON (queue depth 128, deadline-aware shedding), excess
+// arrivals are shed at the door with retry-after hints and every admitted
+// request finishes inside its deadline: goodput (useful completions per
+// simulated second) plateaus at capacity and the admitted wait p99 stays
+// bounded by the queue depth. With admission OFF the server still serves
+// at capacity, but into an unbounded queue: past saturation nearly every
+// completion lands after its deadline — classic congestion collapse,
+// goodput -> 0 while the server is 100% busy. The query lane is
+// provisioned separately, so its admit ratio holds 1.0 through the
+// worst ingest flood.
+//
+// Time is fully simulated (SimClock) and arrivals are deterministic, so
+// every number here is a pure property of the admission arithmetic —
+// which is what lets --gate assert on it in CI:
+//   gate 1 (goodput plateaus): goodput(16x, on) >= 0.7 * goodput(1x, on)
+//   gate 2 (bounded admitted latency): wait_p99(16x, on) <= 3 * wait_p99(1x, on)
+//
+// Flags: --duration-ms N  sim length per cell (default 4096)
+//        --json           emit BENCH_overload.json to stdout
+//        --gate           run the two assertions; exit 1 + "gate: FAIL"
+//                         on stderr when either fails
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/admission.hpp"
+#include "net/fault.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "sim/crowd.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace svg;
+
+constexpr double kCapacityRps = 1000.0;  // ingest lane provisioning
+constexpr double kServiceMs = 1000.0 / kCapacityRps;
+constexpr std::size_t kQueueDepth = 128;
+constexpr double kDeadlineMs = 150.0;
+constexpr std::size_t kBurst = 64;       // arrivals per burst
+constexpr double kQueryCapacityRps = 500.0;
+
+double g_duration_ms = 4096.0;
+
+struct CellResult {
+  double mult = 0.0;       // offered load / capacity
+  bool admission = true;
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed_queue = 0;
+  std::uint64_t shed_deadline = 0;
+  std::uint64_t useful = 0;    // completions inside the deadline
+  double goodput_rps = 0.0;    // useful per simulated second
+  double wait_p99_ms = 0.0;    // admitted queue-wait p99
+  double retry_after_p50_ms = 0.0;  // median shed hint
+  double query_ok = 0.0;       // priority-lane admit ratio
+};
+
+net::UploadMessage one_upload(std::uint64_t video_id) {
+  static const auto segments = [] {
+    sim::CityModel city;
+    util::Xoshiro256 rng(5);
+    return sim::random_representative_fovs(2, city, 1'400'000'000'000,
+                                           3'600'000, rng);
+  }();
+  net::UploadMessage msg;
+  msg.upload_id = 0;  // open-loop: no retries, dedup out of the loop
+  msg.video_id = video_id;
+  msg.segments = segments;
+  for (std::size_t i = 0; i < msg.segments.size(); ++i) {
+    msg.segments[i].video_id = video_id;
+    msg.segments[i].segment_id = static_cast<std::uint32_t>(i);
+  }
+  return msg;
+}
+
+retrieval::Query probe_query() {
+  retrieval::Query q;
+  q.center = one_upload(1).segments[0].fov.p;
+  q.radius_m = 50.0;
+  q.t_start = 1'400'000'000'000;
+  q.t_end = q.t_start + 3'600'000;
+  return q;
+}
+
+CellResult run_cell(double mult, bool admission_on) {
+  CellResult res;
+  res.mult = mult;
+  res.admission = admission_on;
+
+  net::SimClock clock;
+  net::AdmissionConfig admission;
+  if (admission_on) {
+    admission.enabled = true;
+    admission.ingest.capacity_rps = kCapacityRps;
+    admission.ingest.queue_depth = kQueueDepth;
+    admission.ingest.default_deadline_ms = kDeadlineMs;
+    admission.query.capacity_rps = kQueryCapacityRps;
+    admission.query.queue_depth = 64;
+    admission.clock = &clock;
+  }
+  net::CloudServer server({}, {}, {}, admission);
+
+  // Admission-off contrast: the same provisioned server behind an
+  // unbounded FIFO, modeled analytically exactly like the controller's
+  // virtual queue — just with no depth limit and no deadline check.
+  double open_busy_until_ms = 0.0;
+
+  std::vector<double> admitted_waits;
+  std::vector<double> hints;
+  std::uint64_t queries_ok = 0;
+  std::uint64_t queries_total = 0;
+
+  const double burst_interval_ms =
+      static_cast<double>(kBurst) * kServiceMs / mult;
+  const retrieval::Query q = probe_query();
+  std::uint64_t client = 0;
+  while (clock.now_ms() < g_duration_ms) {
+    for (std::size_t i = 0; i < kBurst; ++i) {
+      ++res.offered;
+      ++client;
+      if (admission_on) {
+        const auto r = server.ingest_admitted(one_upload(client));
+        if (r.decision.admitted) {
+          ++res.admitted;
+          admitted_waits.push_back(r.decision.wait_ms);
+          // Admitted => finishes at wait + service <= deadline (the
+          // controller checked); it is useful by construction.
+          ++res.useful;
+        } else {
+          hints.push_back(r.decision.retry_after_ms);
+          if (r.decision.outcome == net::AdmissionOutcome::kShedQueueFull) {
+            ++res.shed_queue;
+          } else {
+            ++res.shed_deadline;
+          }
+        }
+      } else {
+        // Everything "admits" into the unbounded queue; useful only if it
+        // completes inside the deadline nobody checked.
+        ++res.admitted;
+        const double now = clock.now_ms();
+        const double wait = std::max(0.0, open_busy_until_ms - now);
+        open_busy_until_ms = std::max(open_busy_until_ms, now) + kServiceMs;
+        admitted_waits.push_back(wait);
+        if (wait + kServiceMs <= kDeadlineMs) ++res.useful;
+      }
+    }
+    // One query per burst: the priority lane under the flood.
+    ++queries_total;
+    if (admission_on) {
+      if (server.search_admitted(q).decision.admitted) ++queries_ok;
+    } else {
+      (void)server.search(q);
+      ++queries_ok;  // no admission: the query "succeeds" regardless
+    }
+    clock.advance(burst_interval_ms);
+  }
+
+  res.goodput_rps =
+      static_cast<double>(res.useful) / (clock.now_ms() / 1000.0);
+  std::sort(admitted_waits.begin(), admitted_waits.end());
+  if (!admitted_waits.empty()) {
+    res.wait_p99_ms = admitted_waits[(admitted_waits.size() * 99) / 100];
+  }
+  std::sort(hints.begin(), hints.end());
+  if (!hints.empty()) res.retry_after_p50_ms = hints[hints.size() / 2];
+  if (queries_total > 0) {
+    res.query_ok =
+        static_cast<double>(queries_ok) / static_cast<double>(queries_total);
+  }
+  return res;
+}
+
+void write_json(std::ostream& os, const std::vector<CellResult>& cells) {
+  os << "{\n"
+     << "  \"note\": \"regenerate: build/bench/bench_overload --json\",\n"
+     << "  \"workload\": {\"capacity_rps\": " << kCapacityRps
+     << ", \"queue_depth\": " << kQueueDepth
+     << ", \"deadline_ms\": " << kDeadlineMs << ", \"burst\": " << kBurst
+     << ", \"duration_ms\": " << g_duration_ms << "},\n"
+     << "  \"gate\": {\"goodput_16x_over_1x_min\": 0.7, "
+     << "\"wait_p99_16x_over_1x_max\": 3.0},\n"
+     << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    os << "    {\"mult\": " << c.mult
+       << ", \"admission\": " << (c.admission ? "true" : "false")
+       << ", \"offered\": " << c.offered << ", \"admitted\": " << c.admitted
+       << ", \"shed_queue\": " << c.shed_queue
+       << ", \"shed_deadline\": " << c.shed_deadline
+       << ", \"useful\": " << c.useful
+       << ", \"goodput_rps\": " << c.goodput_rps
+       << ", \"wait_p99_ms\": " << c.wait_p99_ms
+       << ", \"retry_after_p50_ms\": " << c.retry_after_p50_ms
+       << ", \"query_ok\": " << c.query_ok << "}"
+       << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
+    if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      g_duration_ms = std::atof(argv[i + 1]);
+    }
+  }
+
+  std::vector<CellResult> cells;
+  const CellResult* on_1x = nullptr;
+  const CellResult* on_16x = nullptr;
+  for (const bool admission : {true, false}) {
+    for (const double mult : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+      cells.push_back(run_cell(mult, admission));
+    }
+  }
+  for (const auto& c : cells) {
+    if (c.admission && c.mult == 1.0) on_1x = &c;
+    if (c.admission && c.mult == 16.0) on_16x = &c;
+  }
+
+  if (json) {
+    write_json(std::cout, cells);
+  } else {
+    std::cout << "=== Overload sweep (capacity " << kCapacityRps
+              << " rps, bursts of " << kBurst << ", deadline " << kDeadlineMs
+              << " ms, depth " << kQueueDepth << ", " << g_duration_ms
+              << " sim ms per cell) ===\n";
+    util::Table table({"load", "admission", "offered", "admitted",
+                       "shed_q", "shed_ddl", "goodput_rps", "wait_p99_ms",
+                       "hint_p50", "query_ok"});
+    for (const auto& c : cells) {
+      table.add_row({util::Table::num(c.mult, 0) + "x",
+                     c.admission ? "on" : "off", std::to_string(c.offered),
+                     std::to_string(c.admitted), std::to_string(c.shed_queue),
+                     std::to_string(c.shed_deadline),
+                     util::Table::num(c.goodput_rps, 0),
+                     util::Table::num(c.wait_p99_ms, 1),
+                     util::Table::num(c.retry_after_p50_ms, 1),
+                     util::Table::num(c.query_ok, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nReading: with admission on, goodput plateaus at "
+                 "capacity while offered load grows 16x — the excess is "
+                 "shed at the door with honest retry-after hints and the "
+                 "admitted wait p99 stays pinned by the queue depth. With "
+                 "admission off the same server congestion-collapses: "
+                 "past saturation the unbounded queue serves almost every "
+                 "request after its deadline, so goodput falls toward "
+                 "zero at 100% utilisation. The query lane's separate "
+                 "provisioning keeps its admit ratio at 1.0 throughout.\n";
+  }
+
+  if (gate) {
+    bool pass = true;
+    if (on_1x == nullptr || on_16x == nullptr) {
+      std::cerr << "gate: missing sweep cells\n";
+      pass = false;
+    } else {
+      const double goodput_ratio = on_16x->goodput_rps / on_1x->goodput_rps;
+      const double p99_ratio = on_1x->wait_p99_ms > 0.0
+                                   ? on_16x->wait_p99_ms / on_1x->wait_p99_ms
+                                   : 0.0;
+      std::cerr << "gate: goodput(16x)/goodput(1x) = " << goodput_ratio
+                << " (min 0.7), wait_p99(16x)/wait_p99(1x) = " << p99_ratio
+                << " (max 3.0)\n";
+      if (goodput_ratio < 0.7) {
+        std::cerr << "gate: goodput did not plateau\n";
+        pass = false;
+      }
+      if (p99_ratio > 3.0) {
+        std::cerr << "gate: admitted p99 unbounded\n";
+        pass = false;
+      }
+    }
+    std::cerr << (pass ? "gate: PASS" : "gate: FAIL") << "\n";
+    return pass ? 0 : 1;
+  }
+  return 0;
+}

@@ -45,7 +45,7 @@
 //   svgctl chaos --seeds 20 --drop 0.1 --dup 0.05 --reorder 0.05
 //                --corrupt 0.02 --providers 12
 //                [--disk-write-error p] [--disk-fsync-error p]
-//                [--disk-short-write p]
+//                [--disk-short-write p] [--overload]
 //       chaos smoke test on the upload path: for every seed, drive a
 //       crowd's uploads through FaultyLink + UploadQueue into a fresh
 //       server and verify the index converges byte-for-byte to a
@@ -55,9 +55,14 @@
 //       degrades to read-only under injected disk faults, then the "disk
 //       is repaired" (plan cleared + try_recover_storage) and a fresh
 //       queue with the same seed re-offers everything — the dedup set
-//       absorbs the replays and the index must still converge. Prints
-//       fault/retry stats; exit 2 if any seed diverges
-//       (docs/ROBUSTNESS.md)
+//       absorbs the replays and the index must still converge. --overload
+//       additionally runs the server's admission control at a
+//       starvation-level ingest capacity: uploads are shed with
+//       retry-after hints the queue paces itself by, and the index must
+//       still converge once the flood subsides — shedding delays work,
+//       never loses it. Prints fault/retry stats (plus shed/hint counts
+//       and the last seed's admission table under --overload); exit 2 if
+//       any seed diverges (docs/ROBUSTNESS.md)
 //   svgctl cluster --nodes 3 --seeds 10 --drop 0.1 --dup 0.05
 //                  --reorder 0.05 --corrupt 0.02 --providers 8
 //                  [--queries N]
@@ -74,6 +79,14 @@
 // write-ahead log (docs/DURABILITY.md). generate ingests through a durable
 // server so the corpus survives in <dir>; query recovers <dir> instead of
 // reading --in. --fsync always|batch|none picks the ack policy.
+//
+// Admission flags (query): --admit-rate R arms overload control with an
+// ingest lane provisioned at R requests/second (docs/ROBUSTNESS.md);
+// --admit-burst B adds a per-client token bucket (refill R/s, burst B)
+// keyed by uploader id; --queue-depth N bounds the virtual admission
+// queue; --deadline-ms T sheds anything that would finish past T. The
+// run prints an "admission" stats table per lane; a query the controller
+// sheds exits 2 with the server-computed retry-after hint.
 //
 // Observability flags (query and generate):
 //   --metrics-out <file|->   dump the process metric registry after the run
@@ -107,6 +120,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/router.hpp"
 #include "cluster/wire.hpp"
+#include "net/admission.hpp"
 #include "net/client.hpp"
 #include "net/fault.hpp"
 #include "net/upload_queue.hpp"
@@ -130,10 +144,17 @@ using namespace svg;
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                int first) {
   std::map<std::string, std::string> flags;
-  for (int i = first; i + 1 < argc; i += 2) {
+  for (int i = first; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) continue;
-    flags[key.substr(2)] = argv[i + 1];
+    // A flag followed by another flag (or by nothing) is a bare boolean
+    // switch (e.g. chaos --overload): it reads as "1" and the next token
+    // keeps its own turn.
+    if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
+      flags[key.substr(2)] = "1";
+    } else {
+      flags[key.substr(2)] = argv[++i];
+    }
   }
   return flags;
 }
@@ -278,13 +299,61 @@ void print_tiered_stats(const index::TieredStats& s, const std::string& when) {
   table.print(std::cout);
 }
 
+/// Build the overload-control config from --admit-rate/--admit-burst/
+/// --queue-depth/--deadline-ms (docs/ROBUSTNESS.md). --admit-rate <= 0
+/// (the default) leaves admission disabled — the server is byte-for-byte
+/// the pre-admission one. --admit-rate is the ingest lane's provisioned
+/// capacity in requests/second and doubles as the per-client refill rate
+/// when --admit-burst caps each uploader's burst.
+net::AdmissionConfig admission_from_flags(
+    const std::map<std::string, std::string>& flags) {
+  net::AdmissionConfig acfg;
+  const double rate = flag_num(flags, "admit-rate", 0.0);
+  if (rate <= 0.0) return acfg;
+  acfg.enabled = true;
+  acfg.ingest.capacity_rps = rate;
+  acfg.ingest.queue_depth =
+      static_cast<std::size_t>(flag_num(flags, "queue-depth", 64));
+  acfg.ingest.default_deadline_ms = flag_num(flags, "deadline-ms", 0.0);
+  acfg.query.default_deadline_ms = acfg.ingest.default_deadline_ms;
+  const double burst = flag_num(flags, "admit-burst", 0.0);
+  if (burst > 0.0) {
+    acfg.per_client.rate_per_sec = rate;
+    acfg.per_client.burst = burst;
+  }
+  return acfg;
+}
+
+/// svgctl's admission section: one row per lane out of
+/// AdmissionController::stats() (query with --admit-rate, chaos
+/// --overload).
+void print_admission_stats(const net::AdmissionController& ac) {
+  std::cout << "\n=== admission ===\n";
+  const auto s = ac.stats();
+  util::Table table({"lane", "admitted", "throttled", "shed_queue_full",
+                     "shed_deadline", "backlog", "shedding"});
+  const auto row = [&](const std::string& name,
+                       const net::AdmissionLaneStats& l) {
+    table.add_row({name, util::Table::num(l.admitted),
+                   util::Table::num(l.throttled),
+                   util::Table::num(l.shed_queue_full),
+                   util::Table::num(l.shed_deadline),
+                   util::Table::num(l.backlog, 2),
+                   l.shedding ? "yes" : "no"});
+  };
+  row("ingest", s.ingest);
+  row("query", s.query);
+  table.print(std::cout);
+}
+
 /// Construct a durable server, turning the recovery-failure exception into
 /// an error message + null (svgctl's runtime-failure path).
 std::unique_ptr<net::CloudServer> open_durable_server(
     const net::ServerIndexConfig& icfg, const retrieval::RetrievalConfig& cfg,
-    const net::ServerDurabilityConfig& dcfg) {
+    const net::ServerDurabilityConfig& dcfg,
+    const net::AdmissionConfig& acfg = {}) {
   try {
-    return std::make_unique<net::CloudServer>(icfg, cfg, dcfg);
+    return std::make_unique<net::CloudServer>(icfg, cfg, dcfg, acfg);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return nullptr;
@@ -412,8 +481,9 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
   // selected index backend (svg_index_*), the retrieval pipeline
   // (svg_retrieval_*), and the server boundary (svg_server_*). With
   // --data-dir, the corpus comes from crash recovery of that directory
-  // instead of the --in snapshot.
-  auto server = open_durable_server(icfg, cfg, dcfg);
+  // instead of the --in snapshot; with --admit-rate, through admission
+  // control.
+  auto server = open_durable_server(icfg, cfg, dcfg, admission_from_flags(flags));
   if (!server) return 2;
   if (server->durable()) {
     std::cout << server->recovery().summary() << "\n";
@@ -435,6 +505,19 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
 
   const bool traced = flag_num(flags, "trace", 0) != 0;
   if (traced) enable_tracing(flags);
+
+  // One admission verdict first when --admit-rate armed the controller —
+  // the same order search_admitted uses, kept inline here so the traced
+  // search below still captures its stage timings.
+  if (auto* ac = server->admission()) {
+    const auto d = ac->admit_query();
+    if (!d.admitted) {
+      std::cerr << "error: query shed by admission control; retry after "
+                << d.retry_after_ms << " ms\n";
+      print_admission_stats(*ac);
+      return 2;
+    }
+  }
 
   retrieval::SearchTrace trace;
   const auto results = server->search(q, &trace);
@@ -465,6 +548,8 @@ int cmd_query(const std::map<std::string, std::string>& flags) {
   if (const auto tiered = server->tiered_run_stats()) {
     print_tiered_stats(*tiered, "tiered index");
   }
+
+  if (const auto* ac = server->admission()) print_admission_stats(*ac);
 
   if (traced) {
     // The search ran under a "server.query" root; its completed span tree
@@ -615,6 +700,7 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
   const bool disk_faults = disk_base.write_error > 0.0 ||
                            disk_base.fsync_error > 0.0 ||
                            disk_base.short_write > 0.0;
+  const bool overload = flag_num(flags, "overload", 0) != 0;
 
   sim::CrowdConfig ccfg;
   ccfg.providers =
@@ -629,6 +715,8 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
   std::uint64_t uploads_total = 0, attempts_total = 0, retries_total = 0;
   std::uint64_t failed_seeds = 0;
   std::uint64_t deferred_total = 0, degraded_seeds = 0;
+  std::uint64_t hints_total = 0, sheds_total = 0, throttled_total = 0;
+  double hinted_wait_total_ms = 0.0;
   for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
     sim::CityModel city;
     util::Xoshiro256 rng(seed);
@@ -669,7 +757,23 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
       dcfg.fsync = store::FsyncPolicy::kAlways;
       dcfg.env = env.get();
     }
-    auto server_ptr = open_durable_server(icfg, {}, dcfg);
+    net::AdmissionConfig acfg;
+    if (overload) {
+      // Starvation-level capacity (500 ms service) plus a per-client rate
+      // limit: the faulty link itself advances sim time ~40 ms per
+      // transfer, so the service time must dwarf that for the virtual
+      // queue to genuinely build. Same setup the 50-seed
+      // AdmissionClusterOverloadTest pins — every upload is shed with a
+      // retry-after hint at least once, and the hints must pace the queue
+      // to convergence anyway.
+      acfg.enabled = true;
+      acfg.ingest.capacity_rps = 2.0;
+      acfg.ingest.queue_depth = 2;
+      acfg.per_client.rate_per_sec = 50.0;
+      acfg.per_client.burst = 4.0;
+      acfg.clock = &clock;
+    }
+    auto server_ptr = open_durable_server(icfg, {}, dcfg, acfg);
     if (!server_ptr) {
       print_failure_context(std::cerr);
       return 2;
@@ -682,7 +786,10 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
     }
 
     net::RetryPolicy policy;
-    policy.max_attempts = 64;
+    // An overloaded server defers far more often than a merely lossy one;
+    // the hints make retries cheap, so give the queue the budget to
+    // follow them all the way down the backlog.
+    policy.max_attempts = overload ? 128 : 64;
     net::UploadQueue queue(policy, seed, &clock);
     for (const auto& u : uploads) queue.enqueue(u);
     (void)queue.drain(net::FaultyUploadChannel(faulty, server));
@@ -707,6 +814,15 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
       net::UploadQueue requeue(policy, seed, &clock);
       for (const auto& u : uploads) requeue.enqueue(u);
       (void)requeue.drain(net::FaultyUploadChannel(faulty, server));
+    }
+
+    if (overload && server.admission() != nullptr) {
+      const auto as = server.admission()->stats();
+      sheds_total += as.ingest.shed_queue_full + as.ingest.shed_deadline;
+      throttled_total += as.ingest.throttled;
+      hints_total += queue.stats().retry_after_hints;
+      hinted_wait_total_ms += queue.stats().hinted_wait_ms;
+      if (seed == seeds) print_admission_stats(*server.admission());
     }
 
     const auto& qs = queue.stats();
@@ -750,7 +866,20 @@ int cmd_chaos(const std::map<std::string, std::string>& flags) {
     table.add_row({"deferred acks", util::Table::num(deferred_total)});
     table.add_row({"seeds gone degraded", util::Table::num(degraded_seeds)});
   }
+  if (overload) {
+    table.add_row({"sheds (queue full/deadline)", util::Table::num(sheds_total)});
+    table.add_row({"throttled (per-client)", util::Table::num(throttled_total)});
+    table.add_row({"retry-after hints honored", util::Table::num(hints_total)});
+    table.add_row(
+        {"hinted wait total (ms)", util::Table::num(hinted_wait_total_ms, 0)});
+  }
   table.print(std::cout);
+  if (overload && hints_total == 0) {
+    std::cerr << "error: --overload run produced no retry-after hints — "
+                 "the admission path was never exercised\n";
+    print_failure_context(std::cerr);
+    return 2;
+  }
   if (failed_seeds != 0) {
     std::cerr << "error: " << failed_seeds << "/" << seeds
               << " seeds diverged from the fault-free index\n";

@@ -77,7 +77,8 @@ std::unique_ptr<net::CloudServer> Cluster::make_server(std::size_t i) {
     // the harness keeps the whole chain so a resync can always start over.
     d.checkpoint_interval_ms = 0;
   }
-  return std::make_unique<net::CloudServer>(cfg_.index, cfg_.retrieval, d);
+  return std::make_unique<net::CloudServer>(cfg_.index, cfg_.retrieval, d,
+                                            cfg_.admission);
 }
 
 std::vector<std::vector<std::uint8_t>> Cluster::exchange(

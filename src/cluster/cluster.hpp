@@ -45,6 +45,12 @@ struct ClusterConfig {
   }
   net::ServerIndexConfig index{};
   retrieval::RetrievalConfig retrieval{};
+  /// Per-node admission control (net/admission.hpp). Every node gets the
+  /// same config; admission.clock should be the cluster clock when set.
+  /// Disabled by default — enabling it makes overloaded nodes answer
+  /// sub-uploads with kRetryLater + retry-after, which the router turns
+  /// into per-partition deferral instead of whole-attempt failure.
+  net::AdmissionConfig admission{};
   /// Root directory; node i lives in data_dir + "/node<i>". Empty = all
   /// nodes in-memory: no replication, no failover (fail = data loss).
   std::string data_dir;

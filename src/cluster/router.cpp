@@ -11,6 +11,13 @@
 
 namespace svg::cluster {
 
+namespace {
+/// Upper bound on in-flight defer-and-resume memos. Crossing it clears
+/// the table — correctness is unaffected (full re-send + per-node dedup),
+/// only the resume optimisation is lost for the evicted parents.
+constexpr std::size_t kResumeCapacity = 4096;
+}  // namespace
+
 std::uint64_t sub_upload_id(std::uint64_t upload_id, std::size_t partition) {
   util::SplitMix64 mix(upload_id ^
                        (static_cast<std::uint64_t>(partition) + 1) *
@@ -50,10 +57,29 @@ std::optional<net::UploadAck> Router::route_upload(
     return ack;
   }
 
+  // Resume from any earlier partially-delivered attempt of this parent:
+  // settled legs are skipped, only missing legs are re-offered. Legacy
+  // id-less uploads (upload_id == 0) cannot be memoised — they fall back
+  // to full re-send, which per-node dedup cannot absorb but which matches
+  // their pre-cluster at-most-once contract.
+  ResumeState state;
+  if (msg.upload_id != 0) {
+    std::lock_guard lk(resume_mu_);
+    if (const auto it = resume_.find(msg.upload_id); it != resume_.end()) {
+      state = it->second;
+    }
+  }
+
   net::UploadAck out;
   out.upload_id = msg.upload_id;
-  out.status = net::UploadAckStatus::kDuplicate;
+  bool any_unanswered = false;
+  bool any_deferred = false;
+  std::uint64_t retry_after_ms = 0;  // max over deferred legs
   for (auto& [partition, segments] : groups) {
+    if (state.settled.count(partition) != 0) {
+      m.legs_resumed.inc();
+      continue;  // landed on a previous attempt
+    }
     net::UploadMessage sub;
     sub.upload_id = sub_upload_id(msg.upload_id, partition);
     sub.video_id = msg.video_id;
@@ -75,26 +101,71 @@ std::optional<net::UploadAck> Router::route_upload(
         break;
       }
     }
-    // Any unanswered leg fails the whole attempt: the client retries the
-    // parent upload, the sub ids regenerate identically, and legs that
-    // did land dedup on the next pass.
-    if (!sub_ack) return std::nullopt;
+    // An unanswered or deferred leg no longer fails the whole attempt:
+    // the remaining legs still get their send this round, and the ones
+    // that settle are memoised so the retry re-offers only what is
+    // missing.
+    if (!sub_ack) {
+      any_unanswered = true;
+      continue;
+    }
     switch (sub_ack->status) {
       case net::UploadAckStatus::kRejected:
+        // Terminal: one poisoned leg poisons the parent. Drop the memo —
+        // the client will not retry a rejected upload.
+        if (msg.upload_id != 0) {
+          std::lock_guard lk(resume_mu_);
+          resume_.erase(msg.upload_id);
+        }
         out.status = net::UploadAckStatus::kRejected;
         return out;
       case net::UploadAckStatus::kRetryLater:
-        // Degraded node: surface the retriable verdict so the queue backs
-        // off instead of burning attempts.
-        out.status = net::UploadAckStatus::kRetryLater;
-        return out;
+        // Overloaded/degraded node: defer just this leg. The largest hint
+        // across deferred legs rides the aggregated ack, so the client
+        // waits long enough for the most-backlogged partition.
+        any_deferred = true;
+        retry_after_ms = std::max(retry_after_ms, sub_ack->retry_after_ms);
+        m.subupload_deferrals.inc();
+        continue;
       case net::UploadAckStatus::kAccepted:
-        out.status = net::UploadAckStatus::kAccepted;
+        state.any_accepted = true;
         break;
       case net::UploadAckStatus::kDuplicate:
-        break;  // keep whatever the other legs said
+        break;
     }
-    out.segments_indexed += sub_ack->segments_indexed;
+    state.settled[partition] = sub_ack->segments_indexed;
+  }
+
+  if (any_deferred || any_unanswered) {
+    if (msg.upload_id != 0) {
+      std::lock_guard lk(resume_mu_);
+      // Bound the memo: a pathological flood of abandoned parents falls
+      // back to full re-send (safe — dedup absorbs it) instead of
+      // growing without limit.
+      if (resume_.size() >= kResumeCapacity &&
+          resume_.count(msg.upload_id) == 0) {
+        resume_.clear();
+      }
+      resume_[msg.upload_id] = std::move(state);
+    }
+    if (any_deferred) {
+      out.status = net::UploadAckStatus::kRetryLater;
+      out.retry_after_ms = retry_after_ms;
+      return out;
+    }
+    return std::nullopt;  // silence only — let the ack timeout run
+  }
+
+  // Every leg settled: the parent is terminal. Report the cross-attempt
+  // aggregate, then drop the memo.
+  if (msg.upload_id != 0) {
+    std::lock_guard lk(resume_mu_);
+    resume_.erase(msg.upload_id);
+  }
+  out.status = state.any_accepted ? net::UploadAckStatus::kAccepted
+                                  : net::UploadAckStatus::kDuplicate;
+  for (const auto& [partition, segs] : state.settled) {
+    out.segments_indexed += segs;
   }
   return out;
 }

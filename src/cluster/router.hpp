@@ -20,9 +20,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/partition.hpp"
@@ -55,9 +58,20 @@ class Router {
          RoutingTable table, NodeExchange exchange);
 
   /// One delivery attempt for a client upload: split, send every
-  /// sub-upload, aggregate. nullopt when any leg went unanswered (the
+  /// sub-upload, aggregate. nullopt when some leg went unanswered (the
   /// client's UploadQueue retries the whole upload; per-node dedup makes
-  /// that safe). kRetryLater when any node is degraded.
+  /// that safe). kRetryLater when some node deferred — carrying the
+  /// largest per-leg retry-after hint — while every other leg still got
+  /// its send.
+  ///
+  /// Defer-and-resume: legs that settled (accepted/duplicate) are
+  /// memoised per parent upload_id, so the retry of a partially-deferred
+  /// upload re-offers only the missing legs instead of failing the whole
+  /// attempt and re-sending everything. One overloaded partition
+  /// therefore costs retries only against that partition, not cluster-
+  /// wide fan-out amplification. The memo is cleared on any terminal
+  /// verdict and bounded in size (overflow falls back to full re-send,
+  /// which per-node dedup absorbs).
   [[nodiscard]] std::optional<net::UploadAck> route_upload(
       const net::UploadMessage& msg);
 
@@ -84,11 +98,19 @@ class Router {
   }
 
  private:
+  /// Legs of one partially-delivered parent upload that already settled.
+  struct ResumeState {
+    bool any_accepted = false;  ///< some leg was newly indexed (vs deduped)
+    std::map<std::size_t, std::uint64_t> settled;  ///< partition → segments
+  };
+
   GeoPartitioner partitioner_;
   retrieval::RetrievalConfig retrieval_;
   NodeExchange exchange_;
   mutable std::shared_mutex table_mu_;
   RoutingTable table_;
+  std::mutex resume_mu_;
+  std::unordered_map<std::uint64_t, ResumeState> resume_;
 };
 
 /// Node side of one fan-out leg: decode, run the local engine with the

@@ -1,0 +1,234 @@
+#include "net/admission.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "obs/families.hpp"
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+
+namespace svg::net {
+
+namespace {
+
+double steady_now_ms() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::milli>(t).count();
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t round_ms(double ms) {
+  return static_cast<std::uint64_t>(std::llround(std::max(0.0, ms)));
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionConfig cfg)
+    : cfg_(cfg) {
+  ingest_.service_ms =
+      cfg_.ingest.capacity_rps > 0.0 ? 1000.0 / cfg_.ingest.capacity_rps : 0.0;
+  query_.service_ms =
+      cfg_.query.capacity_rps > 0.0 ? 1000.0 / cfg_.query.capacity_rps : 0.0;
+  if (cfg_.per_client.rate_per_sec > 0.0) {
+    const std::size_t n = round_up_pow2(std::max<std::size_t>(
+        1, cfg_.client_buckets));
+    buckets_.resize(n);
+    bucket_mask_ = n - 1;
+    bucket_burst_ = cfg_.per_client.burst < 0.0
+                        ? std::max(1.0, cfg_.per_client.rate_per_sec)
+                        : cfg_.per_client.burst;
+  }
+  if (cfg_.clock == nullptr) steady_epoch_ms_ = steady_now_ms();
+}
+
+double AdmissionController::now_ms() const {
+  return cfg_.clock != nullptr ? cfg_.clock->now_ms()
+                               : steady_now_ms() - steady_epoch_ms_;
+}
+
+void AdmissionController::note_shed(Lane& lane, AdmissionLane which,
+                                    AdmissionOutcome outcome,
+                                    double retry_after_ms) {
+  auto& m = obs::admission_metrics();
+  switch (outcome) {
+    case AdmissionOutcome::kThrottled:
+      ++lane.stats.throttled;
+      m.ingest_throttled.inc();  // queries carry no client id
+      break;
+    case AdmissionOutcome::kShedQueueFull:
+      ++lane.stats.shed_queue_full;
+      (which == AdmissionLane::kIngest ? m.ingest_shed_queue
+                                       : m.query_shed_queue)
+          .inc();
+      break;
+    case AdmissionOutcome::kShedDeadline:
+      ++lane.stats.shed_deadline;
+      (which == AdmissionLane::kIngest ? m.ingest_shed_deadline
+                                       : m.query_shed_deadline)
+          .inc();
+      break;
+    case AdmissionOutcome::kAdmitted:
+      break;  // unreachable
+  }
+  m.retry_after_ms.observe(round_ms(retry_after_ms));
+  if (!lane.stats.shedding) {
+    // Transition, not per-shed spam: one journal record opens the episode
+    // (and one closes it in note_admit) so the journal tail shows the
+    // overload window as a sequence, the journal's whole job.
+    lane.stats.shedding = true;
+    lane.episode_sheds = 0;
+    obs::journal_event(obs::JournalEvent::kAdmissionShedStart,
+                       static_cast<std::uint64_t>(which),
+                       static_cast<std::uint64_t>(outcome),
+                       round_ms(retry_after_ms));
+  }
+  ++lane.episode_sheds;
+}
+
+void AdmissionController::note_admit(Lane& lane, AdmissionLane which) {
+  ++lane.stats.admitted;
+  (which == AdmissionLane::kIngest ? obs::admission_metrics().ingest_admitted
+                                   : obs::admission_metrics().query_admitted)
+      .inc();
+  if (lane.stats.shedding) {
+    lane.stats.shedding = false;
+    obs::journal_event(obs::JournalEvent::kAdmissionShedEnd,
+                       static_cast<std::uint64_t>(which), lane.episode_sheds);
+  }
+}
+
+void AdmissionController::publish_gauges_locked() {
+  auto& m = obs::admission_metrics();
+  const double now = now_ms();
+  const auto backlog = [now](const Lane& lane) {
+    if (lane.service_ms <= 0.0) return 0.0;
+    return std::max(0.0, lane.busy_until_ms - now) / lane.service_ms;
+  };
+  m.ingest_backlog.set(static_cast<std::int64_t>(backlog(ingest_)));
+  m.query_backlog.set(static_cast<std::int64_t>(backlog(query_)));
+  m.shedding.set((ingest_.stats.shedding || query_.stats.shedding) ? 1 : 0);
+}
+
+AdmissionDecision AdmissionController::admit_locked(
+    Lane& lane, AdmissionLane which, const AdmissionLaneConfig& lane_cfg,
+    std::uint64_t client_key, bool use_bucket, double deadline_ms,
+    double now) {
+  AdmissionDecision d;
+  const double wait =
+      lane.service_ms > 0.0 ? std::max(0.0, lane.busy_until_ms - now) : 0.0;
+
+  // Read-only checks first (queue room, deadline) so a shed request never
+  // burns one of its client's tokens.
+  if (lane.service_ms > 0.0) {
+    const double depth =
+        static_cast<double>(lane_cfg.queue_depth) * lane.service_ms;
+    if (wait >= depth) {
+      // Backlog drains one request per service_ms; room opens once the
+      // wait decays below depth.
+      d.admitted = false;
+      d.outcome = AdmissionOutcome::kShedQueueFull;
+      d.retry_after_ms = std::max(lane.service_ms, wait - depth + lane.service_ms);
+      note_shed(lane, which, d.outcome, d.retry_after_ms);
+      return d;
+    }
+    const double deadline =
+        deadline_ms > 0.0 ? deadline_ms : lane_cfg.default_deadline_ms;
+    if (deadline > 0.0 && wait + lane.service_ms > deadline) {
+      // Would finish past the deadline — reject now instead of queueing a
+      // request whose answer nobody will be waiting for.
+      d.admitted = false;
+      d.outcome = AdmissionOutcome::kShedDeadline;
+      d.retry_after_ms = std::max(lane.service_ms / 2.0,
+                                  wait + lane.service_ms - deadline);
+      note_shed(lane, which, d.outcome, d.retry_after_ms);
+      return d;
+    }
+  }
+
+  if (use_bucket && !buckets_.empty()) {
+    util::SplitMix64 mix(client_key * 0x9E3779B97F4A7C15ULL + 1);
+    Bucket& b = buckets_[mix.next() & bucket_mask_];
+    if (!b.primed) {
+      b.tokens = bucket_burst_;  // first touch (or long idle) starts full
+      b.primed = true;
+    } else {
+      const double accrued = (now - b.refill_from_ms) *
+                             cfg_.per_client.rate_per_sec / 1000.0;
+      b.tokens = std::min(bucket_burst_, b.tokens + std::max(0.0, accrued));
+    }
+    b.refill_from_ms = now;
+    if (b.tokens < 1.0) {
+      d.admitted = false;
+      d.outcome = AdmissionOutcome::kThrottled;
+      // When the next whole token accrues. A zero-capacity bucket can
+      // never fill; still hint one token-time so the client paces probes.
+      d.retry_after_ms =
+          (1.0 - std::min(b.tokens, bucket_burst_)) * 1000.0 /
+          cfg_.per_client.rate_per_sec;
+      note_shed(lane, which, d.outcome, d.retry_after_ms);
+      return d;
+    }
+    b.tokens -= 1.0;
+  }
+
+  if (lane.service_ms > 0.0) {
+    lane.busy_until_ms = std::max(lane.busy_until_ms, now) + lane.service_ms;
+  }
+  d.wait_ms = wait;
+  obs::admission_metrics().queue_wait_ms.observe(round_ms(wait));
+  note_admit(lane, which);
+  return d;
+}
+
+AdmissionDecision AdmissionController::admit_ingest(std::uint64_t client_key,
+                                                    double deadline_ms) {
+  obs::Span span = obs::tracer().span("server.admit");
+  AdmissionDecision d;
+  {
+    std::lock_guard lock(mu_);
+    d = admit_locked(ingest_, AdmissionLane::kIngest, cfg_.ingest, client_key,
+                     /*use_bucket=*/true, deadline_ms, now_ms());
+    publish_gauges_locked();
+  }
+  span.tag("lane", 0);
+  span.tag("outcome", static_cast<std::uint64_t>(d.outcome));
+  return d;
+}
+
+AdmissionDecision AdmissionController::admit_query(double deadline_ms) {
+  obs::Span span = obs::tracer().span("server.admit");
+  AdmissionDecision d;
+  {
+    std::lock_guard lock(mu_);
+    d = admit_locked(query_, AdmissionLane::kQuery, cfg_.query, 0,
+                     /*use_bucket=*/false, deadline_ms, now_ms());
+    publish_gauges_locked();
+  }
+  span.tag("lane", 1);
+  span.tag("outcome", static_cast<std::uint64_t>(d.outcome));
+  return d;
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard lock(mu_);
+  AdmissionStats s;
+  s.ingest = ingest_.stats;
+  s.query = query_.stats;
+  const double now = now_ms();
+  const auto backlog = [now](const Lane& lane) {
+    if (lane.service_ms <= 0.0) return 0.0;
+    return std::max(0.0, lane.busy_until_ms - now) / lane.service_ms;
+  };
+  s.ingest.backlog = backlog(ingest_);
+  s.query.backlog = backlog(query_);
+  return s;
+}
+
+}  // namespace svg::net

@@ -1,0 +1,167 @@
+#pragma once
+// Overload control for the cloud front door (docs/ROBUSTNESS.md): the
+// degraded-mode machinery (server.hpp) protects against a broken disk;
+// this protects against a healthy server behind an unbounded queue. An
+// AdmissionController sits in front of ingest and query handling and
+// answers one question per request: admit now, or shed immediately with a
+// server-computed retry-after hint the client can pace itself by.
+//
+// Three mechanisms compose, checked in order:
+//
+//   1. Per-client token buckets (ingest only, keyed by uploader id) keep
+//      one flooding client from starving the rest: a client past its rate
+//      is throttled with a hint telling it when its next token accrues.
+//   2. A bounded virtual admission queue per lane. The server handles
+//      requests synchronously, so the "queue" is analytic: each lane has
+//      a configured service rate and a busy-until watermark; an arrival's
+//      queue wait and backlog are pure functions of (watermark, now).
+//      An arrival that would push the backlog past queue_depth is shed
+//      with a hint for when the queue will have room.
+//   3. Deadline-aware shedding. Requests carry a deadline (explicit per
+//      call, or the lane default); anything that would *finish* past it
+//      is rejected immediately instead of queued to die, with a hint of
+//      exactly how much too late it would have been.
+//
+// Ingest and query are independent lanes — the query lane is the priority
+// lane: its capacity is reserved, so an ingest flood saturating lane 0
+// never adds a millisecond of queue wait to lane 1 (queries keep
+// answering; bench_overload pins this).
+//
+// Everything runs on simulated or steady-clock milliseconds (SimClock
+// when given, so tests and benches are deterministic), under one mutex —
+// admission is arithmetic, never a hot-path contention point. Shed
+// decisions surface as kRetryLater acks with a retry-after-ms wire hint
+// (wire.hpp), the svg_server_admission_* metric family, "server.admit"
+// spans, and journal shed-episode start/end transitions.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "net/fault.hpp"
+
+namespace svg::net {
+
+/// Per-client refill bucket. rate_per_sec <= 0 disables the bucket
+/// entirely (unlimited). burst < 0 resolves to max(1, rate_per_sec);
+/// burst == 0 is a valid zero-capacity bucket that admits nothing — the
+/// knob an operator uses to shut one abusive uploader out.
+struct TokenBucketConfig {
+  double rate_per_sec = 0.0;
+  double burst = -1.0;
+};
+
+/// One admission lane (ingest or query).
+struct AdmissionLaneConfig {
+  /// Requests/second the lane is provisioned to serve; <= 0 disables the
+  /// virtual queue (every request admitted with zero wait).
+  double capacity_rps = 0.0;
+  /// Max requests allowed to be waiting ahead of an arrival; at depth the
+  /// arrival is shed (queue-full) instead of queued.
+  std::size_t queue_depth = 64;
+  /// Deadline applied when the caller passes none; <= 0 = no deadline.
+  double default_deadline_ms = 0.0;
+};
+
+struct AdmissionConfig {
+  bool enabled = false;  ///< default-off: zero behavior change when unset
+  AdmissionLaneConfig ingest{};
+  AdmissionLaneConfig query{};
+  /// Per-client fairness for the ingest lane, keyed by uploader id.
+  TokenBucketConfig per_client{};
+  /// Clients hash into a fixed table of this many buckets (rounded up to
+  /// a power of two) — bounded memory under millions of uploader ids.
+  std::size_t client_buckets = 256;
+  /// Deterministic time source; null = steady clock.
+  SimClock* clock = nullptr;
+};
+
+enum class AdmissionLane : std::uint8_t { kIngest = 0, kQuery = 1 };
+
+enum class AdmissionOutcome : std::uint8_t {
+  kAdmitted = 0,
+  kThrottled = 1,      ///< per-client token bucket empty
+  kShedQueueFull = 2,  ///< virtual queue backlog at depth
+  kShedDeadline = 3,   ///< would finish past the request deadline
+};
+
+struct AdmissionDecision {
+  bool admitted = true;
+  AdmissionOutcome outcome = AdmissionOutcome::kAdmitted;
+  /// Queue wait an admitted request is charged before service (sim ms).
+  double wait_ms = 0.0;
+  /// For a shed request: when a retry could plausibly be admitted. Always
+  /// > 0 when admitted == false — this is the wire hint.
+  double retry_after_ms = 0.0;
+};
+
+/// Counters + instantaneous state of one lane (svgctl's admission table).
+struct AdmissionLaneStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t throttled = 0;  ///< ingest lane only (queries carry no id)
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_deadline = 0;
+  double backlog = 0.0;  ///< requests currently waiting (virtual)
+  bool shedding = false; ///< inside a shed episode (no admit since a shed)
+};
+
+struct AdmissionStats {
+  AdmissionLaneStats ingest;
+  AdmissionLaneStats query;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig cfg);
+
+  /// Admission verdict for one ingest request. `client_key` identifies
+  /// the uploader for per-client fairness (CloudServer passes video_id as
+  /// a stand-in for an authenticated uploader id). `deadline_ms` <= 0
+  /// falls back to the lane default.
+  AdmissionDecision admit_ingest(std::uint64_t client_key,
+                                 double deadline_ms = 0.0);
+
+  /// Admission verdict for one query. The query lane's capacity is its
+  /// own — ingest floods cannot consume it.
+  AdmissionDecision admit_query(double deadline_ms = 0.0);
+
+  [[nodiscard]] AdmissionStats stats() const;
+  [[nodiscard]] const AdmissionConfig& config() const noexcept {
+    return cfg_;
+  }
+  [[nodiscard]] double now_ms() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    double refill_from_ms = 0.0;
+    bool primed = false;  ///< first touch starts full (burst after idle)
+  };
+
+  struct Lane {
+    double service_ms = 0.0;  ///< 1000 / capacity_rps; 0 = queue disabled
+    double busy_until_ms = 0.0;
+    AdmissionLaneStats stats;
+    std::uint64_t episode_sheds = 0;  ///< sheds in the current episode
+  };
+
+  AdmissionDecision admit_locked(Lane& lane, AdmissionLane which,
+                                 const AdmissionLaneConfig& lane_cfg,
+                                 std::uint64_t client_key, bool use_bucket,
+                                 double deadline_ms, double now);
+  void note_shed(Lane& lane, AdmissionLane which, AdmissionOutcome outcome,
+                 double retry_after_ms);
+  void note_admit(Lane& lane, AdmissionLane which);
+  void publish_gauges_locked();
+
+  AdmissionConfig cfg_;
+  mutable std::mutex mu_;
+  Lane ingest_;
+  Lane query_;
+  std::vector<Bucket> buckets_;
+  std::size_t bucket_mask_ = 0;
+  double bucket_burst_ = 0.0;
+  double steady_epoch_ms_ = 0.0;  ///< steady-clock origin when no SimClock
+};
+
+}  // namespace svg::net

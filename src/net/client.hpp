@@ -20,6 +20,11 @@ struct ClientStats {
   std::size_t segments_uploaded = 0;
   std::uint64_t descriptor_bytes = 0;
   double video_bytes_avoided = 0.0;  ///< what a raw-upload design would send
+  // Admission-control feedback, mirrored from an attached UploadQueue
+  // (UploadQueue::attach_client_stats): how often the server handed this
+  // client a retry-after hint and how long it waited on those hints.
+  std::uint64_t retry_after_hints = 0;
+  double retry_after_wait_ms = 0.0;
 };
 
 /// One provider device. Drives the core streaming pipeline and produces

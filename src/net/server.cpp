@@ -1,6 +1,7 @@
 #include "net/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <mutex>
 #include <stdexcept>
 #include <type_traits>
@@ -63,7 +64,8 @@ store::Checkpointer::Source CloudServer::checkpoint_source() {
 
 CloudServer::CloudServer(ServerIndexConfig index_config,
                          retrieval::RetrievalConfig retrieval_config,
-                         ServerDurabilityConfig durability)
+                         ServerDurabilityConfig durability,
+                         AdmissionConfig admission)
     : index_(make_index(index_config,
                         // The tiered backend compacts on the Checkpointer's
                         // cadence unless the index config overrides it.
@@ -71,6 +73,9 @@ CloudServer::CloudServer(ServerIndexConfig index_config,
                             ? index_config.compact_interval_ms
                             : durability.checkpoint_interval_ms)),
       retrieval_config_(retrieval_config),
+      admission_(admission.enabled
+                     ? std::make_unique<AdmissionController>(admission)
+                     : nullptr),
       durability_(std::move(durability)) {
   if (durability_.data_dir.empty()) return;
   durable_cfg_ = true;
@@ -108,7 +113,8 @@ CloudServer::CloudServer(ServerIndexConfig index_config,
 
 CloudServer::~CloudServer() = default;
 
-bool CloudServer::handle_upload(std::span<const std::uint8_t> bytes) {
+bool CloudServer::handle_upload(std::span<const std::uint8_t> bytes,
+                                double deadline_ms) {
   auto& m = obs::server_metrics();
   obs::ScopedTimer timer(m.upload_ns);
   const auto msg = decode_upload(bytes);
@@ -125,6 +131,13 @@ bool CloudServer::handle_upload(std::span<const std::uint8_t> bytes) {
       "server.upload", {msg->trace_id, msg->parent_span_id});
   span.tag("upload_id", msg->upload_id);
   span.tag("segments", msg->segments.size());
+  if (admission_ != nullptr &&
+      !admission_->admit_ingest(msg->video_id, deadline_ms).admitted) {
+    // No ack path here — the shed surfaces as a failed handle and the
+    // sender's own retry schedule covers it.
+    uploads_shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   // A deduped retransmit is a success from the sender's view: the upload
   // is in the index, just not twice.
   (void)ingest(*msg);
@@ -132,7 +145,7 @@ bool CloudServer::handle_upload(std::span<const std::uint8_t> bytes) {
 }
 
 std::optional<std::vector<std::uint8_t>> CloudServer::handle_upload_acked(
-    std::span<const std::uint8_t> bytes) {
+    std::span<const std::uint8_t> bytes, double deadline_ms) {
   auto& m = obs::server_metrics();
   obs::ScopedTimer timer(m.upload_ns);
   const auto msg = decode_upload(bytes);
@@ -151,6 +164,21 @@ std::optional<std::vector<std::uint8_t>> CloudServer::handle_upload_acked(
   UploadAck ack;
   ack.upload_id = msg->upload_id;
   ack.segments_indexed = msg->segments.size();
+  if (admission_ != nullptr) {
+    // Admission first, dedup second: a shed request touches neither the
+    // dedup set nor the index, so its retry is a plain new ingest. The
+    // client keys by video_id — the wire's stand-in for an authenticated
+    // uploader id.
+    const auto d = admission_->admit_ingest(msg->video_id, deadline_ms);
+    if (!d.admitted) {
+      uploads_shed_.fetch_add(1, std::memory_order_relaxed);
+      ack.status = UploadAckStatus::kRetryLater;
+      ack.segments_indexed = 0;
+      ack.retry_after_ms = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::ceil(d.retry_after_ms)));
+      return encode_upload_ack(ack);
+    }
+  }
   switch (ingest_status(*msg)) {
     case IngestStatus::kAccepted:
       ack.status = UploadAckStatus::kAccepted;
@@ -278,6 +306,33 @@ IngestStatus CloudServer::ingest_status(const UploadMessage& msg) {
   return IngestStatus::kAccepted;
 }
 
+CloudServer::AdmittedIngest CloudServer::ingest_admitted(
+    const UploadMessage& msg, double deadline_ms) {
+  AdmittedIngest out;
+  if (admission_ != nullptr) {
+    out.decision = admission_->admit_ingest(msg.video_id, deadline_ms);
+    if (!out.decision.admitted) {
+      uploads_shed_.fetch_add(1, std::memory_order_relaxed);
+      return out;
+    }
+  }
+  out.status = ingest_status(msg);
+  return out;
+}
+
+CloudServer::AdmittedSearch CloudServer::search_admitted(
+    const retrieval::Query& q, double deadline_ms) const {
+  AdmittedSearch out;
+  if (admission_ != nullptr) {
+    out.decision = admission_->admit_query(deadline_ms);
+    // Query sheds are counted by the admission metrics family; uploads_shed
+    // tracks ingest only.
+    if (!out.decision.admitted) return out;
+  }
+  out.results = search(q);
+  return out;
+}
+
 std::vector<retrieval::RankedResult> CloudServer::search(
     const retrieval::Query& q, retrieval::SearchTrace* trace) const {
   auto& m = obs::server_metrics();
@@ -311,13 +366,20 @@ std::vector<retrieval::RankedResult> CloudServer::search_n(
 }
 
 std::optional<std::vector<std::uint8_t>> CloudServer::handle_query(
-    std::span<const std::uint8_t> bytes) {
+    std::span<const std::uint8_t> bytes, double deadline_ms) {
   auto& m = obs::server_metrics();
   obs::Span span = obs::tracer().root_span("server.query");
   obs::ScopedTimer timer(m.query_ns, span.trace_id());
   const auto msg = decode_query(bytes);
   if (!msg) {
     m.reject_query_decode.inc();
+    return std::nullopt;
+  }
+  if (admission_ != nullptr &&
+      !admission_->admit_query(deadline_ms).admitted) {
+    // Shed query: no results message exists to carry a retriable verdict,
+    // so the silence the querier already handles for a lossy link covers
+    // it (metrics/journal record the shed).
     return std::nullopt;
   }
   retrieval::Query q;
@@ -499,6 +561,7 @@ ServerStats CloudServer::stats() const {
   s.uploads_rejected = uploads_rejected_.load(std::memory_order_acquire);
   s.uploads_deduped = uploads_deduped_.load(std::memory_order_acquire);
   s.uploads_deferred = uploads_deferred_.load(std::memory_order_acquire);
+  s.uploads_shed = uploads_shed_.load(std::memory_order_acquire);
   s.queries_served = queries_served_.load(std::memory_order_acquire);
   return s;
 }
@@ -508,6 +571,7 @@ void CloudServer::reset_stats() {
   uploads_rejected_.store(0, std::memory_order_release);
   uploads_deduped_.store(0, std::memory_order_release);
   uploads_deferred_.store(0, std::memory_order_release);
+  uploads_shed_.store(0, std::memory_order_release);
   segments_indexed_.store(0, std::memory_order_release);
   queries_served_.store(0, std::memory_order_release);
 }

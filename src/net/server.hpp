@@ -18,6 +18,7 @@
 #include "index/fov_index.hpp"
 #include "index/sharded_fov_index.hpp"
 #include "index/tiered_fov_index.hpp"
+#include "net/admission.hpp"
 #include "net/transport.hpp"
 #include "net/wire.hpp"
 #include "retrieval/engine.hpp"
@@ -38,6 +39,7 @@ struct ServerStats {
   std::uint64_t uploads_rejected = 0;
   std::uint64_t uploads_deduped = 0;  ///< retransmits absorbed by upload_id
   std::uint64_t uploads_deferred = 0;  ///< refused with kRetryLater (degraded)
+  std::uint64_t uploads_shed = 0;  ///< refused by admission control (overload)
   std::uint64_t segments_indexed = 0;
   std::uint64_t queries_served = 0;
 };
@@ -110,21 +112,28 @@ class CloudServer {
  public:
   explicit CloudServer(ServerIndexConfig index_config = {},
                        retrieval::RetrievalConfig retrieval_config = {},
-                       ServerDurabilityConfig durability = {});
+                       ServerDurabilityConfig durability = {},
+                       AdmissionConfig admission = {});
   ~CloudServer();
 
   /// Decode + ingest a wire-format upload. Returns false (and counts a
-  /// rejection) on malformed bytes. A retransmit of an already-ingested
-  /// upload_id returns true without indexing anything twice.
-  bool handle_upload(std::span<const std::uint8_t> bytes);
+  /// rejection) on malformed bytes or when admission control sheds the
+  /// request. A retransmit of an already-ingested upload_id returns true
+  /// without indexing anything twice. `deadline_ms` is this request's
+  /// admission deadline (0 = the configured lane default).
+  bool handle_upload(std::span<const std::uint8_t> bytes,
+                     double deadline_ms = 0.0);
 
   /// Decode + ingest a wire-format upload and produce the encoded
   /// UploadAck to send back. nullopt only when the bytes are undecodable
   /// (no upload_id to address the ack to — the client's retry timeout
   /// covers it). The retrying-client path: at-least-once delivery on the
-  /// link, exactly-once effect in the index.
+  /// link, exactly-once effect in the index. When admission control sheds
+  /// the request the ack is kRetryLater with a retry-after-ms hint
+  /// (upload_id dedup is NOT consulted for a shed request — the retry
+  /// lands as a normal ingest). `deadline_ms` as in handle_upload.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> handle_upload_acked(
-      std::span<const std::uint8_t> bytes);
+      std::span<const std::uint8_t> bytes, double deadline_ms = 0.0);
 
   /// Ingest an already decoded upload (local/in-process path). Returns
   /// false when msg.upload_id was already ingested (nothing indexed) —
@@ -141,10 +150,37 @@ class CloudServer {
   [[nodiscard]] IngestStatus ingest_status(const UploadMessage& msg);
 
   /// Decode a wire-format query, run retrieval, return encoded results.
-  /// nullopt on malformed input. Thread-safe; many queriers may call
-  /// concurrently.
+  /// nullopt on malformed input — or when the query lane sheds the
+  /// request (the silent-retry contract queries already have for a lossy
+  /// link; use search_admitted for the decision detail). Thread-safe;
+  /// many queriers may call concurrently.
   [[nodiscard]] std::optional<std::vector<std::uint8_t>> handle_query(
-      std::span<const std::uint8_t> bytes);
+      std::span<const std::uint8_t> bytes, double deadline_ms = 0.0);
+
+  /// Admission-aware in-process ingest: one admission verdict (with the
+  /// queue wait / retry-after detail the wire ack compresses) plus the
+  /// ingest outcome when admitted. `status` is meaningful only when
+  /// decision.admitted. This is the open-loop bench/svgctl entry point.
+  struct AdmittedIngest {
+    AdmissionDecision decision;
+    IngestStatus status = IngestStatus::kRetryLater;
+  };
+  [[nodiscard]] AdmittedIngest ingest_admitted(const UploadMessage& msg,
+                                               double deadline_ms = 0.0);
+
+  /// Admission-aware in-process search. `results` is empty when the query
+  /// lane shed the request (decision.admitted == false).
+  struct AdmittedSearch {
+    AdmissionDecision decision;
+    std::vector<retrieval::RankedResult> results;
+  };
+  [[nodiscard]] AdmittedSearch search_admitted(const retrieval::Query& q,
+                                               double deadline_ms = 0.0) const;
+
+  /// The overload controller, or nullptr when admission is not enabled.
+  [[nodiscard]] AdmissionController* admission() const noexcept {
+    return admission_.get();
+  }
 
   /// In-process query path (no serialization).
   [[nodiscard]] std::vector<retrieval::RankedResult> search(
@@ -263,10 +299,15 @@ class CloudServer {
 
   IndexVariant index_;
   retrieval::RetrievalConfig retrieval_config_;
+  /// Overload control; null when not configured (the default — admission
+  /// off is byte-for-byte the pre-admission server). The controller has
+  /// its own mutex, so const search paths may consult it.
+  std::unique_ptr<AdmissionController> admission_;
   std::atomic<std::uint64_t> uploads_accepted_{0};
   std::atomic<std::uint64_t> uploads_rejected_{0};
   std::atomic<std::uint64_t> uploads_deduped_{0};
   std::atomic<std::uint64_t> uploads_deferred_{0};
+  mutable std::atomic<std::uint64_t> uploads_shed_{0};
   std::atomic<std::uint64_t> segments_indexed_{0};
   mutable std::atomic<std::uint64_t> queries_served_{0};
   std::atomic<ServerHealth> health_{ServerHealth::kOk};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "net/client.hpp"
 #include "net/server.hpp"
 #include "obs/families.hpp"
 #include "obs/journal.hpp"
@@ -120,7 +121,22 @@ bool UploadQueue::drain(const AttemptFn& attempt) {
         all_acked = false;
         continue;
       }
-      const double backoff = backoff_ms(p.attempts);
+      // A server-computed retry-after hint beats blind exponential
+      // backoff: admission control knows when its queue will have room,
+      // the client's backoff schedule does not.
+      double backoff;
+      if (ack->retry_after_ms > 0) {
+        backoff = static_cast<double>(ack->retry_after_ms);
+        ++stats_.retry_after_hints;
+        stats_.hinted_wait_ms += backoff;
+        rm.upload_retry_after_hints.inc();
+        if (client_stats_ != nullptr) {
+          ++client_stats_->retry_after_hints;
+          client_stats_->retry_after_wait_ms += backoff;
+        }
+      } else {
+        backoff = backoff_ms(p.attempts);
+      }
       rm.backoff_ms.observe(static_cast<std::uint64_t>(backoff));
       p.next_eligible_ms = now_ms() + backoff;
       continue;

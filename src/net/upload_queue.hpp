@@ -19,6 +19,8 @@
 
 namespace svg::net {
 
+struct ClientStats;
+
 struct RetryPolicy {
   std::uint32_t max_attempts = 8;
   double base_backoff_ms = 100.0;
@@ -38,6 +40,8 @@ struct UploadQueueStats {
   std::uint64_t exhausted = 0;       ///< gave up after max_attempts
   std::uint64_t rejected = 0;        ///< server said permanent reject
   std::uint64_t deferred = 0;        ///< kRetryLater acks (degraded server)
+  std::uint64_t retry_after_hints = 0;  ///< deferrals carrying a server hint
+  double hinted_wait_ms = 0.0;  ///< total sim-ms waited on server hints
 };
 
 class UploadQueue {
@@ -63,6 +67,12 @@ class UploadQueue {
 
   [[nodiscard]] const UploadQueueStats& stats() const noexcept {
     return stats_;
+  }
+  /// Mirrors retry-after hint counters into a client's stats block so the
+  /// end-to-end client surface reports what the server's admission control
+  /// told it (nullptr detaches).
+  void attach_client_stats(ClientStats* stats) noexcept {
+    client_stats_ = stats;
   }
   [[nodiscard]] std::size_t pending() const noexcept {
     return pending_.size();
@@ -97,6 +107,7 @@ class UploadQueue {
   SimClock* clock_;
   std::vector<Pending> pending_;
   UploadQueueStats stats_;
+  ClientStats* client_stats_ = nullptr;
   std::vector<double> completion_ms_;
 };
 

@@ -160,6 +160,11 @@ std::vector<std::uint8_t> encode_upload_ack(const UploadAck& m) {
   w.put_u8(static_cast<std::uint8_t>(m.status));
   w.put_varint(m.upload_id);
   w.put_varint(m.segments_indexed);
+  if (m.retry_after_ms != 0) {
+    // Optional trailing retry-after hint, covered by the crc. Hint-less
+    // acks skip it so their bytes match pre-hint encoders.
+    w.put_varint(m.retry_after_ms);
+  }
   put_crc_trailer(w);
   return w.take();
 }
@@ -178,6 +183,13 @@ std::optional<UploadAck> decode_upload_ack(
   m.status = static_cast<UploadAckStatus>(*status);
   m.upload_id = *uid;
   m.segments_indexed = *segs;
+  if (r.remaining() > 0) {
+    // Trailing retry-after hint: exactly one non-zero varint, nothing
+    // after.
+    const auto hint = r.get_varint();
+    if (!hint || *hint == 0 || r.remaining() != 0) return std::nullopt;
+    m.retry_after_ms = *hint;
+  }
   return m;
 }
 

@@ -64,13 +64,22 @@ enum class UploadAckStatus : std::uint8_t {
   kRejected = 0,    ///< permanently malformed — do not retry
   kAccepted = 1,    ///< ingested (durably, if a WAL is configured)
   kDuplicate = 2,   ///< retransmit of an already-ingested upload_id
-  kRetryLater = 3,  ///< server degraded read-only — retry with backoff
+  kRetryLater = 3,  ///< degraded or overloaded — retry with backoff
 };
 
+/// A kRetryLater ack may carry a server-computed retry-after hint
+/// (admission control knows exactly when the queue will have room; the
+/// client's blind exponential backoff does not). On the wire it is one
+/// optional trailing varint after segments_indexed, inside the crc — the
+/// same legacy-compatible trailing-field trick as the upload trace
+/// context. A hint of 0 omits the field, keeping hint-less acks
+/// byte-identical to pre-hint encoders; decoders accept either shape
+/// (no trailing bytes, or exactly one non-zero varint).
 struct UploadAck {
   std::uint64_t upload_id = 0;
   UploadAckStatus status = UploadAckStatus::kRejected;
   std::uint64_t segments_indexed = 0;
+  std::uint64_t retry_after_ms = 0;  ///< 0 = no hint
 };
 
 struct QueryMessage {

@@ -189,6 +189,8 @@ NetRetryMetrics& net_retry_metrics() {
                        "Uploads permanently rejected by the server"),
       global().counter("svg_net_retry_upload_deferrals_total",
                        "Retry-later acks from a degraded read-only server"),
+      global().counter("svg_net_retry_upload_retry_after_hints_total",
+                       "Retry-later acks carrying a server retry-after hint"),
       global().counter("svg_net_retry_fetch_attempts_total",
                        "Clip-fetch exchanges attempted"),
       global().counter("svg_net_retry_fetch_retries_total",
@@ -273,6 +275,38 @@ StoreFaultMetrics& store_fault_metrics() {
   return m;
 }
 
+AdmissionMetrics& admission_metrics() {
+  static AdmissionMetrics m{
+      global().counter("svg_server_admission_ingest_admitted_total",
+                       "Ingest requests admitted by overload control"),
+      global().counter("svg_server_admission_ingest_throttled_total",
+                       "Ingest requests shed: client token bucket empty"),
+      global().counter("svg_server_admission_ingest_shed_queue_total",
+                       "Ingest requests shed: admission queue at depth"),
+      global().counter("svg_server_admission_ingest_shed_deadline_total",
+                       "Ingest requests shed: would finish past deadline"),
+      global().counter("svg_server_admission_query_admitted_total",
+                       "Queries admitted through the priority lane"),
+      global().counter("svg_server_admission_query_shed_queue_total",
+                       "Queries shed: admission queue at depth"),
+      global().counter("svg_server_admission_query_shed_deadline_total",
+                       "Queries shed: would finish past deadline"),
+      global().gauge("svg_server_admission_ingest_backlog",
+                     "Requests waiting in the ingest virtual queue"),
+      global().gauge("svg_server_admission_query_backlog",
+                     "Requests waiting in the query virtual queue"),
+      global().gauge("svg_server_admission_shedding",
+                     "1 while any admission lane is shedding"),
+      global().histogram("svg_server_admission_queue_wait_ms",
+                         "Queue wait charged to admitted requests",
+                         kCountBuckets),
+      global().histogram("svg_server_admission_retry_after_ms",
+                         "Retry-after hints handed to shed requests",
+                         kCountBuckets),
+  };
+  return m;
+}
+
 TraceMetrics& trace_metrics() {
   static TraceMetrics m{
       global().counter("svg_trace_started_total",
@@ -303,6 +337,10 @@ ClusterMetrics& cluster_metrics() {
                        "Parent uploads split by geo-cell and routed"),
       global().counter("svg_cluster_subuploads_total",
                        "Per-partition sub-uploads sent to nodes"),
+      global().counter("svg_cluster_subupload_deferrals_total",
+                       "Sub-upload legs a node answered retry-later"),
+      global().counter("svg_cluster_legs_resumed_total",
+                       "Settled sub-upload legs skipped on resumed attempts"),
       global().counter("svg_cluster_queries_total",
                        "Scatter-gather searches through the router"),
       global().counter("svg_cluster_fanout_nodes_total",
@@ -360,6 +398,7 @@ void touch_all_families() {
   (void)segmentation_metrics();
   (void)wal_metrics();
   (void)store_fault_metrics();
+  (void)admission_metrics();
   (void)trace_metrics();
   (void)journal_metrics();
   (void)cluster_metrics();

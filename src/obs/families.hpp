@@ -126,6 +126,7 @@ struct NetRetryMetrics {
   Counter& upload_exhausted;       ///< uploads abandoned after max attempts
   Counter& upload_rejected;        ///< server said permanent reject
   Counter& upload_deferrals;       ///< kRetryLater acks (degraded server)
+  Counter& upload_retry_after_hints;  ///< deferrals carrying a server hint
   Counter& fetch_attempts;         ///< clip-fetch exchanges attempted
   Counter& fetch_retries;
   Counter& fetch_failures;         ///< clips given up on (flagged missing)
@@ -178,6 +179,25 @@ struct StoreFaultMetrics {
   Counter& ingest_deferrals;     ///< ingests refused with a retriable ack
 };
 
+/// net::AdmissionController — overload control at the server front door
+/// (svg_server_admission_*): per-lane admit/shed verdicts, the virtual
+/// queue depths, and the waits/hints requests were charged
+/// (docs/ROBUSTNESS.md, "Overload control").
+struct AdmissionMetrics {
+  Counter& ingest_admitted;       ///< ingest requests admitted
+  Counter& ingest_throttled;      ///< shed: per-client token bucket empty
+  Counter& ingest_shed_queue;     ///< shed: ingest queue at depth
+  Counter& ingest_shed_deadline;  ///< shed: would finish past deadline
+  Counter& query_admitted;        ///< queries admitted (priority lane)
+  Counter& query_shed_queue;      ///< shed: query queue at depth
+  Counter& query_shed_deadline;   ///< shed: would finish past deadline
+  Gauge& ingest_backlog;  ///< requests waiting in the ingest virtual queue
+  Gauge& query_backlog;   ///< requests waiting in the query virtual queue
+  Gauge& shedding;        ///< 1 while any lane is inside a shed episode
+  Histogram& queue_wait_ms;   ///< wait charged to admitted requests
+  Histogram& retry_after_ms;  ///< hints handed to shed requests
+};
+
 /// obs::Tracer — the request-tracing layer watching itself (obs/trace.hpp).
 struct TraceMetrics {
   Counter& traces_started;    ///< sampled roots begun (local + adopted)
@@ -198,6 +218,8 @@ struct JournalMetrics {
 struct ClusterMetrics {
   Counter& uploads_routed;      ///< parent uploads split and routed
   Counter& subuploads;          ///< per-partition sub-uploads sent
+  Counter& subupload_deferrals; ///< sub-upload legs a node answered kRetryLater
+  Counter& legs_resumed;        ///< settled legs skipped on a resumed attempt
   Counter& queries;             ///< scatter-gather searches
   Counter& fanout_nodes;        ///< nodes contacted by searches
   Counter& fanout_skipped;      ///< nodes pruned by cell intersection
@@ -254,6 +276,7 @@ class ThreadPoolMetrics final : public util::ThreadPoolObserver {
 [[nodiscard]] SegmentationMetrics& segmentation_metrics();
 [[nodiscard]] WalMetrics& wal_metrics();
 [[nodiscard]] StoreFaultMetrics& store_fault_metrics();
+[[nodiscard]] AdmissionMetrics& admission_metrics();
 [[nodiscard]] TraceMetrics& trace_metrics();
 [[nodiscard]] JournalMetrics& journal_metrics();
 [[nodiscard]] ClusterMetrics& cluster_metrics();

@@ -39,6 +39,8 @@ const char* journal_event_name(JournalEvent event) {
     case JournalEvent::kFollowerPromoted: return "follower_promoted";
     case JournalEvent::kPrimaryDemoted: return "primary_demoted";
     case JournalEvent::kReplicationLagged: return "replication_lagged";
+    case JournalEvent::kAdmissionShedStart: return "admission_shed_start";
+    case JournalEvent::kAdmissionShedEnd: return "admission_shed_end";
   }
   return "unknown";
 }

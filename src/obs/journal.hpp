@@ -44,6 +44,9 @@ enum class JournalEvent : std::uint16_t {
   kPrimaryDemoted = 16,    ///< failover (a0 = partition, a1 = old node)
   kReplicationLagged = 17, ///< lag threshold crossed (a0 = primary,
                            ///< a1 = follower, a2 = records behind)
+  kAdmissionShedStart = 18, ///< admission began shedding (a0 = lane: 0 ingest
+                            ///< 1 query, a1 = outcome, a2 = retry-after ms)
+  kAdmissionShedEnd = 19,   ///< shed episode over (a0 = lane, a1 = sheds)
 };
 
 /// Human-readable event name ("server_degraded", …); "unknown" for
