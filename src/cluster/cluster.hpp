@@ -23,10 +23,13 @@
 #include <string>
 #include <vector>
 
+#include "cluster/fence.hpp"
 #include "cluster/partition.hpp"
+#include "cluster/repair.hpp"
 #include "cluster/router.hpp"
 #include "net/fault.hpp"
 #include "net/server.hpp"
+#include "store/scrub.hpp"
 #include "store/wal.hpp"
 
 namespace svg::cluster {
@@ -55,11 +58,24 @@ struct ClusterConfig {
   /// nodes in-memory: no replication, no failover (fail = data loss).
   std::string data_dir;
   store::FsyncPolicy fsync = store::FsyncPolicy::kNone;
+  /// WAL segment roll size per node (scrub/bit-rot tests shrink this so a
+  /// small corpus spans several cold segments).
+  std::uint64_t segment_bytes = 8ull << 20;
   /// Journal kReplicationLagged (once per crossing) when a follower falls
   /// this many records behind its primary's WAL tip.
   std::uint64_t lag_alert_records = 64;
   /// Consecutive failed probes before probe_round() promotes.
   std::uint32_t probe_fail_threshold = 3;
+  /// Epoch fencing (cluster/fence.hpp): every node gates ingest on
+  /// routing-epoch stamps and self-fences after fence_miss_threshold
+  /// missed heartbeats — closing the asymmetric-partition split-brain
+  /// (probe path dead, client path alive). Off by default so pre-fencing
+  /// chaos runs replay byte-identically.
+  bool fencing = false;
+  /// Missed heartbeats before a node self-fences; kept below
+  /// probe_fail_threshold so the victim stops acking before its
+  /// partitions are retargeted.
+  std::uint32_t fence_miss_threshold = 2;
   /// Fault template for every link; each link perturbs the seed by its
   /// role and node id, so one cluster seed replays the whole topology.
   net::FaultPlan fault;
@@ -82,6 +98,24 @@ class Cluster {
     return nodes_[i]->up;
   }
   [[nodiscard]] std::string wal_dir(std::size_t i) const;
+  /// The node's fence, or nullptr when fencing is off / node is down.
+  [[nodiscard]] NodeFence* fence(std::size_t i) noexcept {
+    return nodes_[i]->fence.get();
+  }
+  /// The node's anti-entropy fingerprint book.
+  [[nodiscard]] const FingerprintBook& book(std::size_t i) const noexcept {
+    return nodes_[i]->book;
+  }
+  /// The router-side transport into this cluster — lets a test stand up a
+  /// SECOND (stale) Router against the same nodes to drive split-brain
+  /// scenarios.
+  [[nodiscard]] NodeExchange exchange_fn();
+
+  /// Simulate an asymmetric partition: the probe/heartbeat path to node i
+  /// is down while the client path stays alive. probe_round() counts the
+  /// node as failed (and stops heartbeating it) even though exchange()
+  /// still delivers requests.
+  void set_probe_reachable(std::size_t i, bool reachable);
 
   /// Crash node i: destroy the server, keep its directory. Its partitions
   /// keep routing to it (requests go unanswered) until probe_round()
@@ -110,6 +144,35 @@ class Cluster {
   /// Follower lag of node i's stream: primary WAL tip − follower acked.
   [[nodiscard]] std::uint64_t replication_lag(std::size_t i) const;
 
+  /// One anti-entropy sweep: for every caught-up primary→follower stream,
+  /// exchange fingerprint-book summaries per owned partition; on
+  /// divergence, rewind the stream's cursors to just before the earliest
+  /// record feeding a divergent bucket and re-ship through the ordinary
+  /// replication path (follower dedup absorbs the overlap — no full
+  /// resync). Journals kRepairStarted/kRepairCompleted, bumps
+  /// svg_cluster_repair_*. Returns records re-shipped.
+  std::size_t repair_round();
+
+  /// One scrub pass over node i's durability directory (store/scrub.hpp).
+  /// Syncs the node's WAL first when it is up so the on-disk chain is
+  /// current. Corrupt cold artifacts are quarantined.
+  [[nodiscard]] store::ScrubReport scrub_node(std::size_t i,
+                                              bool quarantine = true);
+
+  /// Rebuild node i from its ring follower's replicated copy: wipe the
+  /// node's directory, re-ingest every record of the partitions it serves
+  /// out of the follower's WAL (original upload_ids, so dedup semantics
+  /// survive), restart its replication stream from zero (the follower
+  /// skips everything it already holds). The repair-from-replica step
+  /// after a scrub quarantines part of a node's chain. Journals
+  /// kPeerRestore. False if the follower is down or unreadable.
+  bool restore_node_from_peer(std::size_t i);
+
+  /// Test hook: force node i's stream cursors (acked + applied) to `seq`,
+  /// seeding exactly the silent divergence repair_round() must detect —
+  /// records at or below `seq` the follower never applied are skipped.
+  void force_ship_cursor(std::size_t i, std::uint64_t seq);
+
   /// The cluster's canonical content fingerprint: every serving node's
   /// snapshot filtered to the partitions it serves (replication copies on
   /// followers drop out), unioned and encoded with canonical_fingerprint.
@@ -123,11 +186,14 @@ class Cluster {
   struct NodeState {
     std::unique_ptr<net::CloudServer> server;
     bool up = true;
+    bool probe_ok = true;  ///< probe/heartbeat path reachable (see above)
     std::uint32_t failed_probes = 0;
     net::Link link;            ///< router ↔ node
     net::Link repl_link;       ///< node ↔ its ring follower
     std::unique_ptr<net::FaultyLink> faulty_link;
     std::unique_ptr<net::FaultyLink> faulty_repl_link;
+    std::unique_ptr<NodeFence> fence;  ///< non-null iff cfg.fencing
+    FingerprintBook book;  ///< per-partition fingerprints of held records
   };
 
   [[nodiscard]] std::unique_ptr<net::CloudServer> make_server(std::size_t i);
@@ -138,6 +204,10 @@ class Cluster {
   [[nodiscard]] std::vector<std::uint8_t> dispatch(
       std::size_t i, std::span<const std::uint8_t> request);
   void set_nodes_up_gauge();
+  void set_nodes_fenced_gauge();
+  [[nodiscard]] std::unique_ptr<NodeFence> make_fence(std::size_t i) const;
+  /// Rebuild node i's book from its on-disk WAL (rejoin/restore).
+  void rebuild_book(std::size_t i);
 
   ClusterConfig cfg_;
   GeoPartitioner partitioner_;

@@ -1,0 +1,93 @@
+#pragma once
+// Anti-entropy repair (docs/CLUSTER.md, "Fencing and repair"). WAL-
+// shipping replication converges when every batch eventually lands, but
+// divergence from lost ranges (a cursor forced forward, a partially
+// applied batch before a crash, an operator restore) was only detectable
+// by the chaos-test oracle — nothing in the production path ever compared
+// replica contents. This header provides the comparison primitive:
+//
+// FingerprintBook — per-partition, per-bucket XOR fingerprints over the
+// records a node holds. Each record hashes to one of kFingerprintBuckets
+// buckets by upload_id; the bucket accumulates XOR(record digest) and a
+// count. XOR makes the summary order-independent and incrementally
+// updatable at ingest/replication time (O(1) per record, no tree
+// rebuild), and equal multisets of records produce equal books. The
+// digest covers upload_id AND the canonical record payload bytes, so a
+// record that was applied with different content also diverges.
+//
+// Cluster::repair_round() (cluster.hpp) exchanges summaries between each
+// primary and its ring follower on the probe cadence, finds divergent
+// buckets, locates the earliest WAL seq feeding one, and rewinds the
+// shipping cursors to just before it — the existing gap-refusing
+// idempotent replication path then re-ships only that range (follower
+// dedup absorbs the overlap; no full resync).
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/partition.hpp"
+#include "core/fov.hpp"
+#include "store/env.hpp"
+
+namespace svg::cluster {
+
+inline constexpr std::size_t kFingerprintBuckets = 16;
+
+/// The order-independent summary of one partition's records.
+struct PartitionFingerprint {
+  std::array<std::uint64_t, kFingerprintBuckets> hash{};
+  std::array<std::uint64_t, kFingerprintBuckets> count{};
+
+  [[nodiscard]] bool operator==(const PartitionFingerprint&) const = default;
+};
+
+/// Which bucket a record's upload_id hashes into.
+[[nodiscard]] std::size_t fingerprint_bucket(std::uint64_t upload_id);
+
+/// Digest of one record: upload_id mixed with the CRC of its canonical
+/// WAL payload bytes. Wire decode and WAL decode of the same record
+/// re-encode byte-identically (the codec round-trips its fixed-point
+/// quantization), so primary and follower compute the same digest.
+[[nodiscard]] std::uint64_t record_digest(
+    std::uint64_t upload_id, std::span<const core::RepresentativeFov> reps);
+
+/// Per-partition fingerprint accumulator for one node. Thread-safe.
+class FingerprintBook {
+ public:
+  explicit FingerprintBook(std::size_t partitions = 0);
+
+  /// Drop everything and resize (rejoin/restore rebuilds).
+  void reset(std::size_t partitions);
+
+  /// Fold one record in (called at accepted ingest and applied
+  /// replication). Out-of-range partitions are ignored.
+  void add(std::size_t partition, std::uint64_t upload_id,
+           std::uint64_t digest);
+
+  [[nodiscard]] PartitionFingerprint summary(std::size_t partition) const;
+  [[nodiscard]] std::size_t partitions() const;
+
+  /// Bucket indexes where the two summaries disagree (hash or count).
+  [[nodiscard]] static std::vector<std::size_t> divergent_buckets(
+      const PartitionFingerprint& a, const PartitionFingerprint& b);
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PartitionFingerprint> parts_;
+};
+
+/// Rebuild a node's book from its WAL directory (rejoin, restore, or a
+/// suspicious scrub), resetting `out` first. Every record's partition
+/// comes from its first segment — cluster traffic is split per-partition
+/// by the router, so records are single-partition. False on chain
+/// corruption (out is left reset).
+bool book_from_wal(const std::string& wal_dir,
+                   const GeoPartitioner& partitioner, FingerprintBook& out,
+                   store::Env* env = nullptr);
+
+}  // namespace svg::cluster

@@ -22,7 +22,8 @@ std::optional<ReplicateBatchMessage> next_replicate_batch(
 std::uint64_t apply_replicate_batch(net::CloudServer& follower,
                                     const ReplicateBatchMessage& batch,
                                     std::uint64_t cursor,
-                                    std::size_t* applied) {
+                                    std::size_t* applied,
+                                    const ApplyObserver& observe) {
   auto& m = obs::cluster_metrics();
   if (applied != nullptr) *applied = 0;
   if (batch.payloads.empty()) return cursor;
@@ -61,6 +62,7 @@ std::uint64_t apply_replicate_batch(net::CloudServer& follower,
     }
     cursor = seq;
     ++n;
+    if (observe) observe(seq, *rec, status);
   }
   if (n > 0) {
     m.replicate_batches.inc();

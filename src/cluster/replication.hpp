@@ -16,12 +16,14 @@
 // its cursor. Acks fold in with max(), so stale acks are harmless.
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
 #include "cluster/wire.hpp"
 #include "net/server.hpp"
 #include "store/env.hpp"
+#include "store/wal.hpp"
 
 namespace svg::cluster {
 
@@ -38,14 +40,23 @@ struct ReplicationCursor {
     std::uint64_t acked_seq, std::size_t max_records,
     store::Env* env = nullptr);
 
+/// Observes each record that advances the follower's cursor (including
+/// dedup'd duplicates — the follower HOLDS those records, which is what
+/// the anti-entropy fingerprint book accounts). Not called for skipped
+/// (≤ cursor) or refused records.
+using ApplyObserver = std::function<void(
+    std::uint64_t seq, const store::UploadRecord& rec, net::IngestStatus st)>;
+
 /// Follower-side apply: decode each payload as a WAL upload record and
 /// ingest it (upload_id dedup absorbs retransmits and resync overlap).
 /// Records with seq ≤ `cursor` are skipped; a batch starting past
 /// cursor+1 is refused whole (gap — apply nothing, return cursor
 /// unchanged). Returns the follower's new cursor. Counts applied records
-/// into *applied when non-null.
+/// into *applied when non-null; `observe` (optional) sees every record
+/// that advances the cursor.
 [[nodiscard]] std::uint64_t apply_replicate_batch(
     net::CloudServer& follower, const ReplicateBatchMessage& batch,
-    std::uint64_t cursor, std::size_t* applied = nullptr);
+    std::uint64_t cursor, std::size_t* applied = nullptr,
+    const ApplyObserver& observe = nullptr);
 
 }  // namespace svg::cluster

@@ -89,6 +89,11 @@ std::optional<net::UploadAck> Router::route_upload(
     {
       std::shared_lock lk(table_mu_);
       node = table_.primary_of[partition];
+      // Epoch fencing: stamp the table epoch this leg was routed under so
+      // the node can refuse us once the table has moved on. Read per-leg —
+      // a mid-attempt refresh (kStaleEpoch below) upgrades later legs.
+      sub.route_epoch = table_.epoch;
+      sub.has_route_epoch = true;
     }
     const auto bytes = net::encode_upload(sub);
     m.subuploads.inc();
@@ -125,6 +130,15 @@ std::optional<net::UploadAck> Router::route_upload(
         // waits long enough for the most-backlogged partition.
         any_deferred = true;
         retry_after_ms = std::max(retry_after_ms, sub_ack->retry_after_ms);
+        m.subupload_deferrals.inc();
+        continue;
+      case net::UploadAckStatus::kStaleEpoch:
+        // The node fenced us: its epoch is ahead of the table this leg was
+        // stamped with. Refresh from the authority and defer the leg — the
+        // retry re-routes it under the newer table (and any legs later in
+        // this same attempt already see it).
+        refresh_table();
+        any_deferred = true;
         m.subupload_deferrals.inc();
         continue;
       case net::UploadAckStatus::kAccepted:
@@ -268,6 +282,23 @@ void Router::set_primary(std::size_t partition, std::uint32_t node) {
   std::unique_lock lk(table_mu_);
   table_.primary_of[partition] = node;
   ++table_.epoch;
+}
+
+void Router::set_refresh(RefreshFn refresh) { refresh_ = std::move(refresh); }
+
+bool Router::adopt_table(const RoutingTable& table) {
+  std::unique_lock lk(table_mu_);
+  if (table.epoch <= table_.epoch) return false;
+  table_ = table;
+  return true;
+}
+
+void Router::refresh_table() {
+  if (!refresh_) return;
+  const auto fresh = refresh_();
+  if (fresh && adopt_table(fresh->table)) {
+    obs::cluster_metrics().table_refreshes.inc();
+  }
 }
 
 std::vector<std::uint8_t> handle_fanout_query(

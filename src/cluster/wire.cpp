@@ -150,6 +150,9 @@ std::vector<std::uint8_t> encode_replicate_batch(
     w.put_varint(p.size());
     w.put_bytes(p);
   }
+  // Optional trailing epoch stamp (epoch + 1, non-zero rule) — absent
+  // stamps keep the bytes identical to pre-fencing encoders.
+  if (m.has_epoch) w.put_varint(m.epoch + 1);
   return seal(w);
 }
 
@@ -179,7 +182,13 @@ std::optional<ReplicateBatchMessage> decode_replicate_batch(
       if (!r.get_u8()) return std::nullopt;
     }
   }
-  if (!r.exhausted()) return std::nullopt;
+  if (!r.exhausted()) {
+    // Trailing epoch stamp: exactly one non-zero varint, nothing after.
+    const auto stamp = r.get_varint();
+    if (!stamp || *stamp == 0 || !r.exhausted()) return std::nullopt;
+    m.epoch = *stamp - 1;
+    m.has_epoch = true;
+  }
   return m;
 }
 
@@ -188,6 +197,7 @@ std::vector<std::uint8_t> encode_replicate_ack(const ReplicateAckMessage& m) {
   w.put_u8(kMsgReplicateAck);
   w.put_varint(m.follower);
   w.put_varint(m.applied_seq);
+  if (m.has_epoch) w.put_varint(m.epoch + 1);
   return seal(w);
 }
 
@@ -204,7 +214,12 @@ std::optional<ReplicateAckMessage> decode_replicate_ack(
   if (!follower || !applied) return std::nullopt;
   m.follower = *follower;
   m.applied_seq = *applied;
-  if (!r.exhausted()) return std::nullopt;
+  if (!r.exhausted()) {
+    const auto stamp = r.get_varint();
+    if (!stamp || *stamp == 0 || !r.exhausted()) return std::nullopt;
+    m.epoch = *stamp - 1;
+    m.has_epoch = true;
+  }
   return m;
 }
 

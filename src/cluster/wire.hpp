@@ -55,17 +55,29 @@ struct FanoutResultsMessage {
 };
 
 /// Primary → follower: contiguous WAL records starting at first_seq.
+///
+/// Fencing (docs/CLUSTER.md): an optional trailing varint carries the
+/// shipper's routing epoch, stored as epoch + 1 (non-zero rule). Stale
+/// batches are NOT refused — a rejoined demoted primary legitimately
+/// ships an old-epoch WAL during resync — but the stamp lets the pair
+/// learn each other's epoch over the replication channel, which in an
+/// asymmetric partition may be the only link still alive.
 struct ReplicateBatchMessage {
   std::uint64_t primary = 0;    ///< shipping node id
   std::uint64_t first_seq = 0;  ///< WAL seq of payloads[0]
+  std::uint64_t epoch = 0;      ///< shipper's routing epoch
+  bool has_epoch = false;       ///< false = pre-fencing shipper
   std::vector<std::vector<std::uint8_t>> payloads;
 };
 
 /// Follower → primary: cursor after applying a batch (monotonic; the
-/// shipper takes max() so stale or reordered acks are harmless).
+/// shipper takes max() so stale or reordered acks are harmless). The
+/// same optional trailing epoch stamp as the batch, carried back.
 struct ReplicateAckMessage {
   std::uint64_t follower = 0;
   std::uint64_t applied_seq = 0;
+  std::uint64_t epoch = 0;      ///< follower's routing epoch
+  bool has_epoch = false;       ///< false = pre-fencing follower
 };
 
 /// The full routing state a node (or operator tool) needs to route:

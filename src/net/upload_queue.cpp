@@ -93,8 +93,8 @@ bool UploadQueue::drain(const AttemptFn& attempt) {
     const auto ack = attempt(*bytes);
     const bool matched = ack && ack->upload_id == p.upload_id;
     if (span.active()) {
-      // 0..3 mirror UploadAckStatus; 4 = no usable ack came back.
-      span.tag("ack", matched ? static_cast<std::uint64_t>(ack->status) : 4);
+      // 0..4 mirror UploadAckStatus; 5 = no usable ack came back.
+      span.tag("ack", matched ? static_cast<std::uint64_t>(ack->status) : 5);
       span.end();
     }
     if (matched && ack->status == UploadAckStatus::kRejected) {
@@ -137,6 +137,27 @@ bool UploadQueue::drain(const AttemptFn& attempt) {
       } else {
         backoff = backoff_ms(p.attempts);
       }
+      rm.backoff_ms.observe(static_cast<std::uint64_t>(backoff));
+      p.next_eligible_ms = now_ms() + backoff;
+      continue;
+    }
+    if (matched && ack->status == UploadAckStatus::kStaleEpoch) {
+      // Epoch fencing: a node refused the delivery because its routing
+      // epoch is ahead of whoever routed it. Not indexed — back off and
+      // re-offer (the routing layer refreshes its table on this signal,
+      // so the retry re-routes under the newer epoch), still bounded by
+      // the attempt budget.
+      ++stats_.stale_epoch;
+      if (p.attempts >= policy_.max_attempts) {
+        ++stats_.exhausted;
+        rm.upload_exhausted.inc();
+        obs::journal_event(obs::JournalEvent::kUploadExhausted, p.upload_id,
+                           p.attempts);
+        pending_.erase(it);
+        all_acked = false;
+        continue;
+      }
+      const double backoff = backoff_ms(p.attempts);
       rm.backoff_ms.observe(static_cast<std::uint64_t>(backoff));
       p.next_eligible_ms = now_ms() + backoff;
       continue;

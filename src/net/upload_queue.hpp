@@ -40,6 +40,7 @@ struct UploadQueueStats {
   std::uint64_t exhausted = 0;       ///< gave up after max_attempts
   std::uint64_t rejected = 0;        ///< server said permanent reject
   std::uint64_t deferred = 0;        ///< kRetryLater acks (degraded server)
+  std::uint64_t stale_epoch = 0;     ///< kStaleEpoch acks (fenced routing)
   std::uint64_t retry_after_hints = 0;  ///< deferrals carrying a server hint
   double hinted_wait_ms = 0.0;  ///< total sim-ms waited on server hints
 };

@@ -107,6 +107,12 @@ std::vector<std::uint8_t> encode_upload(const UploadMessage& m) {
     w.put_varint(m.trace_id);
     w.put_varint(m.parent_span_id);
   }
+  if (m.has_route_epoch) {
+    // Optional fence stamp, stored as epoch + 1 (epoch 0 is a valid
+    // table, the trailing-field rule wants non-zero). Unstamped messages
+    // skip it so their bytes match pre-fencing encoders.
+    w.put_varint(m.route_epoch + 1);
+  }
   put_crc_trailer(w);
   return w.take();
 }
@@ -130,14 +136,31 @@ std::optional<UploadMessage> decode_upload(
     m.video_id = *vid;
     if (!get_segment_records(r, *count, *vid, m.segments)) return std::nullopt;
     if (r.remaining() > 0) {
-      // Trailing trace context: exactly two varints, nothing after.
-      const auto trace_id = r.get_varint();
-      const auto parent = r.get_varint();
-      if (!trace_id || *trace_id == 0 || !parent || r.remaining() != 0) {
-        return std::nullopt;
+      // Trailing optional fields — varints are self-delimiting, so the
+      // count picks the shape: 1 = fence stamp, 2 = trace context,
+      // 3 = trace context then fence stamp. Anything else is malformed.
+      std::uint64_t tail[3] = {0, 0, 0};
+      std::size_t n = 0;
+      while (r.remaining() > 0) {
+        if (n == 3) return std::nullopt;
+        const auto v = r.get_varint();
+        if (!v) return std::nullopt;
+        tail[n++] = *v;
       }
-      m.trace_id = *trace_id;
-      m.parent_span_id = *parent;
+      if (n == 1) {
+        if (tail[0] == 0) return std::nullopt;
+        m.route_epoch = tail[0] - 1;
+        m.has_route_epoch = true;
+      } else {
+        if (tail[0] == 0) return std::nullopt;  // trace_id must be non-zero
+        m.trace_id = tail[0];
+        m.parent_span_id = tail[1];
+        if (n == 3) {
+          if (tail[2] == 0) return std::nullopt;
+          m.route_epoch = tail[2] - 1;
+          m.has_route_epoch = true;
+        }
+      }
     }
     return m;
   }
@@ -160,7 +183,11 @@ std::vector<std::uint8_t> encode_upload_ack(const UploadAck& m) {
   w.put_u8(static_cast<std::uint8_t>(m.status));
   w.put_varint(m.upload_id);
   w.put_varint(m.segments_indexed);
-  if (m.retry_after_ms != 0) {
+  if (m.status == UploadAckStatus::kStaleEpoch) {
+    // The trailing slot carries the rejecting node's epoch (+ 1 for the
+    // non-zero rule) so the sender can tell how far behind it is.
+    w.put_varint(m.node_epoch + 1);
+  } else if (m.retry_after_ms != 0) {
     // Optional trailing retry-after hint, covered by the crc. Hint-less
     // acks skip it so their bytes match pre-hint encoders.
     w.put_varint(m.retry_after_ms);
@@ -178,17 +205,22 @@ std::optional<UploadAck> decode_upload_ack(
   const auto status = r.get_u8();
   const auto uid = r.get_varint();
   const auto segs = r.get_varint();
-  if (!status || *status > 3 || !uid || !segs) return std::nullopt;
+  if (!status || *status > 4 || !uid || !segs) return std::nullopt;
   UploadAck m;
   m.status = static_cast<UploadAckStatus>(*status);
   m.upload_id = *uid;
   m.segments_indexed = *segs;
   if (r.remaining() > 0) {
-    // Trailing retry-after hint: exactly one non-zero varint, nothing
-    // after.
+    // Trailing hint: exactly one non-zero varint, nothing after. The
+    // status byte selects the meaning — node epoch for kStaleEpoch,
+    // retry-after for everything else.
     const auto hint = r.get_varint();
     if (!hint || *hint == 0 || r.remaining() != 0) return std::nullopt;
-    m.retry_after_ms = *hint;
+    if (m.status == UploadAckStatus::kStaleEpoch) {
+      m.node_epoch = *hint - 1;
+    } else {
+      m.retry_after_ms = *hint;
+    }
   }
   return m;
 }

@@ -48,13 +48,22 @@ inline constexpr std::uint8_t kMsgUploadAck = 7;
 /// the segment records, inside the crc — so the server's ingest spans
 /// join the client's trace. trace_id == 0 omits the field entirely,
 /// keeping untraced v2 messages byte-identical to pre-trace builds; v1
-/// never carries it. Decoders accept both shapes: no trailing bytes, or
-/// exactly the two varints.
+/// never carries it.
+///
+/// Epoch fencing (docs/CLUSTER.md): a router stamps the RoutingTable
+/// epoch it routed by into v2 as one more trailing varint — stored as
+/// epoch + 1 so the non-zero rule holds (epoch 0 is a valid table). The
+/// trailing region therefore parses as 0, 1, 2 or 3 varints: nothing;
+/// just the fence stamp; the trace pair; or trace pair then stamp.
+/// Varints are self-delimiting, so the count disambiguates. Unstamped
+/// messages stay byte-identical to pre-fencing builds.
 struct UploadMessage {
   std::uint64_t upload_id = 0;  ///< 0 = legacy message without an id
   std::uint64_t video_id = 0;
   std::uint64_t trace_id = 0;         ///< 0 = request not traced
   std::uint64_t parent_span_id = 0;   ///< client span the server nests under
+  std::uint64_t route_epoch = 0;      ///< table epoch the sender routed by
+  bool has_route_epoch = false;       ///< false = unstamped (legacy sender)
   std::vector<core::RepresentativeFov> segments;
 };
 
@@ -65,6 +74,8 @@ enum class UploadAckStatus : std::uint8_t {
   kAccepted = 1,    ///< ingested (durably, if a WAL is configured)
   kDuplicate = 2,   ///< retransmit of an already-ingested upload_id
   kRetryLater = 3,  ///< degraded or overloaded — retry with backoff
+  kStaleEpoch = 4,  ///< fenced: the write's routing epoch is stale (or the
+                    ///< node lost its heartbeats) — refresh the table, retry
 };
 
 /// A kRetryLater ack may carry a server-computed retry-after hint
@@ -75,11 +86,17 @@ enum class UploadAckStatus : std::uint8_t {
 /// context. A hint of 0 omits the field, keeping hint-less acks
 /// byte-identical to pre-hint encoders; decoders accept either shape
 /// (no trailing bytes, or exactly one non-zero varint).
+///
+/// A kStaleEpoch ack reuses the same trailing slot for the rejecting
+/// node's current epoch, stored as epoch + 1 (non-zero rule; epoch 0 is
+/// valid). The status byte selects the interpretation, so the two hints
+/// never collide.
 struct UploadAck {
   std::uint64_t upload_id = 0;
   UploadAckStatus status = UploadAckStatus::kRejected;
   std::uint64_t segments_indexed = 0;
-  std::uint64_t retry_after_ms = 0;  ///< 0 = no hint
+  std::uint64_t retry_after_ms = 0;  ///< 0 = no hint (kRetryLater only)
+  std::uint64_t node_epoch = 0;      ///< rejecting node's epoch (kStaleEpoch)
 };
 
 struct QueryMessage {

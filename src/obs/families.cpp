@@ -261,6 +261,8 @@ StoreFaultMetrics& store_fault_metrics() {
                        "Failures injected by store::FaultyEnv"),
       global().counter("svg_store_fault_short_writes_total",
                        "Injected torn writes (a prefix reached the disk)"),
+      global().counter("svg_store_fault_bit_flips_total",
+                       "Injected silent single-bit read corruptions"),
       global().counter("svg_store_fault_wal_failstops_total",
                        "WAL fail-stop transitions after an I/O error"),
       global().counter("svg_store_fault_checkpoint_failures_total",
@@ -359,8 +361,18 @@ ClusterMetrics& cluster_metrics() {
                        "Primaries demoted after failed health probes"),
       global().counter("svg_cluster_lag_alerts_total",
                        "Replication-lag threshold crossings"),
+      global().counter("svg_cluster_stale_epoch_rejects_total",
+                       "Writes refused by epoch fencing"),
+      global().counter("svg_cluster_node_fences_total",
+                       "Nodes that self-fenced after losing heartbeats"),
+      global().counter("svg_cluster_node_unfences_total",
+                       "Fenced nodes released by a resumed heartbeat"),
+      global().counter("svg_cluster_table_refreshes_total",
+                       "Router routing-table refreshes after fence acks"),
       global().gauge("svg_cluster_nodes_up",
                      "Cluster nodes currently up and serving"),
+      global().gauge("svg_cluster_nodes_fenced",
+                     "Nodes currently refusing ingest (fenced)"),
       global().gauge("svg_cluster_replication_lag",
                      "Worst follower replication lag, in records"),
       global().histogram("svg_cluster_route_ns",
@@ -369,6 +381,48 @@ ClusterMetrics& cluster_metrics() {
                          "Scatter-gather search wall time incl. merge"),
       global().histogram("svg_cluster_replicate_ns",
                          "Replication round wall time"),
+  };
+  return m;
+}
+
+ClusterRepairMetrics& cluster_repair_metrics() {
+  static ClusterRepairMetrics m{
+      global().counter("svg_cluster_repair_exchanges_total",
+                       "Fingerprint summary comparisons primary<->follower"),
+      global().counter("svg_cluster_repair_started_total",
+                       "Divergent replication streams detected"),
+      global().counter("svg_cluster_repair_completed_total",
+                       "Streams reconverged after re-shipping"),
+      global().counter("svg_cluster_repair_divergent_buckets_total",
+                       "Fingerprint buckets that disagreed"),
+      global().counter("svg_cluster_repair_records_reshipped_total",
+                       "WAL records re-shipped by repair rewinds"),
+      global().counter("svg_cluster_repair_peer_restores_total",
+                       "Nodes rebuilt from a replica's WAL"),
+      global().histogram("svg_cluster_repair_ns",
+                         "Anti-entropy repair round wall time"),
+  };
+  return m;
+}
+
+StoreScrubMetrics& store_scrub_metrics() {
+  static StoreScrubMetrics m{
+      global().counter("svg_store_scrub_passes_total",
+                       "Scrub passes completed"),
+      global().counter("svg_store_scrub_segments_total",
+                       "WAL segments verified at rest"),
+      global().counter("svg_store_scrub_snapshots_total",
+                       "Snapshot files verified at rest"),
+      global().counter("svg_store_scrub_frames_verified_total",
+                       "CRC frames checked clean"),
+      global().counter("svg_store_scrub_bytes_verified_total",
+                       "Artifact bytes read and checked"),
+      global().counter("svg_store_scrub_corrupt_artifacts_total",
+                       "Artifacts that failed verification"),
+      global().counter("svg_store_scrub_quarantined_total",
+                       "Corrupt artifacts renamed to *.quarantine"),
+      global().histogram("svg_store_scrub_pass_ns",
+                         "Scrub pass wall time"),
   };
   return m;
 }
@@ -402,6 +456,8 @@ void touch_all_families() {
   (void)trace_metrics();
   (void)journal_metrics();
   (void)cluster_metrics();
+  (void)cluster_repair_metrics();
+  (void)store_scrub_metrics();
   (void)thread_pool_metrics();
 }
 

@@ -172,6 +172,7 @@ struct StoreFaultMetrics {
   Counter& io_errors;            ///< storage ops that failed (any cause)
   Counter& injected;             ///< failures injected by FaultyEnv
   Counter& short_writes;         ///< injected torn writes (prefix persisted)
+  Counter& bit_flips;            ///< injected silent read corruptions
   Counter& wal_failstops;        ///< WAL poisoned itself after an I/O error
   Counter& checkpoint_failures;  ///< checkpoints abandoned on I/O failure
   Counter& degraded_entries;     ///< server ok → degraded transitions
@@ -229,11 +230,43 @@ struct ClusterMetrics {
   Counter& promotions;          ///< follower → serving-primary flips
   Counter& demotions;           ///< primaries marked down by probes
   Counter& lag_alerts;          ///< replication-lag threshold crossings
+  Counter& stale_epoch_rejects; ///< writes refused by epoch fencing
+  Counter& node_fences;         ///< nodes that self-fenced on lost heartbeats
+  Counter& node_unfences;       ///< fenced nodes released by a heartbeat
+  Counter& table_refreshes;     ///< router table refreshes after fence acks
   Gauge& nodes_up;              ///< cluster nodes currently serving
+  Gauge& nodes_fenced;          ///< nodes currently refusing ingest
   Gauge& replication_lag;       ///< worst follower lag (records behind)
   Histogram& route_ns;          ///< route_upload wall time
   Histogram& fanout_ns;         ///< scatter-gather search wall time
   Histogram& replicate_ns;      ///< replicate_round wall time
+};
+
+/// cluster anti-entropy (svg_cluster_repair_*): fingerprint exchanges
+/// between each primary and its ring follower, divergences found, and the
+/// WAL ranges re-shipped to reconverge (docs/CLUSTER.md).
+struct ClusterRepairMetrics {
+  Counter& exchanges;          ///< fingerprint summary comparisons
+  Counter& repairs_started;    ///< divergent streams detected
+  Counter& repairs_completed;  ///< streams reconverged after re-shipping
+  Counter& divergent_buckets;  ///< fingerprint buckets that disagreed
+  Counter& records_reshipped;  ///< records re-shipped by repair rewinds
+  Counter& peer_restores;      ///< nodes rebuilt from a replica's WAL
+  Histogram& repair_ns;        ///< repair_round wall time
+};
+
+/// store::Scrubber (svg_store_scrub_*): background verification of data at
+/// rest — WAL segments and snapshots re-read and CRC-checked on a cadence,
+/// with corrupt artifacts quarantined (docs/ROBUSTNESS.md).
+struct StoreScrubMetrics {
+  Counter& passes;              ///< scrub passes completed
+  Counter& segments_scanned;    ///< WAL segments verified
+  Counter& snapshots_scanned;   ///< snapshot files verified
+  Counter& frames_verified;     ///< CRC frames checked clean
+  Counter& bytes_verified;      ///< artifact bytes read and checked
+  Counter& corrupt_artifacts;   ///< artifacts that failed verification
+  Counter& quarantined;         ///< artifacts renamed to *.quarantine
+  Histogram& pass_ns;           ///< scrub pass wall time
 };
 
 /// util::ThreadPool — implements the util-side observer hook so the pool
@@ -280,6 +313,8 @@ class ThreadPoolMetrics final : public util::ThreadPoolObserver {
 [[nodiscard]] TraceMetrics& trace_metrics();
 [[nodiscard]] JournalMetrics& journal_metrics();
 [[nodiscard]] ClusterMetrics& cluster_metrics();
+[[nodiscard]] ClusterRepairMetrics& cluster_repair_metrics();
+[[nodiscard]] StoreScrubMetrics& store_scrub_metrics();
 [[nodiscard]] ThreadPoolMetrics& thread_pool_metrics();
 
 /// Register every family above so exposition includes idle subsystems.

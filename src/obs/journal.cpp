@@ -41,6 +41,14 @@ const char* journal_event_name(JournalEvent event) {
     case JournalEvent::kReplicationLagged: return "replication_lagged";
     case JournalEvent::kAdmissionShedStart: return "admission_shed_start";
     case JournalEvent::kAdmissionShedEnd: return "admission_shed_end";
+    case JournalEvent::kNodeFenced: return "node_fenced";
+    case JournalEvent::kNodeUnfenced: return "node_unfenced";
+    case JournalEvent::kStaleEpochRejected: return "stale_epoch_rejected";
+    case JournalEvent::kRepairStarted: return "repair_started";
+    case JournalEvent::kRepairCompleted: return "repair_completed";
+    case JournalEvent::kArtifactQuarantined: return "artifact_quarantined";
+    case JournalEvent::kScrubPass: return "scrub_pass";
+    case JournalEvent::kPeerRestore: return "peer_restore";
   }
   return "unknown";
 }

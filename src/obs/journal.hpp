@@ -47,6 +47,21 @@ enum class JournalEvent : std::uint16_t {
   kAdmissionShedStart = 18, ///< admission began shedding (a0 = lane: 0 ingest
                             ///< 1 query, a1 = outcome, a2 = retry-after ms)
   kAdmissionShedEnd = 19,   ///< shed episode over (a0 = lane, a1 = sheds)
+  kNodeFenced = 20,         ///< heartbeats lost, node refuses ingest
+                            ///< (a0 = node, a1 = epoch, a2 = missed beats)
+  kNodeUnfenced = 21,       ///< heartbeat resumed (a0 = node, a1 = epoch)
+  kStaleEpochRejected = 22, ///< fenced write refused (a0 = node, a1 = stamped
+                            ///< epoch + 1 or 0 when unstamped, a2 = node epoch)
+  kRepairStarted = 23,      ///< anti-entropy divergence found (a0 = primary,
+                            ///< a1 = follower, a2 = divergent buckets)
+  kRepairCompleted = 24,    ///< stream reconverged (a0 = primary,
+                            ///< a1 = follower, a2 = records re-shipped)
+  kArtifactQuarantined = 25,///< scrub found rot (a0 = kind: 0 wal 1 snapshot,
+                            ///< a1 = artifact seq, a2 = file bytes)
+  kScrubPass = 26,          ///< one scrub pass done (a0 = artifacts scanned,
+                            ///< a1 = corrupt found, a2 = bytes verified)
+  kPeerRestore = 27,        ///< node rebuilt from a replica (a0 = node,
+                            ///< a1 = peer, a2 = records restored)
 };
 
 /// Human-readable event name ("server_degraded", …); "unknown" for

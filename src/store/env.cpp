@@ -187,6 +187,7 @@ class FaultyFile final : public File {
         (void)base_->write(bytes.first(prefix));
         return false;
       case FaultyEnv::Fault::kFail:
+      case FaultyEnv::Fault::kBitFlip:  // never decided for writes
         return false;
     }
     return false;
@@ -211,7 +212,8 @@ FaultyEnv::FaultyEnv(StoreFaultPlan plan, Env* base)
     : plan_(plan), base_(base != nullptr ? base : &Env::posix()) {}
 
 FaultyEnv::Fault FaultyEnv::decide(IoOp op, std::size_t len,
-                                   std::size_t* prefix) {
+                                   std::size_t* prefix,
+                                   std::uint64_t* flip_seed) {
   std::lock_guard lock(mu_);
   auto& fm = obs::store_fault_metrics();
   const std::uint64_t global = ordinal_++;
@@ -242,6 +244,9 @@ FaultyEnv::Fault FaultyEnv::decide(IoOp op, std::size_t len,
       fault = Fault::kFail;
     } else if (p_short > 0.0 && len > 0 && rng.chance(p_short)) {
       fault = Fault::kShortWrite;
+    } else if (op == IoOp::kRead && flip_seed != nullptr &&
+               plan_.bit_flip_read > 0.0 && rng.chance(plan_.bit_flip_read)) {
+      fault = Fault::kBitFlip;
     }
   }
 
@@ -250,13 +255,21 @@ FaultyEnv::Fault FaultyEnv::decide(IoOp op, std::size_t len,
     ++stats_.short_writes;
     stats_.torn_bytes += *prefix;
   }
+  if (fault == Fault::kBitFlip) {
+    *flip_seed = rng.next();
+    ++stats_.bit_flips;
+    fm.bit_flips.inc();
+  }
   if (fault != Fault::kNone) {
     ++stats_.injected;
     fm.injected.inc();
-    fm.io_errors.inc();
+    // A bit flip is silent by design: the read succeeds, no I/O error is
+    // surfaced, only the checksum layer can catch it downstream.
+    if (fault != Fault::kBitFlip) fm.io_errors.inc();
     if (fault == Fault::kShortWrite) fm.short_writes.inc();
     obs::journal_event(obs::JournalEvent::kStorageFaultInjected,
-                       static_cast<std::uint64_t>(op), global);
+                       static_cast<std::uint64_t>(op), global,
+                       fault == Fault::kBitFlip ? 1 : 0);
   }
   return fault;
 }
@@ -273,11 +286,24 @@ std::unique_ptr<File> FaultyEnv::open(const std::string& path,
 std::optional<std::vector<std::uint8_t>> FaultyEnv::read_file(
     const std::string& path) {
   std::size_t prefix = 0;
-  switch (decide(IoOp::kRead, 0, &prefix)) {
+  std::uint64_t flip_seed = 0;
+  switch (decide(IoOp::kRead, 0, &prefix, &flip_seed)) {
     case Fault::kNone: break;
     case Fault::kFail:
     case Fault::kShortWrite:
       return std::nullopt;
+    case Fault::kBitFlip: {
+      // Bit-rot: the read "succeeds" with one bit flipped somewhere in the
+      // file. Which bit is a pure function of the flip seed, so a replayed
+      // run corrupts the identical bit.
+      auto bytes = base_->read_file(path);
+      if (!bytes || bytes->empty()) return bytes;
+      util::Xoshiro256 rng(flip_seed);
+      const std::size_t victim =
+          static_cast<std::size_t>(rng.bounded(bytes->size()));
+      (*bytes)[victim] ^= static_cast<std::uint8_t>(1u << rng.bounded(8));
+      return bytes;
+    }
   }
   return base_->read_file(path);
 }

@@ -114,6 +114,11 @@ struct StoreFaultPlan {
   double rename_error = 0.0;
   double remove_error = 0.0;
   double truncate_error = 0.0;
+  /// P(a whole-file read returns with one bit silently flipped, no error) —
+  /// bit-rot. The only fault kind the caller cannot see at the call site:
+  /// it exists to exercise the checksum-verification paths (frame CRCs,
+  /// snapshot trailers, scrub).
+  double bit_flip_read = 0.0;
 };
 
 struct StoreFaultStats {
@@ -121,6 +126,7 @@ struct StoreFaultStats {
   std::uint64_t injected = 0;     ///< operations failed by injection
   std::uint64_t short_writes = 0; ///< injected torn writes
   std::uint64_t torn_bytes = 0;   ///< prefix bytes persisted by torn writes
+  std::uint64_t bit_flips = 0;    ///< silent single-bit read corruptions
 };
 
 /// Seeded fault-injecting Env wrapper. Probabilistic faults follow the
@@ -157,11 +163,15 @@ class FaultyEnv final : public Env {
  private:
   friend class FaultyFile;
 
-  enum class Fault : std::uint8_t { kNone, kFail, kShortWrite };
+  enum class Fault : std::uint8_t { kNone, kFail, kShortWrite, kBitFlip };
 
   /// One decision per operation: bump ordinals, consult the script and
   /// the plan. For kShortWrite, *prefix is set to the persisted length.
-  Fault decide(IoOp op, std::size_t len, std::size_t* prefix);
+  /// For kBitFlip (reads only), *flip_seed is set to the seed that picks
+  /// the corrupted bit — the decision and the damage are both pure
+  /// functions of (seed, op, ordinal).
+  Fault decide(IoOp op, std::size_t len, std::size_t* prefix,
+               std::uint64_t* flip_seed = nullptr);
 
   mutable std::mutex mu_;
   StoreFaultPlan plan_;

@@ -1,0 +1,266 @@
+#include "store/scrub.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <utility>
+
+#include "obs/families.hpp"
+#include "obs/journal.hpp"
+#include "obs/timer.hpp"
+#include "store/crc32c.hpp"
+#include "store/snapshot.hpp"
+
+namespace svg::store {
+
+namespace {
+
+// The WAL's on-disk frame geometry (wal.cpp keeps its own copies; the
+// format is frozen at version 1, so the duplication is a constant, not a
+// coupling).
+constexpr std::uint8_t kSegMagic[4] = {'S', 'V', 'G', 'W'};
+constexpr std::uint16_t kSegVersion = 1;
+constexpr std::uint64_t kSegHeaderBytes = 16;
+constexpr std::uint64_t kFrameHeaderBytes = 8;
+constexpr std::uint64_t kMaxRecordBytes = 64ull << 20;
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t read_u64le(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(read_u32le(p)) |
+         static_cast<std::uint64_t>(read_u32le(p + 4)) << 32;
+}
+
+struct Artifact {
+  std::string path;
+  std::uint64_t seq = 0;  ///< from the filename
+};
+
+/// wal-<16 hex>.log files, oldest-first — the same predicate the WAL's
+/// own listing applies, so a *.quarantine rename drops the file from both.
+std::vector<Artifact> list_wal_segments(const std::string& dir) {
+  std::vector<Artifact> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) != 0 || name.size() != 24 ||
+        name.substr(20) != ".log") {
+      continue;
+    }
+    char* end = nullptr;
+    const std::uint64_t seq = std::strtoull(name.c_str() + 4, &end, 16);
+    if (end != name.c_str() + 20) continue;
+    out.push_back({entry.path().string(), seq});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.seq < b.seq; });
+  return out;
+}
+
+/// snapshot-<16 hex>.svgx files, any order.
+std::vector<Artifact> list_snapshots(const std::string& dir) {
+  std::vector<Artifact> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snapshot-", 0) != 0 || name.size() != 30 ||
+        name.substr(25) != ".svgx") {
+      continue;
+    }
+    char* end = nullptr;
+    const std::uint64_t seq = std::strtoull(name.c_str() + 9, &end, 16);
+    if (end != name.c_str() + 25) continue;
+    out.push_back({entry.path().string(), seq});
+  }
+  return out;
+}
+
+/// Quarantine one corrupt artifact: rename to <path>.quarantine so the
+/// recovery/replication listings (which match on suffix) stop seeing it.
+void quarantine(Env& env, ScrubFinding& f) {
+  auto& m = obs::store_scrub_metrics();
+  if (env.rename_file(f.path, f.path + ".quarantine")) {
+    (void)env.sync_parent_dir(f.path);
+    f.quarantined = true;
+    m.quarantined.inc();
+  }
+}
+
+}  // namespace
+
+ScrubReport scrub_directory(const std::string& dir,
+                            const ScrubOptions& opts) {
+  auto& m = obs::store_scrub_metrics();
+  Env& env = opts.env != nullptr ? *opts.env : Env::posix();
+  const std::uint64_t t0 = obs::now_ns();
+  ScrubReport report;
+
+  const auto segments = list_wal_segments(dir);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const bool last = i + 1 == segments.size();
+    ++report.wal_segments;
+    m.segments_scanned.inc();
+    const auto bytes = env.read_file(segments[i].path);
+    if (!bytes) {
+      // Unreadable at rest — report it, but never quarantine on an I/O
+      // error (the file may be fine; only proven corruption moves it).
+      report.findings.push_back({ScrubFinding::Kind::kWalSegment,
+                                 segments[i].path, segments[i].seq,
+                                 "unreadable", false});
+      continue;
+    }
+    report.bytes_verified += bytes->size();
+    m.bytes_verified.inc(bytes->size());
+
+    std::string problem;
+    bool torn = false;  // legal crash artifact, not corruption
+    if (bytes->size() < kSegHeaderBytes ||
+        !std::equal(kSegMagic, kSegMagic + 4, bytes->begin()) ||
+        (read_u32le(bytes->data() + 4) & 0xFFFF) != kSegVersion ||
+        read_u64le(bytes->data() + 8) != segments[i].seq) {
+      // A torn header is only legal on the final segment (a rotation
+      // that crashed mid-create); recovery drops the file wholesale.
+      if (last) {
+        torn = true;
+      } else {
+        problem = "bad segment header";
+      }
+    } else {
+      std::uint64_t off = kSegHeaderBytes;
+      while (off < bytes->size()) {
+        const std::uint64_t rem = bytes->size() - off;
+        std::uint32_t len = 0;
+        bool complete = false;  // the frame's claimed bytes are all present
+        if (rem >= kFrameHeaderBytes) {
+          len = read_u32le(bytes->data() + off);
+          complete = len != 0 && len <= kMaxRecordBytes &&
+                     len <= rem - kFrameHeaderBytes;
+        }
+        if (!complete) {
+          // Truncated or implausible frame: a torn tail on the final
+          // segment, corruption anywhere else.
+          if (last) {
+            torn = true;
+          } else {
+            problem = "truncated frame at offset " + std::to_string(off);
+          }
+          break;
+        }
+        const std::uint32_t crc = read_u32le(bytes->data() + off + 4);
+        if (crc32c({bytes->data() + off + kFrameHeaderBytes, len}) != crc) {
+          // A COMPLETE frame with a bad CRC is bit rot even on the final
+          // segment — a torn write cannot damage bytes it never covered.
+          problem = "frame CRC mismatch at offset " + std::to_string(off);
+          break;
+        }
+        ++report.frames_verified;
+        m.frames_verified.inc();
+        off += kFrameHeaderBytes + len;
+      }
+    }
+
+    if (torn) {
+      ++report.torn_tail_segments;
+      continue;
+    }
+    if (problem.empty()) continue;
+
+    m.corrupt_artifacts.inc();
+    ScrubFinding f{ScrubFinding::Kind::kWalSegment, segments[i].path,
+                   segments[i].seq, problem, false};
+    // The final segment is the live appender's file: report only.
+    if (opts.quarantine && !last) quarantine(env, f);
+    if (f.quarantined) {
+      obs::journal_event(obs::JournalEvent::kArtifactQuarantined, 0,
+                         segments[i].seq, bytes->size());
+    }
+    report.findings.push_back(std::move(f));
+  }
+
+  for (const auto& snap : list_snapshots(dir)) {
+    ++report.snapshots;
+    m.snapshots_scanned.inc();
+    const auto bytes = env.read_file(snap.path);
+    if (!bytes) {
+      report.findings.push_back({ScrubFinding::Kind::kSnapshot, snap.path,
+                                 snap.seq, "unreadable", false});
+      continue;
+    }
+    report.bytes_verified += bytes->size();
+    m.bytes_verified.inc(bytes->size());
+    if (decode_snapshot_full(*bytes)) continue;  // CRC + full parse clean
+
+    m.corrupt_artifacts.inc();
+    ScrubFinding f{ScrubFinding::Kind::kSnapshot, snap.path, snap.seq,
+                   "snapshot decode/CRC failure", false};
+    if (opts.quarantine) quarantine(env, f);
+    if (f.quarantined) {
+      obs::journal_event(obs::JournalEvent::kArtifactQuarantined, 1, snap.seq,
+                         bytes->size());
+    }
+    report.findings.push_back(std::move(f));
+  }
+
+  m.passes.inc();
+  m.pass_ns.observe(obs::now_ns() - t0);
+  obs::journal_event(obs::JournalEvent::kScrubPass,
+                     report.wal_segments + report.snapshots,
+                     report.findings.size(), report.bytes_verified);
+  return report;
+}
+
+Scrubber::Scrubber(std::string dir, std::uint32_t interval_ms,
+                   ScrubOptions opts, PassHook on_pass)
+    : dir_(std::move(dir)),
+      opts_(opts),
+      on_pass_(std::move(on_pass)),
+      interval_ms_(interval_ms) {
+  if (interval_ms_ > 0) thread_ = std::thread([this] { run(); });
+}
+
+Scrubber::~Scrubber() {
+  {
+    std::lock_guard lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+ScrubReport Scrubber::pass_now() {
+  ScrubReport report = scrub_directory(dir_, opts_);
+  {
+    std::lock_guard lock(mu_);
+    ++passes_;
+  }
+  if (on_pass_) on_pass_(report);
+  return report;
+}
+
+std::uint64_t Scrubber::passes() const {
+  std::lock_guard lock(mu_);
+  return passes_;
+}
+
+void Scrubber::run() {
+  std::unique_lock lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                     [this] { return stop_; })) {
+      return;
+    }
+    lock.unlock();
+    ScrubReport report = scrub_directory(dir_, opts_);
+    if (on_pass_) on_pass_(report);
+    lock.lock();
+    ++passes_;
+  }
+}
+
+}  // namespace svg::store

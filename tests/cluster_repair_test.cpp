@@ -1,0 +1,222 @@
+// Anti-entropy repair (cluster/repair.hpp + Cluster::repair_round): the
+// fingerprint book is an order-independent incremental summary, identical
+// books make repair a no-op, and seeded silent divergence (a shipping
+// cursor forced past unreplicated records) is detected and healed by
+// re-shipping ONLY the divergent range — not a full resync.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/repair.hpp"
+#include "net/server.hpp"
+#include "net/upload_queue.hpp"
+#include "obs/families.hpp"
+#include "obs/journal.hpp"
+#include "sim/crowd.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace svg;
+using namespace svg::cluster;
+
+struct ScopedDir {
+  explicit ScopedDir(const std::string& tag) {
+    path = (std::filesystem::temp_directory_path() /
+            ("svg_repair_" + tag + "_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+  }
+  ~ScopedDir() { std::filesystem::remove_all(path); }
+  std::string path;
+};
+
+std::vector<net::UploadMessage> make_uploads(std::uint64_t seed,
+                                             std::size_t count) {
+  util::Xoshiro256 rng(seed);
+  sim::CityModel city;
+  std::vector<net::UploadMessage> uploads;
+  for (std::size_t u = 0; u < count; ++u) {
+    net::UploadMessage msg;
+    msg.video_id = u + 1;
+    msg.segments = sim::random_representative_fovs(
+        5 + rng.bounded(4), city, 1'400'000'000'000, 3'600'000, rng);
+    for (std::size_t i = 0; i < msg.segments.size(); ++i) {
+      msg.segments[i].video_id = msg.video_id;
+      msg.segments[i].segment_id = static_cast<std::uint32_t>(i);
+    }
+    uploads.push_back(std::move(msg));
+  }
+  return uploads;
+}
+
+ClusterConfig durable_config(const std::string& dir) {
+  ClusterConfig cfg;
+  cfg.nodes = 3;
+  cfg.partition.bounds = sim::CityModel{}.bounds_deg();
+  cfg.partition.cells_per_side = 16;
+  cfg.data_dir = dir;
+  return cfg;
+}
+
+bool drain(Cluster& cluster, const std::vector<net::UploadMessage>& uploads,
+           std::uint64_t queue_seed) {
+  net::UploadQueue queue({}, queue_seed);
+  for (const auto& m : uploads) queue.enqueue(m);
+  return queue.drain(cluster.router().upload_channel());
+}
+
+/// True iff the two nodes' books agree on every partition `owner` serves
+/// under the current table.
+bool books_agree(Cluster& cluster, std::size_t owner, std::size_t peer) {
+  const auto routing = cluster.router().routing();
+  for (std::size_t p = 0; p < routing.table.primary_of.size(); ++p) {
+    if (routing.table.primary_of[p] != owner) continue;
+    if (!(cluster.book(owner).summary(p) == cluster.book(peer).summary(p))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(FingerprintBookTest, OrderIndependentAndContentSensitive) {
+  util::Xoshiro256 rng(7);
+  sim::CityModel city;
+  std::vector<std::pair<std::uint64_t, std::vector<core::RepresentativeFov>>>
+      records;
+  for (int i = 0; i < 64; ++i) {
+    records.push_back({rng.next() | 1,
+                       sim::random_representative_fovs(
+                           2, city, 1'400'000'000'000, 3'600'000, rng)});
+  }
+  FingerprintBook a(4);
+  for (const auto& [id, reps] : records) {
+    a.add(id % 4, id, record_digest(id, reps));
+  }
+  // Same multiset, reversed insertion order: identical summaries.
+  FingerprintBook b(4);
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    b.add(it->first % 4, it->first, record_digest(it->first, it->second));
+  }
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_TRUE(a.summary(p) == b.summary(p)) << "partition " << p;
+  }
+  // Dropping one record diverges exactly that record's bucket.
+  FingerprintBook c(4);
+  for (std::size_t i = 0; i + 1 < records.size(); ++i) {
+    const auto& [id, reps] = records[i];
+    c.add(id % 4, id, record_digest(id, reps));
+  }
+  const auto& [lost_id, lost_reps] = records.back();
+  const std::size_t lost_p = lost_id % 4;
+  const auto div =
+      FingerprintBook::divergent_buckets(a.summary(lost_p), c.summary(lost_p));
+  ASSERT_EQ(div.size(), 1u);
+  EXPECT_EQ(div.front(), fingerprint_bucket(lost_id));
+  // Same id with different CONTENT also diverges (digest covers payload).
+  EXPECT_NE(record_digest(lost_id, lost_reps),
+            record_digest(lost_id, records.front().second));
+}
+
+TEST(ClusterRepairTest, CaughtUpClusterRepairsNothing) {
+  ScopedDir dir("noop");
+  Cluster cluster(durable_config(dir.path + "/c"));
+  ASSERT_TRUE(drain(cluster, make_uploads(21, 6), 5));
+  cluster.replicate_until_quiescent();
+
+  auto& rm = obs::cluster_repair_metrics();
+  const std::uint64_t started_before = rm.repairs_started.value();
+  const std::uint64_t exchanges_before = rm.exchanges.value();
+  EXPECT_EQ(cluster.repair_round(), 0u);
+  EXPECT_GT(rm.exchanges.value(), exchanges_before);
+  EXPECT_EQ(rm.repairs_started.value(), started_before);
+}
+
+TEST(ClusterRepairTest, SeededDivergenceIsRepairedWithoutFullResync) {
+  ScopedDir dir("diverge");
+  Cluster cluster(durable_config(dir.path + "/c"));
+
+  // Phase 1: a healthy prefix, fully replicated.
+  ASSERT_TRUE(drain(cluster, make_uploads(31, 10), 9));
+  cluster.replicate_until_quiescent();
+
+  // Phase 2: more ingest, then silently skip ONE stream's shipping by
+  // forcing node 0's cursor to its WAL tip — the follower never sees
+  // node 0's phase-2 records and no lag remains to betray it. The other
+  // streams replicate normally, so a repair that rewinds more than
+  // stream 0 is over-repairing.
+  ASSERT_TRUE(drain(cluster, make_uploads(32, 5), 10));
+  cluster.node(0)->sync_wal();
+  const std::uint64_t phase2_records = cluster.replication_lag(0);
+  ASSERT_GT(phase2_records, 0u);
+  cluster.force_ship_cursor(0, cluster.node(0)->last_wal_seq());
+  EXPECT_EQ(cluster.replication_lag(0), 0u);
+  cluster.replicate_until_quiescent();
+  EXPECT_EQ(cluster.replicate_until_quiescent(), 0u)
+      << "divergence must be silent to the shipping path";
+  std::uint64_t total_records = 0;
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    cluster.node(i)->sync_wal();
+    total_records += cluster.node(i)->last_wal_seq();
+  }
+
+  // Anti-entropy: the fingerprint exchange finds the divergence and
+  // re-ships the missing range through the ordinary replication path.
+  auto& rm = obs::cluster_repair_metrics();
+  const std::uint64_t completed_before = rm.repairs_completed.value();
+  const std::size_t reshipped = cluster.repair_round();
+  EXPECT_GE(reshipped, phase2_records);
+  EXPECT_LT(reshipped, total_records) << "repair must not full-resync";
+  EXPECT_GT(rm.repairs_completed.value(), completed_before);
+
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    EXPECT_TRUE(books_agree(cluster, i, (i + 1) % cluster.size()))
+        << "stream " << i << " still divergent";
+  }
+
+  // Journal: repair_started then repair_completed.
+  bool saw_started = false;
+  bool saw_completed = false;
+  for (const auto& rec : obs::Journal::global().tail()) {
+    if (rec.event == obs::JournalEvent::kRepairStarted) saw_started = true;
+    if (rec.event == obs::JournalEvent::kRepairCompleted) {
+      EXPECT_TRUE(saw_started);
+      saw_completed = true;
+    }
+  }
+  EXPECT_TRUE(saw_started);
+  EXPECT_TRUE(saw_completed);
+
+  // A second round finds nothing left to repair.
+  const std::uint64_t started_after = rm.repairs_started.value();
+  EXPECT_EQ(cluster.repair_round(), 0u);
+  EXPECT_EQ(rm.repairs_started.value(), started_after);
+}
+
+TEST(ClusterRepairTest, BookFromWalMatchesIncrementalBook) {
+  ScopedDir dir("rebuild");
+  ClusterConfig cfg = durable_config(dir.path + "/c");
+  Cluster cluster(cfg);
+  ASSERT_TRUE(drain(cluster, make_uploads(41, 8), 13));
+  cluster.replicate_until_quiescent();
+
+  const GeoPartitioner partitioner(cluster.router().routing().partition);
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    cluster.node(i)->sync_wal();
+    FingerprintBook rebuilt;
+    ASSERT_TRUE(book_from_wal(cluster.wal_dir(i), partitioner, rebuilt));
+    for (std::size_t p = 0; p < partitioner.config().partitions; ++p) {
+      EXPECT_TRUE(rebuilt.summary(p) == cluster.book(i).summary(p))
+          << "node " << i << " partition " << p;
+    }
+  }
+}
+
+}  // namespace

@@ -119,9 +119,10 @@ TEST(TraceWireTest, ParentSpanZeroStillRoundTrips) {
   EXPECT_EQ(back->parent_span_id, 0u);
 }
 
-TEST(TraceWireTest, SingleTrailingVarintIsRejected) {
-  // Strip the parent varint and re-checksum: the decoder must insist on
-  // exactly zero or two trailing varints, never one.
+TEST(TraceWireTest, SingleTrailingVarintIsAnEpochStamp) {
+  // Strip the parent varint and re-checksum: one trailing varint is no
+  // longer a truncated trace pair — it parses as a routing-epoch fence
+  // stamp (stored as epoch + 1), with no trace attached.
   UploadMessage m = sample_message(5);
   m.trace_id = 0xBEEF;
   m.parent_span_id = 0x1234;
@@ -129,18 +130,67 @@ TEST(TraceWireTest, SingleTrailingVarintIsRejected) {
   bytes.resize(bytes.size() - 4);  // drop crc
   bytes.resize(bytes.size() - varint_len(m.parent_span_id));
   append_crc(bytes);
-  EXPECT_FALSE(decode_upload(bytes).has_value());
+  const auto back = decode_upload(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace_id, 0u);
+  EXPECT_TRUE(back->has_route_epoch);
+  EXPECT_EQ(back->route_epoch, 0xBEEFu - 1);
 }
 
-TEST(TraceWireTest, ExtraTrailingVarintIsRejected) {
+TEST(TraceWireTest, ThirdTrailingVarintIsAnEpochStamp) {
+  // trace pair + one more varint = traced AND epoch-stamped.
   UploadMessage m = sample_message(5);
   m.trace_id = 0xBEEF;
   m.parent_span_id = 0x1234;
   auto bytes = encode_upload(m);
   bytes.resize(bytes.size() - 4);
-  bytes.push_back(0x01);  // a third trailing varint
+  bytes.push_back(0x01);  // stamp varint: epoch 0 stored as 1
+  append_crc(bytes);
+  const auto back = decode_upload(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->trace_id, 0xBEEFu);
+  EXPECT_EQ(back->parent_span_id, 0x1234u);
+  EXPECT_TRUE(back->has_route_epoch);
+  EXPECT_EQ(back->route_epoch, 0u);
+}
+
+TEST(TraceWireTest, FourthTrailingVarintIsRejected) {
+  UploadMessage m = sample_message(5);
+  m.trace_id = 0xBEEF;
+  m.parent_span_id = 0x1234;
+  m.route_epoch = 7;
+  m.has_route_epoch = true;
+  auto bytes = encode_upload(m);
+  bytes.resize(bytes.size() - 4);
+  bytes.push_back(0x01);  // a fourth trailing varint fits no field
   append_crc(bytes);
   EXPECT_FALSE(decode_upload(bytes).has_value());
+}
+
+TEST(TraceWireTest, ZeroEpochStampIsRejected) {
+  // The stamp is stored as epoch + 1; a literal 0 stamp is malformed.
+  UploadMessage m = sample_message(5);
+  auto bytes = encode_upload(m);
+  bytes.resize(bytes.size() - 4);
+  bytes.push_back(0x00);
+  append_crc(bytes);
+  EXPECT_FALSE(decode_upload(bytes).has_value());
+}
+
+TEST(TraceWireTest, EpochStampRoundTripsAndIsAbsentByDefault) {
+  UploadMessage m = sample_message(6);
+  const auto plain = encode_upload(m);
+  m.route_epoch = 0;
+  m.has_route_epoch = true;
+  const auto stamped = encode_upload(m);
+  EXPECT_GT(stamped.size(), plain.size());
+  const auto back = decode_upload(stamped);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->has_route_epoch);
+  EXPECT_EQ(back->route_epoch, 0u);
+  const auto unstamped = decode_upload(plain);
+  ASSERT_TRUE(unstamped.has_value());
+  EXPECT_FALSE(unstamped->has_route_epoch);
 }
 
 TEST(TraceWireTest, ZeroTraceIdInTrailingFieldIsRejected) {
